@@ -1,0 +1,74 @@
+//! Criterion benchmark: per-cycle cost of the gating controllers'
+//! `observe` step (runs once per simulated cycle, so it must be cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warped_gates::{AdaptiveIdleDetect, CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
+use warped_gating::{conventional, Controller, GatingParams, StaticIdleDetect};
+use warped_sim::{CycleObservation, PowerGating, NUM_DOMAINS};
+
+/// A stimulus with a mix of busy and idle cycles plus occasional demand.
+fn stimulus(cycle: u64) -> CycleObservation {
+    let mut busy = [false; NUM_DOMAINS];
+    busy[(cycle % 6) as usize] = !cycle.is_multiple_of(3);
+    let mut demand = [0u32; 4];
+    if cycle.is_multiple_of(17) {
+        demand[(cycle % 4) as usize] = 1;
+    }
+    CycleObservation {
+        cycle,
+        busy,
+        blocked_demand: demand,
+        active_subset: [(cycle % 9) as u32; 4],
+    }
+}
+
+fn drive(ctl: &mut dyn PowerGating, cycles: u64) {
+    for c in 0..cycles {
+        let mut obs = stimulus(c);
+        // Keep the stimulus legal: a gated/waking domain is never busy.
+        for d in warped_sim::DomainId::ALL {
+            if !ctl.is_on(d) {
+                obs.busy[d.index()] = false;
+            }
+        }
+        ctl.observe(&obs);
+    }
+}
+
+fn gating_cost(c: &mut Criterion) {
+    const CYCLES: u64 = 10_000;
+    let mut group = c.benchmark_group("controller_observe_10k");
+    group.bench_function(BenchmarkId::from_parameter("conventional"), |b| {
+        b.iter(|| {
+            let mut ctl = conventional(GatingParams::default());
+            drive(&mut ctl, CYCLES);
+            ctl.report()
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("naive_blackout"), |b| {
+        b.iter(|| {
+            let mut ctl = Controller::new(
+                GatingParams::default(),
+                NaiveBlackoutPolicy::new(),
+                StaticIdleDetect::new(),
+            );
+            drive(&mut ctl, CYCLES);
+            ctl.report()
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("warped_gates"), |b| {
+        b.iter(|| {
+            let mut ctl = Controller::new(
+                GatingParams::default(),
+                CoordinatedBlackoutPolicy::new(),
+                AdaptiveIdleDetect::new(),
+            );
+            drive(&mut ctl, CYCLES);
+            ctl.report()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gating_cost);
+criterion_main!(benches);

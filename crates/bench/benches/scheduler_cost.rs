@@ -1,0 +1,66 @@
+//! Criterion benchmark: per-cycle cost of the scheduling policies on a
+//! synthetic ready set (the hot inner loop of the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warped_gates::GatesScheduler;
+use warped_isa::UnitType;
+use warped_sim::{
+    Candidate, IssueCtx, LrrScheduler, TwoLevelScheduler, WarpScheduler, WarpSlot, NUM_DOMAINS,
+};
+
+fn candidates(n: usize) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| Candidate {
+            slot: WarpSlot(i),
+            unit: UnitType::from_index(i % 4),
+            is_global_load: i % 7 == 0,
+        })
+        .collect()
+}
+
+fn ctx(cands: &[Candidate]) -> IssueCtx {
+    IssueCtx::new(
+        0,
+        2,
+        cands.to_vec(),
+        [true; NUM_DOMAINS],
+        [false; NUM_DOMAINS],
+        [8; 4],
+        16,
+    )
+}
+
+fn scheduler_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_pick");
+    for n in [4usize, 16, 48] {
+        let cands = candidates(n);
+        group.bench_with_input(BenchmarkId::new("two_level", n), &cands, |b, cands| {
+            let mut s = TwoLevelScheduler::new();
+            b.iter(|| {
+                let mut context = ctx(cands);
+                s.pick(&mut context);
+                context
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lrr", n), &cands, |b, cands| {
+            let mut s = LrrScheduler::new();
+            b.iter(|| {
+                let mut context = ctx(cands);
+                s.pick(&mut context);
+                context
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gates", n), &cands, |b, cands| {
+            let mut s = GatesScheduler::new();
+            b.iter(|| {
+                let mut context = ctx(cands);
+                s.pick(&mut context);
+                context
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_cost);
+criterion_main!(benches);

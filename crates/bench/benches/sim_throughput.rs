@@ -1,0 +1,67 @@
+//! Criterion benchmark: raw simulator throughput (simulated cycles per
+//! wall-clock second) for representative workloads, and the relative
+//! cost of each technique stack on the same launch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use warped_gates::Technique;
+use warped_gating::GatingParams;
+use warped_sim::Sm;
+use warped_workloads::Benchmark;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for bench in [Benchmark::Hotspot, Benchmark::Nw, Benchmark::LavaMd] {
+        let spec = bench.spec().scaled(0.05);
+        // Calibrate throughput against the cycles one run simulates.
+        let probe = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Technique::Baseline.make_scheduler(),
+            Technique::Baseline.make_gating(GatingParams::default()),
+        )
+        .run();
+        group.throughput(Throughput::Elements(probe.stats.cycles));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let sm = Sm::new(
+                        spec.sm_config(),
+                        spec.launch(),
+                        Technique::Baseline.make_scheduler(),
+                        Technique::Baseline.make_gating(GatingParams::default()),
+                    );
+                    sm.run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn technique_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("technique_overhead");
+    let spec = Benchmark::Hotspot.spec().scaled(0.05);
+    for technique in Technique::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.name()),
+            &technique,
+            |b, &t| {
+                b.iter(|| {
+                    let sm = Sm::new(
+                        spec.sm_config(),
+                        spec.launch(),
+                        t.make_scheduler(),
+                        t.make_gating(GatingParams::default()),
+                    );
+                    sm.run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, technique_overhead);
+criterion_main!(benches);

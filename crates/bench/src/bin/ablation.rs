@@ -1,0 +1,90 @@
+//! Ablation study of the design choices DESIGN.md §3a calls out:
+//! GATES' maximum priority hold, the lazy-wakeup hysteresis, and the
+//! backlog-wake threshold. Each row runs the full benchmark suite under
+//! GATES + Coordinated Blackout with one knob varied and reports the
+//! suite-average INT savings and geomean performance.
+
+use warped_bench::{print_table, scale_from_args};
+use warped_gates::{CoordinatedBlackoutPolicy, Experiment, GatesScheduler, Technique};
+use warped_gating::{Controller, GatingParams, StaticIdleDetect};
+use warped_isa::UnitType;
+use warped_power::PowerParams;
+use warped_sim::summary::{geomean, mean};
+use warped_sim::Sm;
+use warped_workloads::Benchmark;
+
+fn evaluate(scale: f64, make: impl Fn() -> GatesScheduler) -> (f64, f64) {
+    let power = PowerParams::default();
+    let baseline_exp = Experiment::paper_defaults().with_scale(scale);
+    let mut savings = Vec::new();
+    let mut perf = Vec::new();
+    for b in Benchmark::ALL {
+        let spec = b.spec().scaled(scale);
+        let baseline = baseline_exp.run(&b.spec(), Technique::Baseline);
+        let out = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Box::new(make()),
+            Box::new(Controller::new(
+                GatingParams::default(),
+                CoordinatedBlackoutPolicy::new(),
+                StaticIdleDetect::new(),
+            )),
+        )
+        .run();
+        assert!(!out.timed_out);
+        let baseline_static = 2.0 * baseline.cycles as f64;
+        let g = out
+            .gating
+            .sum_over(warped_sim::DomainId::domains_of(UnitType::Int));
+        let spent = (2.0 * out.stats.cycles as f64 - g.gated_cycles as f64)
+            + g.gate_events as f64 * power.gate_event_overhead(14);
+        savings.push(1.0 - spent / baseline_static);
+        perf.push(baseline.cycles as f64 / out.stats.cycles as f64);
+    }
+    (mean(&savings), geomean(&perf))
+}
+
+fn main() {
+    let scale = scale_from_args().min(0.3); // the grid is 18 benchmarks per row
+    let mut rows = Vec::new();
+
+    for (label, hold) in [
+        ("max_hold = 16", Some(16)),
+        ("max_hold = 64 (default)", Some(64)),
+        ("max_hold = 512", Some(512)),
+        ("max_hold = none", None),
+    ] {
+        let (s, p) = evaluate(scale, || match hold {
+            Some(h) => GatesScheduler::with_max_hold(h),
+            None => GatesScheduler::new(),
+        });
+        rows.push((label.to_owned(), vec![s, p]));
+        eprintln!("done {label}");
+    }
+    for lazy in [0u32, 1, 3, 8] {
+        let (s, p) = evaluate(scale, || {
+            GatesScheduler::with_max_hold(64).with_lazy_wake(lazy)
+        });
+        rows.push((format!("lazy_wake = {lazy}"), vec![s, p]));
+        eprintln!("done lazy {lazy}");
+    }
+    for backlog in [2u32, 4, 8, u32::MAX] {
+        let label = if backlog == u32::MAX {
+            "backlog = off".to_owned()
+        } else {
+            format!("backlog = {backlog}")
+        };
+        let (s, p) = evaluate(scale, || {
+            GatesScheduler::with_max_hold(64).with_wake_backlog(backlog)
+        });
+        rows.push((label, vec![s, p]));
+        eprintln!("done backlog {backlog}");
+    }
+
+    print_table(
+        "Ablation: GATES heuristics under Coordinated Blackout",
+        &["IntSavings", "PerfGeomean"],
+        &rows,
+    );
+}

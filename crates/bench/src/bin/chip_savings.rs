@@ -1,0 +1,68 @@
+//! Section 7.3's chip-level estimate: convert the measured
+//! execution-unit static-energy savings into total on-chip power
+//! savings using the GTX480 leakage figures from GPUWattch.
+//!
+//! Paper reference points: 30%–45% unit savings at a 33% chip leakage
+//! share yield 1.62%–2.43% of total on-chip power; at a 50% leakage
+//! share (future nodes), 2.46%–3.69%.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_isa::UnitType;
+use warped_power::chip;
+use warped_sim::summary::mean;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(scale, &[Technique::Baseline, Technique::WarpedGates]);
+    let power = warped_power::PowerParams::default();
+
+    let mut int_savings = Vec::new();
+    let mut fp_savings = Vec::new();
+    for b in Benchmark::ALL {
+        let baseline = grid.get(b, Technique::Baseline);
+        let run = grid.get(b, Technique::WarpedGates);
+        int_savings.push(run.static_savings(baseline, UnitType::Int, &power).fraction());
+        if !b.spec().mix.is_integer_only() {
+            fp_savings.push(run.static_savings(baseline, UnitType::Fp, &power).fraction());
+        }
+    }
+    let int_avg = mean(&int_savings);
+    let fp_avg = mean(&fp_savings);
+    // Weight the overall unit savings by each unit type's leakage share.
+    let total_unit_leak = chip::INT_UNITS_LEAKAGE_W + chip::FP_UNITS_LEAKAGE_W;
+    let unit_savings = (int_avg * chip::INT_UNITS_LEAKAGE_W + fp_avg * chip::FP_UNITS_LEAKAGE_W)
+        / total_unit_leak;
+
+    println!("\nmeasured Warped Gates savings: INT {:.1}%  FP {:.1}%", int_avg * 100.0, fp_avg * 100.0);
+    println!("leakage-weighted unit savings: {:.1}%", unit_savings * 100.0);
+    println!(
+        "execution units' share of chip leakage: {:.2}% (paper constant)",
+        chip::EXEC_UNIT_LEAKAGE_SHARE * 100.0
+    );
+
+    let rows = vec![
+        (
+            "leakage = 33% of chip power".to_owned(),
+            vec![
+                chip::total_chip_savings(0.33, unit_savings) * 100.0,
+                chip::total_chip_savings(0.33, 0.30) * 100.0,
+                chip::total_chip_savings(0.33, 0.45) * 100.0,
+            ],
+        ),
+        (
+            "leakage = 50% of chip power".to_owned(),
+            vec![
+                chip::total_chip_savings(0.50, unit_savings) * 100.0,
+                chip::total_chip_savings(0.50, 0.30) * 100.0,
+                chip::total_chip_savings(0.50, 0.45) * 100.0,
+            ],
+        ),
+    ];
+    print_table(
+        "Section 7.3: total on-chip power savings (%)",
+        &["measured", "paper@30%", "paper@45%"],
+        &rows,
+    );
+}

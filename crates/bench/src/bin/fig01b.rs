@@ -1,0 +1,54 @@
+//! Figure 1b: normalized energy breakdown (dynamic / power-gating
+//! overhead / static) of the integer and floating point units, for the
+//! no-gating baseline and conventional power gating, averaged over the
+//! benchmark suite.
+//!
+//! Paper reference points: in the baseline, static energy is ~50% of
+//! INT unit energy and >90% of FP unit energy; after conventional power
+//! gating, static still accounts for ~31% (INT) / ~61% (FP) and the
+//! gating overhead itself is ~11% / ~29%.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_isa::UnitType;
+use warped_power::PowerParams;
+use warped_sim::summary::mean;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(scale, &[Technique::Baseline, Technique::ConvPg]);
+    let power = PowerParams::default();
+
+    let mut rows = Vec::new();
+    for unit in [UnitType::Int, UnitType::Fp] {
+        for technique in [Technique::Baseline, Technique::ConvPg] {
+            let mut dyns = Vec::new();
+            let mut ovhs = Vec::new();
+            let mut stats = Vec::new();
+            for b in Benchmark::ALL {
+                if unit == UnitType::Fp && b.spec().mix.is_integer_only() {
+                    continue;
+                }
+                let baseline_total = grid
+                    .get(b, Technique::Baseline)
+                    .energy(unit, &power)
+                    .total();
+                let e = grid.get(b, technique).energy(unit, &power);
+                let (d, o, s) = e.normalized_to(baseline_total);
+                dyns.push(d);
+                ovhs.push(o);
+                stats.push(s);
+            }
+            rows.push((
+                format!("{unit} / {technique}"),
+                vec![mean(&dyns), mean(&ovhs), mean(&stats)],
+            ));
+        }
+    }
+    print_table(
+        "Figure 1b: normalized energy breakdown (fraction of baseline total)",
+        &["Dynamic", "Overhead", "Static"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 5: GPGPU workload characteristics under the baseline
+//! scheduler — (a) the dynamic instruction-type mix per benchmark and
+//! (b) the maximum and average active-warp-set size at runtime.
+//!
+//! Paper reference points: most benchmarks mix INT and FP substantially
+//! (lavaMD is the pure-integer outlier), and only 5 of the 18
+//! benchmarks average fewer than ten active warps.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_isa::UnitType;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(scale, &[Technique::Baseline]);
+
+    // 5a: measured dynamic instruction mix.
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let run = grid.get(b, Technique::Baseline);
+        let total = run.stats.instructions() as f64;
+        let vals: Vec<f64> = UnitType::ALL
+            .iter()
+            .map(|u| run.stats.issued(*u) as f64 / total)
+            .collect();
+        rows.push((b.name().to_owned(), vals));
+    }
+    print_table(
+        "Figure 5a: dynamic instruction mix (fractions)",
+        &["INT", "FP", "SFU", "LDST"],
+        &rows,
+    );
+
+    // 5b: active warp set size, sorted descending by average as in the
+    // paper's figure.
+    let mut occ: Vec<(String, Vec<f64>)> = Benchmark::ALL
+        .iter()
+        .map(|b| {
+            let run = grid.get(*b, Technique::Baseline);
+            (
+                b.name().to_owned(),
+                vec![
+                    f64::from(run.stats.active_warps_max),
+                    run.stats.avg_active_warps(),
+                ],
+            )
+        })
+        .collect();
+    occ.sort_by(|a, b| b.1[1].partial_cmp(&a.1[1]).expect("finite averages"));
+    print_table("Figure 5b: runtime active warps (sorted by average)", &["Max", "Average"], &occ);
+
+    let below_ten = occ.iter().filter(|(_, v)| v[1] < 10.0).count();
+    println!("\nbenchmarks averaging fewer than ten active warps: {below_ten} (paper: 5)");
+}

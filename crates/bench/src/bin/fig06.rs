@@ -1,0 +1,66 @@
+//! Figure 6: correlation between critical wakeups per 1000 cycles and
+//! normalized runtime, across static idle-detect values 0..=10 under
+//! Blackout power gating.
+//!
+//! Paper reference points: 11 of the 18 benchmarks show strong
+//! correlation (Pearson r > 0.9); the benchmarks with low |r| are those
+//! that never lose performance to Blackout in the first place, so the
+//! idle-detect window neither helps nor hurts them.
+
+use warped_bench::{print_table, scale_from_args};
+use warped_gates::{CoordinatedBlackoutPolicy, Experiment, GatesScheduler, Technique};
+use warped_gating::{Controller, GatingParams, StaticIdleDetect};
+use warped_isa::UnitType;
+use warped_sim::summary::pearson;
+use warped_sim::Sm;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let spec = b.spec().scaled(scale);
+        // Baseline runtime for normalisation.
+        let baseline = Experiment::paper_defaults()
+            .with_scale(1.0)
+            .run(&spec, Technique::Baseline);
+
+        let mut wakeups_per_kcycle = Vec::new();
+        let mut normalized_runtime = Vec::new();
+        for idle_detect in 0..=10u32 {
+            let params = GatingParams::with_idle_detect(idle_detect);
+            let sm = Sm::new(
+                spec.sm_config(),
+                spec.launch(),
+                Box::new(GatesScheduler::with_max_hold(Technique::GATES_MAX_HOLD)),
+                Box::new(Controller::new(
+                    params,
+                    CoordinatedBlackoutPolicy::new(),
+                    StaticIdleDetect::new(),
+                )),
+            );
+            let out = sm.run();
+            assert!(!out.timed_out, "{b} timed out at idle-detect {idle_detect}");
+            let crit: u64 = [UnitType::Int, UnitType::Fp]
+                .iter()
+                .flat_map(|u| warped_sim::DomainId::domains_of(*u))
+                .map(|d| out.gating.domain(*d).critical_wakeups)
+                .sum();
+            wakeups_per_kcycle.push(crit as f64 * 1000.0 / out.stats.cycles as f64);
+            normalized_runtime.push(out.stats.cycles as f64 / baseline.cycles as f64);
+        }
+        let r = pearson(&wakeups_per_kcycle, &normalized_runtime);
+        let max_wk = wakeups_per_kcycle.iter().cloned().fold(0.0, f64::max);
+        let max_rt = normalized_runtime.iter().cloned().fold(0.0, f64::max);
+        rows.push((b.name().to_owned(), vec![r, max_wk, max_rt]));
+        eprintln!("{b}: r={r:+.2}");
+    }
+    rows.sort_by(|a, b| b.1[0].partial_cmp(&a.1[0]).expect("finite r"));
+    print_table(
+        "Figure 6: critical-wakeup / runtime correlation over idle-detect 0..=10",
+        &["Pearson r", "maxWk/kcyc", "maxNormRT"],
+        &rows,
+    );
+    let strong = rows.iter().filter(|(_, v)| v[0] > 0.9).count();
+    println!("\nbenchmarks with r > 0.9: {strong} (paper: 11)");
+}

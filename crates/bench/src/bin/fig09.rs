@@ -1,0 +1,46 @@
+//! Figure 9: static energy savings of the integer (9a) and floating
+//! point (9b) units, per benchmark and averaged, for the five gated
+//! techniques, normalized to a no-power-gating baseline.
+//!
+//! Paper reference points: ConvPG saves 20.1% (INT) / 31.4% (FP);
+//! Warped Gates saves 31.6% (INT) / 46.5% (FP) — about 1.5× more.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_isa::UnitType;
+use warped_power::PowerParams;
+use warped_sim::summary::mean;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(scale, &Technique::ALL);
+    let power = PowerParams::default();
+
+    for (unit, figure) in [(UnitType::Int, "9a"), (UnitType::Fp, "9b")] {
+        let mut rows = Vec::new();
+        let mut sums: Vec<Vec<f64>> = vec![Vec::new(); Technique::GATED.len()];
+        for b in Benchmark::ALL {
+            // Figure 9b excludes integer-only benchmarks.
+            if unit == UnitType::Fp && b.spec().mix.is_integer_only() {
+                continue;
+            }
+            let baseline = grid.get(b, Technique::Baseline);
+            let mut vals = Vec::new();
+            for (i, t) in Technique::GATED.into_iter().enumerate() {
+                let run = grid.get(b, t);
+                let s = run.static_savings(baseline, unit, &power).fraction();
+                vals.push(s);
+                sums[i].push(s);
+            }
+            rows.push((b.name().to_owned(), vals));
+        }
+        let avg: Vec<f64> = sums.iter().map(|v| mean(v)).collect();
+        rows.push(("average".to_owned(), avg));
+        print_table(
+            &format!("Figure {figure}: {unit} static energy savings (fraction)"),
+            &["ConvPG", "GATES", "NaiveBO", "CoordBO", "WarpedGates"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 10: performance normalized to the no-gating baseline for the
+//! five gated techniques, per benchmark plus the geometric mean.
+//!
+//! Paper reference points: ConvPG and GATES lose ~1%, Naive Blackout
+//! ~5% (the worst), Coordinated Blackout ~2%, and Warped Gates is back
+//! to ~1% — virtually the same as conventional gating.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_sim::summary::geomean;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(scale, &Technique::ALL);
+
+    let mut rows = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); Technique::GATED.len()];
+    for b in Benchmark::ALL {
+        let baseline = grid.get(b, Technique::Baseline);
+        let mut vals = Vec::new();
+        for (i, t) in Technique::GATED.into_iter().enumerate() {
+            let perf = grid.get(b, t).normalized_performance(baseline);
+            vals.push(perf);
+            series[i].push(perf);
+        }
+        rows.push((b.name().to_owned(), vals));
+    }
+    rows.push((
+        "geomean".to_owned(),
+        series.iter().map(|v| geomean(v)).collect(),
+    ));
+    print_table(
+        "Figure 10: normalized performance (1.0 = baseline)",
+        &["ConvPG", "GATES", "NaiveBO", "CoordBO", "WarpedGates"],
+        &rows,
+    );
+}

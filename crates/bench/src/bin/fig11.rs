@@ -1,0 +1,73 @@
+//! Figure 11: sensitivity of energy savings and performance to the
+//! power-gating circuit parameters — (a) break-even time ∈ {9, 14, 19}
+//! and (b) wakeup delay ∈ {3, 6, 9} — for conventional power gating vs
+//! Warped Gates, averaged over the benchmark suite.
+//!
+//! Paper reference points: Warped Gates beats ConvPG at every
+//! break-even time and the gap widens as BET grows (at BET 19, ConvPG
+//! keeps only 17% of INT static energy savings vs 33% for Warped
+//! Gates). At a 9-cycle wakeup delay ConvPG collapses to 6%/10%
+//! (INT/FP) savings with ~10% performance loss, while Warped Gates
+//! sustains its savings with ~3% loss.
+
+use warped_bench::{print_table, scale_from_args};
+use warped_gates::{Experiment, Technique};
+use warped_gating::GatingParams;
+
+use warped_sim::summary::{geomean, mean};
+use warped_workloads::Benchmark;
+
+fn sweep(label: &str, scale: f64, params_of: impl Fn(u32) -> GatingParams, values: &[u32]) {
+    let mut rows = Vec::new();
+    for &v in values {
+        let params = params_of(v);
+        let experiment = Experiment::new(params).with_scale(scale);
+        for technique in [Technique::ConvPg, Technique::WarpedGates] {
+            let mut int_savings = Vec::new();
+            let mut fp_savings = Vec::new();
+            let mut perf = Vec::new();
+            for b in Benchmark::ALL {
+                let spec = b.spec();
+                let baseline = experiment.run(&spec, Technique::Baseline);
+                let run = experiment.run(&spec, technique);
+                int_savings.push(run.int_static_savings(&baseline).fraction());
+                if !spec.mix.is_integer_only() {
+                    fp_savings.push(run.fp_static_savings(&baseline).fraction());
+                }
+                perf.push(run.normalized_performance(&baseline));
+            }
+            rows.push((
+                format!("{label}={v} {technique}"),
+                vec![mean(&int_savings), mean(&fp_savings), geomean(&perf)],
+            ));
+            eprintln!("done {label}={v} {technique}");
+        }
+    }
+    print_table(
+        &format!("Figure 11: sensitivity to {label}"),
+        &["IntSavings", "FpSavings", "Perf"],
+        &rows,
+    );
+}
+
+fn main() {
+    let scale = scale_from_args();
+    sweep(
+        "BET",
+        scale,
+        |bet| GatingParams {
+            bet,
+            ..GatingParams::default()
+        },
+        &[9, 14, 19],
+    );
+    sweep(
+        "wakeup",
+        scale,
+        |wakeup_delay| GatingParams {
+            wakeup_delay,
+            ..GatingParams::default()
+        },
+        &[3, 6, 9],
+    );
+}

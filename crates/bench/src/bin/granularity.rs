@@ -1,0 +1,82 @@
+//! Gating-granularity study: whole-SM coarse gating (the related-work
+//! approach of Wang et al.) vs the paper's per-execution-unit schemes.
+//!
+//! Quantifies the paper's motivating argument against coarse gating:
+//! individual unit types idle long and often even while the SM as a
+//! whole stays busy, so SM-level gating leaves most of the static
+//! energy on the table.
+
+use warped_bench::{print_table, scale_from_args};
+use warped_gates::{Experiment, Technique};
+use warped_gating::{GatingParams, SmCoarseGating};
+use warped_isa::UnitType;
+use warped_power::PowerParams;
+use warped_sim::summary::{geomean, mean};
+use warped_sim::Sm;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let power = PowerParams::default();
+    let exp = Experiment::paper_defaults().with_scale(scale);
+
+    let mut rows = Vec::new();
+    let mut coarse_savings = Vec::new();
+    let mut conv_savings = Vec::new();
+    let mut warped_savings = Vec::new();
+    let mut coarse_perf = Vec::new();
+
+    for b in Benchmark::ALL {
+        let baseline = exp.run(&b.spec(), Technique::Baseline);
+        let conv = exp.run(&b.spec(), Technique::ConvPg);
+        let warped = exp.run(&b.spec(), Technique::WarpedGates);
+
+        let spec = b.spec().scaled(scale);
+        let coarse = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Technique::Baseline.make_scheduler(),
+            Box::new(SmCoarseGating::new(GatingParams::default())),
+        )
+        .run();
+        assert!(!coarse.timed_out, "{b} coarse run timed out");
+
+        let baseline_static = 2.0 * baseline.cycles as f64;
+        let coarse_int = coarse
+            .gating
+            .sum_over(warped_sim::DomainId::domains_of(UnitType::Int));
+        let coarse_spent = (2.0 * coarse.stats.cycles as f64 - coarse_int.gated_cycles as f64)
+            + coarse_int.gate_events as f64 * power.gate_event_overhead(14);
+        let coarse_frac = 1.0 - coarse_spent / baseline_static;
+
+        let conv_frac = conv.int_static_savings(&baseline).fraction();
+        let warped_frac = warped.int_static_savings(&baseline).fraction();
+        coarse_savings.push(coarse_frac);
+        conv_savings.push(conv_frac);
+        warped_savings.push(warped_frac);
+        coarse_perf.push(baseline.cycles as f64 / coarse.stats.cycles as f64);
+        rows.push((
+            b.name().to_owned(),
+            vec![coarse_frac, conv_frac, warped_frac],
+        ));
+        eprintln!("done {b}");
+    }
+    rows.push((
+        "average".to_owned(),
+        vec![
+            mean(&coarse_savings),
+            mean(&conv_savings),
+            mean(&warped_savings),
+        ],
+    ));
+    print_table(
+        "Gating granularity: INT static energy savings",
+        &["SM-Coarse", "ConvPG", "WarpedGates"],
+        &rows,
+    );
+    println!(
+        "\nSM-coarse performance geomean: {:.3} (it only gates a fully idle SM,\n\
+         so it is nearly free — and nearly useless on busy SMs)",
+        geomean(&coarse_perf)
+    );
+}

@@ -1,0 +1,49 @@
+//! Section 7.5's hardware overhead: the area and power cost of the
+//! counters GATES, Blackout, and adaptive idle detect add to each SM,
+//! against GPUWattch's SM figures.
+//!
+//! Paper reference points: 0.003% area, 0.08% dynamic power, and
+//! 0.0007% leakage power overhead per SM.
+
+use warped_power::hardware;
+
+fn main() {
+    println!("== Section 7.5: hardware overhead of the added counters ==");
+    println!();
+    println!("counter inventory per SM:");
+    println!(
+        "{:<52} {:>5} {:>10} {:>6}  mechanism",
+        "counter", "bits", "instances", "total"
+    );
+    for c in hardware::counter_inventory() {
+        println!(
+            "{:<52} {:>5} {:>10} {:>6}  {}",
+            c.name,
+            c.bits,
+            c.instances,
+            c.bits * c.instances,
+            c.mechanism
+        );
+    }
+    println!("total storage: {} bits per SM\n", hardware::total_bits());
+
+    let o = hardware::overhead();
+    println!(
+        "synthesized counter area : {:>10.1} um^2 of {:>6.1} mm^2 SM  -> {:.4}% (paper: 0.003%)",
+        hardware::COUNTERS_AREA_UM2,
+        hardware::SM_AREA_MM2,
+        o.area_fraction * 100.0
+    );
+    println!(
+        "dynamic power            : {:>10.2e} W of {:>6.2} W SM      -> {:.4}% (paper: 0.08%)",
+        hardware::COUNTERS_DYNAMIC_W,
+        hardware::SM_DYNAMIC_W,
+        o.dynamic_fraction * 100.0
+    );
+    println!(
+        "leakage power            : {:>10.2e} W of {:>6.2} W SM      -> {:.5}% (paper: 0.0007%)",
+        hardware::COUNTERS_LEAKAGE_W,
+        hardware::SM_LEAKAGE_W,
+        o.leakage_fraction * 100.0
+    );
+}

@@ -1,0 +1,47 @@
+//! Diagnostic probe: per-benchmark pipeline utilisation, idle-period
+//! structure, and occupancy under the baseline scheduler. Not a paper
+//! figure — a model-calibration aid.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_isa::UnitType;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(scale, &[Technique::Baseline, Technique::ConvPg]);
+
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let run = grid.get(b, Technique::Baseline);
+        let s = &run.stats;
+        let int_busy = 1.0 - s.idle_fraction(UnitType::Int);
+        let fp_busy = 1.0 - s.idle_fraction(UnitType::Fp);
+        let hist_int = run.idle_histogram(UnitType::Int);
+        let (w, n, l) = hist_int.region_shares(5, 14);
+        let conv = grid.get(b, Technique::ConvPg);
+        let gated_share = conv.gating_of(UnitType::Int).gated_cycles as f64
+            / (2.0 * conv.cycles as f64);
+        rows.push((
+            b.name().to_owned(),
+            vec![
+                s.ipc(),
+                s.avg_active_warps(),
+                f64::from(s.active_warps_max),
+                int_busy,
+                fp_busy,
+                w,
+                n,
+                l,
+                gated_share,
+            ],
+        ));
+    }
+    print_table(
+        "probe: baseline structure",
+        &[
+            "IPC", "avgActv", "maxActv", "INTbusy", "FPbusy", "id<=5", "mid", "long", "gatedShr",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,54 @@
+//! Diagnostic probe #2: why does GATES differ from ConvPG per
+//! benchmark? Compares runtime, wakeups, premature wakeups, and gated
+//! cycles for the INT unit. Not a paper figure.
+
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
+use warped_isa::UnitType;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = RunGrid::collect(
+        scale,
+        &[Technique::Baseline, Technique::ConvPg, Technique::Gates],
+    );
+
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let base = grid.get(b, Technique::Baseline);
+        let conv = grid.get(b, Technique::ConvPg);
+        let gates = grid.get(b, Technique::Gates);
+        let gi = |r: &warped_gates::TechniqueRun| {
+            let g = r.gating_of(UnitType::Int);
+            (
+                g.wakeups as f64,
+                g.premature_wakeups as f64,
+                g.gated_cycles as f64 / (2.0 * r.cycles as f64),
+            )
+        };
+        let (cw, cp, cg) = gi(conv);
+        let (gw, gp, gg) = gi(gates);
+        rows.push((
+            b.name().to_owned(),
+            vec![
+                conv.normalized_performance(base),
+                gates.normalized_performance(base),
+                cw,
+                gw,
+                cp,
+                gp,
+                cg,
+                gg,
+            ],
+        ));
+    }
+    print_table(
+        "probe2: ConvPG vs GATES (INT unit)",
+        &[
+            "perfConv", "perfGATES", "wkConv", "wkGATES", "preConv", "preGATES", "gatedConv",
+            "gatedGATES",
+        ],
+        &rows,
+    );
+}

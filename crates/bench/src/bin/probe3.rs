@@ -1,0 +1,48 @@
+//! Diagnostic probe #3: isolate GATES' scheduling cost from gating
+//! interactions by running GATES with gating disabled (AlwaysOn).
+
+use warped_bench::{print_table, scale_from_args};
+use warped_gates::{GatesScheduler, Technique};
+use warped_sim::{AlwaysOn, Sm, TwoLevelScheduler};
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let spec = b.spec().scaled(scale);
+        let base = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        let gates = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Box::new(GatesScheduler::with_max_hold(Technique::GATES_MAX_HOLD)),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        let gates_unbounded = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Box::new(GatesScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        rows.push((
+            b.name().to_owned(),
+            vec![
+                base.stats.cycles as f64 / gates.stats.cycles as f64,
+                base.stats.cycles as f64 / gates_unbounded.stats.cycles as f64,
+            ],
+        ));
+    }
+    print_table(
+        "probe3: GATES scheduling cost, no gating (1.0 = two-level)",
+        &["hold64", "unbounded"],
+        &rows,
+    );
+}

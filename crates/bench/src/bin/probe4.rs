@@ -1,0 +1,40 @@
+//! Diagnostic probe #4: cycle-accounting for one benchmark across all
+//! techniques — issue-slot usage, wakeups, critical wakeups, gate
+//! events. Not a paper figure.
+
+use warped_bench::{print_table, scale_from_args};
+use warped_gates::{Experiment, Technique};
+use warped_isa::UnitType;
+use warped_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let exp = Experiment::paper_defaults().with_scale(scale);
+    let bench = std::env::var("BENCH").unwrap_or_else(|_| "hotspot".to_owned());
+    let b = Benchmark::from_name(&bench).expect("unknown benchmark");
+
+    let mut rows = Vec::new();
+    for t in Technique::ALL {
+        let run = exp.run(&b.spec(), t);
+        let int = run.gating_of(UnitType::Int);
+        let fp = run.gating_of(UnitType::Fp);
+        rows.push((
+            t.name().to_owned(),
+            vec![
+                run.cycles as f64,
+                run.stats.idle_issue_cycles as f64,
+                run.stats.dual_issue_cycles as f64,
+                (int.wakeups + fp.wakeups) as f64,
+                (int.critical_wakeups + fp.critical_wakeups) as f64,
+                (int.gate_events + fp.gate_events) as f64,
+                (int.wakeup_cycles + fp.wakeup_cycles) as f64,
+                (int.demand_blocked_cycles + fp.demand_blocked_cycles) as f64,
+            ],
+        ));
+    }
+    print_table(
+        &format!("probe4: {bench} cycle accounting"),
+        &["cycles", "idleIss", "dualIss", "wakes", "critWk", "gates", "wakeCyc", "dmdBlk"],
+        &rows,
+    );
+}

@@ -1,0 +1,243 @@
+//! # warped-bench
+//!
+//! Shared machinery for the figure-regeneration binaries and Criterion
+//! benchmarks of the Warped Gates reproduction.
+//!
+//! Every figure in the paper's evaluation has a binary under
+//! `src/bin/` that re-runs the corresponding experiment and prints the
+//! same rows/series the paper plots (see `DESIGN.md` §4 for the index).
+//! This library hosts the pieces they share: a fixed-width table
+//! printer, a scale-factor argument parser, and a cached runner over the
+//! benchmark × technique grid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use warped_gates::{Experiment, Technique, TechniqueRun};
+use warped_workloads::Benchmark;
+
+/// Parses `--scale <f>` from the command line (default 1.0).
+///
+/// All figure binaries accept it so that a fast smoke run
+/// (`--scale 0.1`) and the full-size experiment use the same code path.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+#[must_use]
+pub fn scale_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 1.0;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("--scale needs a value"));
+                scale = v
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("--scale value '{v}' is not a number"));
+                assert!(scale > 0.0 && scale <= 1.0, "--scale must be in (0,1]");
+                i += 2;
+            }
+            other => panic!("unknown argument '{other}' (supported: --scale <f>)"),
+        }
+    }
+    scale
+}
+
+/// Prints a fixed-width table: a label column plus numeric columns.
+///
+/// When the `WARPED_BENCH_JSON` environment variable names a directory,
+/// the same table is also written there as
+/// `<slugified-title>.json` for machine consumption (plotting scripts,
+/// regression tracking).
+pub fn print_table(title: &str, headers: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<22}", "");
+    for h in headers {
+        print!("{h:>14}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<22}");
+        for v in values {
+            print!("{v:>14.4}");
+        }
+        println!();
+    }
+    if let Ok(dir) = std::env::var("WARPED_BENCH_JSON") {
+        if let Err(e) = write_json(&dir, title, headers, rows) {
+            eprintln!("warning: could not write JSON table: {e}");
+        }
+    }
+}
+
+/// Serialises one table as JSON into `dir/<slug>.json`.
+///
+/// The format is deliberately simple:
+/// `{"title": ..., "headers": [...], "rows": [{"label": ..., "values": [...]}]}`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the
+/// file.
+pub fn write_json(
+    dir: &str,
+    title: &str,
+    headers: &[&str],
+    rows: &[(String, Vec<f64>)],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_owned()
+        }
+    }
+
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+
+    let mut out = String::new();
+    let _ = write!(out, "{{\"title\":\"{}\",\"headers\":[", escape(title));
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", escape(h));
+    }
+    out.push_str("],\"rows\":[");
+    for (i, (label, values)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"label\":\"{}\",\"values\":[", escape(label));
+        for (j, v) in values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&num(*v));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(std::path::Path::new(dir).join(format!("{slug}.json")), out)
+}
+
+/// A cached grid of runs over the 18 benchmarks and the requested
+/// techniques, keyed by `(benchmark, technique)`.
+pub struct RunGrid {
+    experiment: Experiment,
+    runs: BTreeMap<(Benchmark, Technique), TechniqueRun>,
+}
+
+impl RunGrid {
+    /// Runs `techniques` on every benchmark at the given scale.
+    ///
+    /// Progress is reported on stderr since full-scale grids take a
+    /// while.
+    #[must_use]
+    pub fn collect(scale: f64, techniques: &[Technique]) -> Self {
+        let experiment = Experiment::paper_defaults().with_scale(scale);
+        let mut runs = BTreeMap::new();
+        for b in Benchmark::ALL {
+            eprint!("running {:<10}", b.name());
+            for &t in techniques {
+                let run = experiment.run(&b.spec(), t);
+                assert!(!run.timed_out, "{b}/{t} timed out");
+                runs.insert((b, t), run);
+                eprint!(" {t}✓");
+            }
+            eprintln!();
+        }
+        RunGrid { experiment, runs }
+    }
+
+    /// The experiment configuration behind this grid.
+    #[must_use]
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The cached run for one benchmark × technique pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of the collected grid.
+    #[must_use]
+    pub fn get(&self, b: Benchmark, t: Technique) -> &TechniqueRun {
+        self.runs
+            .get(&(b, t))
+            .unwrap_or_else(|| panic!("run {b}/{t} not collected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::UnitType;
+
+    #[test]
+    fn grid_collects_requested_pairs() {
+        let grid = RunGrid::collect(0.05, &[Technique::Baseline, Technique::ConvPg]);
+        for b in Benchmark::ALL {
+            assert!(grid.get(b, Technique::Baseline).cycles > 0);
+            assert!(grid.get(b, Technique::ConvPg).cycles > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not collected")]
+    fn missing_pair_panics() {
+        let grid = RunGrid::collect(0.05, &[Technique::Baseline]);
+        let _ = grid.get(Benchmark::Nw, Technique::WarpedGates);
+    }
+
+    #[test]
+    fn write_json_produces_parseable_output() {
+        let dir = std::env::temp_dir().join("warped_bench_json_test");
+        let rows = vec![
+            ("hotspot".to_owned(), vec![1.0, 0.5]),
+            ("quote\"d".to_owned(), vec![f64::NAN]),
+        ];
+        write_json(dir.to_str().unwrap(), "A \"Title\"", &["x", "y"], &rows).unwrap();
+        let path = dir.join("a_title.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"label\":\"hotspot\""));
+        assert!(text.contains("null"), "NaN becomes null");
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_runs_have_sensible_stats() {
+        let grid = RunGrid::collect(0.05, &[Technique::Baseline]);
+        let run = grid.get(Benchmark::Hotspot, Technique::Baseline);
+        assert!(run.stats.issued(UnitType::Int) > 0);
+        assert!(run.stats.issued(UnitType::Fp) > 0);
+    }
+}

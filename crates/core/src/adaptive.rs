@@ -1,0 +1,234 @@
+//! Adaptive idle detect (paper Section 5.1).
+
+use warped_gating::IdleDetectTuner;
+use warped_isa::UnitType;
+
+/// The runtime idle-detect tuner.
+///
+/// Execution is divided into epochs (1000 cycles in the paper). During
+/// each epoch the controller counts *critical wakeups* — wakeups that
+/// fire the very cycle a blackout period ends, i.e. an instruction was
+/// already waiting when the break-even timer expired. At each epoch
+/// boundary, per unit type:
+///
+/// * more critical wakeups than the threshold (5) → the idle-detect
+///   window grows by one (gate more conservatively), reacting quickly to
+///   performance-critical phases;
+/// * otherwise, after four consecutive clean epochs the window shrinks
+///   by one (recover gating aggressiveness slowly).
+///
+/// The window is bounded to 5..=10 cycles; the paper found bounded
+/// windows a better energy/performance trade-off than unbounded ones.
+/// INT and FP are tuned independently, since each application stresses
+/// them differently.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::AdaptiveIdleDetect;
+/// use warped_gating::IdleDetectTuner;
+/// use warped_isa::UnitType;
+///
+/// let mut tuner = AdaptiveIdleDetect::new();
+/// let mut window = 5;
+/// tuner.on_epoch(UnitType::Int, 9, &mut window); // breach → widen
+/// assert_eq!(window, 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveIdleDetect {
+    threshold: u32,
+    min: u32,
+    max: u32,
+    decrement_period: u32,
+    epoch_len: u64,
+    clean_epochs: [u32; 4],
+}
+
+impl AdaptiveIdleDetect {
+    /// Creates the tuner with the paper's constants: threshold 5,
+    /// bounds 5..=10, decrement every 4 clean epochs, 1000-cycle epochs.
+    #[must_use]
+    pub fn new() -> Self {
+        AdaptiveIdleDetect {
+            threshold: 5,
+            min: 5,
+            max: 10,
+            decrement_period: 4,
+            epoch_len: 1000,
+            clean_epochs: [0; 4],
+        }
+    }
+
+    /// Creates a tuner with explicit constants (for sensitivity
+    /// studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`, or if the decrement period or epoch
+    /// length is zero.
+    #[must_use]
+    pub fn with_constants(
+        threshold: u32,
+        min: u32,
+        max: u32,
+        decrement_period: u32,
+        epoch_len: u64,
+    ) -> Self {
+        assert!(min <= max, "min idle-detect must not exceed max");
+        assert!(decrement_period > 0, "decrement period must be positive");
+        assert!(epoch_len > 0, "epoch length must be positive");
+        AdaptiveIdleDetect {
+            threshold,
+            min,
+            max,
+            decrement_period,
+            epoch_len,
+            clean_epochs: [0; 4],
+        }
+    }
+
+    /// The critical-wakeup threshold per epoch.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The inclusive idle-detect bounds.
+    #[must_use]
+    pub fn bounds(&self) -> (u32, u32) {
+        (self.min, self.max)
+    }
+}
+
+impl Default for AdaptiveIdleDetect {
+    fn default() -> Self {
+        AdaptiveIdleDetect::new()
+    }
+}
+
+impl IdleDetectTuner for AdaptiveIdleDetect {
+    fn on_epoch(&mut self, unit: UnitType, critical_wakeups: u32, idle_detect: &mut u32) {
+        let ui = unit.index();
+        if critical_wakeups > self.threshold {
+            *idle_detect = (*idle_detect + 1).min(self.max).max(self.min);
+            self.clean_epochs[ui] = 0;
+        } else {
+            self.clean_epochs[ui] += 1;
+            if self.clean_epochs[ui] >= self.decrement_period {
+                *idle_detect = idle_detect.saturating_sub(1).max(self.min);
+                self.clean_epochs[ui] = 0;
+            }
+        }
+    }
+
+    fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    fn name(&self) -> &'static str {
+        "AdaptiveIdleDetect"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breach_widens_window_by_one() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w = 5;
+        t.on_epoch(UnitType::Int, 6, &mut w);
+        assert_eq!(w, 6);
+        t.on_epoch(UnitType::Int, 100, &mut w);
+        assert_eq!(w, 7);
+    }
+
+    #[test]
+    fn threshold_is_strictly_greater_than() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w = 5;
+        t.on_epoch(UnitType::Int, 5, &mut w);
+        assert_eq!(w, 5, "exactly 5 critical wakeups is not a breach");
+    }
+
+    #[test]
+    fn window_is_bounded_above_by_ten() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w = 5;
+        for _ in 0..20 {
+            t.on_epoch(UnitType::Fp, 50, &mut w);
+        }
+        assert_eq!(w, 10);
+    }
+
+    #[test]
+    fn four_clean_epochs_shrink_the_window() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w = 8;
+        for i in 0..3 {
+            t.on_epoch(UnitType::Int, 0, &mut w);
+            assert_eq!(w, 8, "epoch {i}: not yet");
+        }
+        t.on_epoch(UnitType::Int, 0, &mut w);
+        assert_eq!(w, 7, "fourth clean epoch decrements");
+    }
+
+    #[test]
+    fn breach_resets_the_clean_epoch_run() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w = 8;
+        t.on_epoch(UnitType::Int, 0, &mut w);
+        t.on_epoch(UnitType::Int, 0, &mut w);
+        t.on_epoch(UnitType::Int, 9, &mut w); // breach → w=9, run reset
+        assert_eq!(w, 9);
+        for _ in 0..3 {
+            t.on_epoch(UnitType::Int, 0, &mut w);
+        }
+        assert_eq!(w, 9, "needs four clean epochs after the reset");
+        t.on_epoch(UnitType::Int, 0, &mut w);
+        assert_eq!(w, 8);
+    }
+
+    #[test]
+    fn window_is_bounded_below_by_five() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w = 5;
+        for _ in 0..20 {
+            t.on_epoch(UnitType::Fp, 0, &mut w);
+        }
+        assert_eq!(w, 5);
+    }
+
+    #[test]
+    fn int_and_fp_are_tuned_independently() {
+        let mut t = AdaptiveIdleDetect::new();
+        let mut w_int = 8;
+        let mut w_fp = 8;
+        for _ in 0..3 {
+            t.on_epoch(UnitType::Int, 0, &mut w_int);
+        }
+        // FP epochs must not advance INT's clean-run counter.
+        for _ in 0..4 {
+            t.on_epoch(UnitType::Fp, 0, &mut w_fp);
+        }
+        assert_eq!(w_fp, 7);
+        assert_eq!(w_int, 8, "INT still needs one more clean epoch");
+        t.on_epoch(UnitType::Int, 0, &mut w_int);
+        assert_eq!(w_int, 7);
+    }
+
+    #[test]
+    fn paper_constants_exposed() {
+        let t = AdaptiveIdleDetect::new();
+        assert_eq!(t.threshold(), 5);
+        assert_eq!(t.bounds(), (5, 10));
+        assert_eq!(t.epoch_len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "min idle-detect")]
+    fn inverted_bounds_rejected() {
+        let _ = AdaptiveIdleDetect::with_constants(5, 10, 5, 4, 1000);
+    }
+}

@@ -1,0 +1,222 @@
+//! Blackout power gating (paper Section 5).
+//!
+//! Both policies remove the uncompensated→wakeup edge from the
+//! conventional state machine for the four CUDA-core clusters: once
+//! gated, a cluster sleeps for at least the break-even time, even when
+//! ready instructions wait for it. SFU and LDST keep the conventional
+//! rules (the paper applies Blackout only to the INT/FP clusters).
+
+use warped_gating::{GatePolicy, PolicyCtx};
+
+/// Naive Blackout: conventional idle-detect entry, break-even-locked
+/// exit, every cluster on its own.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::NaiveBlackoutPolicy;
+/// use warped_gating::{Controller, GatingParams, StaticIdleDetect};
+///
+/// let ctl = Controller::new(
+///     GatingParams::default(),
+///     NaiveBlackoutPolicy::new(),
+///     StaticIdleDetect::new(),
+/// );
+/// assert_eq!(warped_sim::PowerGating::name(&ctl), "NaiveBlackout");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveBlackoutPolicy {
+    _private: (),
+}
+
+impl NaiveBlackoutPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        NaiveBlackoutPolicy { _private: () }
+    }
+}
+
+impl GatePolicy for NaiveBlackoutPolicy {
+    fn should_gate(&self, ctx: &PolicyCtx<'_>) -> bool {
+        ctx.idle_run >= ctx.idle_detect
+    }
+
+    fn may_wake(&self, ctx: &PolicyCtx<'_>, elapsed: u32) -> bool {
+        if ctx.domain.is_cuda_core() {
+            elapsed >= ctx.params.bet
+        } else {
+            true
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NaiveBlackout"
+    }
+}
+
+/// Coordinated Blackout: Blackout plus cluster coordination.
+///
+/// While every cluster of a type is awake, the usual idle-detect window
+/// applies. Once any cluster of the type is in blackout, the remaining
+/// awake clusters stop using idle-detect and instead consult the type's
+/// active-warp subset (`INT_ACTV`/`FP_ACTV`):
+///
+/// * subset empty → gate *immediately*, even if the idle run is shorter
+///   than the window;
+/// * subset non-empty → the *last* awake cluster of the type never
+///   gates, so a soon-to-be-ready warp never pays a wakeup.
+///
+/// At least one cluster of a type therefore stays on whenever warps of
+/// that type are waiting — the property the paper uses to recover Naive
+/// Blackout's performance loss. With the paper's two Fermi clusters this
+/// reduces exactly to its description ("the second cluster"); the same
+/// rule generalises unchanged to the Kepler-like six-cluster and
+/// GCN-like four-cluster layouts the paper's Section 5 points at.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinatedBlackoutPolicy {
+    _private: (),
+}
+
+impl CoordinatedBlackoutPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        CoordinatedBlackoutPolicy { _private: () }
+    }
+}
+
+impl GatePolicy for CoordinatedBlackoutPolicy {
+    fn should_gate(&self, ctx: &PolicyCtx<'_>) -> bool {
+        if !ctx.domain.is_cuda_core() {
+            return ctx.idle_run >= ctx.idle_detect;
+        }
+        // The last awake cluster of a type never abandons waiting warps.
+        if ctx.active_subset > 0 && ctx.peers.active == 0 && ctx.peers.total() > 0 {
+            return false;
+        }
+        if ctx.peers.gated > 0 {
+            // A sibling is already in blackout: the active subset
+            // decides, not the idle-detect window.
+            ctx.active_subset == 0
+        } else {
+            ctx.idle_run >= ctx.idle_detect
+        }
+    }
+
+    fn may_wake(&self, ctx: &PolicyCtx<'_>, elapsed: u32) -> bool {
+        if ctx.domain.is_cuda_core() {
+            elapsed >= ctx.params.bet
+        } else {
+            true
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CoordinatedBlackout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_gating::{GateState, GatingParams, PeerSummary};
+    use warped_sim::DomainId;
+
+    fn ctx<'a>(
+        params: &'a GatingParams,
+        domain: DomainId,
+        idle_run: u32,
+        peer_states: &[GateState],
+        active_subset: u32,
+    ) -> PolicyCtx<'a> {
+        PolicyCtx {
+            domain,
+            params,
+            idle_detect: params.idle_detect,
+            idle_run,
+            peers: PeerSummary::from_states(peer_states),
+            active_subset,
+            demand: 0,
+        }
+    }
+
+    #[test]
+    fn naive_blackout_locks_until_bet() {
+        let p = GatingParams::default();
+        let policy = NaiveBlackoutPolicy::new();
+        let c = ctx(&p, DomainId::INT0, 0, &[], 0);
+        assert!(!policy.may_wake(&c, 13));
+        assert!(policy.may_wake(&c, 14));
+        assert!(policy.may_wake(&c, 15));
+    }
+
+    #[test]
+    fn naive_blackout_keeps_conventional_rules_for_sfu_and_ldst() {
+        let p = GatingParams::default();
+        let policy = NaiveBlackoutPolicy::new();
+        for d in [DomainId::SFU, DomainId::LDST] {
+            let c = ctx(&p, d, 0, &[], 0);
+            assert!(policy.may_wake(&c, 1), "{d} wakes like conventional PG");
+        }
+    }
+
+    #[test]
+    fn naive_gate_entry_uses_idle_detect() {
+        let p = GatingParams::default();
+        let policy = NaiveBlackoutPolicy::new();
+        assert!(!policy.should_gate(&ctx(&p, DomainId::FP0, 4, &[], 3)));
+        assert!(policy.should_gate(&ctx(&p, DomainId::FP0, 5, &[], 3)));
+    }
+
+    #[test]
+    fn coordinated_gates_second_cluster_immediately_when_subset_empty() {
+        let p = GatingParams::default();
+        let policy = CoordinatedBlackoutPolicy::new();
+        let peer_gated = [GateState::Gated { elapsed: 3 }];
+        // Idle for only 1 cycle, but peer gated and no waiting warps.
+        assert!(policy.should_gate(&ctx(&p, DomainId::INT1, 1, &peer_gated, 0)));
+    }
+
+    #[test]
+    fn coordinated_never_gates_second_cluster_while_warps_wait() {
+        let p = GatingParams::default();
+        let policy = CoordinatedBlackoutPolicy::new();
+        let peer_gated = [GateState::Gated { elapsed: 3 }];
+        // Idle far beyond the window, but one warp waits in the subset.
+        assert!(!policy.should_gate(&ctx(&p, DomainId::INT1, 50, &peer_gated, 1)));
+    }
+
+    #[test]
+    fn coordinated_uses_idle_detect_while_peer_awake() {
+        let p = GatingParams::default();
+        let policy = CoordinatedBlackoutPolicy::new();
+        let peer_on = [GateState::active()];
+        assert!(!policy.should_gate(&ctx(&p, DomainId::INT1, 4, &peer_on, 0)));
+        assert!(policy.should_gate(&ctx(&p, DomainId::INT1, 5, &peer_on, 0)));
+        // A waking peer counts as not-in-blackout, but with no *active*
+        // peer the last-awake rule protects waiting warps.
+        let peer_waking = [GateState::Waking { left: 2 }];
+        assert!(!policy.should_gate(&ctx(&p, DomainId::INT1, 5, &peer_waking, 1)));
+        assert!(policy.should_gate(&ctx(&p, DomainId::INT1, 5, &peer_waking, 0)));
+    }
+
+    #[test]
+    fn coordinated_blackout_locks_cuda_cores_until_bet() {
+        let p = GatingParams::default();
+        let policy = CoordinatedBlackoutPolicy::new();
+        let c = ctx(&p, DomainId::FP1, 0, &[GateState::active()], 2);
+        assert!(!policy.may_wake(&c, 13));
+        assert!(policy.may_wake(&c, 14));
+        let sfu = ctx(&p, DomainId::SFU, 0, &[], 0);
+        assert!(policy.may_wake(&sfu, 1));
+    }
+
+    #[test]
+    fn coordinated_sfu_ldst_keep_idle_detect_entry() {
+        let p = GatingParams::default();
+        let policy = CoordinatedBlackoutPolicy::new();
+        assert!(!policy.should_gate(&ctx(&p, DomainId::LDST, 4, &[], 9)));
+        assert!(policy.should_gate(&ctx(&p, DomainId::LDST, 5, &[], 9)));
+    }
+}

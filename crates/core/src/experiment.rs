@@ -1,0 +1,245 @@
+//! The experiment runner: benchmark × technique → report.
+
+use crate::report::RunReport;
+use crate::technique::Technique;
+use warped_gating::GatingParams;
+use warped_sim::{DomainLayout, Sm};
+use warped_workloads::BenchmarkSpec;
+
+/// An experiment configuration: gating parameters plus a workload scale
+/// factor.
+///
+/// The scale factor proportionally shrinks every benchmark (fewer warps,
+/// fewer loop trips) so the full 18-benchmark × 6-technique grid can run
+/// in seconds during tests while the benches run at full size.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::{Experiment, Technique};
+/// use warped_workloads::Benchmark;
+///
+/// let exp = Experiment::quick_for_tests();
+/// let run = exp.run(&Benchmark::Nw.spec(), Technique::ConvPg);
+/// assert_eq!(run.report.technique, Technique::ConvPg);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    params: GatingParams,
+    scale: f64,
+    layout: DomainLayout,
+    issue_width: Option<usize>,
+}
+
+/// A completed technique run, pairing the report with the spec it ran.
+#[derive(Debug)]
+pub struct TechniqueRun {
+    /// The full report.
+    pub report: RunReport,
+}
+
+impl std::ops::Deref for TechniqueRun {
+    type Target = RunReport;
+
+    fn deref(&self) -> &RunReport {
+        &self.report
+    }
+}
+
+impl Experiment {
+    /// Full-scale experiment with explicit gating parameters.
+    #[must_use]
+    pub fn new(params: GatingParams) -> Self {
+        params.validate();
+        Experiment {
+            params,
+            scale: 1.0,
+            layout: DomainLayout::fermi(),
+            issue_width: None,
+        }
+    }
+
+    /// Full-scale experiment with the paper's default parameters
+    /// (idle-detect 5, BET 14, wakeup 3).
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Experiment::new(GatingParams::default())
+    }
+
+    /// A heavily scaled-down experiment for fast unit tests.
+    #[must_use]
+    pub fn quick_for_tests() -> Self {
+        Experiment {
+            scale: 0.08,
+            ..Experiment::new(GatingParams::default())
+        }
+    }
+
+    /// Targets a different clustered architecture (e.g.
+    /// [`DomainLayout::kepler`]) with an optional issue-width override
+    /// (wider machines usually issue more per cycle).
+    #[must_use]
+    pub fn with_architecture(mut self, layout: DomainLayout, issue_width: Option<usize>) -> Self {
+        self.layout = layout;
+        self.issue_width = issue_width;
+        self
+    }
+
+    /// Overrides the workload scale factor (in `(0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        self.scale = scale;
+        self
+    }
+
+    /// The gating parameters in effect.
+    #[must_use]
+    pub fn params(&self) -> &GatingParams {
+        &self.params
+    }
+
+    /// Runs one benchmark under one technique on a single SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark spec fails validation.
+    #[must_use]
+    pub fn run(&self, spec: &BenchmarkSpec, technique: Technique) -> TechniqueRun {
+        let spec = if self.scale < 1.0 {
+            spec.scaled(self.scale)
+        } else {
+            spec.clone()
+        };
+        let mut cfg = spec.sm_config();
+        cfg.sp_clusters = self.layout.sp_clusters();
+        if let Some(w) = self.issue_width {
+            cfg.issue_width = w;
+        }
+        let sm = Sm::new(
+            cfg,
+            spec.launch(),
+            technique.make_scheduler(),
+            technique.make_gating_with_layout(self.params, self.layout),
+        );
+        let outcome = sm.run();
+        TechniqueRun {
+            report: RunReport {
+                benchmark: spec.name.to_owned(),
+                technique,
+                params: self.params,
+                cycles: outcome.stats.cycles,
+                timed_out: outcome.timed_out,
+                stats: outcome.stats,
+                gating: outcome.gating,
+            },
+        }
+    }
+
+    /// Runs every technique on one benchmark, in [`Technique::ALL`]
+    /// order, returning the runs in the same order.
+    #[must_use]
+    pub fn run_all_techniques(&self, spec: &BenchmarkSpec) -> Vec<TechniqueRun> {
+        Technique::ALL
+            .into_iter()
+            .map(|t| self.run(spec, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::UnitType;
+    use warped_workloads::Benchmark;
+
+    #[test]
+    fn runs_complete_without_timeout() {
+        let exp = Experiment::quick_for_tests();
+        for t in Technique::ALL {
+            let run = exp.run(&Benchmark::Hotspot.spec(), t);
+            assert!(!run.timed_out, "{t} timed out");
+            assert!(run.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn baseline_never_gates() {
+        let exp = Experiment::quick_for_tests();
+        let run = exp.run(&Benchmark::Srad.spec(), Technique::Baseline);
+        assert_eq!(run.gating_of(UnitType::Int).gate_events, 0);
+        assert_eq!(run.gating_of(UnitType::Fp).gated_cycles, 0);
+    }
+
+    #[test]
+    fn gated_techniques_actually_gate() {
+        let exp = Experiment::quick_for_tests();
+        for t in Technique::GATED {
+            let run = exp.run(&Benchmark::Hotspot.spec(), t);
+            let g = run.gating_of(UnitType::Fp);
+            assert!(g.gate_events > 0, "{t} never gated the FP clusters");
+        }
+    }
+
+    #[test]
+    fn blackout_has_no_premature_wakeups_on_cuda_cores() {
+        let exp = Experiment::quick_for_tests();
+        for t in [
+            Technique::NaiveBlackout,
+            Technique::CoordinatedBlackout,
+            Technique::WarpedGates,
+        ] {
+            let run = exp.run(&Benchmark::Hotspot.spec(), t);
+            assert_eq!(
+                run.gating_of(UnitType::Int).premature_wakeups,
+                0,
+                "{t}: blackout must forbid pre-BET wakeups"
+            );
+            assert_eq!(run.gating_of(UnitType::Fp).premature_wakeups, 0);
+        }
+    }
+
+    #[test]
+    fn conventional_gating_does_wake_prematurely_somewhere() {
+        // The whole point of the paper: ConvPG wakes before break-even.
+        let exp = Experiment::quick_for_tests();
+        let mut premature = 0;
+        for b in [Benchmark::Hotspot, Benchmark::Srad, Benchmark::Lbm] {
+            let run = exp.run(&b.spec(), Technique::ConvPg);
+            premature += run.gating_of(UnitType::Int).premature_wakeups
+                + run.gating_of(UnitType::Fp).premature_wakeups;
+        }
+        assert!(premature > 0, "ConvPG should exhibit net-negative gating events");
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let exp = Experiment::quick_for_tests();
+        let a = exp.run(&Benchmark::Mri.spec(), Technique::WarpedGates);
+        let b = exp.run(&Benchmark::Mri.spec(), Technique::WarpedGates);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(
+            a.gating_of(UnitType::Fp).gated_cycles,
+            b.gating_of(UnitType::Fp).gated_cycles
+        );
+    }
+
+    #[test]
+    fn run_all_techniques_covers_the_grid() {
+        let exp = Experiment::quick_for_tests();
+        let runs = exp.run_all_techniques(&Benchmark::Nw.spec());
+        assert_eq!(runs.len(), 6);
+        assert_eq!(runs[0].technique, Technique::Baseline);
+        assert_eq!(runs[5].technique, Technique::WarpedGates);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn invalid_scale_rejected() {
+        let _ = Experiment::paper_defaults().with_scale(1.5);
+    }
+}

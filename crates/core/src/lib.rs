@@ -1,0 +1,57 @@
+//! # warped-gates
+//!
+//! The primary contribution of *Warped Gates: Gating Aware Scheduling and
+//! Power Gating for GPGPUs* (MICRO 2013), rebuilt on the `warped-sim`
+//! substrate:
+//!
+//! * [`GatesScheduler`] — the **G**ating **A**ware **T**wo-level
+//!   **S**cheduler (GATES). It keeps issuing instructions of the current
+//!   highest-priority type (INT or FP, with LDST then SFU in between and
+//!   the other CUDA-core type last) and switches priority dynamically
+//!   when the high-priority active-warp subset drains, coalescing each
+//!   execution unit's busy cycles — and therefore its idle periods.
+//! * [`NaiveBlackoutPolicy`] and [`CoordinatedBlackoutPolicy`] — the
+//!   **Blackout** power-gating schemes. A gated CUDA-core cluster cannot
+//!   wake before the break-even time elapses, eliminating net-negative
+//!   gating events; the coordinated variant additionally consults the
+//!   peer cluster and the active-subset occupancy before gating the
+//!   second cluster of a type.
+//! * [`AdaptiveIdleDetect`] — the runtime idle-detect tuner driven by
+//!   critical-wakeup counts per 1000-cycle epoch.
+//! * [`Technique`] — the paper's evaluated configurations (`Baseline`,
+//!   `ConvPG`, `GATES`, `Naive Blackout`, `Coordinated Blackout`,
+//!   `Warped Gates`), and [`Experiment`] — a one-call runner that
+//!   produces a [`RunReport`] with every metric the paper's figures
+//!   plot.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use warped_gates::{Experiment, Technique};
+//! use warped_workloads::Benchmark;
+//!
+//! let experiment = Experiment::quick_for_tests();
+//! let spec = Benchmark::Hotspot.spec().scaled(0.05);
+//! let baseline = experiment.run(&spec, Technique::Baseline);
+//! let warped = experiment.run(&spec, Technique::WarpedGates);
+//! assert!(warped.report.cycles > 0);
+//! let savings = warped.int_static_savings(&baseline);
+//! assert!(savings.fraction() <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod blackout;
+mod experiment;
+mod gates;
+mod report;
+mod technique;
+
+pub use adaptive::AdaptiveIdleDetect;
+pub use blackout::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
+pub use experiment::{Experiment, TechniqueRun};
+pub use gates::GatesScheduler;
+pub use report::RunReport;
+pub use technique::Technique;

@@ -1,0 +1,197 @@
+//! Run reports: every metric the paper's figures plot, from one run.
+
+use crate::technique::Technique;
+use warped_gating::GatingParams;
+use warped_isa::UnitType;
+use warped_power::{EnergyBreakdown, PowerParams, StaticSavings};
+use warped_sim::{DomainGatingStats, GatingReport, IdleHistogram, SimStats};
+
+/// The outcome of running one benchmark under one technique.
+///
+/// Wraps the raw simulator and gating statistics with the derived
+/// metrics the paper reports: normalized performance (Figure 10), idle
+/// fraction (8a), compensated-cycle share (8b), wakeups (8c), critical
+/// wakeups per kilocycle (Figure 6), idle-period region shares (Figure
+/// 3) and energy (Figures 1b and 9).
+#[derive(Debug)]
+pub struct RunReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The technique that produced this run.
+    pub technique: Technique,
+    /// Gating parameters in effect.
+    pub params: GatingParams,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Whether the run hit the simulator's cycle cap.
+    pub timed_out: bool,
+    /// Raw simulator statistics.
+    pub stats: SimStats,
+    /// Raw gating counters.
+    pub gating: GatingReport,
+}
+
+impl RunReport {
+    /// Normalized performance against a baseline run of the same
+    /// workload: `baseline_cycles / cycles` (1.0 = no slowdown, lower is
+    /// worse), the Figure 10 metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run has zero cycles.
+    #[must_use]
+    pub fn normalized_performance(&self, baseline: &RunReport) -> f64 {
+        assert!(self.cycles > 0 && baseline.cycles > 0, "empty runs");
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Fraction of unit-cycles that were idle for `unit` (Figure 8a's
+    /// numerator before normalisation to the baseline).
+    #[must_use]
+    pub fn idle_fraction(&self, unit: UnitType) -> f64 {
+        self.stats.idle_fraction(unit)
+    }
+
+    /// Summed gating counters over the domains of `unit` (respecting
+    /// the run's clustered-architecture layout).
+    #[must_use]
+    pub fn gating_of(&self, unit: UnitType) -> DomainGatingStats {
+        self.gating.sum_over(self.stats.layout.domains_of(unit))
+    }
+
+    /// Net compensated-cycle share for `unit`: compensated minus
+    /// uncompensated gated cycles over total unit-cycles. Negative means
+    /// the unit spent more gated time before break-even than after —
+    /// Figure 8b's negative bars.
+    #[must_use]
+    pub fn net_compensated_share(&self, unit: UnitType) -> f64 {
+        let g = self.gating_of(unit);
+        let capacity = (self.stats.layout.domains_of(unit).len() as u64 * self.cycles) as f64;
+        if capacity == 0.0 {
+            return 0.0;
+        }
+        (g.compensated_cycles as f64 - g.uncompensated_cycles as f64) / capacity
+    }
+
+    /// Total wakeups for `unit` (the Figure 8c quantity, to be
+    /// normalized to the ConvPG run).
+    #[must_use]
+    pub fn wakeups(&self, unit: UnitType) -> u64 {
+        self.gating_of(unit).wakeups
+    }
+
+    /// Critical wakeups per 1000 cycles for `unit` (Figure 6's x axis).
+    #[must_use]
+    pub fn critical_wakeups_per_kcycle(&self, unit: UnitType) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.gating_of(unit).critical_wakeups as f64 * 1000.0 / self.cycles as f64
+    }
+
+    /// Merged idle-period histogram over the domains of `unit`
+    /// (Figure 3's distribution).
+    #[must_use]
+    pub fn idle_histogram(&self, unit: UnitType) -> IdleHistogram {
+        self.stats.idle_histogram(unit)
+    }
+
+    /// Energy breakdown for `unit` under `power` (Figure 1b's bars).
+    #[must_use]
+    pub fn energy(&self, unit: UnitType, power: &PowerParams) -> EnergyBreakdown {
+        EnergyBreakdown::from_run(power, &self.stats, &self.gating, unit, self.params.bet)
+    }
+
+    /// Static-energy savings for `unit` against a baseline (no gating)
+    /// run — the Figure 9 metric.
+    #[must_use]
+    pub fn static_savings(
+        &self,
+        baseline: &RunReport,
+        unit: UnitType,
+        power: &PowerParams,
+    ) -> StaticSavings {
+        StaticSavings::for_unit(
+            power,
+            &baseline.stats,
+            &self.stats,
+            &self.gating,
+            unit,
+            self.params.bet,
+        )
+    }
+
+    /// Convenience: INT static savings with default power parameters.
+    #[must_use]
+    pub fn int_static_savings(&self, baseline: &RunReport) -> StaticSavings {
+        self.static_savings(baseline, UnitType::Int, &PowerParams::default())
+    }
+
+    /// Convenience: FP static savings with default power parameters.
+    #[must_use]
+    pub fn fp_static_savings(&self, baseline: &RunReport) -> StaticSavings {
+        self.static_savings(baseline, UnitType::Fp, &PowerParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_sim::DomainId;
+
+    fn dummy(cycles: u64) -> RunReport {
+        let mut stats = SimStats::new();
+        stats.cycles = cycles;
+        RunReport {
+            benchmark: "dummy".into(),
+            technique: Technique::ConvPg,
+            params: GatingParams::default(),
+            cycles,
+            timed_out: false,
+            stats,
+            gating: GatingReport::new(),
+        }
+    }
+
+    #[test]
+    fn normalized_performance_is_ratio_of_cycles() {
+        let base = dummy(1000);
+        let slower = dummy(1100);
+        assert!((slower.normalized_performance(&base) - 1000.0 / 1100.0).abs() < 1e-12);
+        assert!((base.normalized_performance(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_compensated_share_signs() {
+        let mut r = dummy(1000);
+        r.gating.domain_mut(DomainId::INT0).compensated_cycles = 300;
+        r.gating.domain_mut(DomainId::INT0).uncompensated_cycles = 100;
+        assert!(r.net_compensated_share(UnitType::Int) > 0.0);
+        r.gating.domain_mut(DomainId::INT1).uncompensated_cycles = 500;
+        assert!(r.net_compensated_share(UnitType::Int) < 0.0);
+    }
+
+    #[test]
+    fn critical_wakeups_scale_to_kilocycles() {
+        let mut r = dummy(2000);
+        r.gating.domain_mut(DomainId::FP0).critical_wakeups = 4;
+        assert!((r.critical_wakeups_per_kcycle(UnitType::Fp) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_of_ungated_run_is_all_static_plus_dynamic() {
+        let mut r = dummy(100);
+        r.stats.issued_by_type[UnitType::Int.index()] = 10;
+        let e = r.energy(UnitType::Int, &PowerParams::default());
+        assert_eq!(e.overhead, 0.0);
+        assert_eq!(e.static_energy, 200.0);
+        assert!(e.dynamic > 0.0);
+    }
+
+    #[test]
+    fn savings_of_identical_ungated_runs_is_zero() {
+        let base = dummy(500);
+        let s = base.int_static_savings(&base);
+        assert!(s.fraction().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! The evaluated technique stacks (the naming convention of Section 7.2).
+
+use crate::adaptive::AdaptiveIdleDetect;
+use crate::blackout::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
+use crate::gates::GatesScheduler;
+use std::fmt;
+use warped_gating::{Controller, GatingParams, StaticIdleDetect};
+use warped_sim::{AlwaysOn, DomainLayout, PowerGating, TwoLevelScheduler, WarpScheduler};
+
+/// One of the paper's evaluated configurations.
+///
+/// Following Section 7.2's naming convention:
+///
+/// | Variant | Scheduler | Gating |
+/// |---|---|---|
+/// | `Baseline` | two-level | none (always on) |
+/// | `ConvPg` | two-level | conventional |
+/// | `Gates` | GATES | conventional |
+/// | `NaiveBlackout` | GATES | naive Blackout |
+/// | `CoordinatedBlackout` | GATES | coordinated Blackout |
+/// | `WarpedGates` | GATES | coordinated Blackout + adaptive idle detect |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Technique {
+    /// Two-level scheduler, no power gating.
+    Baseline,
+    /// Conventional power gating under the two-level scheduler.
+    ConvPg,
+    /// GATES scheduling with conventional power gating.
+    Gates,
+    /// GATES + Naive Blackout.
+    NaiveBlackout,
+    /// GATES + Coordinated Blackout.
+    CoordinatedBlackout,
+    /// GATES + Coordinated Blackout + adaptive idle detect.
+    WarpedGates,
+}
+
+impl Technique {
+    /// Every technique, in the paper's presentation order.
+    pub const ALL: [Technique; 6] = [
+        Technique::Baseline,
+        Technique::ConvPg,
+        Technique::Gates,
+        Technique::NaiveBlackout,
+        Technique::CoordinatedBlackout,
+        Technique::WarpedGates,
+    ];
+
+    /// The five gated techniques (everything but `Baseline`), the set
+    /// Figures 9 and 10 plot.
+    pub const GATED: [Technique; 5] = [
+        Technique::ConvPg,
+        Technique::Gates,
+        Technique::NaiveBlackout,
+        Technique::CoordinatedBlackout,
+        Technique::WarpedGates,
+    ];
+
+    /// The display name used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Baseline => "Baseline",
+            Technique::ConvPg => "ConvPG",
+            Technique::Gates => "GATES",
+            Technique::NaiveBlackout => "Naive Blackout",
+            Technique::CoordinatedBlackout => "Coordinated Blackout",
+            Technique::WarpedGates => "Warped Gates",
+        }
+    }
+
+    /// Whether this technique schedules with GATES (vs the baseline
+    /// two-level scheduler).
+    #[must_use]
+    pub fn uses_gates_scheduler(self) -> bool {
+        !matches!(self, Technique::Baseline | Technique::ConvPg)
+    }
+
+    /// Whether this technique power gates at all.
+    #[must_use]
+    pub fn uses_power_gating(self) -> bool {
+        self != Technique::Baseline
+    }
+
+    /// Maximum cycles one instruction type may hold the highest GATES
+    /// priority before a forced switch (the paper's "maximum switching
+    /// time threshold"). Bounding the hold keeps demoted-type warps
+    /// advancing often enough to preserve memory-level parallelism,
+    /// while a 64-cycle consolidation window still dwarfs the
+    /// idle-detect + break-even horizon (19 cycles).
+    pub const GATES_MAX_HOLD: u64 = 64;
+
+    /// Builds the warp scheduler for this technique.
+    #[must_use]
+    pub fn make_scheduler(self) -> Box<dyn WarpScheduler> {
+        if self.uses_gates_scheduler() {
+            Box::new(GatesScheduler::with_max_hold(Self::GATES_MAX_HOLD))
+        } else {
+            Box::new(TwoLevelScheduler::new())
+        }
+    }
+
+    /// Builds the power-gating controller for this technique (default
+    /// Fermi two-cluster layout).
+    #[must_use]
+    pub fn make_gating(self, params: GatingParams) -> Box<dyn PowerGating> {
+        self.make_gating_with_layout(params, DomainLayout::fermi())
+    }
+
+    /// Builds the power-gating controller for this technique on an
+    /// explicit clustered-architecture layout (Kepler/GCN studies).
+    #[must_use]
+    pub fn make_gating_with_layout(
+        self,
+        params: GatingParams,
+        layout: DomainLayout,
+    ) -> Box<dyn PowerGating> {
+        match self {
+            Technique::Baseline => Box::new(AlwaysOn::new()),
+            Technique::ConvPg | Technique::Gates => Box::new(Controller::with_layout(
+                layout,
+                params,
+                warped_gating::ConvPgPolicy::new(),
+                StaticIdleDetect::new(),
+            )),
+            Technique::NaiveBlackout => Box::new(Controller::with_layout(
+                layout,
+                params,
+                NaiveBlackoutPolicy::new(),
+                StaticIdleDetect::new(),
+            )),
+            Technique::CoordinatedBlackout => Box::new(Controller::with_layout(
+                layout,
+                params,
+                CoordinatedBlackoutPolicy::new(),
+                StaticIdleDetect::new(),
+            )),
+            Technique::WarpedGates => Box::new(Controller::with_layout(
+                layout,
+                params,
+                CoordinatedBlackoutPolicy::new(),
+                AdaptiveIdleDetect::new(),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_techniques_in_paper_order() {
+        assert_eq!(Technique::ALL.len(), 6);
+        assert_eq!(Technique::ALL[0], Technique::Baseline);
+        assert_eq!(Technique::ALL[5], Technique::WarpedGates);
+        assert_eq!(Technique::GATED.len(), 5);
+        assert!(!Technique::GATED.contains(&Technique::Baseline));
+    }
+
+    #[test]
+    fn scheduler_selection_follows_the_paper() {
+        assert!(!Technique::Baseline.uses_gates_scheduler());
+        assert!(!Technique::ConvPg.uses_gates_scheduler());
+        for t in [
+            Technique::Gates,
+            Technique::NaiveBlackout,
+            Technique::CoordinatedBlackout,
+            Technique::WarpedGates,
+        ] {
+            assert!(t.uses_gates_scheduler(), "{t} builds on GATES");
+        }
+    }
+
+    #[test]
+    fn built_policies_report_expected_names() {
+        let params = GatingParams::default();
+        assert_eq!(Technique::Baseline.make_gating(params).name(), "Baseline");
+        assert_eq!(Technique::ConvPg.make_gating(params).name(), "ConvPG");
+        assert_eq!(Technique::Gates.make_gating(params).name(), "ConvPG");
+        assert_eq!(
+            Technique::NaiveBlackout.make_gating(params).name(),
+            "NaiveBlackout"
+        );
+        assert_eq!(
+            Technique::WarpedGates.make_gating(params).name(),
+            "CoordinatedBlackout"
+        );
+        assert_eq!(Technique::Baseline.make_scheduler().name(), "TwoLevel");
+        assert_eq!(Technique::WarpedGates.make_scheduler().name(), "GATES");
+    }
+
+    #[test]
+    fn display_matches_figure_labels() {
+        assert_eq!(Technique::ConvPg.to_string(), "ConvPG");
+        assert_eq!(Technique::WarpedGates.to_string(), "Warped Gates");
+    }
+}

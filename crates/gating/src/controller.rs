@@ -1,0 +1,407 @@
+//! The gating controller: one state machine per domain, policy-driven.
+
+use crate::machine::GateState;
+use crate::params::GatingParams;
+use crate::policy::{GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx};
+use warped_isa::UnitType;
+use warped_sim::{CycleObservation, DomainId, DomainLayout, GatingReport, PowerGating, NUM_DOMAINS};
+
+/// A power-gating controller parameterised by a decision
+/// [`GatePolicy`] and an [`IdleDetectTuner`].
+///
+/// The controller owns one [`GateState`] per gating domain, the per-type
+/// idle-detect registers, the per-epoch critical-wakeup counters, and
+/// all statistics. It implements the simulator-facing
+/// [`PowerGating`] trait.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gating::{Controller, ConvPgPolicy, GatingParams, StaticIdleDetect};
+/// use warped_sim::{DomainId, PowerGating};
+///
+/// let ctl = Controller::new(
+///     GatingParams::default(),
+///     ConvPgPolicy::new(),
+///     StaticIdleDetect::new(),
+/// );
+/// assert!(ctl.is_on(DomainId::FP0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Controller<P, T> {
+    params: GatingParams,
+    layout: DomainLayout,
+    policy: P,
+    tuner: T,
+    states: [GateState; NUM_DOMAINS],
+    /// Effective idle-detect window per unit type (INT, FP, SFU, LDST).
+    idle_detect: [u32; 4],
+    /// Critical wakeups per unit type in the current epoch.
+    epoch_critical: [u32; 4],
+    report: GatingReport,
+}
+
+impl<P: GatePolicy, T: IdleDetectTuner> Controller<P, T> {
+    /// Creates a controller with every domain powered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    #[must_use]
+    pub fn new(params: GatingParams, policy: P, tuner: T) -> Self {
+        Self::with_layout(DomainLayout::fermi(), params, policy, tuner)
+    }
+
+    /// Creates a controller for an explicit clustered-architecture
+    /// layout (Kepler/GCN studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    #[must_use]
+    pub fn with_layout(layout: DomainLayout, params: GatingParams, policy: P, tuner: T) -> Self {
+        params.validate();
+        Controller {
+            params,
+            layout,
+            policy,
+            tuner,
+            states: [GateState::active(); NUM_DOMAINS],
+            idle_detect: [params.idle_detect; 4],
+            epoch_critical: [0; 4],
+            report: GatingReport::new(),
+        }
+    }
+
+    /// The circuit timing parameters in effect.
+    #[must_use]
+    pub fn params(&self) -> &GatingParams {
+        &self.params
+    }
+
+    /// Current state of a domain.
+    #[must_use]
+    pub fn state(&self, domain: DomainId) -> GateState {
+        self.states[domain.index()]
+    }
+
+    /// The effective idle-detect window for a unit type right now.
+    #[must_use]
+    pub fn idle_detect(&self, unit: UnitType) -> u32 {
+        self.idle_detect[unit.index()]
+    }
+
+    fn policy_ctx<'a>(
+        &'a self,
+        domain: DomainId,
+        idle_run: u32,
+        obs: &CycleObservation,
+    ) -> PolicyCtx<'a> {
+        let unit = domain.unit();
+        let mut peer_states = [GateState::active(); warped_sim::MAX_SP_CLUSTERS];
+        let mut n = 0;
+        if domain.is_cuda_core() {
+            for d in self.layout.domains_of(unit) {
+                if *d != domain {
+                    peer_states[n] = self.states[d.index()];
+                    n += 1;
+                }
+            }
+        }
+        PolicyCtx {
+            domain,
+            params: &self.params,
+            idle_detect: self.idle_detect[unit.index()],
+            idle_run,
+            peers: PeerSummary::from_states(&peer_states[..n]),
+            active_subset: obs.active_subset[unit.index()],
+            demand: obs.blocked_demand[unit.index()],
+        }
+    }
+}
+
+impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
+    fn is_on(&self, domain: DomainId) -> bool {
+        self.states[domain.index()].is_on()
+    }
+
+    fn observe(&mut self, obs: &CycleObservation) {
+        let bet = self.params.bet;
+        // Demand not yet consumed by a wakeup this cycle, per unit type.
+        let mut demand_left = obs.blocked_demand;
+
+        for domain in self.layout.all().iter().copied() {
+            let di = domain.index();
+            let ui = domain.unit().index();
+            let state = self.states[di];
+            match state {
+                GateState::Active { idle_run } => {
+                    if obs.busy[di] {
+                        self.states[di] = GateState::Active { idle_run: 0 };
+                    } else {
+                        let idle_run = idle_run + 1;
+                        let ctx = self.policy_ctx(domain, idle_run, obs);
+                        if self.policy.should_gate(&ctx) {
+                            self.states[di] = GateState::Gated { elapsed: 0 };
+                            self.report.domain_mut(domain).gate_events += 1;
+                        } else {
+                            self.states[di] = GateState::Active { idle_run };
+                        }
+                    }
+                }
+                GateState::Gated { elapsed } => {
+                    debug_assert!(!obs.busy[di], "gated domain cannot be busy");
+                    let elapsed = elapsed + 1;
+                    let stats = self.report.domain_mut(domain);
+                    stats.gated_cycles += 1;
+                    if elapsed <= bet {
+                        stats.uncompensated_cycles += 1;
+                    } else {
+                        stats.compensated_cycles += 1;
+                    }
+                    let may_wake = {
+                        let ctx = self.policy_ctx(domain, 0, obs);
+                        self.policy.may_wake(&ctx, elapsed)
+                    };
+                    if demand_left[ui] > 0 && !may_wake {
+                        self.report.domain_mut(domain).demand_blocked_cycles += 1;
+                    }
+                    if demand_left[ui] > 0 && may_wake {
+                        demand_left[ui] -= 1;
+                        let stats = self.report.domain_mut(domain);
+                        stats.wakeups += 1;
+                        if elapsed < bet {
+                            stats.premature_wakeups += 1;
+                        }
+                        if elapsed == bet {
+                            stats.critical_wakeups += 1;
+                            self.epoch_critical[ui] += 1;
+                        }
+                        self.states[di] = GateState::Waking {
+                            left: self.params.wakeup_delay,
+                        };
+                    } else {
+                        self.states[di] = GateState::Gated { elapsed };
+                    }
+                }
+                GateState::Waking { left } => {
+                    debug_assert!(!obs.busy[di], "waking domain cannot be busy");
+                    self.report.domain_mut(domain).wakeup_cycles += 1;
+                    let left = left - 1;
+                    self.states[di] = if left == 0 {
+                        GateState::active()
+                    } else {
+                        GateState::Waking { left }
+                    };
+                }
+            }
+        }
+
+        // Epoch boundary: let the tuner adjust the CUDA-core windows.
+        let epoch = self.tuner.epoch_len();
+        if epoch > 0 && (obs.cycle + 1).is_multiple_of(epoch) {
+            for unit in [UnitType::Int, UnitType::Fp] {
+                let ui = unit.index();
+                let critical = self.epoch_critical[ui];
+                self.tuner
+                    .on_epoch(unit, critical, &mut self.idle_detect[ui]);
+                self.epoch_critical[ui] = 0;
+            }
+        }
+    }
+
+    fn report(&self) -> GatingReport {
+        self.report.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ConvPgPolicy, StaticIdleDetect};
+
+    fn obs(
+        cycle: u64,
+        busy: [bool; NUM_DOMAINS],
+        demand: [u32; 4],
+        actv: [u32; 4],
+    ) -> CycleObservation {
+        CycleObservation {
+            cycle,
+            busy,
+            blocked_demand: demand,
+            active_subset: actv,
+        }
+    }
+
+    fn quiet(cycle: u64) -> CycleObservation {
+        obs(cycle, [false; NUM_DOMAINS], [0; 4], [0; 4])
+    }
+
+    fn conv() -> Controller<ConvPgPolicy, StaticIdleDetect> {
+        Controller::new(
+            GatingParams::default(),
+            ConvPgPolicy::new(),
+            StaticIdleDetect::new(),
+        )
+    }
+
+    #[test]
+    fn idle_domain_gates_after_idle_detect_window() {
+        let mut c = conv();
+        for cyc in 0..4 {
+            c.observe(&quiet(cyc));
+            assert!(c.is_on(DomainId::INT0), "cycle {cyc}: still detecting");
+        }
+        c.observe(&quiet(4)); // 5th idle cycle → gate
+        assert!(!c.is_on(DomainId::INT0));
+        assert!(c.state(DomainId::INT0).is_gated());
+        assert_eq!(c.report().domain(DomainId::INT0).gate_events, 1);
+    }
+
+    #[test]
+    fn busy_cycles_reset_the_idle_counter() {
+        let mut c = conv();
+        let mut busy = [false; NUM_DOMAINS];
+        for cyc in 0..4 {
+            c.observe(&quiet(cyc));
+        }
+        busy[DomainId::INT0.index()] = true;
+        c.observe(&obs(4, busy, [0; 4], [0; 4]));
+        // Idle run reset; 4 more idle cycles must not gate.
+        for cyc in 5..9 {
+            c.observe(&quiet(cyc));
+        }
+        assert!(c.is_on(DomainId::INT0));
+    }
+
+    #[test]
+    fn demand_wakes_conventional_gating_even_uncompensated() {
+        let mut c = conv();
+        for cyc in 0..5 {
+            c.observe(&quiet(cyc));
+        }
+        assert!(c.state(DomainId::INT0).is_gated());
+        // One cycle later, demand arrives (elapsed = 2 < bet).
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 1;
+        c.observe(&obs(5, [false; NUM_DOMAINS], demand, [0; 4]));
+        let s = c.state(DomainId::INT0);
+        assert_eq!(s, GateState::Waking { left: 3 });
+        let r = c.report();
+        assert_eq!(r.domain(DomainId::INT0).wakeups, 1);
+        assert_eq!(r.domain(DomainId::INT0).premature_wakeups, 1);
+    }
+
+    #[test]
+    fn wakeup_takes_wakeup_delay_cycles() {
+        let mut c = conv();
+        for cyc in 0..5 {
+            c.observe(&quiet(cyc));
+        }
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 1;
+        c.observe(&obs(5, [false; NUM_DOMAINS], demand, [0; 4]));
+        // 3 waking cycles.
+        c.observe(&quiet(6));
+        assert!(!c.is_on(DomainId::INT0));
+        c.observe(&quiet(7));
+        assert!(!c.is_on(DomainId::INT0));
+        c.observe(&quiet(8));
+        assert!(c.is_on(DomainId::INT0), "active after wakeup delay");
+        assert_eq!(c.report().domain(DomainId::INT0).wakeup_cycles, 3);
+    }
+
+    #[test]
+    fn single_demand_wakes_only_one_cluster() {
+        let mut c = conv();
+        for cyc in 0..5 {
+            c.observe(&quiet(cyc));
+        }
+        assert!(c.state(DomainId::INT0).is_gated());
+        assert!(c.state(DomainId::INT1).is_gated());
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 1;
+        c.observe(&obs(5, [false; NUM_DOMAINS], demand, [0; 4]));
+        let woken = [DomainId::INT0, DomainId::INT1]
+            .iter()
+            .filter(|d| matches!(c.state(**d), GateState::Waking { .. }))
+            .count();
+        assert_eq!(woken, 1, "exactly one cluster wakes for one instruction");
+    }
+
+    #[test]
+    fn double_demand_wakes_both_clusters() {
+        let mut c = conv();
+        for cyc in 0..5 {
+            c.observe(&quiet(cyc));
+        }
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 2;
+        c.observe(&obs(5, [false; NUM_DOMAINS], demand, [0; 4]));
+        for d in [DomainId::INT0, DomainId::INT1] {
+            assert!(matches!(c.state(d), GateState::Waking { .. }));
+        }
+    }
+
+    #[test]
+    fn compensated_and_uncompensated_cycles_partition_gated_cycles() {
+        let mut c = conv();
+        // Gate at cycle 4; stay gated for 20 cycles; then wake.
+        for cyc in 0..25 {
+            c.observe(&quiet(cyc));
+        }
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 2;
+        demand[UnitType::Fp.index()] = 2;
+        c.observe(&obs(25, [false; NUM_DOMAINS], demand, [0; 4]));
+        let r = c.report();
+        let s = r.domain(DomainId::INT0);
+        assert_eq!(s.gated_cycles, s.compensated_cycles + s.uncompensated_cycles);
+        assert_eq!(s.uncompensated_cycles, 14, "first BET cycles are uncompensated");
+        assert!(s.compensated_cycles > 0);
+    }
+
+    #[test]
+    fn critical_wakeup_fires_exactly_at_bet() {
+        let mut c = conv();
+        // Gate INT at cycle 4 (after 5 idle cycles). Then wait until the
+        // gated elapsed counter reaches exactly BET and apply demand.
+        for cyc in 0..5 {
+            c.observe(&quiet(cyc));
+        }
+        // elapsed becomes 1..=13 over the next 13 quiet cycles.
+        for cyc in 5..18 {
+            c.observe(&quiet(cyc));
+        }
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 1;
+        // This observation raises elapsed to 14 == BET with demand.
+        c.observe(&obs(18, [false; NUM_DOMAINS], demand, [0; 4]));
+        assert_eq!(c.report().domain(DomainId::INT0).critical_wakeups, 1);
+    }
+
+    #[test]
+    fn all_domains_gate_independently() {
+        let mut c = conv();
+        let mut busy = [false; NUM_DOMAINS];
+        busy[DomainId::LDST.index()] = true;
+        for cyc in 0..10 {
+            c.observe(&obs(cyc, busy, [0; 4], [0; 4]));
+        }
+        assert!(c.is_on(DomainId::LDST), "busy LDST never gates");
+        for d in [DomainId::INT0, DomainId::INT1, DomainId::FP0, DomainId::FP1, DomainId::SFU] {
+            assert!(!c.is_on(d), "{d} idle for 10 cycles must be gated");
+        }
+    }
+
+    #[test]
+    fn report_name_comes_from_policy() {
+        let c = conv();
+        assert_eq!(c.name(), "ConvPG");
+    }
+}

@@ -1,0 +1,65 @@
+//! # warped-gating
+//!
+//! The power-gating framework for GPGPU execution units, plus the
+//! conventional power-gating baseline (Hu et al., ISLPED 2004) that the
+//! Warped Gates paper compares against.
+//!
+//! ## Structure
+//!
+//! * [`GatingParams`] — idle-detect window, break-even time (BET), and
+//!   wakeup delay. Paper defaults: 5 / 14 / 3 cycles.
+//! * [`GatePolicy`] — the two decisions that differentiate gating
+//!   schemes: *when to gate* an idle cluster and *when a gated cluster
+//!   may wake*. [`ConvPgPolicy`] implements the conventional rules
+//!   (gate after idle-detect; wake on demand at any time). The Blackout
+//!   policies live in the `warped-gates` crate.
+//! * [`IdleDetectTuner`] — an epoch-boundary hook that may adjust the
+//!   per-unit-type idle-detect window at runtime. [`StaticIdleDetect`]
+//!   leaves it fixed; the paper's *adaptive idle detect* lives in the
+//!   `warped-gates` crate.
+//! * [`Controller`] — drives one state machine per gating domain and
+//!   implements the simulator-facing
+//!   [`PowerGating`](warped_sim::PowerGating) trait, so any
+//!   policy/tuner combination plugs straight into the simulator.
+//!
+//! ## The state machine
+//!
+//! Each domain follows the paper's Figure 2c: *idle-detect* (active,
+//! counting idle cycles) → *uncompensated* (gated, before BET) →
+//! *compensated* (gated, past BET) → *wakeup* (restoring voltage) →
+//! active. A policy controls the active→gated edge and whether the
+//! uncompensated→wakeup edge exists (conventional gating has it;
+//! Blackout removes it).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use warped_gating::{conventional, GatingParams};
+//! use warped_sim::{DomainId, PowerGating};
+//!
+//! let ctl = conventional(GatingParams::default());
+//! assert!(ctl.is_on(DomainId::INT0));
+//! assert_eq!(ctl.name(), "ConvPG");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coarse;
+mod controller;
+mod machine;
+mod params;
+mod policy;
+
+pub use coarse::SmCoarseGating;
+pub use controller::Controller;
+pub use machine::GateState;
+pub use params::GatingParams;
+pub use policy::{ConvPgPolicy, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx, StaticIdleDetect};
+
+/// Builds the conventional power-gating controller with a fixed
+/// idle-detect window: the `ConvPG` configuration of the paper.
+#[must_use]
+pub fn conventional(params: GatingParams) -> Controller<ConvPgPolicy, StaticIdleDetect> {
+    Controller::new(params, ConvPgPolicy::new(), StaticIdleDetect::new())
+}

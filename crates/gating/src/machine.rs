@@ -1,0 +1,97 @@
+//! The per-domain gating state machine (the paper's Figure 2c).
+
+/// The gating state of one domain.
+///
+/// The paper's four named states map as follows: *Idle-detect* is
+/// [`GateState::Active`] with a nonzero idle run; *Uncompensated* and
+/// *Compensated* are [`GateState::Gated`] with `elapsed` below or at/above
+/// the break-even time respectively; *Wakeup* is [`GateState::Waking`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateState {
+    /// Powered and usable; `idle_run` counts consecutive idle cycles
+    /// (the idle-detect counter).
+    Active {
+        /// Consecutive idle cycles observed so far.
+        idle_run: u32,
+    },
+    /// Power gated; `elapsed` counts cycles spent gated so far.
+    Gated {
+        /// Cycles spent gated in this gating event.
+        elapsed: u32,
+    },
+    /// Restoring voltage; `left` counts remaining wakeup cycles.
+    Waking {
+        /// Remaining wakeup-delay cycles.
+        left: u32,
+    },
+}
+
+impl GateState {
+    /// Fresh, powered, zero idle history.
+    #[must_use]
+    pub fn active() -> Self {
+        GateState::Active { idle_run: 0 }
+    }
+
+    /// Whether the scheduler may issue to this domain.
+    #[must_use]
+    pub fn is_on(self) -> bool {
+        matches!(self, GateState::Active { .. })
+    }
+
+    /// Whether the domain is currently gated.
+    #[must_use]
+    pub fn is_gated(self) -> bool {
+        matches!(self, GateState::Gated { .. })
+    }
+
+    /// Cycles spent gated in the current gating event (0 if not gated).
+    #[must_use]
+    pub fn gated_elapsed(self) -> u32 {
+        match self {
+            GateState::Gated { elapsed } => elapsed,
+            _ => 0,
+        }
+    }
+
+    /// Whether the gated domain has passed the break-even time.
+    #[must_use]
+    pub fn is_compensated(self, bet: u32) -> bool {
+        match self {
+            GateState::Gated { elapsed } => elapsed >= bet,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_on() {
+        let s = GateState::active();
+        assert!(s.is_on());
+        assert!(!s.is_gated());
+        assert_eq!(s.gated_elapsed(), 0);
+    }
+
+    #[test]
+    fn gated_states_report_compensation_against_bet() {
+        let early = GateState::Gated { elapsed: 5 };
+        let late = GateState::Gated { elapsed: 14 };
+        assert!(!early.is_compensated(14));
+        assert!(late.is_compensated(14));
+        assert!(!early.is_on());
+        assert!(early.is_gated());
+        assert_eq!(late.gated_elapsed(), 14);
+    }
+
+    #[test]
+    fn waking_is_neither_on_nor_gated() {
+        let w = GateState::Waking { left: 2 };
+        assert!(!w.is_on());
+        assert!(!w.is_gated());
+        assert!(!w.is_compensated(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! Power-gating timing parameters.
+
+/// Timing parameters of the power-gating circuit.
+///
+/// The paper's defaults (from Hu et al.'s estimates for execution-block
+/// gating): a 5-cycle idle-detect window, a 14-cycle break-even time, and
+/// a 3-cycle wakeup delay. The sensitivity study (Figure 11) sweeps the
+/// break-even time over {9, 14, 19} and the wakeup delay over {3, 6, 9}.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gating::GatingParams;
+///
+/// let p = GatingParams::default();
+/// assert_eq!((p.idle_detect, p.bet, p.wakeup_delay), (5, 14, 3));
+///
+/// let swept = GatingParams { bet: 19, ..GatingParams::default() };
+/// swept.validate();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatingParams {
+    /// Consecutive idle cycles before a unit is gated.
+    pub idle_detect: u32,
+    /// Break-even time: gated cycles needed to recoup the switching
+    /// energy of the sleep transistor.
+    pub bet: u32,
+    /// Cycles to restore operating voltage after a wakeup is triggered.
+    pub wakeup_delay: u32,
+}
+
+impl GatingParams {
+    /// Parameters with an explicit idle-detect window and paper defaults
+    /// elsewhere.
+    #[must_use]
+    pub fn with_idle_detect(idle_detect: u32) -> Self {
+        GatingParams {
+            idle_detect,
+            ..GatingParams::default()
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the break-even time or the wakeup delay is zero (the
+    /// idle-detect window may legitimately be zero: gate immediately).
+    pub fn validate(&self) {
+        assert!(self.bet > 0, "break-even time must be positive");
+        assert!(self.wakeup_delay > 0, "wakeup delay must be positive");
+    }
+}
+
+impl Default for GatingParams {
+    fn default() -> Self {
+        GatingParams {
+            idle_detect: 5,
+            bet: 14,
+            wakeup_delay: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = GatingParams::default();
+        assert_eq!(p.idle_detect, 5);
+        assert_eq!(p.bet, 14);
+        assert_eq!(p.wakeup_delay, 3);
+        p.validate();
+    }
+
+    #[test]
+    fn zero_idle_detect_is_allowed() {
+        GatingParams::with_idle_detect(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "break-even")]
+    fn zero_bet_rejected() {
+        GatingParams {
+            bet: 0,
+            ..GatingParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "wakeup delay")]
+    fn zero_wakeup_rejected() {
+        GatingParams {
+            wakeup_delay: 0,
+            ..GatingParams::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,201 @@
+//! Gating policies and idle-detect tuners.
+
+use crate::machine::GateState;
+use crate::params::GatingParams;
+use warped_isa::UnitType;
+use warped_sim::DomainId;
+
+/// Gating states of the *other* clusters of a domain's unit type (the
+/// generalisation of the paper's two-cluster "peer" to Kepler/GCN-like
+/// layouts with up to six clusters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerSummary {
+    /// Peer clusters currently powered and usable.
+    pub active: u32,
+    /// Peer clusters currently gated (in blackout under those policies).
+    pub gated: u32,
+    /// Peer clusters restoring voltage.
+    pub waking: u32,
+}
+
+impl PeerSummary {
+    /// Summarises a list of peer states.
+    #[must_use]
+    pub fn from_states(states: &[GateState]) -> Self {
+        let mut out = PeerSummary::default();
+        for s in states {
+            match s {
+                GateState::Active { .. } => out.active += 1,
+                GateState::Gated { .. } => out.gated += 1,
+                GateState::Waking { .. } => out.waking += 1,
+            }
+        }
+        out
+    }
+
+    /// Total peer clusters.
+    #[must_use]
+    pub fn total(self) -> u32 {
+        self.active + self.gated + self.waking
+    }
+}
+
+/// Everything a [`GatePolicy`] may consult when deciding whether to gate
+/// or wake a domain this cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx<'a> {
+    /// The domain under consideration.
+    pub domain: DomainId,
+    /// Circuit timing parameters.
+    pub params: &'a GatingParams,
+    /// The effective idle-detect window for this domain this cycle
+    /// (per-unit-type; may differ from `params.idle_detect` under
+    /// adaptive idle detect).
+    pub idle_detect: u32,
+    /// Consecutive idle cycles observed (including the current one).
+    pub idle_run: u32,
+    /// Summary of the *other* same-type clusters' states (empty for
+    /// SFU/LDST, which have a single domain each).
+    pub peers: PeerSummary,
+    /// Warps currently waiting in the active-warp subset of this
+    /// domain's unit type (the `INT_ACTV`/`FP_ACTV` counters).
+    pub active_subset: u32,
+    /// Ready instructions of this domain's type blocked this cycle
+    /// because no cluster could accept them.
+    pub demand: u32,
+}
+
+/// A power-gating decision policy.
+///
+/// The framework calls [`should_gate`](GatePolicy::should_gate) for an
+/// idle, powered domain and [`may_wake`](GatePolicy::may_wake) for a
+/// gated domain with pending demand. All bookkeeping (counters, state
+/// transitions, statistics) lives in the
+/// [`Controller`](crate::Controller).
+pub trait GatePolicy {
+    /// Whether an idle, powered domain should be gated now.
+    fn should_gate(&self, ctx: &PolicyCtx<'_>) -> bool;
+
+    /// Whether a gated domain with demand may start waking after
+    /// `elapsed` gated cycles.
+    fn may_wake(&self, ctx: &PolicyCtx<'_>, elapsed: u32) -> bool;
+
+    /// Policy name, used as the controller name in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Conventional power gating (Hu et al.): gate after the idle-detect
+/// window; wake on demand at any time — even before the break-even time,
+/// which is what produces net-negative gating events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvPgPolicy {
+    _private: (),
+}
+
+impl ConvPgPolicy {
+    /// Creates the conventional policy.
+    #[must_use]
+    pub fn new() -> Self {
+        ConvPgPolicy { _private: () }
+    }
+}
+
+impl GatePolicy for ConvPgPolicy {
+    fn should_gate(&self, ctx: &PolicyCtx<'_>) -> bool {
+        ctx.idle_run >= ctx.idle_detect
+    }
+
+    fn may_wake(&self, _ctx: &PolicyCtx<'_>, _elapsed: u32) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "ConvPG"
+    }
+}
+
+/// A runtime adjuster for the per-unit-type idle-detect window.
+///
+/// The controller calls [`on_epoch`](IdleDetectTuner::on_epoch) at every
+/// epoch boundary for each CUDA-core unit type (INT and FP), passing the
+/// number of critical wakeups observed in the epoch; the tuner mutates
+/// the window in place.
+pub trait IdleDetectTuner {
+    /// Adjusts `idle_detect` for `unit` after an epoch with
+    /// `critical_wakeups` critical wakeups.
+    fn on_epoch(&mut self, unit: UnitType, critical_wakeups: u32, idle_detect: &mut u32);
+
+    /// Length of an epoch in cycles.
+    fn epoch_len(&self) -> u64 {
+        1000
+    }
+
+    /// Tuner name for reporting; empty for the static tuner.
+    fn name(&self) -> &'static str;
+}
+
+/// The fixed idle-detect window (no runtime adaptation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticIdleDetect {
+    _private: (),
+}
+
+impl StaticIdleDetect {
+    /// Creates the static (no-op) tuner.
+    #[must_use]
+    pub fn new() -> Self {
+        StaticIdleDetect { _private: () }
+    }
+}
+
+impl IdleDetectTuner for StaticIdleDetect {
+    fn on_epoch(&mut self, _unit: UnitType, _critical: u32, _idle_detect: &mut u32) {}
+
+    fn name(&self) -> &'static str {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(idle_run: u32, idle_detect: u32, params: &GatingParams) -> PolicyCtx<'_> {
+        PolicyCtx {
+            domain: DomainId::INT0,
+            params,
+            idle_detect,
+            idle_run,
+            peers: PeerSummary::from_states(&[GateState::active()]),
+            active_subset: 0,
+            demand: 0,
+        }
+    }
+
+    #[test]
+    fn conv_pg_gates_exactly_at_idle_detect() {
+        let p = GatingParams::default();
+        let policy = ConvPgPolicy::new();
+        assert!(!policy.should_gate(&ctx(4, 5, &p)));
+        assert!(policy.should_gate(&ctx(5, 5, &p)));
+        assert!(policy.should_gate(&ctx(6, 5, &p)));
+    }
+
+    #[test]
+    fn conv_pg_wakes_any_time() {
+        let p = GatingParams::default();
+        let policy = ConvPgPolicy::new();
+        let c = ctx(0, 5, &p);
+        assert!(policy.may_wake(&c, 1), "even before break-even");
+        assert!(policy.may_wake(&c, 100));
+    }
+
+    #[test]
+    fn static_tuner_never_changes_the_window() {
+        let mut t = StaticIdleDetect::new();
+        let mut w = 5;
+        t.on_epoch(UnitType::Int, 100, &mut w);
+        assert_eq!(w, 5);
+        assert_eq!(t.epoch_len(), 1000);
+    }
+}

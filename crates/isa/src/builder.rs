@@ -1,0 +1,305 @@
+//! Fluent construction of [`Kernel`]s.
+
+use crate::{Instruction, Kernel, MemSpace, Opcode, Reg, Segment};
+
+/// A fluent builder for [`Kernel`]s.
+///
+/// Instruction helpers take raw `u16` register indices for brevity; they
+/// panic on out-of-range indices just like [`Reg::new`].
+///
+/// # Examples
+///
+/// ```
+/// use warped_isa::KernelBuilder;
+///
+/// let k = KernelBuilder::new("saxpy-ish")
+///     .load_global(1)
+///     .begin_loop(100)
+///     .fmul(2, 1, 0)
+///     .fadd(3, 2, 3)
+///     .end_loop()
+///     .store_global(3)
+///     .build();
+/// assert_eq!(k.dynamic_len(), 1 + 200 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    segments: Vec<Segment>,
+    current: Vec<Instruction>,
+    loop_trips: Option<u32>,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            segments: Vec::new(),
+            current: Vec::new(),
+            loop_trips: None,
+        }
+    }
+
+    /// Appends an arbitrary pre-built instruction.
+    #[must_use]
+    pub fn push(mut self, instr: Instruction) -> Self {
+        self.current.push(instr);
+        self
+    }
+
+    fn flush_straight(&mut self) {
+        if !self.current.is_empty() {
+            let body = std::mem::take(&mut self.current);
+            self.segments.push(Segment::Straight(body));
+        }
+    }
+
+    /// Opens a counted loop. Instructions added until [`end_loop`] form the
+    /// loop body.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nesting loops (only one level is supported) or when
+    /// `trips` is zero.
+    ///
+    /// [`end_loop`]: KernelBuilder::end_loop
+    #[must_use]
+    pub fn begin_loop(mut self, trips: u32) -> Self {
+        assert!(self.loop_trips.is_none(), "loops cannot be nested");
+        assert!(trips >= 1, "loop trips must be >= 1");
+        self.flush_straight();
+        self.loop_trips = Some(trips);
+        self
+    }
+
+    /// Closes the currently open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open or the loop body is empty.
+    #[must_use]
+    pub fn end_loop(mut self) -> Self {
+        let trips = self.loop_trips.take().expect("end_loop without begin_loop");
+        assert!(!self.current.is_empty(), "loop body must not be empty");
+        let body = std::mem::take(&mut self.current);
+        self.segments.push(Segment::Loop { body, trips });
+        self
+    }
+
+    /// Finalises the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop is still open or the kernel would be empty.
+    #[must_use]
+    pub fn build(mut self) -> Kernel {
+        assert!(self.loop_trips.is_none(), "unclosed loop at build time");
+        self.flush_straight();
+        Kernel::new(self.name, self.segments)
+    }
+
+    // --- instruction helpers -------------------------------------------
+
+    /// Integer ALU op: `dst <- src_a (op) src_b`.
+    #[must_use]
+    pub fn iadd(self, dst: u16, src_a: u16, src_b: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::IAlu,
+            Some(Reg::new(dst)),
+            &[Reg::new(src_a), Reg::new(src_b)],
+        ))
+    }
+
+    /// Integer multiply: `dst <- src_a * src_b`.
+    #[must_use]
+    pub fn imul(self, dst: u16, src_a: u16, src_b: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::IMul,
+            Some(Reg::new(dst)),
+            &[Reg::new(src_a), Reg::new(src_b)],
+        ))
+    }
+
+    /// Floating point add: `dst <- src_a + src_b`.
+    #[must_use]
+    pub fn fadd(self, dst: u16, src_a: u16, src_b: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::FAlu,
+            Some(Reg::new(dst)),
+            &[Reg::new(src_a), Reg::new(src_b)],
+        ))
+    }
+
+    /// Floating point multiply: `dst <- src_a * src_b`.
+    #[must_use]
+    pub fn fmul(self, dst: u16, src_a: u16, src_b: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::FMul,
+            Some(Reg::new(dst)),
+            &[Reg::new(src_a), Reg::new(src_b)],
+        ))
+    }
+
+    /// Fused multiply-add: `dst <- src_a * src_b + src_c`.
+    #[must_use]
+    pub fn ffma(self, dst: u16, src_a: u16, src_b: u16, src_c: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::FFma,
+            Some(Reg::new(dst)),
+            &[Reg::new(src_a), Reg::new(src_b), Reg::new(src_c)],
+        ))
+    }
+
+    /// Special-function op (sin/cos/rcp/...): `dst <- f(src)`.
+    #[must_use]
+    pub fn sfu(self, dst: u16, src: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::Sfu,
+            Some(Reg::new(dst)),
+            &[Reg::new(src)],
+        ))
+    }
+
+    /// Global memory load: `dst <- mem[...]` (long latency).
+    #[must_use]
+    pub fn load_global(self, dst: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::Load(MemSpace::Global),
+            Some(Reg::new(dst)),
+            &[],
+        ))
+    }
+
+    /// Global memory load with an address register dependence.
+    #[must_use]
+    pub fn load_global_indexed(self, dst: u16, addr: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::Load(MemSpace::Global),
+            Some(Reg::new(dst)),
+            &[Reg::new(addr)],
+        ))
+    }
+
+    /// Shared memory load: `dst <- shmem[...]` (short latency).
+    #[must_use]
+    pub fn load_shared(self, dst: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::Load(MemSpace::Shared),
+            Some(Reg::new(dst)),
+            &[],
+        ))
+    }
+
+    /// Global memory store of `src`.
+    #[must_use]
+    pub fn store_global(self, src: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::Store(MemSpace::Global),
+            None,
+            &[Reg::new(src)],
+        ))
+    }
+
+    /// Shared memory store of `src`.
+    #[must_use]
+    pub fn store_shared(self, src: u16) -> Self {
+        self.push(Instruction::new(
+            Opcode::Store(MemSpace::Shared),
+            None,
+            &[Reg::new(src)],
+        ))
+    }
+
+    /// Block-wide barrier (`__syncthreads`).
+    #[must_use]
+    pub fn barrier(self) -> Self {
+        self.push(Instruction::new(Opcode::Bar, None, &[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitType;
+
+    #[test]
+    fn builder_produces_expected_structure() {
+        let k = KernelBuilder::new("t")
+            .iadd(1, 0, 0)
+            .begin_loop(3)
+            .fadd(2, 1, 2)
+            .end_loop()
+            .store_global(2)
+            .build();
+        assert_eq!(k.segments().len(), 3);
+        assert_eq!(k.dynamic_len(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn consecutive_straight_instructions_merge_into_one_segment() {
+        let k = KernelBuilder::new("t").iadd(1, 0, 0).fadd(2, 1, 1).build();
+        assert_eq!(k.segments().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be nested")]
+    fn nested_loops_rejected() {
+        let _ = KernelBuilder::new("t")
+            .begin_loop(2)
+            .iadd(1, 0, 0)
+            .begin_loop(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn unclosed_loop_rejected_at_build() {
+        let _ = KernelBuilder::new("t").begin_loop(2).iadd(1, 0, 0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "end_loop without begin_loop")]
+    fn stray_end_loop_rejected() {
+        let _ = KernelBuilder::new("t").iadd(1, 0, 0).end_loop();
+    }
+
+    #[test]
+    fn helpers_set_expected_units() {
+        let k = KernelBuilder::new("t")
+            .iadd(1, 0, 0)
+            .imul(2, 1, 1)
+            .fadd(3, 2, 2)
+            .fmul(4, 3, 3)
+            .ffma(5, 4, 4, 4)
+            .sfu(6, 5)
+            .load_global(7)
+            .load_shared(8)
+            .store_global(7)
+            .store_shared(8)
+            .build();
+        let units: Vec<_> = k.iter().map(|i| i.unit()).collect();
+        assert_eq!(
+            units,
+            vec![
+                UnitType::Int,
+                UnitType::Int,
+                UnitType::Fp,
+                UnitType::Fp,
+                UnitType::Fp,
+                UnitType::Sfu,
+                UnitType::Ldst,
+                UnitType::Ldst,
+                UnitType::Ldst,
+                UnitType::Ldst,
+            ]
+        );
+    }
+
+    #[test]
+    fn indexed_load_carries_address_dependence() {
+        let k = KernelBuilder::new("t").load_global_indexed(2, 1).build();
+        let i = k.instruction(0).unwrap();
+        assert_eq!(i.sources().count(), 1);
+    }
+}

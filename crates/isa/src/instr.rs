@@ -1,0 +1,367 @@
+//! Instructions, opcodes, and execution-unit classes.
+
+use crate::Reg;
+use std::fmt;
+
+/// The execution-unit class an instruction dispatches to.
+///
+/// The Warped Gates mechanisms operate on the occupancy of these four unit
+/// types inside a Fermi-like SM: two shader processors (each with separate
+/// integer and floating point pipelines), four special function units, and
+/// sixteen load/store units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnitType {
+    /// Integer ALU pipeline inside the CUDA cores.
+    Int,
+    /// Floating point pipeline inside the CUDA cores.
+    Fp,
+    /// Special function unit (transcendentals, reciprocals).
+    Sfu,
+    /// Load/store unit (global and shared memory).
+    Ldst,
+}
+
+impl UnitType {
+    /// All unit types, in the fixed paper ordering (INT, FP, SFU, LDST).
+    pub const ALL: [UnitType; 4] = [UnitType::Int, UnitType::Fp, UnitType::Sfu, UnitType::Ldst];
+
+    /// A compact index in `0..4`, stable across the crate.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            UnitType::Int => 0,
+            UnitType::Fp => 1,
+            UnitType::Sfu => 2,
+            UnitType::Ldst => 3,
+        }
+    }
+
+    /// The inverse of [`UnitType::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+}
+
+impl fmt::Display for UnitType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitType::Int => "INT",
+            UnitType::Fp => "FP",
+            UnitType::Sfu => "SFU",
+            UnitType::Ldst => "LDST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Address space accessed by a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Off-chip global memory: long, variable latency; consumers of the
+    /// loaded value park the warp in the pending set.
+    Global,
+    /// On-chip shared memory: short, fixed latency.
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => f.write_str("global"),
+            MemSpace::Shared => f.write_str("shared"),
+        }
+    }
+}
+
+/// Operation performed by an instruction.
+///
+/// Opcodes are deliberately coarse: the timing simulator only needs the
+/// unit class, the pipeline latency class, and (for memory operations)
+/// whether a value is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Integer add/subtract/logic/shift/compare (single-cycle class).
+    IAlu,
+    /// Integer multiply / multiply-add (longer pipeline).
+    IMul,
+    /// Floating point add/subtract/compare.
+    FAlu,
+    /// Floating point multiply.
+    FMul,
+    /// Fused multiply-add.
+    FFma,
+    /// Special-function operation (sin, cos, rcp, sqrt, log, exp).
+    Sfu,
+    /// Load from memory into a destination register.
+    Load(MemSpace),
+    /// Store to memory (no destination register).
+    Store(MemSpace),
+    /// Block-wide barrier (`__syncthreads`): every warp of the thread
+    /// block must arrive before any may proceed. Barriers never occupy
+    /// an execution unit; the simulator handles them at the scheduling
+    /// boundary.
+    Bar,
+}
+
+impl Opcode {
+    /// The execution unit this opcode dispatches to.
+    #[must_use]
+    pub fn unit(self) -> UnitType {
+        match self {
+            // Barriers never dispatch to a unit; the INT mapping is a
+            // placeholder that the simulator is guaranteed not to use
+            // (it intercepts barriers before issue).
+            Opcode::IAlu | Opcode::IMul | Opcode::Bar => UnitType::Int,
+            Opcode::FAlu | Opcode::FMul | Opcode::FFma => UnitType::Fp,
+            Opcode::Sfu => UnitType::Sfu,
+            Opcode::Load(_) | Opcode::Store(_) => UnitType::Ldst,
+        }
+    }
+
+    /// Whether this is a block-wide barrier.
+    #[must_use]
+    pub fn is_barrier(self) -> bool {
+        matches!(self, Opcode::Bar)
+    }
+
+    /// Default execution latency in core cycles.
+    ///
+    /// Simple integer ALU operations use the 4-cycle latency /
+    /// single-cycle initiation interval the paper quotes as the
+    /// GPGPU-Sim Fermi default; floating point and multiply pipelines
+    /// are deeper (GPGPU-Sim's Fermi configuration uses longer FP
+    /// latencies). Loads resolve through the simulator's memory model,
+    /// so the value returned here only covers address generation in the
+    /// LDST unit.
+    #[must_use]
+    pub fn latency(self) -> u32 {
+        match self {
+            Opcode::IAlu => 4,
+            Opcode::FAlu | Opcode::FMul => 6,
+            Opcode::FFma | Opcode::IMul => 8,
+            Opcode::Sfu => 16,
+            Opcode::Load(_) | Opcode::Store(_) | Opcode::Bar => 1,
+        }
+    }
+
+    /// Whether the opcode produces a register result.
+    #[must_use]
+    pub fn writes_register(self) -> bool {
+        !matches!(self, Opcode::Store(_) | Opcode::Bar)
+    }
+
+    /// Whether the result arrives via the long-latency memory path.
+    #[must_use]
+    pub fn is_long_latency_load(self) -> bool {
+        matches!(self, Opcode::Load(MemSpace::Global))
+    }
+
+    /// Short mnemonic for display purposes.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::IAlu => "iadd",
+            Opcode::IMul => "imul",
+            Opcode::FAlu => "fadd",
+            Opcode::FMul => "fmul",
+            Opcode::FFma => "ffma",
+            Opcode::Sfu => "sfu",
+            Opcode::Load(MemSpace::Global) => "ldg",
+            Opcode::Load(MemSpace::Shared) => "lds",
+            Opcode::Store(MemSpace::Global) => "stg",
+            Opcode::Store(MemSpace::Shared) => "sts",
+            Opcode::Bar => "bar",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Maximum number of source operands an instruction may carry.
+pub const MAX_SRCS: usize = 3;
+
+/// A decoded instruction.
+///
+/// Instructions are immutable once built; use [`Instruction::new`] or the
+/// [`KernelBuilder`](crate::KernelBuilder) convenience methods.
+///
+/// # Examples
+///
+/// ```
+/// use warped_isa::{Instruction, Opcode, Reg, UnitType};
+///
+/// let i = Instruction::new(Opcode::FFma, Some(Reg::new(4)), &[Reg::new(1), Reg::new(2), Reg::new(4)]);
+/// assert_eq!(i.unit(), UnitType::Fp);
+/// assert_eq!(i.sources().count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    op: Opcode,
+    dst: Option<Reg>,
+    srcs: [Option<Reg>; MAX_SRCS],
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SRCS`] sources are supplied, if a store
+    /// carries a destination, or if a value-producing opcode lacks one.
+    #[must_use]
+    pub fn new(op: Opcode, dst: Option<Reg>, srcs: &[Reg]) -> Self {
+        assert!(
+            srcs.len() <= MAX_SRCS,
+            "instruction supports at most {MAX_SRCS} sources, got {}",
+            srcs.len()
+        );
+        assert_eq!(
+            op.writes_register(),
+            dst.is_some(),
+            "destination presence must match opcode {op}"
+        );
+        let mut s = [None; MAX_SRCS];
+        for (slot, reg) in s.iter_mut().zip(srcs) {
+            *slot = Some(*reg);
+        }
+        Instruction { op, dst, srcs: s }
+    }
+
+    /// The opcode.
+    #[must_use]
+    pub fn opcode(self) -> Opcode {
+        self.op
+    }
+
+    /// The execution unit class this instruction needs.
+    ///
+    /// This is the "two-bit instruction type" that GATES attaches to each
+    /// active-warp entry.
+    #[must_use]
+    pub fn unit(self) -> UnitType {
+        self.op.unit()
+    }
+
+    /// Whether this is a block-wide barrier.
+    #[must_use]
+    pub fn is_barrier(self) -> bool {
+        self.op.is_barrier()
+    }
+
+    /// Destination register, if the instruction produces a value.
+    #[must_use]
+    pub fn destination(self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// Iterator over the source registers.
+    pub fn sources(self) -> impl Iterator<Item = Reg> {
+        self.srcs.into_iter().flatten()
+    }
+
+    /// Pipeline latency of this instruction in the execution unit.
+    #[must_use]
+    pub fn latency(self) -> u32 {
+        self.op.latency()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.srcs.into_iter().flatten() {
+            write!(f, ", {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn unit_classification_covers_all_opcodes() {
+        assert_eq!(Opcode::IAlu.unit(), UnitType::Int);
+        assert_eq!(Opcode::IMul.unit(), UnitType::Int);
+        assert_eq!(Opcode::FAlu.unit(), UnitType::Fp);
+        assert_eq!(Opcode::FMul.unit(), UnitType::Fp);
+        assert_eq!(Opcode::FFma.unit(), UnitType::Fp);
+        assert_eq!(Opcode::Sfu.unit(), UnitType::Sfu);
+        assert_eq!(Opcode::Load(MemSpace::Global).unit(), UnitType::Ldst);
+        assert_eq!(Opcode::Store(MemSpace::Shared).unit(), UnitType::Ldst);
+    }
+
+    #[test]
+    fn alu_class_latencies_follow_fermi_pipeline_depths() {
+        assert_eq!(Opcode::IAlu.latency(), 4);
+        assert_eq!(Opcode::FAlu.latency(), 6);
+        assert_eq!(Opcode::FFma.latency(), 8);
+        assert!(Opcode::Sfu.latency() > Opcode::FFma.latency());
+    }
+
+    #[test]
+    fn stores_do_not_write_registers() {
+        assert!(!Opcode::Store(MemSpace::Global).writes_register());
+        assert!(Opcode::Load(MemSpace::Global).writes_register());
+        assert!(Opcode::IAlu.writes_register());
+    }
+
+    #[test]
+    fn only_global_loads_are_long_latency() {
+        assert!(Opcode::Load(MemSpace::Global).is_long_latency_load());
+        assert!(!Opcode::Load(MemSpace::Shared).is_long_latency_load());
+        assert!(!Opcode::Store(MemSpace::Global).is_long_latency_load());
+        assert!(!Opcode::FAlu.is_long_latency_load());
+    }
+
+    #[test]
+    fn instruction_sources_preserve_order() {
+        let i = Instruction::new(Opcode::FFma, Some(r(9)), &[r(1), r(2), r(3)]);
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![r(1), r(2), r(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination presence")]
+    fn store_with_destination_is_rejected() {
+        let _ = Instruction::new(Opcode::Store(MemSpace::Global), Some(r(1)), &[r(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination presence")]
+    fn alu_without_destination_is_rejected() {
+        let _ = Instruction::new(Opcode::IAlu, None, &[r(2)]);
+    }
+
+    #[test]
+    fn unit_type_index_roundtrips() {
+        for u in UnitType::ALL {
+            assert_eq!(UnitType::from_index(u.index()), u);
+        }
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let i = Instruction::new(Opcode::FMul, Some(r(2)), &[r(0), r(1)]);
+        assert_eq!(i.to_string(), "fmul r2, r0, r1");
+        assert_eq!(UnitType::Ldst.to_string(), "LDST");
+        assert_eq!(MemSpace::Global.to_string(), "global");
+    }
+}

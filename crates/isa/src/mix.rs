@@ -1,0 +1,147 @@
+//! Instruction-type mixes (the quantity Figure 5a of the paper reports).
+
+use crate::UnitType;
+use std::fmt;
+
+/// The fraction of dynamic instructions belonging to each execution-unit
+/// class.
+///
+/// Fractions always sum to 1 (or are all zero for an empty mix).
+///
+/// # Examples
+///
+/// ```
+/// use warped_isa::{InstructionMix, UnitType};
+///
+/// let mix = InstructionMix::new(0.5, 0.3, 0.0, 0.2);
+/// assert!((mix.fraction(UnitType::Int) - 0.5).abs() < 1e-12);
+/// assert!(mix.has_type(UnitType::Fp));
+/// assert!(!mix.has_type(UnitType::Sfu));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    fractions: [f64; 4],
+}
+
+impl InstructionMix {
+    /// Creates a mix from per-type fractions (INT, FP, SFU, LDST).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or if the fractions do not sum to
+    /// 1 within a small tolerance.
+    #[must_use]
+    pub fn new(int: f64, fp: f64, sfu: f64, ldst: f64) -> Self {
+        let fractions = [int, fp, sfu, ldst];
+        for f in fractions {
+            assert!(f >= 0.0, "mix fractions must be non-negative, got {f}");
+        }
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "mix fractions must sum to 1, got {sum}"
+        );
+        InstructionMix { fractions }
+    }
+
+    /// Creates a mix from absolute instruction counts (INT, FP, SFU, LDST).
+    ///
+    /// All-zero counts produce the zero mix.
+    #[must_use]
+    pub fn from_counts(counts: [u64; 4]) -> Self {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return InstructionMix { fractions: [0.0; 4] };
+        }
+        let mut fractions = [0.0; 4];
+        for (f, c) in fractions.iter_mut().zip(counts) {
+            *f = c as f64 / total as f64;
+        }
+        InstructionMix { fractions }
+    }
+
+    /// The fraction of instructions dispatched to `unit`.
+    #[must_use]
+    pub fn fraction(&self, unit: UnitType) -> f64 {
+        self.fractions[unit.index()]
+    }
+
+    /// Whether the mix contains any instructions of `unit`.
+    #[must_use]
+    pub fn has_type(&self, unit: UnitType) -> bool {
+        self.fraction(unit) > 0.0
+    }
+
+    /// Whether the mix is integer-only (no FP activity).
+    ///
+    /// Figure 9b of the paper excludes such benchmarks from FP energy
+    /// reporting.
+    #[must_use]
+    pub fn is_integer_only(&self) -> bool {
+        !self.has_type(UnitType::Fp)
+    }
+
+    /// All four fractions in [`UnitType::ALL`] order.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 4] {
+        self.fractions
+    }
+}
+
+impl fmt::Display for InstructionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "INT {:.1}% / FP {:.1}% / SFU {:.1}% / LDST {:.1}%",
+            self.fractions[0] * 100.0,
+            self.fractions[1] * 100.0,
+            self.fractions[2] * 100.0,
+            self.fractions[3] * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_normalizes() {
+        let m = InstructionMix::from_counts([2, 1, 0, 1]);
+        assert!((m.fraction(UnitType::Int) - 0.5).abs() < 1e-12);
+        assert!((m.fraction(UnitType::Ldst) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counts_yield_zero_mix() {
+        let m = InstructionMix::from_counts([0; 4]);
+        for u in UnitType::ALL {
+            assert_eq!(m.fraction(u), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn fractions_must_sum_to_one() {
+        let _ = InstructionMix::new(0.5, 0.5, 0.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_fractions_rejected() {
+        let _ = InstructionMix::new(1.2, -0.2, 0.0, 0.0);
+    }
+
+    #[test]
+    fn integer_only_detection() {
+        assert!(InstructionMix::new(0.8, 0.0, 0.0, 0.2).is_integer_only());
+        assert!(!InstructionMix::new(0.7, 0.1, 0.0, 0.2).is_integer_only());
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let s = InstructionMix::new(0.5, 0.25, 0.0, 0.25).to_string();
+        assert!(s.contains("INT 50.0%"));
+        assert!(s.contains("LDST 25.0%"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Architectural register identifiers.
+
+use std::fmt;
+
+/// Maximum number of architectural registers addressable per warp.
+///
+/// The scoreboard in `warped-sim` uses a fixed-width bitset sized by this
+/// constant, so register indices must stay below it.
+pub const NUM_REGS: u16 = 256;
+
+/// An architectural register identifier local to a warp.
+///
+/// Registers are pure dependence tokens: the simulator never stores values
+/// in them, it only tracks which registers have in-flight writers.
+///
+/// # Examples
+///
+/// ```
+/// use warped_isa::Reg;
+///
+/// let r = Reg::new(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u16);
+
+impl Reg {
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not below [`NUM_REGS`].
+    #[must_use]
+    pub fn new(index: u16) -> Self {
+        assert!(
+            index < NUM_REGS,
+            "register index {index} out of range (max {})",
+            NUM_REGS - 1
+        );
+        Reg(index)
+    }
+
+    /// Creates a register identifier without the range check.
+    ///
+    /// Returns `None` when `index` is out of range, making it usable in
+    /// contexts where panicking is undesirable.
+    #[must_use]
+    pub fn try_new(index: u16) -> Option<Self> {
+        (index < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The numeric register index.
+    #[must_use]
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u16 {
+    fn from(r: Reg) -> u16 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_in_range_indices() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(NUM_REGS - 1).index(), NUM_REGS - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range_index() {
+        let _ = Reg::new(NUM_REGS);
+    }
+
+    #[test]
+    fn try_new_mirrors_new_without_panicking() {
+        assert_eq!(Reg::try_new(3), Some(Reg::new(3)));
+        assert_eq!(Reg::try_new(NUM_REGS), None);
+    }
+
+    #[test]
+    fn display_uses_r_prefix() {
+        assert_eq!(Reg::new(42).to_string(), "r42");
+    }
+
+    #[test]
+    fn conversion_to_u16_roundtrips() {
+        let r = Reg::new(13);
+        assert_eq!(u16::from(r), 13);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Reg::new(1) < Reg::new(2));
+    }
+}

@@ -1,0 +1,290 @@
+//! Energy accounting from simulation and gating statistics.
+
+use crate::params::PowerParams;
+use warped_isa::UnitType;
+use warped_sim::{GatingReport, SimStats};
+
+/// The energy consumed by one unit type over a run, split the way the
+/// paper's Figure 1b splits it: dynamic work, power-gating overhead, and
+/// residual static (leakage) energy.
+///
+/// All values are in leakage-cycle units (see
+/// [`PowerParams`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Leakage actually burned: un-gated cluster-cycles × leakage power.
+    /// Wakeup (voltage-restore) cycles burn leakage but do no work, so
+    /// they are included here.
+    pub static_energy: f64,
+    /// Sleep-transistor switching energy: gating events × per-event
+    /// overhead.
+    pub overhead: f64,
+    /// Dynamic energy of executed instructions.
+    pub dynamic: f64,
+}
+
+impl EnergyBreakdown {
+    /// Builds a breakdown from raw counts.
+    ///
+    /// * `cycles` — run length in cycles,
+    /// * `clusters` — gating domains of this unit type (2 for INT/FP),
+    /// * `gated_cluster_cycles` — total gated cycles summed over those
+    ///   domains,
+    /// * `gate_events` — gating events summed over those domains,
+    /// * `ops` — instructions executed by this unit type.
+    ///
+    /// The per-event overhead uses the break-even definition with the
+    /// default 14-cycle BET; use [`EnergyBreakdown::from_run`] to respect
+    /// a configured BET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more cycles are gated than exist.
+    #[must_use]
+    pub fn from_counts(
+        params: &PowerParams,
+        unit: UnitType,
+        cycles: u64,
+        clusters: u64,
+        gated_cluster_cycles: u64,
+        gate_events: u64,
+        ops: u64,
+    ) -> Self {
+        Self::with_bet(params, unit, 14, cycles, clusters, gated_cluster_cycles, gate_events, ops)
+    }
+
+    /// Like [`EnergyBreakdown::from_counts`] with an explicit break-even
+    /// time (which sets the per-event overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gated_cluster_cycles > clusters × cycles`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_bet(
+        params: &PowerParams,
+        unit: UnitType,
+        bet: u32,
+        cycles: u64,
+        clusters: u64,
+        gated_cluster_cycles: u64,
+        gate_events: u64,
+        ops: u64,
+    ) -> Self {
+        params.validate();
+        let capacity = clusters * cycles;
+        assert!(
+            gated_cluster_cycles <= capacity,
+            "gated cycles {gated_cluster_cycles} exceed capacity {capacity}"
+        );
+        let ungated = capacity - gated_cluster_cycles;
+        EnergyBreakdown {
+            static_energy: ungated as f64 * params.static_power_per_cluster,
+            overhead: gate_events as f64 * params.gate_event_overhead(bet),
+            dynamic: ops as f64 * params.dynamic_energy_per_op(unit),
+        }
+    }
+
+    /// Builds the breakdown for `unit` from a run's statistics.
+    ///
+    /// `bet` must be the break-even time the gating controller was
+    /// configured with, since it defines the per-event overhead.
+    #[must_use]
+    pub fn from_run(
+        params: &PowerParams,
+        stats: &SimStats,
+        gating: &GatingReport,
+        unit: UnitType,
+        bet: u32,
+    ) -> Self {
+        let domains = stats.layout.domains_of(unit);
+        let g = gating.sum_over(domains);
+        Self::with_bet(
+            params,
+            unit,
+            bet,
+            stats.cycles,
+            domains.len() as u64,
+            g.gated_cycles,
+            g.gate_events,
+            stats.issued(unit),
+        )
+    }
+
+    /// Total energy of the three components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.static_energy + self.overhead + self.dynamic
+    }
+
+    /// `(dynamic, overhead, static)` as fractions of a reference total
+    /// (Figure 1b normalises against the no-gating baseline's total).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_total` is not strictly positive.
+    #[must_use]
+    pub fn normalized_to(&self, reference_total: f64) -> (f64, f64, f64) {
+        assert!(reference_total > 0.0, "reference total must be positive");
+        (
+            self.dynamic / reference_total,
+            self.overhead / reference_total,
+            self.static_energy / reference_total,
+        )
+    }
+}
+
+/// Static-energy savings of a gated run relative to an un-gated baseline
+/// run (the paper's Figure 9 metric).
+///
+/// Savings account for the power-gating overhead and for any runtime
+/// change: the baseline burns leakage for *its* cycle count, the gated
+/// run for its own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticSavings {
+    /// Leakage the always-on baseline burns.
+    pub baseline_static: f64,
+    /// Leakage plus gating overhead the gated run burns.
+    pub gated_static_plus_overhead: f64,
+}
+
+impl StaticSavings {
+    /// Computes savings for `unit`, comparing a gated run against a
+    /// baseline (no power gating) run of the same workload.
+    #[must_use]
+    pub fn for_unit(
+        params: &PowerParams,
+        baseline: &SimStats,
+        gated_stats: &SimStats,
+        gated_report: &GatingReport,
+        unit: UnitType,
+        bet: u32,
+    ) -> Self {
+        let clusters = baseline.layout.domains_of(unit).len() as f64;
+        let baseline_static =
+            clusters * baseline.cycles as f64 * params.static_power_per_cluster;
+        let e = EnergyBreakdown::from_run(params, gated_stats, gated_report, unit, bet);
+        StaticSavings {
+            baseline_static,
+            gated_static_plus_overhead: e.static_energy + e.overhead,
+        }
+    }
+
+    /// The savings fraction: 1 means all leakage eliminated, 0 means
+    /// none, negative means gating overhead exceeded the savings (as the
+    /// paper observes for `backprop`/`cutcp`/`lavaMD`/`NN` under
+    /// conventional gating).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.baseline_static <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.gated_static_plus_overhead / self.baseline_static
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_sim::DomainId;
+
+    fn params() -> PowerParams {
+        PowerParams::default()
+    }
+
+    #[test]
+    fn no_gating_means_full_static_energy() {
+        let e = EnergyBreakdown::from_counts(&params(), UnitType::Int, 100, 2, 0, 0, 10);
+        assert_eq!(e.static_energy, 200.0);
+        assert_eq!(e.overhead, 0.0);
+        assert_eq!(e.dynamic, 56.0);
+        assert_eq!(e.total(), 256.0);
+    }
+
+    #[test]
+    fn gating_reduces_static_but_adds_overhead() {
+        let e = EnergyBreakdown::with_bet(&params(), UnitType::Int, 14, 100, 2, 60, 3, 10);
+        assert_eq!(e.static_energy, 140.0);
+        assert_eq!(e.overhead, 42.0);
+    }
+
+    #[test]
+    fn break_even_event_is_energy_neutral() {
+        // One event gated for exactly BET cycles: saved = BET, overhead = BET.
+        let baseline = EnergyBreakdown::with_bet(&params(), UnitType::Int, 14, 100, 1, 0, 0, 0);
+        let gated = EnergyBreakdown::with_bet(&params(), UnitType::Int, 14, 100, 1, 14, 1, 0);
+        let saved = baseline.static_energy - gated.static_energy;
+        assert!((saved - gated.overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_shorter_than_bet_is_net_negative() {
+        let baseline = EnergyBreakdown::with_bet(&params(), UnitType::Int, 14, 100, 1, 0, 0, 0);
+        let gated = EnergyBreakdown::with_bet(&params(), UnitType::Int, 14, 100, 1, 5, 1, 0);
+        let with_pg = gated.static_energy + gated.overhead;
+        assert!(with_pg > baseline.static_energy, "net energy loss expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed capacity")]
+    fn impossible_gated_cycles_rejected() {
+        let _ = EnergyBreakdown::from_counts(&params(), UnitType::Int, 10, 2, 21, 0, 0);
+    }
+
+    #[test]
+    fn normalized_fractions_sum_to_one_against_own_total() {
+        let e = EnergyBreakdown::from_counts(&params(), UnitType::Int, 100, 2, 60, 3, 10);
+        let (d, o, s) = e.normalized_to(e.total());
+        assert!((d + o + s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference total")]
+    fn zero_reference_total_rejected() {
+        let e = EnergyBreakdown::from_counts(&params(), UnitType::Int, 100, 2, 0, 0, 0);
+        let _ = e.normalized_to(0.0);
+    }
+
+    #[test]
+    fn savings_fraction_positive_for_long_gating() {
+        let s = StaticSavings {
+            baseline_static: 200.0,
+            gated_static_plus_overhead: 120.0,
+        };
+        assert!((s.fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_fraction_negative_when_overhead_dominates() {
+        let s = StaticSavings {
+            baseline_static: 200.0,
+            gated_static_plus_overhead: 230.0,
+        };
+        assert!(s.fraction() < 0.0);
+    }
+
+    #[test]
+    fn savings_from_run_statistics() {
+        use warped_sim::GatingReport;
+        let mut baseline = SimStats::new();
+        baseline.cycles = 1000;
+        let mut gated_stats = SimStats::new();
+        gated_stats.cycles = 1010; // slight slowdown
+        let mut report = GatingReport::new();
+        report.domain_mut(DomainId::INT0).gated_cycles = 400;
+        report.domain_mut(DomainId::INT0).gate_events = 5;
+        report.domain_mut(DomainId::INT1).gated_cycles = 500;
+        report.domain_mut(DomainId::INT1).gate_events = 5;
+        let s = StaticSavings::for_unit(
+            &params(),
+            &baseline,
+            &gated_stats,
+            &report,
+            UnitType::Int,
+            14,
+        );
+        // baseline static = 2*1000; gated static = 2*1010-900 = 1120;
+        // overhead = 10*14 = 140 → (2000-1260)/2000 = 0.37
+        assert!((s.fraction() - 0.37).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Hardware-overhead model for the microarchitectural counters that
+//! GATES, Blackout, and adaptive idle detect add to the SM.
+//!
+//! The paper synthesized the counters in Verilog with the NCSU PDK 45 nm
+//! library and reported their area and power against GPUWattch's SM
+//! figures (Section 7.5). We embed those published constants and derive
+//! the same overhead percentages from the counter inventory, instead of
+//! re-running synthesis.
+
+/// SM area reported by GPUWattch for the GTX480, in mm².
+pub const SM_AREA_MM2: f64 = 48.1;
+/// SM dynamic power, in watts.
+pub const SM_DYNAMIC_W: f64 = 1.92;
+/// SM leakage power, in watts.
+pub const SM_LEAKAGE_W: f64 = 1.61;
+
+/// Synthesized area of the full counter set, in µm² (paper §7.5).
+pub const COUNTERS_AREA_UM2: f64 = 1210.8;
+/// Synthesized dynamic power of the counter set, in watts.
+pub const COUNTERS_DYNAMIC_W: f64 = 1.55e-3;
+/// Synthesized leakage power of the counter set, in watts.
+pub const COUNTERS_LEAKAGE_W: f64 = 1.21e-5;
+
+/// One counter/register added by the proposed mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSpec {
+    /// What the counter is for.
+    pub name: &'static str,
+    /// Bit width.
+    pub bits: u32,
+    /// How many instances per SM.
+    pub instances: u32,
+    /// Which mechanism requires it.
+    pub mechanism: &'static str,
+}
+
+/// The counter inventory the paper's mechanisms add per SM.
+///
+/// * GATES: four 5-bit ready counters (INT/FP/SFU/LDST over at most 32
+///   active warps each — the paper sizes them at 5 bits), two 6-bit
+///   active-subset counters (up to 48 warps), one 2-bit priority
+///   register.
+/// * Blackout: one 5-bit break-even countdown per gated cluster (four
+///   clusters).
+/// * Adaptive idle detect: one critical-wakeup counter and one
+///   idle-detect register per CUDA-core unit type.
+#[must_use]
+pub fn counter_inventory() -> Vec<CounterSpec> {
+    vec![
+        CounterSpec { name: "INT_RDY/FP_RDY/SFU_RDY/LDST_RDY ready counters", bits: 5, instances: 4, mechanism: "GATES" },
+        CounterSpec { name: "INT_ACTV/FP_ACTV active-subset counters", bits: 6, instances: 2, mechanism: "GATES" },
+        CounterSpec { name: "instruction priority register", bits: 2, instances: 1, mechanism: "GATES" },
+        CounterSpec { name: "blackout break-even countdown", bits: 5, instances: 4, mechanism: "Blackout" },
+        CounterSpec { name: "critical-wakeup epoch counter", bits: 8, instances: 2, mechanism: "Adaptive idle detect" },
+        CounterSpec { name: "idle-detect register", bits: 4, instances: 2, mechanism: "Adaptive idle detect" },
+    ]
+}
+
+/// Total storage bits the mechanisms add per SM.
+#[must_use]
+pub fn total_bits() -> u32 {
+    counter_inventory()
+        .iter()
+        .map(|c| c.bits * c.instances)
+        .sum()
+}
+
+/// The overhead percentages of the added hardware against one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareOverhead {
+    /// Area overhead as a fraction of SM area.
+    pub area_fraction: f64,
+    /// Dynamic power overhead as a fraction of SM dynamic power.
+    pub dynamic_fraction: f64,
+    /// Leakage power overhead as a fraction of SM leakage power.
+    pub leakage_fraction: f64,
+}
+
+/// Computes the overhead from the embedded synthesis constants.
+///
+/// # Examples
+///
+/// ```
+/// let o = warped_power::hardware::overhead();
+/// assert!(o.area_fraction < 0.0001, "paper reports ~0.003% area");
+/// assert!(o.dynamic_fraction < 0.001);
+/// ```
+#[must_use]
+pub fn overhead() -> HardwareOverhead {
+    HardwareOverhead {
+        area_fraction: COUNTERS_AREA_UM2 / (SM_AREA_MM2 * 1.0e6),
+        dynamic_fraction: COUNTERS_DYNAMIC_W / SM_DYNAMIC_W,
+        leakage_fraction: COUNTERS_LEAKAGE_W / SM_LEAKAGE_W,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_overhead_matches_paper_magnitude() {
+        let o = overhead();
+        // The paper reports 0.003% (rounded up from ~0.0025%).
+        assert!(o.area_fraction > 1.0e-5 && o.area_fraction < 5.0e-5);
+    }
+
+    #[test]
+    fn power_overheads_match_paper_magnitudes() {
+        let o = overhead();
+        // ~0.08% dynamic, ~0.0007% leakage.
+        assert!((o.dynamic_fraction - 8.07e-4).abs() < 1e-5);
+        assert!((o.leakage_fraction - 7.5e-6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inventory_covers_all_three_mechanisms() {
+        let inv = counter_inventory();
+        for mech in ["GATES", "Blackout", "Adaptive idle detect"] {
+            assert!(inv.iter().any(|c| c.mechanism == mech), "missing {mech}");
+        }
+    }
+
+    #[test]
+    fn total_bits_is_small() {
+        let bits = total_bits();
+        // 20 + 12 + 2 + 20 + 16 + 8 = 78 bits per SM.
+        assert_eq!(bits, 78);
+    }
+}

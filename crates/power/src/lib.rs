@@ -1,0 +1,42 @@
+//! # warped-power
+//!
+//! GPUWattch/McPAT-style energy, area, and power-gating-overhead models
+//! for the Warped Gates reproduction.
+//!
+//! The model works in *leakage-cycle units*: the leakage of one execution
+//! cluster over one cycle is the unit of energy. Every quantity the
+//! paper's figures report — static-energy savings, energy breakdowns,
+//! overhead shares — is a ratio, so this normalisation is lossless. The
+//! chip-level estimator ([`chip`]) converts to watts using the published
+//! GTX480 constants from the paper's Section 7.3, and the hardware
+//! overhead model ([`hardware`]) embeds the synthesized counter
+//! area/power figures of Section 7.5.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use warped_power::{EnergyBreakdown, PowerParams};
+//!
+//! let params = PowerParams::default();
+//! // A 1000-cycle run in which the two INT clusters were gated for a
+//! // total of 600 cluster-cycles across 10 gating events and executed
+//! // 500 instructions:
+//! let e = EnergyBreakdown::from_counts(&params, warped_isa::UnitType::Int, 1000, 2, 600, 10, 500);
+//! assert!(e.static_energy > 0.0);
+//! let baseline = EnergyBreakdown::from_counts(&params, warped_isa::UnitType::Int, 1000, 2, 0, 0, 500);
+//! assert!(e.total() < baseline.total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod hardware;
+
+mod energy;
+mod params;
+mod timeline;
+
+pub use energy::{EnergyBreakdown, StaticSavings};
+pub use params::PowerParams;
+pub use timeline::{EnergyTimeline, EpochEnergy};

@@ -1,0 +1,140 @@
+//! Energy-model parameters.
+
+/// Parameters of the execution-unit energy model.
+///
+/// Energies are expressed in *leakage-cycle units*: the leakage energy of
+/// one execution cluster over one core cycle is 1.0. With that
+/// normalisation:
+///
+/// * static energy of an always-on unit type = `clusters × cycles`,
+/// * the power-gating overhead of one gating event is defined so that
+///   the break-even time is self-consistent: an event that stays gated
+///   for exactly `bet` cycles saves exactly its own overhead
+///   (`overhead = bet × 1.0`),
+/// * dynamic energy per instruction is calibrated so that, at the
+///   average INT utilisation of the paper's benchmark suite, static
+///   energy is ≈50% of INT unit energy and ≥90% of FP unit energy
+///   (Figure 1b's baseline bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Leakage power of one cluster, per cycle (the unit: 1.0).
+    pub static_power_per_cluster: f64,
+    /// Dynamic energy of one integer warp instruction, in leakage-cycle
+    /// units of the INT cluster.
+    pub dynamic_energy_per_int_op: f64,
+    /// Dynamic energy of one floating point warp instruction, in
+    /// leakage-cycle units of the FP cluster. Much smaller than the INT
+    /// value: GPUWattch's 45 nm GTX480 data attributes far more leakage
+    /// per unit of switching energy to the FP units (4.40 W of FP
+    /// leakage vs milliwatt-scale INT leakage), which is why the paper's
+    /// Figure 1b shows static energy at ~50% of INT unit energy but >90%
+    /// of FP unit energy.
+    pub dynamic_energy_per_fp_op: f64,
+}
+
+impl PowerParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    pub fn validate(&self) {
+        assert!(
+            self.static_power_per_cluster > 0.0,
+            "static power must be positive"
+        );
+        assert!(
+            self.dynamic_energy_per_int_op > 0.0,
+            "dynamic energy must be positive"
+        );
+        assert!(
+            self.dynamic_energy_per_fp_op > 0.0,
+            "dynamic energy must be positive"
+        );
+    }
+
+    /// Dynamic energy per warp instruction of `unit` (INT and FP carry
+    /// distinct costs; SFU and LDST reuse the INT figure, though the
+    /// energy model never reports those units).
+    #[must_use]
+    pub fn dynamic_energy_per_op(&self, unit: warped_isa::UnitType) -> f64 {
+        match unit {
+            warped_isa::UnitType::Fp => self.dynamic_energy_per_fp_op,
+            _ => self.dynamic_energy_per_int_op,
+        }
+    }
+
+    /// The energy overhead of one power-gating event (sleep-transistor
+    /// switching), given the break-even time in cycles.
+    ///
+    /// By the definition of break-even time, the overhead equals the
+    /// leakage saved over exactly `bet` gated cycles.
+    #[must_use]
+    pub fn gate_event_overhead(&self, bet: u32) -> f64 {
+        f64::from(bet) * self.static_power_per_cluster
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            static_power_per_cluster: 1.0,
+            dynamic_energy_per_int_op: 5.6,
+            dynamic_energy_per_fp_op: 0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        PowerParams::default().validate();
+    }
+
+    #[test]
+    fn overhead_is_bet_leakage_cycles() {
+        let p = PowerParams::default();
+        assert_eq!(p.gate_event_overhead(14), 14.0);
+        assert_eq!(p.gate_event_overhead(9), 9.0);
+    }
+
+    #[test]
+    fn overhead_scales_with_cluster_leakage() {
+        let p = PowerParams {
+            static_power_per_cluster: 2.0,
+            ..PowerParams::default()
+        };
+        assert_eq!(p.gate_event_overhead(10), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "static power")]
+    fn non_positive_static_rejected() {
+        PowerParams {
+            static_power_per_cluster: 0.0,
+            ..PowerParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic energy")]
+    fn non_positive_dynamic_rejected() {
+        PowerParams {
+            dynamic_energy_per_fp_op: -1.0,
+            ..PowerParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn fp_dynamic_energy_is_far_below_int() {
+        let p = PowerParams::default();
+        assert!(p.dynamic_energy_per_fp_op < p.dynamic_energy_per_int_op / 5.0);
+        assert!((p.dynamic_energy_per_op(warped_isa::UnitType::Fp) - p.dynamic_energy_per_fp_op).abs() < 1e-12);
+        assert!((p.dynamic_energy_per_op(warped_isa::UnitType::Int) - p.dynamic_energy_per_int_op).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Execution-unit pipelines and per-cycle issue-port bookkeeping.
+
+use crate::domain::{DomainId, MAX_SP_CLUSTERS, NUM_DOMAINS};
+use warped_isa::UnitType;
+
+/// A pipelined execution cluster (one gating domain's worth of hardware).
+///
+/// The pipeline accepts at most one warp instruction per cycle (initiation
+/// interval 1) and keeps each instruction in flight for its latency. The
+/// cluster is *busy* in a cycle when any instruction occupies any stage —
+/// the signal the power gating controller's idle detector watches.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Pipeline {
+    in_flight: u32,
+    issued_total: u64,
+}
+
+impl Pipeline {
+    pub(crate) fn issue(&mut self) {
+        self.in_flight += 1;
+        self.issued_total += 1;
+    }
+
+    pub(crate) fn retire(&mut self) {
+        debug_assert!(self.in_flight > 0, "retire without matching issue");
+        self.in_flight -= 1;
+    }
+
+    pub(crate) fn is_busy(&self) -> bool {
+        self.in_flight > 0
+    }
+
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    #[cfg(test)]
+    pub(crate) fn issued_total(&self) -> u64 {
+        self.issued_total
+    }
+}
+
+/// The SM's full set of execution pipelines, one per gating domain.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExecUnits {
+    pipes: [Pipeline; NUM_DOMAINS],
+}
+
+impl ExecUnits {
+    #[cfg(test)]
+    #[allow(dead_code)]
+    pub(crate) fn pipe(&self, d: DomainId) -> &Pipeline {
+        &self.pipes[d.index()]
+    }
+
+    pub(crate) fn pipe_mut(&mut self, d: DomainId) -> &mut Pipeline {
+        &mut self.pipes[d.index()]
+    }
+
+    /// Busy flags for every domain, in domain-index order.
+    pub(crate) fn busy_flags(&self) -> [bool; NUM_DOMAINS] {
+        let mut out = [false; NUM_DOMAINS];
+        for (o, p) in out.iter_mut().zip(&self.pipes) {
+            *o = p.is_busy();
+        }
+        out
+    }
+}
+
+/// Issue-port allocation for one cycle.
+///
+/// The SM has four dispatch ports: SP0, SP1, SFU, LDST. An INT or FP
+/// instruction consumes the port of the SP cluster it dispatches to, so
+/// two INT instructions can co-issue (one per cluster), and an INT plus an
+/// FP can co-issue to different clusters, but INT0 and FP0 conflict.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IssuePorts {
+    sp_used: [bool; MAX_SP_CLUSTERS],
+    sfu_used: bool,
+    ldst_used: bool,
+    issued: usize,
+}
+
+impl IssuePorts {
+    #[cfg(test)]
+    pub(crate) fn reset(&mut self) {
+        *self = IssuePorts::default();
+    }
+
+    pub(crate) fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// Whether `domain` could accept an instruction this cycle, port-wise.
+    pub(crate) fn port_free(&self, domain: DomainId) -> bool {
+        match domain.sp_cluster() {
+            Some(c) => !self.sp_used[c],
+            None => match domain.unit() {
+                UnitType::Sfu => !self.sfu_used,
+                UnitType::Ldst => !self.ldst_used,
+                _ => unreachable!("INT/FP domains always map to an SP cluster"),
+            },
+        }
+    }
+
+    /// Claims the port for `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the port was already used this cycle.
+    pub(crate) fn claim(&mut self, domain: DomainId) {
+        debug_assert!(self.port_free(domain), "double issue to {domain}");
+        match domain.sp_cluster() {
+            Some(c) => self.sp_used[c] = true,
+            None => match domain.unit() {
+                UnitType::Sfu => self.sfu_used = true,
+                UnitType::Ldst => self.ldst_used = true,
+                _ => unreachable!(),
+            },
+        }
+        self.issued += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_busy_tracks_in_flight() {
+        let mut p = Pipeline::default();
+        assert!(!p.is_busy());
+        p.issue();
+        p.issue();
+        assert!(p.is_busy());
+        assert_eq!(p.in_flight(), 2);
+        p.retire();
+        assert!(p.is_busy());
+        p.retire();
+        assert!(!p.is_busy());
+        assert_eq!(p.issued_total(), 2);
+    }
+
+    #[test]
+    fn ports_allow_dual_issue_to_distinct_clusters() {
+        let mut ports = IssuePorts::default();
+        assert!(ports.port_free(DomainId::INT0));
+        ports.claim(DomainId::INT0);
+        assert!(!ports.port_free(DomainId::INT0));
+        assert!(!ports.port_free(DomainId::FP0), "FP0 shares SP0's port");
+        assert!(ports.port_free(DomainId::INT1));
+        ports.claim(DomainId::INT1);
+        assert_eq!(ports.issued(), 2);
+    }
+
+    #[test]
+    fn sfu_and_ldst_have_independent_ports() {
+        let mut ports = IssuePorts::default();
+        ports.claim(DomainId::SFU);
+        assert!(!ports.port_free(DomainId::SFU));
+        assert!(ports.port_free(DomainId::LDST));
+        ports.claim(DomainId::LDST);
+        assert!(ports.port_free(DomainId::INT0), "SP ports unaffected");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ports = IssuePorts::default();
+        ports.claim(DomainId::FP1);
+        ports.reset();
+        assert!(ports.port_free(DomainId::FP1));
+        assert_eq!(ports.issued(), 0);
+    }
+
+    #[test]
+    fn busy_flags_reflect_each_domain() {
+        let mut units = ExecUnits::default();
+        units.pipe_mut(DomainId::FP0).issue();
+        let flags = units.busy_flags();
+        assert!(flags[DomainId::FP0.index()]);
+        assert!(!flags[DomainId::INT0.index()]);
+    }
+}

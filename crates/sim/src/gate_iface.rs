@@ -1,0 +1,213 @@
+//! The power-gating controller interface seen by the simulator.
+//!
+//! The simulator asks the controller, every cycle, whether each domain can
+//! accept an instruction; after issue it hands the controller the cycle's
+//! busy flags, unsatisfied-demand flags, and active-subset occupancy so
+//! the controller can advance its state machines. Concrete controllers
+//! (conventional power gating, Blackout, Warped Gates) live in the
+//! `warped-gating` and `warped-gates` crates.
+
+use crate::domain::{DomainId, NUM_DOMAINS};
+
+/// Aggregate power-gating activity of one run, in plain data form.
+///
+/// Controllers fill one entry per gating domain. All figures in the
+/// paper's evaluation that concern gating behaviour (8b compensated
+/// cycles, 8c wakeups, 9 energy, 6 critical wakeups) derive from this
+/// report plus the simulator's own [`SimStats`](crate::SimStats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatingReport {
+    /// Per-domain counters, indexed by [`DomainId::index`].
+    pub domains: Vec<DomainGatingStats>,
+}
+
+/// Gating counters for a single domain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainGatingStats {
+    /// Times the domain entered the gated state.
+    pub gate_events: u64,
+    /// Times the domain was woken up (≤ `gate_events`).
+    pub wakeups: u64,
+    /// Wakeups that fired the very cycle the break-even time elapsed
+    /// (the paper's *critical wakeups*; meaningful for Blackout).
+    pub critical_wakeups: u64,
+    /// Cycles spent gated, total.
+    pub gated_cycles: u64,
+    /// Gated cycles beyond the break-even time (net-saving cycles).
+    pub compensated_cycles: u64,
+    /// Gated cycles within the break-even time.
+    pub uncompensated_cycles: u64,
+    /// Cycles spent in the wakeup (voltage-restore) state.
+    pub wakeup_cycles: u64,
+    /// Gating events that ended before the break-even time elapsed
+    /// (net energy loss events; zero under Blackout by construction).
+    pub premature_wakeups: u64,
+    /// Cycles spent gated while demand was pending but the policy
+    /// refused to wake (Blackout's enforced-sleep exposure: an upper
+    /// bound on the performance cost of the break-even lock).
+    pub demand_blocked_cycles: u64,
+}
+
+impl GatingReport {
+    /// A zeroed report with one entry per domain.
+    #[must_use]
+    pub fn new() -> Self {
+        GatingReport {
+            domains: vec![DomainGatingStats::default(); NUM_DOMAINS],
+        }
+    }
+
+    /// Counters for `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report was built with fewer than `NUM_DOMAINS`
+    /// entries.
+    #[must_use]
+    pub fn domain(&self, domain: DomainId) -> &DomainGatingStats {
+        &self.domains[domain.index()]
+    }
+
+    /// Mutable counters for `domain`.
+    #[must_use]
+    pub fn domain_mut(&mut self, domain: DomainId) -> &mut DomainGatingStats {
+        &mut self.domains[domain.index()]
+    }
+
+    /// Sums counters over a set of domains (e.g. both INT clusters).
+    #[must_use]
+    pub fn sum_over(&self, domains: &[DomainId]) -> DomainGatingStats {
+        let mut out = DomainGatingStats::default();
+        for d in domains {
+            let s = self.domain(*d);
+            out.gate_events += s.gate_events;
+            out.wakeups += s.wakeups;
+            out.critical_wakeups += s.critical_wakeups;
+            out.gated_cycles += s.gated_cycles;
+            out.compensated_cycles += s.compensated_cycles;
+            out.uncompensated_cycles += s.uncompensated_cycles;
+            out.wakeup_cycles += s.wakeup_cycles;
+            out.premature_wakeups += s.premature_wakeups;
+            out.demand_blocked_cycles += s.demand_blocked_cycles;
+        }
+        out
+    }
+}
+
+/// Per-cycle inputs handed to the controller after the issue phase.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleObservation {
+    /// The cycle that just executed.
+    pub cycle: u64,
+    /// Whether each domain's pipeline held at least one instruction.
+    pub busy: [bool; NUM_DOMAINS],
+    /// How many ready instructions of each unit type (INT, FP, SFU, LDST)
+    /// failed to issue because every capable domain was gated, waking, or
+    /// already port-saturated. This is the controller's wakeup demand
+    /// signal (the "ready instruction scheduled" edge of Figure 2c).
+    pub blocked_demand: [u32; 4],
+    /// Number of warps in the per-type active-warp subsets
+    /// (the paper's `INT_ACTV` / `FP_ACTV` counters, plus SFU/LDST).
+    pub active_subset: [u32; 4],
+}
+
+/// A power-gating controller.
+///
+/// The simulator calls [`is_on`](PowerGating::is_on) during the issue
+/// phase (a domain that is gated or waking cannot accept instructions)
+/// and [`observe`](PowerGating::observe) exactly once at the end of every
+/// cycle.
+pub trait PowerGating {
+    /// Whether `domain` can accept an instruction this cycle.
+    fn is_on(&self, domain: DomainId) -> bool;
+
+    /// Advances controller state at the end of a cycle.
+    fn observe(&mut self, obs: &CycleObservation);
+
+    /// Final counters for reporting.
+    fn report(&self) -> GatingReport;
+
+    /// Human-readable controller name (used in reports and figures).
+    fn name(&self) -> &'static str;
+}
+
+/// The no-gating baseline: every unit is always powered.
+///
+/// # Examples
+///
+/// ```
+/// use warped_sim::{AlwaysOn, DomainId, PowerGating};
+///
+/// let ctl = AlwaysOn::new();
+/// assert!(ctl.is_on(DomainId::FP1));
+/// assert_eq!(ctl.report().domain(DomainId::FP1).gate_events, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AlwaysOn {
+    _private: (),
+}
+
+impl AlwaysOn {
+    /// Creates the always-on controller.
+    #[must_use]
+    pub fn new() -> Self {
+        AlwaysOn { _private: () }
+    }
+}
+
+impl PowerGating for AlwaysOn {
+    fn is_on(&self, _domain: DomainId) -> bool {
+        true
+    }
+
+    fn observe(&mut self, _obs: &CycleObservation) {}
+
+    fn report(&self) -> GatingReport {
+        GatingReport::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_never_gates() {
+        let mut ctl = AlwaysOn::new();
+        for d in DomainId::ALL {
+            assert!(ctl.is_on(d));
+        }
+        ctl.observe(&CycleObservation {
+            cycle: 0,
+            busy: [false; NUM_DOMAINS],
+            blocked_demand: [0; 4],
+            active_subset: [0; 4],
+        });
+        let r = ctl.report();
+        for d in DomainId::ALL {
+            assert_eq!(r.domain(d).gated_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn report_sums_over_domains() {
+        let mut r = GatingReport::new();
+        r.domain_mut(DomainId::INT0).gate_events = 2;
+        r.domain_mut(DomainId::INT0).gated_cycles = 30;
+        r.domain_mut(DomainId::INT1).gate_events = 3;
+        r.domain_mut(DomainId::INT1).gated_cycles = 12;
+        let s = r.sum_over(DomainId::domains_of(warped_isa::UnitType::Int));
+        assert_eq!(s.gate_events, 5);
+        assert_eq!(s.gated_cycles, 42);
+    }
+
+    #[test]
+    fn report_new_covers_all_domains() {
+        let r = GatingReport::new();
+        assert_eq!(r.domains.len(), NUM_DOMAINS);
+    }
+}

@@ -1,0 +1,297 @@
+//! Multi-SM simulation driver.
+
+use crate::config::SmConfig;
+use crate::gate_iface::{GatingReport, PowerGating};
+use crate::sched::WarpScheduler;
+use crate::sm::{Sm, SmOutcome};
+use crate::stats::SimStats;
+use warped_isa::Kernel;
+
+/// A kernel launch: the program plus the number of warps in the grid
+/// (per SM).
+///
+/// # Examples
+///
+/// ```
+/// use warped_isa::KernelBuilder;
+/// use warped_sim::LaunchConfig;
+///
+/// let k = KernelBuilder::new("k").iadd(1, 0, 0).build();
+/// let launch = LaunchConfig::new(k, 96);
+/// assert_eq!(launch.total_warps(), 96);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    kernel: Kernel,
+    total_warps: u32,
+    block_warps: u32,
+    stagger: u32,
+    waves: u32,
+}
+
+impl LaunchConfig {
+    /// Creates a launch of `total_warps` warps all running `kernel`,
+    /// scheduled one warp at a time (block size 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_warps` is zero.
+    #[must_use]
+    pub fn new(kernel: Kernel, total_warps: u32) -> Self {
+        assert!(total_warps > 0, "a launch needs at least one warp");
+        LaunchConfig {
+            kernel,
+            total_warps,
+            block_warps: 1,
+            stagger: 0,
+            waves: 1,
+        }
+    }
+
+    /// Splits the grid into `waves` back-to-back kernel launches: wave
+    /// *k+1* starts only after every warp of wave *k* has retired.
+    /// Real GPGPU applications invoke their kernels many times (hotspot
+    /// runs its stencil once per time step), so each run has recurring
+    /// ramp-up and drain phases — a real and recurring source of the
+    /// long execution-unit idle periods conventional power gating
+    /// harvests. One wave (the default) models a single launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves` is zero.
+    #[must_use]
+    pub fn with_waves(mut self, waves: u32) -> Self {
+        assert!(waves > 0, "need at least one wave");
+        self.waves = waves;
+        self
+    }
+
+    /// Number of back-to-back kernel launches the grid is split into.
+    #[must_use]
+    pub fn waves(&self) -> u32 {
+        self.waves
+    }
+
+    /// Desynchronises warps at launch: each warp starts up to `stagger`
+    /// dynamic instructions into its program (deterministically hashed
+    /// from its warp id). Warps in real kernels drift apart quickly —
+    /// divergent cache behaviour, staggered block arrival — so their
+    /// code phases do not stay aligned; one loop-body's worth of stagger
+    /// models that steady-state spread from the first cycle.
+    #[must_use]
+    pub fn with_stagger(mut self, stagger: u32) -> Self {
+        self.stagger = stagger;
+        self
+    }
+
+    /// The launch stagger in dynamic instructions.
+    #[must_use]
+    pub fn stagger(&self) -> u32 {
+        self.stagger
+    }
+
+    /// Sets the thread-block granularity: a group of `block_warps` warp
+    /// slots is refilled only once *all* of its warps finish, modelling
+    /// CTA-granular scheduling. Real GPUs replace whole thread blocks,
+    /// which produces tail under-occupancy as a block drains — a real
+    /// source of the long execution-unit idle periods power gating
+    /// exploits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_warps` is zero.
+    #[must_use]
+    pub fn with_block_warps(mut self, block_warps: u32) -> Self {
+        assert!(block_warps > 0, "block must contain at least one warp");
+        self.block_warps = block_warps;
+        self
+    }
+
+    /// Warps per thread block (slot-refill granularity).
+    #[must_use]
+    pub fn block_warps(&self) -> u32 {
+        self.block_warps
+    }
+
+    /// The kernel being launched.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Warps in the grid (per SM).
+    #[must_use]
+    pub fn total_warps(&self) -> u32 {
+        self.total_warps
+    }
+
+    pub(crate) fn into_parts(self) -> (Kernel, u32, u32, u32, u32) {
+        (
+            self.kernel,
+            self.total_warps,
+            self.block_warps,
+            self.stagger,
+            self.waves,
+        )
+    }
+}
+
+/// Aggregated outcome of a multi-SM run.
+#[derive(Debug)]
+pub struct GpuOutcome {
+    /// Statistics aggregated over all SMs (`cycles` is the max across
+    /// SMs; counters are summed).
+    pub stats: SimStats,
+    /// Gating counters summed over all SMs.
+    pub gating: GatingReport,
+    /// Whether any SM timed out.
+    pub timed_out: bool,
+    /// Per-SM outcomes, in SM order.
+    pub per_sm: Vec<SmOutcome>,
+}
+
+/// A multi-SM GPU driver.
+///
+/// SMs do not share resources in this model (each has its own memory
+/// channel), so they are simulated independently with decorrelated memory
+/// seeds and their statistics aggregated. The paper reports per-SM
+/// normalized quantities, which are insensitive to the SM count; the
+/// default experiment setup therefore uses a single SM, and this driver
+/// exists to validate that choice and to scale chip-level estimates.
+pub struct Gpu {
+    config: SmConfig,
+    sm_count: usize,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("sm_count", &self.sm_count)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Creates a driver for `sm_count` SMs, each configured by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm_count` is zero.
+    #[must_use]
+    pub fn new(config: SmConfig, sm_count: usize) -> Self {
+        assert!(sm_count > 0, "need at least one SM");
+        config.validate();
+        Gpu { config, sm_count }
+    }
+
+    /// The GTX480 SM count used by the paper.
+    pub const GTX480_SM_COUNT: usize = 15;
+
+    /// Runs the launch on every SM, constructing fresh policies per SM
+    /// via the provided factories.
+    pub fn run(
+        &self,
+        launch: &LaunchConfig,
+        mut make_scheduler: impl FnMut() -> Box<dyn WarpScheduler>,
+        mut make_gating: impl FnMut() -> Box<dyn PowerGating>,
+    ) -> GpuOutcome {
+        let mut per_sm = Vec::with_capacity(self.sm_count);
+        for sm_idx in 0..self.sm_count {
+            let mut cfg = self.config.clone();
+            // Decorrelate the memory hit/miss stream across SMs.
+            cfg.memory.seed = cfg.memory.seed.wrapping_add(0x9e37 * sm_idx as u64);
+            let sm = Sm::new(
+                cfg,
+                launch.clone(),
+                make_scheduler(),
+                make_gating(),
+            );
+            per_sm.push(sm.run());
+        }
+        let mut stats = SimStats::new();
+        let mut gating = GatingReport::new();
+        let mut timed_out = false;
+        for o in &per_sm {
+            stats.merge(&o.stats);
+            for (agg, d) in gating.domains.iter_mut().zip(&o.gating.domains) {
+                agg.gate_events += d.gate_events;
+                agg.wakeups += d.wakeups;
+                agg.critical_wakeups += d.critical_wakeups;
+                agg.gated_cycles += d.gated_cycles;
+                agg.compensated_cycles += d.compensated_cycles;
+                agg.uncompensated_cycles += d.uncompensated_cycles;
+                agg.wakeup_cycles += d.wakeup_cycles;
+                agg.premature_wakeups += d.premature_wakeups;
+                agg.demand_blocked_cycles += d.demand_blocked_cycles;
+            }
+            timed_out |= o.timed_out;
+        }
+        GpuOutcome {
+            stats,
+            gating,
+            timed_out,
+            per_sm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate_iface::AlwaysOn;
+    use crate::sched::TwoLevelScheduler;
+    use warped_isa::KernelBuilder;
+
+    fn launch() -> LaunchConfig {
+        let k = KernelBuilder::new("g")
+            .begin_loop(20)
+            .iadd(1, 0, 0)
+            .load_global(2)
+            .fadd(3, 2, 2)
+            .end_loop()
+            .build();
+        LaunchConfig::new(k, 8)
+    }
+
+    #[test]
+    fn multi_sm_aggregates_instruction_counts() {
+        let gpu = Gpu::new(SmConfig::small_for_tests(), 3);
+        let out = gpu.run(
+            &launch(),
+            || Box::new(TwoLevelScheduler::new()),
+            || Box::new(AlwaysOn::new()),
+        );
+        assert!(!out.timed_out);
+        assert_eq!(out.per_sm.len(), 3);
+        let single: u64 = out.per_sm[0].stats.instructions();
+        assert_eq!(out.stats.instructions(), single * 3);
+    }
+
+    #[test]
+    fn sm_seeds_differ_so_cycle_counts_may_vary() {
+        let gpu = Gpu::new(SmConfig::small_for_tests(), 2);
+        let out = gpu.run(
+            &launch(),
+            || Box::new(TwoLevelScheduler::new()),
+            || Box::new(AlwaysOn::new()),
+        );
+        // Aggregate cycles is the max of the two.
+        let c0 = out.per_sm[0].stats.cycles;
+        let c1 = out.per_sm[1].stats.cycles;
+        assert_eq!(out.stats.cycles, c0.max(c1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warp_launch_rejected() {
+        let k = KernelBuilder::new("k").iadd(1, 0, 0).build();
+        let _ = LaunchConfig::new(k, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sm_gpu_rejected() {
+        let _ = Gpu::new(SmConfig::small_for_tests(), 0);
+    }
+}

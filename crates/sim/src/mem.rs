@@ -1,0 +1,334 @@
+//! Latency-based memory subsystem.
+//!
+//! Global accesses are classified hit/miss by a deterministic hash so that
+//! runs are reproducible and identical across scheduling policies (the
+//! access stream, not wall-clock order, decides the latency). An
+//! MSHR-style counter caps outstanding global loads per SM.
+
+use crate::config::MemoryConfig;
+
+/// Deterministic 64-bit mix (splitmix64 finalizer).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The per-SM memory subsystem.
+///
+/// # Examples
+///
+/// ```
+/// use warped_sim::{MemoryConfig, MemorySubsystem};
+///
+/// let mut mem = MemorySubsystem::new(MemoryConfig::default());
+/// let lat = mem.global_load_latency(3, 17, 0);
+/// assert!(lat == mem.config().hit_latency || lat == mem.config().miss_latency);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySubsystem {
+    config: MemoryConfig,
+    outstanding: u32,
+    total_accesses: u64,
+    total_hits: u64,
+    /// The earliest cycle at which the DRAM channel can begin another
+    /// service (the head of the bandwidth queue).
+    dram_free_at: u64,
+}
+
+impl MemorySubsystem {
+    /// Creates a memory subsystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MemoryConfig::validate`]).
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        config.validate();
+        MemorySubsystem {
+            config,
+            outstanding: 0,
+            total_accesses: 0,
+            total_hits: 0,
+            dram_free_at: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Whether an additional global load can be tracked right now.
+    #[must_use]
+    pub fn can_accept_load(&self) -> bool {
+        self.outstanding < self.config.max_outstanding
+    }
+
+    /// Number of global loads currently in flight.
+    #[must_use]
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// Classifies and times a global load issued at `cycle`, reserving
+    /// an MSHR slot.
+    ///
+    /// Returns the access latency in cycles: the raw hit/miss latency
+    /// plus — for misses — any queuing delay behind earlier DRAM traffic
+    /// (the bandwidth model). Deterministic in `(warp_uid, pc,
+    /// access_idx)`, the configured seed, and the traffic history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while [`can_accept_load`](Self::can_accept_load)
+    /// is false.
+    pub fn issue_global_load(&mut self, cycle: u64, warp_uid: u32, pc: u64, access_idx: u64) -> u32 {
+        assert!(self.can_accept_load(), "MSHR capacity exceeded");
+        self.outstanding += 1;
+        let raw = self.global_load_latency(warp_uid, pc, access_idx);
+        if raw >= self.config.miss_latency {
+            let queue_delay = self.reserve_dram_slot(cycle);
+            raw + queue_delay
+        } else {
+            raw
+        }
+    }
+
+    /// Charges one DRAM service starting no earlier than `cycle` and
+    /// returns the queuing delay in cycles.
+    fn reserve_dram_slot(&mut self, cycle: u64) -> u32 {
+        let start = self.dram_free_at.max(cycle);
+        let delay = (start - cycle) as u32;
+        self.dram_free_at = start + u64::from(self.config.dram_interval);
+        delay
+    }
+
+    /// Accounts the DRAM bandwidth of a global store issued at `cycle`.
+    ///
+    /// Stores are fire-and-forget (no completion event), but they share
+    /// the DRAM channel with loads. The write buffer is modelled as
+    /// bounded: once the queue runs more than the buffer depth ahead of
+    /// the current cycle, further stores coalesce for free instead of
+    /// pushing the queue out indefinitely.
+    pub fn issue_global_store(&mut self, cycle: u64) {
+        const WRITE_BUFFER_DEPTH_CYCLES: u64 = 512;
+        if self.dram_free_at <= cycle + WRITE_BUFFER_DEPTH_CYCLES {
+            let _ = self.reserve_dram_slot(cycle);
+        }
+    }
+
+    /// Upper bound on the latency any global load can experience, used
+    /// by the simulator to size its event ring.
+    #[must_use]
+    pub fn worst_case_latency(&self) -> u32 {
+        self.config.miss_latency
+            + self.config.max_outstanding * self.config.dram_interval
+            + 1024 // write-buffer contribution (bounded by its depth + margin)
+    }
+
+    /// The latency a given access coordinate would experience (pure).
+    #[must_use]
+    pub fn global_load_latency(&mut self, warp_uid: u32, pc: u64, access_idx: u64) -> u32 {
+        let h = mix64(
+            self.config
+                .seed
+                .wrapping_add(u64::from(warp_uid).wrapping_mul(0x1000_0001))
+                .wrapping_add(pc.wrapping_mul(0x10_0003))
+                .wrapping_add(access_idx.wrapping_mul(0x71)),
+        );
+        // Map to [0,1) with 53-bit precision.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        self.total_accesses += 1;
+        if u < self.config.l1_hit_rate {
+            self.total_hits += 1;
+            self.config.hit_latency
+        } else {
+            self.config.miss_latency
+        }
+    }
+
+    /// Releases the MSHR slot of a completed global load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no load is outstanding.
+    pub fn complete_global_load(&mut self) {
+        assert!(self.outstanding > 0, "completion without outstanding load");
+        self.outstanding -= 1;
+    }
+
+    /// Latency of a shared-memory access.
+    #[must_use]
+    pub fn shared_latency(&self) -> u32 {
+        self.config.shared_latency
+    }
+
+    /// Observed hit rate so far (NaN-free: 0 when no accesses).
+    #[must_use]
+    pub fn observed_hit_rate(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.total_hits as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(hit_rate: f64) -> MemoryConfig {
+        MemoryConfig {
+            l1_hit_rate: hit_rate,
+            ..MemoryConfig::default()
+        }
+    }
+
+    #[test]
+    fn latencies_are_deterministic() {
+        let mut a = MemorySubsystem::new(cfg(0.5));
+        let mut b = MemorySubsystem::new(cfg(0.5));
+        for i in 0..100 {
+            assert_eq!(
+                a.global_load_latency(i, 7, u64::from(i)),
+                b.global_load_latency(i, 7, u64::from(i))
+            );
+        }
+    }
+
+    #[test]
+    fn hit_rate_zero_always_misses_and_one_always_hits() {
+        let mut never = MemorySubsystem::new(cfg(0.0));
+        let mut always = MemorySubsystem::new(cfg(1.0));
+        for i in 0..50 {
+            assert_eq!(never.global_load_latency(i, 1, 0), never.config().miss_latency);
+            assert_eq!(always.global_load_latency(i, 1, 0), always.config().hit_latency);
+        }
+        assert_eq!(never.observed_hit_rate(), 0.0);
+        assert_eq!(always.observed_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn observed_hit_rate_tracks_configuration_roughly() {
+        let mut mem = MemorySubsystem::new(cfg(0.7));
+        for i in 0..10_000u32 {
+            let _ = mem.global_load_latency(i, u64::from(i) * 3, u64::from(i));
+        }
+        let r = mem.observed_hit_rate();
+        assert!((r - 0.7).abs() < 0.03, "observed {r}, expected ~0.7");
+    }
+
+    #[test]
+    fn mshr_capacity_is_enforced() {
+        let mut mem = MemorySubsystem::new(MemoryConfig {
+            max_outstanding: 2,
+            ..MemoryConfig::default()
+        });
+        let _ = mem.issue_global_load(0, 0, 0, 0);
+        let _ = mem.issue_global_load(0, 1, 0, 0);
+        assert!(!mem.can_accept_load());
+        mem.complete_global_load();
+        assert!(mem.can_accept_load());
+        assert_eq!(mem.outstanding(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR capacity exceeded")]
+    fn over_allocation_panics() {
+        let mut mem = MemorySubsystem::new(MemoryConfig {
+            max_outstanding: 1,
+            ..MemoryConfig::default()
+        });
+        let _ = mem.issue_global_load(0, 0, 0, 0);
+        let _ = mem.issue_global_load(0, 1, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without outstanding")]
+    fn spurious_completion_panics() {
+        let mut mem = MemorySubsystem::new(MemoryConfig::default());
+        mem.complete_global_load();
+    }
+
+    #[test]
+    fn dram_queue_delays_back_to_back_misses() {
+        let mut mem = MemorySubsystem::new(cfg(0.0)); // always miss
+        // Two misses issued in the same cycle: the second queues behind
+        // the first by one DRAM service interval.
+        let a = mem.issue_global_load(0, 0, 0, 0);
+        let b = mem.issue_global_load(0, 1, 0, 0);
+        assert_eq!(a, mem.config().miss_latency);
+        assert_eq!(b, mem.config().miss_latency + mem.config().dram_interval);
+        mem.complete_global_load();
+        mem.complete_global_load();
+    }
+
+    #[test]
+    fn dram_queue_drains_when_traffic_is_spaced() {
+        let mut mem = MemorySubsystem::new(cfg(0.0));
+        let spacing = u64::from(mem.config().dram_interval) * 2;
+        for i in 0..5u64 {
+            let lat = mem.issue_global_load(i * spacing, i as u32, 0, 0);
+            assert_eq!(lat, mem.config().miss_latency, "spaced misses see no queue");
+            mem.complete_global_load();
+        }
+    }
+
+    #[test]
+    fn hits_bypass_the_dram_queue() {
+        let mut mem = MemorySubsystem::new(cfg(1.0)); // always hit
+        for i in 0..10 {
+            let lat = mem.issue_global_load(0, i, 0, 0);
+            assert_eq!(lat, mem.config().hit_latency);
+            mem.complete_global_load();
+        }
+    }
+
+    #[test]
+    fn stores_push_the_queue_but_are_bounded_by_the_write_buffer() {
+        let mut mem = MemorySubsystem::new(cfg(0.0));
+        // Flood stores at cycle 0: the queue advances at most to the
+        // write-buffer depth, after which stores coalesce for free.
+        for _ in 0..10_000 {
+            mem.issue_global_store(0);
+        }
+        let lat = mem.issue_global_load(0, 0, 0, 0);
+        assert!(
+            lat < mem.worst_case_latency(),
+            "store flood must not push loads past the worst-case bound"
+        );
+        mem.complete_global_load();
+    }
+
+    #[test]
+    fn worst_case_latency_bounds_any_load() {
+        let mut mem = MemorySubsystem::new(cfg(0.0));
+        let mut worst = 0;
+        for i in 0..mem.config().max_outstanding {
+            worst = worst.max(mem.issue_global_load(0, i, 0, 0));
+        }
+        assert!(worst <= mem.worst_case_latency());
+        for _ in 0..mem.config().max_outstanding {
+            mem.complete_global_load();
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = MemorySubsystem::new(MemoryConfig { seed: 1, l1_hit_rate: 0.5, ..MemoryConfig::default() });
+        let mut b = MemorySubsystem::new(MemoryConfig { seed: 2, l1_hit_rate: 0.5, ..MemoryConfig::default() });
+        let mut differ = false;
+        for i in 0..200 {
+            if a.global_load_latency(i, 3, 0) != b.global_load_latency(i, 3, 0) {
+                differ = true;
+                break;
+            }
+        }
+        assert!(differ, "seeds should change the hit/miss pattern");
+    }
+}

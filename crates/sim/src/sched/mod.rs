@@ -1,0 +1,515 @@
+//! The warp scheduling framework.
+//!
+//! Every cycle the SM builds an [`IssueCtx`] — a snapshot of the ready
+//! warps, port availability, power-gating state, and per-type
+//! active-subset occupancy — and hands it to the installed
+//! [`WarpScheduler`]. The scheduler expresses *priority order* by calling
+//! [`IssueCtx::try_issue`]; the context enforces the hard constraints
+//! (issue width, dispatch ports, gated clusters, MSHR capacity), so no
+//! scheduler implementation can violate them.
+
+mod gto;
+mod lrr;
+mod two_level;
+
+pub use gto::GtoScheduler;
+pub use lrr::LrrScheduler;
+pub use two_level::TwoLevelScheduler;
+
+use crate::domain::{DomainId, DomainLayout};
+use crate::exec::IssuePorts;
+use crate::warp::WarpSlot;
+use warped_isa::UnitType;
+
+/// A ready warp visible to the scheduler this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Which resident-warp slot this candidate occupies.
+    pub slot: WarpSlot,
+    /// The execution unit the candidate's next instruction needs.
+    pub unit: UnitType,
+    /// Whether the next instruction is a global load (needs an MSHR slot).
+    pub is_global_load: bool,
+}
+
+/// One issue decision produced during the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Pick {
+    pub slot: WarpSlot,
+    pub domain: DomainId,
+}
+
+/// The per-cycle issue context handed to [`WarpScheduler::pick`].
+///
+/// See the crate documentation for the scheduling protocol: the
+/// context enforces issue width, dispatch ports, gating, and MSHR
+/// capacity; schedulers only express priority order.
+#[derive(Debug)]
+pub struct IssueCtx {
+    cycle: u64,
+    issue_width: usize,
+    layout: DomainLayout,
+    candidates: Vec<Candidate>,
+    issued: Vec<bool>,
+    domain_on: [bool; crate::domain::NUM_DOMAINS],
+    domain_busy: [bool; crate::domain::NUM_DOMAINS],
+    active_subset: [u32; 4],
+    ldst_load_credits: u32,
+    ports: IssuePorts,
+    picks: Vec<Pick>,
+    attempted_blocked: [u32; 4],
+}
+
+impl IssueCtx {
+    /// Builds an issue context from an explicit snapshot.
+    ///
+    /// The simulator builds one per cycle; exposing the constructor lets
+    /// downstream crates unit-test custom [`WarpScheduler`]
+    /// implementations against hand-crafted situations (specific gating
+    /// states, candidate sets, and active-subset counts).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        cycle: u64,
+        issue_width: usize,
+        candidates: Vec<Candidate>,
+        domain_on: [bool; crate::domain::NUM_DOMAINS],
+        domain_busy: [bool; crate::domain::NUM_DOMAINS],
+        active_subset: [u32; 4],
+        ldst_load_credits: u32,
+    ) -> Self {
+        Self::with_layout(
+            DomainLayout::fermi(),
+            cycle,
+            issue_width,
+            candidates,
+            domain_on,
+            domain_busy,
+            active_subset,
+            ldst_load_credits,
+        )
+    }
+
+    /// [`IssueCtx::new`] for an explicit clustered-architecture layout
+    /// (Kepler-like studies).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn with_layout(
+        layout: DomainLayout,
+        cycle: u64,
+        issue_width: usize,
+        candidates: Vec<Candidate>,
+        domain_on: [bool; crate::domain::NUM_DOMAINS],
+        domain_busy: [bool; crate::domain::NUM_DOMAINS],
+        active_subset: [u32; 4],
+        ldst_load_credits: u32,
+    ) -> Self {
+        let n = candidates.len();
+        IssueCtx {
+            cycle,
+            issue_width,
+            layout,
+            candidates,
+            issued: vec![false; n],
+            domain_on,
+            domain_busy,
+            active_subset,
+            ldst_load_credits,
+            ports: IssuePorts::default(),
+            picks: Vec::with_capacity(issue_width),
+            attempted_blocked: [0; 4],
+        }
+    }
+
+    /// The current cycle number.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Ready warps this cycle, in slot order.
+    #[must_use]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Whether the candidate at `idx` has already been issued this cycle.
+    #[must_use]
+    pub fn is_issued(&self, idx: usize) -> bool {
+        self.issued[idx]
+    }
+
+    /// Remaining issue slots this cycle.
+    #[must_use]
+    pub fn width_left(&self) -> usize {
+        self.issue_width - self.ports.issued()
+    }
+
+    /// Number of warps currently in the active subset of `unit`
+    /// (the paper's `INT_ACTV` / `FP_ACTV` counters).
+    #[must_use]
+    pub fn active_subset(&self, unit: UnitType) -> u32 {
+        self.active_subset[unit.index()]
+    }
+
+    /// Number of *ready* candidates of `unit` not yet issued
+    /// (the paper's `INT_RDY` / `FP_RDY` / `SFU_RDY` / `LDST_RDY`
+    /// counters).
+    #[must_use]
+    pub fn ready_count(&self, unit: UnitType) -> u32 {
+        self.candidates
+            .iter()
+            .zip(&self.issued)
+            .filter(|(c, issued)| c.unit == unit && !**issued)
+            .count() as u32
+    }
+
+    /// Whether at least one cluster of `unit` is powered on (regardless of
+    /// port availability). GATES uses this to skip instruction types whose
+    /// clusters are all in blackout.
+    #[must_use]
+    pub fn type_powered(&self, unit: UnitType) -> bool {
+        self.layout
+            .domains_of(unit)
+            .iter()
+            .any(|d| self.domain_on[d.index()])
+    }
+
+    /// Whether an instruction of `unit` could issue right now (an
+    /// on-domain with a free port, and — for global loads — MSHR space).
+    #[must_use]
+    pub fn can_accept(&self, unit: UnitType, is_global_load: bool) -> bool {
+        if self.width_left() == 0 {
+            return false;
+        }
+        if is_global_load && self.ldst_load_credits == 0 {
+            return false;
+        }
+        self.accepting_domain(unit).is_some()
+    }
+
+    /// The domain an instruction of `unit` would dispatch to, if any.
+    ///
+    /// Cluster steering load-balances: the preferred cluster alternates
+    /// with the cycle parity, mirroring how Fermi's two schedulers share
+    /// the SP clusters. (Deliberately *not* packed into one cluster —
+    /// that would let the peer cluster sleep forever and hand every
+    /// gating scheme the same free savings, erasing the differences the
+    /// paper measures.)
+    fn accepting_domain(&self, unit: UnitType) -> Option<DomainId> {
+        let domains = self.layout.domains_of(unit);
+        let n = domains.len();
+        let start = (self.cycle as usize) % n;
+        for k in 0..n {
+            let d = domains[(start + k) % n];
+            if self.domain_on[d.index()] && self.ports.port_free(d) {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Registers wakeup demand for `unit` without an issue attempt.
+    ///
+    /// Schedulers use this when they *want* capacity of a gated type but
+    /// cannot spend an issue slot on the attempt this cycle — e.g. GATES
+    /// observing a backlog of ready demoted-type warps while the
+    /// favoured type fills the full width. No-op when every cluster of
+    /// the type is powered.
+    pub fn request_wakeup(&mut self, unit: UnitType) {
+        let any_gated = self
+            .layout
+            .domains_of(unit)
+            .iter()
+            .any(|d| !self.domain_on[d.index()]);
+        if any_gated {
+            self.attempted_blocked[unit.index()] += 1;
+        }
+    }
+
+    /// Attempts to issue the candidate at `idx`.
+    ///
+    /// Returns `true` on success. Fails (returning `false`) when the
+    /// candidate was already issued, the issue width is exhausted, no
+    /// powered cluster with a free dispatch port exists for its unit, or a
+    /// global load finds no MSHR space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn try_issue(&mut self, idx: usize) -> bool {
+        assert!(idx < self.candidates.len(), "candidate index out of range");
+        if self.issued[idx] || self.width_left() == 0 {
+            return false;
+        }
+        let cand = self.candidates[idx];
+        if cand.is_global_load && self.ldst_load_credits == 0 {
+            return false;
+        }
+        let Some(domain) = self.accepting_domain(cand.unit) else {
+            // The attempt found nowhere to go. If a gated or waking
+            // cluster of this type exists, the failed attempt is wakeup
+            // demand (the paper's "ready instruction scheduled" edge):
+            // this covers both the fully-gated type and the
+            // one-cluster-awake-but-saturated case, where the sleeping
+            // peer is what's costing dual-issue bandwidth. If every
+            // cluster is powered, the failure is purely structural (port
+            // race) and wakes nothing.
+            let any_gated = self
+                .layout
+                .domains_of(cand.unit)
+                .iter()
+                .any(|d| !self.domain_on[d.index()]);
+            if any_gated {
+                self.attempted_blocked[cand.unit.index()] += 1;
+            }
+            return false;
+        };
+        self.ports.claim(domain);
+        self.issued[idx] = true;
+        if cand.is_global_load {
+            self.ldst_load_credits -= 1;
+        }
+        // An issue makes the target pipeline busy; later steering in the
+        // same cycle should see it as such.
+        self.domain_busy[domain.index()] = true;
+        self.picks.push(Pick {
+            slot: cand.slot,
+            domain,
+        });
+        true
+    }
+
+    /// Per unit type, how many issue *attempts* failed this cycle
+    /// because every cluster of the type was gated or waking — the
+    /// wakeup demand the gating controller sees.
+    ///
+    /// Demand is scheduler-driven: only a [`try_issue`] call on a
+    /// fully-gated type registers (the paper's "ready instruction
+    /// scheduled" wakeup edge). A ready candidate the scheduler chose
+    /// not to attempt — e.g. GATES holding back the demoted instruction
+    /// type — wakes nothing. A candidate that merely lost a port race
+    /// while a powered cluster of its type exists also creates no
+    /// demand: dispatch steers instructions to the awake cluster, so
+    /// waking the peer for a one-cycle burst would thrash it.
+    ///
+    /// [`try_issue`]: IssueCtx::try_issue
+    #[must_use]
+    pub fn blocked_demand(&self) -> [u32; 4] {
+        self.attempted_blocked
+    }
+
+    pub(crate) fn into_picks(self) -> (Vec<Pick>, [u32; 4], usize) {
+        let demand = self.blocked_demand();
+        let issued = self.ports.issued();
+        (self.picks, demand, issued)
+    }
+}
+
+/// A warp scheduling policy.
+///
+/// Implementations select ready warps in priority order via
+/// [`IssueCtx::try_issue`]; hard constraints are enforced by the context.
+pub trait WarpScheduler {
+    /// Chooses this cycle's issues.
+    fn pick(&mut self, ctx: &mut IssueCtx);
+
+    /// Human-readable scheduler name (used in reports and figures).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use crate::domain::NUM_DOMAINS;
+
+    /// Builds an issue context with everything powered and free.
+    pub(crate) fn ctx_with(candidates: Vec<Candidate>) -> IssueCtx {
+        IssueCtx::new(
+            0,
+            2,
+            candidates,
+            [true; NUM_DOMAINS],
+            [false; NUM_DOMAINS],
+            [0; 4],
+            64,
+        )
+    }
+
+    pub(crate) fn cand(slot: usize, unit: UnitType) -> Candidate {
+        Candidate {
+            slot: WarpSlot(slot),
+            unit,
+            is_global_load: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::{cand, ctx_with};
+    use super::*;
+    use crate::domain::NUM_DOMAINS;
+
+    #[test]
+    fn issue_width_is_enforced() {
+        let mut ctx = ctx_with(vec![
+            cand(0, UnitType::Int),
+            cand(1, UnitType::Int),
+            cand(2, UnitType::Fp),
+        ]);
+        assert!(ctx.try_issue(0));
+        assert!(ctx.try_issue(1));
+        assert_eq!(ctx.width_left(), 0);
+        assert!(!ctx.try_issue(2), "third issue exceeds width 2");
+    }
+
+    #[test]
+    fn two_int_issues_use_both_clusters() {
+        let mut ctx = ctx_with(vec![cand(0, UnitType::Int), cand(1, UnitType::Int)]);
+        assert!(ctx.try_issue(0));
+        assert!(ctx.try_issue(1));
+        let (picks, _, issued) = ctx.into_picks();
+        assert_eq!(issued, 2);
+        let domains: Vec<_> = picks.iter().map(|p| p.domain).collect();
+        assert!(domains.contains(&DomainId::INT0));
+        assert!(domains.contains(&DomainId::INT1));
+    }
+
+    #[test]
+    fn int_and_fp_share_sp_ports() {
+        // Both SP ports consumed by INT issues: FP cannot issue.
+        let mut ctx = IssueCtx::new(
+            0,
+            3, // width bigger than ports to isolate the port constraint
+            vec![
+                cand(0, UnitType::Int),
+                cand(1, UnitType::Int),
+                cand(2, UnitType::Fp),
+            ],
+            [true; NUM_DOMAINS],
+            [false; NUM_DOMAINS],
+            [0; 4],
+            64,
+        );
+        assert!(ctx.try_issue(0));
+        assert!(ctx.try_issue(1));
+        assert!(!ctx.try_issue(2), "no SP port left for FP");
+    }
+
+    #[test]
+    fn gated_clusters_are_skipped_and_counted_as_demand() {
+        let mut on = [true; NUM_DOMAINS];
+        on[DomainId::INT0.index()] = false;
+        on[DomainId::INT1.index()] = false;
+        let mut ctx = IssueCtx::new(
+            0,
+            2,
+            vec![cand(0, UnitType::Int), cand(1, UnitType::Fp)],
+            on,
+            [false; NUM_DOMAINS],
+            [0; 4],
+            64,
+        );
+        assert!(!ctx.try_issue(0), "both INT clusters gated");
+        assert!(ctx.try_issue(1), "FP unaffected");
+        assert!(!ctx.type_powered(UnitType::Int));
+        assert!(ctx.type_powered(UnitType::Fp));
+        let (_, demand, _) = ctx.into_picks();
+        assert_eq!(demand[UnitType::Int.index()], 1);
+        assert_eq!(demand[UnitType::Fp.index()], 0);
+    }
+
+    #[test]
+    fn saturated_single_on_cluster_registers_demand_for_gated_peer() {
+        let mut on = [true; NUM_DOMAINS];
+        on[DomainId::INT1.index()] = false;
+        let mut ctx = IssueCtx::new(
+            0,
+            2,
+            vec![cand(0, UnitType::Int), cand(1, UnitType::Int)],
+            on,
+            [false; NUM_DOMAINS],
+            [0; 4],
+            64,
+        );
+        assert!(ctx.try_issue(0));
+        assert!(!ctx.try_issue(1), "INT0 port used, INT1 gated");
+        // The second INT instruction could issue nowhere this cycle and a
+        // gated INT cluster exists: the failed attempt is wakeup demand —
+        // the sleeping peer is costing dual-issue bandwidth.
+        let (_, demand, _) = ctx.into_picks();
+        assert_eq!(demand[UnitType::Int.index()], 1);
+    }
+
+    #[test]
+    fn port_race_with_all_clusters_powered_is_not_demand() {
+        // Two LDST candidates, one LDST port, unit fully powered: the
+        // loser of the port race wakes nothing (structural stall only).
+        let mut ctx = ctx_with(vec![cand(0, UnitType::Ldst), cand(1, UnitType::Ldst)]);
+        assert!(ctx.try_issue(0));
+        assert!(!ctx.try_issue(1));
+        let (_, demand, _) = ctx.into_picks();
+        assert_eq!(demand[UnitType::Ldst.index()], 0);
+    }
+
+    #[test]
+    fn global_loads_respect_mshr_credits() {
+        let load = Candidate {
+            slot: WarpSlot(0),
+            unit: UnitType::Ldst,
+            is_global_load: true,
+        };
+        let mut ctx = IssueCtx::new(
+            0,
+            2,
+            vec![load],
+            [true; NUM_DOMAINS],
+            [false; NUM_DOMAINS],
+            [0; 4],
+            0,
+        );
+        assert!(!ctx.can_accept(UnitType::Ldst, true));
+        assert!(!ctx.try_issue(0));
+        // MSHR exhaustion is a structural stall, not gating demand.
+        let (_, demand, _) = ctx.into_picks();
+        assert_eq!(demand[UnitType::Ldst.index()], 0);
+    }
+
+    #[test]
+    fn cluster_steering_alternates_with_cycle_parity() {
+        let pick_domain = |cycle: u64| {
+            let mut ctx = IssueCtx::new(
+                cycle,
+                2,
+                vec![cand(0, UnitType::Int)],
+                [true; NUM_DOMAINS],
+                [false; NUM_DOMAINS],
+                [0; 4],
+                64,
+            );
+            assert!(ctx.try_issue(0));
+            let (picks, _, _) = ctx.into_picks();
+            picks[0].domain
+        };
+        assert_eq!(pick_domain(0), DomainId::INT0);
+        assert_eq!(pick_domain(1), DomainId::INT1);
+        assert_eq!(pick_domain(2), DomainId::INT0);
+    }
+
+    #[test]
+    fn ready_count_decreases_as_candidates_issue() {
+        let mut ctx = ctx_with(vec![cand(0, UnitType::Int), cand(1, UnitType::Int)]);
+        assert_eq!(ctx.ready_count(UnitType::Int), 2);
+        assert!(ctx.try_issue(0));
+        assert_eq!(ctx.ready_count(UnitType::Int), 1);
+    }
+
+    #[test]
+    fn double_issue_of_same_candidate_fails() {
+        let mut ctx = ctx_with(vec![cand(0, UnitType::Sfu)]);
+        assert!(ctx.try_issue(0));
+        assert!(!ctx.try_issue(0));
+        assert!(ctx.is_issued(0));
+    }
+}

@@ -1,0 +1,847 @@
+//! The streaming-multiprocessor cycle loop.
+
+use crate::config::SmConfig;
+use crate::domain::{DomainId, DomainLayout, NUM_DOMAINS};
+use crate::exec::ExecUnits;
+use crate::gate_iface::{CycleObservation, GatingReport, PowerGating};
+use crate::gpu::LaunchConfig;
+use crate::mem::MemorySubsystem;
+use crate::sched::{Candidate, IssueCtx, WarpScheduler};
+use crate::stats::SimStats;
+use crate::trace::{CycleObserver, CycleSample, NullObserver};
+use crate::warp::{Warp, WarpClass, WarpId, WarpSlot};
+use warped_isa::{Kernel, MemSpace, Opcode, Reg};
+
+/// Occupancy of the LD/ST pipeline per memory instruction, in cycles
+/// (address generation and coalescing window).
+const LDST_PIPE_OCCUPANCY: u32 = 4;
+
+/// An event scheduled for a future cycle.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The instruction leaves its execution pipeline (frees pipeline
+    /// occupancy; the busy/idle signal the gating controller watches).
+    PipeRetire { domain: DomainId },
+    /// The instruction's result becomes architecturally visible: release
+    /// the destination register and the warp's in-flight count.
+    Complete {
+        slot: WarpSlot,
+        warp: WarpId,
+        dst: Option<Reg>,
+        frees_mshr: bool,
+    },
+}
+
+/// The outcome of simulating one SM to completion.
+#[derive(Debug)]
+pub struct SmOutcome {
+    /// Timing statistics.
+    pub stats: SimStats,
+    /// The gating controller's final counters.
+    pub gating: GatingReport,
+    /// Whether the run hit the configured cycle cap before finishing.
+    pub timed_out: bool,
+}
+
+/// A single simulated streaming multiprocessor.
+///
+/// Construct with a configuration, a launch (kernel + warp grid), a
+/// scheduling policy, and a power gating policy, then call [`Sm::run`].
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct Sm {
+    config: SmConfig,
+    layout: DomainLayout,
+    kernel: Kernel,
+    total_warps: u32,
+    block_warps: u32,
+    stagger: u32,
+    warps_per_wave: u32,
+    launched: u32,
+    slots: Vec<Option<Warp>>,
+    units: ExecUnits,
+    mem: MemorySubsystem,
+    scheduler: Box<dyn WarpScheduler>,
+    gating: Box<dyn PowerGating>,
+    ring: Vec<Vec<Event>>,
+    observer: Box<dyn CycleObserver>,
+    cycle: u64,
+    stats: SimStats,
+    idle_runs: [u32; NUM_DOMAINS],
+    warps_done: u64,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("cycle", &self.cycle)
+            .field("kernel", &self.kernel.name())
+            .field("launched", &self.launched)
+            .field("total_warps", &self.total_warps)
+            .field("scheduler", &self.scheduler.name())
+            .field("gating", &self.gating.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sm {
+    /// Creates an SM ready to run `launch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the launch requests zero
+    /// warps.
+    #[must_use]
+    pub fn new(
+        config: SmConfig,
+        launch: LaunchConfig,
+        scheduler: Box<dyn WarpScheduler>,
+        gating: Box<dyn PowerGating>,
+    ) -> Self {
+        config.validate();
+        let (kernel, total_warps, block_warps, stagger, waves) = launch.into_parts();
+        assert!(total_warps > 0, "launch must request at least one warp");
+        let warps_per_wave = total_warps.div_ceil(waves);
+        let mem = MemorySubsystem::new(config.memory.clone());
+        let ring_len = (mem.worst_case_latency() as usize + 64).next_power_of_two();
+        let slots = (0..config.max_resident_warps).map(|_| None).collect();
+        let layout = DomainLayout::new(config.sp_clusters);
+        let mut stats = SimStats::new();
+        stats.layout = layout;
+        Sm {
+            config,
+            layout,
+            kernel,
+            total_warps,
+            block_warps,
+            stagger,
+            warps_per_wave,
+            launched: 0,
+            slots,
+            units: ExecUnits::default(),
+            mem,
+            scheduler,
+            gating,
+            ring: (0..ring_len).map(|_| Vec::new()).collect(),
+            observer: Box::new(NullObserver),
+            cycle: 0,
+            stats,
+            idle_runs: [0; NUM_DOMAINS],
+            warps_done: 0,
+        }
+    }
+
+    /// The installed scheduler's name.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Installs a per-cycle observer (tracing, waveforms, time series).
+    ///
+    /// Pass an `Rc<RefCell<UtilizationTrace>>` (or any
+    /// [`CycleObserver`]) and keep a clone to read the recording after
+    /// [`Sm::run`] consumes the simulator.
+    pub fn set_observer(&mut self, observer: Box<dyn CycleObserver>) {
+        self.observer = observer;
+    }
+
+    /// Runs the simulation to completion (or to the cycle cap).
+    #[must_use]
+    pub fn run(mut self) -> SmOutcome {
+        let mut timed_out = false;
+        loop {
+            self.fill_slots();
+            if self.all_done() {
+                break;
+            }
+            if self.cycle >= self.config.max_cycles {
+                timed_out = true;
+                break;
+            }
+            self.step();
+        }
+        // Close any idle periods still open at the end of the run.
+        for d in self.layout.all() {
+            let run = self.idle_runs[d.index()];
+            self.stats.units[d.index()].idle_histogram.record(run);
+        }
+        self.stats.warps_completed = self.warps_done;
+        SmOutcome {
+            stats: self.stats,
+            gating: self.gating.report(),
+            timed_out,
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.launched == self.total_warps && self.slots.iter().all(Option::is_none)
+    }
+
+    /// Launches grid warps into free slots, at thread-block granularity:
+    /// a group of `block_warps` consecutive slots is refilled only once
+    /// every slot in the group is free (the whole previous block
+    /// finished). A draining block therefore leaves its group's slots
+    /// empty — the CTA-tail under-occupancy real GPUs exhibit.
+    fn fill_slots(&mut self) {
+        let group = self.block_warps as usize;
+        let n = self.slots.len();
+        let mut g0 = 0;
+        while g0 < n {
+            if self.launched == self.total_warps {
+                return;
+            }
+            // Wave barrier: the next warp may only launch once every
+            // warp of all previous waves (kernel launches) has retired.
+            let wave_start =
+                u64::from(self.launched / self.warps_per_wave) * u64::from(self.warps_per_wave);
+            if self.warps_done < wave_start {
+                return;
+            }
+            let g1 = (g0 + group).min(n);
+            if self.slots[g0..g1].iter().all(Option::is_none) {
+                for slot in &mut self.slots[g0..g1] {
+                    if self.launched == self.total_warps {
+                        break;
+                    }
+                    let mut warp = Warp::launch(WarpId(self.launched), &self.kernel);
+                    if self.stagger > 0 {
+                        // Deterministic per-warp phase offset (splitmix64).
+                        let mut h = u64::from(self.launched).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                        h ^= h >> 27;
+                        let max_skip = self.kernel.dynamic_len().saturating_sub(1);
+                        let skip = (h % u64::from(self.stagger + 1)).min(max_skip);
+                        for _ in 0..skip {
+                            warp.cursor.advance(&self.kernel);
+                        }
+                        warp.next_instr = warp.cursor.peek(&self.kernel);
+                    }
+                    *slot = Some(warp);
+                    self.launched += 1;
+                }
+            }
+            g0 = g1;
+        }
+    }
+
+    /// Executes one cycle.
+    fn step(&mut self) {
+        let cycle = self.cycle;
+
+        // Phase 1: writebacks and retires scheduled for this cycle.
+        let idx = (cycle as usize) & (self.ring.len() - 1);
+        let events = std::mem::take(&mut self.ring[idx]);
+        for ev in events {
+            match ev {
+                Event::PipeRetire { domain } => {
+                    self.units.pipe_mut(domain).retire();
+                }
+                Event::Complete {
+                    slot,
+                    warp,
+                    dst,
+                    frees_mshr,
+                } => {
+                    if frees_mshr {
+                        self.mem.complete_global_load();
+                    }
+                    let w = self.slots[slot.0]
+                        .as_mut()
+                        .expect("completion for a vacated slot");
+                    debug_assert_eq!(w.id, warp, "slot reused while instruction in flight");
+                    if let Some(d) = dst {
+                        w.scoreboard.release(d);
+                    }
+                    w.in_flight -= 1;
+                }
+            }
+        }
+
+        // Phase 2: reclassify warps; retire finished ones.
+        for slot in self.slots.iter_mut() {
+            let Some(w) = slot.as_mut() else { continue };
+            if w.is_finished() {
+                *slot = None;
+                self.warps_done += 1;
+                continue;
+            }
+            w.reclassify();
+        }
+
+        // Phase 2b: barrier release. A thread block whose live warps
+        // have all arrived at the barrier steps past it together.
+        self.release_barriers();
+
+        // Phase 2c: occupancy accounting and candidate collection.
+        let mut active_count = 0u32;
+        let mut active_subset = [0u32; 4];
+        let mut candidates = Vec::new();
+        for (slot_idx, slot) in self.slots.iter_mut().enumerate() {
+            let Some(w) = slot.as_mut() else { continue };
+            if w.in_active_set() {
+                active_count += 1;
+                let unit = w
+                    .next_instr
+                    .expect("active warp must have a next instruction")
+                    .unit();
+                active_subset[unit.index()] += 1;
+            }
+            if w.class == WarpClass::Ready {
+                let instr = w.next_instr.expect("ready warp has an instruction");
+                candidates.push(Candidate {
+                    slot: WarpSlot(slot_idx),
+                    unit: instr.unit(),
+                    is_global_load: instr.opcode().is_long_latency_load(),
+                });
+            }
+        }
+        self.stats.active_warp_cycles += u64::from(active_count);
+        self.stats.active_warps_max = self.stats.active_warps_max.max(active_count);
+
+        // Phase 3: scheduler picks under the current gating state.
+        let mut domain_on = [false; NUM_DOMAINS];
+        for d in self.layout.all() {
+            domain_on[d.index()] = self.gating.is_on(*d);
+        }
+        let ldst_credits = self.config.memory.max_outstanding - self.mem.outstanding();
+        let mut ctx = IssueCtx::with_layout(
+            self.layout,
+            cycle,
+            self.config.issue_width,
+            candidates,
+            domain_on,
+            self.units.busy_flags(),
+            active_subset,
+            ldst_credits,
+        );
+        self.scheduler.pick(&mut ctx);
+        let (picks, blocked_demand, issued_count) = ctx.into_picks();
+
+        match issued_count {
+            0 => self.stats.idle_issue_cycles += 1,
+            2.. => self.stats.dual_issue_cycles += 1,
+            _ => {}
+        }
+
+        // Phase 4: apply the picks.
+        for pick in picks {
+            self.apply_issue(pick.slot, pick.domain);
+        }
+
+        // Phase 5: busy/idle accounting for this cycle (active domains
+        // only: indices beyond the layout never execute anything).
+        let busy = self.units.busy_flags();
+        for d in self.layout.all() {
+            let d = d.index();
+            if busy[d] {
+                self.stats.units[d].busy_cycles += 1;
+                let run = self.idle_runs[d];
+                if run > 0 {
+                    self.stats.units[d].idle_histogram.record(run);
+                    self.idle_runs[d] = 0;
+                }
+            } else {
+                self.idle_runs[d] += 1;
+            }
+        }
+
+        // Phase 6: let the gating controller advance its state machines.
+        self.gating.observe(&CycleObservation {
+            cycle,
+            busy,
+            blocked_demand,
+            active_subset,
+        });
+
+        // Phase 7: external observer tap.
+        let mut powered = [false; NUM_DOMAINS];
+        for (p, on) in powered.iter_mut().zip(domain_on) {
+            *p = on;
+        }
+        self.observer.observe(&CycleSample {
+            cycle,
+            busy,
+            powered,
+            issued: issued_count as u8,
+            active_warps: active_count,
+        });
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Releases thread blocks whose live warps all reached a barrier.
+    ///
+    /// A block's slot group advances together: every live warp whose
+    /// next instruction is the barrier steps past it. Finished or
+    /// vacated slots in the group don't hold the barrier hostage
+    /// (matching `__syncthreads` semantics for exited warps).
+    fn release_barriers(&mut self) {
+        let group = self.block_warps as usize;
+        let n = self.slots.len();
+        let mut g0 = 0;
+        while g0 < n {
+            let g1 = (g0 + group).min(n);
+            let live = self.slots[g0..g1].iter().flatten().count();
+            let at_barrier = self.slots[g0..g1]
+                .iter()
+                .flatten()
+                .filter(|w| w.class == WarpClass::Barrier)
+                .count();
+            if live > 0 && at_barrier == live {
+                for slot in self.slots[g0..g1].iter_mut().flatten() {
+                    debug_assert_eq!(slot.class, WarpClass::Barrier);
+                    slot.cursor.advance(&self.kernel);
+                    slot.next_instr = slot.cursor.peek(&self.kernel);
+                    slot.reclassify();
+                }
+            }
+            g0 = g1;
+        }
+    }
+
+    /// Applies a validated issue decision.
+    fn apply_issue(&mut self, slot: WarpSlot, domain: DomainId) {
+        let w = self.slots[slot.0].as_mut().expect("pick for vacated slot");
+        let instr = w.next_instr.expect("pick for warp without instruction");
+        debug_assert_eq!(instr.unit(), domain.unit(), "pick routed to wrong unit");
+
+        let (pipe_occ, complete_in, frees_mshr) = match instr.opcode() {
+            Opcode::Load(MemSpace::Global) => {
+                let lat =
+                    self.mem
+                        .issue_global_load(self.cycle, w.id.0, w.cursor.pc(), w.cursor.executed());
+                (LDST_PIPE_OCCUPANCY, lat, true)
+            }
+            Opcode::Load(MemSpace::Shared) => {
+                (LDST_PIPE_OCCUPANCY, self.mem.shared_latency(), false)
+            }
+            Opcode::Store(MemSpace::Global) => {
+                self.mem.issue_global_store(self.cycle);
+                (LDST_PIPE_OCCUPANCY, LDST_PIPE_OCCUPANCY, false)
+            }
+            Opcode::Store(MemSpace::Shared) => (LDST_PIPE_OCCUPANCY, LDST_PIPE_OCCUPANCY, false),
+            _ => (instr.latency(), instr.latency(), false),
+        };
+
+        w.scoreboard.record_issue(&instr);
+        w.in_flight += 1;
+        let warp_id = w.id;
+        w.cursor.advance(&self.kernel);
+        w.next_instr = w.cursor.peek(&self.kernel);
+
+        self.units.pipe_mut(domain).issue();
+        self.stats.issued_by_type[instr.unit().index()] += 1;
+        self.stats.units[domain.index()].issued += 1;
+
+        self.schedule(pipe_occ, Event::PipeRetire { domain });
+        self.schedule(
+            complete_in,
+            Event::Complete {
+                slot,
+                warp: warp_id,
+                dst: instr.destination(),
+                frees_mshr,
+            },
+        );
+    }
+
+    fn schedule(&mut self, delta: u32, ev: Event) {
+        assert!(
+            (delta as usize) < self.ring.len(),
+            "event latency {delta} exceeds ring capacity {}",
+            self.ring.len()
+        );
+        debug_assert!(delta > 0, "events must land in a future cycle");
+        let idx = ((self.cycle + u64::from(delta)) as usize) & (self.ring.len() - 1);
+        self.ring[idx].push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate_iface::AlwaysOn;
+    use crate::sched::TwoLevelScheduler;
+    use warped_isa::{KernelBuilder, UnitType};
+
+    fn run_kernel(kernel: Kernel, warps: u32) -> SmOutcome {
+        let sm = Sm::new(
+            SmConfig::small_for_tests(),
+            LaunchConfig::new(kernel, warps),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        );
+        sm.run()
+    }
+
+    #[test]
+    fn single_warp_single_instruction_completes() {
+        let k = KernelBuilder::new("one").iadd(1, 0, 0).build();
+        let out = run_kernel(k, 1);
+        assert!(!out.timed_out);
+        assert_eq!(out.stats.instructions(), 1);
+        assert_eq!(out.stats.warps_completed, 1);
+        // Issue at cycle 0, completes at cycle 4, finished detected then.
+        assert!(out.stats.cycles >= 4);
+        assert_eq!(out.stats.issued(UnitType::Int), 1);
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized_by_latency() {
+        // Each instruction depends on the previous one: cycles ~= n * 4.
+        let mut b = KernelBuilder::new("chain");
+        for i in 0..10u16 {
+            b = b.iadd(i + 1, i, i);
+        }
+        let out = run_kernel(b.build(), 1);
+        assert!(!out.timed_out);
+        assert_eq!(out.stats.instructions(), 10);
+        assert!(
+            out.stats.cycles >= 40,
+            "10 chained 4-cycle ops need >= 40 cycles, got {}",
+            out.stats.cycles
+        );
+    }
+
+    #[test]
+    fn independent_instructions_pipeline_with_initiation_interval_one() {
+        // 8 independent INT instructions from one warp: issue one per
+        // cycle (single warp → one instruction per cycle from the I-buffer
+        // in program order; all independent so no stalls).
+        let mut b = KernelBuilder::new("indep");
+        for i in 0..8u16 {
+            b = b.iadd(i + 1, 0, 0);
+        }
+        let out = run_kernel(b.build(), 1);
+        assert!(!out.timed_out);
+        assert!(
+            out.stats.cycles <= 16,
+            "independent ops should pipeline, got {}",
+            out.stats.cycles
+        );
+    }
+
+    #[test]
+    fn many_warps_exploit_dual_issue() {
+        let k = KernelBuilder::new("par")
+            .begin_loop(50)
+            .iadd(1, 0, 0)
+            .fadd(2, 0, 0)
+            .end_loop()
+            .build();
+        let out = run_kernel(k, 8);
+        assert!(!out.timed_out);
+        assert!(out.stats.dual_issue_cycles > 0, "dual issue never happened");
+        assert_eq!(out.stats.instructions(), 8 * 100);
+    }
+
+    #[test]
+    fn global_load_consumer_parks_warp_in_pending_set() {
+        let k = KernelBuilder::new("mem")
+            .load_global(1)
+            .iadd(2, 1, 1)
+            .build();
+        let out = run_kernel(k, 1);
+        assert!(!out.timed_out);
+        // Latency at least the hit latency: load at cycle 0 completes no
+        // earlier than cycle hit_latency, consumer issues after that.
+        let min_cycles = u64::from(SmConfig::small_for_tests().memory.hit_latency);
+        assert!(
+            out.stats.cycles > min_cycles,
+            "cycles {} must exceed memory latency {min_cycles}",
+            out.stats.cycles
+        );
+    }
+
+    #[test]
+    fn grid_larger_than_resident_warps_refills_slots() {
+        let k = KernelBuilder::new("refill")
+            .begin_loop(5)
+            .iadd(1, 0, 0)
+            .end_loop()
+            .build();
+        let cfg = SmConfig::small_for_tests();
+        let warps = (cfg.max_resident_warps as u32) * 3;
+        let out = run_kernel(k, warps);
+        assert!(!out.timed_out);
+        assert_eq!(out.stats.warps_completed, u64::from(warps));
+        assert_eq!(out.stats.instructions(), u64::from(warps) * 5);
+    }
+
+    #[test]
+    fn busy_plus_idle_equals_total_unit_cycles() {
+        let k = KernelBuilder::new("acct")
+            .begin_loop(20)
+            .iadd(1, 0, 0)
+            .fadd(2, 0, 0)
+            .load_global(3)
+            .end_loop()
+            .build();
+        let out = run_kernel(k, 4);
+        assert!(!out.timed_out);
+        for unit in UnitType::ALL {
+            let busy = out.stats.busy_cycles(unit);
+            let idle = out.stats.idle_cycles(unit);
+            let domains = DomainId::domains_of(unit).len() as u64;
+            assert_eq!(busy + idle, domains * out.stats.cycles);
+        }
+    }
+
+    #[test]
+    fn idle_histogram_cycles_match_idle_accounting() {
+        let k = KernelBuilder::new("hist")
+            .begin_loop(10)
+            .iadd(1, 0, 0)
+            .end_loop()
+            .build();
+        let out = run_kernel(k, 2);
+        for d in DomainId::ALL {
+            let hist_cycles = out.stats.unit(d).idle_histogram.idle_cycles();
+            let idle_cycles = out.stats.cycles - out.stats.unit(d).busy_cycles;
+            assert_eq!(
+                hist_cycles, idle_cycles,
+                "domain {d}: histogram must cover every idle cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn sfu_instructions_go_to_sfu_domain() {
+        let k = KernelBuilder::new("sfu").sfu(1, 0).build();
+        let out = run_kernel(k, 1);
+        assert_eq!(out.stats.unit(DomainId::SFU).issued, 1);
+        assert!(out.stats.unit(DomainId::SFU).busy_cycles >= 16);
+    }
+
+    #[test]
+    fn timeout_flag_set_when_cap_exceeded() {
+        let k = KernelBuilder::new("long")
+            .begin_loop(10_000)
+            .iadd(1, 1, 1)
+            .end_loop()
+            .build();
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.max_cycles = 100;
+        let sm = Sm::new(
+            cfg,
+            LaunchConfig::new(k, 4),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        );
+        let out = sm.run();
+        assert!(out.timed_out);
+    }
+
+    #[test]
+    fn block_granular_refill_waits_for_whole_block() {
+        // 4 slots in blocks of 2; warp programs of very different
+        // lengths. The long warp's block-mate finishes early but its
+        // slot must stay empty until the long warp retires.
+        let k = KernelBuilder::new("blocks")
+            .begin_loop(3)
+            .iadd(1, 0, 0)
+            .end_loop()
+            .build();
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.max_resident_warps = 4;
+        let launch = LaunchConfig::new(k.clone(), 8).with_block_warps(2);
+        let blocked = Sm::new(
+            cfg.clone(),
+            launch,
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        let per_warp = Sm::new(
+            cfg,
+            LaunchConfig::new(k, 8).with_block_warps(1),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        assert!(!blocked.timed_out && !per_warp.timed_out);
+        assert_eq!(blocked.stats.warps_completed, 8);
+        assert_eq!(per_warp.stats.warps_completed, 8);
+        // Block-granular refill can only be slower or equal.
+        assert!(blocked.stats.cycles >= per_warp.stats.cycles);
+    }
+
+    #[test]
+    fn stagger_desynchronises_but_preserves_completion() {
+        let k = KernelBuilder::new("stag")
+            .begin_loop(10)
+            .iadd(1, 0, 0)
+            .fadd(2, 0, 0)
+            .end_loop()
+            .build();
+        let cfg = SmConfig::small_for_tests();
+        let plain = Sm::new(
+            cfg.clone(),
+            LaunchConfig::new(k.clone(), 6),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        let staggered = Sm::new(
+            cfg,
+            LaunchConfig::new(k, 6).with_stagger(20),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        assert!(!staggered.timed_out);
+        assert_eq!(staggered.stats.warps_completed, 6);
+        // Staggered warps skip part of their program, so they execute
+        // no more instructions than the un-staggered launch.
+        assert!(staggered.stats.instructions() <= plain.stats.instructions());
+        assert!(staggered.stats.instructions() > 0);
+    }
+
+    #[test]
+    fn stagger_is_deterministic() {
+        let mk = || {
+            let k = KernelBuilder::new("stagdet")
+                .begin_loop(10)
+                .iadd(1, 0, 0)
+                .load_global(2)
+                .end_loop()
+                .build();
+            Sm::new(
+                SmConfig::small_for_tests(),
+                LaunchConfig::new(k, 6).with_stagger(15),
+                Box::new(TwoLevelScheduler::new()),
+                Box::new(AlwaysOn::new()),
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.issued_by_type, b.stats.issued_by_type);
+    }
+
+    #[test]
+    fn barrier_convoys_a_block() {
+        // Two warps in one block; one stalls on a global load before the
+        // barrier. The other must wait at the barrier until its block
+        // mate arrives, even though its own operands are ready.
+        let k = KernelBuilder::new("bar")
+            .load_global(1)
+            .iadd(2, 1, 1) // warp 0 path stalls here on the load
+            .barrier()
+            .iadd(3, 0, 0)
+            .build();
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.max_resident_warps = 2;
+        cfg.memory.l1_hit_rate = 0.0; // both miss: long convoy
+        let out = Sm::new(
+            cfg.clone(),
+            LaunchConfig::new(k, 2).with_block_warps(2),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        assert!(!out.timed_out);
+        assert_eq!(out.stats.warps_completed, 2);
+        // All three executable instructions per warp ran; the barrier
+        // itself never occupied an execution unit.
+        assert_eq!(out.stats.instructions(), 2 * 3);
+        // The run spans at least one full miss latency.
+        assert!(out.stats.cycles > u64::from(cfg.memory.miss_latency));
+    }
+
+    #[test]
+    fn barrier_only_kernel_terminates() {
+        // Degenerate program: compute, barrier, compute — with a single
+        // warp the barrier must release immediately.
+        let k = KernelBuilder::new("solo")
+            .iadd(1, 0, 0)
+            .barrier()
+            .iadd(2, 1, 1)
+            .build();
+        let out = Sm::new(
+            SmConfig::small_for_tests(),
+            LaunchConfig::new(k, 1),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        assert!(!out.timed_out);
+        assert_eq!(out.stats.instructions(), 2);
+    }
+
+    #[test]
+    fn barriers_in_loops_release_every_iteration() {
+        let k = KernelBuilder::new("barloop")
+            .begin_loop(5)
+            .iadd(1, 0, 0)
+            .barrier()
+            .fadd(2, 0, 0)
+            .end_loop()
+            .build();
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.max_resident_warps = 4;
+        let out = Sm::new(
+            cfg,
+            LaunchConfig::new(k, 4).with_block_warps(4),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        assert!(!out.timed_out);
+        assert_eq!(out.stats.instructions(), 4 * 10, "barriers are not executed");
+        assert_eq!(out.stats.warps_completed, 4);
+    }
+
+    #[test]
+    fn waves_serialize_kernel_launches() {
+        let k = KernelBuilder::new("waves")
+            .begin_loop(4)
+            .iadd(1, 0, 0)
+            .end_loop()
+            .build();
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.max_resident_warps = 8;
+        let one_wave = Sm::new(
+            cfg.clone(),
+            LaunchConfig::new(k.clone(), 8),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        let four_waves = Sm::new(
+            cfg,
+            LaunchConfig::new(k, 8).with_waves(4),
+            Box::new(TwoLevelScheduler::new()),
+            Box::new(AlwaysOn::new()),
+        )
+        .run();
+        assert!(!four_waves.timed_out);
+        assert_eq!(four_waves.stats.warps_completed, 8);
+        assert!(
+            four_waves.stats.cycles > one_wave.stats.cycles,
+            "wave barriers must serialize the launches ({} vs {})",
+            four_waves.stats.cycles,
+            one_wave.stats.cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let mk = || {
+            KernelBuilder::new("det")
+                .begin_loop(30)
+                .load_global(1)
+                .iadd(2, 1, 1)
+                .fadd(3, 2, 2)
+                .end_loop()
+                .build()
+        };
+        let a = run_kernel(mk(), 6);
+        let b = run_kernel(mk(), 6);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.issued_by_type, b.stats.issued_by_type);
+        assert_eq!(a.stats.dual_issue_cycles, b.stats.dual_issue_cycles);
+    }
+}

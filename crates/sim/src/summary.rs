@@ -1,0 +1,147 @@
+//! Small statistical helpers used when summarising experiment results
+//! (geometric means across benchmarks, Pearson correlation for Figure 6).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(warped_sim::summary::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(warped_sim::summary::mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; `0.0` for an empty slice.
+///
+/// The paper reports geometric means for normalized runtime, idle-cycle
+/// fraction, and wakeups.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// let g = warped_sim::summary::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for &x in xs {
+        assert!(x > 0.0, "geomean requires positive values, got {x}");
+        log_sum += x.ln();
+    }
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Pearson correlation coefficient between two equally long series.
+///
+/// Returns `0.0` when either series has zero variance or fewer than two
+/// points (the correlation is undefined there; the paper's Figure 6
+/// likewise reports near-zero r for benchmarks whose runtime never
+/// moves).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// let r = warped_sim::summary::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal-length series");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_identical_values_is_that_value() {
+        let g = geomean(&[3.0, 3.0, 3.0]);
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean_for_spread_values() {
+        let xs = [1.0, 100.0];
+        assert!(geomean(&xs) < mean(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_anticorrelation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_is_symmetric() {
+        let a = [1.0, 4.0, 2.0, 8.0];
+        let b = [0.5, 2.0, 3.0, 7.0];
+        assert!((pearson(&a, &b) - pearson(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn pearson_rejects_mismatched_lengths() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pearson_moderate_correlation_in_range() {
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.5, 1.0, 3.5, 3.0]);
+        assert!(r > 0.0 && r < 1.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The 18-benchmark catalogue.
+//!
+//! Mix fractions approximate the paper's Figure 5a; memory behaviour and
+//! grid sizes are tuned so that average active-warp occupancy follows the
+//! ordering of Figure 5b (srad/lbm/backprop/mri at the top, WP/LIB/NN/
+//! gaussian/nw below ten warps on average).
+
+use crate::spec::BenchmarkSpec;
+use std::fmt;
+use warped_isa::InstructionMix;
+
+/// One of the paper's 18 evaluated benchmarks.
+///
+/// Sources: Rodinia (backprop, bfs, btree, gaussian, heartwall, hotspot,
+/// kmeans, lavaMD, nw, srad), Parboil (cutcp, lbm, mri, sgemm), ISPASS
+/// (LIB, MUM, NN, WP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Backprop,
+    Bfs,
+    Btree,
+    Cutcp,
+    Gaussian,
+    Heartwall,
+    Hotspot,
+    Kmeans,
+    LavaMd,
+    Lbm,
+    Lib,
+    Mri,
+    Mum,
+    Nn,
+    Nw,
+    Sgemm,
+    Srad,
+    Wp,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's alphabetical figure order.
+    pub const ALL: [Benchmark; 18] = [
+        Benchmark::Backprop,
+        Benchmark::Bfs,
+        Benchmark::Btree,
+        Benchmark::Cutcp,
+        Benchmark::Gaussian,
+        Benchmark::Heartwall,
+        Benchmark::Hotspot,
+        Benchmark::Kmeans,
+        Benchmark::LavaMd,
+        Benchmark::Lbm,
+        Benchmark::Lib,
+        Benchmark::Mri,
+        Benchmark::Mum,
+        Benchmark::Nn,
+        Benchmark::Nw,
+        Benchmark::Sgemm,
+        Benchmark::Srad,
+        Benchmark::Wp,
+    ];
+
+    /// The display name used throughout the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Backprop => "backprop",
+            Benchmark::Bfs => "bfs",
+            Benchmark::Btree => "btree",
+            Benchmark::Cutcp => "cutcp",
+            Benchmark::Gaussian => "gaussian",
+            Benchmark::Heartwall => "heartwall",
+            Benchmark::Hotspot => "hotspot",
+            Benchmark::Kmeans => "kmeans",
+            Benchmark::LavaMd => "lavaMD",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Lib => "LIB",
+            Benchmark::Mri => "mri",
+            Benchmark::Mum => "MUM",
+            Benchmark::Nn => "NN",
+            Benchmark::Nw => "nw",
+            Benchmark::Sgemm => "sgemm",
+            Benchmark::Srad => "srad",
+            Benchmark::Wp => "WP",
+        }
+    }
+
+    /// Looks a benchmark up by its display name (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The benchmark's synthetic specification.
+    #[must_use]
+    pub fn spec(self) -> BenchmarkSpec {
+        // (int, fp, sfu, ldst), hit, glob, dep, body, phase, trips, warps
+        type RawSpec = ((f64, f64, f64, f64), f64, f64, f64, usize, usize, u32, u32);
+        let (mix, hit, glob, dep, body, phase, trips, warps): RawSpec =
+            match self {
+                // Compute-dense back-propagation: balanced INT/FP, high
+                // occupancy, very utilised pipelines (the paper notes its
+                // units have few idle cycles).
+                Benchmark::Backprop => ((0.32, 0.40, 0.02, 0.26), 0.78, 0.35, 0.55, 48, 10, 120, 120),
+                // Graph traversal: integer + memory bound, irregular.
+                Benchmark::Bfs => ((0.55, 0.00, 0.00, 0.45), 0.42, 0.9, 0.50, 40, 8, 110, 108),
+                // B+-tree search: integer/pointer chasing, moderate occupancy.
+                Benchmark::Btree => ((0.62, 0.02, 0.00, 0.36), 0.66, 0.75, 0.62, 44, 8, 100, 96),
+                // Cutoff Coulomb potential: FP heavy with SFU, high ILP.
+                Benchmark::Cutcp => ((0.24, 0.56, 0.06, 0.14), 0.70, 0.35, 0.68, 52, 14, 140, 108),
+                // Gaussian elimination: small kernels, few warps at a time.
+                Benchmark::Gaussian => ((0.33, 0.42, 0.00, 0.25), 0.62, 0.7, 0.55, 36, 10, 90, 30),
+                // Heart-wall tracking: mixed with some SFU.
+                Benchmark::Heartwall => ((0.45, 0.29, 0.03, 0.23), 0.80, 0.5, 0.60, 48, 10, 110, 96),
+                // Hotspot thermal stencil: the paper's Figure 3 workload.
+                Benchmark::Hotspot => ((0.31, 0.44, 0.00, 0.25), 0.82, 0.35, 0.58, 46, 12, 120, 120),
+                // K-means clustering: memory heavy, modest occupancy.
+                Benchmark::Kmeans => ((0.40, 0.28, 0.02, 0.30), 0.66, 0.55, 0.52, 42, 10, 100, 72),
+                // LavaMD: the paper's pure-integer outlier, busy units.
+                Benchmark::LavaMd => ((0.90, 0.00, 0.00, 0.10), 0.76, 0.4, 0.58, 50, 10, 130, 96),
+                // Lattice-Boltzmann: FP + streaming memory, high occupancy.
+                Benchmark::Lbm => ((0.21, 0.49, 0.00, 0.30), 0.60, 0.8, 0.50, 54, 12, 130, 168),
+                // LIBOR Monte Carlo: FP with SFU, few active warps.
+                Benchmark::Lib => ((0.30, 0.41, 0.04, 0.25), 0.56, 0.7, 0.55, 40, 10, 100, 48),
+                // MRI reconstruction: FP + SFU (trigonometry), high occupancy.
+                Benchmark::Mri => ((0.28, 0.50, 0.10, 0.12), 0.72, 0.35, 0.62, 50, 14, 140, 108),
+                // MUMmer genome alignment: integer + memory, irregular.
+                Benchmark::Mum => ((0.58, 0.00, 0.00, 0.42), 0.48, 0.9, 0.48, 44, 8, 110, 132),
+                // Neural network inference: small grids, low occupancy.
+                Benchmark::Nn => ((0.36, 0.34, 0.00, 0.30), 0.56, 0.65, 0.52, 38, 10, 90, 36),
+                // Needleman-Wunsch wavefront: tiny parallelism, the
+                // lowest occupancy in Figure 5b.
+                Benchmark::Nw => ((0.58, 0.04, 0.00, 0.38), 0.55, 0.8, 0.58, 36, 8, 90, 16),
+                // Dense matrix multiply: FFMA-dominated, regular.
+                Benchmark::Sgemm => ((0.24, 0.56, 0.00, 0.20), 0.70, 0.3, 0.66, 52, 16, 140, 84),
+                // Speckle-reducing diffusion: top occupancy in Figure 5b.
+                Benchmark::Srad => ((0.30, 0.45, 0.05, 0.20), 0.75, 0.5, 0.55, 50, 12, 130, 192),
+                // Weather prediction: FP mixed, low occupancy.
+                Benchmark::Wp => ((0.34, 0.41, 0.05, 0.20), 0.58, 0.65, 0.55, 44, 10, 100, 48),
+            };
+        let (int, fp, sfu, ldst) = mix;
+        BenchmarkSpec {
+            name: self.name(),
+            mix: InstructionMix::new(int, fp, sfu, ldst),
+            l1_hit_rate: hit,
+            global_frac: glob,
+            dep_density: dep,
+            body_len: body,
+            phase_len: phase,
+            trips,
+            total_warps: warps,
+            block_warps: 6,
+            barrier_period: if matches!(
+                self,
+                Benchmark::Backprop
+                    | Benchmark::Cutcp
+                    | Benchmark::Gaussian
+                    | Benchmark::Heartwall
+                    | Benchmark::Hotspot
+                    | Benchmark::Kmeans
+                    | Benchmark::LavaMd
+                    | Benchmark::Nw
+                    | Benchmark::Sgemm
+                    | Benchmark::Srad
+            ) {
+                4
+            } else {
+                0
+            },
+            launches: 6,
+            seed: 0xC0FFEE ^ (self as u64).wrapping_mul(0x9e37_79b9),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::UnitType;
+
+    #[test]
+    fn there_are_eighteen_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 18);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("LAVAMD"), Some(Benchmark::LavaMd));
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<_> = Benchmark::ALL.iter().map(|b| b.spec().seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 18);
+    }
+
+    #[test]
+    fn lavamd_is_effectively_integer_only() {
+        let spec = Benchmark::LavaMd.spec();
+        assert!(spec.mix.is_integer_only());
+    }
+
+    #[test]
+    fn most_benchmarks_mix_int_and_fp() {
+        let mixed = Benchmark::ALL
+            .iter()
+            .filter(|b| {
+                let m = b.spec().mix;
+                m.has_type(UnitType::Int) && m.has_type(UnitType::Fp)
+            })
+            .count();
+        assert!(mixed >= 14, "paper: all but a couple of workloads are mixed");
+    }
+
+    #[test]
+    fn low_occupancy_benchmarks_have_small_grids_or_poor_hit_rates() {
+        for b in [Benchmark::Nw, Benchmark::Gaussian, Benchmark::Nn] {
+            let s = b.spec();
+            assert!(
+                s.total_warps <= 48 || s.l1_hit_rate < 0.5,
+                "{b} should be occupancy-limited"
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::LavaMd.to_string(), "lavaMD");
+    }
+}

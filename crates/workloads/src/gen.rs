@@ -1,0 +1,407 @@
+//! The synthetic kernel generator.
+//!
+//! Kernels are built from *typed phases*, the way compiled GPU code is
+//! structured: a run of integer address arithmetic, a burst of
+//! independent global loads, a chain of floating point compute over the
+//! loaded values, an occasional transcendental, a store. Phase structure
+//! matters for this reproduction: load bursts make each warp stall once
+//! per loop iteration (keeping occupancy realistic and memory stalls
+//! loosely synchronised across warps, which produces the long
+//! whole-SM-idle gaps conventional power gating exploits), while the
+//! per-phase instruction runs control how much same-type clustering the
+//! baseline scheduler already gets for free versus how much GATES must
+//! create by reordering.
+
+use crate::spec::BenchmarkSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use warped_isa::{Instruction, Kernel, MemSpace, Opcode, Reg, Segment, UnitType};
+
+/// Registers 0..INPUT_REGS are kernel inputs: never written, always ready.
+const INPUT_REGS: u16 = 8;
+/// Compute destinations rotate through this range to bound WAW hazards.
+const DEST_BASE: u16 = 16;
+const DEST_SPAN: u16 = 104;
+/// Load destinations rotate through their own range: compilers never
+/// reuse an in-flight load's register for unrelated computation, and a
+/// shared range would manufacture WAW stalls on long-latency loads.
+const LOAD_DEST_BASE: u16 = 120;
+const LOAD_DEST_SPAN: u16 = 64;
+/// How many recent producers an instruction may depend on.
+const RECENT_WINDOW: usize = 8;
+
+/// Generator state threaded through phase emission.
+///
+/// Recent producers are tracked *per unit type* so that dependencies
+/// stay mostly within a type, the way compiled kernels behave: integer
+/// address chains feed loads, loads feed floating point chains, floating
+/// point results feed stores and transcendentals. Cross-type coupling
+/// flows through the memory system (INT → LDST → FP), which both keeps
+/// GATES starvation-free (each type eventually needs the other's
+/// results) and keeps the *direct* critical path within a type, so
+/// demoting or briefly gating one type rarely blocks the other — the
+/// execution-resource heterogeneity the paper's Blackout relies on.
+struct Gen {
+    rng: StdRng,
+    next_dest: u16,
+    next_load_dest: u16,
+    recent: [Vec<Reg>; 4],
+    dep_density: f64,
+    global_frac: f64,
+}
+
+impl Gen {
+    fn new(seed: u64, dep_density: f64, global_frac: f64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            next_dest: DEST_BASE,
+            next_load_dest: LOAD_DEST_BASE,
+            recent: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            dep_density,
+            global_frac,
+        }
+    }
+
+    fn alloc_dest(&mut self, producer: UnitType) -> Reg {
+        let d = if producer == UnitType::Ldst {
+            let d = Reg::new(self.next_load_dest);
+            self.next_load_dest =
+                LOAD_DEST_BASE + ((self.next_load_dest - LOAD_DEST_BASE + 1) % LOAD_DEST_SPAN);
+            d
+        } else {
+            let d = Reg::new(self.next_dest);
+            self.next_dest = DEST_BASE + ((self.next_dest - DEST_BASE + 1) % DEST_SPAN);
+            d
+        };
+        let pool = &mut self.recent[producer.index()];
+        if pool.len() == RECENT_WINDOW {
+            pool.remove(0);
+        }
+        pool.push(d);
+        d
+    }
+
+    /// Picks a source from the recent producers of `pool_unit`, falling
+    /// back to a kernel input register.
+    fn pick_from(&mut self, pool_unit: UnitType) -> Reg {
+        let pool = &self.recent[pool_unit.index()];
+        if !pool.is_empty() && self.rng.random_bool(self.dep_density) {
+            pool[self.rng.random_range(0..pool.len())]
+        } else {
+            Reg::new(self.rng.random_range(0..INPUT_REGS))
+        }
+    }
+
+    /// Source for a consumer of `unit`: mostly same-type, with FP (and
+    /// SFU) consuming loaded values and stores draining compute results.
+    fn pick_src(&mut self, unit: UnitType) -> Reg {
+        match unit {
+            UnitType::Int => {
+                // Address arithmetic occasionally consumes loaded
+                // indices (pointer chasing, gather offsets).
+                if self.rng.random_bool(0.25) {
+                    self.pick_from(UnitType::Ldst)
+                } else {
+                    self.pick_from(UnitType::Int)
+                }
+            }
+            UnitType::Fp | UnitType::Sfu => {
+                if self.rng.random_bool(0.35) {
+                    self.pick_from(UnitType::Ldst)
+                } else {
+                    self.pick_from(UnitType::Fp)
+                }
+            }
+            UnitType::Ldst => {
+                // Store data / indexed-load addresses.
+                if self.rng.random_bool(0.5) {
+                    self.pick_from(UnitType::Fp)
+                } else {
+                    self.pick_from(UnitType::Int)
+                }
+            }
+        }
+    }
+
+    /// Emits one instruction of `unit`. `chain` carries the destination
+    /// of the previous instruction in the same compute phase: compute
+    /// phases are mostly *serial* chains (an FFMA accumulation, an
+    /// address computation), which is what bounds how many warps are
+    /// ready at once — a warp re-enters the ready pool only when its
+    /// chain step completes.
+    fn emit(&mut self, unit: UnitType, chain: &mut Option<Reg>, body: &mut Vec<Instruction>) {
+        const CHAIN_P: f64 = 0.8;
+        let chained_src = |g: &mut Self, pool: UnitType, chain: &Option<Reg>| match chain {
+            Some(r) if g.rng.random_bool(CHAIN_P) => *r,
+            _ => g.pick_src(pool),
+        };
+        let instr = match unit {
+            UnitType::Int => {
+                let a = chained_src(self, UnitType::Int, chain);
+                let b = self.pick_src(UnitType::Int);
+                let d = self.alloc_dest(UnitType::Int);
+                let op = if self.rng.random_bool(0.15) {
+                    Opcode::IMul
+                } else {
+                    Opcode::IAlu
+                };
+                Instruction::new(op, Some(d), &[a, b])
+            }
+            UnitType::Fp => {
+                let a = chained_src(self, UnitType::Fp, chain);
+                let b = self.pick_src(UnitType::Fp);
+                let d = self.alloc_dest(UnitType::Fp);
+                match self.rng.random_range(0..3u32) {
+                    0 => Instruction::new(Opcode::FAlu, Some(d), &[a, b]),
+                    1 => Instruction::new(Opcode::FMul, Some(d), &[a, b]),
+                    _ => {
+                        let c = self.pick_src(UnitType::Fp);
+                        Instruction::new(Opcode::FFma, Some(d), &[a, b, c])
+                    }
+                }
+            }
+            UnitType::Sfu => {
+                let a = self.pick_src(UnitType::Sfu);
+                let d = self.alloc_dest(UnitType::Fp);
+                Instruction::new(Opcode::Sfu, Some(d), &[a])
+            }
+            UnitType::Ldst => {
+                if self.rng.random_bool(0.78) {
+                    // Load bursts are independent (addresses come from
+                    // inputs), so a warp stalls only at the first
+                    // *consumer* of the loaded data, not per load.
+                    let d = self.alloc_dest(UnitType::Ldst);
+                    if self.rng.random_bool(self.global_frac) {
+                        Instruction::new(Opcode::Load(MemSpace::Global), Some(d), &[])
+                    } else {
+                        Instruction::new(Opcode::Load(MemSpace::Shared), Some(d), &[])
+                    }
+                } else {
+                    let s = self.pick_src(UnitType::Ldst);
+                    Instruction::new(Opcode::Store(MemSpace::Global), None, &[s])
+                }
+            }
+        };
+        *chain = instr.destination().filter(|_| {
+            matches!(unit, UnitType::Int | UnitType::Fp)
+        });
+        body.push(instr);
+    }
+}
+
+/// Mean phase (same-type run) length for each unit type. INT/FP compute
+/// phases use the benchmark's configured length; memory phases are
+/// bursts; SFU appears in short sprinkles.
+fn mean_phase_len(unit: UnitType, spec: &BenchmarkSpec) -> usize {
+    match unit {
+        UnitType::Int | UnitType::Fp => spec.phase_len,
+        UnitType::Sfu => 2,
+        UnitType::Ldst => 3,
+    }
+}
+
+/// Generates the kernel for a benchmark specification.
+pub(crate) fn generate_kernel(spec: &BenchmarkSpec) -> Kernel {
+    let mut g = Gen::new(spec.seed, spec.dep_density, spec.global_frac);
+
+    // Prologue: fetch the warp's tile.
+    let mut prologue = Vec::new();
+    let mut chain = None;
+    for _ in 0..4 {
+        g.emit(UnitType::Ldst, &mut chain, &mut prologue);
+    }
+
+    // Main loop body: `rounds` rounds of typed-phase content (each
+    // consuming one exact per-type budget), with a barrier closing the
+    // body for synchronising kernels. The trip count shrinks by the
+    // round count so the dynamic instruction total is unchanged.
+    let rounds = spec.barrier_period.max(1) as usize;
+    let mut body = Vec::with_capacity(spec.body_len * rounds + 1);
+    for _ in 0..rounds {
+        let mut budgets = mix_counts(spec);
+        while budgets.iter().sum::<usize>() > 0 {
+            // Pick a phase type, weighted by remaining budget.
+            let total: usize = budgets.iter().sum();
+            let mut roll = g.rng.random_range(0..total);
+            let mut ti = 0;
+            for (i, &b) in budgets.iter().enumerate() {
+                if roll < b {
+                    ti = i;
+                    break;
+                }
+                roll -= b;
+            }
+            let unit = UnitType::from_index(ti);
+            let mean = mean_phase_len(unit, spec);
+            let len = (1 + g.rng.random_range(0..2 * mean)).min(budgets[ti]);
+            let mut chain = None;
+            for _ in 0..len {
+                g.emit(unit, &mut chain, &mut body);
+            }
+            budgets[ti] -= len;
+        }
+    }
+    if spec.barrier_period > 0 {
+        body.push(Instruction::new(Opcode::Bar, None, &[]));
+    }
+    let trips = (spec.trips / rounds as u32).max(1);
+
+    // Epilogue: write results back.
+    let result = g
+        .recent
+        .iter()
+        .rev()
+        .find_map(|pool| pool.last().copied())
+        .expect("body produced at least one value");
+    let epilogue = vec![Instruction::new(
+        Opcode::Store(MemSpace::Global),
+        None,
+        &[result],
+    )];
+
+    Kernel::new(
+        spec.name,
+        vec![
+            Segment::Straight(prologue),
+            Segment::Loop { body, trips },
+            Segment::Straight(epilogue),
+        ],
+    )
+}
+
+/// Exact per-type instruction counts for the loop body (largest-remainder
+/// rounding so the counts sum to `body_len`).
+fn mix_counts(spec: &BenchmarkSpec) -> [usize; 4] {
+    let n = spec.body_len;
+    let fracs = spec.mix.fractions();
+    let mut counts = [0usize; 4];
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(4);
+    let mut assigned = 0;
+    for i in 0..4 {
+        let exact = fracs[i] * n as f64;
+        let floor = exact.floor() as usize;
+        counts[i] = floor;
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
+    for (i, _) in remainders.into_iter().take(n - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = Benchmark::Hotspot.spec();
+        assert_eq!(spec.kernel(), spec.kernel());
+    }
+
+    #[test]
+    fn different_seeds_give_different_kernels() {
+        let a = Benchmark::Hotspot.spec();
+        let b = a.with_seed(a.seed + 1);
+        assert_ne!(a.kernel(), b.kernel());
+    }
+
+    #[test]
+    fn loop_body_mix_matches_spec_exactly() {
+        for b in Benchmark::ALL {
+            let spec = b.spec();
+            let counts = mix_counts(&spec);
+            let total: usize = counts.iter().sum();
+            assert_eq!(total, spec.body_len, "{b}: counts must sum to body_len");
+            for (i, &c) in counts.iter().enumerate() {
+                let want = spec.mix.fractions()[i] * spec.body_len as f64;
+                assert!(
+                    (c as f64 - want).abs() <= 1.0,
+                    "{b}: type {i} count {c} too far from target {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_mix_is_close_to_target() {
+        // Loop dominates the dynamic stream, so the whole-kernel dynamic
+        // mix lands near the spec despite prologue/epilogue.
+        for b in Benchmark::ALL {
+            let spec = b.spec();
+            let mix = spec.kernel().mix();
+            for (i, u) in UnitType::ALL.iter().enumerate() {
+                let got = mix.fraction(*u);
+                let want = spec.mix.fractions()[i];
+                assert!(
+                    (got - want).abs() < 0.05,
+                    "{b}: {u} fraction {got:.3} vs target {want:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bodies_are_phase_structured() {
+        // Same-type runs should be much longer than a uniformly random
+        // interleaving would produce: expected run length under uniform
+        // shuffling is ~1/(1-p) per type; phases target ~4-6.
+        let spec = Benchmark::Hotspot.spec();
+        let kernel = spec.kernel();
+        let units: Vec<UnitType> = kernel.iter().map(|i| i.unit()).collect();
+        let mut runs = 0usize;
+        for w in units.windows(2) {
+            if w[0] != w[1] {
+                runs += 1;
+            }
+        }
+        let avg_run = units.len() as f64 / (runs + 1) as f64;
+        assert!(
+            avg_run >= 2.0,
+            "average same-type run {avg_run:.2} too short for phase structure"
+        );
+    }
+
+    #[test]
+    fn kernels_contain_dependencies() {
+        let spec = Benchmark::Sgemm.spec();
+        let kernel = spec.kernel();
+        let has_dep = kernel
+            .iter()
+            .any(|i| i.sources().any(|r| r.index() >= INPUT_REGS));
+        assert!(has_dep);
+    }
+
+    #[test]
+    fn integer_only_benchmark_generates_no_fp() {
+        let spec = Benchmark::LavaMd.spec();
+        let kernel = spec.kernel();
+        assert_eq!(kernel.dynamic_count(UnitType::Fp), 0);
+    }
+
+    #[test]
+    fn dynamic_length_matches_structure() {
+        // Non-synchronising benchmark: body_len per trip, no barriers.
+        let spec = Benchmark::Lbm.spec();
+        assert_eq!(spec.barrier_period, 0);
+        let k = spec.kernel();
+        let expected = 4 + spec.body_len as u64 * u64::from(spec.trips) + 1;
+        assert_eq!(k.dynamic_len(), expected);
+        assert_eq!(k.dynamic_executable_len(), k.dynamic_len());
+    }
+
+    #[test]
+    fn barrier_kernels_carry_one_barrier_per_body() {
+        let spec = Benchmark::Nw.spec();
+        assert!(spec.barrier_period > 0);
+        let k = spec.kernel();
+        let rounds = u64::from(spec.barrier_period);
+        let trips = (u64::from(spec.trips) / rounds).max(1);
+        let expected_exec = 4 + spec.body_len as u64 * rounds * trips + 1;
+        assert_eq!(k.dynamic_executable_len(), expected_exec);
+        assert_eq!(k.dynamic_len(), expected_exec + trips, "one barrier per trip");
+    }
+}

@@ -1,0 +1,192 @@
+//! Benchmark specifications: the tunable aggregates of one workload.
+
+use crate::gen;
+use warped_isa::{InstructionMix, Kernel};
+use warped_sim::{LaunchConfig, MemoryConfig, SmConfig};
+
+/// The tunable aggregate properties of one synthetic benchmark.
+///
+/// Construct via [`Benchmark::spec`](crate::Benchmark::spec) for the 18
+/// paper workloads, or build your own for custom studies.
+///
+/// # Examples
+///
+/// ```
+/// use warped_workloads::Benchmark;
+///
+/// let spec = Benchmark::Srad.spec();
+/// let launch = spec.launch();
+/// assert_eq!(launch.total_warps(), spec.total_warps);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches the paper's figures).
+    pub name: &'static str,
+    /// Target dynamic instruction mix (Figure 5a).
+    pub mix: InstructionMix,
+    /// L1 hit rate for global loads (drives pending-set occupancy).
+    pub l1_hit_rate: f64,
+    /// Fraction of loads that go to global memory (the rest hit shared
+    /// memory). Tiled kernels stage data in shared memory and touch DRAM
+    /// rarely; irregular kernels go global almost every time.
+    pub global_frac: f64,
+    /// Probability that an operand comes from a recently produced value
+    /// rather than a kernel input.
+    pub dep_density: f64,
+    /// Static instructions in the main loop body.
+    pub body_len: usize,
+    /// Mean length of same-type (INT/FP) instruction runs in the body.
+    /// Large values model regular compute kernels whose compilers emit
+    /// long address-arithmetic and FP-chain regions; small values model
+    /// irregular, finely interleaved code.
+    pub phase_len: usize,
+    /// Loop trip count.
+    pub trips: u32,
+    /// Warps launched per SM (grid size).
+    pub total_warps: u32,
+    /// Warps per thread block (slot refill granularity; CTA tails).
+    pub block_warps: u32,
+    /// Block-wide barrier (`__syncthreads`) period: the loop body is
+    /// generated as this many rounds of phase content followed by one
+    /// barrier (0 = no barriers). Tiled/stencil kernels synchronise
+    /// their blocks regularly; the resulting convoying produces the
+    /// recurring whole-pipeline idle windows power gating harvests in
+    /// steady state. Larger periods convoy less often.
+    pub barrier_period: u32,
+    /// Back-to-back kernel launches the grid is split into. Real GPGPU
+    /// applications invoke their kernels repeatedly (time steps,
+    /// iterations), so every run has recurring ramp-up and drain
+    /// phases; this keeps the idle-period structure independent of the
+    /// run length (and of the test scale factor).
+    pub launches: u32,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl BenchmarkSpec {
+    /// Validates the specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rates, an empty body, zero trips, or an
+    /// empty grid.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.l1_hit_rate),
+            "l1_hit_rate must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.dep_density),
+            "dep_density must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.global_frac),
+            "global_frac must be in [0,1]"
+        );
+        assert!(self.body_len >= 4, "body must have at least 4 instructions");
+        assert!(self.phase_len >= 1, "phase length must be at least 1");
+        assert!(self.trips >= 1, "need at least one trip");
+        assert!(self.total_warps >= 1, "need at least one warp");
+        assert!(self.block_warps >= 1, "block must contain at least one warp");
+        assert!(self.launches >= 1, "need at least one kernel launch");
+    }
+
+    /// Generates the benchmark's kernel (deterministic in the spec).
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.validate();
+        gen::generate_kernel(self)
+    }
+
+    /// The launch configuration for one SM.
+    #[must_use]
+    pub fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.kernel(), self.total_warps)
+            .with_block_warps(self.block_warps)
+            .with_stagger(self.body_len as u32)
+            .with_waves(self.launches)
+    }
+
+    /// The SM configuration this benchmark runs under: the GTX480
+    /// defaults with the benchmark's memory behaviour installed.
+    #[must_use]
+    pub fn sm_config(&self) -> SmConfig {
+        let mut cfg = SmConfig::gtx480();
+        cfg.memory = MemoryConfig {
+            l1_hit_rate: self.l1_hit_rate,
+            seed: self.seed ^ 0xdead_beef,
+            ..MemoryConfig::default()
+        };
+        cfg
+    }
+
+    /// A proportionally smaller copy (fewer warps, fewer trips) for fast
+    /// unit tests. `factor` must be in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `(0, 1]`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> BenchmarkSpec {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0,1]");
+        let scale_u32 = |v: u32| ((f64::from(v) * factor).round() as u32).max(1);
+        BenchmarkSpec {
+            trips: scale_u32(self.trips),
+            total_warps: scale_u32(self.total_warps),
+            launches: scale_u32(self.launches),
+            ..self.clone()
+        }
+    }
+
+    /// Same spec with a different seed (for replication studies).
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> BenchmarkSpec {
+        BenchmarkSpec {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Benchmark;
+
+    #[test]
+    fn all_specs_validate() {
+        for b in Benchmark::ALL {
+            b.spec().validate();
+        }
+    }
+
+    #[test]
+    fn scaled_reduces_work_but_stays_valid() {
+        let spec = Benchmark::Lbm.spec();
+        let small = spec.scaled(0.1);
+        small.validate();
+        assert!(small.trips <= spec.trips);
+        assert!(small.total_warps <= spec.total_warps);
+        assert!(small.trips >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_scale_rejected() {
+        let _ = Benchmark::Nw.spec().scaled(0.0);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = Benchmark::Bfs.spec();
+        let b = a.with_seed(123);
+        assert_eq!(a.name, b.name);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn sm_config_carries_benchmark_memory_behaviour() {
+        let spec = Benchmark::Nw.spec();
+        let cfg = spec.sm_config();
+        assert!((cfg.memory.l1_hit_rate - spec.l1_hit_rate).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+set -x
+cd /root/repo
+for f in fig01b fig03 fig05 fig08 fig09 fig10 chip_savings; do
+  cargo run --release -p warped-bench --bin $f -- --scale 1.0 > results/$f.txt 2>results/$f.err
+done
+cargo run --release -p warped-bench --bin hw_overhead > results/hw_overhead.txt 2>/dev/null
+cargo run --release -p warped-bench --bin fig06 -- --scale 0.5 > results/fig06.txt 2>results/fig06.err
+cargo run --release -p warped-bench --bin fig11 -- --scale 0.5 > results/fig11.txt 2>results/fig11.err
+echo ALL_DONE
+# extension studies
+cargo run --release -p warped-bench --bin granularity -- --scale 0.3 > results/granularity.txt 2>/dev/null
+cargo run --release -p warped-bench --bin kepler_study -- --scale 0.3 > results/kepler_study.txt 2>/dev/null
+cargo run --release -p warped-bench --bin width_study -- --scale 0.3 > results/width_study.txt 2>/dev/null
+cargo run --release -p warped-bench --bin ablation -- --scale 0.2 > results/ablation.txt 2>/dev/null
+echo EXTENSIONS_DONE

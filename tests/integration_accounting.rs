@@ -1,0 +1,188 @@
+//! Cross-crate accounting invariants: every counter the energy model
+//! consumes must be internally consistent for every benchmark and
+//! technique.
+
+use warped_gates_repro::gates::{Experiment, Technique};
+use warped_gates_repro::isa::UnitType;
+use warped_gates_repro::power::{EnergyBreakdown, PowerParams};
+use warped_gates_repro::sim::DomainId;
+use warped_gates_repro::workloads::Benchmark;
+
+fn experiment() -> Experiment {
+    Experiment::paper_defaults().with_scale(0.08)
+}
+
+#[test]
+fn gated_cycles_partition_into_compensated_and_uncompensated() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        for t in Technique::GATED {
+            let run = exp.run(&b.spec(), t);
+            for d in DomainId::ALL {
+                let s = run.gating.domain(d);
+                assert_eq!(
+                    s.gated_cycles,
+                    s.compensated_cycles + s.uncompensated_cycles,
+                    "{b}/{t}/{d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wakeups_never_exceed_gate_events() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        for t in Technique::GATED {
+            let run = exp.run(&b.spec(), t);
+            for d in DomainId::ALL {
+                let s = run.gating.domain(d);
+                assert!(s.wakeups <= s.gate_events, "{b}/{t}/{d}");
+                assert!(s.critical_wakeups <= s.wakeups, "{b}/{t}/{d}");
+                assert!(s.premature_wakeups <= s.wakeups, "{b}/{t}/{d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wakeup_cycles_match_wakeup_events_and_delay() {
+    // Every completed wakeup costs exactly `wakeup_delay` cycles in the
+    // waking state; at most one wakeup per domain may be in flight at
+    // the end of the run.
+    let exp = experiment();
+    let delay = u64::from(exp.params().wakeup_delay);
+    for b in [Benchmark::Hotspot, Benchmark::Lbm, Benchmark::Nw] {
+        for t in Technique::GATED {
+            let run = exp.run(&b.spec(), t);
+            for d in DomainId::ALL {
+                let s = run.gating.domain(d);
+                let full = s.wakeups * delay;
+                assert!(
+                    s.wakeup_cycles <= full && s.wakeup_cycles + delay > full.min(s.wakeup_cycles + delay),
+                    "{b}/{t}/{d}: wakeup cycles {} vs events {}",
+                    s.wakeup_cycles,
+                    s.wakeups
+                );
+                assert!(
+                    full.saturating_sub(s.wakeup_cycles) < delay,
+                    "{b}/{t}/{d}: at most one wakeup may be cut short by run end"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn busy_idle_and_gated_cycles_fit_in_the_run() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        let run = exp.run(&b.spec(), Technique::WarpedGates);
+        for d in DomainId::ALL {
+            let unit_stats = run.stats.unit(d);
+            let g = run.gating.domain(d);
+            // A gated or waking cycle is never busy.
+            assert!(
+                unit_stats.busy_cycles + g.gated_cycles + g.wakeup_cycles <= run.cycles,
+                "{b}/{d}: busy {} + gated {} + waking {} exceeds run {}",
+                unit_stats.busy_cycles,
+                g.gated_cycles,
+                g.wakeup_cycles,
+                run.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn idle_histograms_cover_exactly_the_idle_cycles() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        let run = exp.run(&b.spec(), Technique::Baseline);
+        for d in DomainId::ALL {
+            let s = run.stats.unit(d);
+            assert_eq!(
+                s.idle_histogram.idle_cycles(),
+                run.cycles - s.busy_cycles,
+                "{b}/{d}: histogram must account for every idle cycle"
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_components_are_non_negative_and_consistent() {
+    let exp = experiment();
+    let power = PowerParams::default();
+    for b in Benchmark::ALL {
+        for t in Technique::ALL {
+            let run = exp.run(&b.spec(), t);
+            for unit in [UnitType::Int, UnitType::Fp] {
+                let e = run.energy(unit, &power);
+                assert!(e.static_energy >= 0.0, "{b}/{t}/{unit}");
+                assert!(e.overhead >= 0.0);
+                assert!(e.dynamic >= 0.0);
+                let capacity = 2.0 * run.cycles as f64;
+                assert!(
+                    e.static_energy <= capacity,
+                    "{b}/{t}/{unit}: static energy exceeds always-on bound"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn savings_never_exceed_total_leakage() {
+    let exp = experiment();
+    let power = PowerParams::default();
+    for b in Benchmark::ALL {
+        let baseline = exp.run(&b.spec(), Technique::Baseline);
+        for t in Technique::GATED {
+            let run = exp.run(&b.spec(), t);
+            for unit in [UnitType::Int, UnitType::Fp] {
+                let s = run.static_savings(&baseline, unit, &power).fraction();
+                assert!(s <= 1.0, "{b}/{t}/{unit}: savings {s} above 100%");
+                assert!(s > -1.0, "{b}/{t}/{unit}: savings {s} implausibly negative");
+            }
+        }
+    }
+}
+
+#[test]
+fn breakdown_from_run_matches_manual_computation() {
+    let exp = experiment();
+    let power = PowerParams::default();
+    let run = exp.run(&Benchmark::Kmeans.spec(), Technique::ConvPg);
+    let unit = UnitType::Int;
+    let g = run.gating_of(unit);
+    let manual = EnergyBreakdown::with_bet(
+        &power,
+        unit,
+        run.params.bet,
+        run.cycles,
+        2,
+        g.gated_cycles,
+        g.gate_events,
+        run.stats.issued(unit),
+    );
+    let derived = run.energy(unit, &power);
+    assert!((manual.static_energy - derived.static_energy).abs() < 1e-9);
+    assert!((manual.overhead - derived.overhead).abs() < 1e-9);
+    assert!((manual.dynamic - derived.dynamic).abs() < 1e-9);
+}
+
+#[test]
+fn active_warp_statistics_stay_within_bounds() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        let run = exp.run(&b.spec(), Technique::Baseline);
+        let max = run.stats.active_warps_max;
+        assert!(max <= 48, "{b}: active set larger than resident warps");
+        assert!(
+            run.stats.avg_active_warps() <= f64::from(max),
+            "{b}: average above maximum"
+        );
+    }
+}

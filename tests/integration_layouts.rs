@@ -1,0 +1,115 @@
+//! Integration tests for the clustered-architecture generalization
+//! (Kepler/GCN-like layouts): the full technique stack must hold its
+//! invariants on any cluster count, and the Fermi layout must remain
+//! the default everywhere.
+
+use warped_gates_repro::gates::{Experiment, Technique};
+use warped_gates_repro::isa::UnitType;
+use warped_gates_repro::power::PowerParams;
+use warped_gates_repro::sim::{DomainLayout, MAX_SP_CLUSTERS};
+use warped_gates_repro::workloads::Benchmark;
+
+fn experiment(layout: DomainLayout, width: usize) -> Experiment {
+    Experiment::paper_defaults()
+        .with_scale(0.08)
+        .with_architecture(layout, Some(width))
+}
+
+#[test]
+fn every_layout_completes_the_technique_grid() {
+    for (layout, width) in [
+        (DomainLayout::new(1), 1),
+        (DomainLayout::fermi(), 2),
+        (DomainLayout::gcn(), 3),
+        (DomainLayout::kepler(), 4),
+    ] {
+        let exp = experiment(layout, width);
+        for t in Technique::ALL {
+            let run = exp.run(&Benchmark::Hotspot.spec(), t);
+            assert!(
+                !run.timed_out,
+                "{t} timed out on {} clusters",
+                layout.sp_clusters()
+            );
+            assert!(run.stats.instructions() > 0);
+        }
+    }
+}
+
+#[test]
+fn blackout_lock_holds_on_every_layout() {
+    for k in 1..=MAX_SP_CLUSTERS {
+        let exp = experiment(DomainLayout::new(k), 2);
+        for t in [Technique::NaiveBlackout, Technique::WarpedGates] {
+            let run = exp.run(&Benchmark::Srad.spec(), t);
+            for unit in [UnitType::Int, UnitType::Fp] {
+                assert_eq!(
+                    run.gating_of(unit).premature_wakeups,
+                    0,
+                    "k={k}/{t}/{unit}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accounting_capacity_scales_with_cluster_count() {
+    let exp = experiment(DomainLayout::kepler(), 4);
+    let run = exp.run(&Benchmark::Lbm.spec(), Technique::WarpedGates);
+    let g = run.gating_of(UnitType::Fp);
+    // Six FP clusters: gated cycles can exceed 2× the run length (the
+    // Fermi capacity) but never 6×.
+    assert!(g.gated_cycles <= 6 * run.cycles);
+    // Busy + gated + waking fits in the 6-cluster capacity.
+    let busy = run.stats.busy_cycles(UnitType::Fp);
+    assert!(busy + g.gated_cycles + g.wakeup_cycles <= 6 * run.cycles);
+}
+
+#[test]
+fn coordinated_keeps_one_cluster_awake_under_load() {
+    // On a Kepler-like layout with steady FP work, savings must come
+    // without pathological starvation: performance stays near baseline.
+    let exp = experiment(DomainLayout::kepler(), 4);
+    let baseline = exp.run(&Benchmark::Sgemm.spec(), Technique::Baseline);
+    let run = exp.run(&Benchmark::Sgemm.spec(), Technique::CoordinatedBlackout);
+    let perf = run.normalized_performance(&baseline);
+    assert!(perf > 0.85, "coordinated blackout collapsed to {perf:.3}");
+}
+
+#[test]
+fn more_clusters_save_more_static_energy() {
+    // The study's headline trend: per-cluster idleness grows with the
+    // cluster count, so conventional gating's savings rise
+    // monotonically-ish from Fermi to Kepler on a mixed workload.
+    let power = PowerParams::default();
+    let mut savings = Vec::new();
+    for (layout, width) in [
+        (DomainLayout::fermi(), 2),
+        (DomainLayout::kepler(), 4),
+    ] {
+        let exp = Experiment::paper_defaults()
+            .with_scale(0.15)
+            .with_architecture(layout, Some(width));
+        let baseline = exp.run(&Benchmark::Hotspot.spec(), Technique::Baseline);
+        let run = exp.run(&Benchmark::Hotspot.spec(), Technique::ConvPg);
+        savings.push(
+            run.static_savings(&baseline, UnitType::Int, &power)
+                .fraction(),
+        );
+    }
+    assert!(
+        savings[1] > savings[0],
+        "Kepler-like savings {:.3} should exceed Fermi {:.3}",
+        savings[1],
+        savings[0]
+    );
+}
+
+#[test]
+fn fermi_remains_the_unconfigured_default() {
+    let exp = Experiment::paper_defaults().with_scale(0.08);
+    let run = exp.run(&Benchmark::Nw.spec(), Technique::Baseline);
+    assert_eq!(run.stats.layout, DomainLayout::fermi());
+    assert_eq!(run.stats.layout.sp_clusters(), 2);
+}

@@ -1,0 +1,176 @@
+//! End-to-end integration tests: the full benchmark × technique grid,
+//! with the paper's qualitative claims asserted on the aggregate.
+
+use warped_gates_repro::gates::{Experiment, Technique};
+use warped_gates_repro::isa::UnitType;
+use warped_gates_repro::power::PowerParams;
+use warped_gates_repro::sim::summary::{geomean, mean};
+use warped_gates_repro::workloads::Benchmark;
+
+/// Scale used throughout: large enough to exercise steady-state
+/// behaviour, small enough that the whole grid runs in seconds.
+fn experiment() -> Experiment {
+    Experiment::paper_defaults().with_scale(0.08)
+}
+
+#[test]
+fn every_technique_completes_every_benchmark() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        for t in Technique::ALL {
+            let run = exp.run(&b.spec(), t);
+            assert!(!run.timed_out, "{b}/{t} timed out");
+            assert!(run.cycles > 0);
+            assert!(run.stats.instructions() > 0);
+        }
+    }
+}
+
+#[test]
+fn instruction_counts_are_schedule_invariant() {
+    // Every technique executes the same program: total instructions per
+    // type must match across techniques for each benchmark.
+    let exp = experiment();
+    for b in [Benchmark::Hotspot, Benchmark::Nw, Benchmark::LavaMd] {
+        let reference = exp.run(&b.spec(), Technique::Baseline);
+        for t in Technique::GATED {
+            let run = exp.run(&b.spec(), t);
+            assert_eq!(
+                run.stats.issued_by_type, reference.stats.issued_by_type,
+                "{b}/{t}: instruction mix must not depend on the schedule"
+            );
+        }
+    }
+}
+
+#[test]
+fn blackout_never_wakes_before_break_even_anywhere() {
+    let exp = experiment();
+    for b in Benchmark::ALL {
+        for t in [
+            Technique::NaiveBlackout,
+            Technique::CoordinatedBlackout,
+            Technique::WarpedGates,
+        ] {
+            let run = exp.run(&b.spec(), t);
+            for unit in [UnitType::Int, UnitType::Fp] {
+                assert_eq!(
+                    run.gating_of(unit).premature_wakeups,
+                    0,
+                    "{b}/{t}/{unit}: blackout must forbid pre-BET wakeups"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_average_savings_follow_the_paper_ordering() {
+    // The paper's headline: ConvPG < GATES < Blackout variants on INT
+    // static energy savings, with Warped Gates well above conventional.
+    // Run at a moderate scale: very small runs are dominated by kernel
+    // ramp/drain phases where every gating scheme harvests the same
+    // drained-SM idleness and the techniques converge.
+    let exp = Experiment::paper_defaults().with_scale(0.2);
+    let power = PowerParams::default();
+    let mut avg = std::collections::BTreeMap::new();
+    for t in Technique::GATED {
+        let mut vals = Vec::new();
+        for b in Benchmark::ALL {
+            let baseline = exp.run(&b.spec(), Technique::Baseline);
+            let run = exp.run(&b.spec(), t);
+            vals.push(run.static_savings(&baseline, UnitType::Int, &power).fraction());
+        }
+        avg.insert(t, mean(&vals));
+    }
+    let conv = avg[&Technique::ConvPg];
+    let gates = avg[&Technique::Gates];
+    let warped = avg[&Technique::WarpedGates];
+    assert!(
+        gates > conv,
+        "GATES ({gates:.3}) must beat ConvPG ({conv:.3}) on average"
+    );
+    assert!(
+        warped > conv + 0.03,
+        "Warped Gates ({warped:.3}) must clearly beat ConvPG ({conv:.3})"
+    );
+    assert!(avg[&Technique::CoordinatedBlackout] > gates);
+}
+
+#[test]
+fn performance_stays_close_to_baseline() {
+    let exp = experiment();
+    for t in Technique::GATED {
+        let mut perfs = Vec::new();
+        for b in Benchmark::ALL {
+            let baseline = exp.run(&b.spec(), Technique::Baseline);
+            let run = exp.run(&b.spec(), t);
+            perfs.push(run.normalized_performance(&baseline));
+        }
+        let g = geomean(&perfs);
+        assert!(
+            g > 0.90,
+            "{t}: geomean performance {g:.3} degraded beyond 10%"
+        );
+    }
+}
+
+#[test]
+fn conventional_gating_pays_overhead_blackout_avoids_it() {
+    // Aggregate premature wakeups: ConvPG suffers them (that's the
+    // paper's motivation); Blackout eliminates them by construction.
+    let exp = experiment();
+    let mut conv_premature = 0;
+    for b in Benchmark::ALL {
+        let run = exp.run(&b.spec(), Technique::ConvPg);
+        conv_premature += run.gating_of(UnitType::Int).premature_wakeups
+            + run.gating_of(UnitType::Fp).premature_wakeups;
+    }
+    assert!(
+        conv_premature > 0,
+        "conventional gating should wake before break-even somewhere"
+    );
+}
+
+#[test]
+fn warped_gates_reduces_wakeups_versus_conventional() {
+    let exp = experiment();
+    let mut ratios = Vec::new();
+    for b in Benchmark::ALL {
+        let conv = exp.run(&b.spec(), Technique::ConvPg);
+        let warped = exp.run(&b.spec(), Technique::WarpedGates);
+        let conv_w = conv.wakeups(UnitType::Int).max(1) as f64;
+        let warped_w = warped.wakeups(UnitType::Int).max(1) as f64;
+        ratios.push(warped_w / conv_w);
+    }
+    let g = geomean(&ratios);
+    assert!(
+        g < 1.0,
+        "Warped Gates should wake less than ConvPG on average (got {g:.2}x)"
+    );
+}
+
+#[test]
+fn runs_are_deterministic_across_repetitions() {
+    let exp = experiment();
+    for t in [Technique::Baseline, Technique::WarpedGates] {
+        let a = exp.run(&Benchmark::Srad.spec(), t);
+        let b = exp.run(&Benchmark::Srad.spec(), t);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats.issued_by_type, b.stats.issued_by_type);
+        assert_eq!(
+            a.gating_of(UnitType::Fp).gated_cycles,
+            b.gating_of(UnitType::Fp).gated_cycles
+        );
+    }
+}
+
+#[test]
+fn integer_only_benchmarks_leave_fp_units_fully_idle() {
+    let exp = experiment();
+    for b in [Benchmark::Bfs, Benchmark::Mum] {
+        let run = exp.run(&b.spec(), Technique::Baseline);
+        assert_eq!(run.stats.issued(UnitType::Fp), 0, "{b} must not issue FP");
+        assert_eq!(run.stats.busy_cycles(UnitType::Fp), 0);
+    }
+}

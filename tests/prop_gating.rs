@@ -1,0 +1,152 @@
+//! Property-based tests of the power-gating controllers: arbitrary
+//! busy/demand/occupancy streams must never violate the state-machine
+//! invariants.
+
+use proptest::prelude::*;
+use warped_gates_repro::gates::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
+use warped_gates_repro::gating::{
+    conventional, Controller, GatingParams, StaticIdleDetect,
+};
+use warped_gates_repro::sim::{
+    CycleObservation, DomainId, GatingReport, PowerGating, NUM_DOMAINS,
+};
+
+/// One synthetic cycle of controller input.
+#[derive(Debug, Clone)]
+struct Stimulus {
+    busy: [bool; NUM_DOMAINS],
+    demand: [u32; 4],
+    actv: [u32; 4],
+}
+
+fn stimulus() -> impl Strategy<Value = Stimulus> {
+    (
+        proptest::array::uniform14(any::<bool>()),
+        proptest::array::uniform4(0u32..4),
+        proptest::array::uniform4(0u32..48),
+    )
+        .prop_map(|(busy, demand, actv)| Stimulus { busy, demand, actv })
+}
+
+/// Drives a controller with a stimulus stream, masking `busy` to false
+/// whenever the domain is not issuable (the simulator can never make a
+/// gated or waking domain busy).
+fn drive(ctl: &mut dyn PowerGating, stream: &[Stimulus]) -> GatingReport {
+    for (cycle, s) in stream.iter().enumerate() {
+        let mut busy = s.busy;
+        for d in DomainId::ALL {
+            if !ctl.is_on(d) {
+                busy[d.index()] = false;
+            }
+        }
+        ctl.observe(&CycleObservation {
+            cycle: cycle as u64,
+            busy,
+            blocked_demand: s.demand,
+            active_subset: s.actv,
+        });
+    }
+    ctl.report()
+}
+
+fn check_counter_invariants(report: &GatingReport, cycles: u64, bet: u64) {
+    for d in DomainId::ALL {
+        let s = report.domain(d);
+        assert_eq!(s.gated_cycles, s.compensated_cycles + s.uncompensated_cycles);
+        assert!(s.wakeups <= s.gate_events);
+        assert!(s.critical_wakeups <= s.wakeups);
+        assert!(s.premature_wakeups <= s.wakeups);
+        assert!(s.gated_cycles + s.wakeup_cycles <= cycles);
+        // Each gating event contributes at most `bet` uncompensated cycles.
+        assert!(s.uncompensated_cycles <= s.gate_events * bet);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conventional_controller_invariants(stream in proptest::collection::vec(stimulus(), 1..300)) {
+        let mut ctl = conventional(GatingParams::default());
+        let report = drive(&mut ctl, &stream);
+        check_counter_invariants(&report, stream.len() as u64, 14);
+    }
+
+    #[test]
+    fn naive_blackout_never_wakes_prematurely(stream in proptest::collection::vec(stimulus(), 1..300)) {
+        let mut ctl = Controller::new(
+            GatingParams::default(),
+            NaiveBlackoutPolicy::new(),
+            StaticIdleDetect::new(),
+        );
+        let report = drive(&mut ctl, &stream);
+        check_counter_invariants(&report, stream.len() as u64, 14);
+        for d in DomainId::ALL {
+            if d.is_cuda_core() {
+                prop_assert_eq!(report.domain(d).premature_wakeups, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn coordinated_blackout_invariants(stream in proptest::collection::vec(stimulus(), 1..300)) {
+        let mut ctl = Controller::new(
+            GatingParams::default(),
+            CoordinatedBlackoutPolicy::new(),
+            StaticIdleDetect::new(),
+        );
+        let report = drive(&mut ctl, &stream);
+        check_counter_invariants(&report, stream.len() as u64, 14);
+        for d in DomainId::ALL {
+            if d.is_cuda_core() {
+                prop_assert_eq!(report.domain(d).premature_wakeups, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn controllers_are_deterministic(stream in proptest::collection::vec(stimulus(), 1..150)) {
+        let mut a = conventional(GatingParams::default());
+        let mut b = conventional(GatingParams::default());
+        let ra = drive(&mut a, &stream);
+        let rb = drive(&mut b, &stream);
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn busy_domains_never_gate(cycles in 1usize..200) {
+        // A domain that is busy every cycle must remain on forever.
+        let mut ctl = conventional(GatingParams::default());
+        let stream: Vec<Stimulus> = (0..cycles)
+            .map(|_| Stimulus {
+                busy: [true; NUM_DOMAINS],
+                demand: [0; 4],
+                actv: [1; 4],
+            })
+            .collect();
+        let report = drive(&mut ctl, &stream);
+        for d in DomainId::ALL {
+            prop_assert!(ctl.is_on(d));
+            prop_assert_eq!(report.domain(d).gate_events, 0);
+        }
+    }
+
+    #[test]
+    fn idle_domains_gate_exactly_once_without_demand(cycles in 30usize..200) {
+        let mut ctl = conventional(GatingParams::default());
+        let stream: Vec<Stimulus> = (0..cycles)
+            .map(|_| Stimulus {
+                busy: [false; NUM_DOMAINS],
+                demand: [0; 4],
+                actv: [0; 4],
+            })
+            .collect();
+        let report = drive(&mut ctl, &stream);
+        for d in DomainId::ALL {
+            prop_assert_eq!(report.domain(d).gate_events, 1, "{}", d);
+            prop_assert_eq!(report.domain(d).wakeups, 0);
+            // Gated from cycle idle_detect onward.
+            prop_assert_eq!(report.domain(d).gated_cycles, cycles as u64 - 5);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the memory subsystem: the DRAM bandwidth
+//! queue must conserve service order, never exceed the worst-case
+//! bound, and degrade gracefully under load.
+
+use proptest::prelude::*;
+use warped_gates_repro::sim::{MemoryConfig, MemorySubsystem};
+
+fn config(hit_rate: f64, interval: u32) -> MemoryConfig {
+    MemoryConfig {
+        l1_hit_rate: hit_rate,
+        dram_interval: interval,
+        ..MemoryConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn latencies_never_exceed_the_worst_case_bound(
+        hit_rate in 0.0f64..=1.0,
+        interval in 1u32..32,
+        accesses in proptest::collection::vec((0u32..64, 0u64..1000, 0u64..64), 1..64),
+    ) {
+        // Physical harness: cycles advance monotonically and a load's
+        // MSHR slot frees only once its latency has elapsed (the
+        // simulator guarantees both).
+        let mut mem = MemorySubsystem::new(config(hit_rate, interval));
+        let bound = mem.worst_case_latency();
+        let mut cycle = 0u64;
+        let mut completions: Vec<u64> = Vec::new();
+        for (i, &(warp, pc, gap)) in accesses.iter().enumerate() {
+            cycle += gap;
+            // Retire everything that has completed by now.
+            completions.retain(|&c| {
+                if c <= cycle {
+                    mem.complete_global_load();
+                    false
+                } else {
+                    true
+                }
+            });
+            // If the MSHRs are still full, wait for the oldest.
+            if !mem.can_accept_load() {
+                let earliest = *completions.iter().min().expect("full MSHRs imply completions");
+                cycle = earliest;
+                completions.retain(|&c| {
+                    if c <= cycle {
+                        mem.complete_global_load();
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            let lat = mem.issue_global_load(cycle, warp, pc, i as u64);
+            prop_assert!(lat <= bound, "latency {lat} exceeds bound {bound}");
+            prop_assert!(lat >= mem.config().hit_latency);
+            completions.push(cycle + u64::from(lat));
+        }
+        for _ in 0..completions.len() {
+            mem.complete_global_load();
+        }
+    }
+
+    #[test]
+    fn back_to_back_misses_queue_by_exactly_the_interval(
+        interval in 1u32..32,
+        n in 2usize..16,
+    ) {
+        let mut mem = MemorySubsystem::new(config(0.0, interval));
+        let mut last = None;
+        for i in 0..n.min(mem.config().max_outstanding as usize) {
+            let lat = mem.issue_global_load(0, i as u32, 0, 0);
+            if let Some(prev) = last {
+                prop_assert_eq!(lat, prev + interval, "uniform queue spacing");
+            }
+            last = Some(lat);
+        }
+        for _ in 0..n.min(mem.config().max_outstanding as usize) {
+            mem.complete_global_load();
+        }
+    }
+
+    #[test]
+    fn hits_are_immune_to_dram_congestion(
+        interval in 1u32..32,
+        stores in 0u32..500,
+    ) {
+        let mut mem = MemorySubsystem::new(config(1.0, interval));
+        for _ in 0..stores {
+            mem.issue_global_store(0);
+        }
+        let lat = mem.issue_global_load(0, 7, 7, 7);
+        prop_assert_eq!(lat, mem.config().hit_latency);
+        mem.complete_global_load();
+    }
+
+    #[test]
+    fn spaced_misses_see_no_queue(
+        interval in 1u32..16,
+        n in 1usize..12,
+    ) {
+        let mut mem = MemorySubsystem::new(config(0.0, interval));
+        for i in 0..n {
+            let cycle = (i as u64) * u64::from(interval) * 2;
+            let lat = mem.issue_global_load(cycle, i as u32, 0, 0);
+            prop_assert_eq!(lat, mem.config().miss_latency);
+            mem.complete_global_load();
+        }
+    }
+}

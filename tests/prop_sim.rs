@@ -1,0 +1,146 @@
+//! Property-based tests of the end-to-end simulator: random small
+//! kernels must complete, conserve instruction counts, and keep timing
+//! invariants regardless of scheduling or gating policy.
+
+use proptest::prelude::*;
+use warped_gates_repro::gates::Technique;
+use warped_gates_repro::gating::GatingParams;
+use warped_gates_repro::isa::{Kernel, KernelBuilder, UnitType};
+use warped_gates_repro::prelude::*;
+use warped_gates_repro::sim::DomainId;
+
+/// One random instruction: (type selector, destination offset, source offset).
+type RawInstr = (u8, u16, u16);
+
+fn raw_instr() -> impl Strategy<Value = RawInstr> {
+    (0u8..6, 0u16..32, 0u16..40)
+}
+
+/// Builds a structurally valid kernel out of raw instruction tuples.
+fn build_kernel(body: &[RawInstr], trips: u32) -> Kernel {
+    let mut b = KernelBuilder::new("prop").begin_loop(trips);
+    for &(kind, dst, src) in body {
+        let d = 16 + (dst % 64);
+        let s = 8 + (src % 72);
+        b = match kind {
+            0 => b.iadd(d, s, 0),
+            1 => b.imul(d, s, 1),
+            2 => b.fadd(d, s, 2),
+            3 => b.ffma(d, s, 3, 4),
+            4 => b.load_global(100 + (dst % 32)),
+            _ => b.sfu(d, s),
+        };
+    }
+    b.end_loop().store_global(0).build()
+}
+
+fn run_technique(kernel: Kernel, warps: u32, technique: Technique) -> SmOutcome {
+    let mut cfg = SmConfig::small_for_tests();
+    cfg.max_cycles = 2_000_000;
+    let sm = Sm::new(
+        cfg,
+        LaunchConfig::new(kernel, warps).with_block_warps(4),
+        technique.make_scheduler(),
+        technique.make_gating(GatingParams::default()),
+    );
+    sm.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_kernels_complete_and_conserve_instructions(
+        body in proptest::collection::vec(raw_instr(), 1..20),
+        trips in 1u32..20,
+        warps in 1u32..12,
+    ) {
+        let kernel = build_kernel(&body, trips);
+        let expected = kernel.dynamic_len() * u64::from(warps);
+        for technique in [Technique::Baseline, Technique::ConvPg, Technique::WarpedGates] {
+            let out = run_technique(kernel.clone(), warps, technique);
+            prop_assert!(!out.timed_out, "{technique} timed out");
+            prop_assert_eq!(
+                out.stats.instructions(),
+                expected,
+                "{} must execute every dynamic instruction once",
+                technique
+            );
+            prop_assert_eq!(out.stats.warps_completed, u64::from(warps));
+        }
+    }
+
+    #[test]
+    fn busy_cycles_bound_by_run_length(
+        body in proptest::collection::vec(raw_instr(), 1..16),
+        trips in 1u32..10,
+        warps in 1u32..8,
+    ) {
+        let kernel = build_kernel(&body, trips);
+        let out = run_technique(kernel, warps, Technique::Baseline);
+        for d in DomainId::ALL {
+            prop_assert!(out.stats.unit(d).busy_cycles <= out.stats.cycles);
+        }
+        for unit in UnitType::ALL {
+            // A pipeline must be busy at least one cycle per instruction
+            // it executed (they're pipelined, so this is a lower bound
+            // divided across clusters).
+            let issued = out.stats.issued(unit);
+            if issued > 0 {
+                prop_assert!(out.stats.busy_cycles(unit) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn gating_never_changes_instruction_totals(
+        body in proptest::collection::vec(raw_instr(), 1..16),
+        trips in 1u32..10,
+        warps in 1u32..8,
+    ) {
+        let kernel = build_kernel(&body, trips);
+        let base = run_technique(kernel.clone(), warps, Technique::Baseline);
+        let gated = run_technique(kernel, warps, Technique::CoordinatedBlackout);
+        prop_assert_eq!(base.stats.issued_by_type, gated.stats.issued_by_type);
+    }
+
+    #[test]
+    fn identical_runs_identical_outcomes(
+        body in proptest::collection::vec(raw_instr(), 1..16),
+        trips in 1u32..10,
+        warps in 1u32..8,
+    ) {
+        let kernel = build_kernel(&body, trips);
+        let a = run_technique(kernel.clone(), warps, Technique::WarpedGates);
+        let b = run_technique(kernel, warps, Technique::WarpedGates);
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.gating, b.gating);
+    }
+
+    #[test]
+    fn cursor_walks_exactly_dynamic_len(
+        body in proptest::collection::vec(raw_instr(), 1..24),
+        trips in 1u32..50,
+    ) {
+        let kernel = build_kernel(&body, trips);
+        let mut cursor = kernel.cursor();
+        let mut steps = 0u64;
+        while cursor.peek(&kernel).is_some() {
+            cursor.advance(&kernel);
+            steps += 1;
+            prop_assert!(steps <= kernel.dynamic_len(), "cursor overran");
+        }
+        prop_assert_eq!(steps, kernel.dynamic_len());
+        prop_assert!(cursor.is_done(&kernel));
+    }
+
+    #[test]
+    fn kernel_mix_fractions_sum_to_one(
+        body in proptest::collection::vec(raw_instr(), 1..24),
+        trips in 1u32..50,
+    ) {
+        let kernel = build_kernel(&body, trips);
+        let total: f64 = kernel.mix().fractions().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}
