@@ -1,7 +1,7 @@
-//! Criterion benchmark: per-cycle cost of the gating controllers'
-//! `observe` step (runs once per simulated cycle, so it must be cheap).
+//! Benchmark: per-cycle cost of the gating controllers' `observe` step
+//! (runs once per simulated cycle, so it must be cheap).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warped_bench::timing::{bench, group};
 use warped_gates::{AdaptiveIdleDetect, CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
 use warped_gating::{conventional, Controller, GatingParams, StaticIdleDetect};
 use warped_sim::{CycleObservation, PowerGating, NUM_DOMAINS};
@@ -35,40 +35,30 @@ fn drive(ctl: &mut dyn PowerGating, cycles: u64) {
     }
 }
 
-fn gating_cost(c: &mut Criterion) {
+fn main() {
     const CYCLES: u64 = 10_000;
-    let mut group = c.benchmark_group("controller_observe_10k");
-    group.bench_function(BenchmarkId::from_parameter("conventional"), |b| {
-        b.iter(|| {
-            let mut ctl = conventional(GatingParams::default());
-            drive(&mut ctl, CYCLES);
-            ctl.report()
-        });
+    group("controller_observe_10k");
+    bench("conventional", || {
+        let mut ctl = conventional(GatingParams::default());
+        drive(&mut ctl, CYCLES);
+        ctl.report()
     });
-    group.bench_function(BenchmarkId::from_parameter("naive_blackout"), |b| {
-        b.iter(|| {
-            let mut ctl = Controller::new(
-                GatingParams::default(),
-                NaiveBlackoutPolicy::new(),
-                StaticIdleDetect::new(),
-            );
-            drive(&mut ctl, CYCLES);
-            ctl.report()
-        });
+    bench("naive_blackout", || {
+        let mut ctl = Controller::new(
+            GatingParams::default(),
+            NaiveBlackoutPolicy::new(),
+            StaticIdleDetect::new(),
+        );
+        drive(&mut ctl, CYCLES);
+        ctl.report()
     });
-    group.bench_function(BenchmarkId::from_parameter("warped_gates"), |b| {
-        b.iter(|| {
-            let mut ctl = Controller::new(
-                GatingParams::default(),
-                CoordinatedBlackoutPolicy::new(),
-                AdaptiveIdleDetect::new(),
-            );
-            drive(&mut ctl, CYCLES);
-            ctl.report()
-        });
+    bench("warped_gates", || {
+        let mut ctl = Controller::new(
+            GatingParams::default(),
+            CoordinatedBlackoutPolicy::new(),
+            AdaptiveIdleDetect::new(),
+        );
+        drive(&mut ctl, CYCLES);
+        ctl.report()
     });
-    group.finish();
 }
-
-criterion_group!(benches, gating_cost);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benchmark: per-cycle cost of the scheduling policies on a
-//! synthetic ready set (the hot inner loop of the simulator).
+//! Benchmark: per-cycle cost of the scheduling policies on a synthetic
+//! ready set (the hot inner loop of the simulator).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warped_bench::timing::{bench, group};
 use warped_gates::GatesScheduler;
 use warped_isa::UnitType;
 use warped_sim::{
@@ -30,37 +30,27 @@ fn ctx(cands: &[Candidate]) -> IssueCtx {
     )
 }
 
-fn scheduler_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler_pick");
+fn main() {
     for n in [4usize, 16, 48] {
+        group(&format!("scheduler_pick, {n} candidates"));
         let cands = candidates(n);
-        group.bench_with_input(BenchmarkId::new("two_level", n), &cands, |b, cands| {
-            let mut s = TwoLevelScheduler::new();
-            b.iter(|| {
-                let mut context = ctx(cands);
-                s.pick(&mut context);
-                context
-            });
+        let mut two_level = TwoLevelScheduler::new();
+        bench("two_level", || {
+            let mut context = ctx(&cands);
+            two_level.pick(&mut context);
+            context
         });
-        group.bench_with_input(BenchmarkId::new("lrr", n), &cands, |b, cands| {
-            let mut s = LrrScheduler::new();
-            b.iter(|| {
-                let mut context = ctx(cands);
-                s.pick(&mut context);
-                context
-            });
+        let mut lrr = LrrScheduler::new();
+        bench("lrr", || {
+            let mut context = ctx(&cands);
+            lrr.pick(&mut context);
+            context
         });
-        group.bench_with_input(BenchmarkId::new("gates", n), &cands, |b, cands| {
-            let mut s = GatesScheduler::new();
-            b.iter(|| {
-                let mut context = ctx(cands);
-                s.pick(&mut context);
-                context
-            });
+        let mut gates = GatesScheduler::new();
+        bench("gates", || {
+            let mut context = ctx(&cands);
+            gates.pick(&mut context);
+            context
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, scheduler_cost);
-criterion_main!(benches);

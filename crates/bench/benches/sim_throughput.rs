@@ -1,17 +1,17 @@
-//! Criterion benchmark: raw simulator throughput (simulated cycles per
-//! wall-clock second) for representative workloads, and the relative
-//! cost of each technique stack on the same launch.
+//! Benchmark: raw simulator throughput (simulated cycles per wall-clock
+//! second) for representative workloads, and the relative cost of each
+//! technique stack on the same launch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use warped_bench::timing::{bench, group};
 use warped_gates::Technique;
 use warped_gating::GatingParams;
 use warped_sim::Sm;
 use warped_workloads::Benchmark;
 
-fn sim_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_throughput");
-    for bench in [Benchmark::Hotspot, Benchmark::Nw, Benchmark::LavaMd] {
-        let spec = bench.spec().scaled(0.05);
+fn main() {
+    group("sim_throughput (cycles/s)");
+    for b in [Benchmark::Hotspot, Benchmark::Nw, Benchmark::LavaMd] {
+        let spec = b.spec().scaled(0.05);
         // Calibrate throughput against the cycles one run simulates.
         let probe = Sm::new(
             spec.sm_config(),
@@ -20,48 +20,34 @@ fn sim_throughput(c: &mut Criterion) {
             Technique::Baseline.make_gating(GatingParams::default()),
         )
         .run();
-        group.throughput(Throughput::Elements(probe.stats.cycles));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bench.name()),
-            &spec,
-            |b, spec| {
-                b.iter(|| {
-                    let sm = Sm::new(
-                        spec.sm_config(),
-                        spec.launch(),
-                        Technique::Baseline.make_scheduler(),
-                        Technique::Baseline.make_gating(GatingParams::default()),
-                    );
-                    sm.run()
-                });
-            },
+        let per_iter = bench(b.name(), || {
+            Sm::new(
+                spec.sm_config(),
+                spec.launch(),
+                Technique::Baseline.make_scheduler(),
+                Technique::Baseline.make_gating(GatingParams::default()),
+            )
+            .run()
+        });
+        let cps = probe.stats.cycles as f64 / per_iter.as_secs_f64();
+        println!(
+            "{:<42} {:>12.0} simulated cycles/s",
+            format!("{} throughput", b.name()),
+            cps
         );
     }
-    group.finish();
-}
 
-fn technique_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("technique_overhead");
+    group("technique_overhead");
     let spec = Benchmark::Hotspot.spec().scaled(0.05);
     for technique in Technique::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(technique.name()),
-            &technique,
-            |b, &t| {
-                b.iter(|| {
-                    let sm = Sm::new(
-                        spec.sm_config(),
-                        spec.launch(),
-                        t.make_scheduler(),
-                        t.make_gating(GatingParams::default()),
-                    );
-                    sm.run()
-                });
-            },
-        );
+        bench(technique.name(), || {
+            Sm::new(
+                spec.sm_config(),
+                spec.launch(),
+                technique.make_scheduler(),
+                technique.make_gating(GatingParams::default()),
+            )
+            .run()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, sim_throughput, technique_overhead);
-criterion_main!(benches);

@@ -1,34 +1,21 @@
-//! Criterion benchmark: synthetic kernel generation cost (runs once per
+//! Benchmark: synthetic kernel generation cost (runs once per
 //! experiment; cheap generation keeps parameter sweeps interactive).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warped_bench::timing::{bench, group};
 use warped_workloads::Benchmark;
 
-fn workload_gen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_generation");
-    for bench in [Benchmark::Hotspot, Benchmark::Srad, Benchmark::Nw] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bench.name()),
-            &bench,
-            |b, bench| {
-                let spec = bench.spec();
-                b.iter(|| spec.kernel());
-            },
-        );
+fn main() {
+    group("kernel_generation");
+    for b in [Benchmark::Hotspot, Benchmark::Srad, Benchmark::Nw] {
+        let spec = b.spec();
+        bench(b.name(), || spec.kernel());
     }
-    group.finish();
-}
 
-fn spec_catalogue(c: &mut Criterion) {
-    c.bench_function("full_catalogue_specs", |b| {
-        b.iter(|| {
-            Benchmark::ALL
-                .iter()
-                .map(|bench| bench.spec().kernel().dynamic_len())
-                .sum::<u64>()
-        });
+    group("full_catalogue_specs");
+    bench("all_18_kernels", || {
+        Benchmark::ALL
+            .iter()
+            .map(|b| b.spec().kernel().dynamic_len())
+            .sum::<u64>()
     });
 }
-
-criterion_group!(benches, workload_gen, spec_catalogue);
-criterion_main!(benches);

@@ -4,23 +4,29 @@
 //! GATES + Coordinated Blackout with one knob varied and reports the
 //! suite-average INT savings and geomean performance.
 
-use warped_bench::{print_table, scale_from_args};
-use warped_gates::{CoordinatedBlackoutPolicy, Experiment, GatesScheduler, Technique};
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::{CoordinatedBlackoutPolicy, GatesScheduler, Technique};
 use warped_gating::{Controller, GatingParams, StaticIdleDetect};
 use warped_isa::UnitType;
 use warped_power::PowerParams;
+use warped_sim::parallel::{par_map, worker_count};
 use warped_sim::summary::{geomean, mean};
 use warped_sim::Sm;
 use warped_workloads::Benchmark;
 
-fn evaluate(scale: f64, make: impl Fn() -> GatesScheduler) -> (f64, f64) {
+/// Runs the whole suite with a custom-built GATES scheduler, fanning the
+/// 18 single-SM simulations across the worker pool (a custom scheduler
+/// constructor is not a [`Technique`], so this bypasses `run_grid` but
+/// shares its pool).
+fn evaluate(
+    scale: f64,
+    baselines: &RunGrid,
+    make: impl Fn() -> GatesScheduler + Sync,
+) -> (f64, f64) {
     let power = PowerParams::default();
-    let baseline_exp = Experiment::paper_defaults().with_scale(scale);
-    let mut savings = Vec::new();
-    let mut perf = Vec::new();
-    for b in Benchmark::ALL {
+    let outs = par_map(Benchmark::ALL.len(), worker_count(), |i| {
+        let b = Benchmark::ALL[i];
         let spec = b.spec().scaled(scale);
-        let baseline = baseline_exp.run(&b.spec(), Technique::Baseline);
         let out = Sm::new(
             spec.sm_config(),
             spec.launch(),
@@ -33,6 +39,12 @@ fn evaluate(scale: f64, make: impl Fn() -> GatesScheduler) -> (f64, f64) {
         )
         .run();
         assert!(!out.timed_out);
+        out
+    });
+    let mut savings = Vec::new();
+    let mut perf = Vec::new();
+    for (b, out) in Benchmark::ALL.into_iter().zip(outs) {
+        let baseline = baselines.get(b, Technique::Baseline);
         let baseline_static = 2.0 * baseline.cycles as f64;
         let g = out
             .gating
@@ -47,6 +59,7 @@ fn evaluate(scale: f64, make: impl Fn() -> GatesScheduler) -> (f64, f64) {
 
 fn main() {
     let scale = scale_from_args().min(0.3); // the grid is 18 benchmarks per row
+    let baselines = RunGrid::collect(scale, &[Technique::Baseline]);
     let mut rows = Vec::new();
 
     for (label, hold) in [
@@ -55,7 +68,7 @@ fn main() {
         ("max_hold = 512", Some(512)),
         ("max_hold = none", None),
     ] {
-        let (s, p) = evaluate(scale, || match hold {
+        let (s, p) = evaluate(scale, &baselines, || match hold {
             Some(h) => GatesScheduler::with_max_hold(h),
             None => GatesScheduler::new(),
         });
@@ -63,7 +76,7 @@ fn main() {
         eprintln!("done {label}");
     }
     for lazy in [0u32, 1, 3, 8] {
-        let (s, p) = evaluate(scale, || {
+        let (s, p) = evaluate(scale, &baselines, || {
             GatesScheduler::with_max_hold(64).with_lazy_wake(lazy)
         });
         rows.push((format!("lazy_wake = {lazy}"), vec![s, p]));
@@ -75,7 +88,7 @@ fn main() {
         } else {
             format!("backlog = {backlog}")
         };
-        let (s, p) = evaluate(scale, || {
+        let (s, p) = evaluate(scale, &baselines, || {
             GatesScheduler::with_max_hold(64).with_wake_backlog(backlog)
         });
         rows.push((label, vec![s, p]));

@@ -23,20 +23,33 @@ fn main() {
     for b in Benchmark::ALL {
         let baseline = grid.get(b, Technique::Baseline);
         let run = grid.get(b, Technique::WarpedGates);
-        int_savings.push(run.static_savings(baseline, UnitType::Int, &power).fraction());
+        int_savings.push(
+            run.static_savings(baseline, UnitType::Int, &power)
+                .fraction(),
+        );
         if !b.spec().mix.is_integer_only() {
-            fp_savings.push(run.static_savings(baseline, UnitType::Fp, &power).fraction());
+            fp_savings.push(
+                run.static_savings(baseline, UnitType::Fp, &power)
+                    .fraction(),
+            );
         }
     }
     let int_avg = mean(&int_savings);
     let fp_avg = mean(&fp_savings);
     // Weight the overall unit savings by each unit type's leakage share.
     let total_unit_leak = chip::INT_UNITS_LEAKAGE_W + chip::FP_UNITS_LEAKAGE_W;
-    let unit_savings = (int_avg * chip::INT_UNITS_LEAKAGE_W + fp_avg * chip::FP_UNITS_LEAKAGE_W)
-        / total_unit_leak;
+    let unit_savings =
+        (int_avg * chip::INT_UNITS_LEAKAGE_W + fp_avg * chip::FP_UNITS_LEAKAGE_W) / total_unit_leak;
 
-    println!("\nmeasured Warped Gates savings: INT {:.1}%  FP {:.1}%", int_avg * 100.0, fp_avg * 100.0);
-    println!("leakage-weighted unit savings: {:.1}%", unit_savings * 100.0);
+    println!(
+        "\nmeasured Warped Gates savings: INT {:.1}%  FP {:.1}%",
+        int_avg * 100.0,
+        fp_avg * 100.0
+    );
+    println!(
+        "leakage-weighted unit savings: {:.1}%",
+        unit_savings * 100.0
+    );
     println!(
         "execution units' share of chip leakage: {:.2}% (paper constant)",
         chip::EXEC_UNIT_LEAKAGE_SHARE * 100.0

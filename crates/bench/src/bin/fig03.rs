@@ -9,7 +9,7 @@
 //! empties the middle (net-energy-loss) region by construction.
 
 use warped_bench::scale_from_args;
-use warped_gates::{Experiment, Technique};
+use warped_gates::{runner, Experiment, Technique};
 use warped_isa::UnitType;
 use warped_workloads::Benchmark;
 
@@ -31,8 +31,13 @@ fn main() {
         ("3c GATES+Blackout", Technique::NaiveBlackout),
     ];
 
-    for (label, technique) in cases {
-        let run = experiment.run(&spec, technique);
+    let jobs: Vec<runner::GridJob> = cases
+        .iter()
+        .map(|(_, technique)| (spec.clone(), *technique))
+        .collect();
+    let runs = runner::run_grid(&experiment, &jobs);
+
+    for ((label, _), run) in cases.iter().zip(runs) {
         let hist = run.idle_histogram(UnitType::Int);
         // Region shares measure period *counts*; under Blackout the
         // mid region is structurally empty because a gated unit cannot
@@ -51,8 +56,7 @@ fn main() {
             let bar = "#".repeat((f * 200.0).round() as usize);
             println!("{len:>6} : {:>6.2}% {bar}", f * 100.0);
         }
-        let beyond: f64 = 1.0
-            - (1..=25u32).map(|l| hist.frequency(l)).sum::<f64>();
+        let beyond: f64 = 1.0 - (1..=25u32).map(|l| hist.frequency(l)).sum::<f64>();
         println!("   >25 : {:>6.2}%", beyond.max(0.0) * 100.0);
     }
 }

@@ -48,7 +48,11 @@ fn main() {
         })
         .collect();
     occ.sort_by(|a, b| b.1[1].partial_cmp(&a.1[1]).expect("finite averages"));
-    print_table("Figure 5b: runtime active warps (sorted by average)", &["Max", "Average"], &occ);
+    print_table(
+        "Figure 5b: runtime active warps (sorted by average)",
+        &["Max", "Average"],
+        &occ,
+    );
 
     let below_ten = occ.iter().filter(|(_, v)| v[1] < 10.0).count();
     println!("\nbenchmarks averaging fewer than ten active warps: {below_ten} (paper: 5)");

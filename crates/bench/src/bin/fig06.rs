@@ -7,48 +7,52 @@
 //! that never lose performance to Blackout in the first place, so the
 //! idle-detect window neither helps nor hurts them.
 
-use warped_bench::{print_table, scale_from_args};
-use warped_gates::{CoordinatedBlackoutPolicy, Experiment, GatesScheduler, Technique};
-use warped_gating::{Controller, GatingParams, StaticIdleDetect};
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::{Experiment, Technique};
+use warped_gating::GatingParams;
 use warped_isa::UnitType;
+use warped_sim::parallel::{par_map, worker_count};
 use warped_sim::summary::pearson;
-use warped_sim::Sm;
 use warped_workloads::Benchmark;
+
+const IDLE_DETECTS: usize = 11; // static windows 0..=10
 
 fn main() {
     let scale = scale_from_args();
-    let mut rows = Vec::new();
-    for b in Benchmark::ALL {
-        let spec = b.spec().scaled(scale);
-        // Baseline runtime for normalisation.
-        let baseline = Experiment::paper_defaults()
-            .with_scale(1.0)
-            .run(&spec, Technique::Baseline);
+    // Baseline runtimes for normalisation, fanned across the pool.
+    let baselines = RunGrid::collect(scale, &[Technique::Baseline]);
 
-        let mut wakeups_per_kcycle = Vec::new();
-        let mut normalized_runtime = Vec::new();
-        for idle_detect in 0..=10u32 {
-            let params = GatingParams::with_idle_detect(idle_detect);
-            let sm = Sm::new(
-                spec.sm_config(),
-                spec.launch(),
-                Box::new(GatesScheduler::with_max_hold(Technique::GATES_MAX_HOLD)),
-                Box::new(Controller::new(
-                    params,
-                    CoordinatedBlackoutPolicy::new(),
-                    StaticIdleDetect::new(),
-                )),
-            );
-            let out = sm.run();
-            assert!(!out.timed_out, "{b} timed out at idle-detect {idle_detect}");
-            let crit: u64 = [UnitType::Int, UnitType::Fp]
-                .iter()
-                .flat_map(|u| warped_sim::DomainId::domains_of(*u))
-                .map(|d| out.gating.domain(*d).critical_wakeups)
-                .sum();
-            wakeups_per_kcycle.push(crit as f64 * 1000.0 / out.stats.cycles as f64);
-            normalized_runtime.push(out.stats.cycles as f64 / baseline.cycles as f64);
-        }
+    // The sweep varies the gating parameters per point, so it cannot be
+    // one `run_grid` call (a grid shares one Experiment); instead the
+    // 18 × 11 (benchmark, idle-detect) points go straight onto the
+    // worker pool.
+    let n_points = Benchmark::ALL.len() * IDLE_DETECTS;
+    eprintln!(
+        "running {n_points} sweep points on {} workers",
+        worker_count()
+    );
+    let points = par_map(n_points, worker_count(), |i| {
+        let b = Benchmark::ALL[i / IDLE_DETECTS];
+        let idle_detect = (i % IDLE_DETECTS) as u32;
+        let params = GatingParams::with_idle_detect(idle_detect);
+        let run = Experiment::new(params)
+            .with_scale(scale)
+            .run(&b.spec(), Technique::CoordinatedBlackout);
+        assert!(!run.timed_out, "{b} timed out at idle-detect {idle_detect}");
+        let crit = run.gating_of(UnitType::Int).critical_wakeups
+            + run.gating_of(UnitType::Fp).critical_wakeups;
+        let baseline = baselines.get(b, Technique::Baseline);
+        (
+            crit as f64 * 1000.0 / run.cycles as f64,
+            run.cycles as f64 / baseline.cycles as f64,
+        )
+    });
+
+    let mut rows = Vec::new();
+    for (bi, b) in Benchmark::ALL.iter().enumerate() {
+        let series = &points[bi * IDLE_DETECTS..(bi + 1) * IDLE_DETECTS];
+        let wakeups_per_kcycle: Vec<f64> = series.iter().map(|p| p.0).collect();
+        let normalized_runtime: Vec<f64> = series.iter().map(|p| p.1).collect();
         let r = pearson(&wakeups_per_kcycle, &normalized_runtime);
         let max_wk = wakeups_per_kcycle.iter().cloned().fold(0.0, f64::max);
         let max_rt = normalized_runtime.iter().cloned().fold(0.0, f64::max);

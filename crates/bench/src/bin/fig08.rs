@@ -40,7 +40,10 @@ fn main() {
         }
         rows.push((b.name().to_owned(), vals));
     }
-    rows.push(("geomean".to_owned(), series.iter().map(|s| geomean(s)).collect()));
+    rows.push((
+        "geomean".to_owned(),
+        series.iter().map(|s| geomean(s)).collect(),
+    ));
     print_table(
         "Figure 8a: INT idle-cycle fraction normalized to two-level baseline",
         &["GATES", "CoordBO", "WarpedGates"],
@@ -82,7 +85,10 @@ fn main() {
         }
         rows.push((b.name().to_owned(), vals));
     }
-    rows.push(("geomean".to_owned(), series.iter().map(|s| geomean(s)).collect()));
+    rows.push((
+        "geomean".to_owned(),
+        series.iter().map(|s| geomean(s)).collect(),
+    ));
     print_table(
         "Figure 8c: wakeups normalized to conventional power gating",
         &["GATES", "CoordBO", "WarpedGates"],

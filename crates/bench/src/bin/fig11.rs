@@ -10,7 +10,7 @@
 //! (INT/FP) savings with ~10% performance loss, while Warped Gates
 //! sustains its savings with ~3% loss.
 
-use warped_bench::{print_table, scale_from_args};
+use warped_bench::{print_table, scale_from_args, RunGrid};
 use warped_gates::{Experiment, Technique};
 use warped_gating::GatingParams;
 
@@ -20,21 +20,29 @@ use warped_workloads::Benchmark;
 fn sweep(label: &str, scale: f64, params_of: impl Fn(u32) -> GatingParams, values: &[u32]) {
     let mut rows = Vec::new();
     for &v in values {
-        let params = params_of(v);
-        let experiment = Experiment::new(params).with_scale(scale);
+        // One grid per parameter value: each cell is an independent
+        // job, so the whole 18 × 3 slice fans across the worker pool.
+        let experiment = Experiment::new(params_of(v)).with_scale(scale);
+        let grid = RunGrid::collect_with(
+            experiment,
+            &[
+                Technique::Baseline,
+                Technique::ConvPg,
+                Technique::WarpedGates,
+            ],
+        );
         for technique in [Technique::ConvPg, Technique::WarpedGates] {
             let mut int_savings = Vec::new();
             let mut fp_savings = Vec::new();
             let mut perf = Vec::new();
             for b in Benchmark::ALL {
-                let spec = b.spec();
-                let baseline = experiment.run(&spec, Technique::Baseline);
-                let run = experiment.run(&spec, technique);
-                int_savings.push(run.int_static_savings(&baseline).fraction());
-                if !spec.mix.is_integer_only() {
-                    fp_savings.push(run.fp_static_savings(&baseline).fraction());
+                let baseline = grid.get(b, Technique::Baseline);
+                let run = grid.get(b, technique);
+                int_savings.push(run.int_static_savings(baseline).fraction());
+                if !b.spec().mix.is_integer_only() {
+                    fp_savings.push(run.fp_static_savings(baseline).fraction());
                 }
-                perf.push(run.normalized_performance(&baseline));
+                perf.push(run.normalized_performance(baseline));
             }
             rows.push((
                 format!("{label}={v} {technique}"),

@@ -6,11 +6,12 @@
 //! whole stays busy, so SM-level gating leaves most of the static
 //! energy on the table.
 
-use warped_bench::{print_table, scale_from_args};
-use warped_gates::{Experiment, Technique};
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::Technique;
 use warped_gating::{GatingParams, SmCoarseGating};
 use warped_isa::UnitType;
 use warped_power::PowerParams;
+use warped_sim::parallel::{par_map, worker_count};
 use warped_sim::summary::{geomean, mean};
 use warped_sim::Sm;
 use warped_workloads::Benchmark;
@@ -18,7 +19,30 @@ use warped_workloads::Benchmark;
 fn main() {
     let scale = scale_from_args();
     let power = PowerParams::default();
-    let exp = Experiment::paper_defaults().with_scale(scale);
+    // The per-unit schemes are ordinary grid cells; the SM-coarse runs
+    // use a gating controller outside the Technique enum, so they fan
+    // over the same pool via par_map.
+    let grid = RunGrid::collect(
+        scale,
+        &[
+            Technique::Baseline,
+            Technique::ConvPg,
+            Technique::WarpedGates,
+        ],
+    );
+    let coarse_outs = par_map(Benchmark::ALL.len(), worker_count(), |i| {
+        let b = Benchmark::ALL[i];
+        let spec = b.spec().scaled(scale);
+        let out = Sm::new(
+            spec.sm_config(),
+            spec.launch(),
+            Technique::Baseline.make_scheduler(),
+            Box::new(SmCoarseGating::new(GatingParams::default())),
+        )
+        .run();
+        assert!(!out.timed_out, "{b} coarse run timed out");
+        out
+    });
 
     let mut rows = Vec::new();
     let mut coarse_savings = Vec::new();
@@ -26,20 +50,10 @@ fn main() {
     let mut warped_savings = Vec::new();
     let mut coarse_perf = Vec::new();
 
-    for b in Benchmark::ALL {
-        let baseline = exp.run(&b.spec(), Technique::Baseline);
-        let conv = exp.run(&b.spec(), Technique::ConvPg);
-        let warped = exp.run(&b.spec(), Technique::WarpedGates);
-
-        let spec = b.spec().scaled(scale);
-        let coarse = Sm::new(
-            spec.sm_config(),
-            spec.launch(),
-            Technique::Baseline.make_scheduler(),
-            Box::new(SmCoarseGating::new(GatingParams::default())),
-        )
-        .run();
-        assert!(!coarse.timed_out, "{b} coarse run timed out");
+    for (b, coarse) in Benchmark::ALL.into_iter().zip(coarse_outs) {
+        let baseline = grid.get(b, Technique::Baseline);
+        let conv = grid.get(b, Technique::ConvPg);
+        let warped = grid.get(b, Technique::WarpedGates);
 
         let baseline_static = 2.0 * baseline.cycles as f64;
         let coarse_int = coarse
@@ -49,8 +63,8 @@ fn main() {
             + coarse_int.gate_events as f64 * power.gate_event_overhead(14);
         let coarse_frac = 1.0 - coarse_spent / baseline_static;
 
-        let conv_frac = conv.int_static_savings(&baseline).fraction();
-        let warped_frac = warped.int_static_savings(&baseline).fraction();
+        let conv_frac = conv.int_static_savings(baseline).fraction();
+        let warped_frac = warped.int_static_savings(baseline).fraction();
         coarse_savings.push(coarse_frac);
         conv_savings.push(conv_frac);
         warped_savings.push(warped_frac);
@@ -59,7 +73,6 @@ fn main() {
             b.name().to_owned(),
             vec![coarse_frac, conv_frac, warped_frac],
         ));
-        eprintln!("done {b}");
     }
     rows.push((
         "average".to_owned(),

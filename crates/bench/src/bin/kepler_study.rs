@@ -10,7 +10,7 @@
 //! the coordination rule still keeps one cluster of each type awake for
 //! waiting warps.
 
-use warped_bench::{print_table, scale_from_args};
+use warped_bench::{print_table, scale_from_args, RunGrid};
 use warped_gates::{Experiment, Technique};
 use warped_isa::UnitType;
 use warped_power::PowerParams;
@@ -29,25 +29,37 @@ fn main() {
         ("Kepler-like (6 SP, width 4)", DomainLayout::kepler(), 4),
     ];
 
+    let techniques = [
+        Technique::ConvPg,
+        Technique::NaiveBlackout,
+        Technique::WarpedGates,
+    ];
+
     for (label, layout, width) in architectures {
+        // The 18 × 4 slice for this architecture fans across the pool.
         let exp = Experiment::paper_defaults()
             .with_scale(scale)
             .with_architecture(layout, Some(width));
-        for technique in [
-            Technique::ConvPg,
-            Technique::NaiveBlackout,
-            Technique::WarpedGates,
-        ] {
+        let grid = RunGrid::collect_with(
+            exp,
+            &[
+                Technique::Baseline,
+                Technique::ConvPg,
+                Technique::NaiveBlackout,
+                Technique::WarpedGates,
+            ],
+        );
+        for technique in techniques {
             let mut savings = Vec::new();
             let mut perf = Vec::new();
             for b in Benchmark::ALL {
-                let baseline = exp.run(&b.spec(), Technique::Baseline);
-                let run = exp.run(&b.spec(), technique);
+                let baseline = grid.get(b, Technique::Baseline);
+                let run = grid.get(b, technique);
                 savings.push(
-                    run.static_savings(&baseline, UnitType::Int, &power)
+                    run.static_savings(baseline, UnitType::Int, &power)
                         .fraction(),
                 );
-                perf.push(run.normalized_performance(&baseline));
+                perf.push(run.normalized_performance(baseline));
             }
             rows.push((
                 format!("{label} {technique}"),

@@ -20,8 +20,8 @@ fn main() {
         let hist_int = run.idle_histogram(UnitType::Int);
         let (w, n, l) = hist_int.region_shares(5, 14);
         let conv = grid.get(b, Technique::ConvPg);
-        let gated_share = conv.gating_of(UnitType::Int).gated_cycles as f64
-            / (2.0 * conv.cycles as f64);
+        let gated_share =
+            conv.gating_of(UnitType::Int).gated_cycles as f64 / (2.0 * conv.cycles as f64);
         rows.push((
             b.name().to_owned(),
             vec![

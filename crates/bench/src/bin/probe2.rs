@@ -46,7 +46,13 @@ fn main() {
     print_table(
         "probe2: ConvPG vs GATES (INT unit)",
         &[
-            "perfConv", "perfGATES", "wkConv", "wkGATES", "preConv", "preGATES", "gatedConv",
+            "perfConv",
+            "perfGATES",
+            "wkConv",
+            "wkGATES",
+            "preConv",
+            "preGATES",
+            "gatedConv",
             "gatedGATES",
         ],
         &rows,

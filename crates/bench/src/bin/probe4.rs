@@ -34,7 +34,9 @@ fn main() {
     }
     print_table(
         &format!("probe4: {bench} cycle accounting"),
-        &["cycles", "idleIss", "dualIss", "wakes", "critWk", "gates", "wakeCyc", "dmdBlk"],
+        &[
+            "cycles", "idleIss", "dualIss", "wakes", "critWk", "gates", "wakeCyc", "dmdBlk",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,105 @@
+//! Full-grid sweep: every benchmark × every technique, fanned across
+//! the worker pool, with per-job wall-clock timing.
+//!
+//! This is the perf-trajectory harness for the parallel experiment
+//! engine: it prints each job's own runtime, the total wall-clock of the
+//! whole grid, and the aggregate speedup (sum of per-job times over
+//! wall-clock — the factor the pool actually bought). The table also
+//! lands in `results/bench_grid.json` for regression tracking.
+//!
+//! Usage: `sweep [--scale <f>] [--jobs <n>]` — `--jobs` overrides the
+//! `WARPED_JOBS` env var and the all-cores default.
+
+use std::time::Instant;
+use warped_bench::write_json;
+use warped_gates::runner;
+use warped_gates::Experiment;
+use warped_sim::parallel::worker_count;
+
+fn usage() -> ! {
+    panic!("usage: sweep [--scale <f in (0,1]>] [--jobs <n >= 1>]")
+}
+
+fn parse_args() -> (f64, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 1.0;
+    let mut jobs = worker_count();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                scale = v.parse().unwrap_or_else(|_| usage());
+                if !(scale > 0.0 && scale <= 1.0) {
+                    usage();
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    (scale, jobs)
+}
+
+fn main() {
+    let (scale, workers) = parse_args();
+    let experiment = Experiment::paper_defaults().with_scale(scale);
+    let grid = runner::full_grid();
+    println!(
+        "sweep: {} jobs (18 benchmarks x 6 techniques), scale {scale}, {workers} workers",
+        grid.len()
+    );
+
+    let wall_start = Instant::now();
+    let timed = runner::run_grid_timed(&experiment, &grid, workers);
+    let wall = wall_start.elapsed();
+
+    let mut rows = Vec::new();
+    let mut cpu_total = 0.0f64;
+    for ((spec, technique), t) in grid.iter().zip(&timed) {
+        let secs = t.elapsed.as_secs_f64();
+        cpu_total += secs;
+        assert!(!t.run.timed_out, "{}/{technique} timed out", spec.name);
+        println!(
+            "  {:<14} {:<22} {:>12} cycles  {:>9.3}s",
+            spec.name,
+            technique.name(),
+            t.run.cycles,
+            secs
+        );
+        rows.push((
+            format!("{}/{}", spec.name, technique.name()),
+            vec![t.run.cycles as f64, secs],
+        ));
+    }
+
+    // Summed per-job time over wall-clock. Per-job clocks include time
+    // a descheduled worker spends waiting for a core, so this equals
+    // the true core speedup only when workers <= physical cores; above
+    // that it measures pool concurrency.
+    let speedup = cpu_total / wall.as_secs_f64();
+    println!(
+        "\ntotal: {:.3}s wall-clock, {:.3}s summed job time, {:.2}x grid speedup on {} workers",
+        wall.as_secs_f64(),
+        cpu_total,
+        speedup,
+        workers
+    );
+    rows.push((
+        "TOTAL (wall_s, cpu_s)".to_owned(),
+        vec![wall.as_secs_f64(), cpu_total],
+    ));
+
+    match write_json("results", "bench grid", &["cycles", "seconds"], &rows) {
+        Ok(()) => println!("wrote results/bench_grid.json"),
+        Err(e) => eprintln!("warning: could not write results/bench_grid.json: {e}"),
+    }
+}

@@ -5,13 +5,12 @@
 //! the baseline — exactly the effect that makes gating-aware
 //! scheduling matter more on wider machines.
 
-use warped_bench::{print_table, scale_from_args};
-use warped_gates::Technique;
-use warped_gating::GatingParams;
+use warped_bench::{print_table, scale_from_args, RunGrid};
+use warped_gates::{Experiment, Technique};
 use warped_isa::UnitType;
 use warped_power::PowerParams;
 use warped_sim::summary::{geomean, mean};
-use warped_sim::Sm;
+use warped_sim::DomainLayout;
 use warped_workloads::Benchmark;
 
 fn main() {
@@ -20,34 +19,33 @@ fn main() {
     let mut rows = Vec::new();
 
     for width in [1usize, 2, 4] {
+        // Same Fermi clusters, overridden front-end width; the 18 × 3
+        // grid for this width fans across the worker pool.
+        let exp = Experiment::paper_defaults()
+            .with_scale(scale)
+            .with_architecture(DomainLayout::fermi(), Some(width));
+        let grid = RunGrid::collect_with(
+            exp,
+            &[
+                Technique::Baseline,
+                Technique::ConvPg,
+                Technique::WarpedGates,
+            ],
+        );
         for technique in [Technique::ConvPg, Technique::WarpedGates] {
             let mut savings = Vec::new();
             let mut perf = Vec::new();
             for b in Benchmark::ALL {
-                let spec = b.spec().scaled(scale);
-                let mut cfg = spec.sm_config();
-                cfg.issue_width = width;
-                let run_one = |t: Technique| {
-                    let out = Sm::new(
-                        cfg.clone(),
-                        spec.launch(),
-                        t.make_scheduler(),
-                        t.make_gating(GatingParams::default()),
-                    )
-                    .run();
-                    assert!(!out.timed_out, "{b} timed out at width {width}");
-                    out
-                };
-                let baseline = run_one(Technique::Baseline);
-                let run = run_one(technique);
-                let baseline_static = 2.0 * baseline.stats.cycles as f64;
+                let baseline = grid.get(b, Technique::Baseline);
+                let run = grid.get(b, technique);
+                let baseline_static = 2.0 * baseline.cycles as f64;
                 let g = run
                     .gating
                     .sum_over(warped_sim::DomainId::domains_of(UnitType::Int));
-                let spent = (2.0 * run.stats.cycles as f64 - g.gated_cycles as f64)
+                let spent = (2.0 * run.cycles as f64 - g.gated_cycles as f64)
                     + g.gate_events as f64 * power.gate_event_overhead(14);
                 savings.push(1.0 - spent / baseline_static);
-                perf.push(baseline.stats.cycles as f64 / run.stats.cycles as f64);
+                perf.push(baseline.cycles as f64 / run.cycles as f64);
             }
             rows.push((
                 format!("width={width} {technique}"),

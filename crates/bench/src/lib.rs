@@ -13,8 +13,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use std::collections::BTreeMap;
-use warped_gates::{Experiment, Technique, TechniqueRun};
+use warped_gates::{runner, Experiment, Technique, TechniqueRun};
+use warped_sim::parallel::worker_count;
 use warped_workloads::Benchmark;
 
 /// Parses `--scale <f>` from the command line (default 1.0).
@@ -113,7 +116,13 @@ pub fn write_json(
 
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())
@@ -156,23 +165,34 @@ pub struct RunGrid {
 }
 
 impl RunGrid {
-    /// Runs `techniques` on every benchmark at the given scale.
-    ///
-    /// Progress is reported on stderr since full-scale grids take a
-    /// while.
+    /// Runs `techniques` on every benchmark at the given scale, fanning
+    /// the grid across the worker pool (`WARPED_JOBS` workers, default
+    /// all cores).
     #[must_use]
     pub fn collect(scale: f64, techniques: &[Technique]) -> Self {
-        let experiment = Experiment::paper_defaults().with_scale(scale);
+        Self::collect_with(Experiment::paper_defaults().with_scale(scale), techniques)
+    }
+
+    /// [`RunGrid::collect`] for a custom experiment configuration
+    /// (non-default gating parameters or architectures).
+    #[must_use]
+    pub fn collect_with(experiment: Experiment, techniques: &[Technique]) -> Self {
+        let jobs = runner::grid_of(&Benchmark::ALL, techniques);
+        eprintln!(
+            "running {} jobs ({} benchmarks x {} techniques) on {} workers",
+            jobs.len(),
+            Benchmark::ALL.len(),
+            techniques.len(),
+            worker_count()
+        );
+        let results = runner::run_grid(&experiment, &jobs);
         let mut runs = BTreeMap::new();
-        for b in Benchmark::ALL {
-            eprint!("running {:<10}", b.name());
-            for &t in techniques {
-                let run = experiment.run(&b.spec(), t);
-                assert!(!run.timed_out, "{b}/{t} timed out");
-                runs.insert((b, t), run);
-                eprint!(" {t}✓");
-            }
-            eprintln!();
+        let keys = Benchmark::ALL
+            .iter()
+            .flat_map(|b| techniques.iter().map(move |t| (*b, *t)));
+        for ((b, t), run) in keys.zip(results) {
+            assert!(!run.timed_out, "{b}/{t} timed out");
+            runs.insert((b, t), run);
         }
         RunGrid { experiment, runs }
     }

@@ -1,0 +1,73 @@
+//! A minimal wall-clock benchmark harness for the `benches/` targets.
+//!
+//! The original Criterion harness needs a registry download, which is
+//! unavailable offline; these benches only need "did this hot path get
+//! slower", so a warmup + median-of-samples loop over
+//! [`std::time::Instant`] is enough and keeps the workspace
+//! dependency-free. Each `[[bench]]` target is a plain `fn main()` that
+//! calls [`bench`] per case (run them with `cargo bench`).
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per case.
+const SAMPLES: usize = 15;
+
+/// Minimum wall-clock per sample; iterations scale until a sample takes
+/// at least this long, so per-iteration noise stays bounded.
+const MIN_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Times `f`, printing `label: <median> per iter (<iters> iters x <samples> samples)`.
+///
+/// Returns the median per-iteration duration so callers can derive
+/// throughput numbers. The result of `f` is consumed with
+/// [`std::hint::black_box`] so the optimizer cannot delete the work.
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> Duration {
+    // Warm up and calibrate the per-sample iteration count.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if start.elapsed() >= MIN_SAMPLE {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX)
+        })
+        .collect();
+    per_iter.sort();
+    let median = per_iter[SAMPLES / 2];
+    println!("{label:<42} {median:>12.2?} per iter ({iters} iters x {SAMPLES} samples)");
+    median
+}
+
+/// Prints a bench-group heading.
+pub fn group(title: &str) {
+    println!("\n-- {title} --");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_positive_median() {
+        let d = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -213,7 +213,10 @@ mod tests {
             premature += run.gating_of(UnitType::Int).premature_wakeups
                 + run.gating_of(UnitType::Fp).premature_wakeups;
         }
-        assert!(premature > 0, "ConvPG should exhibit net-negative gating events");
+        assert!(
+            premature > 0,
+            "ConvPG should exhibit net-negative gating events"
+        );
     }
 
     #[test]

@@ -476,7 +476,9 @@ mod tests {
     fn lazy_wake_attempts_after_persistent_spare_width() {
         // FP gated, one INT ready per cycle (spare width every cycle):
         // the first cycle holds back, the second attempts.
-        let mut s = GatesScheduler::new().with_lazy_wake(2).with_wake_backlog(u32::MAX);
+        let mut s = GatesScheduler::new()
+            .with_lazy_wake(2)
+            .with_wake_backlog(u32::MAX);
         let mut on = [true; NUM_DOMAINS];
         on[DomainId::FP0.index()] = false;
         on[DomainId::FP1.index()] = false;

@@ -47,6 +47,7 @@ mod blackout;
 mod experiment;
 mod gates;
 mod report;
+pub mod runner;
 mod technique;
 
 pub use adaptive::AdaptiveIdleDetect;
@@ -54,4 +55,5 @@ pub use blackout::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
 pub use experiment::{Experiment, TechniqueRun};
 pub use gates::GatesScheduler;
 pub use report::RunReport;
+pub use runner::{full_grid, grid_of, run_grid, run_grid_timed, run_grid_with, GridJob, TimedRun};
 pub use technique::Technique;

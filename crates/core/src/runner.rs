@@ -1,0 +1,185 @@
+//! The parallel experiment engine: a benchmark × technique job grid
+//! fanned across cores.
+//!
+//! Every figure in the paper's evaluation is some slice of the
+//! 18-benchmark × 6-technique grid (plus sensitivity sweeps), and every
+//! cell is an independent single-SM simulation — a pure function of
+//! `(Experiment, BenchmarkSpec, Technique)`. This module turns that
+//! structure into throughput: [`run_grid`] executes a job list on a
+//! scoped-thread worker pool (see [`warped_sim::parallel`]) and returns
+//! reports **in the order the jobs were given**, regardless of which
+//! worker finished first.
+//!
+//! Determinism: because each job derives all randomness from its own
+//! spec's seed, and results are reassembled by grid index, the output of
+//! `run_grid` is bit-for-bit identical at any worker count. A test in
+//! this module (and the `determinism` integration test) pins that down.
+//!
+//! Worker count defaults to [`warped_sim::parallel::worker_count`]
+//! (`WARPED_JOBS` env override, else `available_parallelism`); pin it
+//! explicitly with [`run_grid_with`].
+
+use crate::experiment::{Experiment, TechniqueRun};
+use crate::technique::Technique;
+use std::time::Duration;
+use warped_sim::parallel::{par_map, worker_count};
+use warped_workloads::{Benchmark, BenchmarkSpec};
+
+/// One cell of an experiment grid.
+pub type GridJob = (BenchmarkSpec, Technique);
+
+/// A grid result with the wall-clock time its job took on its worker.
+#[derive(Debug)]
+pub struct TimedRun {
+    /// The completed run.
+    pub run: TechniqueRun,
+    /// Wall-clock time of this job alone.
+    pub elapsed: Duration,
+}
+
+/// The paper's full evaluation grid: every benchmark in
+/// [`Benchmark::ALL`] crossed with every technique in
+/// [`Technique::ALL`], benchmark-major.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::runner::full_grid;
+///
+/// let grid = full_grid();
+/// assert_eq!(grid.len(), 18 * 6);
+/// ```
+#[must_use]
+pub fn full_grid() -> Vec<GridJob> {
+    grid_of(&Benchmark::ALL, &Technique::ALL)
+}
+
+/// Crosses `benchmarks` × `techniques` into a benchmark-major job list.
+#[must_use]
+pub fn grid_of(benchmarks: &[Benchmark], techniques: &[Technique]) -> Vec<GridJob> {
+    benchmarks
+        .iter()
+        .flat_map(|b| techniques.iter().map(move |t| (b.spec(), *t)))
+        .collect()
+}
+
+/// Runs `jobs` under `experiment` on the default worker pool, returning
+/// reports in job order.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::runner::{grid_of, run_grid};
+/// use warped_gates::{Experiment, Technique};
+/// use warped_workloads::Benchmark;
+///
+/// let exp = Experiment::quick_for_tests();
+/// let jobs = grid_of(&[Benchmark::Nw], &Technique::ALL);
+/// let runs = run_grid(&exp, &jobs);
+/// assert_eq!(runs.len(), 6);
+/// assert_eq!(runs[0].report.technique, Technique::Baseline);
+/// ```
+#[must_use]
+pub fn run_grid(experiment: &Experiment, jobs: &[GridJob]) -> Vec<TechniqueRun> {
+    run_grid_with(experiment, jobs, worker_count())
+}
+
+/// [`run_grid`] with an explicit worker count (`1` forces the serial
+/// path — the reference the determinism tests compare against).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn run_grid_with(
+    experiment: &Experiment,
+    jobs: &[GridJob],
+    workers: usize,
+) -> Vec<TechniqueRun> {
+    assert!(workers > 0, "need at least one worker");
+    par_map(jobs.len(), workers, |i| {
+        let (spec, technique) = &jobs[i];
+        experiment.run(spec, *technique)
+    })
+}
+
+/// [`run_grid_with`] capturing per-job wall-clock time, for the `sweep`
+/// binary's perf trajectory.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn run_grid_timed(experiment: &Experiment, jobs: &[GridJob], workers: usize) -> Vec<TimedRun> {
+    assert!(workers > 0, "need at least one worker");
+    par_map(jobs.len(), workers, |i| {
+        let (spec, technique) = &jobs[i];
+        let start = std::time::Instant::now();
+        let run = experiment.run(spec, *technique);
+        TimedRun {
+            run,
+            elapsed: start.elapsed(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_is_benchmark_major() {
+        let jobs = grid_of(
+            &[Benchmark::Nw, Benchmark::Bfs],
+            &[Technique::Baseline, Technique::WarpedGates],
+        );
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].0.name, Benchmark::Nw.spec().name);
+        assert_eq!(jobs[0].1, Technique::Baseline);
+        assert_eq!(jobs[1].1, Technique::WarpedGates);
+        assert_eq!(jobs[2].0.name, Benchmark::Bfs.spec().name);
+    }
+
+    #[test]
+    fn run_grid_preserves_job_order() {
+        let exp = Experiment::quick_for_tests();
+        let jobs = grid_of(&[Benchmark::Hotspot], &Technique::ALL);
+        let runs = run_grid(&exp, &jobs);
+        assert_eq!(runs.len(), jobs.len());
+        for (run, (spec, technique)) in runs.iter().zip(&jobs) {
+            assert_eq!(run.report.benchmark, spec.name);
+            assert_eq!(run.report.technique, *technique);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let exp = Experiment::quick_for_tests();
+        let jobs = grid_of(
+            &[Benchmark::Hotspot, Benchmark::Srad],
+            &[Technique::Baseline, Technique::WarpedGates],
+        );
+        let serial = run_grid_with(&exp, &jobs, 1);
+        let parallel = run_grid_with(&exp, &jobs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.report.cycles, p.report.cycles);
+            assert_eq!(s.report.gating, p.report.gating);
+        }
+    }
+
+    #[test]
+    fn timed_runs_report_nonzero_wall_clock() {
+        let exp = Experiment::quick_for_tests();
+        let jobs = grid_of(&[Benchmark::Nw], &[Technique::Baseline]);
+        let timed = run_grid_timed(&exp, &jobs, 2);
+        assert_eq!(timed.len(), 1);
+        assert!(timed[0].elapsed > Duration::ZERO);
+        assert!(timed[0].run.report.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = run_grid_with(&Experiment::quick_for_tests(), &[], 0);
+    }
+}

@@ -220,7 +220,10 @@ mod tests {
         let report = ctl.report();
         for d in DomainId::ALL {
             let s = report.domain(d);
-            assert_eq!(s.gated_cycles, s.compensated_cycles + s.uncompensated_cycles);
+            assert_eq!(
+                s.gated_cycles,
+                s.compensated_cycles + s.uncompensated_cycles
+            );
             assert!(s.wakeups <= s.gate_events);
         }
     }

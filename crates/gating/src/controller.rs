@@ -4,7 +4,9 @@ use crate::machine::GateState;
 use crate::params::GatingParams;
 use crate::policy::{GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx};
 use warped_isa::UnitType;
-use warped_sim::{CycleObservation, DomainId, DomainLayout, GatingReport, PowerGating, NUM_DOMAINS};
+use warped_sim::{
+    CycleObservation, DomainId, DomainLayout, GatingReport, PowerGating, NUM_DOMAINS,
+};
 
 /// A power-gating controller parameterised by a decision
 /// [`GatePolicy`] and an [`IdleDetectTuner`].
@@ -361,8 +363,14 @@ mod tests {
         c.observe(&obs(25, [false; NUM_DOMAINS], demand, [0; 4]));
         let r = c.report();
         let s = r.domain(DomainId::INT0);
-        assert_eq!(s.gated_cycles, s.compensated_cycles + s.uncompensated_cycles);
-        assert_eq!(s.uncompensated_cycles, 14, "first BET cycles are uncompensated");
+        assert_eq!(
+            s.gated_cycles,
+            s.compensated_cycles + s.uncompensated_cycles
+        );
+        assert_eq!(
+            s.uncompensated_cycles, 14,
+            "first BET cycles are uncompensated"
+        );
         assert!(s.compensated_cycles > 0);
     }
 
@@ -394,7 +402,13 @@ mod tests {
             c.observe(&obs(cyc, busy, [0; 4], [0; 4]));
         }
         assert!(c.is_on(DomainId::LDST), "busy LDST never gates");
-        for d in [DomainId::INT0, DomainId::INT1, DomainId::FP0, DomainId::FP1, DomainId::SFU] {
+        for d in [
+            DomainId::INT0,
+            DomainId::INT1,
+            DomainId::FP0,
+            DomainId::FP1,
+            DomainId::SFU,
+        ] {
             assert!(!c.is_on(d), "{d} idle for 10 cycles must be gated");
         }
     }

@@ -55,7 +55,9 @@ pub use coarse::SmCoarseGating;
 pub use controller::Controller;
 pub use machine::GateState;
 pub use params::GatingParams;
-pub use policy::{ConvPgPolicy, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx, StaticIdleDetect};
+pub use policy::{
+    ConvPgPolicy, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx, StaticIdleDetect,
+};
 
 /// Builds the conventional power-gating controller with a fixed
 /// idle-detect window: the `ConvPG` configuration of the paper.

@@ -81,7 +81,10 @@ impl Kernel {
         }
         let static_len = segments.iter().map(Segment::static_len).sum();
         let dynamic_len = segments.iter().map(Segment::dynamic_len).sum();
-        assert!(static_len > 0, "kernel must contain at least one instruction");
+        assert!(
+            static_len > 0,
+            "kernel must contain at least one instruction"
+        );
         Kernel {
             name: name.into(),
             segments,
@@ -208,7 +211,11 @@ impl Kernel {
 
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "kernel {} ({} static / {} dynamic):", self.name, self.static_len, self.dynamic_len)?;
+        writeln!(
+            f,
+            "kernel {} ({} static / {} dynamic):",
+            self.name, self.static_len, self.dynamic_len
+        )?;
         for seg in &self.segments {
             match seg {
                 Segment::Straight(v) => {
@@ -422,7 +429,10 @@ mod tests {
         let k = sample();
         assert_eq!(k.instruction(0).unwrap().opcode(), Opcode::IAlu);
         assert_eq!(k.instruction(2).unwrap().opcode(), Opcode::IAlu);
-        assert_eq!(k.instruction(5).unwrap().opcode(), Opcode::Store(MemSpace::Global));
+        assert_eq!(
+            k.instruction(5).unwrap().opcode(),
+            Opcode::Store(MemSpace::Global)
+        );
         assert_eq!(k.instruction(6), None);
     }
 

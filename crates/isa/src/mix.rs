@@ -51,7 +51,9 @@ impl InstructionMix {
     pub fn from_counts(counts: [u64; 4]) -> Self {
         let total: u64 = counts.iter().sum();
         if total == 0 {
-            return InstructionMix { fractions: [0.0; 4] };
+            return InstructionMix {
+                fractions: [0.0; 4],
+            };
         }
         let mut fractions = [0.0; 4];
         for (f, c) in fractions.iter_mut().zip(counts) {

@@ -50,7 +50,16 @@ impl EnergyBreakdown {
         gate_events: u64,
         ops: u64,
     ) -> Self {
-        Self::with_bet(params, unit, 14, cycles, clusters, gated_cluster_cycles, gate_events, ops)
+        Self::with_bet(
+            params,
+            unit,
+            14,
+            cycles,
+            clusters,
+            gated_cluster_cycles,
+            gate_events,
+            ops,
+        )
     }
 
     /// Like [`EnergyBreakdown::from_counts`] with an explicit break-even
@@ -161,8 +170,7 @@ impl StaticSavings {
         bet: u32,
     ) -> Self {
         let clusters = baseline.layout.domains_of(unit).len() as f64;
-        let baseline_static =
-            clusters * baseline.cycles as f64 * params.static_power_per_cluster;
+        let baseline_static = clusters * baseline.cycles as f64 * params.static_power_per_cluster;
         let e = EnergyBreakdown::from_run(params, gated_stats, gated_report, unit, bet);
         StaticSavings {
             baseline_static,

@@ -47,12 +47,42 @@ pub struct CounterSpec {
 #[must_use]
 pub fn counter_inventory() -> Vec<CounterSpec> {
     vec![
-        CounterSpec { name: "INT_RDY/FP_RDY/SFU_RDY/LDST_RDY ready counters", bits: 5, instances: 4, mechanism: "GATES" },
-        CounterSpec { name: "INT_ACTV/FP_ACTV active-subset counters", bits: 6, instances: 2, mechanism: "GATES" },
-        CounterSpec { name: "instruction priority register", bits: 2, instances: 1, mechanism: "GATES" },
-        CounterSpec { name: "blackout break-even countdown", bits: 5, instances: 4, mechanism: "Blackout" },
-        CounterSpec { name: "critical-wakeup epoch counter", bits: 8, instances: 2, mechanism: "Adaptive idle detect" },
-        CounterSpec { name: "idle-detect register", bits: 4, instances: 2, mechanism: "Adaptive idle detect" },
+        CounterSpec {
+            name: "INT_RDY/FP_RDY/SFU_RDY/LDST_RDY ready counters",
+            bits: 5,
+            instances: 4,
+            mechanism: "GATES",
+        },
+        CounterSpec {
+            name: "INT_ACTV/FP_ACTV active-subset counters",
+            bits: 6,
+            instances: 2,
+            mechanism: "GATES",
+        },
+        CounterSpec {
+            name: "instruction priority register",
+            bits: 2,
+            instances: 1,
+            mechanism: "GATES",
+        },
+        CounterSpec {
+            name: "blackout break-even countdown",
+            bits: 5,
+            instances: 4,
+            mechanism: "Blackout",
+        },
+        CounterSpec {
+            name: "critical-wakeup epoch counter",
+            bits: 8,
+            instances: 2,
+            mechanism: "Adaptive idle detect",
+        },
+        CounterSpec {
+            name: "idle-detect register",
+            bits: 4,
+            instances: 2,
+            mechanism: "Adaptive idle detect",
+        },
     ]
 }
 

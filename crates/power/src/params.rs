@@ -134,7 +134,14 @@ mod tests {
     fn fp_dynamic_energy_is_far_below_int() {
         let p = PowerParams::default();
         assert!(p.dynamic_energy_per_fp_op < p.dynamic_energy_per_int_op / 5.0);
-        assert!((p.dynamic_energy_per_op(warped_isa::UnitType::Fp) - p.dynamic_energy_per_fp_op).abs() < 1e-12);
-        assert!((p.dynamic_energy_per_op(warped_isa::UnitType::Int) - p.dynamic_energy_per_int_op).abs() < 1e-12);
+        assert!(
+            (p.dynamic_energy_per_op(warped_isa::UnitType::Fp) - p.dynamic_energy_per_fp_op).abs()
+                < 1e-12
+        );
+        assert!(
+            (p.dynamic_energy_per_op(warped_isa::UnitType::Int) - p.dynamic_energy_per_int_op)
+                .abs()
+                < 1e-12
+        );
     }
 }

@@ -230,7 +230,10 @@ mod tests {
             t.observe(&sample(true));
         }
         let e = t.epochs()[0][UnitType::Int.index()];
-        assert!(e.savings() < 0.0, "5 gated cycles cannot pay a 14-cycle overhead");
+        assert!(
+            e.savings() < 0.0,
+            "5 gated cycles cannot pay a 14-cycle overhead"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl MemoryConfig {
             self.l1_hit_rate
         );
         assert!(self.hit_latency > 0, "hit_latency must be positive");
-        assert!(self.miss_latency >= self.hit_latency, "miss_latency must be >= hit_latency");
+        assert!(
+            self.miss_latency >= self.hit_latency,
+            "miss_latency must be >= hit_latency"
+        );
         assert!(self.shared_latency > 0, "shared_latency must be positive");
         assert!(self.max_outstanding > 0, "max_outstanding must be positive");
         assert!(self.dram_interval > 0, "dram_interval must be positive");
@@ -139,7 +142,10 @@ impl SmConfig {
     /// Panics on a zero warp budget or zero issue width, and propagates
     /// [`MemoryConfig::validate`] panics.
     pub fn validate(&self) {
-        assert!(self.max_resident_warps > 0, "max_resident_warps must be positive");
+        assert!(
+            self.max_resident_warps > 0,
+            "max_resident_warps must be positive"
+        );
         assert!(self.issue_width > 0, "issue_width must be positive");
         assert!(
             (1..=crate::domain::MAX_SP_CLUSTERS).contains(&self.sp_clusters),

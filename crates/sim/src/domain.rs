@@ -223,11 +223,21 @@ macro_rules! layout_tables {
         const INT: [DomainId; K] = int_table::<K>();
         const FP: [DomainId; K] = fp_table::<K>();
         const ALL: [DomainId; 2 * K + 2] = all_table::<K, { 2 * K + 2 }>();
-        (&INT as &'static [DomainId], &FP as &'static [DomainId], &ALL as &'static [DomainId])
+        (
+            &INT as &'static [DomainId],
+            &FP as &'static [DomainId],
+            &ALL as &'static [DomainId],
+        )
     }};
 }
 
-fn tables(k: usize) -> (&'static [DomainId], &'static [DomainId], &'static [DomainId]) {
+fn tables(
+    k: usize,
+) -> (
+    &'static [DomainId],
+    &'static [DomainId],
+    &'static [DomainId],
+) {
     match k {
         1 => layout_tables!(1),
         2 => layout_tables!(2),

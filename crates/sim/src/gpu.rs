@@ -158,15 +158,22 @@ pub struct GpuOutcome {
 /// normalized quantities, which are insensitive to the SM count; the
 /// default experiment setup therefore uses a single SM, and this driver
 /// exists to validate that choice and to scale chip-level estimates.
+///
+/// Because SMs share nothing, the per-SM simulations fan out across a
+/// [`parallel::par_map`](crate::parallel::par_map) worker pool. Each
+/// SM's memory seed is derived from its index — never from which thread
+/// runs it — so the outcome is identical at every worker count.
 pub struct Gpu {
     config: SmConfig,
     sm_count: usize,
+    jobs: Option<usize>,
 }
 
 impl std::fmt::Debug for Gpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Gpu")
             .field("sm_count", &self.sm_count)
+            .field("jobs", &self.jobs)
             .field("config", &self.config)
             .finish()
     }
@@ -182,49 +189,57 @@ impl Gpu {
     pub fn new(config: SmConfig, sm_count: usize) -> Self {
         assert!(sm_count > 0, "need at least one SM");
         config.validate();
-        Gpu { config, sm_count }
+        Gpu {
+            config,
+            sm_count,
+            jobs: None,
+        }
     }
 
     /// The GTX480 SM count used by the paper.
     pub const GTX480_SM_COUNT: usize = 15;
 
+    /// Pins the worker count for [`run`](Gpu::run). `1` forces the
+    /// serial path; the default follows
+    /// [`parallel::worker_count`](crate::parallel::worker_count)
+    /// (`WARPED_JOBS` env override, else available parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs > 0, "need at least one worker");
+        self.jobs = Some(jobs);
+        self
+    }
+
     /// Runs the launch on every SM, constructing fresh policies per SM
     /// via the provided factories.
+    ///
+    /// The factories are called once per SM, possibly from worker
+    /// threads (hence `Fn + Sync`); the policy objects they build never
+    /// cross threads.
     pub fn run(
         &self,
         launch: &LaunchConfig,
-        mut make_scheduler: impl FnMut() -> Box<dyn WarpScheduler>,
-        mut make_gating: impl FnMut() -> Box<dyn PowerGating>,
+        make_scheduler: impl Fn() -> Box<dyn WarpScheduler> + Sync,
+        make_gating: impl Fn() -> Box<dyn PowerGating> + Sync,
     ) -> GpuOutcome {
-        let mut per_sm = Vec::with_capacity(self.sm_count);
-        for sm_idx in 0..self.sm_count {
+        let workers = self.jobs.unwrap_or_else(crate::parallel::worker_count);
+        let per_sm = crate::parallel::par_map(self.sm_count, workers, |sm_idx| {
             let mut cfg = self.config.clone();
             // Decorrelate the memory hit/miss stream across SMs.
             cfg.memory.seed = cfg.memory.seed.wrapping_add(0x9e37 * sm_idx as u64);
-            let sm = Sm::new(
-                cfg,
-                launch.clone(),
-                make_scheduler(),
-                make_gating(),
-            );
-            per_sm.push(sm.run());
-        }
+            let sm = Sm::new(cfg, launch.clone(), make_scheduler(), make_gating());
+            sm.run()
+        });
         let mut stats = SimStats::new();
         let mut gating = GatingReport::new();
         let mut timed_out = false;
         for o in &per_sm {
             stats.merge(&o.stats);
-            for (agg, d) in gating.domains.iter_mut().zip(&o.gating.domains) {
-                agg.gate_events += d.gate_events;
-                agg.wakeups += d.wakeups;
-                agg.critical_wakeups += d.critical_wakeups;
-                agg.gated_cycles += d.gated_cycles;
-                agg.compensated_cycles += d.compensated_cycles;
-                agg.uncompensated_cycles += d.uncompensated_cycles;
-                agg.wakeup_cycles += d.wakeup_cycles;
-                agg.premature_wakeups += d.premature_wakeups;
-                agg.demand_blocked_cycles += d.demand_blocked_cycles;
-            }
+            gating.merge(&o.gating);
             timed_out |= o.timed_out;
         }
         GpuOutcome {
@@ -280,6 +295,30 @@ mod tests {
         let c0 = out.per_sm[0].stats.cycles;
         let c1 = out.per_sm[1].stats.cycles;
         assert_eq!(out.stats.cycles, c0.max(c1));
+    }
+
+    #[test]
+    fn parallel_run_is_identical_to_serial() {
+        let mk = || Gpu::new(SmConfig::small_for_tests(), 4);
+        let serial = mk().with_jobs(1).run(
+            &launch(),
+            || Box::new(TwoLevelScheduler::new()),
+            || Box::new(AlwaysOn::new()),
+        );
+        let parallel = mk().with_jobs(4).run(
+            &launch(),
+            || Box::new(TwoLevelScheduler::new()),
+            || Box::new(AlwaysOn::new()),
+        );
+        assert_eq!(serial.stats.cycles, parallel.stats.cycles);
+        assert_eq!(serial.stats.instructions(), parallel.stats.instructions());
+        assert_eq!(serial.gating, parallel.gating);
+        assert_eq!(serial.per_sm.len(), parallel.per_sm.len());
+        for (s, p) in serial.per_sm.iter().zip(&parallel.per_sm) {
+            assert_eq!(s.stats.cycles, p.stats.cycles);
+            assert_eq!(s.stats.instructions(), p.stats.instructions());
+            assert_eq!(s.gating, p.gating);
+        }
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod exec;
 mod gate_iface;
 mod gpu;
 mod mem;
+pub mod parallel;
 mod sched;
 mod scoreboard;
 mod sm;
@@ -76,7 +77,9 @@ pub use domain::{DomainId, DomainLayout, MAX_SP_CLUSTERS, NUM_DOMAINS, NUM_SP_CL
 pub use gate_iface::{AlwaysOn, CycleObservation, DomainGatingStats, GatingReport, PowerGating};
 pub use gpu::{Gpu, GpuOutcome, LaunchConfig};
 pub use mem::MemorySubsystem;
-pub use sched::{Candidate, GtoScheduler, IssueCtx, LrrScheduler, TwoLevelScheduler, WarpScheduler};
+pub use sched::{
+    Candidate, GtoScheduler, IssueCtx, LrrScheduler, TwoLevelScheduler, WarpScheduler,
+};
 pub use scoreboard::Scoreboard;
 pub use sm::{Sm, SmOutcome};
 pub use stats::{IdleHistogram, SimStats, UnitStats};

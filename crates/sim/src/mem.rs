@@ -86,7 +86,13 @@ impl MemorySubsystem {
     ///
     /// Panics if called while [`can_accept_load`](Self::can_accept_load)
     /// is false.
-    pub fn issue_global_load(&mut self, cycle: u64, warp_uid: u32, pc: u64, access_idx: u64) -> u32 {
+    pub fn issue_global_load(
+        &mut self,
+        cycle: u64,
+        warp_uid: u32,
+        pc: u64,
+        access_idx: u64,
+    ) -> u32 {
         assert!(self.can_accept_load(), "MSHR capacity exceeded");
         self.outstanding += 1;
         let raw = self.global_load_latency(warp_uid, pc, access_idx);
@@ -125,9 +131,8 @@ impl MemorySubsystem {
     /// by the simulator to size its event ring.
     #[must_use]
     pub fn worst_case_latency(&self) -> u32 {
-        self.config.miss_latency
-            + self.config.max_outstanding * self.config.dram_interval
-            + 1024 // write-buffer contribution (bounded by its depth + margin)
+        self.config.miss_latency + self.config.max_outstanding * self.config.dram_interval + 1024
+        // write-buffer contribution (bounded by its depth + margin)
     }
 
     /// The latency a given access coordinate would experience (pure).
@@ -206,8 +211,14 @@ mod tests {
         let mut never = MemorySubsystem::new(cfg(0.0));
         let mut always = MemorySubsystem::new(cfg(1.0));
         for i in 0..50 {
-            assert_eq!(never.global_load_latency(i, 1, 0), never.config().miss_latency);
-            assert_eq!(always.global_load_latency(i, 1, 0), always.config().hit_latency);
+            assert_eq!(
+                never.global_load_latency(i, 1, 0),
+                never.config().miss_latency
+            );
+            assert_eq!(
+                always.global_load_latency(i, 1, 0),
+                always.config().hit_latency
+            );
         }
         assert_eq!(never.observed_hit_rate(), 0.0);
         assert_eq!(always.observed_hit_rate(), 1.0);
@@ -258,8 +269,8 @@ mod tests {
     #[test]
     fn dram_queue_delays_back_to_back_misses() {
         let mut mem = MemorySubsystem::new(cfg(0.0)); // always miss
-        // Two misses issued in the same cycle: the second queues behind
-        // the first by one DRAM service interval.
+                                                      // Two misses issued in the same cycle: the second queues behind
+                                                      // the first by one DRAM service interval.
         let a = mem.issue_global_load(0, 0, 0, 0);
         let b = mem.issue_global_load(0, 1, 0, 0);
         assert_eq!(a, mem.config().miss_latency);
@@ -320,8 +331,16 @@ mod tests {
 
     #[test]
     fn different_seeds_decorrelate() {
-        let mut a = MemorySubsystem::new(MemoryConfig { seed: 1, l1_hit_rate: 0.5, ..MemoryConfig::default() });
-        let mut b = MemorySubsystem::new(MemoryConfig { seed: 2, l1_hit_rate: 0.5, ..MemoryConfig::default() });
+        let mut a = MemorySubsystem::new(MemoryConfig {
+            seed: 1,
+            l1_hit_rate: 0.5,
+            ..MemoryConfig::default()
+        });
+        let mut b = MemorySubsystem::new(MemoryConfig {
+            seed: 2,
+            l1_hit_rate: 0.5,
+            ..MemoryConfig::default()
+        });
         let mut differ = false;
         for i in 0..200 {
             if a.global_load_latency(i, 3, 0) != b.global_load_latency(i, 3, 0) {

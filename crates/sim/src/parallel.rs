@@ -1,0 +1,166 @@
+//! A std-only scoped worker pool for embarrassingly parallel job grids.
+//!
+//! The simulator's experiment surface is dominated by independent runs —
+//! benchmark × technique grids, per-SM chip simulations, parameter
+//! sweeps. Each job is a pure function of its inputs, so fanning them
+//! across cores cannot change any result; only wall-clock time. This
+//! module provides the one primitive everything else builds on:
+//! [`par_map`], an ordered parallel map over job indices backed by
+//! [`std::thread::scope`] and an atomic work-queue cursor (no external
+//! dependencies, no unsafe code, no locks on the hot path).
+//!
+//! Determinism guarantee: `par_map(n, w, f)` returns exactly
+//! `(0..n).map(f)` in index order for every worker count `w`, provided
+//! `f` itself is deterministic. Workers only race for *which* index they
+//! pull next; results are reassembled by index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "WARPED_JOBS";
+
+/// The worker count used when a caller does not pin one: the value of
+/// the `WARPED_JOBS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+#[must_use]
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid {JOBS_ENV}={v:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `0..n` with up to `workers` threads, returning results
+/// in index order.
+///
+/// With `workers <= 1` (or `n <= 1`) the map runs inline on the calling
+/// thread — the serial reference path the determinism tests compare
+/// against. A panic inside any job is propagated to the caller once all
+/// workers have drained.
+///
+/// # Examples
+///
+/// ```
+/// use warped_sim::parallel::par_map;
+///
+/// let squares = par_map(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (cursor, f) = (&cursor, &f);
+    let mut batches: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(batch) => batches.push(batch),
+                Err(e) => panic = Some(e),
+            }
+        }
+    });
+    if let Some(e) = panic {
+        std::panic::resume_unwind(e);
+    }
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "job {i} ran twice");
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = par_map(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let job = |i: usize| {
+            // A job with some state-dependent arithmetic, not just `i`.
+            let mut acc = i as u64;
+            for k in 0..50 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        assert_eq!(par_map(37, 1, job), par_map(37, 6, job));
+    }
+
+    #[test]
+    fn empty_and_tiny_grids_work() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..200).map(|_| AtomicU32::new(0)).collect();
+        let counts_ref = &counts;
+        par_map(200, 7, |i| {
+            counts_ref[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom 13")]
+    fn job_panics_propagate() {
+        let _ = par_map(32, 4, |i| {
+            assert!(i != 13, "boom {i}");
+            i
+        });
+    }
+}

@@ -39,6 +39,23 @@ pub(crate) struct Pick {
     pub domain: DomainId,
 }
 
+/// Reusable per-cycle issue buffers.
+///
+/// The SM keeps one of these alive across its whole run and threads it
+/// through [`IssueCtx::from_scratch`] / [`IssueCtx::into_scratch`] each
+/// cycle, so the candidate list, issued bitmap, and pick list are
+/// allocated once per simulation instead of once per cycle.
+#[derive(Debug, Default)]
+pub(crate) struct IssueScratch {
+    /// Candidate list; the SM clears and refills this before building
+    /// the cycle's context.
+    pub(crate) candidates: Vec<Candidate>,
+    pub(crate) issued: Vec<bool>,
+    /// Picks of the last cycle, left behind by
+    /// [`IssueCtx::into_scratch`] for the SM to apply.
+    pub(crate) picks: Vec<Pick>,
+}
+
 /// The per-cycle issue context handed to [`WarpScheduler::pick`].
 ///
 /// See the crate documentation for the scheduling protocol: the
@@ -58,6 +75,7 @@ pub struct IssueCtx {
     ports: IssuePorts,
     picks: Vec<Pick>,
     attempted_blocked: [u32; 4],
+    ready_by_unit: [u32; 4],
 }
 
 impl IssueCtx {
@@ -104,20 +122,57 @@ impl IssueCtx {
         active_subset: [u32; 4],
         ldst_load_credits: u32,
     ) -> Self {
-        let n = candidates.len();
+        Self::from_scratch(
+            IssueScratch {
+                candidates,
+                issued: Vec::new(),
+                picks: Vec::new(),
+            },
+            layout,
+            cycle,
+            issue_width,
+            domain_on,
+            domain_busy,
+            active_subset,
+            ldst_load_credits,
+        )
+    }
+
+    /// Builds the cycle's context around recycled buffers:
+    /// `scratch.candidates` holds this cycle's candidate list (filled by
+    /// the SM); the issued bitmap and pick list are reset in place.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_scratch(
+        mut scratch: IssueScratch,
+        layout: DomainLayout,
+        cycle: u64,
+        issue_width: usize,
+        domain_on: [bool; crate::domain::NUM_DOMAINS],
+        domain_busy: [bool; crate::domain::NUM_DOMAINS],
+        active_subset: [u32; 4],
+        ldst_load_credits: u32,
+    ) -> Self {
+        scratch.issued.clear();
+        scratch.issued.resize(scratch.candidates.len(), false);
+        scratch.picks.clear();
+        let mut ready_by_unit = [0u32; 4];
+        for c in &scratch.candidates {
+            ready_by_unit[c.unit.index()] += 1;
+        }
         IssueCtx {
             cycle,
             issue_width,
             layout,
-            candidates,
-            issued: vec![false; n],
+            candidates: scratch.candidates,
+            issued: scratch.issued,
             domain_on,
             domain_busy,
             active_subset,
             ldst_load_credits,
             ports: IssuePorts::default(),
-            picks: Vec::with_capacity(issue_width),
+            picks: scratch.picks,
             attempted_blocked: [0; 4],
+            ready_by_unit,
         }
     }
 
@@ -157,11 +212,7 @@ impl IssueCtx {
     /// counters).
     #[must_use]
     pub fn ready_count(&self, unit: UnitType) -> u32 {
-        self.candidates
-            .iter()
-            .zip(&self.issued)
-            .filter(|(c, issued)| c.unit == unit && !**issued)
-            .count() as u32
+        self.ready_by_unit[unit.index()]
     }
 
     /// Whether at least one cluster of `unit` is powered on (regardless of
@@ -267,6 +318,7 @@ impl IssueCtx {
         };
         self.ports.claim(domain);
         self.issued[idx] = true;
+        self.ready_by_unit[cand.unit.index()] -= 1;
         if cand.is_global_load {
             self.ldst_load_credits -= 1;
         }
@@ -299,10 +351,28 @@ impl IssueCtx {
         self.attempted_blocked
     }
 
+    #[cfg(test)]
     pub(crate) fn into_picks(self) -> (Vec<Pick>, [u32; 4], usize) {
         let demand = self.blocked_demand();
         let issued = self.ports.issued();
         (self.picks, demand, issued)
+    }
+
+    /// Dismantles the context back into its recycled buffers, returning
+    /// `(scratch, blocked_demand, issued_count)`. The picks of the cycle
+    /// are left in `scratch` for the SM to apply.
+    pub(crate) fn into_scratch(self) -> (IssueScratch, [u32; 4], usize) {
+        let demand = self.blocked_demand();
+        let issued = self.ports.issued();
+        (
+            IssueScratch {
+                candidates: self.candidates,
+                issued: self.issued,
+                picks: self.picks,
+            },
+            demand,
+            issued,
+        )
     }
 }
 

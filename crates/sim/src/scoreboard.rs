@@ -192,7 +192,10 @@ mod tests {
     fn waw_on_long_pending_register_counts_as_long_wait() {
         let mut sb = Scoreboard::new();
         sb.record_issue(&ldg(9));
-        assert!(sb.waits_on_long(&ldg(9)), "overwriting an in-flight load dest waits");
+        assert!(
+            sb.waits_on_long(&ldg(9)),
+            "overwriting an in-flight load dest waits"
+        );
     }
 
     #[test]

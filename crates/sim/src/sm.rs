@@ -6,7 +6,7 @@ use crate::exec::ExecUnits;
 use crate::gate_iface::{CycleObservation, GatingReport, PowerGating};
 use crate::gpu::LaunchConfig;
 use crate::mem::MemorySubsystem;
-use crate::sched::{Candidate, IssueCtx, WarpScheduler};
+use crate::sched::{Candidate, IssueCtx, IssueScratch, WarpScheduler};
 use crate::stats::SimStats;
 use crate::trace::{CycleObserver, CycleSample, NullObserver};
 use crate::warp::{Warp, WarpClass, WarpId, WarpSlot};
@@ -68,6 +68,7 @@ pub struct Sm {
     stats: SimStats,
     idle_runs: [u32; NUM_DOMAINS],
     warps_done: u64,
+    scratch: IssueScratch,
 }
 
 impl std::fmt::Debug for Sm {
@@ -127,6 +128,7 @@ impl Sm {
             stats,
             idle_runs: [0; NUM_DOMAINS],
             warps_done: 0,
+            scratch: IssueScratch::default(),
         }
     }
 
@@ -214,7 +216,7 @@ impl Sm {
                         for _ in 0..skip {
                             warp.cursor.advance(&self.kernel);
                         }
-                        warp.next_instr = warp.cursor.peek(&self.kernel);
+                        warp.refresh_next(&self.kernel);
                     }
                     *slot = Some(warp);
                     self.launched += 1;
@@ -230,8 +232,8 @@ impl Sm {
 
         // Phase 1: writebacks and retires scheduled for this cycle.
         let idx = (cycle as usize) & (self.ring.len() - 1);
-        let events = std::mem::take(&mut self.ring[idx]);
-        for ev in events {
+        let mut events = std::mem::take(&mut self.ring[idx]);
+        for ev in events.drain(..) {
             match ev {
                 Event::PipeRetire { domain } => {
                     self.units.pipe_mut(domain).retire();
@@ -256,6 +258,9 @@ impl Sm {
                 }
             }
         }
+        // Hand the (drained) event buffer back to its ring slot so its
+        // capacity is reused; nothing schedules into the current cycle.
+        self.ring[idx] = events;
 
         // Phase 2: reclassify warps; retire finished ones.
         for slot in self.slots.iter_mut() {
@@ -272,27 +277,27 @@ impl Sm {
         // have all arrived at the barrier steps past it together.
         self.release_barriers();
 
-        // Phase 2c: occupancy accounting and candidate collection.
+        // Phase 2c: occupancy accounting and candidate collection, into
+        // the run-lifetime scratch buffers (no per-cycle allocation).
         let mut active_count = 0u32;
         let mut active_subset = [0u32; 4];
-        let mut candidates = Vec::new();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.candidates.clear();
         for (slot_idx, slot) in self.slots.iter_mut().enumerate() {
             let Some(w) = slot.as_mut() else { continue };
             if w.in_active_set() {
                 active_count += 1;
-                let unit = w
-                    .next_instr
-                    .expect("active warp must have a next instruction")
-                    .unit();
-                active_subset[unit.index()] += 1;
-            }
-            if w.class == WarpClass::Ready {
-                let instr = w.next_instr.expect("ready warp has an instruction");
-                candidates.push(Candidate {
-                    slot: WarpSlot(slot_idx),
-                    unit: instr.unit(),
-                    is_global_load: instr.opcode().is_long_latency_load(),
-                });
+                let meta = w
+                    .next_meta
+                    .expect("active warp must have a next instruction");
+                active_subset[meta.unit.index()] += 1;
+                if w.class == WarpClass::Ready {
+                    scratch.candidates.push(Candidate {
+                        slot: WarpSlot(slot_idx),
+                        unit: meta.unit,
+                        is_global_load: meta.is_global_load,
+                    });
+                }
             }
         }
         self.stats.active_warp_cycles += u64::from(active_count);
@@ -304,18 +309,18 @@ impl Sm {
             domain_on[d.index()] = self.gating.is_on(*d);
         }
         let ldst_credits = self.config.memory.max_outstanding - self.mem.outstanding();
-        let mut ctx = IssueCtx::with_layout(
+        let mut ctx = IssueCtx::from_scratch(
+            scratch,
             self.layout,
             cycle,
             self.config.issue_width,
-            candidates,
             domain_on,
             self.units.busy_flags(),
             active_subset,
             ldst_credits,
         );
         self.scheduler.pick(&mut ctx);
-        let (picks, blocked_demand, issued_count) = ctx.into_picks();
+        let (scratch, blocked_demand, issued_count) = ctx.into_scratch();
 
         match issued_count {
             0 => self.stats.idle_issue_cycles += 1,
@@ -323,10 +328,13 @@ impl Sm {
             _ => {}
         }
 
-        // Phase 4: apply the picks.
-        for pick in picks {
+        // Phase 4: apply the picks (`Pick` is `Copy`; the buffer stays
+        // with the scratch for the next cycle).
+        for i in 0..scratch.picks.len() {
+            let pick = scratch.picks[i];
             self.apply_issue(pick.slot, pick.domain);
         }
+        self.scratch = scratch;
 
         // Phase 5: busy/idle accounting for this cycle (active domains
         // only: indices beyond the layout never execute anything).
@@ -392,7 +400,7 @@ impl Sm {
                 for slot in self.slots[g0..g1].iter_mut().flatten() {
                     debug_assert_eq!(slot.class, WarpClass::Barrier);
                     slot.cursor.advance(&self.kernel);
-                    slot.next_instr = slot.cursor.peek(&self.kernel);
+                    slot.refresh_next(&self.kernel);
                     slot.reclassify();
                 }
             }
@@ -408,9 +416,12 @@ impl Sm {
 
         let (pipe_occ, complete_in, frees_mshr) = match instr.opcode() {
             Opcode::Load(MemSpace::Global) => {
-                let lat =
-                    self.mem
-                        .issue_global_load(self.cycle, w.id.0, w.cursor.pc(), w.cursor.executed());
+                let lat = self.mem.issue_global_load(
+                    self.cycle,
+                    w.id.0,
+                    w.cursor.pc(),
+                    w.cursor.executed(),
+                );
                 (LDST_PIPE_OCCUPANCY, lat, true)
             }
             Opcode::Load(MemSpace::Shared) => {
@@ -428,7 +439,7 @@ impl Sm {
         w.in_flight += 1;
         let warp_id = w.id;
         w.cursor.advance(&self.kernel);
-        w.next_instr = w.cursor.peek(&self.kernel);
+        w.refresh_next(&self.kernel);
 
         self.units.pipe_mut(domain).issue();
         self.stats.issued_by_type[instr.unit().index()] += 1;
@@ -790,7 +801,11 @@ mod tests {
         )
         .run();
         assert!(!out.timed_out);
-        assert_eq!(out.stats.instructions(), 4 * 10, "barriers are not executed");
+        assert_eq!(
+            out.stats.instructions(),
+            4 * 10,
+            "barriers are not executed"
+        );
         assert_eq!(out.stats.warps_completed, 4);
     }
 

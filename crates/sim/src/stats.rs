@@ -145,7 +145,11 @@ impl IdleHistogram {
             negative += self.overflow;
         }
         let t = self.total_periods as f64;
-        (wasted as f64 / t, negative as f64 / t, beneficial as f64 / t)
+        (
+            wasted as f64 / t,
+            negative as f64 / t,
+            beneficial as f64 / t,
+        )
     }
 
     /// Merges another histogram into this one.

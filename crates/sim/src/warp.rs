@@ -2,7 +2,7 @@
 
 use crate::Scoreboard;
 use std::fmt;
-use warped_isa::{Instruction, Kernel, KernelCursor};
+use warped_isa::{Instruction, Kernel, KernelCursor, UnitType};
 
 /// Globally unique warp identifier within one simulation (counts launched
 /// warps, across re-used slots).
@@ -43,6 +43,26 @@ pub enum WarpClass {
     Draining,
 }
 
+/// Issue-relevant decode of a warp's next instruction, cached alongside
+/// the I-buffer entry so the per-cycle candidate scan does not re-derive
+/// unit class and load-ness from the opcode every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NextMeta {
+    /// The execution unit the instruction needs.
+    pub unit: UnitType,
+    /// Whether it is a global load (needs an MSHR slot).
+    pub is_global_load: bool,
+}
+
+impl NextMeta {
+    fn of(instr: &Instruction) -> Self {
+        NextMeta {
+            unit: instr.unit(),
+            is_global_load: instr.opcode().is_long_latency_load(),
+        }
+    }
+}
+
 /// One resident warp's microarchitectural state.
 #[derive(Debug, Clone)]
 pub(crate) struct Warp {
@@ -54,8 +74,12 @@ pub(crate) struct Warp {
     pub scoreboard: Scoreboard,
     /// In-flight instructions issued by this warp but not yet retired.
     pub in_flight: u32,
-    /// Cached decoded next instruction (the I-buffer entry).
+    /// Cached decoded next instruction (the I-buffer entry). Always
+    /// refresh through [`Warp::refresh_next`] so `next_meta` stays in
+    /// step.
     pub next_instr: Option<Instruction>,
+    /// Cached issue metadata of `next_instr`.
+    pub next_meta: Option<NextMeta>,
     /// Current scheduler classification (refreshed each cycle).
     pub class: WarpClass,
 }
@@ -64,14 +88,23 @@ impl Warp {
     pub(crate) fn launch(id: WarpId, kernel: &Kernel) -> Self {
         let cursor = kernel.cursor();
         let next_instr = cursor.peek(kernel);
+        let next_meta = next_instr.as_ref().map(NextMeta::of);
         Warp {
             id,
             cursor,
             scoreboard: Scoreboard::new(),
             in_flight: 0,
             next_instr,
+            next_meta,
             class: WarpClass::Ready,
         }
+    }
+
+    /// Re-fills the I-buffer entry (and its cached decode) from the
+    /// cursor's current position.
+    pub(crate) fn refresh_next(&mut self, kernel: &Kernel) {
+        self.next_instr = self.cursor.peek(kernel);
+        self.next_meta = self.next_instr.as_ref().map(NextMeta::of);
     }
 
     /// Whether the warp has issued its entire program and drained all
@@ -120,10 +153,7 @@ mod tests {
 
     #[test]
     fn classification_follows_scoreboard() {
-        let k = KernelBuilder::new("k")
-            .load_global(1)
-            .iadd(2, 1, 1)
-            .build();
+        let k = KernelBuilder::new("k").load_global(1).iadd(2, 1, 1).build();
         let mut w = Warp::launch(WarpId(0), &k);
         w.reclassify();
         assert_eq!(w.class, WarpClass::Ready);
@@ -132,7 +162,7 @@ mod tests {
         let load = w.next_instr.unwrap();
         w.scoreboard.record_issue(&load);
         w.cursor.advance(&k);
-        w.next_instr = w.cursor.peek(&k);
+        w.refresh_next(&k);
         w.in_flight = 1;
         w.reclassify();
         assert_eq!(w.class, WarpClass::Pending);
@@ -153,13 +183,34 @@ mod tests {
         let i = w.next_instr.unwrap();
         w.scoreboard.record_issue(&i);
         w.cursor.advance(&k);
-        w.next_instr = w.cursor.peek(&k);
+        w.refresh_next(&k);
         w.in_flight = 1;
         w.reclassify();
         assert_eq!(w.class, WarpClass::Draining);
         assert!(!w.is_finished(), "still has an instruction in flight");
         w.in_flight = 0;
         assert!(w.is_finished());
+    }
+
+    #[test]
+    fn next_meta_tracks_the_cursor() {
+        let k = KernelBuilder::new("meta")
+            .load_global(1)
+            .iadd(2, 1, 1)
+            .build();
+        let mut w = Warp::launch(WarpId(0), &k);
+        let m = w.next_meta.unwrap();
+        assert_eq!(m.unit, UnitType::Ldst);
+        assert!(m.is_global_load);
+        w.cursor.advance(&k);
+        w.refresh_next(&k);
+        let m = w.next_meta.unwrap();
+        assert_eq!(m.unit, UnitType::Int);
+        assert!(!m.is_global_load);
+        w.cursor.advance(&k);
+        w.refresh_next(&k);
+        assert!(w.next_meta.is_none());
+        assert!(w.next_instr.is_none());
     }
 
     #[test]

@@ -98,48 +98,47 @@ impl Benchmark {
     pub fn spec(self) -> BenchmarkSpec {
         // (int, fp, sfu, ldst), hit, glob, dep, body, phase, trips, warps
         type RawSpec = ((f64, f64, f64, f64), f64, f64, f64, usize, usize, u32, u32);
-        let (mix, hit, glob, dep, body, phase, trips, warps): RawSpec =
-            match self {
-                // Compute-dense back-propagation: balanced INT/FP, high
-                // occupancy, very utilised pipelines (the paper notes its
-                // units have few idle cycles).
-                Benchmark::Backprop => ((0.32, 0.40, 0.02, 0.26), 0.78, 0.35, 0.55, 48, 10, 120, 120),
-                // Graph traversal: integer + memory bound, irregular.
-                Benchmark::Bfs => ((0.55, 0.00, 0.00, 0.45), 0.42, 0.9, 0.50, 40, 8, 110, 108),
-                // B+-tree search: integer/pointer chasing, moderate occupancy.
-                Benchmark::Btree => ((0.62, 0.02, 0.00, 0.36), 0.66, 0.75, 0.62, 44, 8, 100, 96),
-                // Cutoff Coulomb potential: FP heavy with SFU, high ILP.
-                Benchmark::Cutcp => ((0.24, 0.56, 0.06, 0.14), 0.70, 0.35, 0.68, 52, 14, 140, 108),
-                // Gaussian elimination: small kernels, few warps at a time.
-                Benchmark::Gaussian => ((0.33, 0.42, 0.00, 0.25), 0.62, 0.7, 0.55, 36, 10, 90, 30),
-                // Heart-wall tracking: mixed with some SFU.
-                Benchmark::Heartwall => ((0.45, 0.29, 0.03, 0.23), 0.80, 0.5, 0.60, 48, 10, 110, 96),
-                // Hotspot thermal stencil: the paper's Figure 3 workload.
-                Benchmark::Hotspot => ((0.31, 0.44, 0.00, 0.25), 0.82, 0.35, 0.58, 46, 12, 120, 120),
-                // K-means clustering: memory heavy, modest occupancy.
-                Benchmark::Kmeans => ((0.40, 0.28, 0.02, 0.30), 0.66, 0.55, 0.52, 42, 10, 100, 72),
-                // LavaMD: the paper's pure-integer outlier, busy units.
-                Benchmark::LavaMd => ((0.90, 0.00, 0.00, 0.10), 0.76, 0.4, 0.58, 50, 10, 130, 96),
-                // Lattice-Boltzmann: FP + streaming memory, high occupancy.
-                Benchmark::Lbm => ((0.21, 0.49, 0.00, 0.30), 0.60, 0.8, 0.50, 54, 12, 130, 168),
-                // LIBOR Monte Carlo: FP with SFU, few active warps.
-                Benchmark::Lib => ((0.30, 0.41, 0.04, 0.25), 0.56, 0.7, 0.55, 40, 10, 100, 48),
-                // MRI reconstruction: FP + SFU (trigonometry), high occupancy.
-                Benchmark::Mri => ((0.28, 0.50, 0.10, 0.12), 0.72, 0.35, 0.62, 50, 14, 140, 108),
-                // MUMmer genome alignment: integer + memory, irregular.
-                Benchmark::Mum => ((0.58, 0.00, 0.00, 0.42), 0.48, 0.9, 0.48, 44, 8, 110, 132),
-                // Neural network inference: small grids, low occupancy.
-                Benchmark::Nn => ((0.36, 0.34, 0.00, 0.30), 0.56, 0.65, 0.52, 38, 10, 90, 36),
-                // Needleman-Wunsch wavefront: tiny parallelism, the
-                // lowest occupancy in Figure 5b.
-                Benchmark::Nw => ((0.58, 0.04, 0.00, 0.38), 0.55, 0.8, 0.58, 36, 8, 90, 16),
-                // Dense matrix multiply: FFMA-dominated, regular.
-                Benchmark::Sgemm => ((0.24, 0.56, 0.00, 0.20), 0.70, 0.3, 0.66, 52, 16, 140, 84),
-                // Speckle-reducing diffusion: top occupancy in Figure 5b.
-                Benchmark::Srad => ((0.30, 0.45, 0.05, 0.20), 0.75, 0.5, 0.55, 50, 12, 130, 192),
-                // Weather prediction: FP mixed, low occupancy.
-                Benchmark::Wp => ((0.34, 0.41, 0.05, 0.20), 0.58, 0.65, 0.55, 44, 10, 100, 48),
-            };
+        let (mix, hit, glob, dep, body, phase, trips, warps): RawSpec = match self {
+            // Compute-dense back-propagation: balanced INT/FP, high
+            // occupancy, very utilised pipelines (the paper notes its
+            // units have few idle cycles).
+            Benchmark::Backprop => ((0.32, 0.40, 0.02, 0.26), 0.78, 0.35, 0.55, 48, 10, 120, 120),
+            // Graph traversal: integer + memory bound, irregular.
+            Benchmark::Bfs => ((0.55, 0.00, 0.00, 0.45), 0.42, 0.9, 0.50, 40, 8, 110, 108),
+            // B+-tree search: integer/pointer chasing, moderate occupancy.
+            Benchmark::Btree => ((0.62, 0.02, 0.00, 0.36), 0.66, 0.75, 0.62, 44, 8, 100, 96),
+            // Cutoff Coulomb potential: FP heavy with SFU, high ILP.
+            Benchmark::Cutcp => ((0.24, 0.56, 0.06, 0.14), 0.70, 0.35, 0.68, 52, 14, 140, 108),
+            // Gaussian elimination: small kernels, few warps at a time.
+            Benchmark::Gaussian => ((0.33, 0.42, 0.00, 0.25), 0.62, 0.7, 0.55, 36, 10, 90, 30),
+            // Heart-wall tracking: mixed with some SFU.
+            Benchmark::Heartwall => ((0.45, 0.29, 0.03, 0.23), 0.80, 0.5, 0.60, 48, 10, 110, 96),
+            // Hotspot thermal stencil: the paper's Figure 3 workload.
+            Benchmark::Hotspot => ((0.31, 0.44, 0.00, 0.25), 0.82, 0.35, 0.58, 46, 12, 120, 120),
+            // K-means clustering: memory heavy, modest occupancy.
+            Benchmark::Kmeans => ((0.40, 0.28, 0.02, 0.30), 0.66, 0.55, 0.52, 42, 10, 100, 72),
+            // LavaMD: the paper's pure-integer outlier, busy units.
+            Benchmark::LavaMd => ((0.90, 0.00, 0.00, 0.10), 0.76, 0.4, 0.58, 50, 10, 130, 96),
+            // Lattice-Boltzmann: FP + streaming memory, high occupancy.
+            Benchmark::Lbm => ((0.21, 0.49, 0.00, 0.30), 0.60, 0.8, 0.50, 54, 12, 130, 168),
+            // LIBOR Monte Carlo: FP with SFU, few active warps.
+            Benchmark::Lib => ((0.30, 0.41, 0.04, 0.25), 0.56, 0.7, 0.55, 40, 10, 100, 48),
+            // MRI reconstruction: FP + SFU (trigonometry), high occupancy.
+            Benchmark::Mri => ((0.28, 0.50, 0.10, 0.12), 0.72, 0.35, 0.62, 50, 14, 140, 108),
+            // MUMmer genome alignment: integer + memory, irregular.
+            Benchmark::Mum => ((0.58, 0.00, 0.00, 0.42), 0.48, 0.9, 0.48, 44, 8, 110, 132),
+            // Neural network inference: small grids, low occupancy.
+            Benchmark::Nn => ((0.36, 0.34, 0.00, 0.30), 0.56, 0.65, 0.52, 38, 10, 90, 36),
+            // Needleman-Wunsch wavefront: tiny parallelism, the
+            // lowest occupancy in Figure 5b.
+            Benchmark::Nw => ((0.58, 0.04, 0.00, 0.38), 0.55, 0.8, 0.58, 36, 8, 90, 16),
+            // Dense matrix multiply: FFMA-dominated, regular.
+            Benchmark::Sgemm => ((0.24, 0.56, 0.00, 0.20), 0.70, 0.3, 0.66, 52, 16, 140, 84),
+            // Speckle-reducing diffusion: top occupancy in Figure 5b.
+            Benchmark::Srad => ((0.30, 0.45, 0.05, 0.20), 0.75, 0.5, 0.55, 50, 12, 130, 192),
+            // Weather prediction: FP mixed, low occupancy.
+            Benchmark::Wp => ((0.34, 0.41, 0.05, 0.20), 0.58, 0.65, 0.55, 44, 10, 100, 48),
+        };
         let (int, fp, sfu, ldst) = mix;
         BenchmarkSpec {
             name: self.name(),
@@ -231,7 +230,10 @@ mod tests {
                 m.has_type(UnitType::Int) && m.has_type(UnitType::Fp)
             })
             .count();
-        assert!(mixed >= 14, "paper: all but a couple of workloads are mixed");
+        assert!(
+            mixed >= 14,
+            "paper: all but a couple of workloads are mixed"
+        );
     }
 
     #[test]

@@ -12,9 +12,8 @@
 //! baseline scheduler already gets for free versus how much GATES must
 //! create by reordering.
 
+use crate::rng::SplitMix64;
 use crate::spec::BenchmarkSpec;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use warped_isa::{Instruction, Kernel, MemSpace, Opcode, Reg, Segment, UnitType};
 
 /// Registers 0..INPUT_REGS are kernel inputs: never written, always ready.
@@ -42,7 +41,7 @@ const RECENT_WINDOW: usize = 8;
 /// demoting or briefly gating one type rarely blocks the other — the
 /// execution-resource heterogeneity the paper's Blackout relies on.
 struct Gen {
-    rng: StdRng,
+    rng: SplitMix64,
     next_dest: u16,
     next_load_dest: u16,
     recent: [Vec<Reg>; 4],
@@ -53,7 +52,7 @@ struct Gen {
 impl Gen {
     fn new(seed: u64, dep_density: f64, global_frac: f64) -> Self {
         Gen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             next_dest: DEST_BASE,
             next_load_dest: LOAD_DEST_BASE,
             recent: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
@@ -85,10 +84,10 @@ impl Gen {
     /// back to a kernel input register.
     fn pick_from(&mut self, pool_unit: UnitType) -> Reg {
         let pool = &self.recent[pool_unit.index()];
-        if !pool.is_empty() && self.rng.random_bool(self.dep_density) {
-            pool[self.rng.random_range(0..pool.len())]
+        if !pool.is_empty() && self.rng.chance(self.dep_density) {
+            pool[self.rng.index(pool.len())]
         } else {
-            Reg::new(self.rng.random_range(0..INPUT_REGS))
+            Reg::new(self.rng.below(u64::from(INPUT_REGS)) as u16)
         }
     }
 
@@ -99,14 +98,14 @@ impl Gen {
             UnitType::Int => {
                 // Address arithmetic occasionally consumes loaded
                 // indices (pointer chasing, gather offsets).
-                if self.rng.random_bool(0.25) {
+                if self.rng.chance(0.25) {
                     self.pick_from(UnitType::Ldst)
                 } else {
                     self.pick_from(UnitType::Int)
                 }
             }
             UnitType::Fp | UnitType::Sfu => {
-                if self.rng.random_bool(0.35) {
+                if self.rng.chance(0.35) {
                     self.pick_from(UnitType::Ldst)
                 } else {
                     self.pick_from(UnitType::Fp)
@@ -114,7 +113,7 @@ impl Gen {
             }
             UnitType::Ldst => {
                 // Store data / indexed-load addresses.
-                if self.rng.random_bool(0.5) {
+                if self.rng.chance(0.5) {
                     self.pick_from(UnitType::Fp)
                 } else {
                     self.pick_from(UnitType::Int)
@@ -132,7 +131,7 @@ impl Gen {
     fn emit(&mut self, unit: UnitType, chain: &mut Option<Reg>, body: &mut Vec<Instruction>) {
         const CHAIN_P: f64 = 0.8;
         let chained_src = |g: &mut Self, pool: UnitType, chain: &Option<Reg>| match chain {
-            Some(r) if g.rng.random_bool(CHAIN_P) => *r,
+            Some(r) if g.rng.chance(CHAIN_P) => *r,
             _ => g.pick_src(pool),
         };
         let instr = match unit {
@@ -140,7 +139,7 @@ impl Gen {
                 let a = chained_src(self, UnitType::Int, chain);
                 let b = self.pick_src(UnitType::Int);
                 let d = self.alloc_dest(UnitType::Int);
-                let op = if self.rng.random_bool(0.15) {
+                let op = if self.rng.chance(0.15) {
                     Opcode::IMul
                 } else {
                     Opcode::IAlu
@@ -151,7 +150,7 @@ impl Gen {
                 let a = chained_src(self, UnitType::Fp, chain);
                 let b = self.pick_src(UnitType::Fp);
                 let d = self.alloc_dest(UnitType::Fp);
-                match self.rng.random_range(0..3u32) {
+                match self.rng.below(3) {
                     0 => Instruction::new(Opcode::FAlu, Some(d), &[a, b]),
                     1 => Instruction::new(Opcode::FMul, Some(d), &[a, b]),
                     _ => {
@@ -166,12 +165,12 @@ impl Gen {
                 Instruction::new(Opcode::Sfu, Some(d), &[a])
             }
             UnitType::Ldst => {
-                if self.rng.random_bool(0.78) {
+                if self.rng.chance(0.78) {
                     // Load bursts are independent (addresses come from
                     // inputs), so a warp stalls only at the first
                     // *consumer* of the loaded data, not per load.
                     let d = self.alloc_dest(UnitType::Ldst);
-                    if self.rng.random_bool(self.global_frac) {
+                    if self.rng.chance(self.global_frac) {
                         Instruction::new(Opcode::Load(MemSpace::Global), Some(d), &[])
                     } else {
                         Instruction::new(Opcode::Load(MemSpace::Shared), Some(d), &[])
@@ -182,9 +181,9 @@ impl Gen {
                 }
             }
         };
-        *chain = instr.destination().filter(|_| {
-            matches!(unit, UnitType::Int | UnitType::Fp)
-        });
+        *chain = instr
+            .destination()
+            .filter(|_| matches!(unit, UnitType::Int | UnitType::Fp));
         body.push(instr);
     }
 }
@@ -222,7 +221,7 @@ pub(crate) fn generate_kernel(spec: &BenchmarkSpec) -> Kernel {
         while budgets.iter().sum::<usize>() > 0 {
             // Pick a phase type, weighted by remaining budget.
             let total: usize = budgets.iter().sum();
-            let mut roll = g.rng.random_range(0..total);
+            let mut roll = g.rng.index(total);
             let mut ti = 0;
             for (i, &b) in budgets.iter().enumerate() {
                 if roll < b {
@@ -233,7 +232,7 @@ pub(crate) fn generate_kernel(spec: &BenchmarkSpec) -> Kernel {
             }
             let unit = UnitType::from_index(ti);
             let mean = mean_phase_len(unit, spec);
-            let len = (1 + g.rng.random_range(0..2 * mean)).min(budgets[ti]);
+            let len = (1 + g.rng.index(2 * mean)).min(budgets[ti]);
             let mut chain = None;
             for _ in 0..len {
                 g.emit(unit, &mut chain, &mut body);
@@ -402,6 +401,10 @@ mod tests {
         let trips = (u64::from(spec.trips) / rounds).max(1);
         let expected_exec = 4 + spec.body_len as u64 * rounds * trips + 1;
         assert_eq!(k.dynamic_executable_len(), expected_exec);
-        assert_eq!(k.dynamic_len(), expected_exec + trips, "one barrier per trip");
+        assert_eq!(
+            k.dynamic_len(),
+            expected_exec + trips,
+            "one barrier per trip"
+        );
     }
 }

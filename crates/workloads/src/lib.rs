@@ -45,6 +45,7 @@
 
 mod catalog;
 mod gen;
+pub mod rng;
 mod spec;
 
 pub use catalog::Benchmark;

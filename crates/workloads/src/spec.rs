@@ -87,7 +87,10 @@ impl BenchmarkSpec {
         assert!(self.phase_len >= 1, "phase length must be at least 1");
         assert!(self.trips >= 1, "need at least one trip");
         assert!(self.total_warps >= 1, "need at least one warp");
-        assert!(self.block_warps >= 1, "block must contain at least one warp");
+        assert!(
+            self.block_warps >= 1,
+            "block must contain at least one warp"
+        );
         assert!(self.launches >= 1, "need at least one kernel launch");
     }
 

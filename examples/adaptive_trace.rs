@@ -24,7 +24,10 @@ fn main() {
     let history = [0, 1, 0, 0, 9, 12, 8, 7, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0];
     let mut tuner = AdaptiveIdleDetect::new();
     let mut window = 5u32;
-    println!("{:>6} {:>18} {:>12}", "epoch", "critical wakeups", "idle-detect");
+    println!(
+        "{:>6} {:>18} {:>12}",
+        "epoch", "critical wakeups", "idle-detect"
+    );
     for (epoch, &critical) in history.iter().enumerate() {
         tuner.on_epoch(UnitType::Int, critical, &mut window);
         println!("{epoch:>6} {critical:>18} {window:>12}");

@@ -69,8 +69,7 @@ fn main() {
     for technique in Technique::ALL {
         let out = run(technique);
         let int = sum_int(&out.gating);
-        let gated_static =
-            (2.0 * out.stats.cycles as f64 - int.0 as f64) + int.1 as f64 * 14.0;
+        let gated_static = (2.0 * out.stats.cycles as f64 - int.0 as f64) + int.1 as f64 * 14.0;
         let savings = 1.0 - gated_static / baseline_static_int;
         println!(
             "{:<22} {:>10} {:>8.3} {:>11.1}% {:>10} {:>10}",

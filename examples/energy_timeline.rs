@@ -17,15 +17,18 @@ use warped_gates_repro::sim::DomainLayout;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "srad".to_owned());
-    let bench = Benchmark::from_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
+    let bench = Benchmark::from_name(&name).unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
     let spec = bench.spec().scaled(0.15);
     let params = GatingParams::default();
 
     println!("benchmark: {name}   one character = one 500-cycle epoch");
     println!("height = fraction of INT leakage eliminated in that epoch\n");
 
-    for technique in [Technique::ConvPg, Technique::NaiveBlackout, Technique::WarpedGates] {
+    for technique in [
+        Technique::ConvPg,
+        Technique::NaiveBlackout,
+        Technique::WarpedGates,
+    ] {
         let timeline = Rc::new(RefCell::new(EnergyTimeline::new(
             PowerParams::default(),
             DomainLayout::fermi(),

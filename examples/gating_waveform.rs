@@ -17,18 +17,26 @@ use warped_gates_repro::prelude::*;
 use warped_gates_repro::sim::trace::UtilizationTrace;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "hotspot".to_owned());
-    let bench = Benchmark::from_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hotspot".to_owned());
+    let bench = Benchmark::from_name(&name).unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
     let spec = bench.spec().scaled(0.1);
     const WINDOW: usize = 4000;
     const SHOWN: usize = 110;
     const SKIP: usize = 1200; // skip the launch ramp, show steady state
 
-    println!("benchmark: {name}   window: cycles {SKIP}..{}", SKIP + SHOWN);
+    println!(
+        "benchmark: {name}   window: cycles {SKIP}..{}",
+        SKIP + SHOWN
+    );
     println!("legend: '#' busy   '.' idle+powered (leaking)   '_' gated\n");
 
-    for technique in [Technique::Baseline, Technique::ConvPg, Technique::WarpedGates] {
+    for technique in [
+        Technique::Baseline,
+        Technique::ConvPg,
+        Technique::WarpedGates,
+    ] {
         let trace = Rc::new(RefCell::new(UtilizationTrace::new(WINDOW)));
         let mut sm = Sm::new(
             spec.sm_config(),
@@ -51,7 +59,12 @@ fn main() {
                 trace.wasted_fraction(d) * 100.0
             );
         }
-        let occ: String = trace.occupancy_track().chars().skip(SKIP).take(SHOWN).collect();
+        let occ: String = trace
+            .occupancy_track()
+            .chars()
+            .skip(SKIP)
+            .take(SHOWN)
+            .collect();
         println!("warps {occ}  (active-set size / 5)\n");
     }
 

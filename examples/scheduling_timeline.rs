@@ -11,12 +11,12 @@
 //! cargo run --release --example scheduling_timeline
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use warped_gates_repro::gates::GatesScheduler;
 use warped_gates_repro::isa::{KernelBuilder, UnitType};
 use warped_gates_repro::prelude::*;
 use warped_gates_repro::sim::IssueCtx;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Wraps a scheduler and records which (cycle, unit) pairs issued.
 struct Tracing<S> {
@@ -41,7 +41,12 @@ impl<S: WarpScheduler> WarpScheduler for Tracing<S> {
 }
 
 fn run(scheduler: Box<dyn WarpScheduler>, label: &str) {
-    let sm = Sm::new(fig4_config(), fig4_launch(), scheduler, Box::new(AlwaysOn::new()));
+    let sm = Sm::new(
+        fig4_config(),
+        fig4_launch(),
+        scheduler,
+        Box::new(AlwaysOn::new()),
+    );
     let out = sm.run();
 
     println!("\n=== {label} ===");
@@ -127,6 +132,12 @@ fn main() {
     );
     run_traced(TwoLevelScheduler::new(), "Two-level scheduler");
     run_traced(GatesScheduler::new(), "GATES");
-    run(Box::new(TwoLevelScheduler::new()), "Two-level: idle-period summary");
-    run(Box::new(GatesScheduler::new()), "GATES: idle-period summary");
+    run(
+        Box::new(TwoLevelScheduler::new()),
+        "Two-level: idle-period summary",
+    );
+    run(
+        Box::new(GatesScheduler::new()),
+        "GATES: idle-period summary",
+    );
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline verification gate: formatting, lints (when the toolchain has
+# them), a release build, the full test suite, and a timed smoke run of
+# the parallel sweep. Everything here works with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+step "cargo clippy"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test -q --workspace
+
+step "timed sweep smoke run (scale 0.08)"
+time cargo run --release -q -p warped-bench --bin sweep -- --scale 0.08
+
+echo
+echo "verify: all checks passed"

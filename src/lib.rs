@@ -31,7 +31,9 @@ pub use warped_workloads as workloads;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use warped_gates::*;
-    pub use warped_isa::{Instruction, InstructionMix, Kernel, KernelBuilder, Opcode, Reg, UnitType};
+    pub use warped_isa::{
+        Instruction, InstructionMix, Kernel, KernelBuilder, Opcode, Reg, UnitType,
+    };
     pub use warped_sim::{
         AlwaysOn, DomainId, Gpu, GpuOutcome, LaunchConfig, PowerGating, Sm, SmConfig, SmOutcome,
         TwoLevelScheduler, WarpScheduler,

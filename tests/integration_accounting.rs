@@ -60,7 +60,8 @@ fn wakeup_cycles_match_wakeup_events_and_delay() {
                 let s = run.gating.domain(d);
                 let full = s.wakeups * delay;
                 assert!(
-                    s.wakeup_cycles <= full && s.wakeup_cycles + delay > full.min(s.wakeup_cycles + delay),
+                    s.wakeup_cycles <= full
+                        && s.wakeup_cycles + delay > full.min(s.wakeup_cycles + delay),
                     "{b}/{t}/{d}: wakeup cycles {} vs events {}",
                     s.wakeup_cycles,
                     s.wakeups

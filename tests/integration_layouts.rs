@@ -43,11 +43,7 @@ fn blackout_lock_holds_on_every_layout() {
         for t in [Technique::NaiveBlackout, Technique::WarpedGates] {
             let run = exp.run(&Benchmark::Srad.spec(), t);
             for unit in [UnitType::Int, UnitType::Fp] {
-                assert_eq!(
-                    run.gating_of(unit).premature_wakeups,
-                    0,
-                    "k={k}/{t}/{unit}"
-                );
+                assert_eq!(run.gating_of(unit).premature_wakeups, 0, "k={k}/{t}/{unit}");
             }
         }
     }
@@ -84,10 +80,7 @@ fn more_clusters_save_more_static_energy() {
     // monotonically-ish from Fermi to Kepler on a mixed workload.
     let power = PowerParams::default();
     let mut savings = Vec::new();
-    for (layout, width) in [
-        (DomainLayout::fermi(), 2),
-        (DomainLayout::kepler(), 4),
-    ] {
+    for (layout, width) in [(DomainLayout::fermi(), 2), (DomainLayout::kepler(), 4)] {
         let exp = Experiment::paper_defaults()
             .with_scale(0.15)
             .with_architecture(layout, Some(width));

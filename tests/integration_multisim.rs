@@ -38,7 +38,11 @@ fn all_sms_complete_and_aggregate() {
     let sum: u64 = out
         .per_sm
         .iter()
-        .map(|o| o.gating.sum_over(DomainId::domains_of(UnitType::Int)).gate_events)
+        .map(|o| {
+            o.gating
+                .sum_over(DomainId::domains_of(UnitType::Int))
+                .gate_events
+        })
         .sum();
     assert_eq!(agg, sum);
 }

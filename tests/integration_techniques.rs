@@ -79,7 +79,10 @@ fn suite_average_savings_follow_the_paper_ordering() {
         for b in Benchmark::ALL {
             let baseline = exp.run(&b.spec(), Technique::Baseline);
             let run = exp.run(&b.spec(), t);
-            vals.push(run.static_savings(&baseline, UnitType::Int, &power).fraction());
+            vals.push(
+                run.static_savings(&baseline, UnitType::Int, &power)
+                    .fraction(),
+            );
         }
         avg.insert(t, mean(&vals));
     }

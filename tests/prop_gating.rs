@@ -1,15 +1,15 @@
-//! Property-based tests of the power-gating controllers: arbitrary
+//! Randomized tests of the power-gating controllers: arbitrary
 //! busy/demand/occupancy streams must never violate the state-machine
 //! invariants.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream, so every run
+//! explores the same inputs (no external property-testing dependency;
+//! the registry is unreachable offline).
 
-use proptest::prelude::*;
 use warped_gates_repro::gates::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
-use warped_gates_repro::gating::{
-    conventional, Controller, GatingParams, StaticIdleDetect,
-};
-use warped_gates_repro::sim::{
-    CycleObservation, DomainId, GatingReport, PowerGating, NUM_DOMAINS,
-};
+use warped_gates_repro::gating::{conventional, Controller, GatingParams, StaticIdleDetect};
+use warped_gates_repro::sim::{CycleObservation, DomainId, GatingReport, PowerGating, NUM_DOMAINS};
+use warped_gates_repro::workloads::rng::SplitMix64;
 
 /// One synthetic cycle of controller input.
 #[derive(Debug, Clone)]
@@ -19,13 +19,24 @@ struct Stimulus {
     actv: [u32; 4],
 }
 
-fn stimulus() -> impl Strategy<Value = Stimulus> {
-    (
-        proptest::array::uniform14(any::<bool>()),
-        proptest::array::uniform4(0u32..4),
-        proptest::array::uniform4(0u32..48),
-    )
-        .prop_map(|(busy, demand, actv)| Stimulus { busy, demand, actv })
+fn random_stream(rng: &mut SplitMix64, len: usize) -> Vec<Stimulus> {
+    (0..len)
+        .map(|_| {
+            let mut busy = [false; NUM_DOMAINS];
+            for b in &mut busy {
+                *b = rng.chance(0.5);
+            }
+            let mut demand = [0u32; 4];
+            for d in &mut demand {
+                *d = rng.below(4) as u32;
+            }
+            let mut actv = [0u32; 4];
+            for a in &mut actv {
+                *a = rng.below(48) as u32;
+            }
+            Stimulus { busy, demand, actv }
+        })
+        .collect()
 }
 
 /// Drives a controller with a stimulus stream, masking `busy` to false
@@ -52,7 +63,10 @@ fn drive(ctl: &mut dyn PowerGating, stream: &[Stimulus]) -> GatingReport {
 fn check_counter_invariants(report: &GatingReport, cycles: u64, bet: u64) {
     for d in DomainId::ALL {
         let s = report.domain(d);
-        assert_eq!(s.gated_cycles, s.compensated_cycles + s.uncompensated_cycles);
+        assert_eq!(
+            s.gated_cycles,
+            s.compensated_cycles + s.uncompensated_cycles
+        );
         assert!(s.wakeups <= s.gate_events);
         assert!(s.critical_wakeups <= s.wakeups);
         assert!(s.premature_wakeups <= s.wakeups);
@@ -62,18 +76,24 @@ fn check_counter_invariants(report: &GatingReport, cycles: u64, bet: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn conventional_controller_invariants(stream in proptest::collection::vec(stimulus(), 1..300)) {
+#[test]
+fn conventional_controller_invariants() {
+    let mut rng = SplitMix64::new(0x6a7e_0001);
+    for _ in 0..64 {
+        let len = 1 + rng.index(299);
+        let stream = random_stream(&mut rng, len);
         let mut ctl = conventional(GatingParams::default());
         let report = drive(&mut ctl, &stream);
         check_counter_invariants(&report, stream.len() as u64, 14);
     }
+}
 
-    #[test]
-    fn naive_blackout_never_wakes_prematurely(stream in proptest::collection::vec(stimulus(), 1..300)) {
+#[test]
+fn naive_blackout_never_wakes_prematurely() {
+    let mut rng = SplitMix64::new(0x6a7e_0002);
+    for _ in 0..64 {
+        let len = 1 + rng.index(299);
+        let stream = random_stream(&mut rng, len);
         let mut ctl = Controller::new(
             GatingParams::default(),
             NaiveBlackoutPolicy::new(),
@@ -83,13 +103,18 @@ proptest! {
         check_counter_invariants(&report, stream.len() as u64, 14);
         for d in DomainId::ALL {
             if d.is_cuda_core() {
-                prop_assert_eq!(report.domain(d).premature_wakeups, 0);
+                assert_eq!(report.domain(d).premature_wakeups, 0);
             }
         }
     }
+}
 
-    #[test]
-    fn coordinated_blackout_invariants(stream in proptest::collection::vec(stimulus(), 1..300)) {
+#[test]
+fn coordinated_blackout_invariants() {
+    let mut rng = SplitMix64::new(0x6a7e_0003);
+    for _ in 0..64 {
+        let len = 1 + rng.index(299);
+        let stream = random_stream(&mut rng, len);
         let mut ctl = Controller::new(
             GatingParams::default(),
             CoordinatedBlackoutPolicy::new(),
@@ -99,23 +124,32 @@ proptest! {
         check_counter_invariants(&report, stream.len() as u64, 14);
         for d in DomainId::ALL {
             if d.is_cuda_core() {
-                prop_assert_eq!(report.domain(d).premature_wakeups, 0);
+                assert_eq!(report.domain(d).premature_wakeups, 0);
             }
         }
     }
+}
 
-    #[test]
-    fn controllers_are_deterministic(stream in proptest::collection::vec(stimulus(), 1..150)) {
+#[test]
+fn controllers_are_deterministic() {
+    let mut rng = SplitMix64::new(0x6a7e_0004);
+    for _ in 0..32 {
+        let len = 1 + rng.index(149);
+        let stream = random_stream(&mut rng, len);
         let mut a = conventional(GatingParams::default());
         let mut b = conventional(GatingParams::default());
         let ra = drive(&mut a, &stream);
         let rb = drive(&mut b, &stream);
-        prop_assert_eq!(ra, rb);
+        assert_eq!(ra, rb);
     }
+}
 
-    #[test]
-    fn busy_domains_never_gate(cycles in 1usize..200) {
+#[test]
+fn busy_domains_never_gate() {
+    let mut rng = SplitMix64::new(0x6a7e_0005);
+    for _ in 0..16 {
         // A domain that is busy every cycle must remain on forever.
+        let cycles = 1 + rng.index(199);
         let mut ctl = conventional(GatingParams::default());
         let stream: Vec<Stimulus> = (0..cycles)
             .map(|_| Stimulus {
@@ -126,13 +160,17 @@ proptest! {
             .collect();
         let report = drive(&mut ctl, &stream);
         for d in DomainId::ALL {
-            prop_assert!(ctl.is_on(d));
-            prop_assert_eq!(report.domain(d).gate_events, 0);
+            assert!(ctl.is_on(d));
+            assert_eq!(report.domain(d).gate_events, 0);
         }
     }
+}
 
-    #[test]
-    fn idle_domains_gate_exactly_once_without_demand(cycles in 30usize..200) {
+#[test]
+fn idle_domains_gate_exactly_once_without_demand() {
+    let mut rng = SplitMix64::new(0x6a7e_0006);
+    for _ in 0..16 {
+        let cycles = 30 + rng.index(170);
         let mut ctl = conventional(GatingParams::default());
         let stream: Vec<Stimulus> = (0..cycles)
             .map(|_| Stimulus {
@@ -143,10 +181,10 @@ proptest! {
             .collect();
         let report = drive(&mut ctl, &stream);
         for d in DomainId::ALL {
-            prop_assert_eq!(report.domain(d).gate_events, 1, "{}", d);
-            prop_assert_eq!(report.domain(d).wakeups, 0);
+            assert_eq!(report.domain(d).gate_events, 1, "{d}");
+            assert_eq!(report.domain(d).wakeups, 0);
             // Gated from cycle idle_detect onward.
-            prop_assert_eq!(report.domain(d).gated_cycles, cycles as u64 - 5);
+            assert_eq!(report.domain(d).gated_cycles, cycles as u64 - 5);
         }
     }
 }

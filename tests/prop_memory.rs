@@ -1,9 +1,12 @@
-//! Property-based tests of the memory subsystem: the DRAM bandwidth
-//! queue must conserve service order, never exceed the worst-case
-//! bound, and degrade gracefully under load.
+//! Randomized tests of the memory subsystem: the DRAM bandwidth queue
+//! must conserve service order, never exceed the worst-case bound, and
+//! degrade gracefully under load.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream, so every run
+//! explores the same inputs (no external property-testing dependency).
 
-use proptest::prelude::*;
 use warped_gates_repro::sim::{MemoryConfig, MemorySubsystem};
+use warped_gates_repro::workloads::rng::SplitMix64;
 
 fn config(hit_rate: f64, interval: u32) -> MemoryConfig {
     MemoryConfig {
@@ -13,15 +16,16 @@ fn config(hit_rate: f64, interval: u32) -> MemoryConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn latencies_never_exceed_the_worst_case_bound(
-        hit_rate in 0.0f64..=1.0,
-        interval in 1u32..32,
-        accesses in proptest::collection::vec((0u32..64, 0u64..1000, 0u64..64), 1..64),
-    ) {
+#[test]
+fn latencies_never_exceed_the_worst_case_bound() {
+    let mut rng = SplitMix64::new(0x3e30_0001);
+    for _ in 0..64 {
+        let hit_rate = rng.next_f64();
+        let interval = 1 + rng.below(31) as u32;
+        let n_accesses = 1 + rng.index(63);
+        let accesses: Vec<(u32, u64, u64)> = (0..n_accesses)
+            .map(|_| (rng.below(64) as u32, rng.below(1000), rng.below(64)))
+            .collect();
         // Physical harness: cycles advance monotonically and a load's
         // MSHR slot frees only once its latency has elapsed (the
         // simulator guarantees both).
@@ -42,7 +46,10 @@ proptest! {
             });
             // If the MSHRs are still full, wait for the oldest.
             if !mem.can_accept_load() {
-                let earliest = *completions.iter().min().expect("full MSHRs imply completions");
+                let earliest = *completions
+                    .iter()
+                    .min()
+                    .expect("full MSHRs imply completions");
                 cycle = earliest;
                 completions.retain(|&c| {
                     if c <= cycle {
@@ -54,26 +61,28 @@ proptest! {
                 });
             }
             let lat = mem.issue_global_load(cycle, warp, pc, i as u64);
-            prop_assert!(lat <= bound, "latency {lat} exceeds bound {bound}");
-            prop_assert!(lat >= mem.config().hit_latency);
+            assert!(lat <= bound, "latency {lat} exceeds bound {bound}");
+            assert!(lat >= mem.config().hit_latency);
             completions.push(cycle + u64::from(lat));
         }
         for _ in 0..completions.len() {
             mem.complete_global_load();
         }
     }
+}
 
-    #[test]
-    fn back_to_back_misses_queue_by_exactly_the_interval(
-        interval in 1u32..32,
-        n in 2usize..16,
-    ) {
+#[test]
+fn back_to_back_misses_queue_by_exactly_the_interval() {
+    let mut rng = SplitMix64::new(0x3e30_0002);
+    for _ in 0..32 {
+        let interval = 1 + rng.below(31) as u32;
+        let n = 2 + rng.index(14);
         let mut mem = MemorySubsystem::new(config(0.0, interval));
         let mut last = None;
         for i in 0..n.min(mem.config().max_outstanding as usize) {
             let lat = mem.issue_global_load(0, i as u32, 0, 0);
             if let Some(prev) = last {
-                prop_assert_eq!(lat, prev + interval, "uniform queue spacing");
+                assert_eq!(lat, prev + interval, "uniform queue spacing");
             }
             last = Some(lat);
         }
@@ -81,31 +90,35 @@ proptest! {
             mem.complete_global_load();
         }
     }
+}
 
-    #[test]
-    fn hits_are_immune_to_dram_congestion(
-        interval in 1u32..32,
-        stores in 0u32..500,
-    ) {
+#[test]
+fn hits_are_immune_to_dram_congestion() {
+    let mut rng = SplitMix64::new(0x3e30_0003);
+    for _ in 0..32 {
+        let interval = 1 + rng.below(31) as u32;
+        let stores = rng.below(500) as u32;
         let mut mem = MemorySubsystem::new(config(1.0, interval));
         for _ in 0..stores {
             mem.issue_global_store(0);
         }
         let lat = mem.issue_global_load(0, 7, 7, 7);
-        prop_assert_eq!(lat, mem.config().hit_latency);
+        assert_eq!(lat, mem.config().hit_latency);
         mem.complete_global_load();
     }
+}
 
-    #[test]
-    fn spaced_misses_see_no_queue(
-        interval in 1u32..16,
-        n in 1usize..12,
-    ) {
+#[test]
+fn spaced_misses_see_no_queue() {
+    let mut rng = SplitMix64::new(0x3e30_0004);
+    for _ in 0..32 {
+        let interval = 1 + rng.below(15) as u32;
+        let n = 1 + rng.index(11);
         let mut mem = MemorySubsystem::new(config(0.0, interval));
         for i in 0..n {
             let cycle = (i as u64) * u64::from(interval) * 2;
             let lat = mem.issue_global_load(cycle, i as u32, 0, 0);
-            prop_assert_eq!(lat, mem.config().miss_latency);
+            assert_eq!(lat, mem.config().miss_latency);
             mem.complete_global_load();
         }
     }

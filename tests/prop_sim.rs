@@ -1,19 +1,31 @@
-//! Property-based tests of the end-to-end simulator: random small
-//! kernels must complete, conserve instruction counts, and keep timing
+//! Randomized tests of the end-to-end simulator: random small kernels
+//! must complete, conserve instruction counts, and keep timing
 //! invariants regardless of scheduling or gating policy.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream, so every run
+//! explores the same inputs (no external property-testing dependency).
 
-use proptest::prelude::*;
 use warped_gates_repro::gates::Technique;
 use warped_gates_repro::gating::GatingParams;
 use warped_gates_repro::isa::{Kernel, KernelBuilder, UnitType};
 use warped_gates_repro::prelude::*;
 use warped_gates_repro::sim::DomainId;
+use warped_gates_repro::workloads::rng::SplitMix64;
 
 /// One random instruction: (type selector, destination offset, source offset).
 type RawInstr = (u8, u16, u16);
 
-fn raw_instr() -> impl Strategy<Value = RawInstr> {
-    (0u8..6, 0u16..32, 0u16..40)
+fn random_body(rng: &mut SplitMix64, max_len: usize) -> Vec<RawInstr> {
+    let n = 1 + rng.index(max_len - 1);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(6) as u8,
+                rng.below(32) as u16,
+                rng.below(40) as u16,
+            )
+        })
+        .collect()
 }
 
 /// Builds a structurally valid kernel out of raw instruction tuples.
@@ -46,40 +58,43 @@ fn run_technique(kernel: Kernel, warps: u32, technique: Technique) -> SmOutcome 
     sm.run()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_kernels_complete_and_conserve_instructions(
-        body in proptest::collection::vec(raw_instr(), 1..20),
-        trips in 1u32..20,
-        warps in 1u32..12,
-    ) {
+#[test]
+fn random_kernels_complete_and_conserve_instructions() {
+    let mut rng = SplitMix64::new(0x51a1_0001);
+    for _ in 0..12 {
+        let body = random_body(&mut rng, 20);
+        let trips = 1 + rng.below(19) as u32;
+        let warps = 1 + rng.below(11) as u32;
         let kernel = build_kernel(&body, trips);
         let expected = kernel.dynamic_len() * u64::from(warps);
-        for technique in [Technique::Baseline, Technique::ConvPg, Technique::WarpedGates] {
+        for technique in [
+            Technique::Baseline,
+            Technique::ConvPg,
+            Technique::WarpedGates,
+        ] {
             let out = run_technique(kernel.clone(), warps, technique);
-            prop_assert!(!out.timed_out, "{technique} timed out");
-            prop_assert_eq!(
+            assert!(!out.timed_out, "{technique} timed out");
+            assert_eq!(
                 out.stats.instructions(),
                 expected,
-                "{} must execute every dynamic instruction once",
-                technique
+                "{technique} must execute every dynamic instruction once"
             );
-            prop_assert_eq!(out.stats.warps_completed, u64::from(warps));
+            assert_eq!(out.stats.warps_completed, u64::from(warps));
         }
     }
+}
 
-    #[test]
-    fn busy_cycles_bound_by_run_length(
-        body in proptest::collection::vec(raw_instr(), 1..16),
-        trips in 1u32..10,
-        warps in 1u32..8,
-    ) {
+#[test]
+fn busy_cycles_bound_by_run_length() {
+    let mut rng = SplitMix64::new(0x51a1_0002);
+    for _ in 0..12 {
+        let body = random_body(&mut rng, 16);
+        let trips = 1 + rng.below(9) as u32;
+        let warps = 1 + rng.below(7) as u32;
         let kernel = build_kernel(&body, trips);
         let out = run_technique(kernel, warps, Technique::Baseline);
         for d in DomainId::ALL {
-            prop_assert!(out.stats.unit(d).busy_cycles <= out.stats.cycles);
+            assert!(out.stats.unit(d).busy_cycles <= out.stats.cycles);
         }
         for unit in UnitType::ALL {
             // A pipeline must be busy at least one cycle per instruction
@@ -87,60 +102,68 @@ proptest! {
             // divided across clusters).
             let issued = out.stats.issued(unit);
             if issued > 0 {
-                prop_assert!(out.stats.busy_cycles(unit) > 0);
+                assert!(out.stats.busy_cycles(unit) > 0);
             }
         }
     }
+}
 
-    #[test]
-    fn gating_never_changes_instruction_totals(
-        body in proptest::collection::vec(raw_instr(), 1..16),
-        trips in 1u32..10,
-        warps in 1u32..8,
-    ) {
+#[test]
+fn gating_never_changes_instruction_totals() {
+    let mut rng = SplitMix64::new(0x51a1_0003);
+    for _ in 0..12 {
+        let body = random_body(&mut rng, 16);
+        let trips = 1 + rng.below(9) as u32;
+        let warps = 1 + rng.below(7) as u32;
         let kernel = build_kernel(&body, trips);
         let base = run_technique(kernel.clone(), warps, Technique::Baseline);
         let gated = run_technique(kernel, warps, Technique::CoordinatedBlackout);
-        prop_assert_eq!(base.stats.issued_by_type, gated.stats.issued_by_type);
+        assert_eq!(base.stats.issued_by_type, gated.stats.issued_by_type);
     }
+}
 
-    #[test]
-    fn identical_runs_identical_outcomes(
-        body in proptest::collection::vec(raw_instr(), 1..16),
-        trips in 1u32..10,
-        warps in 1u32..8,
-    ) {
+#[test]
+fn identical_runs_identical_outcomes() {
+    let mut rng = SplitMix64::new(0x51a1_0004);
+    for _ in 0..12 {
+        let body = random_body(&mut rng, 16);
+        let trips = 1 + rng.below(9) as u32;
+        let warps = 1 + rng.below(7) as u32;
         let kernel = build_kernel(&body, trips);
         let a = run_technique(kernel.clone(), warps, Technique::WarpedGates);
         let b = run_technique(kernel, warps, Technique::WarpedGates);
-        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
-        prop_assert_eq!(a.gating, b.gating);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.gating, b.gating);
     }
+}
 
-    #[test]
-    fn cursor_walks_exactly_dynamic_len(
-        body in proptest::collection::vec(raw_instr(), 1..24),
-        trips in 1u32..50,
-    ) {
+#[test]
+fn cursor_walks_exactly_dynamic_len() {
+    let mut rng = SplitMix64::new(0x51a1_0005);
+    for _ in 0..24 {
+        let body = random_body(&mut rng, 24);
+        let trips = 1 + rng.below(49) as u32;
         let kernel = build_kernel(&body, trips);
         let mut cursor = kernel.cursor();
         let mut steps = 0u64;
         while cursor.peek(&kernel).is_some() {
             cursor.advance(&kernel);
             steps += 1;
-            prop_assert!(steps <= kernel.dynamic_len(), "cursor overran");
+            assert!(steps <= kernel.dynamic_len(), "cursor overran");
         }
-        prop_assert_eq!(steps, kernel.dynamic_len());
-        prop_assert!(cursor.is_done(&kernel));
+        assert_eq!(steps, kernel.dynamic_len());
+        assert!(cursor.is_done(&kernel));
     }
+}
 
-    #[test]
-    fn kernel_mix_fractions_sum_to_one(
-        body in proptest::collection::vec(raw_instr(), 1..24),
-        trips in 1u32..50,
-    ) {
+#[test]
+fn kernel_mix_fractions_sum_to_one() {
+    let mut rng = SplitMix64::new(0x51a1_0006);
+    for _ in 0..24 {
+        let body = random_body(&mut rng, 24);
+        let trips = 1 + rng.below(49) as u32;
         let kernel = build_kernel(&body, trips);
         let total: f64 = kernel.mix().fractions().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
 }
