@@ -64,20 +64,24 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut cpu_total = 0.0f64;
+    let mut ff_total = 0u64;
     for ((spec, technique), t) in grid.iter().zip(&timed) {
         let secs = t.elapsed.as_secs_f64();
         cpu_total += secs;
+        let ff = t.run.stats.fast_forwarded_cycles;
+        ff_total += ff;
         assert!(!t.run.timed_out, "{}/{technique} timed out", spec.name);
         println!(
-            "  {:<14} {:<22} {:>12} cycles  {:>9.3}s",
+            "  {:<14} {:<22} {:>12} cycles  {:>9.3}s  {:>12} skipped",
             spec.name,
             technique.name(),
             t.run.cycles,
-            secs
+            secs,
+            ff
         );
         rows.push((
             format!("{}/{}", spec.name, technique.name()),
-            vec![t.run.cycles as f64, secs],
+            vec![t.run.cycles as f64, secs, ff as f64],
         ));
     }
 
@@ -87,18 +91,23 @@ fn main() {
     // that it measures pool concurrency.
     let speedup = cpu_total / wall.as_secs_f64();
     println!(
-        "\ntotal: {:.3}s wall-clock, {:.3}s summed job time, {:.2}x grid speedup on {} workers",
+        "\ntotal: {:.3}s wall-clock, {:.3}s summed job time, {:.2}x grid speedup on {} workers, {ff_total} cycles fast-forwarded",
         wall.as_secs_f64(),
         cpu_total,
         speedup,
         workers
     );
     rows.push((
-        "TOTAL (wall_s, cpu_s)".to_owned(),
-        vec![wall.as_secs_f64(), cpu_total],
+        "TOTAL (wall_s, cpu_s, ff_cycles)".to_owned(),
+        vec![wall.as_secs_f64(), cpu_total, ff_total as f64],
     ));
 
-    match write_json("results", "bench grid", &["cycles", "seconds"], &rows) {
+    match write_json(
+        "results",
+        "bench grid",
+        &["cycles", "seconds", "ff_cycles"],
+        &rows,
+    ) {
         Ok(()) => println!("wrote results/bench_grid.json"),
         Err(e) => eprintln!("warning: could not write results/bench_grid.json: {e}"),
     }

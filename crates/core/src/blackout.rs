@@ -6,7 +6,7 @@
 //! ready instructions wait for it. SFU and LDST keep the conventional
 //! rules (the paper applies Blackout only to the INT/FP clusters).
 
-use warped_gating::{GatePolicy, PolicyCtx};
+use warped_gating::{GateForecast, GatePolicy, PolicyCtx};
 
 /// Naive Blackout: conventional idle-detect entry, break-even-locked
 /// exit, every cluster on its own.
@@ -48,6 +48,10 @@ impl GatePolicy for NaiveBlackoutPolicy {
         } else {
             true
         }
+    }
+
+    fn forecast_gate(&self, ctx: &PolicyCtx<'_>) -> GateForecast {
+        GateForecast::AtIdleRun(ctx.idle_detect)
     }
 
     fn name(&self) -> &'static str {
@@ -109,6 +113,28 @@ impl GatePolicy for CoordinatedBlackoutPolicy {
             elapsed >= ctx.params.bet
         } else {
             true
+        }
+    }
+
+    // Mirrors `should_gate` branch by branch: the only branch that reads
+    // `idle_run` is the peers-all-awake window check, so every other
+    // branch collapses to a constant (`AtIdleRun(0)` = always,
+    // `Never` = never) under the frozen-context contract.
+    fn forecast_gate(&self, ctx: &PolicyCtx<'_>) -> GateForecast {
+        if !ctx.domain.is_cuda_core() {
+            return GateForecast::AtIdleRun(ctx.idle_detect);
+        }
+        if ctx.active_subset > 0 && ctx.peers.active == 0 && ctx.peers.total() > 0 {
+            return GateForecast::Never;
+        }
+        if ctx.peers.gated > 0 {
+            if ctx.active_subset == 0 {
+                GateForecast::AtIdleRun(0)
+            } else {
+                GateForecast::Never
+            }
+        } else {
+            GateForecast::AtIdleRun(ctx.idle_detect)
         }
     }
 
@@ -210,6 +236,48 @@ mod tests {
         assert!(policy.may_wake(&c, 14));
         let sfu = ctx(&p, DomainId::SFU, 0, &[], 0);
         assert!(policy.may_wake(&sfu, 1));
+    }
+
+    #[test]
+    fn forecasts_match_should_gate_pointwise() {
+        // The GateForecast contract: with everything except idle_run
+        // frozen, the forecast must reproduce should_gate exactly. Sweep
+        // the coordination-relevant context space for both policies.
+        let p = GatingParams::default();
+        let naive = NaiveBlackoutPolicy::new();
+        let coord = CoordinatedBlackoutPolicy::new();
+        let peer_sets: &[&[GateState]] = &[
+            &[],
+            &[GateState::active()],
+            &[GateState::Gated { elapsed: 3 }],
+            &[GateState::Waking { left: 2 }],
+            &[GateState::Gated { elapsed: 7 }, GateState::active()],
+        ];
+        for domain in [DomainId::INT1, DomainId::FP0, DomainId::SFU, DomainId::LDST] {
+            for peers in peer_sets {
+                for subset in [0, 1, 4] {
+                    for idle_run in 0..12 {
+                        let c = ctx(&p, domain, idle_run, peers, subset);
+                        for (name, policy) in [
+                            ("naive", &naive as &dyn GatePolicy),
+                            ("coordinated", &coord as &dyn GatePolicy),
+                        ] {
+                            let expect = match policy.forecast_gate(&c) {
+                                GateForecast::AtIdleRun(t) => idle_run >= t,
+                                GateForecast::Never => false,
+                                GateForecast::Unknown => continue,
+                            };
+                            assert_eq!(
+                                policy.should_gate(&c),
+                                expect,
+                                "{name}: {domain} idle_run={idle_run} \
+                                 subset={subset} peers={peers:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

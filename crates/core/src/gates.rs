@@ -252,6 +252,17 @@ impl WarpScheduler for GatesScheduler {
         }
     }
 
+    // With no candidates and empty active subsets, `pick` cannot switch
+    // priority (every rule needs a non-empty low subset), issues nothing,
+    // and hits the `ready_count(low) == 0` early return. Per cycle that
+    // leaves exactly `hold_cycles += 1; starve_run = 0`, which composes
+    // into a closed form over any span length.
+    fn fast_forward_idle(&mut self, cycles: u64) -> bool {
+        self.hold_cycles += cycles;
+        self.starve_run = 0;
+        true
+    }
+
     fn name(&self) -> &'static str {
         "GATES"
     }
@@ -410,6 +421,34 @@ mod tests {
     #[should_panic(expected = "max_hold")]
     fn zero_max_hold_rejected() {
         let _ = GatesScheduler::with_max_hold(0);
+    }
+
+    #[test]
+    fn fast_forward_idle_matches_empty_picks() {
+        // Build some scheduler state first (hold cycles, a rotation
+        // pointer, a starve run), then compare n empty picks against one
+        // fast_forward_idle(n).
+        let prime = |s: &mut GatesScheduler| {
+            let mut c = ctx(
+                vec![cand(0, UnitType::Int), cand(1, UnitType::Fp)],
+                [1, 1, 0, 0],
+            );
+            s.pick(&mut c);
+        };
+        let mut stepped = GatesScheduler::with_max_hold(64);
+        let mut jumped = GatesScheduler::with_max_hold(64);
+        prime(&mut stepped);
+        prime(&mut jumped);
+        for _ in 0..37 {
+            let mut empty = ctx(vec![], [0, 0, 0, 0]);
+            stepped.pick(&mut empty);
+        }
+        assert!(jumped.fast_forward_idle(37));
+        assert_eq!(stepped.hold_cycles, jumped.hold_cycles);
+        assert_eq!(stepped.starve_run, jumped.starve_run);
+        assert_eq!(stepped.rotation, jumped.rotation);
+        assert_eq!(stepped.high, jumped.high);
+        assert_eq!(stepped.switches, jumped.switches);
     }
 
     #[test]

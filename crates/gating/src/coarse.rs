@@ -11,7 +11,9 @@
 
 use crate::machine::GateState;
 use crate::params::GatingParams;
-use warped_sim::{CycleObservation, DomainId, DomainLayout, GatingReport, PowerGating};
+use warped_sim::{
+    CycleObservation, DomainId, DomainLayout, GateTransition, GatingReport, PowerGating,
+};
 
 /// Coarse-grained, SM-level power gating.
 ///
@@ -134,6 +136,96 @@ impl PowerGating for SmCoarseGating {
         };
     }
 
+    /// Advances the shared state machine through `cycles` repeats of
+    /// `obs` in closed form wherever possible.
+    ///
+    /// With a single state machine and no epochs the segmentation is
+    /// simple: a segment ends where the shared class could change (the
+    /// idle-detect threshold, a demand-driven wake, or the end of the
+    /// wakeup countdown); the boundary observation runs through
+    /// [`Self::observe`] so the result is bit-equal to per-cycle
+    /// stepping. Since the whole SM shares one state, `is_on` flips for
+    /// every domain at once and transitions are emitted for the full
+    /// layout.
+    fn fast_forward(
+        &mut self,
+        obs: &CycleObservation,
+        cycles: u64,
+        transitions: &mut Vec<GateTransition>,
+    ) {
+        let bet = self.params.bet;
+        let any_busy = obs.busy.iter().any(|b| *b);
+        let any_demand = obs.blocked_demand.iter().any(|d| *d > 0);
+        let mut done: u64 = 0;
+        while done < cycles {
+            let horizon = match self.state {
+                GateState::Active { idle_run } => {
+                    if any_busy {
+                        u64::MAX
+                    } else {
+                        u64::from(self.params.idle_detect).saturating_sub(u64::from(idle_run) + 1)
+                    }
+                }
+                GateState::Gated { .. } => {
+                    if any_demand {
+                        0
+                    } else {
+                        u64::MAX
+                    }
+                }
+                GateState::Waking { left } => u64::from(left) - 1,
+            };
+            let bulk = (cycles - done).min(horizon);
+            if bulk > 0 {
+                let add = u32::try_from(bulk).unwrap_or(u32::MAX);
+                match self.state {
+                    GateState::Active { idle_run } => {
+                        self.state = GateState::Active {
+                            idle_run: if any_busy {
+                                0
+                            } else {
+                                idle_run.saturating_add(add)
+                            },
+                        };
+                    }
+                    GateState::Gated { elapsed } => {
+                        let uncomp = bulk.min(u64::from(bet.saturating_sub(elapsed)));
+                        self.bump_all(|s| {
+                            s.gated_cycles += bulk;
+                            s.uncompensated_cycles += uncomp;
+                            s.compensated_cycles += bulk - uncomp;
+                        });
+                        self.state = GateState::Gated {
+                            elapsed: elapsed.saturating_add(add),
+                        };
+                    }
+                    GateState::Waking { left } => {
+                        self.bump_all(|s| s.wakeup_cycles += bulk);
+                        self.state = GateState::Waking { left: left - add };
+                    }
+                }
+                done += bulk;
+            }
+            if done < cycles {
+                let was_on = self.state.is_on();
+                self.observe(&CycleObservation {
+                    cycle: obs.cycle + done,
+                    ..*obs
+                });
+                if self.state.is_on() != was_on {
+                    for d in self.layout.all() {
+                        transitions.push(GateTransition {
+                            offset: done + 1,
+                            domain: *d,
+                            powered: self.state.is_on(),
+                        });
+                    }
+                }
+                done += 1;
+            }
+        }
+    }
+
     fn report(&self) -> GatingReport {
         self.report.clone()
     }
@@ -207,6 +299,55 @@ mod tests {
         }
         assert_eq!(ctl.report().domain(DomainId::INT1).wakeups, 1);
         assert_eq!(ctl.report().domain(DomainId::INT1).premature_wakeups, 1);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_stepping() {
+        // Cover the full state cycle: detect → gated (past BET) → wake →
+        // active again, and a busy span that pins the SM awake.
+        let cases: &[(Option<DomainId>, bool, u64)] = &[
+            (None, false, 1000),
+            (Some(DomainId::SFU), false, 50),
+            (None, true, 40),
+        ];
+        for &(busy, demand, cycles) in cases {
+            let mut fast = SmCoarseGating::new(GatingParams::default());
+            let mut slow = SmCoarseGating::new(GatingParams::default());
+            // A shared prefix leaves both mid-idle-detect.
+            for c in [&mut fast, &mut slow] {
+                c.observe(&obs(None, false));
+                c.observe(&obs(None, false));
+            }
+            let span = obs(busy, demand);
+            let mut got = Vec::new();
+            fast.fast_forward(&span, cycles, &mut got);
+            let mut want = Vec::new();
+            for k in 0..cycles {
+                let was_on = slow.state().is_on();
+                slow.observe(&CycleObservation {
+                    cycle: span.cycle + k,
+                    ..span
+                });
+                if slow.state().is_on() != was_on {
+                    for d in DomainId::ALL {
+                        if DomainLayout::fermi().contains(d) {
+                            want.push(GateTransition {
+                                offset: k + 1,
+                                domain: d,
+                                powered: slow.state().is_on(),
+                            });
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, want, "busy={busy:?} demand={demand}");
+            assert_eq!(fast.state(), slow.state(), "busy={busy:?} demand={demand}");
+            assert_eq!(
+                fast.report(),
+                slow.report(),
+                "busy={busy:?} demand={demand}"
+            );
+        }
     }
 
     #[test]

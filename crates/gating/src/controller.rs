@@ -2,10 +2,11 @@
 
 use crate::machine::GateState;
 use crate::params::GatingParams;
-use crate::policy::{GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx};
+use crate::policy::{GateForecast, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx};
 use warped_isa::UnitType;
 use warped_sim::{
-    CycleObservation, DomainId, DomainLayout, GatingReport, PowerGating, NUM_DOMAINS,
+    CycleObservation, DomainId, DomainLayout, GateTransition, GatingReport, PowerGating,
+    NUM_DOMAINS,
 };
 
 /// A power-gating controller parameterised by a decision
@@ -208,6 +209,130 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                 self.tuner
                     .on_epoch(unit, critical, &mut self.idle_detect[ui]);
                 self.epoch_critical[ui] = 0;
+            }
+        }
+    }
+
+    /// Advances every state machine through `cycles` repeats of `obs` in
+    /// closed form wherever possible.
+    ///
+    /// The span is cut into segments bounded by the earliest observation
+    /// at which *any* domain's state class (active/gated/waking) could
+    /// change or the tuner's epoch boundary falls. Within a segment no
+    /// class changes, so peer summaries are frozen and
+    /// [`GateForecast`] applies; counters advance arithmetically.
+    /// The boundary observation itself runs through [`Self::observe`],
+    /// which reproduces the per-cycle path exactly — including same-cycle
+    /// peer visibility, demand consumption, and tuner epochs — so the
+    /// result is bit-equal to per-cycle stepping.
+    fn fast_forward(
+        &mut self,
+        obs: &CycleObservation,
+        cycles: u64,
+        transitions: &mut Vec<GateTransition>,
+    ) {
+        let bet = self.params.bet;
+        let epoch = self.tuner.epoch_len();
+        let mut done: u64 = 0;
+        while done < cycles {
+            let mut bulk = cycles - done;
+            if epoch > 0 {
+                // Observations strictly before the next epoch boundary
+                // (an observation of cycle c is a boundary when
+                // `(c + 1) % epoch == 0`).
+                bulk = bulk.min(epoch - 1 - ((obs.cycle + done) % epoch));
+            }
+            for domain in self.layout.all().iter().copied() {
+                let di = domain.index();
+                let ui = domain.unit().index();
+                let horizon = match self.states[di] {
+                    GateState::Active { idle_run } => {
+                        if obs.busy[di] {
+                            u64::MAX
+                        } else {
+                            let ctx = self.policy_ctx(domain, idle_run, obs);
+                            match self.policy.forecast_gate(&ctx) {
+                                GateForecast::Never => u64::MAX,
+                                GateForecast::AtIdleRun(t) => {
+                                    u64::from(t).saturating_sub(u64::from(idle_run) + 1)
+                                }
+                                GateForecast::Unknown => 0,
+                            }
+                        }
+                    }
+                    // Without demand a gated domain only accumulates
+                    // gated cycles; with demand it may wake on the very
+                    // next observation.
+                    GateState::Gated { .. } => {
+                        if obs.blocked_demand[ui] == 0 {
+                            u64::MAX
+                        } else {
+                            0
+                        }
+                    }
+                    // The class changes exactly when `left` reaches zero.
+                    GateState::Waking { left } => u64::from(left) - 1,
+                };
+                bulk = bulk.min(horizon);
+                if bulk == 0 {
+                    break;
+                }
+            }
+            if bulk > 0 {
+                // `u32::MAX` saturation is unreachable below the
+                // simulator's cycle caps; per-cycle stepping saturates
+                // identically via repeated `+ 1` only past u32::MAX.
+                let add = u32::try_from(bulk).unwrap_or(u32::MAX);
+                for domain in self.layout.all().iter().copied() {
+                    let di = domain.index();
+                    match self.states[di] {
+                        GateState::Active { idle_run } => {
+                            self.states[di] = GateState::Active {
+                                idle_run: if obs.busy[di] {
+                                    0
+                                } else {
+                                    idle_run.saturating_add(add)
+                                },
+                            };
+                        }
+                        GateState::Gated { elapsed } => {
+                            let uncomp = bulk.min(u64::from(bet.saturating_sub(elapsed)));
+                            let stats = self.report.domain_mut(domain);
+                            stats.gated_cycles += bulk;
+                            stats.uncompensated_cycles += uncomp;
+                            stats.compensated_cycles += bulk - uncomp;
+                            self.states[di] = GateState::Gated {
+                                elapsed: elapsed.saturating_add(add),
+                            };
+                        }
+                        GateState::Waking { left } => {
+                            self.report.domain_mut(domain).wakeup_cycles += bulk;
+                            self.states[di] = GateState::Waking { left: left - add };
+                        }
+                    }
+                }
+                done += bulk;
+            }
+            if done < cycles {
+                let mut before = [false; NUM_DOMAINS];
+                for d in self.layout.all() {
+                    before[d.index()] = self.states[d.index()].is_on();
+                }
+                self.observe(&CycleObservation {
+                    cycle: obs.cycle + done,
+                    ..*obs
+                });
+                for d in self.layout.all().iter().copied() {
+                    let on = self.states[d.index()].is_on();
+                    if on != before[d.index()] {
+                        transitions.push(GateTransition {
+                            offset: done + 1,
+                            domain: d,
+                            powered: on,
+                        });
+                    }
+                }
+                done += 1;
             }
         }
     }
@@ -417,5 +542,120 @@ mod tests {
     fn report_name_comes_from_policy() {
         let c = conv();
         assert_eq!(c.name(), "ConvPG");
+    }
+
+    /// Expands a fast-forward into the per-cycle reference: loops
+    /// `observe` and diffs `is_on` after each, matching the
+    /// [`PowerGating::fast_forward`] offset convention.
+    fn step_reference(
+        c: &mut Controller<ConvPgPolicy, StaticIdleDetect>,
+        obs: &CycleObservation,
+        cycles: u64,
+    ) -> Vec<warped_sim::GateTransition> {
+        let mut out = Vec::new();
+        for k in 0..cycles {
+            let mut before = [false; NUM_DOMAINS];
+            for d in DomainId::ALL {
+                before[d.index()] = c.is_on(d);
+            }
+            c.observe(&CycleObservation {
+                cycle: obs.cycle + k,
+                ..*obs
+            });
+            for d in DomainId::ALL {
+                if c.is_on(d) != before[d.index()] {
+                    out.push(warped_sim::GateTransition {
+                        offset: k + 1,
+                        domain: d,
+                        powered: c.is_on(d),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_ff_matches(prefix: &[CycleObservation], obs: &CycleObservation, cycles: u64) {
+        let mut fast = conv();
+        let mut slow = conv();
+        for o in prefix {
+            fast.observe(o);
+            slow.observe(o);
+        }
+        let mut got = Vec::new();
+        fast.fast_forward(obs, cycles, &mut got);
+        let want = step_reference(&mut slow, obs, cycles);
+        assert_eq!(got, want, "transition streams diverge");
+        for d in DomainId::ALL {
+            assert_eq!(fast.state(d), slow.state(d), "{d} state diverges");
+        }
+        assert_eq!(fast.report(), slow.report(), "reports diverge");
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_from_fresh_state() {
+        // A long quiet span from power-on: every domain gates at the
+        // idle-detect boundary, then sleeps across epoch boundaries.
+        assert_ff_matches(&[], &quiet(0), 2500);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_with_busy_domains() {
+        // LDST stays busy for the whole span (a pipe with a pending
+        // retirement): it must stay active with a zero idle run while
+        // everything else gates.
+        let mut busy = [false; NUM_DOMAINS];
+        busy[DomainId::LDST.index()] = true;
+        let span = obs(7, busy, [0; 4], [0; 4]);
+        assert_ff_matches(&[], &span, 400);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_from_mixed_states() {
+        // Prefix: gate everything, then wake one INT cluster so the span
+        // starts with a Waking domain mid-countdown.
+        let mut prefix: Vec<CycleObservation> = (0..6).map(quiet).collect();
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 1;
+        prefix.push(obs(6, [false; NUM_DOMAINS], demand, [0; 4]));
+        assert_ff_matches(&prefix, &quiet(7), 1000);
+    }
+
+    #[test]
+    fn fast_forward_with_standing_demand_matches_per_cycle() {
+        // Demand repeated every observed cycle (outside the simulator's
+        // quiet-span use, but part of the trait contract): gated domains
+        // wake, finish waking, re-idle, and re-gate.
+        let prefix: Vec<CycleObservation> = (0..8).map(quiet).collect();
+        let mut demand = [0; 4];
+        demand[UnitType::Fp.index()] = 1;
+        let span = obs(8, [false; NUM_DOMAINS], demand, [0; 4]);
+        assert_ff_matches(&prefix, &span, 300);
+    }
+
+    #[test]
+    fn fast_forward_in_tiny_increments_matches_one_shot() {
+        // Chopping a span into arbitrary pieces must not change anything.
+        let mut one = conv();
+        let mut many = conv();
+        let mut t_one = Vec::new();
+        one.fast_forward(&quiet(0), 97, &mut t_one);
+        let mut at = 0u64;
+        let mut t_many = Vec::new();
+        for chunk in [1u64, 2, 3, 5, 8, 13, 21, 34, 10] {
+            let mut t = Vec::new();
+            many.fast_forward(&quiet(at), chunk, &mut t);
+            for mut tr in t {
+                tr.offset += at;
+                t_many.push(tr);
+            }
+            at += chunk;
+        }
+        assert_eq!(at, 97);
+        assert_eq!(t_one, t_many);
+        assert_eq!(one.report(), many.report());
+        for d in DomainId::ALL {
+            assert_eq!(one.state(d), many.state(d));
+        }
     }
 }

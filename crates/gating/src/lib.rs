@@ -56,7 +56,8 @@ pub use controller::Controller;
 pub use machine::GateState;
 pub use params::GatingParams;
 pub use policy::{
-    ConvPgPolicy, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx, StaticIdleDetect,
+    ConvPgPolicy, GateForecast, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx,
+    StaticIdleDetect,
 };
 
 /// Builds the conventional power-gating controller with a fixed

@@ -65,6 +65,32 @@ pub struct PolicyCtx<'a> {
     pub demand: u32,
 }
 
+/// A closed-form description of when [`GatePolicy::should_gate`] fires
+/// as a domain's idle run grows with every *other* context field frozen.
+///
+/// The [`Controller`](crate::Controller) consults this inside
+/// [`PowerGating::fast_forward`](warped_sim::PowerGating::fast_forward)
+/// to advance an idle domain through a quiet span without evaluating the
+/// policy every cycle. The contract is exact, not approximate: a policy
+/// returning [`GateForecast::AtIdleRun`]`(t)` promises that, for a
+/// context identical to `ctx` except for `idle_run`,
+/// `should_gate(idle_run = x)` is `true` exactly when `x >= t`. The
+/// controller only relies on the forecast while every domain's state
+/// *class* (active/gated/waking) is unchanged — any observation that
+/// could change a class runs through the ordinary per-cycle path — so
+/// the frozen-context assumption holds wherever the forecast is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateForecast {
+    /// No closed form: the controller must evaluate `should_gate` every
+    /// cycle (always safe, never fast).
+    Unknown,
+    /// `should_gate` is `idle_run >= t` under the frozen context.
+    AtIdleRun(u32),
+    /// `should_gate` is `false` for every idle run under the frozen
+    /// context.
+    Never,
+}
+
 /// A power-gating decision policy.
 ///
 /// The framework calls [`should_gate`](GatePolicy::should_gate) for an
@@ -79,6 +105,17 @@ pub trait GatePolicy {
     /// Whether a gated domain with demand may start waking after
     /// `elapsed` gated cycles.
     fn may_wake(&self, ctx: &PolicyCtx<'_>, elapsed: u32) -> bool;
+
+    /// Closed form of `should_gate` as a function of the idle run, with
+    /// every other field of `ctx` held fixed (see [`GateForecast`]).
+    ///
+    /// The default is [`GateForecast::Unknown`], which keeps custom
+    /// policies correct under clock fast-forwarding at the cost of
+    /// per-cycle evaluation.
+    fn forecast_gate(&self, ctx: &PolicyCtx<'_>) -> GateForecast {
+        let _ = ctx;
+        GateForecast::Unknown
+    }
 
     /// Policy name, used as the controller name in reports.
     fn name(&self) -> &'static str;
@@ -107,6 +144,10 @@ impl GatePolicy for ConvPgPolicy {
 
     fn may_wake(&self, _ctx: &PolicyCtx<'_>, _elapsed: u32) -> bool {
         true
+    }
+
+    fn forecast_gate(&self, ctx: &PolicyCtx<'_>) -> GateForecast {
+        GateForecast::AtIdleRun(ctx.idle_detect)
     }
 
     fn name(&self) -> &'static str {
@@ -188,6 +229,40 @@ mod tests {
         let c = ctx(0, 5, &p);
         assert!(policy.may_wake(&c, 1), "even before break-even");
         assert!(policy.may_wake(&c, 100));
+    }
+
+    #[test]
+    fn conv_pg_forecast_matches_should_gate_pointwise() {
+        let p = GatingParams::default();
+        let policy = ConvPgPolicy::new();
+        let GateForecast::AtIdleRun(t) = policy.forecast_gate(&ctx(0, 5, &p)) else {
+            panic!("ConvPG has a closed form");
+        };
+        for x in 0..20 {
+            assert_eq!(
+                policy.should_gate(&ctx(x, 5, &p)),
+                x >= t,
+                "forecast must agree with should_gate at idle_run={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_forecast_is_unknown() {
+        struct Opaque;
+        impl GatePolicy for Opaque {
+            fn should_gate(&self, _ctx: &PolicyCtx<'_>) -> bool {
+                false
+            }
+            fn may_wake(&self, _ctx: &PolicyCtx<'_>, _elapsed: u32) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "Opaque"
+            }
+        }
+        let p = GatingParams::default();
+        assert_eq!(Opaque.forecast_gate(&ctx(3, 5, &p)), GateForecast::Unknown);
     }
 
     #[test]

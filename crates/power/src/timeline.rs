@@ -6,7 +6,7 @@
 
 use crate::params::PowerParams;
 use warped_isa::UnitType;
-use warped_sim::trace::{CycleObserver, CycleSample};
+use warped_sim::trace::{CycleObserver, CycleSample, SpanSample};
 use warped_sim::{DomainLayout, NUM_DOMAINS};
 
 /// One epoch's integrated energy for a single unit type.
@@ -168,6 +168,76 @@ impl CycleObserver for EnergyTimeline {
             self.cycles_in_epoch = 0;
         }
     }
+
+    /// Integrates a fast-forwarded span segment by segment instead of
+    /// cycle by cycle.
+    ///
+    /// Segments are bounded by gate transitions and epoch closures;
+    /// within a segment the powered flags are constant, so the leakage
+    /// integral is a cycle count times the per-cluster coefficient.
+    /// Gate-entry overhead is charged exactly where per-cycle stepping
+    /// would charge it: at each powered→unpowered transition inside the
+    /// span, and at span entry when the last observed sample predates
+    /// the gating decision that opened the span. With the default
+    /// normalized coefficients (1.0 per leakage-cycle) every accumulator
+    /// holds integer values and the result is bit-identical to per-cycle
+    /// delivery; non-integer coefficients agree to within f64 rounding.
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        let p = self.params.static_power_per_cluster;
+        let overhead = self.params.gate_event_overhead(self.bet);
+        let mut powered = span.powered;
+        if let Some(prev) = &self.prev_powered {
+            for unit in [UnitType::Int, UnitType::Fp] {
+                for d in self.layout.domains_of(unit) {
+                    let di = d.index();
+                    if prev[di] && !powered[di] {
+                        self.current[unit.index()].overhead += overhead;
+                    }
+                }
+            }
+        }
+        let mut next = 0;
+        let mut k: u64 = 0;
+        while k < span.cycles {
+            while next < span.transitions.len() && span.transitions[next].offset <= k {
+                let t = &span.transitions[next];
+                let di = t.domain.index();
+                let was = powered[di];
+                powered[di] = t.powered;
+                if was && !t.powered && t.domain.is_cuda_core() && self.layout.contains(t.domain) {
+                    self.current[t.domain.unit().index()].overhead += overhead;
+                }
+                next += 1;
+            }
+            let until_transition = if next < span.transitions.len() {
+                span.transitions[next].offset - k
+            } else {
+                span.cycles - k
+            };
+            let seg = (span.cycles - k)
+                .min(until_transition)
+                .min(self.epoch_len - self.cycles_in_epoch);
+            for unit in [UnitType::Int, UnitType::Fp] {
+                let mut clusters: u64 = 0;
+                let mut on: u64 = 0;
+                for d in self.layout.domains_of(unit) {
+                    clusters += 1;
+                    on += u64::from(powered[d.index()]);
+                }
+                let slot = &mut self.current[unit.index()];
+                slot.always_on_static += (seg * clusters) as f64 * p;
+                slot.static_energy += (seg * on) as f64 * p;
+            }
+            self.cycles_in_epoch += seg;
+            if self.cycles_in_epoch == self.epoch_len {
+                self.epochs.push(self.current);
+                self.current = [EpochEnergy::default(); 4];
+                self.cycles_in_epoch = 0;
+            }
+            k += seg;
+        }
+        self.prev_powered = Some(powered);
+    }
 }
 
 #[cfg(test)]
@@ -259,5 +329,91 @@ mod tests {
     #[should_panic(expected = "epoch length")]
     fn zero_epoch_rejected() {
         let _ = timeline(0);
+    }
+
+    #[test]
+    fn span_integration_matches_per_cycle_delivery() {
+        use warped_sim::GateTransition;
+
+        // A span that exercises everything at once: an entry edge (the
+        // pre-span sample has INT0 powered, the span starts with it
+        // gated), in-span transitions in both directions, several epoch
+        // closures, and a trailing transition at offset == cycles that
+        // must only affect the *next* observation.
+        let mut entry = [true; NUM_DOMAINS];
+        entry[DomainId::INT0.index()] = false;
+        let transitions = vec![
+            GateTransition {
+                offset: 3,
+                domain: DomainId::FP1,
+                powered: false,
+            },
+            GateTransition {
+                offset: 9,
+                domain: DomainId::INT0,
+                powered: true,
+            },
+            GateTransition {
+                offset: 15,
+                domain: DomainId::INT0,
+                powered: false,
+            },
+            GateTransition {
+                offset: 22,
+                domain: DomainId::INT1,
+                powered: false,
+            },
+            GateTransition {
+                offset: 22,
+                domain: DomainId::FP1,
+                powered: true,
+            },
+            GateTransition {
+                offset: 31,
+                domain: DomainId::SFU,
+                powered: false,
+            },
+        ];
+        let span = SpanSample {
+            start_cycle: 5,
+            cycles: 31,
+            busy: [false; NUM_DOMAINS],
+            powered: entry,
+            transitions: &transitions,
+            active_warps: 0,
+        };
+
+        let mut batched = timeline(7);
+        let mut stepped = timeline(7);
+        // Shared pre-span history so both have a prev_powered sample and
+        // a partially filled epoch.
+        for t in [&mut batched, &mut stepped] {
+            t.observe(&sample(true));
+            t.observe(&sample(true));
+        }
+        batched.observe_span(&span);
+        span.for_each_cycle(|s| stepped.observe(s));
+
+        assert_eq!(batched.epochs(), stepped.epochs());
+        assert_eq!(batched.cycles_in_epoch, stepped.cycles_in_epoch);
+        for unit in [UnitType::Int, UnitType::Fp] {
+            assert_eq!(
+                batched.current_epoch(unit),
+                stepped.current_epoch(unit),
+                "{unit:?} open epoch diverges"
+            );
+        }
+        assert_eq!(batched.prev_powered, stepped.prev_powered);
+
+        // One more per-cycle observation with INT1 restored: both paths
+        // must agree on the edges it implies (SFU's trailing transition
+        // is invisible to the energy model; INT1's wake is free).
+        let post = sample(true);
+        batched.observe(&post);
+        stepped.observe(&post);
+        assert_eq!(
+            batched.current_epoch(UnitType::Int),
+            stepped.current_epoch(UnitType::Int)
+        );
     }
 }

@@ -93,6 +93,12 @@ pub struct SmConfig {
     pub memory: MemoryConfig,
     /// Simulation cycle cap; runs that exceed it report `timed_out`.
     pub max_cycles: u64,
+    /// Whether the SM may fast-forward its clock through stall regions
+    /// (cycles where nothing can issue and no barrier or refill can
+    /// trigger). Skipping is semantically invisible — outcomes are
+    /// bit-equal either way — so this stays on outside of equivalence
+    /// tests that force per-cycle stepping.
+    pub fast_forward: bool,
 }
 
 impl SmConfig {
@@ -105,6 +111,7 @@ impl SmConfig {
             sp_clusters: 2,
             memory: MemoryConfig::default(),
             max_cycles: 50_000_000,
+            fast_forward: true,
         }
     }
 
@@ -132,6 +139,7 @@ impl SmConfig {
                 ..MemoryConfig::default()
             },
             max_cycles: 200_000,
+            fast_forward: true,
         }
     }
 

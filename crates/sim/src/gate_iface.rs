@@ -132,6 +132,26 @@ impl DomainGatingStats {
     }
 }
 
+/// A power-state edge produced while fast-forwarding the clock.
+///
+/// `offset` is the position of the edge inside the skipped span,
+/// counted in *cycles after the span's first cycle*: a transition made
+/// while observing span cycle `k` (0-based) becomes visible to the
+/// issue stage — and therefore to observer samples — at offset `k + 1`,
+/// matching the one-cycle visibility delay of per-cycle stepping.
+/// Offsets are in `1..=span_length` and non-decreasing within the
+/// transition list a controller emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateTransition {
+    /// Cycles after the first skipped cycle at which the new power
+    /// state becomes visible.
+    pub offset: u64,
+    /// The domain whose power state changed.
+    pub domain: DomainId,
+    /// The new power state (`true` = powered).
+    pub powered: bool,
+}
+
 /// Per-cycle inputs handed to the controller after the issue phase.
 #[derive(Debug, Clone, Copy)]
 pub struct CycleObservation {
@@ -161,6 +181,57 @@ pub trait PowerGating {
 
     /// Advances controller state at the end of a cycle.
     fn observe(&mut self, obs: &CycleObservation);
+
+    /// Advances controller state across `cycles` consecutive
+    /// observations that are all identical to `obs` except for the
+    /// cycle number (`obs.cycle`, `obs.cycle + 1`, ...).
+    ///
+    /// The simulator calls this instead of `cycles` individual
+    /// [`observe`](PowerGating::observe) calls when it fast-forwards
+    /// the clock through a stall region, so the caller guarantees the
+    /// span is *quiet*: `blocked_demand` and `active_subset` are all
+    /// zero and the busy flags cannot change mid-span (any busy pipe's
+    /// retirement event bounds the span). Every power-state edge the
+    /// controller makes during the span must be appended to
+    /// `transitions` (see [`GateTransition`] for the offset
+    /// convention) so observers can reconstruct exact per-cycle
+    /// powered flags.
+    ///
+    /// The contract is **bit-equality**: counters, internal state, and
+    /// subsequent [`is_on`](PowerGating::is_on) answers must be
+    /// indistinguishable from having stepped the span cycle by cycle.
+    /// The default implementation simply loops `observe` and diffs
+    /// `is_on`, which is always correct; controllers with closed-form
+    /// countdown/BET/idle-detect advancement override it for speed.
+    fn fast_forward(
+        &mut self,
+        obs: &CycleObservation,
+        cycles: u64,
+        transitions: &mut Vec<GateTransition>,
+    ) {
+        let mut prev = [false; NUM_DOMAINS];
+        for (i, p) in prev.iter_mut().enumerate() {
+            *p = self.is_on(DomainId::from_index(i));
+        }
+        for k in 0..cycles {
+            let step = CycleObservation {
+                cycle: obs.cycle + k,
+                ..*obs
+            };
+            self.observe(&step);
+            for (i, p) in prev.iter_mut().enumerate() {
+                let on = self.is_on(DomainId::from_index(i));
+                if on != *p {
+                    transitions.push(GateTransition {
+                        offset: k + 1,
+                        domain: DomainId::from_index(i),
+                        powered: on,
+                    });
+                    *p = on;
+                }
+            }
+        }
+    }
 
     /// Final counters for reporting.
     fn report(&self) -> GatingReport;
@@ -199,6 +270,15 @@ impl PowerGating for AlwaysOn {
     }
 
     fn observe(&mut self, _obs: &CycleObservation) {}
+
+    fn fast_forward(
+        &mut self,
+        _obs: &CycleObservation,
+        _cycles: u64,
+        _transitions: &mut Vec<GateTransition>,
+    ) {
+        // Every domain stays powered: no state, no edges.
+    }
 
     fn report(&self) -> GatingReport {
         GatingReport::new()
@@ -279,5 +359,72 @@ mod tests {
     fn report_new_covers_all_domains() {
         let r = GatingReport::new();
         assert_eq!(r.domains.len(), NUM_DOMAINS);
+    }
+
+    /// Gates INT0 once it has seen `threshold` idle observations.
+    struct CountdownGater {
+        idle: u32,
+        threshold: u32,
+        report: GatingReport,
+    }
+
+    impl PowerGating for CountdownGater {
+        fn is_on(&self, domain: DomainId) -> bool {
+            domain != DomainId::INT0 || self.idle < self.threshold
+        }
+
+        fn observe(&mut self, _obs: &CycleObservation) {
+            if self.idle >= self.threshold {
+                self.report.domain_mut(DomainId::INT0).gated_cycles += 1;
+            }
+            self.idle += 1;
+        }
+
+        fn report(&self) -> GatingReport {
+            self.report.clone()
+        }
+
+        fn name(&self) -> &'static str {
+            "countdown"
+        }
+    }
+
+    #[test]
+    fn default_fast_forward_matches_looped_observe() {
+        let obs = CycleObservation {
+            cycle: 10,
+            busy: [false; NUM_DOMAINS],
+            blocked_demand: [0; 4],
+            active_subset: [0; 4],
+        };
+        let mut stepped = CountdownGater {
+            idle: 0,
+            threshold: 3,
+            report: GatingReport::new(),
+        };
+        for k in 0..8 {
+            stepped.observe(&CycleObservation {
+                cycle: 10 + k,
+                ..obs
+            });
+        }
+        let mut jumped = CountdownGater {
+            idle: 0,
+            threshold: 3,
+            report: GatingReport::new(),
+        };
+        let mut transitions = Vec::new();
+        jumped.fast_forward(&obs, 8, &mut transitions);
+        assert_eq!(jumped.report(), stepped.report());
+        // The third observation pushes `idle` to the threshold, so the
+        // edge is visible from offset 3 onwards.
+        assert_eq!(
+            transitions,
+            vec![GateTransition {
+                offset: 3,
+                domain: DomainId::INT0,
+                powered: false,
+            }]
+        );
     }
 }

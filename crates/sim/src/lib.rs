@@ -74,7 +74,9 @@ mod warp;
 
 pub use config::{MemoryConfig, SmConfig};
 pub use domain::{DomainId, DomainLayout, MAX_SP_CLUSTERS, NUM_DOMAINS, NUM_SP_CLUSTERS};
-pub use gate_iface::{AlwaysOn, CycleObservation, DomainGatingStats, GatingReport, PowerGating};
+pub use gate_iface::{
+    AlwaysOn, CycleObservation, DomainGatingStats, GateTransition, GatingReport, PowerGating,
+};
 pub use gpu::{Gpu, GpuOutcome, LaunchConfig};
 pub use mem::MemorySubsystem;
 pub use sched::{

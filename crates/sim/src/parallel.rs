@@ -19,20 +19,49 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// The environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "WARPED_JOBS";
 
+/// Parses a `WARPED_JOBS` value into a worker count.
+///
+/// # Errors
+///
+/// Returns a descriptive message for `0` and for anything that is not
+/// an integer — a set-but-invalid override is a configuration mistake,
+/// and silently falling back would run the grid at an unintended
+/// parallelism.
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{JOBS_ENV} must be a positive integer, got 0 \
+             (unset it to use all cores)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{JOBS_ENV} must be a positive integer, got {value:?}"
+        )),
+    }
+}
+
 /// The worker count used when a caller does not pin one: the value of
-/// the `WARPED_JOBS` environment variable if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+/// the `WARPED_JOBS` environment variable if set, otherwise
+/// [`std::thread::available_parallelism`] (1 if unknown).
+///
+/// # Panics
+///
+/// Panics if `WARPED_JOBS` is set but is not a positive integer (see
+/// [`parse_jobs`]).
 #[must_use]
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var(JOBS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    match std::env::var(JOBS_ENV) {
+        Ok(v) => match parse_jobs(&v) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        },
+        Err(std::env::VarError::NotPresent) => {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }
-        eprintln!("warning: ignoring invalid {JOBS_ENV}={v:?} (want a positive integer)");
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("{JOBS_ENV} must be a positive integer, got non-unicode bytes")
+        }
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Maps `f` over `0..n` with up to `workers` threads, returning results
@@ -153,6 +182,35 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("16"), Ok(16));
+        assert_eq!(parse_jobs("  8 "), Ok(8), "surrounding whitespace is fine");
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero() {
+        let err = parse_jobs("0").unwrap_err();
+        assert!(err.contains(JOBS_ENV), "error names the variable: {err}");
+        assert!(
+            err.contains("positive"),
+            "error states the constraint: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_jobs_rejects_garbage() {
+        for bad in ["", "all", "-3", "4.5", "0x10"] {
+            let err = parse_jobs(bad).unwrap_err();
+            assert!(err.contains(JOBS_ENV), "{bad:?} error names the variable");
+            assert!(
+                err.contains(&format!("{bad:?}")),
+                "{bad:?} error echoes the offending value: {err}"
+            );
+        }
     }
 
     #[test]

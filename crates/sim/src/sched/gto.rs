@@ -50,6 +50,11 @@ impl WarpScheduler for GtoScheduler {
         }
     }
 
+    fn fast_forward_idle(&mut self, _cycles: u64) -> bool {
+        // An empty candidate list leaves the greedy slot alone.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "GTO"
     }

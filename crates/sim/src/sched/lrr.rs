@@ -52,6 +52,11 @@ impl WarpScheduler for LrrScheduler {
         }
     }
 
+    fn fast_forward_idle(&mut self, _cycles: u64) -> bool {
+        // An empty candidate list leaves the rotation pointer alone.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "LRR"
     }

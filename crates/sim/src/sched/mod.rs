@@ -76,6 +76,13 @@ pub struct IssueCtx {
     picks: Vec<Pick>,
     attempted_blocked: [u32; 4],
     ready_by_unit: [u32; 4],
+    /// Units proven unissuable for the rest of the cycle with every
+    /// cluster powered. Within a cycle `domain_on` is fixed and ports
+    /// are only ever claimed, so once [`IssueCtx::try_issue`] fails for
+    /// such a unit, every later attempt on it would fail identically
+    /// and without side effects; the flag lets those attempts return
+    /// immediately instead of re-probing the dispatch ports.
+    dead_units: [bool; 4],
 }
 
 impl IssueCtx {
@@ -173,6 +180,7 @@ impl IssueCtx {
             picks: scratch.picks,
             attempted_blocked: [0; 4],
             ready_by_unit,
+            dead_units: [false; 4],
         }
     }
 
@@ -294,6 +302,9 @@ impl IssueCtx {
             return false;
         }
         let cand = self.candidates[idx];
+        if self.dead_units[cand.unit.index()] {
+            return false;
+        }
         if cand.is_global_load && self.ldst_load_credits == 0 {
             return false;
         }
@@ -313,6 +324,10 @@ impl IssueCtx {
                 .any(|d| !self.domain_on[d.index()]);
             if any_gated {
                 self.attempted_blocked[cand.unit.index()] += 1;
+            } else {
+                // Fully powered yet nowhere to dispatch: the failure is
+                // structural and permanent for this cycle.
+                self.dead_units[cand.unit.index()] = true;
             }
             return false;
         };
@@ -383,6 +398,24 @@ impl IssueCtx {
 pub trait WarpScheduler {
     /// Chooses this cycle's issues.
     fn pick(&mut self, ctx: &mut IssueCtx);
+
+    /// Advances scheduler state across `cycles` consecutive cycles in
+    /// which the candidate list and every active subset are empty,
+    /// returning whether the scheduler supports this.
+    ///
+    /// When the SM fast-forwards its clock through a stall region it
+    /// calls this instead of issuing `cycles` [`pick`] calls with an
+    /// empty context. Implementations must leave the scheduler
+    /// bit-identical to having seen those empty picks. Returning
+    /// `false` (the default, so unknown schedulers stay correct)
+    /// vetoes the skip and must leave the scheduler untouched; the SM
+    /// then steps cycle by cycle.
+    ///
+    /// [`pick`]: WarpScheduler::pick
+    fn fast_forward_idle(&mut self, cycles: u64) -> bool {
+        let _ = cycles;
+        false
+    }
 
     /// Human-readable scheduler name (used in reports and figures).
     fn name(&self) -> &'static str;

@@ -53,6 +53,11 @@ impl WarpScheduler for TwoLevelScheduler {
         }
     }
 
+    fn fast_forward_idle(&mut self, _cycles: u64) -> bool {
+        // An empty candidate list leaves the round-robin pointer alone.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "TwoLevel"
     }

@@ -3,12 +3,12 @@
 use crate::config::SmConfig;
 use crate::domain::{DomainId, DomainLayout, NUM_DOMAINS};
 use crate::exec::ExecUnits;
-use crate::gate_iface::{CycleObservation, GatingReport, PowerGating};
+use crate::gate_iface::{CycleObservation, GateTransition, GatingReport, PowerGating};
 use crate::gpu::LaunchConfig;
 use crate::mem::MemorySubsystem;
 use crate::sched::{Candidate, IssueCtx, IssueScratch, WarpScheduler};
 use crate::stats::SimStats;
-use crate::trace::{CycleObserver, CycleSample, NullObserver};
+use crate::trace::{CycleObserver, CycleSample, NullObserver, SpanSample};
 use crate::warp::{Warp, WarpClass, WarpId, WarpSlot};
 use warped_isa::{Kernel, MemSpace, Opcode, Reg};
 
@@ -64,11 +64,23 @@ pub struct Sm {
     gating: Box<dyn PowerGating>,
     ring: Vec<Vec<Event>>,
     observer: Box<dyn CycleObserver>,
+    /// Whether a real observer is installed. The default
+    /// [`NullObserver`] ignores every sample, so the per-cycle tap
+    /// (and the sample construction feeding it) is skipped entirely
+    /// until [`Sm::set_observer`] is called.
+    observer_enabled: bool,
     cycle: u64,
     stats: SimStats,
     idle_runs: [u32; NUM_DOMAINS],
     warps_done: u64,
     scratch: IssueScratch,
+    /// Live warps currently classed [`WarpClass::Barrier`], maintained
+    /// by the reclassify phase so barrier-free cycles skip the group
+    /// scan entirely.
+    barrier_warps: u32,
+    /// Reusable buffer for power-state edges captured while
+    /// fast-forwarding.
+    ff_transitions: Vec<GateTransition>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -124,11 +136,14 @@ impl Sm {
             gating,
             ring: (0..ring_len).map(|_| Vec::new()).collect(),
             observer: Box::new(NullObserver),
+            observer_enabled: false,
             cycle: 0,
             stats,
             idle_runs: [0; NUM_DOMAINS],
             warps_done: 0,
             scratch: IssueScratch::default(),
+            barrier_warps: 0,
+            ff_transitions: Vec::new(),
         }
     }
 
@@ -145,6 +160,7 @@ impl Sm {
     /// [`Sm::run`] consumes the simulator.
     pub fn set_observer(&mut self, observer: Box<dyn CycleObserver>) {
         self.observer = observer;
+        self.observer_enabled = true;
     }
 
     /// Runs the simulation to completion (or to the cycle cap).
@@ -159,6 +175,9 @@ impl Sm {
             if self.cycle >= self.config.max_cycles {
                 timed_out = true;
                 break;
+            }
+            if self.config.fast_forward && self.try_fast_forward() {
+                continue;
             }
             self.step();
         }
@@ -255,6 +274,7 @@ impl Sm {
                         w.scoreboard.release(d);
                     }
                     w.in_flight -= 1;
+                    w.dirty = true;
                 }
             }
         }
@@ -262,29 +282,29 @@ impl Sm {
         // capacity is reused; nothing schedules into the current cycle.
         self.ring[idx] = events;
 
-        // Phase 2: reclassify warps; retire finished ones.
-        for slot in self.slots.iter_mut() {
-            let Some(w) = slot.as_mut() else { continue };
-            if w.is_finished() {
-                *slot = None;
-                self.warps_done += 1;
-                continue;
-            }
-            w.reclassify();
-        }
-
-        // Phase 2b: barrier release. A thread block whose live warps
-        // have all arrived at the barrier steps past it together.
-        self.release_barriers();
-
-        // Phase 2c: occupancy accounting and candidate collection, into
-        // the run-lifetime scratch buffers (no per-cycle allocation).
+        // Phase 2: reclassify warps whose inputs changed since the last
+        // classification (classes are pure functions of the I-buffer
+        // entry and the scoreboard, so clean warps keep theirs), retire
+        // finished ones, and — fused into the same pass — do the
+        // occupancy accounting and candidate collection into the
+        // run-lifetime scratch buffers (no per-cycle allocation).
+        let mut barrier_warps = 0u32;
         let mut active_count = 0u32;
         let mut active_subset = [0u32; 4];
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.candidates.clear();
         for (slot_idx, slot) in self.slots.iter_mut().enumerate() {
             let Some(w) = slot.as_mut() else { continue };
+            if w.dirty {
+                if w.is_finished() {
+                    *slot = None;
+                    self.warps_done += 1;
+                    continue;
+                }
+                w.reclassify();
+                w.dirty = false;
+            }
+            barrier_warps += u32::from(w.class == WarpClass::Barrier);
             if w.in_active_set() {
                 active_count += 1;
                 let meta = w
@@ -297,6 +317,34 @@ impl Sm {
                         unit: meta.unit,
                         is_global_load: meta.is_global_load,
                     });
+                }
+            }
+        }
+        self.barrier_warps = barrier_warps;
+
+        // Phase 2b: barrier release. A thread block whose live warps
+        // have all arrived at the barrier steps past it together. A
+        // release turns parked warps into issue candidates, so the
+        // (rare) cycles where one happens redo the collection pass.
+        if self.release_barriers() {
+            active_count = 0;
+            active_subset = [0u32; 4];
+            scratch.candidates.clear();
+            for (slot_idx, slot) in self.slots.iter().enumerate() {
+                let Some(w) = slot.as_ref() else { continue };
+                if w.in_active_set() {
+                    active_count += 1;
+                    let meta = w
+                        .next_meta
+                        .expect("active warp must have a next instruction");
+                    active_subset[meta.unit.index()] += 1;
+                    if w.class == WarpClass::Ready {
+                        scratch.candidates.push(Candidate {
+                            slot: WarpSlot(slot_idx),
+                            unit: meta.unit,
+                            is_global_load: meta.is_global_load,
+                        });
+                    }
                 }
             }
         }
@@ -362,29 +410,185 @@ impl Sm {
         });
 
         // Phase 7: external observer tap.
-        let mut powered = [false; NUM_DOMAINS];
-        for (p, on) in powered.iter_mut().zip(domain_on) {
-            *p = on;
+        if self.observer_enabled {
+            let mut powered = [false; NUM_DOMAINS];
+            for (p, on) in powered.iter_mut().zip(domain_on) {
+                *p = on;
+            }
+            self.observer.observe(&CycleSample {
+                cycle,
+                busy,
+                powered,
+                issued: issued_count as u8,
+                active_warps: active_count,
+            });
         }
-        self.observer.observe(&CycleSample {
-            cycle,
-            busy,
-            powered,
-            issued: issued_count as u8,
-            active_warps: active_count,
-        });
 
         self.cycle += 1;
         self.stats.cycles = self.cycle;
     }
 
-    /// Releases thread blocks whose live warps all reached a barrier.
+    /// Attempts to jump the clock over a stall region, returning
+    /// whether it did.
+    ///
+    /// A span is skippable when the current cycle has no pending ring
+    /// events, no live warp sits in the active set (so candidate lists
+    /// and active subsets are empty and nothing can issue), no warp is
+    /// finished-but-unretired, and no barrier group is releasable.
+    /// Warp classes only change through ring events, issues, and
+    /// barrier releases, so under those conditions every cycle up to
+    /// the next non-empty ring slot repeats the same no-op step; the
+    /// batched bookkeeping in [`Sm::fast_forward`] reproduces that run
+    /// of steps bit for bit. When classes might be stale (a warp that
+    /// issued last cycle keeps its `Ready` class), staleness always
+    /// shows *more* activity than reality, so the check only ever errs
+    /// towards stepping — never towards skipping.
+    fn try_fast_forward(&mut self) -> bool {
+        let mask = self.ring.len() - 1;
+        if !self.ring[(self.cycle as usize) & mask].is_empty() {
+            return false;
+        }
+        let mut barriers = 0u32;
+        for w in self.slots.iter().flatten() {
+            // A finished warp retires (and may unblock a refill or a
+            // wave) on the next step; barrier release is the one path
+            // that can finish a warp without a ring event.
+            if w.in_active_set() || w.is_finished() {
+                return false;
+            }
+            barriers += u32::from(w.class == WarpClass::Barrier);
+        }
+        if barriers > 0 && self.any_releasable_barrier() {
+            return false;
+        }
+        // Distance to the next scheduled event. The ring is sized so
+        // every in-flight event lives within one lap; if it is empty
+        // everywhere nothing can ever change and per-cycle stepping
+        // would idle its way to the cycle cap, so jump straight there.
+        let horizon = self.config.max_cycles - self.cycle;
+        let span = (1..self.ring.len() as u64)
+            .find(|j| !self.ring[((self.cycle + j) as usize) & mask].is_empty())
+            .map_or(horizon, |j| j.min(horizon));
+        // The scheduler must be able to replay `span` empty picks in
+        // closed form; a veto (default for unknown schedulers) leaves
+        // all state untouched and falls back to per-cycle stepping.
+        if !self.scheduler.fast_forward_idle(span) {
+            return false;
+        }
+        self.fast_forward(span);
+        true
+    }
+
+    /// Whether any block's live warps have all arrived at a barrier.
+    fn any_releasable_barrier(&self) -> bool {
+        let group = self.block_warps as usize;
+        let n = self.slots.len();
+        let mut g0 = 0;
+        while g0 < n {
+            let g1 = (g0 + group).min(n);
+            let mut live = 0u32;
+            let mut at_barrier = 0u32;
+            for w in self.slots[g0..g1].iter().flatten() {
+                live += 1;
+                at_barrier += u32::from(w.class == WarpClass::Barrier);
+            }
+            if live > 0 && at_barrier == live {
+                return true;
+            }
+            g0 = g1;
+        }
+        false
+    }
+
+    /// Jumps the clock `span` cycles in one step, reproducing exactly
+    /// the bookkeeping that `span` idle [`Sm::step`] calls would have
+    /// performed (the eligibility conditions are established by
+    /// [`Sm::try_fast_forward`]).
+    fn fast_forward(&mut self, span: u64) {
+        let cycle = self.cycle;
+
+        // Phases 1-4 equivalent: no events, no retirement, no barrier
+        // release, empty candidate lists, nothing issues. The only
+        // issue-stage effect is the idle-issue count; the active-warp
+        // accounting adds zero each cycle.
+        self.stats.idle_issue_cycles += span;
+
+        // Phase 5: busy flags cannot change inside the span (a busy
+        // pipe's retire event would bound it), so busy domains extend
+        // their busy totals — their idle run is already closed — and
+        // idle domains extend their open run without recording any
+        // histogram period.
+        let busy = self.units.busy_flags();
+        let span_u32 = u32::try_from(span).unwrap_or(u32::MAX);
+        for d in self.layout.all() {
+            let d = d.index();
+            if busy[d] {
+                debug_assert_eq!(self.idle_runs[d], 0, "busy domain with open idle run");
+                self.stats.units[d].busy_cycles += span;
+            } else {
+                self.idle_runs[d] = self.idle_runs[d].saturating_add(span_u32);
+            }
+        }
+
+        // Phase 6: advance the gating controller across the whole
+        // span, capturing every power-state edge it makes.
+        let mut powered = [false; NUM_DOMAINS];
+        if self.observer_enabled {
+            for d in self.layout.all() {
+                powered[d.index()] = self.gating.is_on(*d);
+            }
+        }
+        let mut transitions = std::mem::take(&mut self.ff_transitions);
+        transitions.clear();
+        self.gating.fast_forward(
+            &CycleObservation {
+                cycle,
+                busy,
+                blocked_demand: [0; 4],
+                active_subset: [0; 4],
+            },
+            span,
+            &mut transitions,
+        );
+
+        // Phase 7: observer tap, batched. Per-cycle samples only ever
+        // report layout domains as powered, so edges on out-of-layout
+        // domains (possible for whole-SM controllers) are dropped from
+        // the observer's view.
+        if self.observer_enabled {
+            let layout = self.layout;
+            transitions.retain(|t| layout.contains(t.domain));
+            self.observer.observe_span(&SpanSample {
+                start_cycle: cycle,
+                cycles: span,
+                busy,
+                powered,
+                transitions: &transitions,
+                active_warps: 0,
+            });
+        }
+        self.ff_transitions = transitions;
+
+        self.cycle += span;
+        self.stats.cycles = self.cycle;
+        self.stats.fast_forward_spans += 1;
+        self.stats.fast_forwarded_cycles += span;
+    }
+
+    /// Releases thread blocks whose live warps all reached a barrier,
+    /// returning whether any block released.
     ///
     /// A block's slot group advances together: every live warp whose
     /// next instruction is the barrier steps past it. Finished or
     /// vacated slots in the group don't hold the barrier hostage
     /// (matching `__syncthreads` semantics for exited warps).
-    fn release_barriers(&mut self) {
+    fn release_barriers(&mut self) -> bool {
+        // No live warp is parked at a barrier: nothing can release, so
+        // skip the group scan (the common case on barrier-free cycles).
+        if self.barrier_warps == 0 {
+            return false;
+        }
+        let mut any_released = false;
         let group = self.block_warps as usize;
         let n = self.slots.len();
         let mut g0 = 0;
@@ -397,15 +601,27 @@ impl Sm {
                 .filter(|w| w.class == WarpClass::Barrier)
                 .count();
             if live > 0 && at_barrier == live {
+                any_released = true;
+                let mut released = 0u32;
+                let mut rearrived = 0u32;
                 for slot in self.slots[g0..g1].iter_mut().flatten() {
                     debug_assert_eq!(slot.class, WarpClass::Barrier);
                     slot.cursor.advance(&self.kernel);
                     slot.refresh_next(&self.kernel);
                     slot.reclassify();
+                    // The advance may have finished the warp; leave the
+                    // retirement test to the next classification pass.
+                    slot.dirty = true;
+                    released += 1;
+                    // A released warp may sit at its next barrier
+                    // already (back-to-back barriers).
+                    rearrived += u32::from(slot.class == WarpClass::Barrier);
                 }
+                self.barrier_warps = self.barrier_warps - released + rearrived;
             }
             g0 = g1;
         }
+        any_released
     }
 
     /// Applies a validated issue decision.
@@ -437,6 +653,7 @@ impl Sm {
 
         w.scoreboard.record_issue(&instr);
         w.in_flight += 1;
+        w.dirty = true;
         let warp_id = w.id;
         w.cursor.advance(&self.kernel);
         w.refresh_next(&self.kernel);

@@ -170,7 +170,7 @@ impl Default for IdleHistogram {
 }
 
 /// Per-domain activity statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UnitStats {
     /// Cycles in which the pipeline held at least one instruction.
     pub busy_cycles: u64,
@@ -181,7 +181,7 @@ pub struct UnitStats {
 }
 
 /// Statistics for one SM run (or an aggregate over SMs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// The clustered-architecture layout the run used (determines which
     /// domains the per-unit aggregations sum over).
@@ -202,6 +202,13 @@ pub struct SimStats {
     pub idle_issue_cycles: u64,
     /// Warps that completed their program.
     pub warps_completed: u64,
+    /// Stall regions the clock jumped over in one step (diagnostic;
+    /// zero when fast-forwarding is disabled — not part of the
+    /// bit-equality contract between stepped and skipped runs).
+    pub fast_forward_spans: u64,
+    /// Cycles covered by those jumps (diagnostic, see
+    /// [`fast_forward_spans`](SimStats::fast_forward_spans)).
+    pub fast_forwarded_cycles: u64,
 }
 
 impl SimStats {
@@ -314,6 +321,8 @@ impl SimStats {
         self.dual_issue_cycles += other.dual_issue_cycles;
         self.idle_issue_cycles += other.idle_issue_cycles;
         self.warps_completed += other.warps_completed;
+        self.fast_forward_spans += other.fast_forward_spans;
+        self.fast_forwarded_cycles += other.fast_forwarded_cycles;
     }
 }
 

@@ -9,9 +9,10 @@
 //! policy is doing.
 
 use crate::domain::{DomainId, NUM_DOMAINS};
+use crate::gate_iface::GateTransition;
 
 /// One cycle's observable state.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CycleSample {
     /// The cycle number.
     pub cycle: u64,
@@ -25,6 +26,55 @@ pub struct CycleSample {
     pub active_warps: u32,
 }
 
+/// A contiguous run of cycles the simulator fast-forwarded through in
+/// one step.
+///
+/// During the span nothing issues (`issued` is 0 for every covered
+/// cycle) and the busy flags and active-warp count are constant; only
+/// the powered flags can change, and every such edge is listed in
+/// `transitions` with the offset convention of [`GateTransition`]: the
+/// sample at span offset `k` (cycle `start_cycle + k`) reflects every
+/// transition with `offset <= k`. `powered` is the state the issue
+/// stage saw on the span's first cycle (offset 0).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanSample<'a> {
+    /// First cycle covered by the span.
+    pub start_cycle: u64,
+    /// Number of cycles covered (at least 1).
+    pub cycles: u64,
+    /// Busy flags, constant across the span.
+    pub busy: [bool; NUM_DOMAINS],
+    /// Powered flags at span offset 0.
+    pub powered: [bool; NUM_DOMAINS],
+    /// Power-state edges inside the span, offsets non-decreasing.
+    pub transitions: &'a [GateTransition],
+    /// Warps in the active set, constant across the span.
+    pub active_warps: u32,
+}
+
+impl SpanSample<'_> {
+    /// Expands the span into the exact per-cycle samples a stepped
+    /// simulation would have produced, in cycle order.
+    pub fn for_each_cycle(&self, mut f: impl FnMut(&CycleSample)) {
+        let mut powered = self.powered;
+        let mut next = 0;
+        for k in 0..self.cycles {
+            while next < self.transitions.len() && self.transitions[next].offset <= k {
+                let t = &self.transitions[next];
+                powered[t.domain.index()] = t.powered;
+                next += 1;
+            }
+            f(&CycleSample {
+                cycle: self.start_cycle + k,
+                busy: self.busy,
+                powered,
+                issued: 0,
+                active_warps: self.active_warps,
+            });
+        }
+    }
+}
+
 /// A per-cycle tap into the simulation.
 ///
 /// Implementations should be cheap: the hook runs every simulated
@@ -32,6 +82,18 @@ pub struct CycleSample {
 pub trait CycleObserver {
     /// Receives one cycle's state.
     fn observe(&mut self, sample: &CycleSample);
+
+    /// Receives a fast-forwarded span of cycles in one call.
+    ///
+    /// The default implementation expands the span and calls
+    /// [`observe`](CycleObserver::observe) once per covered cycle,
+    /// which is exact by construction. Observers that can integrate a
+    /// constant-state run in closed form (e.g. an energy timeline)
+    /// override this; overrides must leave the observer in the same
+    /// state as the expanded per-cycle delivery.
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        span.for_each_cycle(|s| self.observe(s));
+    }
 }
 
 /// The no-op observer (default).
@@ -40,11 +102,17 @@ pub struct NullObserver;
 
 impl CycleObserver for NullObserver {
     fn observe(&mut self, _sample: &CycleSample) {}
+
+    fn observe_span(&mut self, _span: &SpanSample<'_>) {}
 }
 
 impl<T: CycleObserver> CycleObserver for std::rc::Rc<std::cell::RefCell<T>> {
     fn observe(&mut self, sample: &CycleSample) {
         self.borrow_mut().observe(sample);
+    }
+
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        self.borrow_mut().observe_span(span);
     }
 }
 
@@ -163,6 +231,15 @@ impl CycleObserver for UtilizationTrace {
             self.samples.push(*sample);
         }
     }
+
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        // Only the part of the span that still fits is recorded, so a
+        // full trace skips the expansion entirely.
+        if self.samples.len() >= self.capacity {
+            return;
+        }
+        span.for_each_cycle(|s| self.observe(s));
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +309,46 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = UtilizationTrace::new(0);
+    }
+
+    #[test]
+    fn span_expansion_applies_transitions_at_their_offset() {
+        let mut t = UtilizationTrace::new(16);
+        let span = SpanSample {
+            start_cycle: 100,
+            cycles: 5,
+            busy: [false; NUM_DOMAINS],
+            powered: [true; NUM_DOMAINS],
+            transitions: &[GateTransition {
+                offset: 2,
+                domain: DomainId::INT0,
+                powered: false,
+            }],
+            active_warps: 0,
+        };
+        t.observe_span(&span);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.waveform(DomainId::INT0), "..___");
+        assert_eq!(t.samples()[0].cycle, 100);
+        assert_eq!(t.samples()[4].cycle, 104);
+        assert!(t.samples().iter().all(|s| s.issued == 0));
+    }
+
+    #[test]
+    fn span_expansion_respects_capacity() {
+        let mut t = UtilizationTrace::new(3);
+        let span = SpanSample {
+            start_cycle: 0,
+            cycles: 10,
+            busy: [false; NUM_DOMAINS],
+            powered: [true; NUM_DOMAINS],
+            transitions: &[],
+            active_warps: 0,
+        };
+        t.observe_span(&span);
+        assert_eq!(t.len(), 3);
+        // A full trace ignores further spans entirely.
+        t.observe_span(&span);
+        assert_eq!(t.len(), 3);
     }
 }

@@ -82,6 +82,13 @@ pub(crate) struct Warp {
     pub next_meta: Option<NextMeta>,
     /// Current scheduler classification (refreshed each cycle).
     pub class: WarpClass,
+    /// Whether `class` (or the finished test) may be stale: set at
+    /// launch and whenever an issue, a completion event, or a barrier
+    /// release mutates the inputs the classification is computed from.
+    /// The classification is a pure function of `next_instr` and the
+    /// scoreboard, so while `dirty` is false the cached `class` is
+    /// exactly what [`Warp::reclassify`] would recompute.
+    pub dirty: bool,
 }
 
 impl Warp {
@@ -97,6 +104,7 @@ impl Warp {
             next_instr,
             next_meta,
             class: WarpClass::Ready,
+            dirty: true,
         }
     }
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Offline verification gate: formatting, lints (when the toolchain has
-# them), a release build, the full test suite, and a timed smoke run of
-# the parallel sweep. Everything here works with no network access.
+# them), a release build, the full test suite, and a full-scale sweep
+# whose per-job cycle counts must match the checked-in grid bit for
+# bit (the fast-forward clock and any other perf work must never move
+# a result). Everything here works with no network access.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,8 +29,34 @@ cargo build --release --workspace
 step "cargo test"
 cargo test -q --workspace
 
-step "timed sweep smoke run (scale 0.08)"
-time cargo run --release -q -p warped-bench --bin sweep -- --scale 0.08
+step "grid regression gate (full-scale sweep, cycles must match bit for bit)"
+# The sweep overwrites results/bench_grid.json; snapshot the checked-in
+# grid first and restore it afterwards so verify never mutates the repo.
+baseline="$(mktemp)"
+regen="$(mktemp)"
+trap 'rm -f "$baseline" "$regen"' EXIT
+cp results/bench_grid.json "$baseline"
+time cargo run --release -q -p warped-bench --bin sweep
+cp results/bench_grid.json "$regen"
+cp "$baseline" results/bench_grid.json
+
+# Compare the label + cycles (first value) of every row except the
+# TOTAL row, which carries wall-clock timings and legitimately varies.
+extract_cycles() {
+    python3 - "$1" <<'PY'
+import json, sys
+grid = json.load(open(sys.argv[1]))
+for row in grid["rows"]:
+    if row["label"].startswith("TOTAL"):
+        continue
+    print(f'{row["label"]} {int(row["values"][0])}')
+PY
+}
+if ! diff <(extract_cycles "$baseline") <(extract_cycles "$regen"); then
+    echo "verify: FAIL — sweep cycle counts diverged from results/bench_grid.json" >&2
+    exit 1
+fi
+echo "grid cycles match the checked-in results bit for bit"
 
 echo
 echo "verify: all checks passed"

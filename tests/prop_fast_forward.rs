@@ -1,0 +1,269 @@
+//! Bit-equality properties of the fast-forward clock: for every
+//! technique and every random kernel, running with cycle skipping
+//! enabled must produce the same [`SmOutcome`] — cycle counts, per-unit
+//! statistics, and the full [`GatingReport`] — as forcing per-cycle
+//! stepping, and attached observers must see identical streams.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream, so every run
+//! explores the same inputs (no external property-testing dependency).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use warped_gates_repro::gates::Technique;
+use warped_gates_repro::gating::GatingParams;
+use warped_gates_repro::isa::{Kernel, KernelBuilder};
+use warped_gates_repro::power::{EnergyTimeline, PowerParams};
+use warped_gates_repro::prelude::*;
+use warped_gates_repro::sim::stats::SimStats;
+use warped_gates_repro::sim::trace::{CycleObserver, CycleSample, SpanSample, UtilizationTrace};
+use warped_gates_repro::sim::DomainLayout;
+use warped_gates_repro::workloads::rng::SplitMix64;
+
+/// Fans one observation stream out to two observers, forwarding the
+/// batched hook so span-aware overrides stay on their fast paths.
+struct Pair<A, B>(A, B);
+
+impl<A: CycleObserver, B: CycleObserver> CycleObserver for Pair<A, B> {
+    fn observe(&mut self, sample: &CycleSample) {
+        self.0.observe(sample);
+        self.1.observe(sample);
+    }
+
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        self.0.observe_span(span);
+        self.1.observe_span(span);
+    }
+}
+
+/// One random instruction: (type selector, destination offset, source
+/// offset). Selector 6 is a barrier — the fast-forward path's most
+/// delicate edge, since barrier release can finish warps and refill
+/// blocks without any event-ring activity.
+type RawInstr = (u8, u16, u16);
+
+fn random_body(rng: &mut SplitMix64, max_len: usize, with_barriers: bool) -> Vec<RawInstr> {
+    let kinds = if with_barriers { 7 } else { 6 };
+    let n = 1 + rng.index(max_len - 1);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(kinds) as u8,
+                rng.below(32) as u16,
+                rng.below(40) as u16,
+            )
+        })
+        .collect()
+}
+
+fn build_kernel(body: &[RawInstr], trips: u32) -> Kernel {
+    let mut b = KernelBuilder::new("prop-ff").begin_loop(trips);
+    for &(kind, dst, src) in body {
+        let d = 16 + (dst % 64);
+        let s = 8 + (src % 72);
+        b = match kind {
+            0 => b.iadd(d, s, 0),
+            1 => b.imul(d, s, 1),
+            2 => b.fadd(d, s, 2),
+            3 => b.ffma(d, s, 3, 4),
+            4 => b.load_global(100 + (dst % 32)),
+            5 => b.sfu(d, s),
+            _ => b.barrier(),
+        };
+    }
+    b.end_loop().store_global(0).build()
+}
+
+/// Runs one configuration with the fast-forward clock either enabled or
+/// forced off. Everything else is identical.
+fn run(
+    launch: LaunchConfig,
+    technique: Technique,
+    max_cycles: u64,
+    fast_forward: bool,
+    observer: Option<Box<dyn CycleObserver>>,
+) -> SmOutcome {
+    let mut cfg = SmConfig::small_for_tests();
+    cfg.max_cycles = max_cycles;
+    cfg.fast_forward = fast_forward;
+    let mut sm = Sm::new(
+        cfg,
+        launch,
+        technique.make_scheduler(),
+        technique.make_gating(GatingParams::default()),
+    );
+    if let Some(obs) = observer {
+        sm.set_observer(obs);
+    }
+    sm.run()
+}
+
+/// Strips the fast-forward diagnostic counters, which are the one
+/// intentional difference between the two clocks.
+fn comparable(stats: &SimStats) -> SimStats {
+    let mut s = stats.clone();
+    s.fast_forward_spans = 0;
+    s.fast_forwarded_cycles = 0;
+    s
+}
+
+/// Returns the number of cycles the enabled run skipped, so callers can
+/// assert the property suite is not vacuously passing on unskippable
+/// workloads.
+fn assert_bit_equal(launch: LaunchConfig, technique: Technique, max_cycles: u64) -> u64 {
+    let fast = run(launch.clone(), technique, max_cycles, true, None);
+    let slow = run(launch, technique, max_cycles, false, None);
+    assert_eq!(
+        slow.stats.fast_forward_spans, 0,
+        "disabled clock must not skip"
+    );
+    assert_eq!(slow.stats.fast_forwarded_cycles, 0);
+    assert_eq!(
+        fast.timed_out, slow.timed_out,
+        "{technique}: timeout flag diverges"
+    );
+    assert_eq!(
+        comparable(&fast.stats),
+        comparable(&slow.stats),
+        "{technique}: SimStats diverge"
+    );
+    assert_eq!(
+        fast.gating, slow.gating,
+        "{technique}: GatingReport diverges"
+    );
+    fast.stats.fast_forwarded_cycles
+}
+
+#[test]
+fn all_techniques_are_bit_equal_on_random_kernels() {
+    let mut rng = SplitMix64::new(0xff_0001);
+    let mut skipped = 0u64;
+    for case in 0..8 {
+        let with_barriers = case % 2 == 0;
+        let body = random_body(&mut rng, 18, with_barriers);
+        let trips = 1 + rng.below(14) as u32;
+        let warps = 1 + rng.below(7) as u32;
+        let kernel = build_kernel(&body, trips);
+        let launch = LaunchConfig::new(kernel.clone(), warps).with_block_warps(4);
+        for technique in Technique::ALL {
+            skipped += assert_bit_equal(launch.clone(), technique, 2_000_000);
+        }
+    }
+    assert!(
+        skipped > 0,
+        "the suite must actually exercise the fast-forward path"
+    );
+}
+
+#[test]
+fn timeouts_hit_the_same_cycle_either_way() {
+    // Caps chosen to land mid-run — including mid-stall, where the
+    // fast-forward span must clip to the horizon rather than overshoot.
+    let mut rng = SplitMix64::new(0xff_0002);
+    for _ in 0..5 {
+        let body = random_body(&mut rng, 16, true);
+        let trips = 20 + rng.below(30) as u32;
+        let warps = 2 + rng.below(5) as u32;
+        let cap = 150 + rng.below(1200);
+        let kernel = build_kernel(&body, trips);
+        let launch = LaunchConfig::new(kernel.clone(), warps).with_block_warps(4);
+        for technique in [Technique::ConvPg, Technique::WarpedGates] {
+            let _ = assert_bit_equal(launch.clone(), technique, cap);
+        }
+    }
+}
+
+#[test]
+fn barrier_wave_and_stagger_launches_are_bit_equal() {
+    // Block refills, wave barriers, and staggered launches are exactly
+    // the events a skipped span must never jump across: a barrier
+    // release can finish a warp (and trigger a refill) with no event in
+    // the ring.
+    let mut rng = SplitMix64::new(0xff_0003);
+    for _ in 0..5 {
+        let body = random_body(&mut rng, 12, true);
+        let trips = 1 + rng.below(9) as u32;
+        let kernel = build_kernel(&body, trips);
+        let launches = [
+            LaunchConfig::new(kernel.clone(), 8).with_block_warps(2),
+            LaunchConfig::new(kernel.clone(), 6)
+                .with_block_warps(2)
+                .with_waves(2),
+            LaunchConfig::new(kernel.clone(), 6)
+                .with_block_warps(3)
+                .with_stagger(3),
+        ];
+        for launch in launches {
+            for technique in [
+                Technique::Baseline,
+                Technique::NaiveBlackout,
+                Technique::WarpedGates,
+            ] {
+                let _ = assert_bit_equal(launch.clone(), technique, 2_000_000);
+            }
+        }
+    }
+}
+
+#[test]
+fn observers_see_identical_streams_under_skipping() {
+    // The energy timeline (span-integrating observer) and the
+    // utilization trace (span-expanding observer) must end up in the
+    // same state whether cycles were stepped or skipped.
+    let mut rng = SplitMix64::new(0xff_0004);
+    for _ in 0..4 {
+        let body = random_body(&mut rng, 14, true);
+        let trips = 1 + rng.below(9) as u32;
+        let warps = 2 + rng.below(5) as u32;
+        let kernel = build_kernel(&body, trips);
+        let launch = LaunchConfig::new(kernel.clone(), warps).with_block_warps(4);
+        for technique in [Technique::ConvPg, Technique::CoordinatedBlackout] {
+            let params = GatingParams::default();
+            let mk_timeline = || {
+                Rc::new(RefCell::new(EnergyTimeline::new(
+                    PowerParams::default(),
+                    DomainLayout::fermi(),
+                    params.bet,
+                    500,
+                )))
+            };
+            let mk_trace = || Rc::new(RefCell::new(UtilizationTrace::new(4000)));
+
+            let tl_fast = mk_timeline();
+            let tl_slow = mk_timeline();
+            let tr_fast = mk_trace();
+            let tr_slow = mk_trace();
+            let fast = run(
+                launch.clone(),
+                technique,
+                2_000_000,
+                true,
+                Some(Box::new(Pair(tl_fast.clone(), tr_fast.clone()))),
+            );
+            let slow = run(
+                launch.clone(),
+                technique,
+                2_000_000,
+                false,
+                Some(Box::new(Pair(tl_slow.clone(), tr_slow.clone()))),
+            );
+            assert_eq!(comparable(&fast.stats), comparable(&slow.stats));
+
+            let (tf, ts) = (tl_fast.borrow(), tl_slow.borrow());
+            assert_eq!(
+                tf.epochs(),
+                ts.epochs(),
+                "{technique}: epoch series diverge"
+            );
+            for unit in warped_gates_repro::isa::UnitType::ALL {
+                assert_eq!(
+                    tf.current_epoch(unit),
+                    ts.current_epoch(unit),
+                    "{technique}: open epoch diverges"
+                );
+            }
+            let (wf, ws) = (tr_fast.borrow(), tr_slow.borrow());
+            assert_eq!(wf.samples(), ws.samples(), "{technique}: waveforms diverge");
+        }
+    }
+}
