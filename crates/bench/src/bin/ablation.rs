@@ -9,7 +9,7 @@ use warped_gates::{CoordinatedBlackoutPolicy, GatesScheduler, Technique};
 use warped_gating::{Controller, GatingParams, StaticIdleDetect};
 use warped_isa::UnitType;
 use warped_power::PowerParams;
-use warped_sim::parallel::{par_map, worker_count};
+use warped_sim::parallel::par_map;
 use warped_sim::summary::{geomean, mean};
 use warped_sim::Sm;
 use warped_workloads::Benchmark;
@@ -24,7 +24,7 @@ fn evaluate(
     make: impl Fn() -> GatesScheduler + Sync,
 ) -> (f64, f64) {
     let power = PowerParams::default();
-    let outs = par_map(Benchmark::ALL.len(), worker_count(), |i| {
+    let outs = par_map(Benchmark::ALL.len(), warped_bench::workers_or_exit(), |i| {
         let b = Benchmark::ALL[i];
         let spec = b.spec().scaled(scale);
         let out = Sm::new(

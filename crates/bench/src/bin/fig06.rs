@@ -11,7 +11,7 @@ use warped_bench::{print_table, scale_from_args, RunGrid};
 use warped_gates::{Experiment, Technique};
 use warped_gating::GatingParams;
 use warped_isa::UnitType;
-use warped_sim::parallel::{par_map, worker_count};
+use warped_sim::parallel::par_map;
 use warped_sim::summary::pearson;
 use warped_workloads::Benchmark;
 
@@ -29,9 +29,9 @@ fn main() {
     let n_points = Benchmark::ALL.len() * IDLE_DETECTS;
     eprintln!(
         "running {n_points} sweep points on {} workers",
-        worker_count()
+        warped_bench::workers_or_exit()
     );
-    let points = par_map(n_points, worker_count(), |i| {
+    let points = par_map(n_points, warped_bench::workers_or_exit(), |i| {
         let b = Benchmark::ALL[i / IDLE_DETECTS];
         let idle_detect = (i % IDLE_DETECTS) as u32;
         let params = GatingParams::with_idle_detect(idle_detect);

@@ -11,7 +11,7 @@ use warped_gates::Technique;
 use warped_gating::{GatingParams, SmCoarseGating};
 use warped_isa::UnitType;
 use warped_power::PowerParams;
-use warped_sim::parallel::{par_map, worker_count};
+use warped_sim::parallel::par_map;
 use warped_sim::summary::{geomean, mean};
 use warped_sim::Sm;
 use warped_workloads::Benchmark;
@@ -30,7 +30,7 @@ fn main() {
             Technique::WarpedGates,
         ],
     );
-    let coarse_outs = par_map(Benchmark::ALL.len(), worker_count(), |i| {
+    let coarse_outs = par_map(Benchmark::ALL.len(), warped_bench::workers_or_exit(), |i| {
         let b = Benchmark::ALL[i];
         let spec = b.spec().scaled(scale);
         let out = Sm::new(

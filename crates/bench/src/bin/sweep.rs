@@ -1,114 +1,162 @@
-//! Full-grid sweep: every benchmark × every technique, fanned across
-//! the worker pool, with per-job wall-clock timing.
+//! Full-grid sweep: every benchmark × every technique through the
+//! fault-tolerant engine ([`warped_bench::sweep`]).
 //!
-//! This is the perf-trajectory harness for the parallel experiment
-//! engine: it prints each job's own runtime, the total wall-clock of the
-//! whole grid, and the aggregate speedup (sum of per-job times over
-//! wall-clock — the factor the pool actually bought). The table also
-//! lands in `results/bench_grid.json` for regression tracking.
+//! Each completed cell is journaled to `<out-dir>/sweep_journal.jsonl`
+//! the moment it lands, so an interrupted sweep picks up with
+//! `--resume` and produces a bit-identical `<out-dir>/bench_grid.json`.
+//! A cell that panics or trips the `--timeout-secs` watchdog is
+//! isolated: the rest of the grid completes, the failure lands in
+//! `<out-dir>/sweep_failures.json`, and the exit code is 1.
 //!
-//! Usage: `sweep [--scale <f>] [--jobs <n>]` — `--jobs` overrides the
-//! `WARPED_JOBS` env var and the all-cores default.
+//! Usage:
+//! `sweep [--scale <f>] [--jobs <n>] [--resume] [--sanitize]
+//!        [--out-dir <dir>] [--timeout-secs <s>] [--chaos <i,j,...>]`
 
-use std::time::Instant;
-use warped_bench::write_json;
-use warped_gates::runner;
-use warped_gates::Experiment;
-use warped_sim::parallel::worker_count;
+use std::process::ExitCode;
+use warped_bench::sweep::{self, SweepConfig};
+use warped_bench::{exit_usage, workers_or_exit, ArgError};
 
-fn usage() -> ! {
-    panic!("usage: sweep [--scale <f in (0,1]>] [--jobs <n >= 1>]")
-}
+const USAGE: &str = "[--scale <f in (0,1]>] [--jobs <n >= 1>] [--resume] [--sanitize] \
+[--out-dir <dir>] [--timeout-secs <s > 0>] [--chaos <i,j,...>]";
 
-fn parse_args() -> (f64, usize) {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = 1.0;
-    let mut jobs = worker_count();
-    let mut i = 1;
+fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
+    let mut config = SweepConfig::new("results", workers_or_exit());
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, ArgError> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| ArgError::MissingValue(flag.to_owned()))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                let v = args.get(i + 1).unwrap_or_else(|| usage());
-                scale = v.parse().unwrap_or_else(|_| usage());
+                let v = value(args, i, "--scale")?;
+                let bad = || ArgError::BadValue {
+                    flag: "--scale".to_owned(),
+                    value: v.clone(),
+                    expected: "a number in (0,1]",
+                };
+                let scale: f64 = v.parse().map_err(|_| bad())?;
                 if !(scale > 0.0 && scale <= 1.0) {
-                    usage();
+                    return Err(bad());
                 }
+                config.scale = scale;
                 i += 2;
             }
             "--jobs" => {
-                let v = args.get(i + 1).unwrap_or_else(|| usage());
-                jobs = v.parse().unwrap_or_else(|_| usage());
-                if jobs == 0 {
-                    usage();
+                let v = value(args, i, "--jobs")?;
+                let workers: usize = v.parse().map_err(|_| ArgError::BadValue {
+                    flag: "--jobs".to_owned(),
+                    value: v.clone(),
+                    expected: "a positive integer",
+                })?;
+                if workers == 0 {
+                    return Err(ArgError::BadValue {
+                        flag: "--jobs".to_owned(),
+                        value: v,
+                        expected: "a positive integer",
+                    });
                 }
+                config.workers = workers;
                 i += 2;
             }
-            _ => usage(),
+            "--resume" => {
+                config.resume = true;
+                i += 1;
+            }
+            "--sanitize" => {
+                config.sanitize = true;
+                i += 1;
+            }
+            "--out-dir" => {
+                config.out_dir = value(args, i, "--out-dir")?.into();
+                i += 2;
+            }
+            "--timeout-secs" => {
+                let v = value(args, i, "--timeout-secs")?;
+                let secs: f64 = v.parse().map_err(|_| ArgError::BadValue {
+                    flag: "--timeout-secs".to_owned(),
+                    value: v.clone(),
+                    expected: "a positive number of seconds",
+                })?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err(ArgError::BadValue {
+                        flag: "--timeout-secs".to_owned(),
+                        value: v,
+                        expected: "a positive number of seconds",
+                    });
+                }
+                config.job_timeout = Some(std::time::Duration::from_secs_f64(secs));
+                i += 2;
+            }
+            "--chaos" => {
+                let v = value(args, i, "--chaos")?;
+                config.chaos = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<usize>().map_err(|_| ArgError::BadValue {
+                            flag: "--chaos".to_owned(),
+                            value: v.clone(),
+                            expected: "comma-separated grid indices",
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            other => return Err(ArgError::Unknown(other.to_owned())),
         }
     }
-    (scale, jobs)
+    Ok(config)
 }
 
-fn main() {
-    let (scale, workers) = parse_args();
-    let experiment = Experiment::paper_defaults().with_scale(scale);
-    let grid = runner::full_grid();
-    println!(
-        "sweep: {} jobs (18 benchmarks x 6 techniques), scale {scale}, {workers} workers",
-        grid.len()
-    );
-
-    let wall_start = Instant::now();
-    let timed = runner::run_grid_timed(&experiment, &grid, workers);
-    let wall = wall_start.elapsed();
-
-    let mut rows = Vec::new();
-    let mut cpu_total = 0.0f64;
-    let mut ff_total = 0u64;
-    for ((spec, technique), t) in grid.iter().zip(&timed) {
-        let secs = t.elapsed.as_secs_f64();
-        cpu_total += secs;
-        let ff = t.run.stats.fast_forwarded_cycles;
-        ff_total += ff;
-        assert!(!t.run.timed_out, "{}/{technique} timed out", spec.name);
-        println!(
-            "  {:<14} {:<22} {:>12} cycles  {:>9.3}s  {:>12} skipped",
-            spec.name,
-            technique.name(),
-            t.run.cycles,
-            secs,
-            ff
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = parse_args(&args).unwrap_or_else(|e| exit_usage(&e, USAGE));
+    if config.chaos.iter().any(|&i| i >= 108) {
+        exit_usage(
+            &ArgError::BadValue {
+                flag: "--chaos".to_owned(),
+                value: format!("{:?}", config.chaos),
+                expected: "indices below 108 (18 benchmarks x 6 techniques)",
+            },
+            USAGE,
         );
-        rows.push((
-            format!("{}/{}", spec.name, technique.name()),
-            vec![t.run.cycles as f64, secs, ff as f64],
-        ));
     }
 
-    // Summed per-job time over wall-clock. Per-job clocks include time
-    // a descheduled worker spends waiting for a core, so this equals
-    // the true core speedup only when workers <= physical cores; above
-    // that it measures pool concurrency.
-    let speedup = cpu_total / wall.as_secs_f64();
     println!(
-        "\ntotal: {:.3}s wall-clock, {:.3}s summed job time, {:.2}x grid speedup on {} workers, {ff_total} cycles fast-forwarded",
-        wall.as_secs_f64(),
-        cpu_total,
-        speedup,
-        workers
+        "sweep: full grid at scale {}, {} workers{}{}",
+        config.scale,
+        config.workers,
+        if config.sanitize { ", sanitized" } else { "" },
+        if config.resume { ", resuming" } else { "" },
     );
-    rows.push((
-        "TOTAL (wall_s, cpu_s, ff_cycles)".to_owned(),
-        vec![wall.as_secs_f64(), cpu_total, ff_total as f64],
-    ));
 
-    match write_json(
-        "results",
-        "bench grid",
-        &["cycles", "seconds", "ff_cycles"],
-        &rows,
-    ) {
-        Ok(()) => println!("wrote results/bench_grid.json"),
-        Err(e) => eprintln!("warning: could not write results/bench_grid.json: {e}"),
+    let summary = match sweep::run(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep: I/O error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "sweep: {} cells ({} reused from journal, {} run), {} failed",
+        summary.total,
+        summary.reused,
+        summary.ran,
+        summary.failures.len()
+    );
+    println!("wrote {}", config.out_dir.join("bench_grid.json").display());
+    if summary.ok() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &summary.failures {
+            eprintln!("sweep: cell {} ({}) failed: {}", f.index, f.label, f.reason);
+        }
+        eprintln!(
+            "sweep: failure manifest at {}",
+            sweep::manifest_path(&config.out_dir).display()
+        );
+        ExitCode::FAILURE
     }
 }

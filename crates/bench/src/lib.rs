@@ -13,42 +13,130 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
+pub mod sweep;
 pub mod timing;
 
 use std::collections::BTreeMap;
 use warped_gates::{runner, Experiment, Technique, TechniqueRun};
-use warped_sim::parallel::worker_count;
+use warped_sim::parallel::try_worker_count;
 use warped_workloads::Benchmark;
 
-/// Parses `--scale <f>` from the command line (default 1.0).
+/// A malformed command line, as every binary in this crate reports it:
+/// the error plus a usage line on stderr, exit code 2 — never an
+/// unwinding panic with a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag was given without its required value.
+    MissingValue(String),
+    /// A flag's value failed to parse or fell outside its range.
+    BadValue {
+        /// The flag (or environment variable) at fault.
+        flag: String,
+        /// The offending value as given.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
+    /// An argument no binary recognises.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} value '{value}' is invalid (expected {expected})"),
+            ArgError::Unknown(arg) => write!(f, "unknown argument '{arg}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `--scale <f>` from an argument list (default 1.0).
 ///
-/// All figure binaries accept it so that a fast smoke run
-/// (`--scale 0.1`) and the full-size experiment use the same code path.
+/// # Errors
 ///
-/// # Panics
-///
-/// Panics with a usage message on malformed arguments.
-#[must_use]
-pub fn scale_from_args() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
+/// Returns an [`ArgError`] for a missing value, a non-numeric or
+/// out-of-range scale, or any unrecognised argument.
+pub fn parse_scale_args(args: &[String]) -> Result<f64, ArgError> {
     let mut scale = 1.0;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 let v = args
                     .get(i + 1)
-                    .unwrap_or_else(|| panic!("--scale needs a value"));
-                scale = v
-                    .parse::<f64>()
-                    .unwrap_or_else(|_| panic!("--scale value '{v}' is not a number"));
-                assert!(scale > 0.0 && scale <= 1.0, "--scale must be in (0,1]");
+                    .ok_or_else(|| ArgError::MissingValue("--scale".to_owned()))?;
+                scale = v.parse::<f64>().map_err(|_| ArgError::BadValue {
+                    flag: "--scale".to_owned(),
+                    value: v.clone(),
+                    expected: "a number in (0,1]",
+                })?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(ArgError::BadValue {
+                        flag: "--scale".to_owned(),
+                        value: v.clone(),
+                        expected: "a number in (0,1]",
+                    });
+                }
                 i += 2;
             }
-            other => panic!("unknown argument '{other}' (supported: --scale <f>)"),
+            other => return Err(ArgError::Unknown(other.to_owned())),
         }
     }
-    scale
+    Ok(scale)
+}
+
+/// Parses `--scale <f>` from the command line (default 1.0).
+///
+/// All figure binaries accept it so that a fast smoke run
+/// (`--scale 0.1`) and the full-size experiment use the same code path.
+/// On a malformed command line this prints the error plus usage to
+/// stderr and exits with code 2.
+#[must_use]
+pub fn scale_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_scale_args(&args).unwrap_or_else(|e| exit_usage(&e, "[--scale <f in (0,1]>]"))
+}
+
+/// Reports a command-line error the way every binary here does: the
+/// error and a usage line on stderr, then exit code 2.
+pub fn exit_usage(err: &ArgError, usage: &str) -> ! {
+    let bin = std::env::args()
+        .next()
+        .map(|p| {
+            std::path::Path::new(&p)
+                .file_name()
+                .map_or_else(|| p.clone(), |n| n.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_owned());
+    eprintln!("{bin}: {err}");
+    eprintln!("usage: {bin} {usage}");
+    std::process::exit(2)
+}
+
+/// The effective worker count, like
+/// [`warped_sim::parallel::worker_count`] but reporting a malformed
+/// `WARPED_JOBS` as a proper CLI error (stderr + exit 2) instead of a
+/// panic backtrace.
+#[must_use]
+pub fn workers_or_exit() -> usize {
+    try_worker_count().unwrap_or_else(|e| {
+        exit_usage(
+            &ArgError::BadValue {
+                flag: "WARPED_JOBS".to_owned(),
+                value: e,
+                expected: "a positive integer",
+            },
+            "(set WARPED_JOBS to a positive integer or unset it)",
+        )
+    })
 }
 
 /// Prints a fixed-width table: a label column plus numeric columns.
@@ -83,12 +171,16 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[(String, Vec<f64>)]) {
 /// The format is deliberately simple:
 /// `{"title": ..., "headers": [...], "rows": [{"label": ..., "values": [...]}]}`.
 ///
+/// The write is atomic: the table lands in `<slug>.json.tmp` first and
+/// is renamed into place, so a crash mid-write never leaves a truncated
+/// `<slug>.json` behind.
+///
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the
 /// file.
 pub fn write_json(
-    dir: &str,
+    dir: impl AsRef<std::path::Path>,
     title: &str,
     headers: &[&str],
     rows: &[(String, Vec<f64>)],
@@ -153,8 +245,11 @@ pub fn write_json(
     }
     out.push_str("]}\n");
 
+    let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
-    std::fs::write(std::path::Path::new(dir).join(format!("{slug}.json")), out)
+    let tmp = dir.join(format!("{slug}.json.tmp"));
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, dir.join(format!("{slug}.json")))
 }
 
 /// A cached grid of runs over the 18 benchmarks and the requested
@@ -178,14 +273,14 @@ impl RunGrid {
     #[must_use]
     pub fn collect_with(experiment: Experiment, techniques: &[Technique]) -> Self {
         let jobs = runner::grid_of(&Benchmark::ALL, techniques);
+        let workers = workers_or_exit();
         eprintln!(
-            "running {} jobs ({} benchmarks x {} techniques) on {} workers",
+            "running {} jobs ({} benchmarks x {} techniques) on {workers} workers",
             jobs.len(),
             Benchmark::ALL.len(),
             techniques.len(),
-            worker_count()
         );
-        let results = runner::run_grid(&experiment, &jobs);
+        let results = runner::run_grid_with(&experiment, &jobs, workers);
         let mut runs = BTreeMap::new();
         let keys = Benchmark::ALL
             .iter()
@@ -250,6 +345,49 @@ mod tests {
         assert!(text.contains("\"label\":\"hotspot\""));
         assert!(text.contains("null"), "NaN becomes null");
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_scale_args_defaults_and_parses() {
+        assert_eq!(parse_scale_args(&[]), Ok(1.0));
+        let args = vec!["--scale".to_owned(), "0.25".to_owned()];
+        assert_eq!(parse_scale_args(&args), Ok(0.25));
+    }
+
+    #[test]
+    fn parse_scale_args_rejects_bad_input_without_panicking() {
+        let missing = parse_scale_args(&["--scale".to_owned()]);
+        assert_eq!(missing, Err(ArgError::MissingValue("--scale".to_owned())));
+
+        let garbage = parse_scale_args(&["--scale".to_owned(), "fast".to_owned()]);
+        assert!(matches!(garbage, Err(ArgError::BadValue { .. })));
+
+        let out_of_range = parse_scale_args(&["--scale".to_owned(), "1.5".to_owned()]);
+        assert!(matches!(out_of_range, Err(ArgError::BadValue { .. })));
+
+        let unknown = parse_scale_args(&["--speed".to_owned()]);
+        assert_eq!(unknown, Err(ArgError::Unknown("--speed".to_owned())));
+    }
+
+    #[test]
+    fn arg_errors_render_for_humans() {
+        let e = ArgError::BadValue {
+            flag: "--scale".to_owned(),
+            value: "two".to_owned(),
+            expected: "a number in (0,1]",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("--scale") && msg.contains("two") && msg.contains("(0,1]"));
+    }
+
+    #[test]
+    fn write_json_leaves_no_temp_file_behind() {
+        let dir = std::env::temp_dir().join("warped_bench_atomic_test");
+        let rows = vec![("row".to_owned(), vec![1.0])];
+        write_json(&dir, "Atomic Check", &["x"], &rows).unwrap();
+        assert!(dir.join("atomic_check.json").exists());
+        assert!(!dir.join("atomic_check.json.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

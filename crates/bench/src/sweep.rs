@@ -1,0 +1,409 @@
+//! The fault-tolerant sweep engine behind the `sweep` binary.
+//!
+//! A sweep runs the full benchmark × technique grid through the
+//! fallible runner ([`warped_gates::runner::run_grid_fallible_with`])
+//! and survives three kinds of trouble:
+//!
+//! * **a panicking cell** — isolated on its worker; every other cell
+//!   completes bit-identically and the failure lands in a manifest;
+//! * **a hung cell** — cut off by the per-job wall-clock watchdog and
+//!   reported as timed out;
+//! * **an interrupted process** — every completed cell was already
+//!   journaled to `sweep_journal.jsonl`, so `resume: true` re-runs only
+//!   the missing cells and merges to a bit-identical `bench_grid.json`.
+//!
+//! Degraded cells are deliberately *not* journaled: on resume they run
+//! again, so a transient failure heals itself.
+
+use crate::journal::{self, JournalEntry};
+use crate::write_json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use warped_gates::runner::{self, GridJob, RunOutcome};
+use warped_gates::Experiment;
+
+/// Everything a sweep needs to know, CLI-independent.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workload scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// Worker-pool size (must be at least 1).
+    pub workers: usize,
+    /// Arm the gating invariant sanitizer inside every run.
+    pub sanitize: bool,
+    /// Reuse journaled cells instead of starting from scratch.
+    pub resume: bool,
+    /// Directory for `bench_grid.json`, the journal, and the failure
+    /// manifest.
+    pub out_dir: PathBuf,
+    /// Per-job wall-clock watchdog.
+    pub job_timeout: Option<std::time::Duration>,
+    /// Grid indices to poison so they panic mid-run (fault-injection
+    /// hook for the chaos tests and `verify.sh`'s chaos smoke).
+    pub chaos: Vec<usize>,
+    /// Suppress per-cell progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl SweepConfig {
+    /// A sweep over `out_dir` with everything else at its default:
+    /// full scale, the given worker count, sanitizer off, no resume,
+    /// no watchdog, no chaos.
+    #[must_use]
+    pub fn new(out_dir: impl Into<PathBuf>, workers: usize) -> Self {
+        SweepConfig {
+            scale: 1.0,
+            workers,
+            sanitize: false,
+            resume: false,
+            out_dir: out_dir.into(),
+            job_timeout: None,
+            chaos: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+/// One grid cell that did not produce a clean result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The cell's index in the full grid.
+    pub index: usize,
+    /// `"{benchmark}/{technique}"`.
+    pub label: String,
+    /// What went wrong, as reported by
+    /// [`RunOutcome::degradation`].
+    pub reason: String,
+}
+
+/// What a sweep accomplished.
+#[derive(Debug)]
+pub struct SweepSummary {
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Cells reused from the journal (resume).
+    pub reused: usize,
+    /// Cells actually executed this run.
+    pub ran: usize,
+    /// Cells that panicked or timed out this run.
+    pub failures: Vec<CellFailure>,
+}
+
+impl SweepSummary {
+    /// True when every cell of the grid completed cleanly.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The row label every sweep artifact keys on.
+#[must_use]
+pub fn cell_label(job: &GridJob) -> String {
+    format!("{}/{}", job.0.name, job.1.name())
+}
+
+/// The journal path inside an output directory.
+#[must_use]
+pub fn journal_path(out_dir: &Path) -> PathBuf {
+    out_dir.join("sweep_journal.jsonl")
+}
+
+/// The failure-manifest path inside an output directory.
+#[must_use]
+pub fn manifest_path(out_dir: &Path) -> PathBuf {
+    out_dir.join("sweep_failures.json")
+}
+
+/// Runs the full 18 × 6 grid under `config`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the journal or output files cannot be
+/// written. Cell-level trouble is *not* an error — it lands in the
+/// summary's `failures`.
+///
+/// # Panics
+///
+/// Panics if a chaos index is outside the grid.
+pub fn run(config: &SweepConfig) -> std::io::Result<SweepSummary> {
+    run_on(config, runner::full_grid())
+}
+
+/// [`run`] on an explicit job list (the tests use tiny grids).
+///
+/// # Errors
+///
+/// Returns an I/O error if the journal or output files cannot be
+/// written.
+///
+/// # Panics
+///
+/// Panics if a chaos index is outside the grid or `workers` is zero.
+pub fn run_on(config: &SweepConfig, mut jobs: Vec<GridJob>) -> std::io::Result<SweepSummary> {
+    let labels: Vec<String> = jobs.iter().map(cell_label).collect();
+    let total = jobs.len();
+    for &i in &config.chaos {
+        assert!(i < total, "chaos index {i} outside the {total}-cell grid");
+        // An out-of-range hit rate fails MemoryConfig validation inside
+        // the run, so the injected panic travels the real code path.
+        jobs[i].0.l1_hit_rate = 2.0;
+    }
+
+    std::fs::create_dir_all(&config.out_dir)?;
+    let journal_file = journal_path(&config.out_dir);
+    let mut done: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+    if config.resume {
+        for entry in journal::load(&journal_file)? {
+            // Ignore entries from a different grid shape or labeling.
+            if labels.get(entry.index) == Some(&entry.label) {
+                done.insert(entry.index, entry);
+            }
+        }
+    } else {
+        match std::fs::remove_file(&journal_file) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let pending: Vec<usize> = (0..total).filter(|i| !done.contains_key(i)).collect();
+    let pending_jobs: Vec<GridJob> = pending.iter().map(|&i| jobs[i].clone()).collect();
+    if !config.quiet {
+        eprintln!(
+            "sweep: {total} cells, {} journaled, {} to run on {} workers",
+            done.len(),
+            pending.len(),
+            config.workers
+        );
+    }
+
+    let experiment = Experiment::paper_defaults()
+        .with_scale(config.scale)
+        .with_sanitize(config.sanitize)
+        .with_job_timeout(config.job_timeout);
+
+    let sink = Mutex::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_file)?,
+    );
+    let outcomes = runner::run_grid_fallible_with(
+        &experiment,
+        &pending_jobs,
+        config.workers,
+        |local, outcome| {
+            let global = pending[local];
+            // Only clean cells are durable; degraded ones re-run on
+            // resume.
+            if let RunOutcome::Ok(timed) = outcome {
+                let entry = JournalEntry {
+                    index: global,
+                    label: labels[global].clone(),
+                    cycles: timed.run.cycles,
+                    ff_cycles: timed.run.stats.fast_forwarded_cycles,
+                };
+                let mut file = sink.lock().expect("journal writer poisoned");
+                if let Err(e) = entry.append(&mut file) {
+                    eprintln!("warning: could not journal cell {global}: {e}");
+                }
+            }
+            if !config.quiet {
+                match outcome {
+                    RunOutcome::Ok(t) => eprintln!(
+                        "  {:<38} {:>12} cycles  {:>9.3}s",
+                        labels[global],
+                        t.run.cycles,
+                        t.elapsed.as_secs_f64()
+                    ),
+                    degraded => eprintln!(
+                        "  {:<38} FAILED: {}",
+                        labels[global],
+                        degraded.degradation().unwrap_or_default()
+                    ),
+                }
+            }
+        },
+    );
+
+    let mut failures = Vec::new();
+    for (local, outcome) in outcomes.into_iter().enumerate() {
+        let global = pending[local];
+        match outcome {
+            RunOutcome::Ok(timed) => {
+                done.insert(
+                    global,
+                    JournalEntry {
+                        index: global,
+                        label: labels[global].clone(),
+                        cycles: timed.run.cycles,
+                        ff_cycles: timed.run.stats.fast_forwarded_cycles,
+                    },
+                );
+            }
+            degraded => failures.push(CellFailure {
+                index: global,
+                label: labels[global].clone(),
+                reason: degraded.degradation().unwrap_or_default(),
+            }),
+        }
+    }
+
+    // The merged grid: journal-reused and freshly-run cells in global
+    // index order, so a resumed sweep is bit-identical to an
+    // uninterrupted one. Failed cells have no row.
+    let rows: Vec<(String, Vec<f64>)> = done
+        .values()
+        .map(|e| (e.label.clone(), vec![e.cycles as f64, e.ff_cycles as f64]))
+        .collect();
+    write_json(
+        &config.out_dir,
+        "bench grid",
+        &["cycles", "ff_cycles"],
+        &rows,
+    )?;
+
+    let manifest = manifest_path(&config.out_dir);
+    if failures.is_empty() {
+        match std::fs::remove_file(&manifest) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    } else {
+        write_manifest(&manifest, &failures)?;
+    }
+
+    Ok(SweepSummary {
+        total,
+        reused: total - pending.len(),
+        ran: pending.len(),
+        failures,
+    })
+}
+
+/// Writes the failure manifest atomically (temp file + rename).
+fn write_manifest(path: &Path, failures: &[CellFailure]) -> std::io::Result<()> {
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    let mut out = String::from("{\"failures\":[");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"index\":{},\"label\":\"{}\",\"reason\":\"{}\"}}",
+            f.index,
+            escape(&f.label),
+            escape(&f.reason)
+        ));
+    }
+    out.push_str("]}\n");
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_gates::Technique;
+    use warped_workloads::Benchmark;
+
+    fn tiny_config(dir: &str) -> SweepConfig {
+        let out = std::env::temp_dir().join(dir);
+        std::fs::remove_dir_all(&out).ok();
+        SweepConfig {
+            scale: 0.05,
+            quiet: true,
+            ..SweepConfig::new(out, 2)
+        }
+    }
+
+    fn tiny_grid() -> Vec<GridJob> {
+        runner::grid_of(
+            &[Benchmark::Hotspot, Benchmark::Srad],
+            &[Technique::Baseline, Technique::WarpedGates],
+        )
+    }
+
+    #[test]
+    fn clean_sweep_journals_every_cell_and_writes_the_grid() {
+        let config = tiny_config("warped_sweep_clean_test");
+        let summary = run_on(&config, tiny_grid()).unwrap();
+        assert!(summary.ok());
+        assert_eq!((summary.total, summary.reused, summary.ran), (4, 0, 4));
+        let entries = journal::load(&journal_path(&config.out_dir)).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert!(config.out_dir.join("bench_grid.json").exists());
+        assert!(!manifest_path(&config.out_dir).exists());
+        std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    fn chaos_cell_fails_alone_and_lands_in_the_manifest() {
+        let mut config = tiny_config("warped_sweep_chaos_test");
+        config.chaos = vec![1];
+        let summary = run_on(&config, tiny_grid()).unwrap();
+        assert!(!summary.ok());
+        assert_eq!(summary.failures.len(), 1);
+        assert_eq!(summary.failures[0].index, 1);
+        assert!(
+            summary.failures[0].reason.contains("l1_hit_rate"),
+            "reason: {}",
+            summary.failures[0].reason
+        );
+        let manifest = std::fs::read_to_string(manifest_path(&config.out_dir)).unwrap();
+        assert!(manifest.contains("l1_hit_rate"));
+        // The other three cells completed and were journaled.
+        assert_eq!(
+            journal::load(&journal_path(&config.out_dir)).unwrap().len(),
+            3
+        );
+        std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    fn resume_reuses_the_journal_and_merges_bit_identically() {
+        let config = tiny_config("warped_sweep_resume_test");
+        let jobs = tiny_grid();
+        let clean = run_on(&config, jobs.clone()).unwrap();
+        assert!(clean.ok());
+        let reference = std::fs::read(config.out_dir.join("bench_grid.json")).unwrap();
+
+        // Forge an interruption: drop the last two journal lines.
+        let jpath = journal_path(&config.out_dir);
+        let text = std::fs::read_to_string(&jpath).unwrap();
+        let kept: Vec<&str> = text.lines().take(2).collect();
+        std::fs::write(&jpath, format!("{}\n", kept.join("\n"))).unwrap();
+
+        let mut resumed_config = config.clone();
+        resumed_config.resume = true;
+        let resumed = run_on(&resumed_config, jobs).unwrap();
+        assert!(resumed.ok());
+        assert_eq!((resumed.reused, resumed.ran), (2, 2));
+        let merged = std::fs::read(config.out_dir.join("bench_grid.json")).unwrap();
+        assert_eq!(merged, reference, "resume must be bit-identical");
+        std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn chaos_index_must_be_in_the_grid() {
+        let mut config = tiny_config("warped_sweep_chaos_oob_test");
+        config.chaos = vec![99];
+        let _ = run_on(&config, tiny_grid());
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end checks of the fault-tolerant sweep engine and binary:
+//! injected panics are isolated, interrupted sweeps resume
+//! bit-identically, hung cells are cut off by the watchdog, and the
+//! `sweep` binary speaks the documented exit-code protocol
+//! (0 clean / 1 degraded grid / 2 bad command line).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+use warped_bench::journal::{self, JournalEntry};
+use warped_bench::sweep::{self, SweepConfig};
+use warped_gates::runner;
+use warped_gates::Technique;
+use warped_workloads::Benchmark;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn by_index(entries: Vec<JournalEntry>) -> BTreeMap<usize, JournalEntry> {
+    entries.into_iter().map(|e| (e.index, e)).collect()
+}
+
+#[test]
+fn injected_panic_spares_the_rest_of_the_full_grid_bit_identically() {
+    let clean_dir = fresh_dir("warped_ft_full_clean");
+    let chaos_dir = fresh_dir("warped_ft_full_chaos");
+    let scale = 0.05;
+    const VICTIM: usize = 7;
+
+    let mut clean = SweepConfig::new(&clean_dir, 4);
+    clean.scale = scale;
+    clean.quiet = true;
+    let clean_summary = sweep::run(&clean).unwrap();
+    assert!(clean_summary.ok());
+    assert_eq!(clean_summary.total, 108);
+
+    let mut chaos = clean.clone();
+    chaos.out_dir = chaos_dir.clone();
+    chaos.chaos = vec![VICTIM];
+    let chaos_summary = sweep::run(&chaos).unwrap();
+    assert!(!chaos_summary.ok());
+    assert_eq!(chaos_summary.failures.len(), 1);
+    assert_eq!(chaos_summary.failures[0].index, VICTIM);
+    assert!(
+        chaos_summary.failures[0].reason.contains("l1_hit_rate"),
+        "reason: {}",
+        chaos_summary.failures[0].reason
+    );
+
+    // Every surviving cell's journaled result is bit-identical to the
+    // clean sweep's; only the victim is missing.
+    let mut clean_cells = by_index(journal::load(&sweep::journal_path(&clean_dir)).unwrap());
+    let chaos_cells = by_index(journal::load(&sweep::journal_path(&chaos_dir)).unwrap());
+    assert!(clean_cells.remove(&VICTIM).is_some());
+    assert_eq!(chaos_cells, clean_cells);
+
+    assert!(sweep::manifest_path(&chaos_dir).exists());
+    assert!(!sweep::manifest_path(&clean_dir).exists());
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&chaos_dir).ok();
+}
+
+#[test]
+fn watchdog_degrades_hung_cells_instead_of_hanging_the_sweep() {
+    let dir = fresh_dir("warped_ft_watchdog");
+    let mut config = SweepConfig::new(&dir, 2);
+    config.scale = 0.05;
+    config.quiet = true;
+    // A zero budget trips the watchdog on the first check, making every
+    // cell deterministically "hung".
+    config.job_timeout = Some(Duration::ZERO);
+    let jobs = runner::grid_of(
+        &[Benchmark::Hotspot, Benchmark::Srad],
+        &[Technique::Baseline, Technique::WarpedGates],
+    );
+    let summary = sweep::run_on(&config, jobs).unwrap();
+    assert_eq!(summary.failures.len(), 4, "every cell must time out");
+    for f in &summary.failures {
+        assert!(f.reason.contains("timed out"), "reason: {}", f.reason);
+    }
+    // Degraded cells are not journaled: a resume re-runs all of them.
+    assert_eq!(journal::load(&sweep::journal_path(&dir)).unwrap(), vec![]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_binary_speaks_the_exit_code_protocol_and_self_heals() {
+    let dir = fresh_dir("warped_ft_binary");
+    let bin = env!("CARGO_BIN_EXE_sweep");
+
+    // Exit 2 + usage on a malformed command line.
+    let bad = Command::new(bin)
+        .args(["--scale", "fast"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+
+    // Exit 1 + manifest when a cell is poisoned; the other 107 land.
+    let chaos = Command::new(bin)
+        .args(["--scale", "0.02", "--jobs", "4", "--chaos", "5"])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(chaos.status.code(), Some(1));
+    assert!(sweep::manifest_path(&dir).exists());
+    assert_eq!(
+        journal::load(&sweep::journal_path(&dir)).unwrap().len(),
+        107
+    );
+
+    // Exit 0 on resume without the poison: only the victim re-runs and
+    // the grid completes.
+    let healed = Command::new(bin)
+        .args(["--scale", "0.02", "--jobs", "4", "--resume"])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(healed.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&healed.stdout);
+    assert!(
+        stdout.contains("107 reused from journal, 1 run"),
+        "stdout: {stdout}"
+    );
+    assert!(!sweep::manifest_path(&dir).exists(), "manifest cleared");
+    assert_eq!(
+        journal::load(&sweep::journal_path(&dir)).unwrap().len(),
+        108
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

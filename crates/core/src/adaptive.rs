@@ -125,6 +125,10 @@ impl IdleDetectTuner for AdaptiveIdleDetect {
         self.epoch_len
     }
 
+    fn window_bounds(&self) -> Option<(u32, u32)> {
+        Some(self.bounds())
+    }
+
     fn name(&self) -> &'static str {
         "AdaptiveIdleDetect"
     }
@@ -224,6 +228,7 @@ mod tests {
         assert_eq!(t.threshold(), 5);
         assert_eq!(t.bounds(), (5, 10));
         assert_eq!(t.epoch_len(), 1000);
+        assert_eq!(t.window_bounds(), Some((5, 10)));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ready instructions wait for it. SFU and LDST keep the conventional
 //! rules (the paper applies Blackout only to the INT/FP clusters).
 
-use warped_gating::{GateForecast, GatePolicy, PolicyCtx};
+use warped_gating::{GateForecast, GatePolicy, GatingParams, PolicyCtx};
+use warped_sim::DomainId;
 
 /// Naive Blackout: conventional idle-detect entry, break-even-locked
 /// exit, every cluster on its own.
@@ -52,6 +53,16 @@ impl GatePolicy for NaiveBlackoutPolicy {
 
     fn forecast_gate(&self, ctx: &PolicyCtx<'_>) -> GateForecast {
         GateForecast::AtIdleRun(ctx.idle_detect)
+    }
+
+    // Blackout's defining guarantee, machine-checked by the sanitizer:
+    // a gated CUDA-core cluster stays dark for the break-even time.
+    fn wake_floor(&self, domain: DomainId, params: &GatingParams) -> u32 {
+        if domain.is_cuda_core() {
+            params.bet
+        } else {
+            0
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -135,6 +146,16 @@ impl GatePolicy for CoordinatedBlackoutPolicy {
             }
         } else {
             GateForecast::AtIdleRun(ctx.idle_detect)
+        }
+    }
+
+    // Coordination changes gate *entry*, not the blackout exit rule:
+    // the BET floor is identical to Naive Blackout's.
+    fn wake_floor(&self, domain: DomainId, params: &GatingParams) -> u32 {
+        if domain.is_cuda_core() {
+            params.bet
+        } else {
+            0
         }
     }
 
@@ -277,6 +298,20 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn blackout_wake_floor_is_bet_for_cuda_cores_only() {
+        let p = GatingParams::default();
+        let naive = NaiveBlackoutPolicy::new();
+        let coord = CoordinatedBlackoutPolicy::new();
+        for policy in [&naive as &dyn GatePolicy, &coord] {
+            for d in [DomainId::INT0, DomainId::INT1, DomainId::FP0, DomainId::FP1] {
+                assert_eq!(policy.wake_floor(d, &p), p.bet, "{d}");
+            }
+            assert_eq!(policy.wake_floor(DomainId::SFU, &p), 0);
+            assert_eq!(policy.wake_floor(DomainId::LDST, &p), 0);
         }
     }
 

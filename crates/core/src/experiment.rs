@@ -29,6 +29,8 @@ pub struct Experiment {
     scale: f64,
     layout: DomainLayout,
     issue_width: Option<usize>,
+    sanitize: bool,
+    job_timeout: Option<std::time::Duration>,
 }
 
 /// A completed technique run, pairing the report with the spec it ran.
@@ -56,6 +58,8 @@ impl Experiment {
             scale: 1.0,
             layout: DomainLayout::fermi(),
             issue_width: None,
+            sanitize: false,
+            job_timeout: None,
         }
     }
 
@@ -66,11 +70,13 @@ impl Experiment {
         Experiment::new(GatingParams::default())
     }
 
-    /// A heavily scaled-down experiment for fast unit tests.
+    /// A heavily scaled-down experiment for fast unit tests, with the
+    /// gating invariant sanitizer armed.
     #[must_use]
     pub fn quick_for_tests() -> Self {
         Experiment {
             scale: 0.08,
+            sanitize: true,
             ..Experiment::new(GatingParams::default())
         }
     }
@@ -97,10 +103,33 @@ impl Experiment {
         self
     }
 
+    /// Arms or disarms the gating invariant sanitizer for every run
+    /// launched from this experiment (see
+    /// [`SmConfig::sanitize`](warped_sim::SmConfig)).
+    #[must_use]
+    pub fn with_sanitize(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
+    }
+
+    /// Sets a wall-clock watchdog per run: a job exceeding the budget
+    /// stops and reports `timed_out` instead of hanging the grid.
+    #[must_use]
+    pub fn with_job_timeout(mut self, budget: Option<std::time::Duration>) -> Self {
+        self.job_timeout = budget;
+        self
+    }
+
     /// The gating parameters in effect.
     #[must_use]
     pub fn params(&self) -> &GatingParams {
         &self.params
+    }
+
+    /// Whether the gating invariant sanitizer is armed.
+    #[must_use]
+    pub fn sanitize(&self) -> bool {
+        self.sanitize
     }
 
     /// Runs one benchmark under one technique on a single SM.
@@ -120,6 +149,8 @@ impl Experiment {
         if let Some(w) = self.issue_width {
             cfg.issue_width = w;
         }
+        cfg.sanitize = self.sanitize;
+        cfg.wall_clock_budget = self.job_timeout;
         let sm = Sm::new(
             cfg,
             spec.launch(),

@@ -55,5 +55,8 @@ pub use blackout::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
 pub use experiment::{Experiment, TechniqueRun};
 pub use gates::GatesScheduler;
 pub use report::RunReport;
-pub use runner::{full_grid, grid_of, run_grid, run_grid_timed, run_grid_with, GridJob, TimedRun};
+pub use runner::{
+    full_grid, grid_of, run_grid, run_grid_fallible, run_grid_fallible_with, run_grid_timed,
+    run_grid_with, GridJob, RunOutcome, TimedRun,
+};
 pub use technique::Technique;

@@ -22,7 +22,7 @@
 use crate::experiment::{Experiment, TechniqueRun};
 use crate::technique::Technique;
 use std::time::Duration;
-use warped_sim::parallel::{par_map, worker_count};
+use warped_sim::parallel::{par_map, try_par_map, worker_count};
 use warped_workloads::{Benchmark, BenchmarkSpec};
 
 /// One cell of an experiment grid.
@@ -35,6 +35,56 @@ pub struct TimedRun {
     pub run: TechniqueRun,
     /// Wall-clock time of this job alone.
     pub elapsed: Duration,
+}
+
+/// The outcome of one grid cell under the fault-tolerant runner
+/// ([`run_grid_fallible`]): either a clean result, or one of the two
+/// degraded shapes a poisoned cell can take without killing the grid.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The job completed normally.
+    Ok(TimedRun),
+    /// The job panicked on its worker; the grid kept going.
+    Panicked {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// The job hit its cycle cap or wall-clock watchdog and returned a
+    /// partial result (`report.timed_out` is set inside).
+    TimedOut(TimedRun),
+}
+
+impl RunOutcome {
+    /// The run, when the cell produced one (clean or timed out).
+    #[must_use]
+    pub fn timed_run(&self) -> Option<&TimedRun> {
+        match self {
+            RunOutcome::Ok(t) | RunOutcome::TimedOut(t) => Some(t),
+            RunOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the cell degraded (panicked or timed out). A grid with
+    /// any degraded cell should be reported as a failure even though
+    /// the surviving cells are valid.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, RunOutcome::Ok(_))
+    }
+
+    /// A one-line description of how the cell degraded, or `None` for a
+    /// clean cell — the text the failure manifest records.
+    #[must_use]
+    pub fn degradation(&self) -> Option<String> {
+        match self {
+            RunOutcome::Ok(_) => None,
+            RunOutcome::Panicked { message } => Some(format!("panicked: {message}")),
+            RunOutcome::TimedOut(t) => Some(format!(
+                "timed out after {} cycles ({:.1?} wall clock)",
+                t.run.report.cycles, t.elapsed
+            )),
+        }
+    }
 }
 
 /// The paper's full evaluation grid: every benchmark in
@@ -123,6 +173,78 @@ pub fn run_grid_timed(experiment: &Experiment, jobs: &[GridJob], workers: usize)
     })
 }
 
+/// The fault-tolerant grid runner: like [`run_grid_timed`], but a cell
+/// that panics is isolated on its worker (via
+/// [`warped_sim::parallel::try_par_map`]) and lands as
+/// [`RunOutcome::Panicked`] while every other cell completes exactly as
+/// it would in a clean run; a cell that exceeds its cycle or wall-clock
+/// budget lands as [`RunOutcome::TimedOut`]. Results come back in job
+/// order.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn run_grid_fallible(
+    experiment: &Experiment,
+    jobs: &[GridJob],
+    workers: usize,
+) -> Vec<RunOutcome> {
+    run_grid_fallible_with(experiment, jobs, workers, |_, _| {})
+}
+
+/// [`run_grid_fallible`] with a completion hook: `on_done(index,
+/// outcome)` fires on the worker thread as each clean or timed-out cell
+/// lands (this is where the sweep binary journals progress), and after
+/// the pool drains for panicked cells (the panic unwinds past the hook's
+/// call site). The hook must be `Sync`; synchronise interior state
+/// yourself.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn run_grid_fallible_with<F>(
+    experiment: &Experiment,
+    jobs: &[GridJob],
+    workers: usize,
+    on_done: F,
+) -> Vec<RunOutcome>
+where
+    F: Fn(usize, &RunOutcome) + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    try_par_map(jobs.len(), workers, |i| {
+        let (spec, technique) = &jobs[i];
+        let start = std::time::Instant::now();
+        let run = experiment.run(spec, *technique);
+        let timed = TimedRun {
+            run,
+            elapsed: start.elapsed(),
+        };
+        let outcome = if timed.run.report.timed_out {
+            RunOutcome::TimedOut(timed)
+        } else {
+            RunOutcome::Ok(timed)
+        };
+        on_done(i, &outcome);
+        outcome
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| match r {
+        Ok(outcome) => outcome,
+        Err(failure) => {
+            let outcome = RunOutcome::Panicked {
+                message: failure.message,
+            };
+            on_done(i, &outcome);
+            outcome
+        }
+    })
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +303,74 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = run_grid_with(&Experiment::quick_for_tests(), &[], 0);
+    }
+
+    /// A job list with one cell poisoned: an out-of-range hit rate makes
+    /// config validation panic inside `Experiment::run` (workload
+    /// scaling would heal a zero warp count, so poison a field scaling
+    /// leaves alone).
+    fn poisoned_jobs() -> Vec<GridJob> {
+        let mut jobs = grid_of(
+            &[Benchmark::Hotspot, Benchmark::Srad],
+            &[Technique::Baseline, Technique::WarpedGates],
+        );
+        jobs[1].0.l1_hit_rate = 2.0;
+        jobs
+    }
+
+    #[test]
+    fn fallible_runner_isolates_a_panicking_cell() {
+        let exp = Experiment::quick_for_tests();
+        let jobs = poisoned_jobs();
+        let outcomes = run_grid_fallible(&exp, &jobs, 2);
+        assert_eq!(outcomes.len(), 4);
+        let RunOutcome::Panicked { message } = &outcomes[1] else {
+            panic!("poisoned cell must land as Panicked, got {:?}", outcomes[1]);
+        };
+        assert!(message.contains("l1_hit_rate"), "got: {message}");
+        assert!(outcomes[1].is_degraded());
+        assert!(outcomes[1].degradation().is_some());
+        // Every surviving cell is bit-identical to a clean run.
+        let mut clean_jobs = jobs.clone();
+        clean_jobs.remove(1);
+        let clean = run_grid_with(&exp, &clean_jobs, 1);
+        for (survivor, reference) in [(&outcomes[0], &clean[0]), (&outcomes[2], &clean[1])] {
+            let run = survivor.timed_run().expect("survivor has a run");
+            assert!(!survivor.is_degraded());
+            assert_eq!(run.run.report.cycles, reference.report.cycles);
+            assert_eq!(run.run.report.gating, reference.report.gating);
+        }
+    }
+
+    #[test]
+    fn fallible_runner_maps_watchdog_expiry_to_timed_out() {
+        let exp = Experiment::quick_for_tests().with_job_timeout(Some(Duration::ZERO));
+        let jobs = grid_of(&[Benchmark::Nw], &[Technique::Baseline]);
+        let outcomes = run_grid_fallible(&exp, &jobs, 1);
+        assert!(
+            matches!(outcomes[0], RunOutcome::TimedOut(_)),
+            "zero budget must trip the watchdog, got {:?}",
+            outcomes[0]
+        );
+        assert!(outcomes[0].timed_run().is_some());
+        assert!(outcomes[0].is_degraded());
+    }
+
+    #[test]
+    fn completion_hook_fires_for_every_cell() {
+        let exp = Experiment::quick_for_tests();
+        let jobs = poisoned_jobs();
+        let seen = std::sync::Mutex::new(Vec::new());
+        let outcomes = run_grid_fallible_with(&exp, &jobs, 2, |i, outcome| {
+            seen.lock().unwrap().push((i, outcome.is_degraded()));
+        });
+        assert_eq!(outcomes.len(), 4);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0, false), (1, true), (2, false), (3, false)],
+            "hook must fire once per cell with its degradation status"
+        );
     }
 }

@@ -5,8 +5,8 @@ use crate::params::GatingParams;
 use crate::policy::{GateForecast, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx};
 use warped_isa::UnitType;
 use warped_sim::{
-    CycleObservation, DomainId, DomainLayout, GateTransition, GatingReport, PowerGating,
-    NUM_DOMAINS,
+    CycleObservation, DomainId, DomainLayout, GateTransition, GatingInvariants, GatingReport,
+    PowerGating, NUM_DOMAINS,
 };
 
 /// A power-gating controller parameterised by a decision
@@ -42,6 +42,11 @@ pub struct Controller<P, T> {
     /// Critical wakeups per unit type in the current epoch.
     epoch_critical: [u32; 4],
     report: GatingReport,
+    /// Whether self-checks are live (set by the simulator when
+    /// [`SmConfig::sanitize`](warped_sim::SmConfig) is on): every tuner
+    /// epoch asserts the adjusted windows stay within the tuner's
+    /// promised bounds.
+    sanitize: bool,
 }
 
 impl<P: GatePolicy, T: IdleDetectTuner> Controller<P, T> {
@@ -73,6 +78,7 @@ impl<P: GatePolicy, T: IdleDetectTuner> Controller<P, T> {
             idle_detect: [params.idle_detect; 4],
             epoch_critical: [0; 4],
             report: GatingReport::new(),
+            sanitize: false,
         }
     }
 
@@ -210,6 +216,19 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                     .on_epoch(unit, critical, &mut self.idle_detect[ui]);
                 self.epoch_critical[ui] = 0;
             }
+            if self.sanitize {
+                if let Some((lo, hi)) = self.tuner.window_bounds() {
+                    for unit in [UnitType::Int, UnitType::Fp] {
+                        let w = self.idle_detect[unit.index()];
+                        assert!(
+                            (lo..=hi).contains(&w),
+                            "sanitizer: idle-detect window for {unit:?} is {w} after the epoch \
+                             ending at cycle {}, outside the tuner's promised bounds {lo}..={hi}",
+                            obs.cycle
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -339,6 +358,34 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
 
     fn report(&self) -> GatingReport {
         self.report.clone()
+    }
+
+    fn invariants(&self) -> GatingInvariants {
+        let mut inv = GatingInvariants {
+            // The controller's per-cycle accounting makes the observed
+            // powered-off sample count exactly `gated + wakeup` cycles,
+            // so the sanitizer may reconcile them exactly.
+            off_cycles_accounted: true,
+            // A tuner that promises bounds is held to them; a static
+            // tuner's window is pinned to its configured value.
+            window_bounds: self
+                .tuner
+                .window_bounds()
+                .or(Some((self.params.idle_detect, self.params.idle_detect))),
+            ..GatingInvariants::default()
+        };
+        for domain in self.layout.all() {
+            // Any wake spends at least one gated cycle (`elapsed` is
+            // incremented before `may_wake` is consulted) plus the full
+            // wakeup delay; the policy's floor extends the gated part.
+            let floor = self.policy.wake_floor(*domain, &self.params).max(1);
+            inv.min_off_run[domain.index()] = u64::from(floor + self.params.wakeup_delay);
+        }
+        inv
+    }
+
+    fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
     }
 
     fn name(&self) -> &'static str {
@@ -542,6 +589,70 @@ mod tests {
     fn report_name_comes_from_policy() {
         let c = conv();
         assert_eq!(c.name(), "ConvPG");
+    }
+
+    #[test]
+    fn invariants_describe_conventional_gating() {
+        let c = conv();
+        let inv = c.invariants();
+        assert!(inv.off_cycles_accounted);
+        // Static tuner: window pinned to the configured value.
+        let p = GatingParams::default();
+        assert_eq!(inv.window_bounds, Some((p.idle_detect, p.idle_detect)));
+        // ConvPG claims no wake floor, so the minimum off-run is the
+        // structural one gated cycle plus the wakeup delay.
+        for d in DomainId::ALL {
+            assert_eq!(
+                inv.min_off_run[d.index()],
+                u64::from(1 + p.wakeup_delay),
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the tuner's promised bounds")]
+    fn sanitize_catches_a_tuner_escaping_its_bounds() {
+        struct Runaway;
+        impl IdleDetectTuner for Runaway {
+            fn on_epoch(&mut self, _unit: UnitType, _critical: u32, idle_detect: &mut u32) {
+                *idle_detect += 100;
+            }
+            fn window_bounds(&self) -> Option<(u32, u32)> {
+                Some((5, 10))
+            }
+            fn name(&self) -> &'static str {
+                "runaway"
+            }
+        }
+        let mut c = Controller::new(GatingParams::default(), ConvPgPolicy::new(), Runaway);
+        c.set_sanitize(true);
+        for cyc in 0..1000 {
+            c.observe(&quiet(cyc));
+        }
+    }
+
+    #[test]
+    fn sanitize_off_lets_a_bad_tuner_run() {
+        // Same runaway tuner, sanitizer off: release behaviour is
+        // unchecked (and unchanged).
+        struct Runaway;
+        impl IdleDetectTuner for Runaway {
+            fn on_epoch(&mut self, _unit: UnitType, _critical: u32, idle_detect: &mut u32) {
+                *idle_detect += 100;
+            }
+            fn window_bounds(&self) -> Option<(u32, u32)> {
+                Some((5, 10))
+            }
+            fn name(&self) -> &'static str {
+                "runaway"
+            }
+        }
+        let mut c = Controller::new(GatingParams::default(), ConvPgPolicy::new(), Runaway);
+        for cyc in 0..1000 {
+            c.observe(&quiet(cyc));
+        }
+        assert_eq!(c.idle_detect(UnitType::Int), 105);
     }
 
     /// Expands a fast-forward into the per-cycle reference: loops

@@ -91,6 +91,36 @@ pub enum GateForecast {
     Never,
 }
 
+impl GateForecast {
+    /// The forecast's verdict for a specific idle run: `Some(true)` if
+    /// the policy gates at `idle_run`, `Some(false)` if it does not, and
+    /// `None` when there is no closed form ([`GateForecast::Unknown`])
+    /// and `should_gate` must be consulted directly.
+    ///
+    /// This is the misuse-proof way to consume a forecast: callers get a
+    /// three-way answer instead of pattern-matching and panicking on the
+    /// variants they did not expect.
+    #[must_use]
+    pub fn predicts(self, idle_run: u32) -> Option<bool> {
+        match self {
+            GateForecast::Unknown => None,
+            GateForecast::AtIdleRun(t) => Some(idle_run >= t),
+            GateForecast::Never => Some(false),
+        }
+    }
+
+    /// The gating threshold, when the forecast has one: `Some(t)` for
+    /// [`GateForecast::AtIdleRun`]`(t)`, `None` for both `Unknown` (no
+    /// closed form) and `Never` (no finite threshold).
+    #[must_use]
+    pub fn at_idle_run(self) -> Option<u32> {
+        match self {
+            GateForecast::AtIdleRun(t) => Some(t),
+            GateForecast::Unknown | GateForecast::Never => None,
+        }
+    }
+}
+
 /// A power-gating decision policy.
 ///
 /// The framework calls [`should_gate`](GatePolicy::should_gate) for an
@@ -115,6 +145,17 @@ pub trait GatePolicy {
     fn forecast_gate(&self, ctx: &PolicyCtx<'_>) -> GateForecast {
         let _ = ctx;
         GateForecast::Unknown
+    }
+
+    /// The minimum number of gated cycles this policy guarantees before
+    /// [`may_wake`](GatePolicy::may_wake) can return `true` for
+    /// `domain` — the floor the gating sanitizer holds the controller
+    /// to. Blackout policies return `params.bet` for CUDA cores; the
+    /// default of `0` claims nothing (always safe: the sanitizer then
+    /// only checks the structural one-cycle minimum).
+    fn wake_floor(&self, domain: DomainId, params: &GatingParams) -> u32 {
+        let _ = (domain, params);
+        0
     }
 
     /// Policy name, used as the controller name in reports.
@@ -169,6 +210,14 @@ pub trait IdleDetectTuner {
     /// Length of an epoch in cycles.
     fn epoch_len(&self) -> u64 {
         1000
+    }
+
+    /// The inclusive bounds this tuner promises to keep every
+    /// idle-detect window within, or `None` when it makes no promise
+    /// (the sanitizer then pins the window to its static value). The
+    /// adaptive tuner returns the paper's 5..=10.
+    fn window_bounds(&self) -> Option<(u32, u32)> {
+        None
     }
 
     /// Tuner name for reporting; empty for the static tuner.
@@ -235,16 +284,36 @@ mod tests {
     fn conv_pg_forecast_matches_should_gate_pointwise() {
         let p = GatingParams::default();
         let policy = ConvPgPolicy::new();
-        let GateForecast::AtIdleRun(t) = policy.forecast_gate(&ctx(0, 5, &p)) else {
-            panic!("ConvPG has a closed form");
-        };
+        let forecast = policy.forecast_gate(&ctx(0, 5, &p));
+        assert_eq!(forecast.at_idle_run(), Some(5), "ConvPG has a closed form");
         for x in 0..20 {
             assert_eq!(
-                policy.should_gate(&ctx(x, 5, &p)),
-                x >= t,
+                Some(policy.should_gate(&ctx(x, 5, &p))),
+                forecast.predicts(x),
                 "forecast must agree with should_gate at idle_run={x}"
             );
         }
+    }
+
+    #[test]
+    fn forecast_predicts_covers_every_variant() {
+        assert_eq!(GateForecast::Unknown.predicts(7), None);
+        assert_eq!(GateForecast::AtIdleRun(5).predicts(4), Some(false));
+        assert_eq!(GateForecast::AtIdleRun(5).predicts(5), Some(true));
+        assert_eq!(GateForecast::Never.predicts(u32::MAX), Some(false));
+        assert_eq!(GateForecast::Unknown.at_idle_run(), None);
+        assert_eq!(GateForecast::Never.at_idle_run(), None);
+    }
+
+    #[test]
+    fn default_wake_floor_claims_nothing() {
+        let p = GatingParams::default();
+        assert_eq!(ConvPgPolicy::new().wake_floor(DomainId::INT0, &p), 0);
+    }
+
+    #[test]
+    fn static_tuner_promises_no_bounds() {
+        assert_eq!(StaticIdleDetect::new().window_bounds(), None);
     }
 
     #[test]

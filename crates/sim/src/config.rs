@@ -99,6 +99,22 @@ pub struct SmConfig {
     /// bit-equal either way — so this stays on outside of equivalence
     /// tests that force per-cycle stepping.
     pub fast_forward: bool,
+    /// Whether to run the gating invariant sanitizer
+    /// ([`Sanitizer`](crate::Sanitizer)) alongside the simulation:
+    /// every cycle and every fast-forwarded span is checked against the
+    /// controller's claimed invariants, and a violation panics at the
+    /// cycle it happens. On in every test configuration
+    /// ([`SmConfig::small_for_tests`]); off by default for release runs
+    /// (enable with the sweep's `--sanitize` flag).
+    pub sanitize: bool,
+    /// Wall-clock watchdog for one SM run: when set, the cycle loop
+    /// periodically checks elapsed real time and reports
+    /// [`SmOutcome::timed_out`](crate::SmOutcome) once the budget is
+    /// exhausted — the same degraded-result path as the cycle cap, so a
+    /// hung cell cannot stall a grid forever. `None` (the default)
+    /// disables the watchdog and keeps runs bit-reproducible across
+    /// machines of different speeds.
+    pub wall_clock_budget: Option<std::time::Duration>,
 }
 
 impl SmConfig {
@@ -112,6 +128,8 @@ impl SmConfig {
             memory: MemoryConfig::default(),
             max_cycles: 50_000_000,
             fast_forward: true,
+            sanitize: false,
+            wall_clock_budget: None,
         }
     }
 
@@ -140,6 +158,8 @@ impl SmConfig {
             },
             max_cycles: 200_000,
             fast_forward: true,
+            sanitize: true,
+            wall_clock_budget: None,
         }
     }
 

@@ -8,6 +8,7 @@
 //! `warped-gating` and `warped-gates` crates.
 
 use crate::domain::{DomainId, NUM_DOMAINS};
+use crate::sanitize::GatingInvariants;
 
 /// Aggregate power-gating activity of one run, in plain data form.
 ///
@@ -238,6 +239,27 @@ pub trait PowerGating {
 
     /// Human-readable controller name (used in reports and figures).
     fn name(&self) -> &'static str;
+
+    /// The machine-checkable contract this controller claims to honor
+    /// (see [`GatingInvariants`]). The simulator's sanitizer holds the
+    /// observable sample stream to these claims when
+    /// [`SmConfig::sanitize`](crate::SmConfig) is enabled.
+    ///
+    /// The default claims nothing, which is always sound: the sanitizer
+    /// then checks only the universal invariants (busy ⇒ powered,
+    /// stream integrity, span/per-cycle conservation).
+    fn invariants(&self) -> GatingInvariants {
+        GatingInvariants::default()
+    }
+
+    /// Enables (or disables) the controller's internal self-checks —
+    /// assertions over state the sample stream cannot see, such as the
+    /// adaptive idle-detect window staying inside its tuner's bounds.
+    ///
+    /// The default is a no-op for controllers with nothing to check.
+    fn set_sanitize(&mut self, on: bool) {
+        let _ = on;
+    }
 }
 
 /// The no-gating baseline: every unit is always powered.

@@ -64,6 +64,7 @@ mod gate_iface;
 mod gpu;
 mod mem;
 pub mod parallel;
+pub mod sanitize;
 mod sched;
 mod scoreboard;
 mod sm;
@@ -79,6 +80,7 @@ pub use gate_iface::{
 };
 pub use gpu::{Gpu, GpuOutcome, LaunchConfig};
 pub use mem::MemorySubsystem;
+pub use sanitize::{GatingInvariants, Sanitizer};
 pub use sched::{
     Candidate, GtoScheduler, IssueCtx, LrrScheduler, TwoLevelScheduler, WarpScheduler,
 };

@@ -6,6 +6,7 @@ use crate::exec::ExecUnits;
 use crate::gate_iface::{CycleObservation, GateTransition, GatingReport, PowerGating};
 use crate::gpu::LaunchConfig;
 use crate::mem::MemorySubsystem;
+use crate::sanitize::Sanitizer;
 use crate::sched::{Candidate, IssueCtx, IssueScratch, WarpScheduler};
 use crate::stats::SimStats;
 use crate::trace::{CycleObserver, CycleSample, NullObserver, SpanSample};
@@ -81,6 +82,11 @@ pub struct Sm {
     /// Reusable buffer for power-state edges captured while
     /// fast-forwarding.
     ff_transitions: Vec<GateTransition>,
+    /// Gating invariant checker, present when [`SmConfig::sanitize`] is
+    /// set. It rides the same sample stream as the external observer
+    /// and panics at the first cycle where the controller violates one
+    /// of its claimed invariants.
+    sanitizer: Option<Sanitizer>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -108,7 +114,7 @@ impl Sm {
         config: SmConfig,
         launch: LaunchConfig,
         scheduler: Box<dyn WarpScheduler>,
-        gating: Box<dyn PowerGating>,
+        mut gating: Box<dyn PowerGating>,
     ) -> Self {
         config.validate();
         let (kernel, total_warps, block_warps, stagger, waves) = launch.into_parts();
@@ -120,6 +126,12 @@ impl Sm {
         let layout = DomainLayout::new(config.sp_clusters);
         let mut stats = SimStats::new();
         stats.layout = layout;
+        let sanitizer = if config.sanitize {
+            gating.set_sanitize(true);
+            Some(Sanitizer::new(gating.invariants(), layout))
+        } else {
+            None
+        };
         Sm {
             config,
             layout,
@@ -144,6 +156,7 @@ impl Sm {
             scratch: IssueScratch::default(),
             barrier_warps: 0,
             ff_transitions: Vec::new(),
+            sanitizer,
         }
     }
 
@@ -167,6 +180,14 @@ impl Sm {
     #[must_use]
     pub fn run(mut self) -> SmOutcome {
         let mut timed_out = false;
+        // Wall-clock watchdog: checked every 1024 loop iterations
+        // (including the first, so a zero budget trips deterministically)
+        // to keep `Instant::now` off the hot path.
+        let watchdog = self
+            .config
+            .wall_clock_budget
+            .map(|budget| (std::time::Instant::now(), budget));
+        let mut iter: u32 = 0;
         loop {
             self.fill_slots();
             if self.all_done() {
@@ -175,6 +196,13 @@ impl Sm {
             if self.cycle >= self.config.max_cycles {
                 timed_out = true;
                 break;
+            }
+            if let Some((start, budget)) = watchdog {
+                if iter & 1023 == 0 && start.elapsed() >= budget {
+                    timed_out = true;
+                    break;
+                }
+                iter = iter.wrapping_add(1);
             }
             if self.config.fast_forward && self.try_fast_forward() {
                 continue;
@@ -187,9 +215,13 @@ impl Sm {
             self.stats.units[d.index()].idle_histogram.record(run);
         }
         self.stats.warps_completed = self.warps_done;
+        let gating = self.gating.report();
+        if let Some(s) = &self.sanitizer {
+            s.finish(&self.stats, &gating);
+        }
         SmOutcome {
             stats: self.stats,
-            gating: self.gating.report(),
+            gating,
             timed_out,
         }
     }
@@ -380,6 +412,13 @@ impl Sm {
         // with the scratch for the next cycle).
         for i in 0..scratch.picks.len() {
             let pick = scratch.picks[i];
+            if self.sanitizer.is_some() {
+                assert!(
+                    domain_on[pick.domain.index()],
+                    "sanitizer: instruction issued into unpowered domain {} at cycle {cycle}",
+                    pick.domain
+                );
+            }
             self.apply_issue(pick.slot, pick.domain);
         }
         self.scratch = scratch;
@@ -409,19 +448,27 @@ impl Sm {
             active_subset,
         });
 
-        // Phase 7: external observer tap.
-        if self.observer_enabled {
+        // Phase 7: sanitizer and external observer taps. Both see the
+        // same sample; the sanitizer goes first so a violation panics
+        // before the observer records the poisoned cycle.
+        if self.observer_enabled || self.sanitizer.is_some() {
             let mut powered = [false; NUM_DOMAINS];
             for (p, on) in powered.iter_mut().zip(domain_on) {
                 *p = on;
             }
-            self.observer.observe(&CycleSample {
+            let sample = CycleSample {
                 cycle,
                 busy,
                 powered,
                 issued: issued_count as u8,
                 active_warps: active_count,
-            });
+            };
+            if let Some(s) = &mut self.sanitizer {
+                s.observe(&sample);
+            }
+            if self.observer_enabled {
+                self.observer.observe(&sample);
+            }
         }
 
         self.cycle += 1;
@@ -474,6 +521,19 @@ impl Sm {
         // all state untouched and falls back to per-cycle stepping.
         if !self.scheduler.fast_forward_idle(span) {
             return false;
+        }
+        if self.sanitizer.is_some() {
+            // Independent re-derivation of the jump distance: every
+            // ring slot inside the span must be empty, or fast-forward
+            // would silently skip a scheduled writeback or retire.
+            let check = span.min(self.ring.len() as u64);
+            for j in 1..check {
+                assert!(
+                    self.ring[((self.cycle + j) as usize) & mask].is_empty(),
+                    "sanitizer: fast-forward over a pending event at cycle {}",
+                    self.cycle + j
+                );
+            }
         }
         self.fast_forward(span);
         true
@@ -532,8 +592,9 @@ impl Sm {
 
         // Phase 6: advance the gating controller across the whole
         // span, capturing every power-state edge it makes.
+        let tap = self.observer_enabled || self.sanitizer.is_some();
         let mut powered = [false; NUM_DOMAINS];
-        if self.observer_enabled {
+        if tap {
             for d in self.layout.all() {
                 powered[d.index()] = self.gating.is_on(*d);
             }
@@ -551,21 +612,27 @@ impl Sm {
             &mut transitions,
         );
 
-        // Phase 7: observer tap, batched. Per-cycle samples only ever
-        // report layout domains as powered, so edges on out-of-layout
-        // domains (possible for whole-SM controllers) are dropped from
-        // the observer's view.
-        if self.observer_enabled {
+        // Phase 7: sanitizer and observer taps, batched. Per-cycle
+        // samples only ever report layout domains as powered, so edges
+        // on out-of-layout domains (possible for whole-SM controllers)
+        // are dropped from the observer's view.
+        if tap {
             let layout = self.layout;
             transitions.retain(|t| layout.contains(t.domain));
-            self.observer.observe_span(&SpanSample {
+            let sample = SpanSample {
                 start_cycle: cycle,
                 cycles: span,
                 busy,
                 powered,
                 transitions: &transitions,
                 active_warps: 0,
-            });
+            };
+            if let Some(s) = &mut self.sanitizer {
+                s.observe_span(&sample);
+            }
+            if self.observer_enabled {
+                self.observer.observe_span(&sample);
+            }
         }
         self.ff_transitions = transitions;
 

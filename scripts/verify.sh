@@ -30,18 +30,13 @@ step "cargo test"
 cargo test -q --workspace
 
 step "grid regression gate (full-scale sweep, cycles must match bit for bit)"
-# The sweep overwrites results/bench_grid.json; snapshot the checked-in
-# grid first and restore it afterwards so verify never mutates the repo.
-baseline="$(mktemp)"
-regen="$(mktemp)"
-trap 'rm -f "$baseline" "$regen"' EXIT
-cp results/bench_grid.json "$baseline"
-time cargo run --release -q -p warped-bench --bin sweep
-cp results/bench_grid.json "$regen"
-cp "$baseline" results/bench_grid.json
+# The sweep writes into --out-dir, so verify never mutates the repo's
+# checked-in results/.
+outdir="$(mktemp -d)"
+trap 'rm -rf "$outdir"' EXIT
+time cargo run --release -q -p warped-bench --bin sweep -- --out-dir "$outdir/grid"
 
-# Compare the label + cycles (first value) of every row except the
-# TOTAL row, which carries wall-clock timings and legitimately varies.
+# Compare the label + cycles (first value) of every row.
 extract_cycles() {
     python3 - "$1" <<'PY'
 import json, sys
@@ -52,11 +47,29 @@ for row in grid["rows"]:
     print(f'{row["label"]} {int(row["values"][0])}')
 PY
 }
-if ! diff <(extract_cycles "$baseline") <(extract_cycles "$regen"); then
+if ! diff <(extract_cycles results/bench_grid.json) <(extract_cycles "$outdir/grid/bench_grid.json"); then
     echo "verify: FAIL — sweep cycle counts diverged from results/bench_grid.json" >&2
     exit 1
 fi
 echo "grid cycles match the checked-in results bit for bit"
+
+step "sanitized sweep (gating invariant sanitizer armed across the grid)"
+cargo run --release -q -p warped-bench --bin sweep -- \
+    --scale 0.05 --sanitize --out-dir "$outdir/sanitized"
+
+step "chaos smoke (injected panic is isolated; journal resume heals the grid)"
+if cargo run --release -q -p warped-bench --bin sweep -- \
+    --scale 0.02 --chaos 5 --out-dir "$outdir/chaos"; then
+    echo "verify: FAIL — a poisoned sweep must exit nonzero" >&2
+    exit 1
+fi
+test -f "$outdir/chaos/sweep_failures.json" \
+    || { echo "verify: FAIL — missing failure manifest" >&2; exit 1; }
+cargo run --release -q -p warped-bench --bin sweep -- \
+    --scale 0.02 --resume --out-dir "$outdir/chaos"
+test ! -f "$outdir/chaos/sweep_failures.json" \
+    || { echo "verify: FAIL — manifest should clear after a clean resume" >&2; exit 1; }
+echo "chaos cell isolated, manifest written, resume healed the grid"
 
 echo
 echo "verify: all checks passed"
