@@ -22,6 +22,13 @@ use warped_isa::UnitType;
 /// INT and FP are tuned independently, since each application stresses
 /// them differently.
 ///
+/// Every epoch decision is observable at runtime: with telemetry armed
+/// ([`SmConfig::telemetry`](warped_sim::SmConfig)), the gating
+/// controller stamps a [`TunerEpoch`](warped_sim::Event::TunerEpoch)
+/// event — the epoch's critical-wakeup count and the window it settled
+/// on — at each boundary, which the Perfetto exporter renders as the
+/// per-type "window" counter tracks.
+///
 /// # Examples
 ///
 /// ```

@@ -31,6 +31,7 @@ pub struct Experiment {
     issue_width: Option<usize>,
     sanitize: bool,
     job_timeout: Option<std::time::Duration>,
+    telemetry: Option<warped_sim::Recorder>,
 }
 
 /// A completed technique run, pairing the report with the spec it ran.
@@ -60,6 +61,7 @@ impl Experiment {
             issue_width: None,
             sanitize: false,
             job_timeout: None,
+            telemetry: None,
         }
     }
 
@@ -120,6 +122,18 @@ impl Experiment {
         self
     }
 
+    /// Arms a telemetry recorder for every run launched from this
+    /// experiment (see [`SmConfig::telemetry`](warped_sim::SmConfig)).
+    /// Runs share the handle: keep a clone and drain it with
+    /// [`Recorder::take`](warped_sim::Recorder::take) between runs to
+    /// separate their event streams. Recording is observe-only — cycle
+    /// counts and gating reports are bit-identical with or without it.
+    #[must_use]
+    pub fn with_telemetry(mut self, recorder: Option<warped_sim::Recorder>) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
     /// The gating parameters in effect.
     #[must_use]
     pub fn params(&self) -> &GatingParams {
@@ -151,6 +165,7 @@ impl Experiment {
         }
         cfg.sanitize = self.sanitize;
         cfg.wall_clock_budget = self.job_timeout;
+        cfg.telemetry = self.telemetry.clone();
         let sm = Sm::new(
             cfg,
             spec.launch(),

@@ -1,6 +1,7 @@
 //! GATES: the gating-aware two-level warp scheduler (paper Section 4).
 
 use warped_isa::UnitType;
+use warped_sim::probe::{Event, Recorder};
 use warped_sim::{IssueCtx, WarpScheduler};
 
 /// The gating-aware two-level scheduler.
@@ -50,6 +51,10 @@ pub struct GatesScheduler {
     lazy_wake: u32,
     /// Ready-warp backlog that counts as wakeup demand by itself.
     wake_backlog: u32,
+    /// Telemetry recorder (installed by the simulator when
+    /// [`SmConfig::telemetry`](warped_sim::SmConfig) is armed); every
+    /// dynamic priority flip is stamped on it. Strictly observe-only.
+    recorder: Option<Recorder>,
 }
 
 impl GatesScheduler {
@@ -75,6 +80,7 @@ impl GatesScheduler {
             starve_run: 0,
             lazy_wake: Self::DEFAULT_LAZY_WAKE_CYCLES,
             wake_backlog: Self::DEFAULT_WAKE_BACKLOG,
+            recorder: None,
         }
     }
 
@@ -130,10 +136,13 @@ impl GatesScheduler {
         }
     }
 
-    fn switch_priority(&mut self) {
+    fn switch_priority(&mut self, cycle: u64) {
         self.high = self.low();
         self.hold_cycles = 0;
         self.switches += 1;
+        if let Some(r) = &self.recorder {
+            r.record(cycle, Event::PriorityFlip { high: self.high });
+        }
     }
 
     /// The dynamic priority switching rules (Section 4.1 plus the
@@ -144,19 +153,19 @@ impl GatesScheduler {
 
         // Rule 1: high-priority active subset drained, low non-empty.
         if ctx.active_subset(high) == 0 && ctx.active_subset(low) > 0 {
-            self.switch_priority();
+            self.switch_priority(ctx.cycle());
             return;
         }
         // Rule 2 (Blackout extension): both clusters of the high type are
         // gated; issue the other type meanwhile.
         if !ctx.type_powered(high) && ctx.type_powered(low) && ctx.active_subset(low) > 0 {
-            self.switch_priority();
+            self.switch_priority(ctx.cycle());
             return;
         }
         // Rule 3: forced switch after the maximum hold threshold.
         if let Some(max) = self.max_hold {
             if self.hold_cycles >= max && ctx.active_subset(low) > 0 {
-                self.switch_priority();
+                self.switch_priority(ctx.cycle());
             }
         }
     }
@@ -266,6 +275,10 @@ impl WarpScheduler for GatesScheduler {
     fn name(&self) -> &'static str {
         "GATES"
     }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +365,32 @@ mod tests {
         s.pick(&mut c);
         assert_eq!(s.high_priority(), UnitType::Fp, "INT_ACTV=0, FP_ACTV>0");
         assert_eq!(s.switch_count(), 1);
+    }
+
+    #[test]
+    fn priority_flips_are_stamped_on_the_recorder() {
+        use warped_sim::probe::RecorderConfig;
+        let rec = Recorder::new(RecorderConfig::default());
+        let mut s = GatesScheduler::new();
+        s.set_recorder(rec.clone());
+        let mut c = IssueCtx::new(
+            42,
+            2,
+            vec![cand(0, UnitType::Fp)],
+            [true; NUM_DOMAINS],
+            [false; NUM_DOMAINS],
+            [0, 4, 0, 0],
+            64,
+        );
+        s.pick(&mut c);
+        assert_eq!(s.high_priority(), UnitType::Fp);
+        let log = rec.take();
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].cycle, 42);
+        assert_eq!(
+            log.events[0].event,
+            Event::PriorityFlip { high: UnitType::Fp }
+        );
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Telemetry must be observe-only: arming a recorder on an experiment
+//! cannot change a single simulated cycle, unit statistic, or gating
+//! report, for any technique — and the recording itself must be
+//! well-formed (ordered stamps, events for the states each technique
+//! actually visits).
+
+use warped_gates::{Experiment, Technique};
+use warped_sim::probe::{Event, Recorder, RecorderConfig};
+use warped_workloads::Benchmark;
+
+fn recorder() -> Recorder {
+    Recorder::new(RecorderConfig {
+        capacity: 1 << 20,
+        epoch_len: 500,
+    })
+}
+
+#[test]
+fn armed_runs_report_identically_to_bare_runs_for_every_technique() {
+    let spec = Benchmark::Hotspot.spec();
+    let bare = Experiment::quick_for_tests();
+    let rec = recorder();
+    let armed = Experiment::quick_for_tests().with_telemetry(Some(rec.clone()));
+    for technique in Technique::ALL {
+        let b = bare.run(&spec, technique);
+        let a = armed.run(&spec, technique);
+        let log = rec.take(); // separate this run's stream from the next
+        assert_eq!(a.cycles, b.cycles, "{technique}: cycle count perturbed");
+        assert_eq!(
+            a.report.stats, b.report.stats,
+            "{technique}: stats perturbed"
+        );
+        assert_eq!(
+            a.report.gating, b.report.gating,
+            "{technique}: gating report perturbed"
+        );
+        assert_eq!(log.dropped, 0, "{technique}: ring too small for this cell");
+        assert!(
+            !log.events.is_empty(),
+            "{technique}: armed run recorded nothing"
+        );
+    }
+}
+
+#[test]
+fn event_stamps_are_non_decreasing() {
+    let rec = recorder();
+    let exp = Experiment::quick_for_tests().with_telemetry(Some(rec.clone()));
+    let _ = exp.run(&Benchmark::Srad.spec(), Technique::WarpedGates);
+    let log = rec.take();
+    let mut last = 0u64;
+    for s in &log.events {
+        assert!(s.cycle >= last, "stamp went backwards at cycle {}", s.cycle);
+        last = s.cycle;
+    }
+    assert!(last <= log.last_cycle);
+}
+
+#[test]
+fn gated_techniques_record_full_gating_episodes() {
+    let spec = Benchmark::Hotspot.spec();
+    for technique in Technique::GATED {
+        let rec = recorder();
+        let exp = Experiment::quick_for_tests().with_telemetry(Some(rec.clone()));
+        let run = exp.run(&spec, technique);
+        assert!(!run.timed_out);
+        let log = rec.take();
+        let count = |pred: fn(&Event) -> bool| log.events.iter().filter(|s| pred(&s.event)).count();
+        assert!(
+            count(|e| matches!(e, Event::IdleDetect { .. })) > 0,
+            "{technique}: no idle-detect starts"
+        );
+        assert!(
+            count(|e| matches!(e, Event::Gate { .. })) > 0,
+            "{technique}: no gate events"
+        );
+        assert!(
+            count(|e| matches!(e, Event::Wakeup { .. })) > 0,
+            "{technique}: no wakeups"
+        );
+        assert!(
+            count(|e| matches!(e, Event::WakeComplete { .. })) > 0,
+            "{technique}: no wakeup completions"
+        );
+        // The epoch rollups must agree with the raw stream.
+        let gates: u64 = log.epochs.iter().map(|e| e.gate_events).sum();
+        assert_eq!(gates, count(|e| matches!(e, Event::Gate { .. })) as u64);
+    }
+}
+
+#[test]
+fn baseline_records_activity_but_no_gating() {
+    let rec = recorder();
+    let exp = Experiment::quick_for_tests().with_telemetry(Some(rec.clone()));
+    let _ = exp.run(&Benchmark::Hotspot.spec(), Technique::Baseline);
+    let log = rec.take();
+    assert!(
+        log.events
+            .iter()
+            .any(|s| matches!(s.event, Event::BusyEdge { .. })),
+        "baseline still has busy edges"
+    );
+    assert!(
+        !log.events.iter().any(|s| matches!(
+            s.event,
+            Event::Gate { .. } | Event::Wakeup { .. } | Event::PowerEdge { .. }
+        )),
+        "always-on run must never gate"
+    );
+}
+
+#[test]
+fn gates_scheduler_stamps_priority_flips() {
+    let rec = recorder();
+    let exp = Experiment::quick_for_tests().with_telemetry(Some(rec.clone()));
+    let _ = exp.run(&Benchmark::Hotspot.spec(), Technique::WarpedGates);
+    let log = rec.take();
+    let flips: u64 = log.epochs.iter().map(|e| e.priority_flips).sum();
+    assert!(
+        flips > 0,
+        "mixed int/fp benchmark should flip GATES priority"
+    );
+    assert_eq!(
+        flips,
+        log.events
+            .iter()
+            .filter(|s| matches!(s.event, Event::PriorityFlip { .. }))
+            .count() as u64
+    );
+}

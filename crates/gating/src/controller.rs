@@ -4,6 +4,7 @@ use crate::machine::GateState;
 use crate::params::GatingParams;
 use crate::policy::{GateForecast, GatePolicy, IdleDetectTuner, PeerSummary, PolicyCtx};
 use warped_isa::UnitType;
+use warped_sim::probe::{Event, Recorder};
 use warped_sim::{
     CycleObservation, DomainId, DomainLayout, GateTransition, GatingInvariants, GatingReport,
     PowerGating, NUM_DOMAINS,
@@ -47,6 +48,12 @@ pub struct Controller<P, T> {
     /// epoch asserts the adjusted windows stay within the tuner's
     /// promised bounds.
     sanitize: bool,
+    /// Telemetry recorder (installed by the simulator when
+    /// [`SmConfig::telemetry`](warped_sim::SmConfig) is armed). Every
+    /// state-machine transition -- idle-detect start, gate, blackout
+    /// hold, wakeup, wake completion -- and every tuner epoch decision
+    /// is stamped on it. Strictly observe-only.
+    recorder: Option<Recorder>,
 }
 
 impl<P: GatePolicy, T: IdleDetectTuner> Controller<P, T> {
@@ -79,6 +86,7 @@ impl<P: GatePolicy, T: IdleDetectTuner> Controller<P, T> {
             epoch_critical: [0; 4],
             report: GatingReport::new(),
             sanitize: false,
+            recorder: None,
         }
     }
 
@@ -98,6 +106,13 @@ impl<P: GatePolicy, T: IdleDetectTuner> Controller<P, T> {
     #[must_use]
     pub fn idle_detect(&self, unit: UnitType) -> u32 {
         self.idle_detect[unit.index()]
+    }
+
+    /// Stamps `event` on the telemetry recorder, if one is installed.
+    fn emit(&self, cycle: u64, event: Event) {
+        if let Some(r) = &self.recorder {
+            r.record(cycle, event);
+        }
     }
 
     fn policy_ctx<'a>(
@@ -149,10 +164,17 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                         self.states[di] = GateState::Active { idle_run: 0 };
                     } else {
                         let idle_run = idle_run + 1;
-                        let ctx = self.policy_ctx(domain, idle_run, obs);
-                        if self.policy.should_gate(&ctx) {
+                        if idle_run == 1 {
+                            self.emit(obs.cycle, Event::IdleDetect { domain });
+                        }
+                        let should_gate = {
+                            let ctx = self.policy_ctx(domain, idle_run, obs);
+                            self.policy.should_gate(&ctx)
+                        };
+                        if should_gate {
                             self.states[di] = GateState::Gated { elapsed: 0 };
                             self.report.domain_mut(domain).gate_events += 1;
+                            self.emit(obs.cycle, Event::Gate { domain });
                         } else {
                             self.states[di] = GateState::Active { idle_run };
                         }
@@ -174,6 +196,7 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                     };
                     if demand_left[ui] > 0 && !may_wake {
                         self.report.domain_mut(domain).demand_blocked_cycles += 1;
+                        self.emit(obs.cycle, Event::BlackoutHold { domain });
                     }
                     if demand_left[ui] > 0 && may_wake {
                         demand_left[ui] -= 1;
@@ -186,6 +209,15 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                             stats.critical_wakeups += 1;
                             self.epoch_critical[ui] += 1;
                         }
+                        self.emit(
+                            obs.cycle,
+                            Event::Wakeup {
+                                domain,
+                                gated: elapsed,
+                                critical: elapsed == bet,
+                                premature: elapsed < bet,
+                            },
+                        );
                         self.states[di] = GateState::Waking {
                             left: self.params.wakeup_delay,
                         };
@@ -198,6 +230,7 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                     self.report.domain_mut(domain).wakeup_cycles += 1;
                     let left = left - 1;
                     self.states[di] = if left == 0 {
+                        self.emit(obs.cycle, Event::WakeComplete { domain });
                         GateState::active()
                     } else {
                         GateState::Waking { left }
@@ -215,6 +248,14 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                 self.tuner
                     .on_epoch(unit, critical, &mut self.idle_detect[ui]);
                 self.epoch_critical[ui] = 0;
+                self.emit(
+                    obs.cycle,
+                    Event::TunerEpoch {
+                        unit,
+                        critical_wakeups: critical,
+                        window: self.idle_detect[ui],
+                    },
+                );
             }
             if self.sanitize {
                 if let Some((lo, hi)) = self.tuner.window_bounds() {
@@ -306,6 +347,12 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
                     let di = domain.index();
                     match self.states[di] {
                         GateState::Active { idle_run } => {
+                            // Per-cycle stepping would have stamped the
+                            // idle-detect start on the first cycle of
+                            // this bulk segment.
+                            if !obs.busy[di] && idle_run == 0 {
+                                self.emit(obs.cycle + done, Event::IdleDetect { domain });
+                            }
                             self.states[di] = GateState::Active {
                                 idle_run: if obs.busy[di] {
                                     0
@@ -386,6 +433,10 @@ impl<P: GatePolicy, T: IdleDetectTuner> PowerGating for Controller<P, T> {
 
     fn set_sanitize(&mut self, on: bool) {
         self.sanitize = on;
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     fn name(&self) -> &'static str {
@@ -742,6 +793,68 @@ mod tests {
         demand[UnitType::Fp.index()] = 1;
         let span = obs(8, [false; NUM_DOMAINS], demand, [0; 4]);
         assert_ff_matches(&prefix, &span, 300);
+    }
+
+    /// Sort key making event streams comparable across delivery modes:
+    /// within one cycle the fast-forward path may emit the same events
+    /// in a different interleaving than per-cycle stepping.
+    fn event_key(s: &warped_sim::Stamped) -> (u64, u8, usize) {
+        let (rank, di) = match s.event {
+            Event::IdleDetect { domain } => (0, domain.index()),
+            Event::Gate { domain } => (1, domain.index()),
+            Event::BlackoutHold { domain } => (2, domain.index()),
+            Event::Wakeup { domain, .. } => (3, domain.index()),
+            Event::WakeComplete { domain } => (4, domain.index()),
+            Event::TunerEpoch { unit, .. } => (5, unit.index()),
+            _ => (6, 0),
+        };
+        (s.cycle, rank, di)
+    }
+
+    #[test]
+    fn fast_forward_records_the_same_events_as_stepping() {
+        use warped_sim::probe::RecorderConfig;
+        // Prefix puts one INT cluster mid-wake, then a long quiet span
+        // crosses gates, wake completions, and two epoch boundaries.
+        let mut prefix: Vec<CycleObservation> = (0..6).map(quiet).collect();
+        let mut demand = [0; 4];
+        demand[UnitType::Int.index()] = 1;
+        prefix.push(obs(6, [false; NUM_DOMAINS], demand, [0; 4]));
+
+        let run = |fast: bool| -> Vec<warped_sim::Stamped> {
+            let rec = Recorder::new(RecorderConfig::default());
+            let mut c = conv();
+            c.set_recorder(rec.clone());
+            for o in &prefix {
+                c.observe(o);
+            }
+            if fast {
+                let mut t = Vec::new();
+                c.fast_forward(&quiet(7), 2500, &mut t);
+            } else {
+                for k in 0..2500 {
+                    c.observe(&quiet(7 + k));
+                }
+            }
+            let mut events = rec.take().events;
+            events.sort_by_key(event_key);
+            events
+        };
+
+        let fast = run(true);
+        let slow = run(false);
+        assert!(!fast.is_empty(), "the span must produce events");
+        assert!(
+            fast.iter()
+                .any(|s| matches!(s.event, Event::IdleDetect { .. })),
+            "idle-detect starts must survive bulk advancement"
+        );
+        assert!(
+            fast.iter()
+                .any(|s| matches!(s.event, Event::TunerEpoch { .. })),
+            "epoch boundaries must stamp tuner decisions"
+        );
+        assert_eq!(fast, slow, "telemetry streams diverge between modes");
     }
 
     #[test]

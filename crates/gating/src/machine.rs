@@ -6,6 +6,13 @@
 /// [`GateState::Active`] with a nonzero idle run; *Uncompensated* and
 /// *Compensated* are [`GateState::Gated`] with `elapsed` below or at/above
 /// the break-even time respectively; *Wakeup* is [`GateState::Waking`].
+///
+/// Every transition between these states is observable at runtime: when
+/// telemetry is armed ([`SmConfig::telemetry`](warped_sim::SmConfig)),
+/// the [`Controller`](crate::Controller) stamps an
+/// [`Event`](warped_sim::Event) — idle-detect start, gate, blackout
+/// hold, wakeup (with its critical/premature classification), and wake
+/// completion — at the cycle the transition is made.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GateState {
     /// Powered and usable; `idle_run` counts consecutive idle cycles

@@ -113,6 +113,12 @@ impl EnergyTimeline {
         &self.epochs
     }
 
+    /// The epoch length in cycles this timeline integrates over.
+    #[must_use]
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
     /// The (partial) energy of the epoch currently being integrated.
     #[must_use]
     pub fn current_epoch(&self, unit: UnitType) -> EpochEnergy {

@@ -115,6 +115,13 @@ pub struct SmConfig {
     /// disables the watchdog and keeps runs bit-reproducible across
     /// machines of different speeds.
     pub wall_clock_budget: Option<std::time::Duration>,
+    /// Telemetry recorder handle ([`Recorder`](crate::probe::Recorder)).
+    /// When set, the SM feeds it every cycle sample and fast-forward
+    /// span and hands clones to the gating controller and scheduler so
+    /// they can stamp state-machine events. Strictly observe-only:
+    /// cycle counts are bit-identical with telemetry armed or absent.
+    /// `None` (the default) compiles the probe out of the hot path.
+    pub telemetry: Option<crate::probe::Recorder>,
 }
 
 impl SmConfig {
@@ -130,6 +137,7 @@ impl SmConfig {
             fast_forward: true,
             sanitize: false,
             wall_clock_budget: None,
+            telemetry: None,
         }
     }
 
@@ -160,6 +168,7 @@ impl SmConfig {
             fast_forward: true,
             sanitize: true,
             wall_clock_budget: None,
+            telemetry: None,
         }
     }
 

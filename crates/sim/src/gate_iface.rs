@@ -260,6 +260,18 @@ pub trait PowerGating {
     fn set_sanitize(&mut self, on: bool) {
         let _ = on;
     }
+
+    /// Hands the controller a telemetry recorder
+    /// ([`Recorder`](crate::probe::Recorder)) to stamp state-machine
+    /// events on (idle-detect starts, gates, blackout holds, wakeups,
+    /// tuner epochs). Recording must be observe-only: installing a
+    /// recorder must not change any gating decision.
+    ///
+    /// The default drops the handle, which is always sound — the
+    /// controller simply contributes no events.
+    fn set_recorder(&mut self, recorder: crate::probe::Recorder) {
+        let _ = recorder;
+    }
 }
 
 /// The no-gating baseline: every unit is always powered.

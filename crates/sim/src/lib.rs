@@ -64,6 +64,7 @@ mod gate_iface;
 mod gpu;
 mod mem;
 pub mod parallel;
+pub mod probe;
 pub mod sanitize;
 mod sched;
 mod scoreboard;
@@ -80,6 +81,7 @@ pub use gate_iface::{
 };
 pub use gpu::{Gpu, GpuOutcome, LaunchConfig};
 pub use mem::MemorySubsystem;
+pub use probe::{Event, Recorder, RecorderConfig, Stamped, TelemetryLog};
 pub use sanitize::{GatingInvariants, Sanitizer};
 pub use sched::{
     Candidate, GtoScheduler, IssueCtx, LrrScheduler, TwoLevelScheduler, WarpScheduler,

@@ -1,0 +1,780 @@
+//! The telemetry probe: a bounded, observe-only event recorder.
+//!
+//! This module is the simulator-side core of the `warped-telemetry`
+//! subsystem (exporters, rollups, and views live in that crate; this
+//! module lives here so the gating controller and scheduler crates can
+//! emit events without new dependency edges). A [`Recorder`] is a
+//! cheaply cloneable handle to a fixed-capacity ring buffer of
+//! [`Stamped`] events plus per-epoch counter rollups. It is armed by
+//! setting [`SmConfig::telemetry`](crate::SmConfig); the simulator then
+//! feeds it every cycle through the same [`CycleObserver`] hooks
+//! external observers use, and the gating controller and scheduler
+//! receive a handle through [`PowerGating::set_recorder`] and
+//! [`WarpScheduler::set_recorder`].
+//!
+//! Recording is strictly observe-only: a recorder never feeds anything
+//! back into the simulation, so cycle counts are bit-identical with
+//! telemetry armed or absent (the sanitizer enforces the observable
+//! half of that claim). When the ring fills, the oldest events are
+//! dropped and counted — recording never allocates past the capacity
+//! chosen up front.
+//!
+//! [`PowerGating::set_recorder`]: crate::PowerGating::set_recorder
+//! [`WarpScheduler::set_recorder`]: crate::WarpScheduler::set_recorder
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::domain::{DomainId, NUM_DOMAINS};
+use crate::trace::{CycleObserver, CycleSample, SpanSample};
+use warped_isa::UnitType;
+
+/// One telemetry event. Stamped with the simulation cycle it became
+/// observable at ([`Stamped::cycle`]); never wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A domain's idle-detect counter left zero: the first idle cycle
+    /// of a (potential) gating opportunity.
+    IdleDetect {
+        /// The domain that started counting idle cycles.
+        domain: DomainId,
+    },
+    /// The gating controller gated a domain.
+    Gate {
+        /// The domain that entered the gated state.
+        domain: DomainId,
+    },
+    /// Demand arrived for a gated domain but the policy refused to wake
+    /// it (Blackout's break-even lock). One event per blocked cycle.
+    BlackoutHold {
+        /// The domain holding demand off.
+        domain: DomainId,
+    },
+    /// A gated domain began waking.
+    Wakeup {
+        /// The domain leaving the gated state.
+        domain: DomainId,
+        /// Cycles it had spent gated when the wakeup fired.
+        gated: u32,
+        /// Whether the wakeup fired exactly at the break-even time
+        /// (the paper's *critical wakeup*).
+        critical: bool,
+        /// Whether the wakeup fired before break-even (a net energy
+        /// loss; impossible under Blackout).
+        premature: bool,
+    },
+    /// A waking domain finished its voltage restore and became usable.
+    WakeComplete {
+        /// The domain that returned to the active state.
+        domain: DomainId,
+    },
+    /// A domain's pipeline-busy flag changed.
+    BusyEdge {
+        /// The domain whose busy flag flipped.
+        domain: DomainId,
+        /// The new busy state.
+        busy: bool,
+    },
+    /// A domain's powered flag (as seen by the issue stage) changed.
+    PowerEdge {
+        /// The domain whose power state flipped.
+        domain: DomainId,
+        /// The new power state (`true` = powered).
+        powered: bool,
+    },
+    /// An idle-detect tuner epoch elapsed and the window was
+    /// (re)decided for one CUDA-core unit type.
+    TunerEpoch {
+        /// The unit type whose window was adjusted.
+        unit: UnitType,
+        /// Critical wakeups observed during the finished epoch.
+        critical_wakeups: u32,
+        /// The idle-detect window in effect after the decision.
+        window: u32,
+    },
+    /// The GATES scheduler flipped its dynamic priority order.
+    PriorityFlip {
+        /// The unit type now holding the highest priority.
+        high: UnitType,
+    },
+    /// The simulator fast-forwarded its clock through a stall region.
+    FastForward {
+        /// Cycles skipped in one jump.
+        cycles: u64,
+    },
+}
+
+/// An [`Event`] with its simulation-cycle stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// The cycle at which the event became observable.
+    pub cycle: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Recorder sizing and rollup granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Maximum events retained; the oldest are dropped (and counted)
+    /// past this. The ring is allocated once, up front.
+    pub capacity: usize,
+    /// Cycles per metrics-rollup epoch (binning for
+    /// [`EpochCounters`]). Align this with the epoch length of any
+    /// energy timeline you intend to merge rollups with.
+    pub epoch_len: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            capacity: 1 << 16,
+            epoch_len: 1000,
+        }
+    }
+}
+
+/// Counter rollups for one epoch of `epoch_len` cycles.
+///
+/// Epoch `i` covers cycles `[i * epoch_len, (i + 1) * epoch_len)`.
+/// Unlike the event ring these are never dropped: one small struct per
+/// epoch, bounded by the simulation's cycle cap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochCounters {
+    /// Cycles of this epoch actually simulated so far.
+    pub cycles: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Sum of the active-warp count over the epoch's cycles.
+    pub active_warp_cycles: u64,
+    /// Domains gated ([`Event::Gate`]).
+    pub gate_events: u64,
+    /// Wakeups of any kind ([`Event::Wakeup`]).
+    pub wakeups: u64,
+    /// Wakeups that fired exactly at break-even.
+    pub critical_wakeups: u64,
+    /// Wakeups before break-even — the paper's wasted (net-loss) gates.
+    pub wasted_gates: u64,
+    /// Cycles a Blackout policy held demand off ([`Event::BlackoutHold`]).
+    pub blackout_holds: u64,
+    /// Fast-forward jumps that started in this epoch.
+    pub ff_spans: u64,
+    /// Cycles of this epoch covered by fast-forward jumps.
+    pub ff_cycles: u64,
+    /// GATES priority flips.
+    pub priority_flips: u64,
+}
+
+/// The initial busy/powered flags, from the first sample the recorder
+/// saw: the fixed point edge replay starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Baseline {
+    /// The first observed cycle.
+    pub cycle: u64,
+    /// Busy flags at that cycle.
+    pub busy: [bool; NUM_DOMAINS],
+    /// Powered flags at that cycle.
+    pub powered: [bool; NUM_DOMAINS],
+}
+
+/// Everything a recorder captured, drained into plain data.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryLog {
+    /// Retained events, oldest first, cycle stamps non-decreasing.
+    pub events: Vec<Stamped>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+    /// Per-epoch counter rollups (never dropped).
+    pub epochs: Vec<EpochCounters>,
+    /// Cycles per epoch, copied from [`RecorderConfig::epoch_len`].
+    pub epoch_len: u64,
+    /// Busy/powered flags at the first observed cycle, if any sample
+    /// arrived. [`Event::BusyEdge`]/[`Event::PowerEdge`] events are
+    /// diffs against this baseline.
+    pub baseline: Option<Baseline>,
+    /// The last cycle covered by any sample or event.
+    pub last_cycle: u64,
+}
+
+impl TelemetryLog {
+    /// Events concerning `domain`, in recorded order. Events without a
+    /// domain (tuner, scheduler, clock) are excluded.
+    pub fn events_for(&self, domain: DomainId) -> impl Iterator<Item = &Stamped> {
+        self.events.iter().filter(move |s| match s.event {
+            Event::IdleDetect { domain: d }
+            | Event::Gate { domain: d }
+            | Event::BlackoutHold { domain: d }
+            | Event::Wakeup { domain: d, .. }
+            | Event::WakeComplete { domain: d }
+            | Event::BusyEdge { domain: d, .. }
+            | Event::PowerEdge { domain: d, .. } => d == domain,
+            _ => false,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: RecorderConfig,
+    ring: VecDeque<Stamped>,
+    dropped: u64,
+    epochs: Vec<EpochCounters>,
+    baseline: Option<Baseline>,
+    prev_busy: [bool; NUM_DOMAINS],
+    prev_powered: [bool; NUM_DOMAINS],
+    last_cycle: u64,
+}
+
+impl Inner {
+    fn new(config: RecorderConfig) -> Self {
+        Inner {
+            config,
+            ring: VecDeque::with_capacity(config.capacity),
+            dropped: 0,
+            epochs: Vec::new(),
+            baseline: None,
+            prev_busy: [false; NUM_DOMAINS],
+            prev_powered: [false; NUM_DOMAINS],
+            last_cycle: 0,
+        }
+    }
+
+    fn epoch_mut(&mut self, cycle: u64) -> &mut EpochCounters {
+        let idx = (cycle / self.config.epoch_len) as usize;
+        if self.epochs.len() <= idx {
+            self.epochs.resize(idx + 1, EpochCounters::default());
+        }
+        &mut self.epochs[idx]
+    }
+
+    fn push(&mut self, cycle: u64, event: Event) {
+        if self.ring.len() == self.config.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Stamped { cycle, event });
+        self.last_cycle = self.last_cycle.max(cycle);
+        let bin = self.epoch_mut(cycle);
+        match event {
+            Event::Gate { .. } => bin.gate_events += 1,
+            Event::Wakeup {
+                critical,
+                premature,
+                ..
+            } => {
+                bin.wakeups += 1;
+                bin.critical_wakeups += u64::from(critical);
+                bin.wasted_gates += u64::from(premature);
+            }
+            Event::BlackoutHold { .. } => bin.blackout_holds += 1,
+            Event::PriorityFlip { .. } => bin.priority_flips += 1,
+            Event::FastForward { .. } => bin.ff_spans += 1,
+            _ => {}
+        }
+    }
+
+    fn note_cycles(&mut self, start: u64, count: u64, fast_forwarded: bool) {
+        let epoch = self.config.epoch_len;
+        let mut at = start;
+        let end = start + count;
+        while at < end {
+            let in_epoch = (epoch - at % epoch).min(end - at);
+            let bin = self.epoch_mut(at);
+            bin.cycles += in_epoch;
+            if fast_forwarded {
+                bin.ff_cycles += in_epoch;
+            }
+            at += in_epoch;
+        }
+    }
+
+    fn observe_sample(&mut self, sample: &CycleSample) {
+        if self.baseline.is_none() {
+            self.baseline = Some(Baseline {
+                cycle: sample.cycle,
+                busy: sample.busy,
+                powered: sample.powered,
+            });
+            self.prev_busy = sample.busy;
+            self.prev_powered = sample.powered;
+        } else {
+            self.diff_edges(sample.cycle, &sample.busy, &sample.powered);
+        }
+        self.note_cycles(sample.cycle, 1, false);
+        let bin = self.epoch_mut(sample.cycle);
+        bin.issued += u64::from(sample.issued);
+        bin.active_warp_cycles += u64::from(sample.active_warps);
+        self.last_cycle = self.last_cycle.max(sample.cycle);
+    }
+
+    fn diff_edges(
+        &mut self,
+        cycle: u64,
+        busy: &[bool; NUM_DOMAINS],
+        powered: &[bool; NUM_DOMAINS],
+    ) {
+        for i in 0..NUM_DOMAINS {
+            if busy[i] != self.prev_busy[i] {
+                self.prev_busy[i] = busy[i];
+                self.push(
+                    cycle,
+                    Event::BusyEdge {
+                        domain: DomainId::from_index(i),
+                        busy: busy[i],
+                    },
+                );
+            }
+            if powered[i] != self.prev_powered[i] {
+                self.prev_powered[i] = powered[i];
+                self.push(
+                    cycle,
+                    Event::PowerEdge {
+                        domain: DomainId::from_index(i),
+                        powered: powered[i],
+                    },
+                );
+            }
+        }
+    }
+
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        self.push(
+            span.start_cycle,
+            Event::FastForward {
+                cycles: span.cycles,
+            },
+        );
+        if self.baseline.is_none() {
+            self.baseline = Some(Baseline {
+                cycle: span.start_cycle,
+                busy: span.busy,
+                powered: span.powered,
+            });
+            self.prev_busy = span.busy;
+            self.prev_powered = span.powered;
+        } else {
+            self.diff_edges(span.start_cycle, &span.busy, &span.powered);
+        }
+        // Power edges inside the span, at their visibility cycle. An
+        // offset equal to the span length lands on the first cycle
+        // *after* the span — exactly where per-cycle stepping would
+        // have reported it — and updating `prev_powered` here keeps the
+        // next sample's diff from reporting it twice.
+        for t in span.transitions {
+            let i = t.domain.index();
+            if self.prev_powered[i] != t.powered {
+                self.prev_powered[i] = t.powered;
+                self.push(
+                    span.start_cycle + t.offset,
+                    Event::PowerEdge {
+                        domain: t.domain,
+                        powered: t.powered,
+                    },
+                );
+            }
+        }
+        self.note_cycles(span.start_cycle, span.cycles, true);
+        self.last_cycle = self.last_cycle.max(span.start_cycle + span.cycles - 1);
+    }
+
+    fn log(&self) -> TelemetryLog {
+        let mut events: Vec<Stamped> = self.ring.iter().copied().collect();
+        // Producers stamp events in cycle order individually, but a
+        // fast-forward span interleaves two producers (the controller
+        // emitting at future offsets, then the span's offset-0 edges),
+        // so the ring is only sorted per producer. A stable sort
+        // restores global cycle order while preserving same-cycle push
+        // order.
+        events.sort_by_key(|s| s.cycle);
+        TelemetryLog {
+            events,
+            dropped: self.dropped,
+            epochs: self.epochs.clone(),
+            epoch_len: self.config.epoch_len,
+            baseline: self.baseline,
+            last_cycle: self.last_cycle,
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle to a bounded telemetry ring buffer.
+///
+/// Clones share the same buffer (an `Arc`), so the handle stored on
+/// [`SmConfig::telemetry`](crate::SmConfig) and the one the caller
+/// keeps observe the same recording. Equality is identity: two handles
+/// compare equal exactly when they share a buffer, which keeps
+/// [`SmConfig`](crate::SmConfig)'s derived `PartialEq` meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use warped_sim::probe::{Event, Recorder, RecorderConfig};
+/// use warped_sim::DomainId;
+///
+/// let rec = Recorder::new(RecorderConfig::default());
+/// rec.record(7, Event::Gate { domain: DomainId::INT0 });
+/// let log = rec.take();
+/// assert_eq!(log.events.len(), 1);
+/// assert_eq!(log.events[0].cycle, 7);
+/// ```
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Recorder {
+    /// Creates a recorder; the event ring is allocated once, here.
+    #[must_use]
+    pub fn new(config: RecorderConfig) -> Self {
+        assert!(config.capacity > 0, "recorder capacity must be positive");
+        assert!(
+            config.epoch_len > 0,
+            "recorder epoch length must be positive"
+        );
+        Recorder {
+            inner: Arc::new(Mutex::new(Inner::new(config))),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned recorder would only ever be observed after a panic
+        // elsewhere; the data is observe-only, so keep serving it.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The configuration the recorder was built with.
+    #[must_use]
+    pub fn config(&self) -> RecorderConfig {
+        self.lock().config
+    }
+
+    /// Appends one event, dropping (and counting) the oldest if full.
+    pub fn record(&self, cycle: u64, event: Event) {
+        self.lock().push(cycle, event);
+    }
+
+    /// Feeds one cycle sample: busy/power edges are diffed against the
+    /// previous sample and issue counters are rolled into the cycle's
+    /// epoch. The first sample becomes the [`Baseline`].
+    pub fn observe_sample(&self, sample: &CycleSample) {
+        self.lock().observe_sample(sample);
+    }
+
+    /// Feeds one fast-forwarded span: records a
+    /// [`Event::FastForward`], the span's power edges at their
+    /// visibility cycles, and the covered cycles into epoch counters —
+    /// producing the same edge stream per-cycle delivery would have.
+    pub fn observe_span_sample(&self, span: &SpanSample<'_>) {
+        self.lock().observe_span(span);
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().ring.is_empty()
+    }
+
+    /// Events dropped so far because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Copies everything captured so far without clearing the recorder.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetryLog {
+        self.lock().log()
+    }
+
+    /// Drains the recorder: returns everything captured and resets the
+    /// ring, counters, and baseline (the configuration is kept).
+    #[must_use]
+    pub fn take(&self) -> TelemetryLog {
+        let mut inner = self.lock();
+        let log = inner.log();
+        let config = inner.config;
+        *inner = Inner::new(config);
+        log
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Recorder")
+            .field("capacity", &inner.config.capacity)
+            .field("epoch_len", &inner.config.epoch_len)
+            .field("events", &inner.ring.len())
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl CycleObserver for Recorder {
+    fn observe(&mut self, sample: &CycleSample) {
+        self.observe_sample(sample);
+    }
+
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        self.observe_span_sample(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate_iface::GateTransition;
+
+    fn rec(capacity: usize, epoch_len: u64) -> Recorder {
+        Recorder::new(RecorderConfig {
+            capacity,
+            epoch_len,
+        })
+    }
+
+    fn gate(d: DomainId) -> Event {
+        Event::Gate { domain: d }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let r = rec(3, 1000);
+        for c in 0..10 {
+            r.record(c, gate(DomainId::INT0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let log = r.take();
+        let cycles: Vec<u64> = log.events.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "oldest events are dropped first");
+        assert_eq!(log.dropped, 7);
+    }
+
+    #[test]
+    fn ring_never_grows_past_capacity() {
+        let r = rec(8, 1000);
+        let before = r.lock().ring.capacity();
+        for c in 0..10_000 {
+            r.record(c, gate(DomainId::FP1));
+        }
+        let after = r.lock().ring.capacity();
+        assert_eq!(before, after, "overflow must not reallocate the ring");
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn dropped_events_still_count_in_epochs() {
+        let r = rec(2, 100);
+        for c in 0..10 {
+            r.record(c, gate(DomainId::INT0));
+        }
+        let log = r.take();
+        assert_eq!(log.epochs[0].gate_events, 10, "rollups survive ring drops");
+    }
+
+    #[test]
+    fn events_bin_into_their_epoch() {
+        let r = rec(64, 100);
+        r.record(99, gate(DomainId::INT0));
+        r.record(100, gate(DomainId::INT0));
+        r.record(
+            250,
+            Event::Wakeup {
+                domain: DomainId::INT0,
+                gated: 5,
+                critical: false,
+                premature: true,
+            },
+        );
+        let log = r.take();
+        assert_eq!(log.epochs[0].gate_events, 1);
+        assert_eq!(log.epochs[1].gate_events, 1);
+        assert_eq!(log.epochs[2].wakeups, 1);
+        assert_eq!(log.epochs[2].wasted_gates, 1);
+        assert_eq!(log.epochs[2].critical_wakeups, 0);
+    }
+
+    fn sample(cycle: u64, busy0: bool, powered0: bool) -> CycleSample {
+        let mut busy = [false; NUM_DOMAINS];
+        busy[0] = busy0;
+        let mut powered = [false; NUM_DOMAINS];
+        powered[0] = powered0;
+        CycleSample {
+            cycle,
+            busy,
+            powered,
+            issued: u8::from(busy0),
+            active_warps: 3,
+        }
+    }
+
+    #[test]
+    fn first_sample_sets_baseline_without_edges() {
+        let r = rec(64, 1000);
+        r.observe_sample(&sample(0, true, true));
+        let log = r.snapshot();
+        assert!(log.events.is_empty());
+        let b = log.baseline.expect("baseline set");
+        assert_eq!(b.cycle, 0);
+        assert!(b.busy[0] && b.powered[0]);
+    }
+
+    #[test]
+    fn samples_emit_edges_only_on_change() {
+        let r = rec(64, 1000);
+        r.observe_sample(&sample(0, true, true));
+        r.observe_sample(&sample(1, true, true));
+        r.observe_sample(&sample(2, false, true));
+        r.observe_sample(&sample(3, false, false));
+        let log = r.take();
+        assert_eq!(
+            log.events,
+            vec![
+                Stamped {
+                    cycle: 2,
+                    event: Event::BusyEdge {
+                        domain: DomainId::INT0,
+                        busy: false
+                    }
+                },
+                Stamped {
+                    cycle: 3,
+                    event: Event::PowerEdge {
+                        domain: DomainId::INT0,
+                        powered: false
+                    }
+                },
+            ]
+        );
+        assert_eq!(log.epochs[0].cycles, 4);
+        assert_eq!(log.epochs[0].issued, 2);
+        assert_eq!(log.epochs[0].active_warp_cycles, 12);
+    }
+
+    #[test]
+    fn span_delivery_matches_expanded_per_cycle_delivery() {
+        let transitions = [
+            GateTransition {
+                offset: 3,
+                domain: DomainId::FP0,
+                powered: false,
+            },
+            GateTransition {
+                offset: 6,
+                domain: DomainId::FP0,
+                powered: true,
+            },
+        ];
+        let mut powered = [true; NUM_DOMAINS];
+        powered[DomainId::LDST.index()] = false;
+        let span = SpanSample {
+            start_cycle: 40,
+            cycles: 8,
+            busy: [false; NUM_DOMAINS],
+            powered,
+            transitions: &transitions,
+            active_warps: 0,
+        };
+        // Prime both recorders with the same pre-span sample so the
+        // baseline matches and the span's offset-0 state diffs cleanly.
+        let prime = CycleSample {
+            cycle: 39,
+            busy: [false; NUM_DOMAINS],
+            powered,
+            issued: 0,
+            active_warps: 0,
+        };
+        let spanned = rec(256, 50);
+        spanned.observe_sample(&prime);
+        spanned.observe_span_sample(&span);
+        let stepped = rec(256, 50);
+        stepped.observe_sample(&prime);
+        span.for_each_cycle(|s| stepped.observe_sample(s));
+
+        let a = spanned.take();
+        let b = stepped.take();
+        let strip = |log: &TelemetryLog| -> Vec<Stamped> {
+            log.events
+                .iter()
+                .copied()
+                .filter(|s| !matches!(s.event, Event::FastForward { .. }))
+                .collect()
+        };
+        assert_eq!(strip(&a), strip(&b), "edge streams must be identical");
+        // Counters identical except the fast-forward diagnostics.
+        let mut ea = a.epochs.clone();
+        for e in &mut ea {
+            e.ff_spans = 0;
+            e.ff_cycles = 0;
+        }
+        assert_eq!(ea, b.epochs);
+    }
+
+    #[test]
+    fn span_counters_split_across_epoch_boundaries() {
+        let r = rec(64, 100);
+        let span = SpanSample {
+            start_cycle: 90,
+            cycles: 120,
+            busy: [false; NUM_DOMAINS],
+            powered: [true; NUM_DOMAINS],
+            transitions: &[],
+            active_warps: 0,
+        };
+        r.observe_span_sample(&span);
+        let log = r.take();
+        assert_eq!(log.epochs[0].ff_cycles, 10);
+        assert_eq!(log.epochs[1].ff_cycles, 100);
+        assert_eq!(log.epochs[2].ff_cycles, 10);
+        assert_eq!(log.epochs[0].ff_spans, 1);
+        assert_eq!(log.last_cycle, 209);
+    }
+
+    #[test]
+    fn clones_share_the_buffer_and_compare_equal() {
+        let a = rec(16, 1000);
+        let b = a.clone();
+        b.record(1, gate(DomainId::SFU));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, rec(16, 1000));
+    }
+
+    #[test]
+    fn take_resets_but_keeps_config() {
+        let r = rec(4, 250);
+        r.record(1, gate(DomainId::INT1));
+        let first = r.take();
+        assert_eq!(first.events.len(), 1);
+        assert_eq!(first.epoch_len, 250);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.config().epoch_len, 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = rec(0, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_rejected() {
+        let _ = rec(8, 0);
+    }
+}

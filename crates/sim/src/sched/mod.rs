@@ -419,6 +419,18 @@ pub trait WarpScheduler {
 
     /// Human-readable scheduler name (used in reports and figures).
     fn name(&self) -> &'static str;
+
+    /// Hands the scheduler a telemetry recorder
+    /// ([`Recorder`](crate::probe::Recorder)) to stamp scheduling
+    /// events on (e.g. GATES priority flips). Recording must be
+    /// observe-only: installing a recorder must not change any
+    /// scheduling decision.
+    ///
+    /// The default drops the handle, which is always sound — the
+    /// scheduler simply contributes no events.
+    fn set_recorder(&mut self, recorder: crate::probe::Recorder) {
+        let _ = recorder;
+    }
 }
 
 #[cfg(test)]

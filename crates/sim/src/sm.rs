@@ -6,6 +6,7 @@ use crate::exec::ExecUnits;
 use crate::gate_iface::{CycleObservation, GateTransition, GatingReport, PowerGating};
 use crate::gpu::LaunchConfig;
 use crate::mem::MemorySubsystem;
+use crate::probe::Recorder;
 use crate::sanitize::Sanitizer;
 use crate::sched::{Candidate, IssueCtx, IssueScratch, WarpScheduler};
 use crate::stats::SimStats;
@@ -82,6 +83,7 @@ pub struct Sm {
     /// Reusable buffer for power-state edges captured while
     /// fast-forwarding.
     ff_transitions: Vec<GateTransition>,
+    recorder: Option<Recorder>,
     /// Gating invariant checker, present when [`SmConfig::sanitize`] is
     /// set. It rides the same sample stream as the external observer
     /// and panics at the first cycle where the controller violates one
@@ -113,7 +115,7 @@ impl Sm {
     pub fn new(
         config: SmConfig,
         launch: LaunchConfig,
-        scheduler: Box<dyn WarpScheduler>,
+        mut scheduler: Box<dyn WarpScheduler>,
         mut gating: Box<dyn PowerGating>,
     ) -> Self {
         config.validate();
@@ -132,6 +134,11 @@ impl Sm {
         } else {
             None
         };
+        let recorder = config.telemetry.clone();
+        if let Some(rec) = &recorder {
+            gating.set_recorder(rec.clone());
+            scheduler.set_recorder(rec.clone());
+        }
         Sm {
             config,
             layout,
@@ -157,6 +164,7 @@ impl Sm {
             barrier_warps: 0,
             ff_transitions: Vec::new(),
             sanitizer,
+            recorder,
         }
     }
 
@@ -168,7 +176,8 @@ impl Sm {
 
     /// Installs a per-cycle observer (tracing, waveforms, time series).
     ///
-    /// Pass an `Rc<RefCell<UtilizationTrace>>` (or any
+    /// Pass an `Rc<RefCell<...>>` wrapping `warped-telemetry`'s
+    /// `UtilizationTrace` or an energy timeline (or any
     /// [`CycleObserver`]) and keep a clone to read the recording after
     /// [`Sm::run`] consumes the simulator.
     pub fn set_observer(&mut self, observer: Box<dyn CycleObserver>) {
@@ -448,10 +457,10 @@ impl Sm {
             active_subset,
         });
 
-        // Phase 7: sanitizer and external observer taps. Both see the
-        // same sample; the sanitizer goes first so a violation panics
-        // before the observer records the poisoned cycle.
-        if self.observer_enabled || self.sanitizer.is_some() {
+        // Phase 7: sanitizer, telemetry, and external observer taps.
+        // All see the same sample; the sanitizer goes first so a
+        // violation panics before anything records the poisoned cycle.
+        if self.observer_enabled || self.sanitizer.is_some() || self.recorder.is_some() {
             let mut powered = [false; NUM_DOMAINS];
             for (p, on) in powered.iter_mut().zip(domain_on) {
                 *p = on;
@@ -465,6 +474,9 @@ impl Sm {
             };
             if let Some(s) = &mut self.sanitizer {
                 s.observe(&sample);
+            }
+            if let Some(r) = &self.recorder {
+                r.observe_sample(&sample);
             }
             if self.observer_enabled {
                 self.observer.observe(&sample);
@@ -592,7 +604,7 @@ impl Sm {
 
         // Phase 6: advance the gating controller across the whole
         // span, capturing every power-state edge it makes.
-        let tap = self.observer_enabled || self.sanitizer.is_some();
+        let tap = self.observer_enabled || self.sanitizer.is_some() || self.recorder.is_some();
         let mut powered = [false; NUM_DOMAINS];
         if tap {
             for d in self.layout.all() {
@@ -629,6 +641,9 @@ impl Sm {
             };
             if let Some(s) = &mut self.sanitizer {
                 s.observe_span(&sample);
+            }
+            if let Some(r) = &self.recorder {
+                r.observe_span_sample(&sample);
             }
             if self.observer_enabled {
                 self.observer.observe_span(&sample);

@@ -3,12 +3,13 @@
 //!
 //! The simulator calls the installed [`CycleObserver`] once per cycle
 //! with the busy and powered flags of every gating domain plus issue
-//! activity. [`UtilizationTrace`] is a ready-made observer that records
-//! a bounded window of those samples and renders them as an ASCII
-//! waveform — the fastest way to *see* what a scheduler or gating
-//! policy is doing.
+//! activity. This module defines only the tap itself (the sample types
+//! and the trait); ready-made consumers — the ASCII
+//! `UtilizationTrace`, Perfetto export, metrics rollups — live in the
+//! `warped-telemetry` crate, and the structured event recorder they
+//! feed on is [`crate::probe`].
 
-use crate::domain::{DomainId, NUM_DOMAINS};
+use crate::domain::NUM_DOMAINS;
 use crate::gate_iface::GateTransition;
 
 /// One cycle's observable state.
@@ -116,204 +117,14 @@ impl<T: CycleObserver> CycleObserver for std::rc::Rc<std::cell::RefCell<T>> {
     }
 }
 
-/// Records a bounded window of cycle samples and renders ASCII
-/// waveforms.
-///
-/// # Examples
-///
-/// ```
-/// use warped_sim::trace::{CycleObserver, CycleSample, UtilizationTrace};
-/// use warped_sim::{DomainId, NUM_DOMAINS};
-///
-/// let mut trace = UtilizationTrace::new(100);
-/// let mut busy = [false; NUM_DOMAINS];
-/// busy[DomainId::INT0.index()] = true;
-/// trace.observe(&CycleSample {
-///     cycle: 0,
-///     busy,
-///     powered: [true; NUM_DOMAINS],
-///     issued: 1,
-///     active_warps: 4,
-/// });
-/// assert_eq!(trace.len(), 1);
-/// let wave = trace.waveform(DomainId::INT0);
-/// assert_eq!(wave, "#");
-/// ```
-#[derive(Debug, Clone)]
-pub struct UtilizationTrace {
-    capacity: usize,
-    samples: Vec<CycleSample>,
-}
-
-impl UtilizationTrace {
-    /// Creates a trace that keeps the first `capacity` samples.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace capacity must be positive");
-        UtilizationTrace {
-            capacity,
-            samples: Vec::new(),
-        }
-    }
-
-    /// Number of samples recorded so far.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Whether no samples have been recorded.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// The recorded samples.
-    #[must_use]
-    pub fn samples(&self) -> &[CycleSample] {
-        &self.samples
-    }
-
-    /// Renders one domain's activity as a waveform string:
-    /// `#` busy, `.` idle-but-powered, `_` gated/waking.
-    #[must_use]
-    pub fn waveform(&self, domain: DomainId) -> String {
-        self.samples
-            .iter()
-            .map(|s| {
-                if s.busy[domain.index()] {
-                    '#'
-                } else if s.powered[domain.index()] {
-                    '.'
-                } else {
-                    '_'
-                }
-            })
-            .collect()
-    }
-
-    /// Renders the active-warp count as a single-digit density track
-    /// (0-9, saturating).
-    #[must_use]
-    pub fn occupancy_track(&self) -> String {
-        self.samples
-            .iter()
-            .map(|s| {
-                let d = (s.active_warps / 5).min(9);
-                char::from_digit(d, 10).expect("digit in range")
-            })
-            .collect()
-    }
-
-    /// Fraction of recorded cycles each domain spent powered-but-idle —
-    /// the leakage-wasting state power gating targets.
-    #[must_use]
-    pub fn wasted_fraction(&self, domain: DomainId) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let wasted = self
-            .samples
-            .iter()
-            .filter(|s| !s.busy[domain.index()] && s.powered[domain.index()])
-            .count();
-        wasted as f64 / self.samples.len() as f64
-    }
-}
-
-impl CycleObserver for UtilizationTrace {
-    fn observe(&mut self, sample: &CycleSample) {
-        if self.samples.len() < self.capacity {
-            self.samples.push(*sample);
-        }
-    }
-
-    fn observe_span(&mut self, span: &SpanSample<'_>) {
-        // Only the part of the span that still fits is recorded, so a
-        // full trace skips the expansion entirely.
-        if self.samples.len() >= self.capacity {
-            return;
-        }
-        span.for_each_cycle(|s| self.observe(s));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn sample(cycle: u64, busy0: bool, powered0: bool) -> CycleSample {
-        let mut busy = [false; NUM_DOMAINS];
-        busy[0] = busy0;
-        let mut powered = [true; NUM_DOMAINS];
-        powered[0] = powered0;
-        CycleSample {
-            cycle,
-            busy,
-            powered,
-            issued: u8::from(busy0),
-            active_warps: 7,
-        }
-    }
-
-    #[test]
-    fn waveform_encodes_three_states() {
-        let mut t = UtilizationTrace::new(10);
-        t.observe(&sample(0, true, true));
-        t.observe(&sample(1, false, true));
-        t.observe(&sample(2, false, false));
-        assert_eq!(t.waveform(DomainId::INT0), "#._");
-    }
-
-    #[test]
-    fn capacity_bounds_recording() {
-        let mut t = UtilizationTrace::new(2);
-        for c in 0..5 {
-            t.observe(&sample(c, true, true));
-        }
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    fn wasted_fraction_counts_powered_idle_only() {
-        let mut t = UtilizationTrace::new(10);
-        t.observe(&sample(0, true, true)); // busy
-        t.observe(&sample(1, false, true)); // wasted
-        t.observe(&sample(2, false, false)); // gated: not wasted
-        t.observe(&sample(3, false, true)); // wasted
-        assert!((t.wasted_fraction(DomainId::INT0) - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn occupancy_track_saturates_at_nine() {
-        let mut t = UtilizationTrace::new(4);
-        let mut s = sample(0, true, true);
-        s.active_warps = 48;
-        t.observe(&s);
-        assert_eq!(t.occupancy_track(), "9");
-    }
-
-    #[test]
-    fn empty_trace_is_well_behaved() {
-        let t = UtilizationTrace::new(4);
-        assert!(t.is_empty());
-        assert_eq!(t.waveform(DomainId::FP0), "");
-        assert_eq!(t.wasted_fraction(DomainId::FP0), 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity")]
-    fn zero_capacity_rejected() {
-        let _ = UtilizationTrace::new(0);
-    }
+    use crate::domain::DomainId;
 
     #[test]
     fn span_expansion_applies_transitions_at_their_offset() {
-        let mut t = UtilizationTrace::new(16);
+        let mut seen = Vec::new();
         let span = SpanSample {
             start_cycle: 100,
             cycles: 5,
@@ -324,31 +135,14 @@ mod tests {
                 domain: DomainId::INT0,
                 powered: false,
             }],
-            active_warps: 0,
+            active_warps: 3,
         };
-        t.observe_span(&span);
-        assert_eq!(t.len(), 5);
-        assert_eq!(t.waveform(DomainId::INT0), "..___");
-        assert_eq!(t.samples()[0].cycle, 100);
-        assert_eq!(t.samples()[4].cycle, 104);
-        assert!(t.samples().iter().all(|s| s.issued == 0));
-    }
-
-    #[test]
-    fn span_expansion_respects_capacity() {
-        let mut t = UtilizationTrace::new(3);
-        let span = SpanSample {
-            start_cycle: 0,
-            cycles: 10,
-            busy: [false; NUM_DOMAINS],
-            powered: [true; NUM_DOMAINS],
-            transitions: &[],
-            active_warps: 0,
-        };
-        t.observe_span(&span);
-        assert_eq!(t.len(), 3);
-        // A full trace ignores further spans entirely.
-        t.observe_span(&span);
-        assert_eq!(t.len(), 3);
+        span.for_each_cycle(|s| seen.push(*s));
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0].cycle, 100);
+        assert_eq!(seen[4].cycle, 104);
+        let int0: Vec<bool> = seen.iter().map(|s| s.powered[0]).collect();
+        assert_eq!(int0, [true, true, false, false, false]);
+        assert!(seen.iter().all(|s| s.issued == 0 && s.active_warps == 3));
     }
 }

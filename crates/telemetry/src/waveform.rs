@@ -1,0 +1,363 @@
+//! ASCII waveform views: a bounded sample-window observer
+//! ([`UtilizationTrace`]) and replay helpers that rebuild the same
+//! waveforms from a recorded [`TelemetryLog`].
+
+use warped_sim::probe::{Event, TelemetryLog};
+use warped_sim::trace::{CycleObserver, CycleSample, SpanSample};
+use warped_sim::{DomainId, NUM_DOMAINS};
+
+/// Records a bounded window of cycle samples and renders ASCII
+/// waveforms.
+///
+/// # Examples
+///
+/// ```
+/// use warped_telemetry::UtilizationTrace;
+/// use warped_sim::trace::{CycleObserver, CycleSample};
+/// use warped_sim::{DomainId, NUM_DOMAINS};
+///
+/// let mut trace = UtilizationTrace::new(100);
+/// let mut busy = [false; NUM_DOMAINS];
+/// busy[DomainId::INT0.index()] = true;
+/// trace.observe(&CycleSample {
+///     cycle: 0,
+///     busy,
+///     powered: [true; NUM_DOMAINS],
+///     issued: 1,
+///     active_warps: 4,
+/// });
+/// assert_eq!(trace.len(), 1);
+/// let wave = trace.waveform(DomainId::INT0);
+/// assert_eq!(wave, "#");
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationTrace {
+    capacity: usize,
+    samples: Vec<CycleSample>,
+}
+
+impl UtilizationTrace {
+    /// Creates a trace that keeps the first `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        UtilizationTrace {
+            capacity,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of samples recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples.
+    #[must_use]
+    pub fn samples(&self) -> &[CycleSample] {
+        &self.samples
+    }
+
+    /// Renders one domain's activity as a waveform string:
+    /// `#` busy, `.` idle-but-powered, `_` gated/waking.
+    #[must_use]
+    pub fn waveform(&self, domain: DomainId) -> String {
+        self.samples
+            .iter()
+            .map(|s| state_char(s.busy[domain.index()], s.powered[domain.index()]))
+            .collect()
+    }
+
+    /// Renders the active-warp count as a single-digit density track
+    /// (0-9, saturating).
+    #[must_use]
+    pub fn occupancy_track(&self) -> String {
+        self.samples
+            .iter()
+            .map(|s| {
+                let d = (s.active_warps / 5).min(9);
+                char::from_digit(d, 10).expect("digit in range")
+            })
+            .collect()
+    }
+
+    /// Fraction of recorded cycles each domain spent powered-but-idle —
+    /// the leakage-wasting state power gating targets.
+    #[must_use]
+    pub fn wasted_fraction(&self, domain: DomainId) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let wasted = self
+            .samples
+            .iter()
+            .filter(|s| !s.busy[domain.index()] && s.powered[domain.index()])
+            .count();
+        wasted as f64 / self.samples.len() as f64
+    }
+}
+
+impl CycleObserver for UtilizationTrace {
+    fn observe(&mut self, sample: &CycleSample) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(*sample);
+        }
+    }
+
+    fn observe_span(&mut self, span: &SpanSample<'_>) {
+        // Only the part of the span that still fits is recorded, so a
+        // full trace skips the expansion entirely.
+        if self.samples.len() >= self.capacity {
+            return;
+        }
+        span.for_each_cycle(|s| self.observe(s));
+    }
+}
+
+fn state_char(busy: bool, powered: bool) -> char {
+    if busy {
+        '#'
+    } else if powered {
+        '.'
+    } else {
+        '_'
+    }
+}
+
+/// Replays a recorded log's busy/power edges into the same waveform
+/// string [`UtilizationTrace::waveform`] would have produced over the
+/// first `limit` cycles: `#` busy, `.` idle-but-powered, `_`
+/// gated/waking.
+///
+/// The replay starts from the log's [`Baseline`](crate::Baseline) and
+/// applies each [`Event::BusyEdge`]/[`Event::PowerEdge`] at its stamped
+/// cycle. It is exact when no events were dropped (`log.dropped == 0`);
+/// a clipped ring loses the oldest edges, skewing every cycle before
+/// the first retained one. Returns an empty string for a log with no
+/// baseline (nothing was ever sampled).
+#[must_use]
+pub fn waveform_from_log(log: &TelemetryLog, domain: DomainId, limit: usize) -> String {
+    replay(log, domain, limit).0
+}
+
+/// Fraction of replayed cycles `domain` spent powered-but-idle,
+/// computed from the log's edge stream (exact when `log.dropped == 0`).
+/// Zero for an empty log.
+#[must_use]
+pub fn wasted_fraction_from_log(log: &TelemetryLog, domain: DomainId) -> f64 {
+    let (_, wasted, total) = replay(log, domain, usize::MAX);
+    if total == 0 {
+        0.0
+    } else {
+        wasted as f64 / total as f64
+    }
+}
+
+/// Shared replay core: walks cycles `baseline.cycle..=last_cycle`
+/// (capped at `limit` characters), returning the waveform, the
+/// powered-but-idle cycle count, and the total replayed cycle count.
+fn replay(log: &TelemetryLog, domain: DomainId, limit: usize) -> (String, u64, u64) {
+    let Some(base) = log.baseline else {
+        return (String::new(), 0, 0);
+    };
+    let di = domain.index();
+    debug_assert!(di < NUM_DOMAINS);
+    let mut busy = base.busy[di];
+    let mut powered = base.powered[di];
+    // Edges for this domain, in stamp order (the ring preserves it).
+    let mut edges = log
+        .events_for(domain)
+        .filter(|s| matches!(s.event, Event::BusyEdge { .. } | Event::PowerEdge { .. }));
+    let mut next = edges.next();
+    let mut wave = String::new();
+    let mut wasted: u64 = 0;
+    let mut total: u64 = 0;
+    let mut cycle = base.cycle;
+    while cycle <= log.last_cycle && (total as usize) < limit {
+        while let Some(e) = next {
+            if e.cycle > cycle {
+                break;
+            }
+            match e.event {
+                Event::BusyEdge { busy: b, .. } => busy = b,
+                Event::PowerEdge { powered: p, .. } => powered = p,
+                _ => {}
+            }
+            next = edges.next();
+        }
+        wave.push(state_char(busy, powered));
+        wasted += u64::from(!busy && powered);
+        total += 1;
+        cycle += 1;
+    }
+    (wave, wasted, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_sim::probe::{Recorder, RecorderConfig};
+    use warped_sim::GateTransition;
+
+    fn sample(cycle: u64, busy0: bool, powered0: bool) -> CycleSample {
+        let mut busy = [false; NUM_DOMAINS];
+        busy[0] = busy0;
+        let mut powered = [true; NUM_DOMAINS];
+        powered[0] = powered0;
+        CycleSample {
+            cycle,
+            busy,
+            powered,
+            issued: u8::from(busy0),
+            active_warps: 7,
+        }
+    }
+
+    #[test]
+    fn waveform_encodes_three_states() {
+        let mut t = UtilizationTrace::new(10);
+        t.observe(&sample(0, true, true));
+        t.observe(&sample(1, false, true));
+        t.observe(&sample(2, false, false));
+        assert_eq!(t.waveform(DomainId::INT0), "#._");
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut t = UtilizationTrace::new(2);
+        for c in 0..5 {
+            t.observe(&sample(c, true, true));
+        }
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn wasted_fraction_counts_powered_idle_only() {
+        let mut t = UtilizationTrace::new(10);
+        t.observe(&sample(0, true, true)); // busy
+        t.observe(&sample(1, false, true)); // wasted
+        t.observe(&sample(2, false, false)); // gated: not wasted
+        t.observe(&sample(3, false, true)); // wasted
+        assert!((t.wasted_fraction(DomainId::INT0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_track_saturates_at_nine() {
+        let mut t = UtilizationTrace::new(4);
+        let mut s = sample(0, true, true);
+        s.active_warps = 48;
+        t.observe(&s);
+        assert_eq!(t.occupancy_track(), "9");
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = UtilizationTrace::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.waveform(DomainId::FP0), "");
+        assert_eq!(t.wasted_fraction(DomainId::FP0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = UtilizationTrace::new(0);
+    }
+
+    #[test]
+    fn span_expansion_applies_transitions_at_their_offset() {
+        let mut t = UtilizationTrace::new(16);
+        let span = SpanSample {
+            start_cycle: 100,
+            cycles: 5,
+            busy: [false; NUM_DOMAINS],
+            powered: [true; NUM_DOMAINS],
+            transitions: &[GateTransition {
+                offset: 2,
+                domain: DomainId::INT0,
+                powered: false,
+            }],
+            active_warps: 0,
+        };
+        t.observe_span(&span);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.waveform(DomainId::INT0), "..___");
+        assert_eq!(t.samples()[0].cycle, 100);
+        assert_eq!(t.samples()[4].cycle, 104);
+        assert!(t.samples().iter().all(|s| s.issued == 0));
+    }
+
+    #[test]
+    fn span_expansion_respects_capacity() {
+        let mut t = UtilizationTrace::new(3);
+        let span = SpanSample {
+            start_cycle: 0,
+            cycles: 10,
+            busy: [false; NUM_DOMAINS],
+            powered: [true; NUM_DOMAINS],
+            transitions: &[],
+            active_warps: 0,
+        };
+        t.observe_span(&span);
+        assert_eq!(t.len(), 3);
+        // A full trace ignores further spans entirely.
+        t.observe_span(&span);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn log_replay_matches_the_observer_waveform() {
+        // Feed the same sample stream to an observer trace and a
+        // recorder; the replayed waveform must match character for
+        // character, wasted fraction included.
+        let states = [
+            (true, true),
+            (true, true),
+            (false, true),
+            (false, true),
+            (false, false),
+            (false, false),
+            (false, true),
+            (true, true),
+        ];
+        let mut t = UtilizationTrace::new(64);
+        let rec = Recorder::new(RecorderConfig::default());
+        for (c, (b, p)) in states.iter().enumerate() {
+            let s = sample(c as u64, *b, *p);
+            t.observe(&s);
+            rec.observe_sample(&s);
+        }
+        let log = rec.take();
+        assert_eq!(log.dropped, 0);
+        assert_eq!(
+            waveform_from_log(&log, DomainId::INT0, usize::MAX),
+            t.waveform(DomainId::INT0)
+        );
+        assert!(
+            (wasted_fraction_from_log(&log, DomainId::INT0) - t.wasted_fraction(DomainId::INT0))
+                .abs()
+                < 1e-12
+        );
+        // The limit truncates the rendering.
+        assert_eq!(waveform_from_log(&log, DomainId::INT0, 3), "##.");
+    }
+
+    #[test]
+    fn log_replay_of_empty_log_is_empty() {
+        let rec = Recorder::new(RecorderConfig::default());
+        let log = rec.take();
+        assert_eq!(waveform_from_log(&log, DomainId::SFU, 10), "");
+        assert_eq!(wasted_fraction_from_log(&log, DomainId::SFU), 0.0);
+    }
+}

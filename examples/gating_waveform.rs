@@ -14,7 +14,7 @@ use std::rc::Rc;
 use warped_gates_repro::gates::Technique;
 use warped_gates_repro::gating::GatingParams;
 use warped_gates_repro::prelude::*;
-use warped_gates_repro::sim::trace::UtilizationTrace;
+use warped_gates_repro::telemetry::UtilizationTrace;
 
 fn main() {
     let name = std::env::args()

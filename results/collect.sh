@@ -1,16 +1,47 @@
 #!/bin/bash
+# Regenerates every checked-in results/*.txt artifact.
+#
+# Stderr handling: a figure's stderr is kept as results/<name>.err only
+# when the run fails or prints something beyond the usual cargo/runner
+# progress noise; otherwise it is discarded, and any stale .err left by
+# an earlier run is removed so the directory only ever holds real
+# errors.
 set -x
 cd /root/repo
+
+# run <name> [args...]: one figure binary -> results/<name>.txt
+run() {
+  local name=$1
+  shift
+  local err
+  err=$(mktemp)
+  if cargo run --release -p warped-bench --bin "$name" -- "$@" \
+      >"results/$name.txt" 2>"$err"; then
+    if grep -Ev '^(    Finished|     Running|running [0-9]+ jobs|warning:)' "$err" | grep -q .; then
+      mv "$err" "results/$name.err"
+    else
+      rm -f "$err" "results/$name.err"
+    fi
+  else
+    mv "$err" "results/$name.err"
+    echo "FAILED: $name (stderr kept in results/$name.err)" >&2
+  fi
+}
+
 for f in fig01b fig03 fig05 fig08 fig09 fig10 chip_savings; do
-  cargo run --release -p warped-bench --bin $f -- --scale 1.0 > results/$f.txt 2>results/$f.err
+  run "$f" --scale 1.0
 done
-cargo run --release -p warped-bench --bin hw_overhead > results/hw_overhead.txt 2>/dev/null
-cargo run --release -p warped-bench --bin fig06 -- --scale 0.5 > results/fig06.txt 2>results/fig06.err
-cargo run --release -p warped-bench --bin fig11 -- --scale 0.5 > results/fig11.txt 2>results/fig11.err
+run hw_overhead
+run fig06 --scale 0.5
+run fig11 --scale 0.5
 echo ALL_DONE
 # extension studies
-cargo run --release -p warped-bench --bin granularity -- --scale 0.3 > results/granularity.txt 2>/dev/null
-cargo run --release -p warped-bench --bin kepler_study -- --scale 0.3 > results/kepler_study.txt 2>/dev/null
-cargo run --release -p warped-bench --bin width_study -- --scale 0.3 > results/width_study.txt 2>/dev/null
-cargo run --release -p warped-bench --bin ablation -- --scale 0.2 > results/ablation.txt 2>/dev/null
+run granularity --scale 0.3
+run kepler_study --scale 0.3
+run width_study --scale 0.3
+run ablation --scale 0.2
+# timeline capture for the Figure 4 scheduling illustration (see
+# EXPERIMENTS.md): deterministic Perfetto trace + per-epoch metrics.
+run timeline --bench hotspot --technique warped-gates --scale 0.1 \
+  --out-dir results/timeline
 echo EXTENSIONS_DONE

@@ -19,6 +19,7 @@ fi
 step "cargo clippy"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --workspace --release -- -D warnings
 else
     echo "clippy not installed; skipping"
 fi
@@ -70,6 +71,48 @@ cargo run --release -q -p warped-bench --bin sweep -- \
 test ! -f "$outdir/chaos/sweep_failures.json" \
     || { echo "verify: FAIL — manifest should clear after a clean resume" >&2; exit 1; }
 echo "chaos cell isolated, manifest written, resume healed the grid"
+
+step "telemetry smoke (timeline capture: valid, deterministic, monotone tracks)"
+cargo run --release -q -p warped-bench --bin timeline -- \
+    --bench hotspot --technique warped-gates --scale 0.1 --out-dir "$outdir/tl1"
+cargo run --release -q -p warped-bench --bin timeline -- \
+    --bench hotspot --technique warped-gates --scale 0.1 --out-dir "$outdir/tl2"
+cmp "$outdir/tl1/trace.perfetto.json" "$outdir/tl2/trace.perfetto.json" \
+    || { echo "verify: FAIL — timeline trace is not deterministic" >&2; exit 1; }
+cmp "$outdir/tl1/metrics.jsonl" "$outdir/tl2/metrics.jsonl" \
+    || { echo "verify: FAIL — timeline metrics are not deterministic" >&2; exit 1; }
+python3 - "$outdir/tl1/trace.perfetto.json" <<'PY'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty trace"
+
+# Event cycle-stamps must be monotone per (pid, tid) track.
+last = {}
+for e in events:
+    if "ts" not in e:
+        continue
+    key = (e["pid"], e["tid"])
+    assert last.get(key, 0) <= e["ts"], f"track {key} went backwards"
+    last[key] = e["ts"]
+
+# Gating state lanes must exist for all four unit types.
+names = {
+    (e["pid"], e["tid"]): e["args"]["name"]
+    for e in events
+    if e["ph"] == "M" and e["name"] == "thread_name"
+}
+gated = {
+    names[(e["pid"], e["tid"])]
+    for e in events
+    if e.get("ph") == "X" and e["name"] == "gated"
+}
+units = {t.rstrip("0123456789") for t in gated}
+assert {"INT", "FP", "SFU", "LDST"} <= units, f"gated lanes only on {sorted(gated)}"
+print(f"trace OK: {len(events)} events, gated lanes on {sorted(gated)}")
+PY
+echo "timeline capture valid, deterministic, and gates all four unit types"
 
 echo
 echo "verify: all checks passed"

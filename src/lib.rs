@@ -13,7 +13,9 @@
 //! * [`power`] — GPUWattch-style energy/area models,
 //! * [`workloads`] — the 18 synthetic benchmark stand-ins,
 //! * [`gates`] — the paper's contribution: GATES, Blackout, adaptive
-//!   idle detect, and the experiment runner.
+//!   idle detect, and the experiment runner,
+//! * [`telemetry`] — structured observability: the event-recorder views,
+//!   Perfetto trace export, and per-epoch metrics rollups.
 //!
 //! See the repository's `README.md` for a guided tour and
 //! `EXPERIMENTS.md` for the paper-vs-measured record of every figure.
@@ -26,6 +28,7 @@ pub use warped_gating as gating;
 pub use warped_isa as isa;
 pub use warped_power as power;
 pub use warped_sim as sim;
+pub use warped_telemetry as telemetry;
 pub use warped_workloads as workloads;
 
 /// One-stop imports for examples and tests.

@@ -1,0 +1,89 @@
+//! Golden-file test for the Perfetto exporter: a fixed tiny kernel run
+//! under Warped Gates must render to byte-identical JSON on every
+//! platform and every run. Any intentional exporter change regenerates
+//! the golden with `BLESS=1 cargo test --test golden_perfetto`.
+
+use std::path::PathBuf;
+
+use warped_gates_repro::gates::Technique;
+use warped_gates_repro::gating::GatingParams;
+use warped_gates_repro::prelude::*;
+use warped_gates_repro::sim::DomainLayout;
+use warped_gates_repro::telemetry::{perfetto, Recorder, RecorderConfig};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("tiny_trace.perfetto.json")
+}
+
+/// A fixed kernel exercising every unit type (INT, FP, SFU, LDST) with
+/// enough idle slack between bursts for gating episodes on each.
+fn capture() -> String {
+    let kernel = KernelBuilder::new("golden-tiny")
+        .begin_loop(6)
+        .iadd(16, 8, 0)
+        .imul(17, 9, 1)
+        .fadd(18, 10, 2)
+        .ffma(19, 11, 3, 4)
+        .load_global(100)
+        .sfu(20, 12)
+        .barrier()
+        .end_loop()
+        .store_global(0)
+        .build();
+    let rec = Recorder::new(RecorderConfig {
+        capacity: 1 << 16,
+        epoch_len: 250,
+    });
+    let mut cfg = SmConfig::small_for_tests();
+    cfg.telemetry = Some(rec.clone());
+    let technique = Technique::WarpedGates;
+    let sm = Sm::new(
+        cfg,
+        LaunchConfig::new(kernel, 6).with_block_warps(3),
+        technique.make_scheduler(),
+        technique.make_gating(GatingParams::default()),
+    );
+    let outcome = sm.run();
+    assert!(!outcome.timed_out);
+    perfetto::render(
+        &rec.take(),
+        DomainLayout::fermi(),
+        "golden-tiny × Warped Gates",
+    )
+}
+
+#[test]
+fn exporter_output_is_byte_stable() {
+    let rendered = capture();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with BLESS=1", path.display()));
+    assert_eq!(
+        rendered,
+        golden,
+        "exporter output drifted from {}; if intentional, re-bless",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_capture_has_gating_lanes_for_every_unit_type() {
+    let rendered = capture();
+    // Each thread (domain track) that gates carries a "gated" slice; the
+    // kernel touches all four unit types, so all four must gate.
+    for track in ["INT0", "INT1", "FP0", "FP1", "SFU", "LDST"] {
+        assert!(
+            rendered.contains(&format!("\"name\":\"{track}\"")),
+            "{track} track missing"
+        );
+    }
+    assert!(rendered.contains("\"name\":\"gated\""));
+}

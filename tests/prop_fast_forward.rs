@@ -16,8 +16,11 @@ use warped_gates_repro::isa::{Kernel, KernelBuilder};
 use warped_gates_repro::power::{EnergyTimeline, PowerParams};
 use warped_gates_repro::prelude::*;
 use warped_gates_repro::sim::stats::SimStats;
-use warped_gates_repro::sim::trace::{CycleObserver, CycleSample, SpanSample, UtilizationTrace};
+use warped_gates_repro::sim::trace::{CycleObserver, CycleSample, SpanSample};
 use warped_gates_repro::sim::DomainLayout;
+use warped_gates_repro::telemetry::{
+    Event, Recorder, RecorderConfig, Stamped, TelemetryLog, UtilizationTrace,
+};
 use warped_gates_repro::workloads::rng::SplitMix64;
 
 /// Fans one observation stream out to two observers, forwarding the
@@ -82,10 +85,12 @@ fn run(
     max_cycles: u64,
     fast_forward: bool,
     observer: Option<Box<dyn CycleObserver>>,
+    recorder: Option<Recorder>,
 ) -> SmOutcome {
     let mut cfg = SmConfig::small_for_tests();
     cfg.max_cycles = max_cycles;
     cfg.fast_forward = fast_forward;
+    cfg.telemetry = recorder;
     let mut sm = Sm::new(
         cfg,
         launch,
@@ -111,8 +116,8 @@ fn comparable(stats: &SimStats) -> SimStats {
 /// assert the property suite is not vacuously passing on unskippable
 /// workloads.
 fn assert_bit_equal(launch: LaunchConfig, technique: Technique, max_cycles: u64) -> u64 {
-    let fast = run(launch.clone(), technique, max_cycles, true, None);
-    let slow = run(launch, technique, max_cycles, false, None);
+    let fast = run(launch.clone(), technique, max_cycles, true, None, None);
+    let slow = run(launch, technique, max_cycles, false, None, None);
     assert_eq!(
         slow.stats.fast_forward_spans, 0,
         "disabled clock must not skip"
@@ -239,6 +244,7 @@ fn observers_see_identical_streams_under_skipping() {
                 2_000_000,
                 true,
                 Some(Box::new(Pair(tl_fast.clone(), tr_fast.clone()))),
+                None,
             );
             let slow = run(
                 launch.clone(),
@@ -246,6 +252,7 @@ fn observers_see_identical_streams_under_skipping() {
                 2_000_000,
                 false,
                 Some(Box::new(Pair(tl_slow.clone(), tr_slow.clone()))),
+                None,
             );
             assert_eq!(comparable(&fast.stats), comparable(&slow.stats));
 
@@ -264,6 +271,103 @@ fn observers_see_identical_streams_under_skipping() {
             }
             let (wf, ws) = (tr_fast.borrow(), tr_slow.borrow());
             assert_eq!(wf.samples(), ws.samples(), "{technique}: waveforms diverge");
+        }
+    }
+}
+
+/// Sorts events stamped on the same cycle into a canonical order, since
+/// the skipped and stepped clocks may interleave same-cycle events
+/// differently (e.g. a busy edge vs. the controller reacting to it).
+fn event_key(s: &Stamped) -> (u64, u8, usize, u8) {
+    let (rank, idx, flag) = match s.event {
+        Event::BusyEdge { domain, busy } => (0, domain.index(), u8::from(busy)),
+        Event::PowerEdge { domain, powered } => (1, domain.index(), u8::from(powered)),
+        Event::IdleDetect { domain } => (2, domain.index(), 0),
+        Event::Gate { domain } => (3, domain.index(), 0),
+        Event::BlackoutHold { domain } => (4, domain.index(), 0),
+        Event::Wakeup { domain, .. } => (5, domain.index(), 0),
+        Event::WakeComplete { domain } => (6, domain.index(), 0),
+        Event::TunerEpoch { unit, .. } => (7, unit.index(), 0),
+        Event::PriorityFlip { .. } => (8, 0, 0),
+        Event::FastForward { .. } => (9, 0, 0),
+    };
+    (s.cycle, rank, idx, flag)
+}
+
+#[test]
+fn armed_recorder_sees_identical_event_streams_under_skipping() {
+    // The structured event recorder is the telemetry subsystem's ground
+    // truth; a fast-forwarded run must stamp the same events at the
+    // same cycles as a stepped one, fast-forward jump markers aside.
+    let mut rng = SplitMix64::new(0xff_0005);
+    for _ in 0..3 {
+        let body = random_body(&mut rng, 14, true);
+        let trips = 1 + rng.below(9) as u32;
+        let warps = 2 + rng.below(5) as u32;
+        let kernel = build_kernel(&body, trips);
+        let launch = LaunchConfig::new(kernel.clone(), warps).with_block_warps(4);
+        for technique in [Technique::ConvPg, Technique::WarpedGates] {
+            let mk = || {
+                Recorder::new(RecorderConfig {
+                    capacity: 1 << 20,
+                    epoch_len: 500,
+                })
+            };
+            let (rec_fast, rec_slow) = (mk(), mk());
+            let fast = run(
+                launch.clone(),
+                technique,
+                2_000_000,
+                true,
+                None,
+                Some(rec_fast.clone()),
+            );
+            let slow = run(
+                launch.clone(),
+                technique,
+                2_000_000,
+                false,
+                None,
+                Some(rec_slow.clone()),
+            );
+            // Arming telemetry must not perturb the simulation either.
+            assert_eq!(comparable(&fast.stats), comparable(&slow.stats));
+            assert_eq!(fast.gating, slow.gating);
+
+            let (lf, ls) = (rec_fast.take(), rec_slow.take());
+            assert_eq!(lf.dropped, 0, "ring sized for the whole run");
+            assert_eq!(ls.dropped, 0);
+            assert_eq!(lf.baseline, ls.baseline);
+            assert_eq!(lf.last_cycle, ls.last_cycle);
+            assert!(!ls.events.is_empty(), "{technique}: recorder saw nothing");
+
+            // Fast-forward jump markers (and their epoch counters) are
+            // the one intentional difference between the two clocks.
+            let canonical = |log: &TelemetryLog| {
+                let mut events: Vec<Stamped> = log
+                    .events
+                    .iter()
+                    .copied()
+                    .filter(|s| !matches!(s.event, Event::FastForward { .. }))
+                    .collect();
+                events.sort_by_key(event_key);
+                let epochs: Vec<_> = log
+                    .epochs
+                    .iter()
+                    .map(|e| {
+                        let mut e = *e;
+                        e.ff_spans = 0;
+                        e.ff_cycles = 0;
+                        e
+                    })
+                    .collect();
+                (events, epochs)
+            };
+            assert_eq!(
+                canonical(&lf),
+                canonical(&ls),
+                "{technique}: event streams diverge"
+            );
         }
     }
 }
