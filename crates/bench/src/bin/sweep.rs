@@ -17,7 +17,7 @@ use warped_bench::sweep::{self, SweepConfig};
 use warped_bench::{exit_usage, workers_or_exit, ArgError};
 
 const USAGE: &str = "[--scale <f in (0,1]>] [--jobs <n >= 1>] [--resume] [--sanitize] \
-[--out-dir <dir>] [--timeout-secs <s > 0>] [--chaos <i,j,...>]";
+[--out-dir <dir>] [--timeout-secs <s > 0>] [--chaos <i,j,...>] [--trace-cell <i>]";
 
 fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
     let mut config = SweepConfig::new("results", workers_or_exit());
@@ -89,6 +89,16 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
                 config.job_timeout = Some(std::time::Duration::from_secs_f64(secs));
                 i += 2;
             }
+            "--trace-cell" => {
+                let v = value(args, i, "--trace-cell")?;
+                let cell: usize = v.parse().map_err(|_| ArgError::BadValue {
+                    flag: "--trace-cell".to_owned(),
+                    value: v.clone(),
+                    expected: "a grid index below 108",
+                })?;
+                config.trace_cell = Some(cell);
+                i += 2;
+            }
             "--chaos" => {
                 let v = value(args, i, "--chaos")?;
                 config.chaos = v
@@ -122,6 +132,16 @@ fn main() -> ExitCode {
             USAGE,
         );
     }
+    if config.trace_cell.is_some_and(|i| i >= 108) {
+        exit_usage(
+            &ArgError::BadValue {
+                flag: "--trace-cell".to_owned(),
+                value: format!("{}", config.trace_cell.unwrap()),
+                expected: "a grid index below 108 (18 benchmarks x 6 techniques)",
+            },
+            USAGE,
+        );
+    }
 
     println!(
         "sweep: full grid at scale {}, {} workers{}{}",
@@ -147,6 +167,15 @@ fn main() -> ExitCode {
         summary.failures.len()
     );
     println!("wrote {}", config.out_dir.join("bench_grid.json").display());
+    if let Some(cell) = config.trace_cell {
+        match sweep::trace_cell(&config, cell) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("sweep: cell trace failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if summary.ok() {
         ExitCode::SUCCESS
     } else {

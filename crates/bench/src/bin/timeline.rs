@@ -188,9 +188,19 @@ fn main() -> ExitCode {
         eprintln!("timeline: cell hit the cycle cap; trace covers the truncated run");
     }
 
-    let log = recorder.take();
+    // Drain the ring in bounded chunks (the same incremental path the
+    // service layer streams over HTTP), then take() the epoch/baseline
+    // metadata and reassemble the full log. Draining a finished
+    // recording chunk-by-chunk yields exactly `take()`'s event order,
+    // so the artifacts stay byte-identical.
+    let mut events = Vec::new();
+    for chunk in recorder.drain_chunks(64 * 1024) {
+        events.extend(chunk);
+    }
+    let mut log = recorder.take();
+    log.events = events;
     let title = format!("{} × {}", config.bench.name(), config.technique.name());
-    let trace = perfetto::render(&log, layout, &title);
+    let trace = perfetto::render_with_energy(&log, layout, &title, Some(&energy.borrow()));
     let rows = rollup::rows_with_energy(&log, &energy.borrow());
     let mut metrics = Vec::new();
     if let Err(e) = rollup::write_jsonl(&rows, &mut metrics) {

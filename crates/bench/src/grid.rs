@@ -1,0 +1,390 @@
+//! Reading `write_json` tables (notably `bench_grid.json`) back in.
+//!
+//! [`write_json`](crate::write_json) is the single serializer every
+//! sweep and figure artifact goes through; [`GridTable::parse`] is its
+//! inverse. Consumers — the `warped-serve` `/grid` endpoint, the
+//! verification scripts, future plotting tools — load the committed
+//! `results/bench_grid.json` and query cells by the same
+//! `"{benchmark}/{technique}"` row labels the sweep engine writes, so
+//! a freshly simulated cell can be diffed against the checked-in grid
+//! without a Python round trip.
+//!
+//! The parser is a small recursive-descent scanner over exactly the
+//! shape `write_json` emits (`title`/`headers`/`rows`, each row a
+//! `label` plus numeric `values`, `null` for non-finite numbers). It
+//! tolerates arbitrary inter-token whitespace but rejects unknown
+//! keys, so drift between writer and reader fails loudly.
+
+use std::io;
+use std::path::Path;
+
+/// One row of a table: the label plus one value per header column.
+/// A JSON `null` (how [`write_json`](crate::write_json) spells a
+/// non-finite number) loads as [`f64::NAN`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRow {
+    /// The row label, e.g. `"nw/Baseline"`.
+    pub label: String,
+    /// The numeric columns, in header order.
+    pub values: Vec<f64>,
+}
+
+/// An in-memory `write_json` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTable {
+    /// The table title, e.g. `"bench grid"`.
+    pub title: String,
+    /// Column names, e.g. `["cycles", "ff_cycles"]`.
+    pub headers: Vec<String>,
+    /// The rows, in file order.
+    pub rows: Vec<GridRow>,
+}
+
+/// Why a table failed to load.
+#[derive(Debug)]
+pub enum GridError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The bytes are not a `write_json` table.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What the parser expected there.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::Io(e) => write!(f, "cannot read grid: {e}"),
+            GridError::Parse { offset, message } => {
+                write!(f, "malformed grid at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<io::Error> for GridError {
+    fn from(e: io::Error) -> Self {
+        GridError::Io(e)
+    }
+}
+
+impl GridTable {
+    /// Loads and parses a table from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::Io`] if the file cannot be read and
+    /// [`GridError::Parse`] if it is not a `write_json` table.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, GridError> {
+        GridTable::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Parses a table from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::Parse`] (with a byte offset) on any
+    /// structural mismatch.
+    pub fn parse(text: &str) -> Result<Self, GridError> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            pos: 0,
+        };
+        p.token("{")?;
+        p.key("title")?;
+        let title = p.string()?;
+        p.token(",")?;
+        p.key("headers")?;
+        let headers = p.string_array()?;
+        p.token(",")?;
+        p.key("rows")?;
+        p.token("[")?;
+        let mut rows = Vec::new();
+        if !p.try_token("]") {
+            loop {
+                p.token("{")?;
+                p.key("label")?;
+                let label = p.string()?;
+                p.token(",")?;
+                p.key("values")?;
+                let values = p.number_array()?;
+                p.token("}")?;
+                rows.push(GridRow { label, values });
+                if !p.try_token(",") {
+                    break;
+                }
+            }
+            p.token("]")?;
+        }
+        p.token("}")?;
+        p.ws();
+        if p.pos != p.b.len() {
+            return Err(p.err("trailing bytes after the table"));
+        }
+        Ok(GridTable {
+            title,
+            headers,
+            rows,
+        })
+    }
+
+    /// The row with the given label, if present.
+    #[must_use]
+    pub fn row(&self, label: &str) -> Option<&GridRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// One cell, addressed by row label and column header.
+    #[must_use]
+    pub fn value(&self, label: &str, header: &str) -> Option<f64> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.row(label)?.values.get(col).copied()
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> GridError {
+        GridError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        while self
+            .b
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a literal token (after whitespace) or errors.
+    fn token(&mut self, t: &str) -> Result<(), GridError> {
+        if self.try_token(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{t}'")))
+        }
+    }
+
+    /// Consumes a literal token (after whitespace) if present.
+    fn try_token(&mut self, t: &str) -> bool {
+        self.ws();
+        if self.b[self.pos..].starts_with(t.as_bytes()) {
+            self.pos += t.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `"name":`.
+    fn key(&mut self, name: &str) -> Result<(), GridError> {
+        let got = self.string()?;
+        if got != name {
+            return Err(self.err(format!("expected key \"{name}\", found \"{got}\"")));
+        }
+        self.token(":")
+    }
+
+    /// Consumes a JSON string, decoding the escapes `write_json` emits
+    /// (`\"`, `\\`, `\uXXXX`) plus the standard short forms.
+    fn string(&mut self) -> Result<String, GridError> {
+        self.token("\"")?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .b
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .b
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-borrow the original UTF-8 for multi-byte chars.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.b.len() && (self.b[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Consumes a JSON number or `null` (→ NaN).
+    fn number(&mut self) -> Result<f64, GridError> {
+        if self.try_token("null") {
+            return Ok(f64::NAN);
+        }
+        self.ws();
+        let start = self.pos;
+        while self
+            .b
+            .get(self.pos)
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("expected a number or null"))
+    }
+
+    fn string_array(&mut self) -> Result<Vec<String>, GridError> {
+        self.array(Parser::string)
+    }
+
+    fn number_array(&mut self) -> Result<Vec<f64>, GridError> {
+        self.array(Parser::number)
+    }
+
+    fn array<T>(
+        &mut self,
+        mut elem: impl FnMut(&mut Self) -> Result<T, GridError>,
+    ) -> Result<Vec<T>, GridError> {
+        self.token("[")?;
+        let mut out = Vec::new();
+        if self.try_token("]") {
+            return Ok(out);
+        }
+        loop {
+            out.push(elem(self)?);
+            if !self.try_token(",") {
+                break;
+            }
+        }
+        self.token("]")?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\"title\":\"bench grid\",\"headers\":[\"cycles\",\"ff_cycles\"],\
+         \"rows\":[{\"label\":\"nw/Baseline\",\"values\":[130559,59691]},\
+         {\"label\":\"nw/ConvPG\",\"values\":[131072,null]}]}\n";
+
+    #[test]
+    fn parses_the_sweep_format() {
+        let t = GridTable::parse(SAMPLE).unwrap();
+        assert_eq!(t.title, "bench grid");
+        assert_eq!(t.headers, vec!["cycles", "ff_cycles"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.value("nw/Baseline", "cycles"), Some(130559.0));
+        assert_eq!(t.value("nw/Baseline", "ff_cycles"), Some(59691.0));
+        assert!(t.value("nw/ConvPG", "ff_cycles").unwrap().is_nan());
+        assert_eq!(t.value("nw/Baseline", "ipc"), None);
+        assert_eq!(t.value("lud/Baseline", "cycles"), None);
+    }
+
+    #[test]
+    fn round_trips_write_json_output() {
+        let dir = std::env::temp_dir().join("warped_grid_roundtrip_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let rows = vec![
+            ("hotspot/GATES".to_owned(), vec![123.0, 4.5]),
+            ("quote\"d\\label".to_owned(), vec![f64::NAN, -2e3]),
+        ];
+        crate::write_json(&dir, "Round Trip", &["a", "b"], &rows).unwrap();
+        let t = GridTable::load(dir.join("round_trip.json")).unwrap();
+        assert_eq!(t.title, "Round Trip");
+        assert_eq!(t.rows[0].values, vec![123.0, 4.5]);
+        assert_eq!(t.rows[1].label, "quote\"d\\label");
+        assert!(t.rows[1].values[0].is_nan());
+        assert_eq!(t.rows[1].values[1], -2000.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loads_the_committed_bench_grid_when_present() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_grid.json");
+        let Ok(t) = GridTable::load(&path) else {
+            // Fresh checkouts without regenerated results skip here.
+            return;
+        };
+        assert_eq!(t.title, "bench grid");
+        assert_eq!(t.headers, vec!["cycles", "ff_cycles"]);
+        assert_eq!(t.rows.len(), 108, "18 benchmarks x 6 techniques");
+        assert!(t.value("nw/Baseline", "cycles").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed_tables_with_an_offset() {
+        for bad in [
+            "",
+            "{",
+            "{\"title\":\"x\"}",
+            "{\"headers\":[],\"title\":\"x\",\"rows\":[]}",
+            "{\"title\":\"x\",\"headers\":[],\"rows\":[]} extra",
+            "{\"title\":\"x\",\"headers\":[],\"rows\":[{\"label\":\"a\",\"values\":[oops]}]}",
+        ] {
+            match GridTable::parse(bad) {
+                Err(GridError::Parse { .. }) => {}
+                other => panic!("{bad:?} should fail to parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_unicode_and_escape_heavy_labels() {
+        let text = "{ \"title\" : \"t\\u00e9st\" , \"headers\" : [ ] , \
+                    \"rows\" : [ { \"label\" : \"a\\nb\" , \"values\" : [ ] } ] }";
+        let t = GridTable::parse(text).unwrap();
+        assert_eq!(t.title, "t\u{e9}st");
+        assert_eq!(t.rows[0].label, "a\nb");
+    }
+}

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod grid;
 pub mod journal;
 pub mod sweep;
 pub mod timing;

@@ -44,6 +44,9 @@ pub struct SweepConfig {
     pub chaos: Vec<usize>,
     /// Suppress per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Replay this grid cell with telemetry armed after the sweep and
+    /// write its Perfetto trace into the output directory.
+    pub trace_cell: Option<usize>,
 }
 
 impl SweepConfig {
@@ -61,6 +64,7 @@ impl SweepConfig {
             job_timeout: None,
             chaos: Vec::new(),
             quiet: false,
+            trace_cell: None,
         }
     }
 }
@@ -285,6 +289,76 @@ pub fn run_on(config: &SweepConfig, mut jobs: Vec<GridJob>) -> std::io::Result<S
     })
 }
 
+/// The Perfetto trace path [`trace_cell`] writes for a grid index.
+#[must_use]
+pub fn trace_path(out_dir: &Path, index: usize) -> PathBuf {
+    out_dir.join(format!("trace_cell_{index}.perfetto.json"))
+}
+
+/// Replays one grid cell with telemetry armed and writes its Perfetto
+/// trace into the output directory (see [`trace_path`]), returning the
+/// path.
+///
+/// The replay runs the cell exactly as the sweep did (same scale,
+/// sanitizer, and watchdog settings) — recording is observe-only, so
+/// the traced run's cycle count matches the journaled one — and drains
+/// the recorder through the bounded-chunk path the service layer
+/// streams over HTTP.
+///
+/// # Errors
+///
+/// Returns an I/O error if the trace cannot be written.
+///
+/// # Panics
+///
+/// Panics if `index` is outside the 108-cell grid or the replayed cell
+/// itself panics (no worker isolation here: a trace of a crashing cell
+/// should crash loudly).
+pub fn trace_cell(config: &SweepConfig, index: usize) -> std::io::Result<PathBuf> {
+    let jobs = runner::full_grid();
+    assert!(
+        index < jobs.len(),
+        "trace cell {index} outside the {}-cell grid",
+        jobs.len()
+    );
+    let (spec, technique) = &jobs[index];
+    let label = cell_label(&jobs[index]);
+    let recorder = warped_telemetry::Recorder::new(warped_telemetry::RecorderConfig {
+        capacity: 1 << 20,
+        epoch_len: 1000,
+    });
+    let experiment = Experiment::paper_defaults()
+        .with_scale(config.scale)
+        .with_sanitize(config.sanitize)
+        .with_job_timeout(config.job_timeout)
+        .with_telemetry(Some(recorder.clone()));
+    let run = experiment.run(spec, *technique);
+
+    // Bounded-chunk drain, then take() for the epoch/baseline metadata.
+    let mut events = Vec::new();
+    for chunk in recorder.drain_chunks(64 * 1024) {
+        events.extend(chunk);
+    }
+    let mut log = recorder.take();
+    log.events = events;
+    let title = format!("{label} @ scale {}", config.scale);
+    let trace = warped_telemetry::perfetto::render(&log, experiment.layout(), &title);
+
+    std::fs::create_dir_all(&config.out_dir)?;
+    let path = trace_path(&config.out_dir, index);
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, trace)?;
+    std::fs::rename(&tmp, &path)?;
+    if !config.quiet {
+        eprintln!(
+            "sweep: traced cell {index} ({label}), {} cycles, {} events",
+            run.cycles,
+            log.events.len()
+        );
+    }
+    Ok(path)
+}
+
 /// Writes the failure manifest atomically (temp file + rename).
 fn write_manifest(path: &Path, failures: &[CellFailure]) -> std::io::Result<()> {
     fn escape(s: &str) -> String {
@@ -397,6 +471,28 @@ mod tests {
         let merged = std::fs::read(config.out_dir.join("bench_grid.json")).unwrap();
         assert_eq!(merged, reference, "resume must be bit-identical");
         std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    fn trace_cell_writes_a_perfetto_trace() {
+        let config = tiny_config("warped_sweep_trace_cell_test");
+        let path = trace_cell(&config, 0).unwrap();
+        assert_eq!(path, trace_path(&config.out_dir, 0));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(
+            text.contains("backprop/Baseline @ scale 0.05"),
+            "cell 0 is backprop/Baseline"
+        );
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn trace_cell_index_must_be_in_the_grid() {
+        let config = tiny_config("warped_sweep_trace_oob_test");
+        let _ = trace_cell(&config, 108);
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl Experiment {
         self.sanitize
     }
 
+    /// The workload scale factor in effect.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The clustered-architecture layout in effect.
+    #[must_use]
+    pub fn layout(&self) -> DomainLayout {
+        self.layout
+    }
+
+    /// The issue-width override, if any.
+    #[must_use]
+    pub fn issue_width(&self) -> Option<usize> {
+        self.issue_width
+    }
+
     /// Runs one benchmark under one technique on a single SM.
     ///
     /// # Panics

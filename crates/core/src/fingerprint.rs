@@ -1,0 +1,281 @@
+//! Canonical content-addressing of experiment configurations.
+//!
+//! The experiment engine is deterministic: a grid cell's result is a
+//! pure function of `(Experiment, BenchmarkSpec, Technique)`. That
+//! makes results *content-addressable* — any consumer (the
+//! `warped-serve` result cache, a future on-disk memo) can key a run
+//! by a canonical hash of everything that can change its output and
+//! reuse the bytes for every identical request.
+//!
+//! [`cell_fingerprint`] folds exactly the result-determining fields —
+//! gating parameters, workload scale, clustered-architecture layout,
+//! issue-width override, the full benchmark spec, and the technique —
+//! through a SplitMix64-style word mixer ([`ConfigHasher`], the same
+//! finalizer the workload generator's PRNG uses, so the workspace
+//! stays dependency-free). Observe-only switches (the sanitizer, a
+//! telemetry recorder) and run-control switches (the wall-clock
+//! watchdog) are deliberately **excluded**: the repository's
+//! equivalence suites pin down that they never move a cycle count, so
+//! two configurations differing only there produce byte-identical
+//! reports and must share a cache line.
+//!
+//! The hash is versioned ([`FINGERPRINT_VERSION`] is folded in first),
+//! so any change to the canonical field order invalidates old keys
+//! instead of silently colliding with them.
+
+use crate::experiment::Experiment;
+use crate::technique::Technique;
+use warped_isa::UnitType;
+use warped_workloads::BenchmarkSpec;
+
+/// Bump on any change to the canonical encoding below.
+pub const FINGERPRINT_VERSION: u64 = 1;
+
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64's avalanche finalizer (Steele et al., OOPSLA 2014).
+fn avalanche(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A streaming word hasher with SplitMix64's finalizer as its mixing
+/// function. Not cryptographic — collision resistance here only needs
+/// to beat accidental config aliasing, the same bar the workload
+/// generator's PRNG clears.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::fingerprint::ConfigHasher;
+///
+/// let mut a = ConfigHasher::new(7);
+/// a.word(1).word(2);
+/// let mut b = ConfigHasher::new(7);
+/// b.word(2).word(1);
+/// assert_ne!(a.finish(), b.finish(), "word order is significant");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigHasher {
+    state: u64,
+}
+
+impl ConfigHasher {
+    /// Starts a hash stream under a domain tag (distinct tags keep
+    /// unrelated hash uses from colliding on equal word streams).
+    #[must_use]
+    pub fn new(domain_tag: u64) -> Self {
+        ConfigHasher {
+            state: avalanche(domain_tag.wrapping_add(GAMMA)),
+        }
+    }
+
+    /// Folds one 64-bit word into the stream.
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        self.state = avalanche(self.state.wrapping_add(GAMMA) ^ w);
+        self
+    }
+
+    /// Folds a float by its exact bit pattern (so `0.1` and the nearest
+    /// neighbouring double hash differently, and NaN payloads are
+    /// significant rather than collapsed).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.word(v.to_bits())
+    }
+
+    /// Folds a string: length first, then the bytes in 8-byte
+    /// little-endian words (zero-padded tail), so `"ab", "c"` and
+    /// `"a", "bc"` cannot alias across adjacent fields.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.word(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(w));
+        }
+        self
+    }
+
+    /// The digest of everything folded so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        avalanche(self.state)
+    }
+}
+
+/// The canonical content hash of one grid cell: every field that can
+/// change the cell's report, in a fixed documented order.
+///
+/// Two calls agree exactly when the runs would produce byte-identical
+/// [`RunReport`](crate::RunReport)s (modulo the excluded observe-only
+/// switches; see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::fingerprint::cell_fingerprint;
+/// use warped_gates::{Experiment, Technique};
+/// use warped_workloads::Benchmark;
+///
+/// let exp = Experiment::paper_defaults();
+/// let spec = Benchmark::Nw.spec();
+/// let a = cell_fingerprint(&exp, &spec, Technique::Baseline);
+/// let b = cell_fingerprint(&exp, &spec, Technique::Baseline);
+/// assert_eq!(a, b);
+/// assert_ne!(a, cell_fingerprint(&exp, &spec, Technique::ConvPg));
+/// ```
+#[must_use]
+pub fn cell_fingerprint(
+    experiment: &Experiment,
+    spec: &BenchmarkSpec,
+    technique: Technique,
+) -> u64 {
+    let mut h = ConfigHasher::new(FINGERPRINT_VERSION);
+    // Experiment: gating params, scale, architecture.
+    let p = experiment.params();
+    h.word(u64::from(p.idle_detect))
+        .word(u64::from(p.bet))
+        .word(u64::from(p.wakeup_delay))
+        .f64(experiment.scale())
+        .word(experiment.layout().sp_clusters() as u64)
+        .word(experiment.issue_width().map_or(0, |w| w as u64 + 1));
+    // Technique, by stable display name (not enum discriminant, so
+    // reordering the enum cannot silently remap cached results).
+    h.str(technique.name());
+    // The full benchmark spec, field by field.
+    h.str(spec.name);
+    for unit in [UnitType::Int, UnitType::Fp, UnitType::Sfu, UnitType::Ldst] {
+        h.f64(spec.mix.fraction(unit));
+    }
+    h.f64(spec.l1_hit_rate)
+        .f64(spec.global_frac)
+        .f64(spec.dep_density)
+        .word(spec.body_len as u64)
+        .word(spec.phase_len as u64)
+        .word(u64::from(spec.trips))
+        .word(u64::from(spec.total_warps))
+        .word(u64::from(spec.block_warps))
+        .word(u64::from(spec.barrier_period))
+        .word(u64::from(spec.launches))
+        .word(spec.seed);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_sim::DomainLayout;
+    use warped_workloads::Benchmark;
+
+    fn base() -> (Experiment, BenchmarkSpec) {
+        (Experiment::paper_defaults(), Benchmark::Hotspot.spec())
+    }
+
+    #[test]
+    fn equal_configs_hash_equal() {
+        let (exp, spec) = base();
+        assert_eq!(
+            cell_fingerprint(&exp, &spec, Technique::WarpedGates),
+            cell_fingerprint(&exp.clone(), &spec.clone(), Technique::WarpedGates),
+        );
+    }
+
+    #[test]
+    fn every_result_determining_field_moves_the_hash() {
+        let (exp, spec) = base();
+        let reference = cell_fingerprint(&exp, &spec, Technique::WarpedGates);
+
+        let mut variants: Vec<u64> = vec![
+            cell_fingerprint(&exp, &spec, Technique::Baseline),
+            cell_fingerprint(&exp.clone().with_scale(0.5), &spec, Technique::WarpedGates),
+            cell_fingerprint(
+                &exp.clone().with_architecture(DomainLayout::kepler(), None),
+                &spec,
+                Technique::WarpedGates,
+            ),
+            cell_fingerprint(
+                &exp.clone()
+                    .with_architecture(DomainLayout::fermi(), Some(4)),
+                &spec,
+                Technique::WarpedGates,
+            ),
+            cell_fingerprint(
+                &Experiment::new(warped_gating::GatingParams {
+                    bet: 19,
+                    ..warped_gating::GatingParams::default()
+                }),
+                &spec,
+                Technique::WarpedGates,
+            ),
+        ];
+        let mut spec2 = spec.clone();
+        spec2.seed ^= 1;
+        variants.push(cell_fingerprint(&exp, &spec2, Technique::WarpedGates));
+        let mut spec3 = spec.clone();
+        spec3.l1_hit_rate += 1e-9;
+        variants.push(cell_fingerprint(&exp, &spec3, Technique::WarpedGates));
+        let mut spec4 = spec.clone();
+        spec4.total_warps += 1;
+        variants.push(cell_fingerprint(&exp, &spec4, Technique::WarpedGates));
+
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(*v, reference, "variant {i} must move the fingerprint");
+        }
+        // And they are all distinct from each other.
+        let mut sorted = variants.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), variants.len(), "variants must not collide");
+    }
+
+    #[test]
+    fn observe_only_switches_do_not_move_the_hash() {
+        let (exp, spec) = base();
+        let plain = cell_fingerprint(&exp, &spec, Technique::Gates);
+        let sanitized = cell_fingerprint(
+            &exp.clone()
+                .with_sanitize(true)
+                .with_job_timeout(Some(std::time::Duration::from_secs(60))),
+            &spec,
+            Technique::Gates,
+        );
+        assert_eq!(
+            plain, sanitized,
+            "sanitizer and watchdog are bit-identity no-ops and must share cache lines"
+        );
+    }
+
+    #[test]
+    fn every_grid_cell_has_a_distinct_fingerprint() {
+        let exp = Experiment::paper_defaults();
+        let mut seen = std::collections::BTreeSet::new();
+        for b in Benchmark::ALL {
+            for t in Technique::ALL {
+                assert!(
+                    seen.insert(cell_fingerprint(&exp, &b.spec(), t)),
+                    "collision at {b}/{t}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 108);
+    }
+
+    #[test]
+    fn hasher_distinguishes_adjacent_string_splits() {
+        let mut a = ConfigHasher::new(0);
+        a.str("ab").str("c");
+        let mut b = ConfigHasher::new(0);
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn domain_tags_separate_hash_uses() {
+        let mut a = ConfigHasher::new(1);
+        a.word(42);
+        let mut b = ConfigHasher::new(2);
+        b.word(42);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -45,6 +45,7 @@
 mod adaptive;
 mod blackout;
 mod experiment;
+pub mod fingerprint;
 mod gates;
 mod report;
 pub mod runner;

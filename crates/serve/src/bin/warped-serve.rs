@@ -1,0 +1,102 @@
+//! `warped-serve` — the experiment engine behind an HTTP socket.
+//!
+//! ```text
+//! warped-serve [--addr <host:port>] [--workers <n>] [--cache-mb <n>]
+//!              [--grid <path>] [--timeout-secs <n>]
+//! ```
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics`, `POST /run`,
+//! `GET /grid`, `GET /trace?cell=<i>`, `POST /shutdown`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use warped_bench::{exit_usage, ArgError};
+use warped_serve::{spawn, ServerConfig};
+
+const USAGE: &str = "usage: warped-serve [--addr <host:port>] [--workers <n>] \
+                     [--cache-mb <n>] [--grid <path>] [--timeout-secs <n>]";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, ArgError> {
+            it.next()
+                .ok_or_else(|| ArgError::MissingValue(flag.to_owned()))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = value_of("--addr")?.clone();
+            }
+            "--workers" => {
+                let raw = value_of("--workers")?;
+                config.workers =
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|w| *w >= 1)
+                        .ok_or_else(|| ArgError::BadValue {
+                            flag: "--workers".to_owned(),
+                            value: raw.clone(),
+                            expected: "a positive integer",
+                        })?;
+            }
+            "--cache-mb" => {
+                let raw = value_of("--cache-mb")?;
+                let mb = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|m| *m >= 1)
+                    .ok_or_else(|| ArgError::BadValue {
+                        flag: "--cache-mb".to_owned(),
+                        value: raw.clone(),
+                        expected: "a positive integer (MiB)",
+                    })?;
+                config.service.cache_bytes = mb << 20;
+            }
+            "--grid" => {
+                config.service.grid_path = PathBuf::from(value_of("--grid")?);
+            }
+            "--timeout-secs" => {
+                let raw = value_of("--timeout-secs")?;
+                let secs = raw.parse::<u64>().ok().ok_or_else(|| ArgError::BadValue {
+                    flag: "--timeout-secs".to_owned(),
+                    value: raw.clone(),
+                    expected: "a non-negative integer (0 disables the watchdog)",
+                })?;
+                config.service.job_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(Duration::from_secs(secs))
+                };
+            }
+            other => return Err(ArgError::Unknown(other.to_owned())),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(e) => exit_usage(&e, USAGE),
+    };
+    let workers = config.workers;
+    let mut handle = match spawn(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("warped-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "warped-serve: listening on http://{} ({} workers); POST /shutdown to stop",
+        handle.addr(),
+        workers
+    );
+    handle.join();
+    println!("warped-serve: drained and stopped");
+    ExitCode::SUCCESS
+}

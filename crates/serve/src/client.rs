@@ -1,0 +1,150 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Enough to exercise the server in-process (the integration suite,
+//! `verify.sh`'s smoke step) without external tooling: one request per
+//! connection, `Content-Length` and chunked response bodies.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{read_chunked_body, HttpError};
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn to_io(e: HttpError) -> io::Error {
+    match e {
+        HttpError::Io(e) => e,
+        HttpError::Bad(_, reason) => io::Error::new(io::ErrorKind::InvalidData, reason),
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns transport errors and malformed-response errors.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n"
+    )?;
+    match body {
+        Some(bytes) => {
+            write!(
+                stream,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                bytes.len()
+            )?;
+            stream.write_all(bytes)?;
+        }
+        None => write!(stream, "\r\n")?,
+    }
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {line:?}"),
+            )
+        })?;
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(&mut reader).map_err(to_io)?
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        let mut body = vec![0u8; len];
+        io::Read::read_exact(&mut reader, &mut body)?;
+        body
+    } else {
+        let mut body = Vec::new();
+        io::Read::read_to_end(&mut reader, &mut body)?;
+        body
+    };
+
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<Response> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}

@@ -1,0 +1,38 @@
+//! `warped-serve`: the experiment engine as a std-only HTTP service.
+//!
+//! The simulator is deterministic — a grid cell's report is a pure
+//! function of its configuration — so serving it is mostly a caching
+//! problem. This crate wraps the engine in a hand-rolled HTTP/1.1
+//! server (no external dependencies, like the rest of the workspace)
+//! with a sharded content-addressed result cache and single-flight
+//! deduplication: N identical concurrent `POST /run` requests cost
+//! exactly one simulation, and everyone gets byte-identical JSON.
+//!
+//! Layering, transport-independent at the core:
+//!
+//! * [`json`] — a bounded JSON value parser for request bodies.
+//! * [`http`] — HTTP/1.1 framing (requests, responses, chunked bodies).
+//! * [`cache`] — the sharded single-flight LRU result cache.
+//! * [`metrics`] — wait-free counters and their `/metrics` exposition.
+//! * [`service`] — routing and endpoint logic over `Request` + `Write`
+//!   (no sockets; unit-testable against byte buffers).
+//! * [`server`] — the TCP accept loop on the sim crate's bounded
+//!   worker pool, with cooperative graceful shutdown.
+//! * [`client`] — a small blocking client for tests and scripts.
+//!
+//! See `DESIGN.md` §13 for the architecture discussion and
+//! `README.md` for a quickstart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod service;
+
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use service::{Handled, Service, ServiceConfig};

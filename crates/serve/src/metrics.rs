@@ -1,0 +1,157 @@
+//! Service counters, rendered as a plain-text exposition page.
+//!
+//! The format is the Prometheus text convention (`name value`, one per
+//! line, `#`-prefixed help lines) without any client library — every
+//! counter is a relaxed atomic, so `/metrics` is wait-free and safe to
+//! poll from a watchdog at any frequency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// All service counters. Cheap to share behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted, any endpoint (including malformed ones).
+    pub requests: AtomicU64,
+    /// Requests answered 4xx.
+    pub client_errors: AtomicU64,
+    /// Requests answered 5xx.
+    pub server_errors: AtomicU64,
+    /// `/run` jobs currently simulating.
+    pub in_flight: AtomicU64,
+    /// `/run` cells that panicked inside the simulator.
+    pub panicked_cells: AtomicU64,
+    /// `/run` cells cut off by the wall-clock watchdog.
+    pub timed_out_cells: AtomicU64,
+}
+
+/// RAII guard bumping `in_flight` for the duration of a job.
+pub struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Metrics {
+    /// Marks one simulation job as running until the guard drops.
+    #[must_use]
+    pub fn job_started(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(&self.in_flight)
+    }
+
+    /// Records the response status of one request.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            400..=499 => {
+                self.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            500..=599 => {
+                self.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Renders the exposition page, merging in the cache's counters.
+    #[must_use]
+    pub fn render(&self, cache: &crate::cache::ResultCache) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n{name} {value}\n"));
+        };
+        counter(
+            "warped_serve_requests_total",
+            "Requests accepted on any endpoint.",
+            self.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_client_errors_total",
+            "Requests answered with a 4xx status.",
+            self.client_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_server_errors_total",
+            "Requests answered with a 5xx status.",
+            self.server_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_cache_hits_total",
+            "Run results served from the cache (coalesced waiters included).",
+            cache.hits(),
+        );
+        counter(
+            "warped_serve_cache_misses_total",
+            "Run results that required a fresh simulation.",
+            cache.misses(),
+        );
+        counter(
+            "warped_serve_cache_evictions_total",
+            "Cached results evicted under byte pressure.",
+            cache.evictions(),
+        );
+        counter(
+            "warped_serve_cache_bytes",
+            "Bytes currently held by cached results.",
+            cache.bytes() as u64,
+        );
+        counter(
+            "warped_serve_jobs_in_flight",
+            "Simulations running right now.",
+            self.in_flight.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_panicked_cells_total",
+            "Run cells that panicked inside the simulator.",
+            self.panicked_cells.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_timed_out_cells_total",
+            "Run cells cut off by the wall-clock watchdog.",
+            self.timed_out_cells.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+
+    #[test]
+    fn renders_every_counter_with_current_values() {
+        let m = Metrics::default();
+        let cache = ResultCache::new(2, 1024);
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.count_status(404);
+        m.count_status(500);
+        m.count_status(200);
+        let (r, _) = cache.get_or_compute(1, || Ok(b"x".to_vec()));
+        r.unwrap();
+        let (r, _) = cache.get_or_compute(1, || unreachable!());
+        r.unwrap();
+
+        let page = m.render(&cache);
+        assert!(page.contains("warped_serve_requests_total 3"));
+        assert!(page.contains("warped_serve_client_errors_total 1"));
+        assert!(page.contains("warped_serve_server_errors_total 1"));
+        assert!(page.contains("warped_serve_cache_hits_total 1"));
+        assert!(page.contains("warped_serve_cache_misses_total 1"));
+        assert!(page.contains("warped_serve_cache_bytes 1"));
+        assert!(page.contains("warped_serve_jobs_in_flight 0"));
+    }
+
+    #[test]
+    fn in_flight_guard_is_raii() {
+        let m = Metrics::default();
+        {
+            let _g = m.job_started();
+            assert_eq!(m.in_flight.load(Ordering::Relaxed), 1);
+            let _g2 = m.job_started();
+            assert_eq!(m.in_flight.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The TCP front end: accept loop, bounded worker pool, graceful stop.
+//!
+//! Connections are handed to a [`warped_sim::parallel::Pool`] — the
+//! same bounded pool the sweep engine uses — so the service inherits
+//! the workspace-wide `WARPED_JOBS` sizing convention and its
+//! backpressure: when every worker is busy and the queue is full,
+//! `accept` blocks instead of piling up unbounded work.
+//!
+//! Shutdown is cooperative and needs no platform signal plumbing: a
+//! shared flag is raised (by [`ServerHandle::shutdown`] or by a
+//! `POST /shutdown` request), then a throwaway self-connection wakes
+//! the blocking `accept` so the loop observes the flag, stops
+//! accepting, and joins the pool — which drains every in-flight
+//! request before the listener thread exits.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use warped_sim::parallel::{worker_count, Pool};
+
+use crate::http::{read_request, write_response, HttpError};
+use crate::service::{Handled, Service, ServiceConfig};
+
+/// Transport configuration for [`spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size (connections served concurrently).
+    pub workers: usize,
+    /// Per-connection read timeout (a stalled client cannot pin a
+    /// worker forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout.
+    pub write_timeout: Option<Duration>,
+    /// The service behind the transport.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: worker_count(),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`shutdown`](ServerHandle::shutdown) or [`join`](ServerHandle::join).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the transport (for in-process inspection).
+    #[must_use]
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Raises the shutdown flag, wakes the accept loop, and blocks
+    /// until every in-flight request has drained.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; if the
+        // listener is already gone, there is nothing to wake.
+        let _ = TcpStream::connect(self.addr);
+        self.join();
+    }
+
+    /// Blocks until the server stops (e.g. via `POST /shutdown`).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the accept loop.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Service::new(config.service.clone()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        let workers = config.workers.max(1);
+        let (read_timeout, write_timeout) = (config.read_timeout, config.write_timeout);
+        std::thread::Builder::new()
+            .name("warped-serve-accept".to_owned())
+            .spawn(move || {
+                let mut pool = Pool::new(workers, workers * 4);
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let service = Arc::clone(&service);
+                    let shutdown = Arc::clone(&shutdown);
+                    let submitted = pool.submit(move || {
+                        let _ = serve_connection(
+                            &service,
+                            stream,
+                            read_timeout,
+                            write_timeout,
+                            &shutdown,
+                            addr,
+                        );
+                    });
+                    if submitted.is_err() {
+                        break;
+                    }
+                }
+                // Joins the workers: every accepted request finishes
+                // before the listener thread exits.
+                pool.shutdown();
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+/// One connection, one exchange (every response closes).
+fn serve_connection(
+    service: &Service,
+    stream: TcpStream,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(read_timeout)?;
+    stream.set_write_timeout(write_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    match read_request(&mut reader) {
+        // Clean immediate close — e.g. the shutdown wake-up probe.
+        Ok(None) => Ok(()),
+        Ok(Some(request)) => {
+            let handled = service.handle(&request, &mut writer)?;
+            writer.flush()?;
+            if handled == Handled::ShutdownRequested {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+            }
+            Ok(())
+        }
+        Err(HttpError::Bad(status, reason)) => {
+            service.metrics.count_status(status);
+            let body = format!(
+                "{{\"error\":{{\"kind\":\"bad_request\",\"message\":\"{}\"}}}}\n",
+                crate::json::escape(&reason)
+            );
+            write_response(&mut writer, status, "application/json", body.as_bytes())
+        }
+        // The peer vanished mid-request; nothing to answer.
+        Err(HttpError::Io(e)) => Err(e),
+    }
+}

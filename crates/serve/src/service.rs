@@ -1,0 +1,812 @@
+//! Request routing and the typed endpoints.
+//!
+//! The [`Service`] is transport-agnostic: it takes a parsed
+//! [`Request`] and a byte sink, so the same code path serves a real
+//! TCP connection, the in-process [`client`](crate::client), and the
+//! unit tests below (which run against plain `Vec<u8>` sinks, no
+//! sockets).
+//!
+//! Endpoints:
+//!
+//! * `GET /healthz` — liveness probe, `ok\n`.
+//! * `GET /metrics` — counter exposition (see [`crate::metrics`]).
+//! * `POST /run` — run one benchmark × technique cell; the response is
+//!   the canonical report JSON, content-addressed by
+//!   [`cell_fingerprint`] and served through the single-flight cache.
+//! * `GET /grid` — the committed `bench_grid.json`
+//!   (`?regenerate=1&scale=<f>` re-sweeps it first).
+//! * `GET /trace?cell=<i>` — replay one grid cell with telemetry and
+//!   stream its Perfetto trace (`&format=rollup` for per-epoch JSONL)
+//!   with chunked transfer encoding.
+//! * `POST /shutdown` — graceful stop; in-flight work drains first.
+//!
+//! Fault isolation: `/run` simulations execute under `catch_unwind`
+//! with the configured wall-clock watchdog, so a panicking or hung
+//! cell answers `500` with a typed error body and the server lives on.
+
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use warped_bench::grid::GridTable;
+use warped_bench::sweep::{self, SweepConfig};
+use warped_gates::fingerprint::cell_fingerprint;
+use warped_gates::{runner, Experiment, Technique, TechniqueRun};
+use warped_gating::GatingParams;
+use warped_isa::UnitType;
+use warped_sim::parallel::{panic_message, worker_count};
+use warped_telemetry::{perfetto, rollup, Recorder, RecorderConfig};
+use warped_workloads::Benchmark;
+
+use crate::cache::ResultCache;
+use crate::http::{write_response, ChunkedWriter, Request};
+use crate::json::{self, JsonValue};
+use crate::metrics::Metrics;
+
+/// Everything the service needs to know, transport aside.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Where `bench_grid.json` lives (served by `/grid`).
+    pub grid_path: PathBuf,
+    /// Byte budget for the result cache.
+    pub cache_bytes: usize,
+    /// Wall-clock watchdog per `/run` simulation.
+    pub job_timeout: Option<Duration>,
+    /// Workload scale for `/trace` replays (full-scale traces are
+    /// hundreds of MB; the default keeps a stream interactive).
+    pub trace_scale: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            grid_path: PathBuf::from("results/bench_grid.json"),
+            cache_bytes: 64 << 20,
+            job_timeout: Some(Duration::from_secs(600)),
+            trace_scale: 0.1,
+        }
+    }
+}
+
+/// What the connection loop should do after a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handled {
+    /// Close the connection, keep serving.
+    Normal,
+    /// The client asked the server to stop.
+    ShutdownRequested,
+}
+
+/// The routing core. Share behind an `Arc`; every method takes `&self`.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    /// The content-addressed result cache.
+    pub cache: ResultCache,
+    /// Service counters.
+    pub metrics: Metrics,
+    /// Serialises `/grid?regenerate=1` sweeps (they share an out-dir).
+    regen: Mutex<()>,
+}
+
+/// A typed error body: `{"error":{"kind":...,"message":...}}`.
+fn error_body(kind: &str, message: &str) -> Vec<u8> {
+    format!(
+        "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}\n",
+        json::escape(kind),
+        json::escape(message)
+    )
+    .into_bytes()
+}
+
+/// Case/space/dash/underscore-insensitive technique lookup, so
+/// `warped-gates`, `Warped Gates`, and `WARPED_GATES` all resolve.
+fn technique_from_name(name: &str) -> Option<Technique> {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = slug(name);
+    Technique::ALL
+        .into_iter()
+        .find(|t| slug(t.name()) == wanted || slug(&format!("{t:?}")) == wanted)
+}
+
+/// A validated `/run` request.
+struct RunRequest {
+    benchmark: Benchmark,
+    technique: Technique,
+    scale: f64,
+    params: GatingParams,
+}
+
+impl RunRequest {
+    /// Parses and validates a request body. Unknown keys are rejected
+    /// so a typo cannot silently fall back to a default.
+    fn parse(body: &[u8]) -> Result<RunRequest, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        for key in doc.keys() {
+            if !matches!(
+                key,
+                "benchmark" | "technique" | "scale" | "idle_detect" | "bet" | "wakeup_delay"
+            ) {
+                return Err(format!("unknown field \"{key}\""));
+            }
+        }
+        let str_field = |name: &str| -> Result<&str, String> {
+            doc.get(name)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("missing or non-string field \"{name}\""))
+        };
+        let benchmark_name = str_field("benchmark")?;
+        let benchmark = Benchmark::from_name(benchmark_name)
+            .ok_or_else(|| format!("unknown benchmark \"{benchmark_name}\""))?;
+        let technique_name = str_field("technique")?;
+        let technique = technique_from_name(technique_name)
+            .ok_or_else(|| format!("unknown technique \"{technique_name}\""))?;
+        let scale = match doc.get("scale") {
+            None => 1.0,
+            Some(v) => v
+                .as_f64()
+                .filter(|s| *s > 0.0 && *s <= 1.0)
+                .ok_or_else(|| "\"scale\" must be a number in (0,1]".to_owned())?,
+        };
+        let mut params = GatingParams::default();
+        for (name, slot) in [
+            ("idle_detect", &mut params.idle_detect as &mut u32),
+            ("bet", &mut params.bet),
+            ("wakeup_delay", &mut params.wakeup_delay),
+        ] {
+            if let Some(v) = doc.get(name) {
+                *slot = v
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("\"{name}\" must be a non-negative integer"))?;
+            }
+        }
+        // Deliberately NOT validated here: out-of-range gating
+        // parameters (e.g. bet = 0) panic inside the experiment and
+        // exercise the 500 fault-isolation path, like any other cell
+        // crash.
+        Ok(RunRequest {
+            benchmark,
+            technique,
+            scale,
+            params,
+        })
+    }
+}
+
+/// Renders the canonical report JSON for one completed run. Field
+/// order is fixed and floats use fixed precision, so the bytes are a
+/// pure function of the run — the property the content-addressed cache
+/// keys on.
+fn render_run(req: &RunRequest, fingerprint: u64, run: &TechniqueRun) -> Vec<u8> {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\"benchmark\":\"{}\",\"technique\":\"{}\",\"scale\":{},\
+         \"params\":{{\"idle_detect\":{},\"bet\":{},\"wakeup_delay\":{}}},\
+         \"fingerprint\":\"{fingerprint:016x}\",\
+         \"cycles\":{},\"ff_cycles\":{},\"timed_out\":{},\
+         \"instructions\":{},\"ipc\":{:.6},\"gating\":{{",
+        json::escape(req.benchmark.name()),
+        json::escape(req.technique.name()),
+        req.scale,
+        req.params.idle_detect,
+        req.params.bet,
+        req.params.wakeup_delay,
+        run.cycles,
+        run.stats.fast_forwarded_cycles,
+        run.timed_out,
+        run.stats.instructions(),
+        run.stats.ipc(),
+    ));
+    for (i, unit) in [UnitType::Int, UnitType::Fp, UnitType::Sfu, UnitType::Ldst]
+        .into_iter()
+        .enumerate()
+    {
+        let g = run.gating_of(unit);
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{unit}\":{{\"gate_events\":{},\"wakeups\":{},\"critical_wakeups\":{},\
+             \"gated_cycles\":{},\"compensated_cycles\":{},\"uncompensated_cycles\":{},\
+             \"wakeup_cycles\":{},\"premature_wakeups\":{},\"demand_blocked_cycles\":{}}}",
+            g.gate_events,
+            g.wakeups,
+            g.critical_wakeups,
+            g.gated_cycles,
+            g.compensated_cycles,
+            g.uncompensated_cycles,
+            g.wakeup_cycles,
+            g.premature_wakeups,
+            g.demand_blocked_cycles,
+        ));
+    }
+    out.push_str("}}\n");
+    out.into_bytes()
+}
+
+impl Service {
+    /// A service over the given configuration.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        // Shard count scales with the worker pool: enough that
+        // concurrent distinct cells rarely contend on one lock.
+        let shards = (worker_count() * 2).next_power_of_two();
+        Service {
+            cache: ResultCache::new(shards, config.cache_bytes),
+            metrics: Metrics::default(),
+            regen: Mutex::new(()),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Routes one request and writes the complete response.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors only; application-level trouble is
+    /// answered in-band with a typed error body.
+    pub fn handle(&self, req: &Request, out: &mut dyn Write) -> io::Result<Handled> {
+        self.metrics
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let handled = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                self.respond(out, 200, "text/plain; charset=utf-8", b"ok\n")?;
+                Handled::Normal
+            }
+            ("GET", "/metrics") => {
+                let page = self.metrics.render(&self.cache);
+                self.respond(out, 200, "text/plain; charset=utf-8", page.as_bytes())?;
+                Handled::Normal
+            }
+            ("POST", "/run") => {
+                self.run(req, out)?;
+                Handled::Normal
+            }
+            ("GET", "/grid") => {
+                self.grid(req, out)?;
+                Handled::Normal
+            }
+            ("GET", "/trace") => {
+                self.trace(req, out)?;
+                Handled::Normal
+            }
+            ("POST", "/shutdown") => {
+                self.respond(out, 200, "application/json", b"{\"shutting_down\":true}\n")?;
+                Handled::ShutdownRequested
+            }
+            (_, "/healthz" | "/metrics" | "/run" | "/grid" | "/trace" | "/shutdown") => {
+                self.respond(
+                    out,
+                    405,
+                    "application/json",
+                    &error_body(
+                        "method_not_allowed",
+                        &format!("{} not allowed here", req.method),
+                    ),
+                )?;
+                Handled::Normal
+            }
+            (_, path) => {
+                self.respond(
+                    out,
+                    404,
+                    "application/json",
+                    &error_body("not_found", &format!("no route for {path}")),
+                )?;
+                Handled::Normal
+            }
+        };
+        Ok(handled)
+    }
+
+    fn respond(
+        &self,
+        out: &mut dyn Write,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+    ) -> io::Result<()> {
+        self.metrics.count_status(status);
+        write_response(out, status, content_type, body)
+    }
+
+    /// `POST /run`: validate, fingerprint, serve through the
+    /// single-flight cache, fault-isolate the simulation.
+    fn run(&self, req: &Request, out: &mut dyn Write) -> io::Result<()> {
+        let run_req = match RunRequest::parse(&req.body) {
+            Ok(r) => r,
+            Err(message) => {
+                return self.respond(
+                    out,
+                    400,
+                    "application/json",
+                    &error_body("bad_request", &message),
+                );
+            }
+        };
+        // Constructing the experiment validates the gating parameters,
+        // which panics on out-of-range values (e.g. bet = 0) — fault
+        // isolation starts here, not at the simulation.
+        let spec = run_req.benchmark.spec();
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            let experiment = Experiment::new(run_req.params)
+                .with_scale(run_req.scale)
+                .with_job_timeout(self.config.job_timeout);
+            let fingerprint = cell_fingerprint(&experiment, &spec, run_req.technique);
+            (experiment, fingerprint)
+        }));
+        let (experiment, fingerprint) = match built {
+            Ok(pair) => pair,
+            Err(payload) => {
+                self.metrics
+                    .panicked_cells
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return self.respond(
+                    out,
+                    500,
+                    "application/json",
+                    &error_body("panic", &panic_message(payload.as_ref())),
+                );
+            }
+        };
+
+        let (result, _outcome) = self.cache.get_or_compute(fingerprint, || {
+            let _guard = self.metrics.job_started();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                experiment.run(&spec, run_req.technique)
+            }));
+            match outcome {
+                Err(payload) => {
+                    self.metrics
+                        .panicked_cells
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Err(format!("panic\u{1f}{}", panic_message(payload.as_ref())))
+                }
+                Ok(run) if run.timed_out => {
+                    self.metrics
+                        .timed_out_cells
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Err(format!(
+                        "timeout\u{1f}cell exceeded the wall-clock budget ({:?})",
+                        self.config.job_timeout
+                    ))
+                }
+                Ok(run) => Ok(render_run(&run_req, fingerprint, &run)),
+            }
+        });
+
+        match result {
+            Ok(bytes) => self.respond(out, 200, "application/json", &bytes),
+            Err(tagged) => {
+                let (kind, message) = tagged.split_once('\u{1f}').unwrap_or(("panic", &tagged));
+                self.respond(out, 500, "application/json", &error_body(kind, message))
+            }
+        }
+    }
+
+    /// `GET /grid`: the committed sweep table, optionally regenerated.
+    fn grid(&self, req: &Request, out: &mut dyn Write) -> io::Result<()> {
+        if req.query_param("regenerate") == Some("1") {
+            let scale = match req.query_param("scale").map(str::parse::<f64>) {
+                None => 1.0,
+                Some(Ok(s)) if s > 0.0 && s <= 1.0 => s,
+                _ => {
+                    return self.respond(
+                        out,
+                        400,
+                        "application/json",
+                        &error_body("bad_request", "\"scale\" must be a number in (0,1]"),
+                    );
+                }
+            };
+            let out_dir = self
+                .config
+                .grid_path
+                .parent()
+                .map_or_else(|| PathBuf::from("."), PathBuf::from);
+            let _serialised = self.regen.lock().expect("regen lock poisoned");
+            let mut sweep_config = SweepConfig::new(out_dir, worker_count());
+            sweep_config.scale = scale;
+            sweep_config.quiet = true;
+            match sweep::run(&sweep_config) {
+                Ok(summary) if summary.ok() => {}
+                Ok(summary) => {
+                    return self.respond(
+                        out,
+                        500,
+                        "application/json",
+                        &error_body(
+                            "sweep_failed",
+                            &format!("{} grid cells failed", summary.failures.len()),
+                        ),
+                    );
+                }
+                Err(e) => {
+                    return self.respond(
+                        out,
+                        500,
+                        "application/json",
+                        &error_body("io", &e.to_string()),
+                    );
+                }
+            }
+        }
+        match std::fs::read(&self.config.grid_path) {
+            Ok(bytes) => {
+                // Validate before serving: a torn or foreign file must
+                // not masquerade as a grid.
+                if let Err(e) = GridTable::parse(&String::from_utf8_lossy(&bytes)) {
+                    return self.respond(
+                        out,
+                        500,
+                        "application/json",
+                        &error_body("bad_grid", &e.to_string()),
+                    );
+                }
+                self.respond(out, 200, "application/json", &bytes)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.respond(
+                out,
+                404,
+                "application/json",
+                &error_body(
+                    "no_grid",
+                    &format!(
+                        "{} not found; POST /grid?regenerate=1 or run the sweep binary",
+                        self.config.grid_path.display()
+                    ),
+                ),
+            ),
+            Err(e) => self.respond(
+                out,
+                500,
+                "application/json",
+                &error_body("io", &e.to_string()),
+            ),
+        }
+    }
+
+    /// `GET /trace?cell=<i>[&format=perfetto|rollup][&scale=<f>]`:
+    /// replay one grid cell with telemetry and stream the export with
+    /// chunked transfer encoding.
+    fn trace(&self, req: &Request, out: &mut dyn Write) -> io::Result<()> {
+        let jobs = runner::full_grid();
+        let cell = match req.query_param("cell").map(str::parse::<usize>) {
+            Some(Ok(i)) if i < jobs.len() => i,
+            _ => {
+                return self.respond(
+                    out,
+                    400,
+                    "application/json",
+                    &error_body(
+                        "bad_request",
+                        &format!("\"cell\" must be a grid index below {}", jobs.len()),
+                    ),
+                );
+            }
+        };
+        let scale = match req.query_param("scale").map(str::parse::<f64>) {
+            None => self.config.trace_scale,
+            Some(Ok(s)) if s > 0.0 && s <= 1.0 => s,
+            _ => {
+                return self.respond(
+                    out,
+                    400,
+                    "application/json",
+                    &error_body("bad_request", "\"scale\" must be a number in (0,1]"),
+                );
+            }
+        };
+        let format = req.query_param("format").unwrap_or("perfetto");
+        if format != "perfetto" && format != "rollup" {
+            return self.respond(
+                out,
+                400,
+                "application/json",
+                &error_body("bad_request", "\"format\" must be perfetto or rollup"),
+            );
+        }
+
+        let (spec, technique) = &jobs[cell];
+        let label = sweep::cell_label(&jobs[cell]);
+        let recorder = Recorder::new(RecorderConfig {
+            capacity: 1 << 20,
+            epoch_len: 1000,
+        });
+        let _guard = self.metrics.job_started();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let experiment = Experiment::paper_defaults()
+                .with_scale(scale)
+                .with_job_timeout(self.config.job_timeout)
+                .with_telemetry(Some(recorder.clone()));
+            experiment.run(spec, *technique)
+        }));
+        let run = match outcome {
+            Ok(run) => run,
+            Err(payload) => {
+                self.metrics
+                    .panicked_cells
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return self.respond(
+                    out,
+                    500,
+                    "application/json",
+                    &error_body("panic", &panic_message(payload.as_ref())),
+                );
+            }
+        };
+
+        // Reassemble the log through the bounded-chunk drain (the same
+        // incremental path the timeline binary uses).
+        let mut events = Vec::new();
+        for chunk in recorder.drain_chunks(64 * 1024) {
+            events.extend(chunk);
+        }
+        let mut log = recorder.take();
+        log.events = events;
+
+        self.metrics.count_status(200);
+        match format {
+            "perfetto" => {
+                let title = format!("{label} @ scale {scale}");
+                let trace = perfetto::render(&log, run.stats.layout, &title);
+                let mut cw = ChunkedWriter::begin(out, 200, "application/json")?;
+                for piece in trace.as_bytes().chunks(64 * 1024) {
+                    cw.chunk(piece)?;
+                }
+                cw.finish()
+            }
+            _ => {
+                let rows = rollup::rows(&log);
+                let mut cw = ChunkedWriter::begin(out, 200, "application/jsonl")?;
+                for row in &rows {
+                    cw.chunk(row.to_json().as_bytes())?;
+                    cw.chunk(b"\n")?;
+                }
+                cw.finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        let (path, query_text) = path.split_once('?').unwrap_or((path, ""));
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: query_text
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                    (k.to_owned(), v.to_owned())
+                })
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            body: body.as_bytes().to_vec(),
+            method: "POST".to_owned(),
+            ..get(path)
+        }
+    }
+
+    fn quick_service() -> Service {
+        Service::new(ServiceConfig {
+            trace_scale: 0.05,
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn dispatch(service: &Service, req: &Request) -> (u16, String, Handled) {
+        let mut wire = Vec::new();
+        let handled = service.handle(req, &mut wire).unwrap();
+        let text = String::from_utf8_lossy(&wire).into_owned();
+        let status: u16 = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body, handled)
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let service = quick_service();
+        let (status, body, _) = dispatch(&service, &get("/healthz"));
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body, _) = dispatch(&service, &get("/metrics"));
+        assert_eq!(status, 200);
+        assert!(body.contains("warped_serve_requests_total 2"));
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_wrong_method_is_405() {
+        let service = quick_service();
+        let (status, body, _) = dispatch(&service, &get("/nope"));
+        assert_eq!(status, 404);
+        assert!(body.contains("not_found"));
+        let (status, body, _) = dispatch(&service, &get("/run"));
+        assert_eq!(status, 405);
+        assert!(body.contains("method_not_allowed"));
+    }
+
+    #[test]
+    fn run_endpoint_caches_identical_requests() {
+        let service = quick_service();
+        let body = "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05}";
+        let (status, first, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 200, "{first}");
+        assert!(first.contains("\"benchmark\":\"nw\""));
+        assert!(first.contains("\"cycles\":"));
+        assert!(first.contains("\"fingerprint\":\""));
+        let (status, second, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 200);
+        assert_eq!(first, second, "cached bytes are identical");
+        assert_eq!(service.cache.misses(), 1);
+        assert_eq!(service.cache.hits(), 1);
+    }
+
+    #[test]
+    fn run_endpoint_rejects_malformed_and_unknown_inputs() {
+        let service = quick_service();
+        for (body, want) in [
+            ("{not json", "bad_request"),
+            ("{\"technique\":\"baseline\"}", "missing or non-string"),
+            (
+                "{\"benchmark\":\"nope\",\"technique\":\"baseline\"}",
+                "unknown benchmark",
+            ),
+            (
+                "{\"benchmark\":\"nw\",\"technique\":\"nope\"}",
+                "unknown technique",
+            ),
+            (
+                "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":7}",
+                "(0,1]",
+            ),
+            (
+                "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"typo\":1}",
+                "unknown field",
+            ),
+        ] {
+            let (status, response, _) = dispatch(&service, &post("/run", body));
+            assert_eq!(status, 400, "{body} should be rejected");
+            assert!(response.contains(want), "{body}: {response}");
+        }
+        assert_eq!(service.cache.misses(), 0, "no simulation ran");
+    }
+
+    #[test]
+    fn panicking_cell_answers_500_with_a_typed_body() {
+        let service = quick_service();
+        // bet = 0 fails GatingParams validation inside the run.
+        let body = "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05,\"bet\":0}";
+        let (status, response, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 500, "{response}");
+        assert!(response.contains("\"kind\":\"panic\""), "{response}");
+        assert_eq!(
+            service
+                .metrics
+                .panicked_cells
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // Parameter validation fails before the cache is consulted, so
+        // nothing was cached and a retry fails identically.
+        let (status, _, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 500);
+        assert_eq!(service.cache.misses(), 0);
+    }
+
+    #[test]
+    fn shutdown_is_signalled_to_the_caller() {
+        let service = quick_service();
+        let (status, body, handled) = dispatch(&service, &post("/shutdown", ""));
+        assert_eq!(status, 200);
+        assert!(body.contains("shutting_down"));
+        assert_eq!(handled, Handled::ShutdownRequested);
+    }
+
+    #[test]
+    fn trace_streams_chunked_perfetto_and_rollup() {
+        let service = quick_service();
+        let (status, body, _) = dispatch(&service, &get("/trace?cell=0&scale=0.05"));
+        assert_eq!(status, 200);
+        assert!(body.contains("traceEvents"), "{body:.200}");
+        assert!(body.ends_with("0\r\n\r\n"), "chunked terminator");
+
+        let (status, body, _) = dispatch(&service, &get("/trace?cell=0&scale=0.05&format=rollup"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epoch\":0"), "{body:.200}");
+
+        let (status, _, _) = dispatch(&service, &get("/trace?cell=999"));
+        assert_eq!(status, 400);
+        let (status, _, _) = dispatch(&service, &get("/trace"));
+        assert_eq!(status, 400);
+        let (status, _, _) = dispatch(&service, &get("/trace?cell=0&format=nope"));
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn grid_serves_the_committed_table_or_404s() {
+        let missing = Service::new(ServiceConfig {
+            grid_path: PathBuf::from("/nonexistent/bench_grid.json"),
+            ..ServiceConfig::default()
+        });
+        let (status, body, _) = dispatch(&missing, &get("/grid"));
+        assert_eq!(status, 404);
+        assert!(body.contains("no_grid"));
+
+        let committed =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_grid.json");
+        if committed.exists() {
+            let service = Service::new(ServiceConfig {
+                grid_path: committed,
+                ..ServiceConfig::default()
+            });
+            let (status, body, _) = dispatch(&service, &get("/grid"));
+            assert_eq!(status, 200);
+            assert!(body.contains("\"title\":\"bench grid\""));
+        }
+    }
+
+    #[test]
+    fn run_report_json_parses_and_matches_a_direct_run() {
+        let service = quick_service();
+        let body = "{\"benchmark\":\"hotspot\",\"technique\":\"warped-gates\",\"scale\":0.05}";
+        let (status, response, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 200);
+        let doc = json::parse(response.trim_end()).unwrap();
+        let direct = Experiment::paper_defaults()
+            .with_scale(0.05)
+            .run(&Benchmark::Hotspot.spec(), Technique::WarpedGates);
+        assert_eq!(
+            doc.get("cycles").unwrap().as_u64(),
+            Some(direct.cycles),
+            "service runs are bit-identical to direct runs"
+        );
+        assert_eq!(
+            doc.get("ff_cycles").unwrap().as_u64(),
+            Some(direct.stats.fast_forwarded_cycles)
+        );
+        assert_eq!(
+            doc.get("gating")
+                .unwrap()
+                .get("INT")
+                .unwrap()
+                .get("gate_events")
+                .unwrap()
+                .as_u64(),
+            Some(direct.gating_of(UnitType::Int).gate_events)
+        );
+    }
+}

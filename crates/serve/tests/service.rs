@@ -1,0 +1,181 @@
+//! End-to-end tests over a real socket: ephemeral port, concurrent
+//! clients, fault isolation, graceful shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use warped_serve::{client, spawn, ServerConfig, ServerHandle, ServiceConfig};
+
+fn test_server() -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 8,
+        service: ServiceConfig {
+            trace_scale: 0.05,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port")
+}
+
+#[test]
+fn thirty_two_concurrent_identical_runs_single_flight() {
+    let mut server = test_server();
+    let addr = server.addr();
+    let body = r#"{"benchmark":"nw","technique":"baseline","scale":0.05}"#;
+
+    let barrier = Arc::new(std::sync::Barrier::new(32));
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let body = body.to_owned();
+            std::thread::spawn(move || {
+                barrier.wait();
+                client::post_json(addr, "/run", &body).expect("request")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let first = &responses[0];
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert!(first.text().contains("\"benchmark\":\"nw\""));
+    for response in &responses[1..] {
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.body, first.body,
+            "all 32 responses must be byte-identical"
+        );
+    }
+
+    // Single-flight: exactly one simulation ran; the other 31 requests
+    // coalesced onto it (or hit the finished cache line) as hits.
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let page = metrics.text();
+    assert!(
+        page.contains("warped_serve_cache_misses_total 1"),
+        "exactly one miss:\n{page}"
+    );
+    assert!(
+        page.contains("warped_serve_cache_hits_total 31"),
+        "31 deduplicated hits:\n{page}"
+    );
+    assert_eq!(server.service().cache.misses(), 1);
+    assert_eq!(server.service().cache.hits(), 31);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_is_a_400_with_a_typed_body() {
+    let mut server = test_server();
+    let addr = server.addr();
+
+    let response = client::post_json(addr, "/run", "{not json").expect("request");
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("\"kind\":\"bad_request\""));
+
+    let response = client::post_json(
+        addr,
+        "/run",
+        r#"{"benchmark":"nope","technique":"baseline"}"#,
+    )
+    .expect("request");
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("unknown benchmark"));
+
+    server.shutdown();
+}
+
+#[test]
+fn panicking_cell_is_a_500_and_the_server_survives() {
+    let mut server = test_server();
+    let addr = server.addr();
+
+    // bet = 0 fails gating-parameter validation inside the experiment.
+    let response = client::post_json(
+        addr,
+        "/run",
+        r#"{"benchmark":"nw","technique":"baseline","scale":0.05,"bet":0}"#,
+    )
+    .expect("request");
+    assert_eq!(response.status, 500, "{}", response.text());
+    assert!(
+        response.text().contains("\"kind\":\"panic\""),
+        "{}",
+        response.text()
+    );
+
+    // The worker that caught the panic is still serving.
+    let health = client::get(addr, "/healthz").expect("request");
+    assert_eq!(health.status, 200);
+    let page = client::get(addr, "/metrics").expect("request").text();
+    assert!(
+        page.contains("warped_serve_panicked_cells_total 1"),
+        "{page}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn trace_endpoint_streams_a_chunked_perfetto_trace() {
+    let mut server = test_server();
+    let addr = server.addr();
+
+    let response = client::get(addr, "/trace?cell=0&scale=0.05").expect("request");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("transfer-encoding"),
+        Some("chunked"),
+        "trace responses stream"
+    );
+    let text = response.text();
+    assert!(text.starts_with("{\"traceEvents\":["), "{:.120}", text);
+    assert!(text.trim_end().ends_with('}'));
+
+    let rollup = client::get(addr, "/trace?cell=0&scale=0.05&format=rollup").expect("request");
+    assert_eq!(rollup.status, 200);
+    assert!(rollup
+        .text()
+        .lines()
+        .next()
+        .unwrap()
+        .contains("\"epoch\":0"));
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let mut server = test_server();
+    let addr = server.addr();
+
+    // A request slow enough to still be simulating when /shutdown
+    // lands (scale 0.4 runs for a noticeable fraction of a second).
+    let slow = std::thread::spawn(move || {
+        client::post_json(
+            addr,
+            "/run",
+            r#"{"benchmark":"nw","technique":"warped-gates","scale":0.4}"#,
+        )
+        .expect("in-flight request must complete")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let response = client::post_json(addr, "/shutdown", "").expect("request");
+    assert_eq!(response.status, 200);
+    assert!(response.text().contains("shutting_down"));
+
+    // The accept loop stops and the pool drains: the slow request
+    // still gets its full response.
+    server.join();
+    let slow_response = slow.join().unwrap();
+    assert_eq!(slow_response.status, 200, "{}", slow_response.text());
+    assert!(slow_response.text().contains("\"cycles\":"));
+
+    // The listener is gone.
+    assert!(client::get(addr, "/healthz").is_err());
+}

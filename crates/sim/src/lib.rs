@@ -81,7 +81,7 @@ pub use gate_iface::{
 };
 pub use gpu::{Gpu, GpuOutcome, LaunchConfig};
 pub use mem::MemorySubsystem;
-pub use probe::{Event, Recorder, RecorderConfig, Stamped, TelemetryLog};
+pub use probe::{Event, Recorder, RecorderConfig, Stamped, TelemetryChunk, TelemetryLog};
 pub use sanitize::{GatingInvariants, Sanitizer};
 pub use sched::{
     Candidate, GtoScheduler, IssueCtx, LrrScheduler, TwoLevelScheduler, WarpScheduler,

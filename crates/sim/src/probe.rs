@@ -377,6 +377,22 @@ impl Inner {
         self.last_cycle = self.last_cycle.max(span.start_cycle + span.cycles - 1);
     }
 
+    /// Sorts the retained events into global cycle order (see the
+    /// comment in [`Inner::log`]) and removes up to `max_events` of the
+    /// oldest from the ring. Draining the whole ring chunk by chunk
+    /// yields exactly the event sequence one [`Inner::log`] call would
+    /// have returned, because the sort is stable and re-sorting an
+    /// already-drained prefix away cannot reorder what remains.
+    fn drain_chunk(&mut self, max_events: usize) -> TelemetryChunk {
+        self.ring.make_contiguous().sort_by_key(|s| s.cycle);
+        let take = max_events.min(self.ring.len());
+        let events: Vec<Stamped> = self.ring.drain(..take).collect();
+        TelemetryChunk {
+            events,
+            remaining: self.ring.len(),
+        }
+    }
+
     fn log(&self) -> TelemetryLog {
         let mut events: Vec<Stamped> = self.ring.iter().copied().collect();
         // Producers stamp events in cycle order individually, but a
@@ -395,6 +411,16 @@ impl Inner {
             last_cycle: self.last_cycle,
         }
     }
+}
+
+/// One batch of an incremental drain ([`Recorder::drain_chunk`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryChunk {
+    /// Drained events, oldest first, cycle stamps non-decreasing
+    /// within the chunk and across successive chunks.
+    pub events: Vec<Stamped>,
+    /// Events still retained in the ring after this drain.
+    pub remaining: usize,
 }
 
 /// A cloneable, thread-safe handle to a bounded telemetry ring buffer.
@@ -492,6 +518,44 @@ impl Recorder {
     #[must_use]
     pub fn snapshot(&self) -> TelemetryLog {
         self.lock().log()
+    }
+
+    /// Drains up to `max_events` of the oldest retained events, in
+    /// global cycle order, freeing their ring slots.
+    ///
+    /// This is the incremental alternative to [`Recorder::take`]: a
+    /// consumer that drains while the simulation runs (the recorder is
+    /// a thread-safe handle) keeps the ring from ever filling, so the
+    /// configured capacity stops bounding how long a trace can get —
+    /// it only bounds how far the drainer may lag before events drop.
+    /// Draining a finished recording chunk by chunk yields exactly the
+    /// event sequence one `take()` would have returned, split into
+    /// batches; epochs, baseline, and drop counts stay in place until
+    /// a final [`Recorder::take`] collects them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_events` is zero (an empty chunk would make every
+    /// drain loop spin forever).
+    #[must_use]
+    pub fn drain_chunk(&self, max_events: usize) -> TelemetryChunk {
+        assert!(max_events > 0, "chunk size must be positive");
+        self.lock().drain_chunk(max_events)
+    }
+
+    /// An iterator of [`drain_chunk`](Recorder::drain_chunk) batches
+    /// that ends when the ring is empty. Each `next()` re-locks the
+    /// recorder, so a producer thread can interleave with the drain.
+    pub fn drain_chunks(&self, max_events: usize) -> impl Iterator<Item = Vec<Stamped>> + '_ {
+        assert!(max_events > 0, "chunk size must be positive");
+        std::iter::from_fn(move || {
+            let chunk = self.drain_chunk(max_events);
+            if chunk.events.is_empty() {
+                None
+            } else {
+                Some(chunk.events)
+            }
+        })
     }
 
     /// Drains the recorder: returns everything captured and resets the
@@ -764,6 +828,76 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.dropped(), 0);
         assert_eq!(r.config().epoch_len, 250);
+    }
+
+    #[test]
+    fn chunked_drain_equals_one_shot_take() {
+        let fill = |r: &Recorder| {
+            // Two producers with interleaved cycle stamps, like a
+            // fast-forward span: global order requires the sort.
+            for c in [5u64, 9, 20] {
+                r.record(c, gate(DomainId::INT0));
+            }
+            for c in [3u64, 9, 15] {
+                r.record(c, gate(DomainId::FP0));
+            }
+        };
+        let reference = rec(64, 1000);
+        fill(&reference);
+        let expected = reference.take().events;
+
+        let chunked = rec(64, 1000);
+        fill(&chunked);
+        let mut drained = Vec::new();
+        for batch in chunked.drain_chunks(2) {
+            assert!(batch.len() <= 2);
+            drained.extend(batch);
+        }
+        assert_eq!(drained, expected, "chunked drain must match take()");
+        assert!(chunked.is_empty());
+        // Epochs and counters survive until a final take().
+        assert_eq!(chunked.take().epochs[0].gate_events, 6);
+    }
+
+    #[test]
+    fn drain_chunk_reports_remaining_and_frees_slots() {
+        let r = rec(8, 1000);
+        for c in 0..8 {
+            r.record(c, gate(DomainId::INT0));
+        }
+        let first = r.drain_chunk(3);
+        assert_eq!(first.events.len(), 3);
+        assert_eq!(first.remaining, 5);
+        assert_eq!(r.len(), 5);
+        // The freed slots absorb new events without dropping.
+        for c in 8..11 {
+            r.record(c, gate(DomainId::INT0));
+        }
+        assert_eq!(r.dropped(), 0, "drained slots must be reusable");
+        let rest: Vec<u64> = r.drain_chunks(64).flatten().map(|s| s.cycle).collect();
+        assert_eq!(rest, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn drain_keeps_up_with_a_live_producer() {
+        let r = rec(4, 1000);
+        let mut seen = Vec::new();
+        for c in 0..64u64 {
+            r.record(c, gate(DomainId::INT0));
+            if c % 3 == 0 {
+                seen.extend(r.drain_chunk(4).events);
+            }
+        }
+        seen.extend(r.drain_chunks(4).flatten());
+        assert_eq!(r.dropped(), 0, "a keeping-up drainer prevents drops");
+        let cycles: Vec<u64> = seen.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_rejected() {
+        let _ = rec(8, 1000).drain_chunk(0);
     }
 
     #[test]

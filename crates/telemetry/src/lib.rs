@@ -61,6 +61,6 @@ pub mod waveform;
 
 pub use rollup::RollupRow;
 pub use warped_sim::probe::{
-    Baseline, EpochCounters, Event, Recorder, RecorderConfig, Stamped, TelemetryLog,
+    Baseline, EpochCounters, Event, Recorder, RecorderConfig, Stamped, TelemetryChunk, TelemetryLog,
 };
 pub use waveform::UtilizationTrace;

@@ -26,17 +26,21 @@
 //!   with one slice per fast-forward jump.
 
 use warped_isa::UnitType;
+use warped_power::EnergyTimeline;
 use warped_sim::probe::{Event, TelemetryLog};
 use warped_sim::DomainLayout;
 
 const PID_UNITS: u64 = 1;
 const PID_SCHED: u64 = 2;
 const PID_GATING: u64 = 3;
+const PID_ENERGY: u64 = 4;
 
 const TID_PRIORITY: u64 = 1;
 const TID_ISSUE: u64 = 2;
 const TID_TUNER: u64 = 1;
 const TID_CLOCK: u64 = 2;
+const TID_INT_SAVINGS: u64 = 1;
+const TID_FP_SAVINGS: u64 = 2;
 
 /// One trace event, pre-serialized; kept sortable so the output is
 /// stable per track.
@@ -106,6 +110,19 @@ impl Trace {
         );
         self.push(pid, tid, false, ts, json);
     }
+
+    /// A counter ("C") sample with a single float series, formatted
+    /// with the rollup's fixed six-decimal precision so output stays
+    /// byte-deterministic.
+    fn counter_f64(&mut self, pid: u64, tid: u64, ts: u64, name: &str, series: &str, value: f64) {
+        let json = format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"name\":\"{}\",\
+             \"args\":{{\"{}\":{value:.6}}}}}",
+            escape(name),
+            escape(series)
+        );
+        self.push(pid, tid, false, ts, json);
+    }
 }
 
 /// Minimal JSON string escaping (the exporter only emits ASCII names).
@@ -149,6 +166,28 @@ enum Lane {
 /// non-decreasing timestamps.
 #[must_use]
 pub fn render(log: &TelemetryLog, layout: DomainLayout, title: &str) -> String {
+    render_with_energy(log, layout, title, None)
+}
+
+/// [`render`] plus per-epoch energy counter tracks.
+///
+/// When an [`EnergyTimeline`] that observed the same run is supplied,
+/// an "energy" process is added with one counter track per CUDA-core
+/// unit type carrying the rollup's energy columns — `int_savings` and
+/// `fp_savings` per epoch, in leakage-cycle units — so energy over
+/// time renders directly under the gating lanes that explain it.
+///
+/// # Panics
+///
+/// Panics if the timeline's epoch length differs from the recording's
+/// (the counters would silently misalign otherwise).
+#[must_use]
+pub fn render_with_energy(
+    log: &TelemetryLog,
+    layout: DomainLayout,
+    title: &str,
+    energy: Option<&EnergyTimeline>,
+) -> String {
     let mut tr = Trace { events: Vec::new() };
     let end = log.last_cycle + 1;
 
@@ -337,6 +376,34 @@ pub fn render(log: &TelemetryLog, layout: DomainLayout, title: &str) -> String {
         }
     }
 
+    // --- energy: per-epoch static-savings counter tracks ---
+    if let Some(timeline) = energy {
+        assert_eq!(
+            log.epoch_len,
+            timeline.epoch_len(),
+            "recorder and energy timeline must use the same epoch length"
+        );
+        tr.meta_name(PID_ENERGY, None, "energy");
+        tr.meta_name(PID_ENERGY, Some(TID_INT_SAVINGS), "INT static savings");
+        tr.meta_name(PID_ENERGY, Some(TID_FP_SAVINGS), "FP static savings");
+        for (i, epoch) in timeline.epochs().iter().enumerate() {
+            let ts = i as u64 * log.epoch_len;
+            for (tid, series, unit) in [
+                (TID_INT_SAVINGS, "int_savings", UnitType::Int),
+                (TID_FP_SAVINGS, "fp_savings", UnitType::Fp),
+            ] {
+                tr.counter_f64(
+                    PID_ENERGY,
+                    tid,
+                    ts,
+                    &format!("{series} per epoch"),
+                    series,
+                    epoch[unit.index()].savings(),
+                );
+            }
+        }
+    }
+
     // Stable per-track ordering: metadata first, then by timestamp, ties
     // broken by emission order. This guarantees monotone `ts` per
     // (pid, tid) track and byte-determinism.
@@ -362,8 +429,9 @@ pub fn render(log: &TelemetryLog, layout: DomainLayout, title: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use warped_power::PowerParams;
     use warped_sim::probe::{Recorder, RecorderConfig};
-    use warped_sim::trace::CycleSample;
+    use warped_sim::trace::{CycleObserver, CycleSample};
     use warped_sim::{DomainId, NUM_DOMAINS};
 
     fn demo_log() -> TelemetryLog {
@@ -517,6 +585,89 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"dropped_events\":0"));
         assert!(!json.contains("\"ph\":\"X\""), "no slices without events");
+    }
+
+    #[test]
+    fn energy_counters_render_when_a_timeline_is_supplied() {
+        let rec = Recorder::new(RecorderConfig {
+            capacity: 1024,
+            epoch_len: 10,
+        });
+        let mut energy = EnergyTimeline::new(PowerParams::default(), DomainLayout::fermi(), 14, 10);
+        for c in 0..40u64 {
+            let mut powered = [true; NUM_DOMAINS];
+            // Gate one INT cluster from cycle 10 on so the INT savings
+            // counter climbs above zero.
+            powered[DomainId::INT1.index()] = c < 10;
+            let s = CycleSample {
+                cycle: c,
+                busy: [false; NUM_DOMAINS],
+                powered,
+                issued: 0,
+                active_warps: 0,
+            };
+            rec.observe_sample(&s);
+            energy.observe(&s);
+        }
+        let log = rec.take();
+        let json = render_with_energy(&log, DomainLayout::fermi(), "demo", Some(&energy));
+        for needle in [
+            "\"energy\"",
+            "\"INT static savings\"",
+            "\"FP static savings\"",
+            "\"int_savings\"",
+            "\"fp_savings\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Counter samples land on epoch boundaries with fixed precision.
+        assert!(json.contains("\"ph\":\"C\",\"pid\":4"));
+        // Without a timeline the energy process never appears.
+        let plain = render(&log, DomainLayout::fermi(), "demo");
+        assert!(!plain.contains("int_savings"));
+        assert!(!plain.contains("\"pid\":4"));
+    }
+
+    #[test]
+    fn energy_render_is_deterministic() {
+        let rec = Recorder::new(RecorderConfig {
+            capacity: 256,
+            epoch_len: 10,
+        });
+        let mut energy = EnergyTimeline::new(PowerParams::default(), DomainLayout::fermi(), 14, 10);
+        for c in 0..25u64 {
+            let s = CycleSample {
+                cycle: c,
+                busy: [false; NUM_DOMAINS],
+                powered: [true; NUM_DOMAINS],
+                issued: 0,
+                active_warps: 0,
+            };
+            rec.observe_sample(&s);
+            energy.observe(&s);
+        }
+        let log = rec.take();
+        let a = render_with_energy(&log, DomainLayout::fermi(), "x", Some(&energy));
+        let b = render_with_energy(&log, DomainLayout::fermi(), "x", Some(&energy));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same epoch length")]
+    fn mismatched_energy_epoch_length_is_rejected() {
+        let rec = Recorder::new(RecorderConfig {
+            capacity: 64,
+            epoch_len: 10,
+        });
+        rec.observe_sample(&CycleSample {
+            cycle: 0,
+            busy: [false; NUM_DOMAINS],
+            powered: [true; NUM_DOMAINS],
+            issued: 0,
+            active_warps: 0,
+        });
+        let energy = EnergyTimeline::new(PowerParams::default(), DomainLayout::fermi(), 14, 20);
+        let _ = render_with_energy(&rec.take(), DomainLayout::fermi(), "bad", Some(&energy));
     }
 
     #[test]

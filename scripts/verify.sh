@@ -34,7 +34,12 @@ step "grid regression gate (full-scale sweep, cycles must match bit for bit)"
 # The sweep writes into --out-dir, so verify never mutates the repo's
 # checked-in results/.
 outdir="$(mktemp -d)"
-trap 'rm -rf "$outdir"' EXIT
+serve_pid=""
+cleanup() {
+    if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi
+    rm -rf "$outdir"
+}
+trap cleanup EXIT
 time cargo run --release -q -p warped-bench --bin sweep -- --out-dir "$outdir/grid"
 
 # Compare the label + cycles (first value) of every row.
@@ -113,6 +118,61 @@ assert {"INT", "FP", "SFU", "LDST"} <= units, f"gated lanes only on {sorted(gate
 print(f"trace OK: {len(events)} events, gated lanes on {sorted(gated)}")
 PY
 echo "timeline capture valid, deterministic, and gates all four unit types"
+
+step "serve smoke (HTTP service: healthy, grid-consistent run, cache hit, clean shutdown)"
+servelog="$outdir/serve.log"
+cargo run --release -q -p warped-serve --bin warped-serve -- \
+    --addr 127.0.0.1:0 >"$servelog" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$servelog" 2>/dev/null && break
+    sleep 0.1
+done
+port="$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$servelog")"
+test -n "$port" || { echo "verify: FAIL — serve never bound a port" >&2; exit 1; }
+python3 - "$port" <<'PY'
+import json, sys, time, urllib.error, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+for _ in range(100):
+    try:
+        if urllib.request.urlopen(base + "/healthz", timeout=1).status == 200:
+            break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("serve never became healthy")
+
+# One full-scale cell over HTTP must match the checked-in grid bit for
+# bit (nw is the shortest benchmark, so this stays quick).
+body = json.dumps({"benchmark": "nw", "technique": "baseline"}).encode()
+def run():
+    req = urllib.request.Request(
+        base + "/run", data=body, headers={"Content-Type": "application/json"}
+    )
+    return urllib.request.urlopen(req, timeout=600).read()
+
+first = json.loads(run())
+grid = json.load(open("results/bench_grid.json"))
+row = next(r for r in grid["rows"] if r["label"] == "nw/Baseline")
+assert first["cycles"] == int(row["values"][0]), (first["cycles"], row)
+assert first["ff_cycles"] == int(row["values"][1]), (first["ff_cycles"], row)
+
+# The second identical request must be served from the cache,
+# byte-identical to the first.
+second = run()
+assert json.loads(second) == first, "cached response diverged"
+metrics = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+assert "warped_serve_cache_misses_total 1" in metrics, metrics
+assert "warped_serve_cache_hits_total 1" in metrics, metrics
+
+req = urllib.request.Request(base + "/shutdown", data=b"")
+assert urllib.request.urlopen(req, timeout=10).status == 200
+print(f"serve OK: nw/Baseline cycles {first['cycles']} match the grid; 2nd request hit the cache")
+PY
+wait "$serve_pid"
+serve_pid=""
+echo "serve smoke passed: healthy, grid-consistent, cached, clean shutdown"
 
 echo
 echo "verify: all checks passed"

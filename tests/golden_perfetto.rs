@@ -3,10 +3,13 @@
 //! platform and every run. Any intentional exporter change regenerates
 //! the golden with `BLESS=1 cargo test --test golden_perfetto`.
 
+use std::cell::RefCell;
 use std::path::PathBuf;
+use std::rc::Rc;
 
 use warped_gates_repro::gates::Technique;
 use warped_gates_repro::gating::GatingParams;
+use warped_gates_repro::power::{EnergyTimeline, PowerParams};
 use warped_gates_repro::prelude::*;
 use warped_gates_repro::sim::DomainLayout;
 use warped_gates_repro::telemetry::{perfetto, Recorder, RecorderConfig};
@@ -40,19 +43,29 @@ fn capture() -> String {
     let mut cfg = SmConfig::small_for_tests();
     cfg.telemetry = Some(rec.clone());
     let technique = Technique::WarpedGates;
-    let sm = Sm::new(
+    let params = GatingParams::default();
+    let energy = Rc::new(RefCell::new(EnergyTimeline::new(
+        PowerParams::default(),
+        DomainLayout::fermi(),
+        params.bet,
+        250,
+    )));
+    let mut sm = Sm::new(
         cfg,
         LaunchConfig::new(kernel, 6).with_block_warps(3),
         technique.make_scheduler(),
-        technique.make_gating(GatingParams::default()),
+        technique.make_gating(params),
     );
+    sm.set_observer(Box::new(Rc::clone(&energy)));
     let outcome = sm.run();
     assert!(!outcome.timed_out);
-    perfetto::render(
+    let rendered = perfetto::render_with_energy(
         &rec.take(),
         DomainLayout::fermi(),
         "golden-tiny × Warped Gates",
-    )
+        Some(&energy.borrow()),
+    );
+    rendered
 }
 
 #[test]
@@ -86,4 +99,7 @@ fn golden_capture_has_gating_lanes_for_every_unit_type() {
         );
     }
     assert!(rendered.contains("\"name\":\"gated\""));
+    // The armed energy timeline adds per-epoch savings counter tracks.
+    assert!(rendered.contains("\"int_savings\""));
+    assert!(rendered.contains("\"fp_savings\""));
 }
