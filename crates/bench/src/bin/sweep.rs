@@ -9,14 +9,16 @@
 //! `<out-dir>/sweep_failures.json`, and the exit code is 1.
 //!
 //! Usage:
-//! `sweep [--scale <f>] [--jobs <n>] [--resume] [--sanitize]
+//! `sweep [--scale <f>] [--jobs <n>] [--core <clock>] [--resume] [--sanitize]
 //!        [--out-dir <dir>] [--timeout-secs <s>] [--chaos <i,j,...>]`
 
 use std::process::ExitCode;
 use warped_bench::sweep::{self, SweepConfig};
 use warped_bench::{exit_usage, workers_or_exit, ArgError};
+use warped_gates::CoreClock;
 
-const USAGE: &str = "[--scale <f in (0,1]>] [--jobs <n >= 1>] [--resume] [--sanitize] \
+const USAGE: &str = "[--scale <f in (0,1]>] [--jobs <n >= 1>] \
+[--core event-queue|fast-forward|stepped] [--resume] [--sanitize] \
 [--out-dir <dir>] [--timeout-secs <s > 0>] [--chaos <i,j,...>] [--trace-cell <i>]";
 
 fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
@@ -58,6 +60,15 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
                     });
                 }
                 config.workers = workers;
+                i += 2;
+            }
+            "--core" => {
+                let v = value(args, i, "--core")?;
+                config.core = CoreClock::parse(&v).map_err(|_| ArgError::BadValue {
+                    flag: "--core".to_owned(),
+                    value: v,
+                    expected: "event-queue, fast-forward, or stepped",
+                })?;
                 i += 2;
             }
             "--resume" => {
@@ -144,9 +155,10 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "sweep: full grid at scale {}, {} workers{}{}",
+        "sweep: full grid at scale {}, {} workers, {} core{}{}",
         config.scale,
         config.workers,
+        config.core.name(),
         if config.sanitize { ", sanitized" } else { "" },
         if config.resume { ", resuming" } else { "" },
     );
@@ -167,6 +179,7 @@ fn main() -> ExitCode {
         summary.failures.len()
     );
     println!("wrote {}", config.out_dir.join("bench_grid.json").display());
+    println!("wrote {}", sweep::wall_path(&config.out_dir).display());
     if let Some(cell) = config.trace_cell {
         match sweep::trace_cell(&config, cell) {
             Ok(path) => println!("wrote {}", path.display()),

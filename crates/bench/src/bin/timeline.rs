@@ -263,6 +263,10 @@ fn main() -> ExitCode {
         "  clock: {} fast-forward spans covering {} cycles",
         totals.ff_spans, totals.ff_cycles
     );
+    println!(
+        "  event core: {} events dispatched, queue peak {}, {} idle cycles skipped",
+        outcome.stats.events_dispatched, outcome.stats.heap_peak, outcome.stats.idle_cycles_skipped
+    );
     println!("wrote {}", trace_path.display());
     println!("wrote {}", metrics_path.display());
     println!("open the trace at https://ui.perfetto.dev (or chrome://tracing)");

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use warped_gates::runner::{self, GridJob, RunOutcome};
-use warped_gates::Experiment;
+use warped_gates::{CoreClock, Experiment};
 
 /// Everything a sweep needs to know, CLI-independent.
 #[derive(Debug, Clone)]
@@ -34,6 +34,11 @@ pub struct SweepConfig {
     pub sanitize: bool,
     /// Reuse journaled cells instead of starting from scratch.
     pub resume: bool,
+    /// SM clock backend. All backends produce bit-identical grids (the
+    /// equivalence suite pins this down), so resuming a journal written
+    /// under a different backend is sound; only wall time differs,
+    /// which is why `bench_wall.json` totals are keyed per backend.
+    pub core: CoreClock,
     /// Directory for `bench_grid.json`, the journal, and the failure
     /// manifest.
     pub out_dir: PathBuf,
@@ -60,6 +65,7 @@ impl SweepConfig {
             workers,
             sanitize: false,
             resume: false,
+            core: CoreClock::default(),
             out_dir: out_dir.into(),
             job_timeout: None,
             chaos: Vec::new(),
@@ -118,6 +124,41 @@ pub fn journal_path(out_dir: &Path) -> PathBuf {
 #[must_use]
 pub fn manifest_path(out_dir: &Path) -> PathBuf {
     out_dir.join("sweep_failures.json")
+}
+
+/// The wall-clock report path inside an output directory.
+#[must_use]
+pub fn wall_path(out_dir: &Path) -> PathBuf {
+    out_dir.join("bench_wall.json")
+}
+
+/// Reads the `TOTAL/<core>` aggregate rows back out of an existing
+/// `bench_wall.json`, so a sweep under one clock backend preserves the
+/// totals measured under the others. Missing or malformed files read
+/// as empty — wall numbers are diagnostics, never inputs.
+fn read_wall_totals(path: &Path) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(p) = rest.find("{\"label\":\"") {
+        rest = &rest[p + 10..];
+        let Some(q) = rest.find('"') else { break };
+        let label = rest[..q].to_owned();
+        rest = &rest[q..];
+        let Some(v) = rest.find("\"values\":[") else {
+            break;
+        };
+        rest = &rest[v + 10..];
+        let end = rest.find([',', ']']).unwrap_or(rest.len());
+        if label.starts_with("TOTAL/") {
+            if let Ok(secs) = rest[..end].parse::<f64>() {
+                out.push((label, secs));
+            }
+        }
+    }
+    out
 }
 
 /// Runs the full 18 × 6 grid under `config`.
@@ -187,7 +228,8 @@ pub fn run_on(config: &SweepConfig, mut jobs: Vec<GridJob>) -> std::io::Result<S
     let experiment = Experiment::paper_defaults()
         .with_scale(config.scale)
         .with_sanitize(config.sanitize)
-        .with_job_timeout(config.job_timeout);
+        .with_job_timeout(config.job_timeout)
+        .with_core(config.core);
 
     let sink = Mutex::new(
         std::fs::OpenOptions::new()
@@ -234,10 +276,12 @@ pub fn run_on(config: &SweepConfig, mut jobs: Vec<GridJob>) -> std::io::Result<S
     );
 
     let mut failures = Vec::new();
+    let mut wall: BTreeMap<usize, f64> = BTreeMap::new();
     for (local, outcome) in outcomes.into_iter().enumerate() {
         let global = pending[local];
         match outcome {
             RunOutcome::Ok(timed) => {
+                wall.insert(global, timed.elapsed.as_secs_f64());
                 done.insert(
                     global,
                     JournalEntry {
@@ -269,6 +313,26 @@ pub fn run_on(config: &SweepConfig, mut jobs: Vec<GridJob>) -> std::io::Result<S
         &["cycles", "ff_cycles"],
         &rows,
     )?;
+
+    // Wall-clock sidecar (diagnostic, never journaled): one row of
+    // wall seconds per cell executed this invocation, plus a
+    // `TOTAL/<core>` aggregate per clock backend. A backend's TOTAL is
+    // only (re)written by a clean, complete, from-scratch sweep — a
+    // resumed or failing run would under-count — while totals measured
+    // under the *other* backends are carried over verbatim, so one
+    // artifact accumulates the before/after comparison.
+    let mut wall_rows: Vec<(String, Vec<f64>)> = wall
+        .iter()
+        .map(|(&i, &secs)| (labels[i].clone(), vec![secs]))
+        .collect();
+    let mut totals: BTreeMap<String, f64> = read_wall_totals(&wall_path(&config.out_dir))
+        .into_iter()
+        .collect();
+    if failures.is_empty() && pending.len() == total {
+        totals.insert(format!("TOTAL/{}", config.core.name()), wall.values().sum());
+    }
+    wall_rows.extend(totals.into_iter().map(|(label, secs)| (label, vec![secs])));
+    write_json(&config.out_dir, "bench wall", &["seconds"], &wall_rows)?;
 
     let manifest = manifest_path(&config.out_dir);
     if failures.is_empty() {
@@ -331,6 +395,7 @@ pub fn trace_cell(config: &SweepConfig, index: usize) -> std::io::Result<PathBuf
         .with_scale(config.scale)
         .with_sanitize(config.sanitize)
         .with_job_timeout(config.job_timeout)
+        .with_core(config.core)
         .with_telemetry(Some(recorder.clone()));
     let run = experiment.run(spec, *technique);
 
@@ -423,6 +488,45 @@ mod tests {
         assert_eq!(entries.len(), 4);
         assert!(config.out_dir.join("bench_grid.json").exists());
         assert!(!manifest_path(&config.out_dir).exists());
+        std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    fn wall_file_accumulates_totals_per_core() {
+        let config = tiny_config("warped_sweep_wall_test");
+        assert!(run_on(&config, tiny_grid()).unwrap().ok());
+        let text = std::fs::read_to_string(wall_path(&config.out_dir)).unwrap();
+        assert!(text.contains("hotspot/Baseline"), "per-cell row: {text}");
+        assert!(text.contains("TOTAL/event-queue"), "aggregate row: {text}");
+
+        // Re-sweeping under another backend adds its TOTAL without
+        // clobbering the event-queue one.
+        let mut ff = config.clone();
+        ff.core = CoreClock::FastForward;
+        assert!(run_on(&ff, tiny_grid()).unwrap().ok());
+        let text = std::fs::read_to_string(wall_path(&config.out_dir)).unwrap();
+        assert!(text.contains("TOTAL/event-queue"), "preserved: {text}");
+        assert!(text.contains("TOTAL/fast-forward"), "added: {text}");
+
+        // A resumed (partial) sweep must not rewrite a full-sweep
+        // total from a subset of cells.
+        let jpath = journal_path(&config.out_dir);
+        let kept: Vec<String> = std::fs::read_to_string(&jpath)
+            .unwrap()
+            .lines()
+            .take(3)
+            .map(str::to_owned)
+            .collect();
+        std::fs::write(&jpath, format!("{}\n", kept.join("\n"))).unwrap();
+        let before = read_wall_totals(&wall_path(&config.out_dir));
+        let mut resumed = ff.clone();
+        resumed.resume = true;
+        assert!(run_on(&resumed, tiny_grid()).unwrap().ok());
+        assert_eq!(
+            read_wall_totals(&wall_path(&config.out_dir)),
+            before,
+            "partial sweeps leave totals alone"
+        );
         std::fs::remove_dir_all(&config.out_dir).ok();
     }
 

@@ -6,6 +6,65 @@ use warped_gating::GatingParams;
 use warped_sim::{DomainLayout, Sm};
 use warped_workloads::BenchmarkSpec;
 
+/// Which clock backend (and skip policy) the SM cores run under.
+///
+/// Every variant produces bit-identical simulation outcomes — the
+/// equivalence is enforced by the `prop_fast_forward` three-way suite
+/// and the grid regression gate — so the choice is purely a speed/
+/// reference trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreClock {
+    /// The discrete-event core: a time-ordered event queue with idle
+    /// spans popped off the heap. The default.
+    #[default]
+    EventQueue,
+    /// The ring-backed fast-forward clock (scan the event ring for the
+    /// next event, maybe skip). Kept as the legacy reference.
+    FastForward,
+    /// Per-cycle stepping with no skipping at all — the slowest,
+    /// simplest reference implementation.
+    Stepped,
+}
+
+impl CoreClock {
+    /// `(event_queue, fast_forward)` flags for
+    /// [`SmConfig`](warped_sim::SmConfig).
+    #[must_use]
+    pub fn sm_flags(self) -> (bool, bool) {
+        match self {
+            CoreClock::EventQueue => (true, true),
+            CoreClock::FastForward => (false, true),
+            CoreClock::Stepped => (false, false),
+        }
+    }
+
+    /// The name used on the command line and in artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreClock::EventQueue => "event-queue",
+            CoreClock::FastForward => "fast-forward",
+            CoreClock::Stepped => "stepped",
+        }
+    }
+
+    /// Parses a command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input when it names no variant.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "event-queue" => Ok(CoreClock::EventQueue),
+            "fast-forward" => Ok(CoreClock::FastForward),
+            "stepped" => Ok(CoreClock::Stepped),
+            other => Err(format!(
+                "unknown core clock '{other}' (expected event-queue, fast-forward, or stepped)"
+            )),
+        }
+    }
+}
+
 /// An experiment configuration: gating parameters plus a workload scale
 /// factor.
 ///
@@ -32,6 +91,7 @@ pub struct Experiment {
     sanitize: bool,
     job_timeout: Option<std::time::Duration>,
     telemetry: Option<warped_sim::Recorder>,
+    core: CoreClock,
 }
 
 /// A completed technique run, pairing the report with the spec it ran.
@@ -62,6 +122,7 @@ impl Experiment {
             sanitize: false,
             job_timeout: None,
             telemetry: None,
+            core: CoreClock::default(),
         }
     }
 
@@ -134,10 +195,25 @@ impl Experiment {
         self
     }
 
+    /// Selects the clock backend every run uses (see [`CoreClock`]).
+    /// Outcomes are bit-identical across backends; only wall time
+    /// changes.
+    #[must_use]
+    pub fn with_core(mut self, core: CoreClock) -> Self {
+        self.core = core;
+        self
+    }
+
     /// The gating parameters in effect.
     #[must_use]
     pub fn params(&self) -> &GatingParams {
         &self.params
+    }
+
+    /// The clock backend in effect.
+    #[must_use]
+    pub fn core(&self) -> CoreClock {
+        self.core
     }
 
     /// Whether the gating invariant sanitizer is armed.
@@ -184,6 +260,9 @@ impl Experiment {
         cfg.sanitize = self.sanitize;
         cfg.wall_clock_budget = self.job_timeout;
         cfg.telemetry = self.telemetry.clone();
+        let (event_queue, fast_forward) = self.core.sm_flags();
+        cfg.event_queue = event_queue;
+        cfg.fast_forward = fast_forward;
         let sm = Sm::new(
             cfg,
             spec.launch(),

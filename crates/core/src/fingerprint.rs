@@ -14,10 +14,11 @@
 //! finalizer the workload generator's PRNG uses, so the workspace
 //! stays dependency-free). Observe-only switches (the sanitizer, a
 //! telemetry recorder) and run-control switches (the wall-clock
-//! watchdog) are deliberately **excluded**: the repository's
-//! equivalence suites pin down that they never move a cycle count, so
-//! two configurations differing only there produce byte-identical
-//! reports and must share a cache line.
+//! watchdog, the [`CoreClock`](crate::CoreClock) backend) are
+//! deliberately **excluded**: the repository's equivalence suites pin
+//! down that they never move a cycle count, so two configurations
+//! differing only there produce byte-identical reports and must share
+//! a cache line.
 //!
 //! The hash is versioned ([`FINGERPRINT_VERSION`] is folded in first),
 //! so any change to the canonical field order invalidates old keys
@@ -244,6 +245,17 @@ mod tests {
             plain, sanitized,
             "sanitizer and watchdog are bit-identity no-ops and must share cache lines"
         );
+        for core in [
+            crate::CoreClock::EventQueue,
+            crate::CoreClock::FastForward,
+            crate::CoreClock::Stepped,
+        ] {
+            assert_eq!(
+                plain,
+                cell_fingerprint(&exp.clone().with_core(core), &spec, Technique::Gates),
+                "clock backends are bit-equal and must share cache lines"
+            );
+        }
     }
 
     #[test]

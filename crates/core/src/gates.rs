@@ -51,6 +51,9 @@ pub struct GatesScheduler {
     lazy_wake: u32,
     /// Ready-warp backlog that counts as wakeup demand by itself.
     wake_backlog: u32,
+    /// Reusable buffer for the per-type round-robin scan (no scheduling
+    /// state: always drained by the end of a `pick`).
+    scan: Vec<u32>,
     /// Telemetry recorder (installed by the simulator when
     /// [`SmConfig::telemetry`](warped_sim::SmConfig) is armed); every
     /// dynamic priority flip is stamped on it. Strictly observe-only.
@@ -80,6 +83,7 @@ impl GatesScheduler {
             starve_run: 0,
             lazy_wake: Self::DEFAULT_LAZY_WAKE_CYCLES,
             wake_backlog: Self::DEFAULT_WAKE_BACKLOG,
+            scan: Vec::new(),
             recorder: None,
         }
     }
@@ -172,33 +176,30 @@ impl GatesScheduler {
 
     /// Issues ready candidates of `unit`, round-robin within the type.
     fn issue_type(&mut self, ctx: &mut IssueCtx, unit: UnitType) {
-        if ctx.width_left() == 0 {
+        if ctx.width_left() == 0 || ctx.ready_count(unit) == 0 {
             return;
         }
-        let idxs: Vec<usize> = ctx
-            .candidates()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.unit == unit)
-            .map(|(i, _)| i)
-            .collect();
-        if idxs.is_empty() {
-            return;
-        }
+        // The context precomputes each type's candidate positions; the
+        // reusable scan buffer (this runs up to four times per simulated
+        // cycle) sidesteps borrowing the context across `try_issue`.
+        let mut idxs = std::mem::take(&mut self.scan);
+        idxs.clear();
+        idxs.extend_from_slice(ctx.unit_candidates(unit));
         let rot = self.rotation[unit.index()];
         let start = idxs
             .iter()
-            .position(|&i| ctx.candidates()[i].slot.0 >= rot)
+            .position(|&i| ctx.candidates()[i as usize].slot.0 >= rot)
             .unwrap_or(0);
-        for k in 0..idxs.len() {
+        for &i in idxs[start..].iter().chain(&idxs[..start]) {
             if ctx.width_left() == 0 {
                 break;
             }
-            let idx = idxs[(start + k) % idxs.len()];
+            let idx = i as usize;
             if ctx.try_issue(idx) {
                 self.rotation[unit.index()] = ctx.candidates()[idx].slot.0 + 1;
             }
         }
+        self.scan = idxs;
     }
 }
 

@@ -53,7 +53,7 @@ mod technique;
 
 pub use adaptive::AdaptiveIdleDetect;
 pub use blackout::{CoordinatedBlackoutPolicy, NaiveBlackoutPolicy};
-pub use experiment::{Experiment, TechniqueRun};
+pub use experiment::{CoreClock, Experiment, TechniqueRun};
 pub use gates::GatesScheduler;
 pub use report::RunReport;
 pub use runner::{

@@ -22,6 +22,15 @@ pub struct Metrics {
     pub panicked_cells: AtomicU64,
     /// `/run` cells cut off by the wall-clock watchdog.
     pub timed_out_cells: AtomicU64,
+    /// Events dispatched by the simulator clock across all fresh
+    /// simulations (cache hits re-serve bytes and add nothing).
+    pub events_dispatched: AtomicU64,
+    /// High-water mark of the event-queue population over all fresh
+    /// simulations.
+    pub heap_peak: AtomicU64,
+    /// Idle cycles the event-queue core jumped over instead of
+    /// stepping, across all fresh simulations.
+    pub idle_cycles_skipped: AtomicU64,
 }
 
 /// RAII guard bumping `in_flight` for the duration of a job.
@@ -39,6 +48,17 @@ impl Metrics {
     pub fn job_started(&self) -> InFlightGuard<'_> {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         InFlightGuard(&self.in_flight)
+    }
+
+    /// Folds one fresh simulation's event-core counters into the
+    /// service totals (sums, except the queue peak which is a
+    /// high-water mark).
+    pub fn record_core_counters(&self, stats: &warped_sim::SimStats) {
+        self.events_dispatched
+            .fetch_add(stats.events_dispatched, Ordering::Relaxed);
+        self.heap_peak.fetch_max(stats.heap_peak, Ordering::Relaxed);
+        self.idle_cycles_skipped
+            .fetch_add(stats.idle_cycles_skipped, Ordering::Relaxed);
     }
 
     /// Records the response status of one request.
@@ -111,6 +131,21 @@ impl Metrics {
             "Run cells cut off by the wall-clock watchdog.",
             self.timed_out_cells.load(Ordering::Relaxed),
         );
+        counter(
+            "warped_serve_sim_events_dispatched_total",
+            "Clock events dispatched across all fresh simulations.",
+            self.events_dispatched.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_heap_peak",
+            "High-water event-queue population over all fresh simulations.",
+            self.heap_peak.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_idle_cycles_skipped_total",
+            "Idle cycles jumped by the event-queue core instead of stepped.",
+            self.idle_cycles_skipped.load(Ordering::Relaxed),
+        );
         out
     }
 }
@@ -133,8 +168,21 @@ mod tests {
         let (r, _) = cache.get_or_compute(1, || unreachable!());
         r.unwrap();
 
+        let mut stats = warped_sim::SimStats {
+            events_dispatched: 40,
+            heap_peak: 7,
+            idle_cycles_skipped: 9,
+            ..Default::default()
+        };
+        m.record_core_counters(&stats);
+        stats.heap_peak = 5; // lower peak must not regress the high-water
+        m.record_core_counters(&stats);
+
         let page = m.render(&cache);
         assert!(page.contains("warped_serve_requests_total 3"));
+        assert!(page.contains("warped_serve_sim_events_dispatched_total 80"));
+        assert!(page.contains("warped_serve_sim_heap_peak 7"));
+        assert!(page.contains("warped_serve_sim_idle_cycles_skipped_total 18"));
         assert!(page.contains("warped_serve_client_errors_total 1"));
         assert!(page.contains("warped_serve_server_errors_total 1"));
         assert!(page.contains("warped_serve_cache_hits_total 1"));

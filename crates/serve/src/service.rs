@@ -387,7 +387,10 @@ impl Service {
                         self.config.job_timeout
                     ))
                 }
-                Ok(run) => Ok(render_run(&run_req, fingerprint, &run)),
+                Ok(run) => {
+                    self.metrics.record_core_counters(&run.stats);
+                    Ok(render_run(&run_req, fingerprint, &run))
+                }
             }
         });
 
@@ -552,6 +555,8 @@ impl Service {
             }
         };
 
+        self.metrics.record_core_counters(&run.stats);
+
         // Reassemble the log through the bounded-chunk drain (the same
         // incremental path the timeline binary uses).
         let mut events = Vec::new();
@@ -673,6 +678,18 @@ mod tests {
         assert_eq!(first, second, "cached bytes are identical");
         assert_eq!(service.cache.misses(), 1);
         assert_eq!(service.cache.hits(), 1);
+        // The fresh simulation (and only it — the hit re-served bytes)
+        // folded its event-core counters into the service totals.
+        let events = service
+            .metrics
+            .events_dispatched
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(events > 0, "fresh run must report dispatched events");
+        let (status, page, _) = dispatch(&service, &get("/metrics"));
+        assert_eq!(status, 200);
+        assert!(page.contains(&format!(
+            "warped_serve_sim_events_dispatched_total {events}"
+        )));
     }
 
     #[test]

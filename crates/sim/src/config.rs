@@ -99,6 +99,16 @@ pub struct SmConfig {
     /// bit-equal either way — so this stays on outside of equivalence
     /// tests that force per-cycle stepping.
     pub fast_forward: bool,
+    /// Whether the SM's future-event schedule is backed by the
+    /// time-ordered event queue (a stable binary heap,
+    /// [`TimeQ`](crate::timeq::TimeQ)) instead of the cyclic event
+    /// ring. Both backends hold the same pending events and drain them
+    /// in the same order, so outcomes are bit-equal either way; the
+    /// queue answers "when is the next event?" in O(1), which is what
+    /// makes fast-forward spans (and the discrete-event core generally)
+    /// cheap. On by default; the ring is kept as the reference clock
+    /// for equivalence tests.
+    pub event_queue: bool,
     /// Whether to run the gating invariant sanitizer
     /// ([`Sanitizer`](crate::Sanitizer)) alongside the simulation:
     /// every cycle and every fast-forwarded span is checked against the
@@ -135,6 +145,7 @@ impl SmConfig {
             memory: MemoryConfig::default(),
             max_cycles: 50_000_000,
             fast_forward: true,
+            event_queue: true,
             sanitize: false,
             wall_clock_budget: None,
             telemetry: None,
@@ -166,6 +177,7 @@ impl SmConfig {
             },
             max_cycles: 200_000,
             fast_forward: true,
+            event_queue: true,
             sanitize: true,
             wall_clock_budget: None,
             telemetry: None,

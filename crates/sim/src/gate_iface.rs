@@ -234,6 +234,24 @@ pub trait PowerGating {
         }
     }
 
+    /// Powered flags for `domains` in one call, indexed by
+    /// [`DomainId::index`]; entries for domains outside the slice stay
+    /// `false`.
+    ///
+    /// Semantically identical to asking [`is_on`](PowerGating::is_on)
+    /// per domain — the provided body does exactly that — but provided
+    /// methods compile per implementation, so the `is_on` calls inside
+    /// are static. The simulator queries the whole layout every cycle;
+    /// through a `Box<dyn PowerGating>` this costs one virtual dispatch
+    /// instead of one per domain.
+    fn powered_flags(&self, domains: &[DomainId]) -> [bool; NUM_DOMAINS] {
+        let mut on = [false; NUM_DOMAINS];
+        for d in domains {
+            on[d.index()] = self.is_on(*d);
+        }
+        on
+    }
+
     /// Final counters for reporting.
     fn report(&self) -> GatingReport;
 

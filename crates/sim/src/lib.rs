@@ -71,6 +71,7 @@ mod scoreboard;
 mod sm;
 pub mod stats;
 pub mod summary;
+pub mod timeq;
 pub mod trace;
 mod warp;
 

@@ -39,43 +39,47 @@ pub(crate) struct Pick {
     pub domain: DomainId,
 }
 
-/// Reusable per-cycle issue buffers.
-///
-/// The SM keeps one of these alive across its whole run and threads it
-/// through [`IssueCtx::from_scratch`] / [`IssueCtx::into_scratch`] each
-/// cycle, so the candidate list, issued bitmap, and pick list are
-/// allocated once per simulation instead of once per cycle.
-#[derive(Debug, Default)]
-pub(crate) struct IssueScratch {
-    /// Candidate list; the SM clears and refills this before building
-    /// the cycle's context.
-    pub(crate) candidates: Vec<Candidate>,
-    pub(crate) issued: Vec<bool>,
-    /// Picks of the last cycle, left behind by
-    /// [`IssueCtx::into_scratch`] for the SM to apply.
-    pub(crate) picks: Vec<Pick>,
-}
-
 /// The per-cycle issue context handed to [`WarpScheduler::pick`].
 ///
 /// See the crate documentation for the scheduling protocol: the
 /// context enforces issue width, dispatch ports, gating, and MSHR
 /// capacity; schedulers only express priority order.
+///
+/// The SM keeps one context alive across its whole run and rearms it
+/// with [`reset_for_cycle`](IssueCtx::reset_for_cycle), so the
+/// candidate list, per-unit indices, issued bitmap, and pick list are
+/// allocated once per simulation instead of once per cycle — and the
+/// context itself never moves.
 #[derive(Debug)]
 pub struct IssueCtx {
     cycle: u64,
     issue_width: usize,
     layout: DomainLayout,
-    candidates: Vec<Candidate>,
+    /// Ready warps this cycle, in slot order. Maintained *across*
+    /// cycles by the owner (the SM rebuilds it only when warp
+    /// membership or next-instruction metadata changed).
+    pub(crate) candidates: Vec<Candidate>,
     issued: Vec<bool>,
     domain_on: [bool; crate::domain::NUM_DOMAINS],
     domain_busy: [bool; crate::domain::NUM_DOMAINS],
     active_subset: [u32; 4],
     ldst_load_credits: u32,
     ports: IssuePorts,
-    picks: Vec<Pick>,
+    /// The cycle's issue decisions, for the owner to apply after
+    /// [`WarpScheduler::pick`] returns.
+    pub(crate) picks: Vec<Pick>,
     attempted_blocked: [u32; 4],
     ready_by_unit: [u32; 4],
+    /// By-unit tally of `candidates`, maintained by whoever owns the
+    /// list (issues decrement the working copy `ready_by_unit`; the
+    /// reset restores it from here, so the tally survives the cycle
+    /// without a per-cycle recount).
+    pub(crate) ready_base: [u32; 4],
+    /// Positions into `candidates` grouped by unit type, in list order —
+    /// maintained alongside the list, so per-type schedulers (GATES)
+    /// iterate their type directly instead of filtering the full list
+    /// once per type per cycle.
+    pub(crate) unit_idx: [Vec<u32>; 4],
     /// Units proven unissuable for the rest of the cycle with every
     /// cluster powered. Within a cycle `domain_on` is fixed and ports
     /// are only ever claimed, so once [`IssueCtx::try_issue`] fails for
@@ -129,59 +133,77 @@ impl IssueCtx {
         active_subset: [u32; 4],
         ldst_load_credits: u32,
     ) -> Self {
-        Self::from_scratch(
-            IssueScratch {
-                candidates,
-                issued: Vec::new(),
-                picks: Vec::new(),
-            },
-            layout,
+        let mut ctx = Self::persistent(layout, issue_width);
+        for (i, c) in candidates.iter().enumerate() {
+            ctx.ready_base[c.unit.index()] += 1;
+            ctx.unit_idx[c.unit.index()].push(i as u32);
+        }
+        ctx.candidates = candidates;
+        ctx.reset_for_cycle(
             cycle,
-            issue_width,
             domain_on,
             domain_busy,
             active_subset,
             ldst_load_credits,
-        )
+        );
+        ctx
     }
 
-    /// Builds the cycle's context around recycled buffers:
-    /// `scratch.candidates` holds this cycle's candidate list (filled by
-    /// the SM); the issued bitmap and pick list are reset in place.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_scratch(
-        mut scratch: IssueScratch,
-        layout: DomainLayout,
+    /// An empty long-lived context. The owner fills `candidates` (with
+    /// `unit_idx` and `ready_base` kept in step) and rearms it each
+    /// cycle with [`reset_for_cycle`](IssueCtx::reset_for_cycle).
+    pub(crate) fn persistent(layout: DomainLayout, issue_width: usize) -> Self {
+        IssueCtx {
+            cycle: 0,
+            issue_width,
+            layout,
+            candidates: Vec::new(),
+            issued: Vec::new(),
+            domain_on: [false; crate::domain::NUM_DOMAINS],
+            domain_busy: [false; crate::domain::NUM_DOMAINS],
+            active_subset: [0; 4],
+            ldst_load_credits: 0,
+            ports: IssuePorts::default(),
+            picks: Vec::new(),
+            attempted_blocked: [0; 4],
+            ready_by_unit: [0; 4],
+            ready_base: [0; 4],
+            unit_idx: Default::default(),
+            dead_units: [false; 4],
+        }
+    }
+
+    /// Rearms the context for a new cycle in place: the candidate list,
+    /// per-unit indices, and tally stay as the owner maintains them;
+    /// everything per-cycle (issued bitmap, picks, ports, demand,
+    /// working tally, gating/busy/credit snapshot) resets.
+    pub(crate) fn reset_for_cycle(
+        &mut self,
         cycle: u64,
-        issue_width: usize,
         domain_on: [bool; crate::domain::NUM_DOMAINS],
         domain_busy: [bool; crate::domain::NUM_DOMAINS],
         active_subset: [u32; 4],
         ldst_load_credits: u32,
-    ) -> Self {
-        scratch.issued.clear();
-        scratch.issued.resize(scratch.candidates.len(), false);
-        scratch.picks.clear();
-        let mut ready_by_unit = [0u32; 4];
-        for c in &scratch.candidates {
-            ready_by_unit[c.unit.index()] += 1;
-        }
-        IssueCtx {
-            cycle,
-            issue_width,
-            layout,
-            candidates: scratch.candidates,
-            issued: scratch.issued,
-            domain_on,
-            domain_busy,
-            active_subset,
-            ldst_load_credits,
-            ports: IssuePorts::default(),
-            picks: scratch.picks,
-            attempted_blocked: [0; 4],
-            ready_by_unit,
-            dead_units: [false; 4],
-        }
+    ) {
+        self.cycle = cycle;
+        self.domain_on = domain_on;
+        self.domain_busy = domain_busy;
+        self.active_subset = active_subset;
+        self.ldst_load_credits = ldst_load_credits;
+        self.ports = IssuePorts::default();
+        self.attempted_blocked = [0; 4];
+        self.dead_units = [false; 4];
+        self.ready_by_unit = self.ready_base;
+        debug_assert_eq!(self.ready_base, {
+            let mut tally = [0u32; 4];
+            for c in &self.candidates {
+                tally[c.unit.index()] += 1;
+            }
+            tally
+        });
+        self.issued.clear();
+        self.issued.resize(self.candidates.len(), false);
+        self.picks.clear();
     }
 
     /// The current cycle number.
@@ -194,6 +216,15 @@ impl IssueCtx {
     #[must_use]
     pub fn candidates(&self) -> &[Candidate] {
         &self.candidates
+    }
+
+    /// Positions into [`candidates`](IssueCtx::candidates) of `unit`'s
+    /// candidates, in list (ascending slot) order — exactly the indices
+    /// a filter over the full list would yield, precomputed so a
+    /// per-type scheduler pass does not rescan every other type.
+    #[must_use]
+    pub fn unit_candidates(&self, unit: UnitType) -> &[u32] {
+        &self.unit_idx[unit.index()]
     }
 
     /// Whether the candidate at `idx` has already been issued this cycle.
@@ -373,21 +404,11 @@ impl IssueCtx {
         (self.picks, demand, issued)
     }
 
-    /// Dismantles the context back into its recycled buffers, returning
-    /// `(scratch, blocked_demand, issued_count)`. The picks of the cycle
-    /// are left in `scratch` for the SM to apply.
-    pub(crate) fn into_scratch(self) -> (IssueScratch, [u32; 4], usize) {
-        let demand = self.blocked_demand();
-        let issued = self.ports.issued();
-        (
-            IssueScratch {
-                candidates: self.candidates,
-                issued: self.issued,
-                picks: self.picks,
-            },
-            demand,
-            issued,
-        )
+    /// The cycle's outcome after [`WarpScheduler::pick`] returns:
+    /// `(blocked_demand, issued_count)`. The picks themselves stay in
+    /// the context for the owner to apply.
+    pub(crate) fn cycle_result(&self) -> ([u32; 4], usize) {
+        (self.blocked_demand(), self.ports.issued())
     }
 }
 
@@ -409,7 +430,11 @@ pub trait WarpScheduler {
     /// bit-identical to having seen those empty picks. Returning
     /// `false` (the default, so unknown schedulers stay correct)
     /// vetoes the skip and must leave the scheduler untouched; the SM
-    /// then steps cycle by cycle.
+    /// then steps cycle by cycle. Because a veto must be side-effect
+    /// free and nothing the scheduler can observe changes before the
+    /// event bounding the span, the SM caches the veto for the whole
+    /// span: this method is consulted once per span, not once per
+    /// stepped cycle.
     ///
     /// [`pick`]: WarpScheduler::pick
     fn fast_forward_idle(&mut self, cycles: u64) -> bool {

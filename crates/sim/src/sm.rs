@@ -8,8 +8,9 @@ use crate::gpu::LaunchConfig;
 use crate::mem::MemorySubsystem;
 use crate::probe::Recorder;
 use crate::sanitize::Sanitizer;
-use crate::sched::{Candidate, IssueCtx, IssueScratch, WarpScheduler};
+use crate::sched::{Candidate, IssueCtx, WarpScheduler};
 use crate::stats::SimStats;
+use crate::timeq::TimeQ;
 use crate::trace::{CycleObserver, CycleSample, NullObserver, SpanSample};
 use crate::warp::{Warp, WarpClass, WarpId, WarpSlot};
 use warped_isa::{Kernel, MemSpace, Opcode, Reg};
@@ -17,6 +18,9 @@ use warped_isa::{Kernel, MemSpace, Opcode, Reg};
 /// Occupancy of the LD/ST pipeline per memory instruction, in cycles
 /// (address generation and coalescing window).
 const LDST_PIPE_OCCUPANCY: u32 = 4;
+
+/// Sentinel for a slot contributing nothing to the active-subset counts.
+const NO_CONTRIB: u8 = u8::MAX;
 
 /// An event scheduled for a future cycle.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +35,142 @@ enum Event {
         warp: WarpId,
         dst: Option<Reg>,
         frees_mshr: bool,
+        /// Pipeline retired in the same instant, applied first — set
+        /// when pipe occupancy and completion latency coincide (every
+        /// ALU/SFU op and store), fusing what would otherwise be two
+        /// adjacent same-cycle events into one scheduled event.
+        retires: Option<DomainId>,
     },
+}
+
+/// Storage backing the SM's future-event schedule.
+///
+/// Both variants hold the same multiset of pending events and drain a
+/// cycle's events in the same order (the wheel's per-slot FIFO equals
+/// the ring's; see [`TimeQ`]), so every simulation outcome is
+/// bit-identical between them; only the cost model differs. The ring
+/// pays O(1) per schedule but O(distance to next event) to answer "when
+/// does something next happen?"; the time wheel pays the same O(1) per
+/// schedule and answers that question from its occupancy bitmap (a few
+/// word scans, independent of the gap length) — the discrete-event
+/// behaviour [`SmConfig::event_queue`] selects.
+enum EventClock {
+    /// The cyclic event ring, kept as the reference clock.
+    Ring(Vec<Vec<Event>>),
+    /// The time-ordered event queue (discrete-event core).
+    Queue(TimeQ<Event>),
+}
+
+impl EventClock {
+    /// Whether any event is scheduled for `cycle`.
+    fn has_due(&self, cycle: u64) -> bool {
+        match self {
+            EventClock::Ring(slots) => !slots[(cycle as usize) & (slots.len() - 1)].is_empty(),
+            EventClock::Queue(q) => q.has_due(cycle),
+        }
+    }
+
+    /// Removes and returns the events scheduled for `cycle`, in
+    /// schedule order. Hand the drained buffer back through
+    /// [`EventClock::restore`] so its capacity is reused.
+    fn take_due(&mut self, cycle: u64) -> Vec<Event> {
+        match self {
+            EventClock::Ring(slots) => {
+                let idx = (cycle as usize) & (slots.len() - 1);
+                std::mem::take(&mut slots[idx])
+            }
+            EventClock::Queue(q) => q.take_due(cycle),
+        }
+    }
+
+    /// Returns the (drained) buffer taken by [`EventClock::take_due`].
+    fn restore(&mut self, cycle: u64, buf: Vec<Event>) {
+        debug_assert!(buf.is_empty());
+        match self {
+            EventClock::Ring(slots) => {
+                let idx = (cycle as usize) & (slots.len() - 1);
+                slots[idx] = buf;
+            }
+            EventClock::Queue(q) => q.restore(cycle, buf),
+        }
+    }
+
+    /// Schedules `ev` for `delta` cycles after `cycle`.
+    fn schedule(&mut self, cycle: u64, delta: u32, ev: Event) {
+        debug_assert!(delta > 0, "events must land in a future cycle");
+        match self {
+            EventClock::Ring(slots) => {
+                assert!(
+                    (delta as usize) < slots.len(),
+                    "event latency {delta} exceeds ring capacity {}",
+                    slots.len()
+                );
+                let idx = ((cycle + u64::from(delta)) as usize) & (slots.len() - 1);
+                slots[idx].push(ev);
+            }
+            EventClock::Queue(q) => q.push(cycle + u64::from(delta), ev),
+        }
+    }
+
+    /// Cycles from `cycle` (exclusive) to the next scheduled event,
+    /// clipped to `horizon`; `horizon` when nothing is pending (the
+    /// ring is sized so every in-flight event lives within one lap, so
+    /// an empty lap means an empty schedule). The caller has already
+    /// established that no event is due at `cycle` itself.
+    fn next_event_delta(&self, cycle: u64, horizon: u64) -> u64 {
+        match self {
+            EventClock::Ring(slots) => {
+                let mask = slots.len() - 1;
+                (1..slots.len() as u64)
+                    .find(|j| !slots[((cycle + j) as usize) & mask].is_empty())
+                    .map_or(horizon, |j| j.min(horizon))
+            }
+            EventClock::Queue(q) => q.next_cycle().map_or(horizon, |c| (c - cycle).min(horizon)),
+        }
+    }
+
+    /// Sanitizer re-derivation of [`EventClock::next_event_delta`]:
+    /// panics if any event is scheduled strictly inside
+    /// `(cycle, cycle + span)` — fast-forwarding over it would silently
+    /// skip a scheduled writeback or retire.
+    fn assert_quiet(&self, cycle: u64, span: u64) {
+        match self {
+            EventClock::Ring(slots) => {
+                let mask = slots.len() - 1;
+                let check = span.min(slots.len() as u64);
+                for j in 1..check {
+                    assert!(
+                        slots[((cycle + j) as usize) & mask].is_empty(),
+                        "sanitizer: fast-forward over a pending event at cycle {}",
+                        cycle + j
+                    );
+                }
+            }
+            EventClock::Queue(q) => {
+                // Linear scan over the backing storage, independent of
+                // the heap order the peek-based span derivation used.
+                if let Some(min) = q.min_cycle_by_scan() {
+                    assert!(
+                        min >= cycle + span,
+                        "sanitizer: fast-forward over a pending event at cycle {min}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// High-water mark of pending events (queue clock only; the ring
+    /// does not track one).
+    fn peak(&self) -> u64 {
+        match self {
+            EventClock::Ring(_) => 0,
+            EventClock::Queue(q) => q.peak() as u64,
+        }
+    }
+
+    fn is_queue(&self) -> bool {
+        matches!(self, EventClock::Queue { .. })
+    }
 }
 
 /// The outcome of simulating one SM to completion.
@@ -64,7 +203,7 @@ pub struct Sm {
     mem: MemorySubsystem,
     scheduler: Box<dyn WarpScheduler>,
     gating: Box<dyn PowerGating>,
-    ring: Vec<Vec<Event>>,
+    clock: EventClock,
     observer: Box<dyn CycleObserver>,
     /// Whether a real observer is installed. The default
     /// [`NullObserver`] ignores every sample, so the per-cycle tap
@@ -75,11 +214,59 @@ pub struct Sm {
     stats: SimStats,
     idle_runs: [u32; NUM_DOMAINS],
     warps_done: u64,
-    scratch: IssueScratch,
+    /// Live (launched, unretired) warps, maintained so the done test
+    /// is O(1) instead of a slot scan.
+    live_warps: u32,
+    /// Whether a refill could possibly succeed: set at construction and
+    /// whenever a warp retires (the only edges that free a slot group
+    /// or advance the wave barrier), cleared after each refill pass, so
+    /// [`Sm::fill_slots`] skips its group scan on every other cycle.
+    refill_hint: bool,
+    /// The issue context, alive for the whole run: the candidate list
+    /// and pick/index buffers persist across cycles, and
+    /// [`IssueCtx::reset_for_cycle`] rearms the per-cycle state in
+    /// place (no per-cycle struct moves).
+    ctx: IssueCtx,
     /// Live warps currently classed [`WarpClass::Barrier`], maintained
     /// by the reclassify phase so barrier-free cycles skip the group
     /// scan entirely.
     barrier_warps: u32,
+    /// Slots whose warp's cached class is `Ready` — the issue
+    /// candidates. Like every bitmap below it mirrors the *cached*
+    /// (possibly stale) `Warp::class` field and is updated only on the
+    /// edges that touch that field: launch, the dirty-warp reclassify
+    /// drain, barrier release, and retirement. Per-cycle phases then
+    /// cost O(changes + ready warps), not O(resident slots).
+    ready_bits: u128,
+    /// Slots whose warp's cached class is in the active set
+    /// (`Ready` or `ActiveWaiting`); a superset of `ready_bits`.
+    active_bits: u128,
+    /// Slots holding a finished-but-unretired warp that is *not* in
+    /// `active_bits` — only the barrier-release path can produce one
+    /// (an issue leaves the stale class `Ready`; a completion retires
+    /// in the same step it lands). Blocks fast-forward exactly like
+    /// the live `is_finished` scan used to.
+    finished_bits: u128,
+    /// Slots whose warp is marked dirty and awaits the next step's
+    /// reclassify drain.
+    dirty_bits: u128,
+    /// Per-type active-subset occupancy (the paper's `INT_ACTV` etc.),
+    /// maintained with the bitmaps. Dirty warps are drained before the
+    /// counts are read, so reads always see fresh classifications.
+    active_subset: [u32; 4],
+    /// Per-slot unit index currently counted into `active_subset`
+    /// ([`NO_CONTRIB`] when the slot contributes nothing).
+    contrib: Vec<u8>,
+    /// Whether the candidate list cached in `ctx.candidates` is
+    /// stale with respect to `ready_bits` or the ready warps'
+    /// next-instruction metadata.
+    cands_stale: bool,
+    /// Scheduler fast-forward veto memo: a veto over a span holds for
+    /// the whole span (nothing the scheduler could observe changes
+    /// before the event bounding it), so
+    /// [`WarpScheduler::fast_forward_idle`] is consulted once per span
+    /// instead of once per stepped cycle.
+    veto_until: u64,
     /// Reusable buffer for power-state edges captured while
     /// fast-forwarding.
     ff_transitions: Vec<GateTransition>,
@@ -121,9 +308,22 @@ impl Sm {
         config.validate();
         let (kernel, total_warps, block_warps, stagger, waves) = launch.into_parts();
         assert!(total_warps > 0, "launch must request at least one warp");
+        assert!(
+            config.max_resident_warps <= 128,
+            "ready-set bitmaps support at most 128 resident warps"
+        );
         let warps_per_wave = total_warps.div_ceil(waves);
         let mem = MemorySubsystem::new(config.memory.clone());
-        let ring_len = (mem.worst_case_latency() as usize + 64).next_power_of_two();
+        // Both clocks size their near storage one lap past the longest
+        // latency anything schedules, so every push is O(1) (the
+        // wheel's far heap stays empty; the ring asserts it).
+        let horizon = mem.worst_case_latency() as usize + 64;
+        let clock = if config.event_queue {
+            EventClock::Queue(TimeQ::with_horizon(horizon))
+        } else {
+            let ring_len = horizon.next_power_of_two();
+            EventClock::Ring((0..ring_len).map(|_| Vec::new()).collect())
+        };
         let slots = (0..config.max_resident_warps).map(|_| None).collect();
         let layout = DomainLayout::new(config.sp_clusters);
         let mut stats = SimStats::new();
@@ -139,6 +339,8 @@ impl Sm {
             gating.set_recorder(rec.clone());
             scheduler.set_recorder(rec.clone());
         }
+        let contrib = vec![NO_CONTRIB; config.max_resident_warps];
+        let ctx = IssueCtx::persistent(layout, config.issue_width);
         Sm {
             config,
             layout,
@@ -153,18 +355,80 @@ impl Sm {
             mem,
             scheduler,
             gating,
-            ring: (0..ring_len).map(|_| Vec::new()).collect(),
+            clock,
             observer: Box::new(NullObserver),
             observer_enabled: false,
             cycle: 0,
             stats,
             idle_runs: [0; NUM_DOMAINS],
             warps_done: 0,
-            scratch: IssueScratch::default(),
+            live_warps: 0,
+            refill_hint: true,
+            ctx,
             barrier_warps: 0,
+            ready_bits: 0,
+            active_bits: 0,
+            finished_bits: 0,
+            dirty_bits: 0,
+            active_subset: [0; 4],
+            contrib,
+            cands_stale: false,
+            veto_until: 0,
             ff_transitions: Vec::new(),
             sanitizer,
             recorder,
+        }
+    }
+
+    /// Records slot `i`'s current cached classification (and, for
+    /// active-set warps, its next instruction's unit) into the
+    /// maintained bitmaps and counters. Must mirror every class-field
+    /// write; [`Sm::unindex_slot`] is its exact inverse.
+    fn index_slot(&mut self, i: usize) {
+        let w = self.slots[i].as_ref().expect("indexing a vacated slot");
+        let bit = 1u128 << i;
+        match w.class {
+            WarpClass::Ready => {
+                self.ready_bits |= bit;
+                self.active_bits |= bit;
+                self.cands_stale = true;
+            }
+            WarpClass::ActiveWaiting => self.active_bits |= bit,
+            WarpClass::Barrier => self.barrier_warps += 1,
+            WarpClass::Pending | WarpClass::Draining => {}
+        }
+        if w.in_active_set() {
+            // A just-launched warp of an empty kernel carries the stale
+            // launch class `Ready` with no next instruction; it retires
+            // at its first reclassify drain, before the subset counts
+            // are ever read, so it contributes nothing here.
+            if let Some(meta) = w.next_meta {
+                self.active_subset[meta.unit.index()] += 1;
+                self.contrib[i] = meta.unit.index() as u8;
+            }
+        }
+    }
+
+    /// Removes slot `i`'s contribution from the maintained bitmaps and
+    /// counters, based on its current cached class and the recorded
+    /// subset contribution. Call *before* mutating the warp's class.
+    fn unindex_slot(&mut self, i: usize) {
+        let w = self.slots[i].as_ref().expect("unindexing a vacated slot");
+        let bit = 1u128 << i;
+        match w.class {
+            WarpClass::Ready => {
+                self.ready_bits &= !bit;
+                self.active_bits &= !bit;
+                self.cands_stale = true;
+            }
+            WarpClass::ActiveWaiting => self.active_bits &= !bit,
+            WarpClass::Barrier => self.barrier_warps -= 1,
+            WarpClass::Pending | WarpClass::Draining => {}
+        }
+        let c = self.contrib[i];
+        if c != NO_CONTRIB {
+            self.active_subset[c as usize] -= 1;
+            self.contrib[i] = NO_CONTRIB;
         }
     }
 
@@ -224,6 +488,7 @@ impl Sm {
             self.stats.units[d.index()].idle_histogram.record(run);
         }
         self.stats.warps_completed = self.warps_done;
+        self.stats.heap_peak = self.clock.peak();
         let gating = self.gating.report();
         if let Some(s) = &self.sanitizer {
             s.finish(&self.stats, &gating);
@@ -236,7 +501,7 @@ impl Sm {
     }
 
     fn all_done(&self) -> bool {
-        self.launched == self.total_warps && self.slots.iter().all(Option::is_none)
+        self.launched == self.total_warps && self.live_warps == 0
     }
 
     /// Launches grid warps into free slots, at thread-block granularity:
@@ -245,6 +510,14 @@ impl Sm {
     /// finished). A draining block therefore leaves its group's slots
     /// empty — the CTA-tail under-occupancy real GPUs exhibit.
     fn fill_slots(&mut self) {
+        // Refill preconditions (a fully-free slot group; the wave
+        // barrier) only change when a warp retires, so between
+        // retirements the group scan is a guaranteed no-op and the
+        // hint skips it.
+        if !self.refill_hint {
+            return;
+        }
+        self.refill_hint = false;
         let group = self.block_warps as usize;
         let n = self.slots.len();
         let mut g0 = 0;
@@ -261,7 +534,7 @@ impl Sm {
             }
             let g1 = (g0 + group).min(n);
             if self.slots[g0..g1].iter().all(Option::is_none) {
-                for slot in &mut self.slots[g0..g1] {
+                for i in g0..g1 {
                     if self.launched == self.total_warps {
                         break;
                     }
@@ -278,8 +551,11 @@ impl Sm {
                         }
                         warp.refresh_next(&self.kernel);
                     }
-                    *slot = Some(warp);
+                    self.slots[i] = Some(warp);
                     self.launched += 1;
+                    self.live_warps += 1;
+                    self.dirty_bits |= 1u128 << i;
+                    self.index_slot(i);
                 }
             }
             g0 = g1;
@@ -291,125 +567,134 @@ impl Sm {
         let cycle = self.cycle;
 
         // Phase 1: writebacks and retires scheduled for this cycle.
-        let idx = (cycle as usize) & (self.ring.len() - 1);
-        let mut events = std::mem::take(&mut self.ring[idx]);
-        for ev in events.drain(..) {
-            match ev {
-                Event::PipeRetire { domain } => {
-                    self.units.pipe_mut(domain).retire();
-                }
-                Event::Complete {
-                    slot,
-                    warp,
-                    dst,
-                    frees_mshr,
-                } => {
-                    if frees_mshr {
-                        self.mem.complete_global_load();
+        if self.clock.has_due(cycle) {
+            let mut events = self.clock.take_due(cycle);
+            self.stats.events_dispatched += events.len() as u64;
+            for ev in events.drain(..) {
+                match ev {
+                    Event::PipeRetire { domain } => {
+                        self.units.pipe_mut(domain).retire();
                     }
-                    let w = self.slots[slot.0]
-                        .as_mut()
-                        .expect("completion for a vacated slot");
-                    debug_assert_eq!(w.id, warp, "slot reused while instruction in flight");
-                    if let Some(d) = dst {
-                        w.scoreboard.release(d);
+                    Event::Complete {
+                        slot,
+                        warp,
+                        dst,
+                        frees_mshr,
+                        retires,
+                    } => {
+                        if let Some(domain) = retires {
+                            self.units.pipe_mut(domain).retire();
+                        }
+                        if frees_mshr {
+                            self.mem.complete_global_load();
+                        }
+                        let w = self.slots[slot.0]
+                            .as_mut()
+                            .expect("completion for a vacated slot");
+                        debug_assert_eq!(w.id, warp, "slot reused while instruction in flight");
+                        if let Some(d) = dst {
+                            w.scoreboard.release(d);
+                        }
+                        w.in_flight -= 1;
+                        w.dirty = true;
+                        self.dirty_bits |= 1u128 << slot.0;
                     }
-                    w.in_flight -= 1;
-                    w.dirty = true;
                 }
             }
+            // Hand the (drained) event buffer back to the clock so its
+            // capacity is reused; nothing schedules into the current
+            // cycle.
+            self.clock.restore(cycle, events);
         }
-        // Hand the (drained) event buffer back to its ring slot so its
-        // capacity is reused; nothing schedules into the current cycle.
-        self.ring[idx] = events;
 
         // Phase 2: reclassify warps whose inputs changed since the last
         // classification (classes are pure functions of the I-buffer
         // entry and the scoreboard, so clean warps keep theirs), retire
-        // finished ones, and — fused into the same pass — do the
-        // occupancy accounting and candidate collection into the
-        // run-lifetime scratch buffers (no per-cycle allocation).
-        let mut barrier_warps = 0u32;
-        let mut active_count = 0u32;
-        let mut active_subset = [0u32; 4];
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.candidates.clear();
-        for (slot_idx, slot) in self.slots.iter_mut().enumerate() {
-            let Some(w) = slot.as_mut() else { continue };
-            if w.dirty {
-                if w.is_finished() {
-                    *slot = None;
-                    self.warps_done += 1;
-                    continue;
+        // finished ones, and re-index each into the maintained bitmaps.
+        // Only dirty warps are visited — clean warps keep their class
+        // and their index entries, so this drain costs O(changes), not
+        // O(resident slots).
+        let mut dirty = self.dirty_bits;
+        self.dirty_bits = 0;
+        while dirty != 0 {
+            let i = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let finished = match self.slots[i].as_ref() {
+                Some(w) => {
+                    debug_assert!(w.dirty, "dirty bit set for a clean warp");
+                    w.is_finished()
                 }
+                None => continue,
+            };
+            self.unindex_slot(i);
+            if finished {
+                self.slots[i] = None;
+                self.warps_done += 1;
+                self.live_warps -= 1;
+                self.refill_hint = true;
+                self.finished_bits &= !(1u128 << i);
+            } else {
+                let w = self.slots[i].as_mut().expect("drained a vacated slot");
                 w.reclassify();
                 w.dirty = false;
-            }
-            barrier_warps += u32::from(w.class == WarpClass::Barrier);
-            if w.in_active_set() {
-                active_count += 1;
-                let meta = w
-                    .next_meta
-                    .expect("active warp must have a next instruction");
-                active_subset[meta.unit.index()] += 1;
-                if w.class == WarpClass::Ready {
-                    scratch.candidates.push(Candidate {
-                        slot: WarpSlot(slot_idx),
-                        unit: meta.unit,
-                        is_global_load: meta.is_global_load,
-                    });
-                }
+                self.index_slot(i);
             }
         }
-        self.barrier_warps = barrier_warps;
 
         // Phase 2b: barrier release. A thread block whose live warps
-        // have all arrived at the barrier steps past it together. A
-        // release turns parked warps into issue candidates, so the
-        // (rare) cycles where one happens redo the collection pass.
-        if self.release_barriers() {
-            active_count = 0;
-            active_subset = [0u32; 4];
-            scratch.candidates.clear();
-            for (slot_idx, slot) in self.slots.iter().enumerate() {
-                let Some(w) = slot.as_ref() else { continue };
-                if w.in_active_set() {
-                    active_count += 1;
-                    let meta = w
-                        .next_meta
-                        .expect("active warp must have a next instruction");
-                    active_subset[meta.unit.index()] += 1;
-                    if w.class == WarpClass::Ready {
-                        scratch.candidates.push(Candidate {
-                            slot: WarpSlot(slot_idx),
-                            unit: meta.unit,
-                            is_global_load: meta.is_global_load,
-                        });
-                    }
-                }
-            }
-        }
+        // have all arrived at the barrier steps past it together; the
+        // release re-indexes each released warp inline.
+        self.release_barriers();
+
+        let active_count = self.active_bits.count_ones();
         self.stats.active_warp_cycles += u64::from(active_count);
         self.stats.active_warps_max = self.stats.active_warps_max.max(active_count);
 
-        // Phase 3: scheduler picks under the current gating state.
-        let mut domain_on = [false; NUM_DOMAINS];
-        for d in self.layout.all() {
-            domain_on[d.index()] = self.gating.is_on(*d);
+        // Refresh the cached candidate list only when a ready warp's
+        // membership or next-instruction metadata changed; on every
+        // other cycle the previous list is still exact (issues only
+        // flip the context's `issued` bitmap, which
+        // [`IssueCtx::reset_for_cycle`] rearms below).
+        if self.cands_stale {
+            self.ctx.candidates.clear();
+            self.ctx.ready_base = [0; 4];
+            for idx in &mut self.ctx.unit_idx {
+                idx.clear();
+            }
+            let mut ready = self.ready_bits;
+            while ready != 0 {
+                let i = ready.trailing_zeros() as usize;
+                ready &= ready - 1;
+                let w = self.slots[i].as_ref().expect("ready bit on vacated slot");
+                let meta = w
+                    .next_meta
+                    .expect("ready warp must have a next instruction");
+                let u = meta.unit.index();
+                self.ctx.unit_idx[u].push(self.ctx.candidates.len() as u32);
+                self.ctx.candidates.push(Candidate {
+                    slot: WarpSlot(i),
+                    unit: meta.unit,
+                    is_global_load: meta.is_global_load,
+                });
+                self.ctx.ready_base[u] += 1;
+            }
+            self.cands_stale = false;
         }
+        let active_subset = self.active_subset;
+
+        // Phase 3: scheduler picks under the current gating state (one
+        // virtual dispatch for the whole layout, not one per domain).
+        let domain_on = self.gating.powered_flags(self.layout.all());
         let ldst_credits = self.config.memory.max_outstanding - self.mem.outstanding();
-        let mut ctx = IssueCtx::from_scratch(
-            scratch,
-            self.layout,
+        self.ctx.reset_for_cycle(
             cycle,
-            self.config.issue_width,
             domain_on,
             self.units.busy_flags(),
             active_subset,
             ldst_credits,
         );
-        self.scheduler.pick(&mut ctx);
-        let (scratch, blocked_demand, issued_count) = ctx.into_scratch();
+        self.scheduler.pick(&mut self.ctx);
+        let (blocked_demand, issued_count) = self.ctx.cycle_result();
 
         match issued_count {
             0 => self.stats.idle_issue_cycles += 1,
@@ -418,9 +703,9 @@ impl Sm {
         }
 
         // Phase 4: apply the picks (`Pick` is `Copy`; the buffer stays
-        // with the scratch for the next cycle).
-        for i in 0..scratch.picks.len() {
-            let pick = scratch.picks[i];
+        // in the context for the next cycle).
+        for i in 0..self.ctx.picks.len() {
+            let pick = self.ctx.picks[i];
             if self.sanitizer.is_some() {
                 assert!(
                     domain_on[pick.domain.index()],
@@ -430,7 +715,6 @@ impl Sm {
             }
             self.apply_issue(pick.slot, pick.domain);
         }
-        self.scratch = scratch;
 
         // Phase 5: busy/idle accounting for this cycle (active domains
         // only: indices beyond the layout never execute anything).
@@ -490,62 +774,61 @@ impl Sm {
     /// Attempts to jump the clock over a stall region, returning
     /// whether it did.
     ///
-    /// A span is skippable when the current cycle has no pending ring
+    /// A span is skippable when the current cycle has no pending
     /// events, no live warp sits in the active set (so candidate lists
     /// and active subsets are empty and nothing can issue), no warp is
     /// finished-but-unretired, and no barrier group is releasable.
-    /// Warp classes only change through ring events, issues, and
+    /// Warp classes only change through scheduled events, issues, and
     /// barrier releases, so under those conditions every cycle up to
-    /// the next non-empty ring slot repeats the same no-op step; the
+    /// the next scheduled event repeats the same no-op step; the
     /// batched bookkeeping in [`Sm::fast_forward`] reproduces that run
     /// of steps bit for bit. When classes might be stale (a warp that
     /// issued last cycle keeps its `Ready` class), staleness always
     /// shows *more* activity than reality, so the check only ever errs
     /// towards stepping — never towards skipping.
     fn try_fast_forward(&mut self) -> bool {
-        let mask = self.ring.len() - 1;
-        if !self.ring[(self.cycle as usize) & mask].is_empty() {
+        // The maintained bitmaps replace the old per-slot scan: a set
+        // `active_bits` bit is exactly a live warp whose (cached,
+        // possibly stale) class is in the active set, and
+        // `finished_bits` covers the one path (barrier release) that
+        // can finish a warp without a scheduled event. A finished warp
+        // retires (and may unblock a refill or a wave) on the next
+        // step. Staleness always shows *more* activity than reality,
+        // so the check only ever errs towards stepping — never towards
+        // skipping.
+        if self.active_bits != 0 || self.finished_bits != 0 {
             return false;
         }
-        let mut barriers = 0u32;
-        for w in self.slots.iter().flatten() {
-            // A finished warp retires (and may unblock a refill or a
-            // wave) on the next step; barrier release is the one path
-            // that can finish a warp without a ring event.
-            if w.in_active_set() || w.is_finished() {
-                return false;
-            }
-            barriers += u32::from(w.class == WarpClass::Barrier);
-        }
-        if barriers > 0 && self.any_releasable_barrier() {
+        if self.clock.has_due(self.cycle) {
             return false;
         }
-        // Distance to the next scheduled event. The ring is sized so
-        // every in-flight event lives within one lap; if it is empty
-        // everywhere nothing can ever change and per-cycle stepping
-        // would idle its way to the cycle cap, so jump straight there.
+        if self.barrier_warps > 0 && self.any_releasable_barrier() {
+            return false;
+        }
+        // A scheduler veto holds for its whole span (nothing the
+        // scheduler could observe changes before the event bounding
+        // it), so don't re-ask until the span has elapsed.
+        if self.cycle < self.veto_until {
+            return false;
+        }
+        // Distance to the next scheduled event; if none is pending
+        // nothing can ever change and per-cycle stepping would idle
+        // its way to the cycle cap, so jump straight there.
         let horizon = self.config.max_cycles - self.cycle;
-        let span = (1..self.ring.len() as u64)
-            .find(|j| !self.ring[((self.cycle + j) as usize) & mask].is_empty())
-            .map_or(horizon, |j| j.min(horizon));
+        let span = self.clock.next_event_delta(self.cycle, horizon);
         // The scheduler must be able to replay `span` empty picks in
         // closed form; a veto (default for unknown schedulers) leaves
-        // all state untouched and falls back to per-cycle stepping.
+        // all state untouched and falls back to per-cycle stepping
+        // for the remainder of the span.
         if !self.scheduler.fast_forward_idle(span) {
+            self.veto_until = self.cycle + span;
             return false;
         }
         if self.sanitizer.is_some() {
-            // Independent re-derivation of the jump distance: every
-            // ring slot inside the span must be empty, or fast-forward
-            // would silently skip a scheduled writeback or retire.
-            let check = span.min(self.ring.len() as u64);
-            for j in 1..check {
-                assert!(
-                    self.ring[((self.cycle + j) as usize) & mask].is_empty(),
-                    "sanitizer: fast-forward over a pending event at cycle {}",
-                    self.cycle + j
-                );
-            }
+            // Independent re-derivation of the jump distance: no event
+            // may be scheduled inside the span, or fast-forward would
+            // silently skip a scheduled writeback or retire.
+            self.clock.assert_quiet(self.cycle, span);
         }
         self.fast_forward(span);
         true
@@ -607,9 +890,7 @@ impl Sm {
         let tap = self.observer_enabled || self.sanitizer.is_some() || self.recorder.is_some();
         let mut powered = [false; NUM_DOMAINS];
         if tap {
-            for d in self.layout.all() {
-                powered[d.index()] = self.gating.is_on(*d);
-            }
+            powered = self.gating.powered_flags(self.layout.all());
         }
         let mut transitions = std::mem::take(&mut self.ff_transitions);
         transitions.clear();
@@ -655,22 +936,27 @@ impl Sm {
         self.stats.cycles = self.cycle;
         self.stats.fast_forward_spans += 1;
         self.stats.fast_forwarded_cycles += span;
+        if self.clock.is_queue() {
+            self.stats.idle_cycles_skipped += span;
+        }
     }
 
-    /// Releases thread blocks whose live warps all reached a barrier,
-    /// returning whether any block released.
+    /// Releases thread blocks whose live warps all reached a barrier.
     ///
     /// A block's slot group advances together: every live warp whose
     /// next instruction is the barrier steps past it. Finished or
     /// vacated slots in the group don't hold the barrier hostage
-    /// (matching `__syncthreads` semantics for exited warps).
-    fn release_barriers(&mut self) -> bool {
+    /// (matching `__syncthreads` semantics for exited warps). Released
+    /// warps are re-indexed inline, so the maintained bitmaps reflect
+    /// their fresh classes immediately; this is the one path that can
+    /// leave a warp finished-but-unretired, recorded in
+    /// `finished_bits`.
+    fn release_barriers(&mut self) {
         // No live warp is parked at a barrier: nothing can release, so
         // skip the group scan (the common case on barrier-free cycles).
         if self.barrier_warps == 0 {
-            return false;
+            return;
         }
-        let mut any_released = false;
         let group = self.block_warps as usize;
         let n = self.slots.len();
         let mut g0 = 0;
@@ -683,27 +969,31 @@ impl Sm {
                 .filter(|w| w.class == WarpClass::Barrier)
                 .count();
             if live > 0 && at_barrier == live {
-                any_released = true;
-                let mut released = 0u32;
-                let mut rearrived = 0u32;
-                for slot in self.slots[g0..g1].iter_mut().flatten() {
-                    debug_assert_eq!(slot.class, WarpClass::Barrier);
-                    slot.cursor.advance(&self.kernel);
-                    slot.refresh_next(&self.kernel);
-                    slot.reclassify();
-                    // The advance may have finished the warp; leave the
-                    // retirement test to the next classification pass.
-                    slot.dirty = true;
-                    released += 1;
+                for i in g0..g1 {
+                    if self.slots[i].is_none() {
+                        continue;
+                    }
+                    self.unindex_slot(i);
+                    let w = self.slots[i].as_mut().expect("released a vacated slot");
+                    debug_assert_eq!(w.class, WarpClass::Barrier);
+                    w.cursor.advance(&self.kernel);
+                    w.refresh_next(&self.kernel);
                     // A released warp may sit at its next barrier
                     // already (back-to-back barriers).
-                    rearrived += u32::from(slot.class == WarpClass::Barrier);
+                    w.reclassify();
+                    // The advance may have finished the warp; leave the
+                    // retirement test to the next classification drain.
+                    w.dirty = true;
+                    let finished = w.is_finished();
+                    self.index_slot(i);
+                    self.dirty_bits |= 1u128 << i;
+                    if finished {
+                        self.finished_bits |= 1u128 << i;
+                    }
                 }
-                self.barrier_warps = self.barrier_warps - released + rearrived;
             }
             g0 = g1;
         }
-        any_released
     }
 
     /// Applies a validated issue decision.
@@ -739,12 +1029,22 @@ impl Sm {
         let warp_id = w.id;
         w.cursor.advance(&self.kernel);
         w.refresh_next(&self.kernel);
+        // The stale `Ready` class (and its index entries) stand until
+        // the next cycle's reclassify drain — exactly the staleness
+        // window the pre-bitmap scan had.
+        self.dirty_bits |= 1u128 << slot.0;
 
         self.units.pipe_mut(domain).issue();
         self.stats.issued_by_type[instr.unit().index()] += 1;
         self.stats.units[domain.index()].issued += 1;
 
-        self.schedule(pipe_occ, Event::PipeRetire { domain });
+        // Pipe retire precedes completion when both land on one cycle
+        // (they were pushed adjacently and drain FIFO); the fused event
+        // applies them in that same order.
+        let fused = pipe_occ == complete_in;
+        if !fused {
+            self.schedule(pipe_occ, Event::PipeRetire { domain });
+        }
         self.schedule(
             complete_in,
             Event::Complete {
@@ -752,19 +1052,13 @@ impl Sm {
                 warp: warp_id,
                 dst: instr.destination(),
                 frees_mshr,
+                retires: fused.then_some(domain),
             },
         );
     }
 
     fn schedule(&mut self, delta: u32, ev: Event) {
-        assert!(
-            (delta as usize) < self.ring.len(),
-            "event latency {delta} exceeds ring capacity {}",
-            self.ring.len()
-        );
-        debug_assert!(delta > 0, "events must land in a future cycle");
-        let idx = ((self.cycle + u64::from(delta)) as usize) & (self.ring.len() - 1);
-        self.ring[idx].push(ev);
+        self.clock.schedule(self.cycle, delta, ev);
     }
 }
 
@@ -1139,6 +1433,134 @@ mod tests {
             four_waves.stats.cycles,
             one_wave.stats.cycles
         );
+    }
+
+    /// Delegates every pick to a real scheduler but *vetoes* every
+    /// fast-forward attempt, counting how often it is asked — the
+    /// once-per-span contract's probe.
+    struct CountingVeto {
+        inner: TwoLevelScheduler,
+        asked: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl WarpScheduler for CountingVeto {
+        fn pick(&mut self, ctx: &mut IssueCtx) {
+            self.inner.pick(ctx);
+        }
+
+        fn fast_forward_idle(&mut self, _cycles: u64) -> bool {
+            self.asked.set(self.asked.get() + 1);
+            false
+        }
+
+        fn name(&self) -> &'static str {
+            "counting-veto"
+        }
+    }
+
+    #[test]
+    fn ring_and_queue_clocks_are_bit_equal() {
+        let mk = |event_queue: bool| {
+            let k = KernelBuilder::new("clock-eq")
+                .begin_loop(25)
+                .load_global(1)
+                .iadd(2, 1, 1)
+                .barrier()
+                .fadd(3, 2, 2)
+                .end_loop()
+                .build();
+            let mut cfg = SmConfig::small_for_tests();
+            cfg.event_queue = event_queue;
+            Sm::new(
+                cfg,
+                LaunchConfig::new(k, 6).with_block_warps(2),
+                Box::new(TwoLevelScheduler::new()),
+                Box::new(AlwaysOn::new()),
+            )
+            .run()
+        };
+        let ring = mk(false);
+        let queue = mk(true);
+        assert!(!ring.timed_out && !queue.timed_out);
+        assert_eq!(ring.stats.cycles, queue.stats.cycles);
+        assert_eq!(ring.stats.issued_by_type, queue.stats.issued_by_type);
+        assert_eq!(
+            ring.stats.fast_forwarded_cycles, queue.stats.fast_forwarded_cycles,
+            "skip decisions must be identical between clock backends"
+        );
+        assert_eq!(
+            ring.stats.fast_forward_spans,
+            queue.stats.fast_forward_spans
+        );
+        assert_eq!(ring.stats.events_dispatched, queue.stats.events_dispatched);
+        assert_eq!(ring.stats.heap_peak, 0, "ring clock tracks no heap peak");
+        assert!(queue.stats.heap_peak > 0, "queue clock must record a peak");
+        assert_eq!(ring.stats.idle_cycles_skipped, 0);
+        assert_eq!(
+            queue.stats.idle_cycles_skipped,
+            queue.stats.fast_forwarded_cycles
+        );
+    }
+
+    #[test]
+    fn scheduler_veto_is_consulted_once_per_span() {
+        // A long memory stall gives the SM many skippable cycles; a
+        // vetoing scheduler must be asked once per span (and then the
+        // SM steps through the span without re-asking), not once per
+        // stepped cycle.
+        let k = KernelBuilder::new("veto")
+            .load_global(1)
+            .iadd(2, 1, 1)
+            .build();
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.memory.l1_hit_rate = 0.0; // force the long miss latency
+        let run_with = |scheduler: Box<dyn WarpScheduler>| {
+            Sm::new(
+                cfg.clone(),
+                LaunchConfig::new(k.clone(), 1),
+                scheduler,
+                Box::new(AlwaysOn::new()),
+            )
+            .run()
+        };
+        let asked = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let vetoed = run_with(Box::new(CountingVeto {
+            inner: TwoLevelScheduler::new(),
+            asked: asked.clone(),
+        }));
+        let stepped = {
+            let mut cfg = cfg.clone();
+            cfg.fast_forward = false;
+            Sm::new(
+                cfg,
+                LaunchConfig::new(k.clone(), 1),
+                Box::new(TwoLevelScheduler::new()),
+                Box::new(AlwaysOn::new()),
+            )
+            .run()
+        };
+        // A vetoing scheduler degrades to per-cycle stepping with
+        // identical outcomes.
+        assert!(!vetoed.timed_out);
+        assert_eq!(vetoed.stats.fast_forwarded_cycles, 0);
+        assert_eq!(vetoed.stats.cycles, stepped.stats.cycles);
+        assert_eq!(vetoed.stats.issued_by_type, stepped.stats.issued_by_type);
+        // The stall is one long span (plus at most a few short ones
+        // around issue edges); the veto must be cached across it. The
+        // miss latency alone gives > 80 stepped stall cycles, so
+        // re-asking per cycle would push this far above the bound.
+        let stall_cycles = vetoed.stats.idle_issue_cycles;
+        assert!(
+            stall_cycles > u64::from(cfg.memory.miss_latency) / 2,
+            "test must actually stall (got {stall_cycles} idle-issue cycles)"
+        );
+        assert!(
+            asked.get() < 10,
+            "veto consulted {} times for ~{stall_cycles} stalled cycles — \
+             must be once per span, not once per cycle",
+            asked.get()
+        );
+        assert!(asked.get() > 0, "veto never consulted");
     }
 
     #[test]

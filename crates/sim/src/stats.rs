@@ -209,6 +209,16 @@ pub struct SimStats {
     /// Cycles covered by those jumps (diagnostic, see
     /// [`fast_forward_spans`](SimStats::fast_forward_spans)).
     pub fast_forwarded_cycles: u64,
+    /// Events popped off the SM's future-event schedule (diagnostic;
+    /// not part of the bit-equality contract between clock backends).
+    pub events_dispatched: u64,
+    /// High-water mark of the time-queue's pending-event count
+    /// (diagnostic; zero under the ring clock, which tracks no peak).
+    pub heap_peak: u64,
+    /// Idle cycles the event-queue clock jumped over without work
+    /// (diagnostic; zero under the ring clock, whose jumps are counted
+    /// only in [`fast_forwarded_cycles`](SimStats::fast_forwarded_cycles)).
+    pub idle_cycles_skipped: u64,
 }
 
 impl SimStats {
@@ -323,6 +333,9 @@ impl SimStats {
         self.warps_completed += other.warps_completed;
         self.fast_forward_spans += other.fast_forward_spans;
         self.fast_forwarded_cycles += other.fast_forwarded_cycles;
+        self.events_dispatched += other.events_dispatched;
+        self.heap_peak = self.heap_peak.max(other.heap_peak);
+        self.idle_cycles_skipped += other.idle_cycles_skipped;
     }
 }
 

@@ -1,0 +1,483 @@
+//! A time-ordered event queue for the discrete-event SM core.
+//!
+//! [`TimeQ`] is a hierarchical time wheel: a **near wheel** of
+//! power-of-two slots covers the next `horizon` cycles with O(1) push
+//! and pop (a slot is a FIFO of that cycle's events), while events
+//! beyond the horizon overflow into a **far heap** — a binary min-heap
+//! keyed by `(cycle, seq)` — and migrate into the wheel as the clock
+//! advances. An occupancy bitmap over the wheel slots answers "is
+//! anything due *now*?" with a single bit test and "when is the next
+//! event?" with a handful of word scans — independent of how far away
+//! that event is, which is what turns `try_fast_forward`'s "probe the
+//! ring, maybe skip" pattern into
+//! "pop the next event, jump there". Scheduling stays as cheap as the
+//! event ring's `Vec` push because in-flight instruction latencies are
+//! bounded: with the horizon sized past the worst-case memory latency,
+//! the far heap never sees traffic in practice.
+//!
+//! The pop order is *stable*: events scheduled for the same cycle drain
+//! in exactly the order they were pushed. Within the wheel this is the
+//! slot FIFO; far events carry a monotone insertion counter (`seq`) so
+//! the heap preserves push order among equal cycles, and migration
+//! happens the moment a cycle first enters the wheel window — before
+//! any later push could target it — so the global order is preserved
+//! across the two tiers. That stability is the property that lets this
+//! clock reproduce the event ring's per-slot FIFO drain order bit for
+//! bit (see `DESIGN.md` §14).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One far-heap entry: the payload plus its `(cycle, seq)` key.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    cycle: u64,
+    seq: u64,
+    item: T,
+}
+
+// `BinaryHeap` is a max-heap; reversing the comparison turns it into the
+// min-heap we need. Only the key participates in the ordering, so the
+// payload type needs no `Ord`.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.cycle, self.seq) == (other.cycle, other.seq)
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+/// A stable time-ordered event queue (hierarchical time wheel).
+///
+/// # Examples
+///
+/// ```
+/// use warped_sim::timeq::TimeQ;
+///
+/// let mut q = TimeQ::new();
+/// q.push(10, "writeback");
+/// q.push(4, "retire");
+/// q.push(10, "wakeup");
+/// assert_eq!(q.next_cycle(), Some(4));
+/// assert_eq!(q.pop_if_due(4), Some("retire"));
+/// assert_eq!(q.pop_if_due(4), None, "nothing else due at cycle 4");
+/// // Same-cycle events drain in push order (stable FIFO).
+/// assert_eq!(q.next_cycle(), Some(10));
+/// assert_eq!(q.pop_if_due(10), Some("writeback"));
+/// assert_eq!(q.pop_if_due(10), Some("wakeup"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeQ<T> {
+    /// Slot `cycle & (wheel.len() - 1)` holds the FIFO of events due at
+    /// `cycle`, for every pending `cycle` in `[base, base + wheel.len())`.
+    wheel: Vec<Vec<T>>,
+    /// One bit per wheel slot: set iff the slot is non-empty.
+    occ: Vec<u64>,
+    /// Lower bound on every pending cycle; advances on pops.
+    base: u64,
+    /// Events at `base + wheel.len()` or beyond, awaiting migration.
+    far: BinaryHeap<Entry<T>>,
+    /// Insertion counter; orders same-cycle far events.
+    seq: u64,
+    len: usize,
+    peak: usize,
+}
+
+impl<T> TimeQ<T> {
+    /// Creates an empty queue with a default 256-cycle near horizon.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeQ::with_horizon(256)
+    }
+
+    /// Creates an empty queue whose near wheel covers at least
+    /// `min_horizon` cycles (rounded up to a power of two, minimum 64).
+    /// Events pushed further out than the horizon still work — they
+    /// take the far-heap path — so the horizon is purely a performance
+    /// knob: size it past the longest latency the caller schedules and
+    /// every push is O(1).
+    #[must_use]
+    pub fn with_horizon(min_horizon: usize) -> Self {
+        let n = min_horizon.next_power_of_two().max(64);
+        TimeQ {
+            wheel: (0..n).map(|_| Vec::new()).collect(),
+            occ: vec![0u64; n / 64],
+            base: 0,
+            far: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+            peak: 0,
+        }
+    }
+
+    /// Schedules `item` for `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` lies before an already-popped cycle (events
+    /// cannot be scheduled into the past).
+    pub fn push(&mut self, cycle: u64, item: T) {
+        assert!(
+            cycle >= self.base,
+            "event scheduled for cycle {cycle}, before the clock's cycle {}",
+            self.base
+        );
+        let n = self.wheel.len() as u64;
+        if cycle < self.base + n {
+            let s = (cycle & (n - 1)) as usize;
+            self.wheel[s].push(item);
+            self.occ[s >> 6] |= 1u64 << (s & 63);
+        } else {
+            let seq = self.seq;
+            self.seq += 1;
+            self.far.push(Entry { cycle, seq, item });
+        }
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+    }
+
+    /// The cycle of the earliest pending event, if any: an occupancy-
+    /// bitmap word scan plus a far-heap peek — a handful of word reads,
+    /// independent of how many events are pending or how far away they
+    /// are (the property the ring's O(distance) probe lacked).
+    #[must_use]
+    pub fn next_cycle(&self) -> Option<u64> {
+        let wheel_min = self.wheel_min();
+        let far_min = self.far.peek().map(|e| e.cycle);
+        match (wheel_min, far_min) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
+    }
+
+    /// Whether any event is due at exactly `cycle`: a single occupancy
+    /// bit test. Exact whenever `cycle` has not run ahead of a pending
+    /// event (the simulator's clock never does — it dispatches every
+    /// event at its due cycle); a `cycle` beyond the wheel window reads
+    /// as not-due even if a far event targets it, so callers probing
+    /// arbitrary future cycles should compare [`TimeQ::next_cycle`]
+    /// instead.
+    #[must_use]
+    pub fn has_due(&self, cycle: u64) -> bool {
+        let n = self.wheel.len() as u64;
+        if cycle < self.base {
+            return false;
+        }
+        if cycle >= self.base + n {
+            // Beyond the window only far events live, all at
+            // `base + n` or later, so the earliest one answers.
+            return self.far.peek().is_some_and(|e| e.cycle == cycle);
+        }
+        let s = (cycle & (n - 1)) as usize;
+        self.occ[s >> 6] & (1u64 << (s & 63)) != 0
+    }
+
+    /// Pops the earliest pending event if it is scheduled for exactly
+    /// `cycle`; returns `None` when the queue is empty or the earliest
+    /// event lies in the future. Popping at `cycle` advances the wheel:
+    /// far events whose cycles now fall inside the window migrate in,
+    /// and cycles before `cycle` can no longer be scheduled.
+    ///
+    /// O(events due at `cycle`) per pop; callers draining a whole cycle
+    /// should use [`TimeQ::take_due`] instead, which is O(1).
+    pub fn pop_if_due(&mut self, cycle: u64) -> Option<T> {
+        if self.next_cycle() != Some(cycle) {
+            return None;
+        }
+        self.advance(cycle);
+        let mask = self.wheel.len() - 1;
+        let s = (cycle as usize) & mask;
+        // `cycle == base`, so the slot's contents are exactly the
+        // events due now (anything an entire lap later sits in the far
+        // heap until the window reaches it).
+        debug_assert!(!self.wheel[s].is_empty(), "pending min on empty slot");
+        let item = self.wheel[s].remove(0);
+        self.len -= 1;
+        if self.wheel[s].is_empty() {
+            self.occ[s >> 6] &= !(1u64 << (s & 63));
+        }
+        Some(item)
+    }
+
+    /// Removes and returns *all* events due at `cycle` as one buffer,
+    /// in push order — `Vec::new()` (no allocation) when none are due.
+    /// O(1): the slot's backing storage is moved out wholesale, exactly
+    /// like the reference ring's `mem::take` drain. Hand the drained
+    /// buffer back through [`TimeQ::restore`] so its capacity parks in
+    /// the slot and is reused one lap later.
+    pub fn take_due(&mut self, cycle: u64) -> Vec<T> {
+        if !self.has_due(cycle) {
+            return Vec::new();
+        }
+        self.advance(cycle);
+        let mask = self.wheel.len() - 1;
+        let s = (cycle as usize) & mask;
+        let buf = std::mem::take(&mut self.wheel[s]);
+        self.occ[s >> 6] &= !(1u64 << (s & 63));
+        self.len -= buf.len();
+        buf
+    }
+
+    /// Returns a buffer drained by [`TimeQ::take_due`] to the slot it
+    /// came from. The buffer must be empty; if the slot has since
+    /// received new events the buffer is simply dropped.
+    pub fn restore(&mut self, cycle: u64, buf: Vec<T>) {
+        debug_assert!(buf.is_empty(), "restore expects a drained buffer");
+        let mask = self.wheel.len() - 1;
+        let s = (cycle as usize) & mask;
+        if self.wheel[s].is_empty() {
+            self.wheel[s] = buf;
+        }
+    }
+
+    /// Moves the window start up to `cycle` and migrates far events
+    /// that now fall inside it.
+    fn advance(&mut self, cycle: u64) {
+        debug_assert!(
+            self.next_cycle().is_none_or(|c| c >= cycle),
+            "advanced the wheel past a pending event"
+        );
+        if cycle > self.base {
+            self.base = cycle;
+        }
+        let n = self.wheel.len() as u64;
+        while self.far.peek().is_some_and(|e| e.cycle < self.base + n) {
+            let e = self.far.pop().expect("peeked far entry");
+            let s = (e.cycle & (n - 1)) as usize;
+            self.wheel[s].push(e.item);
+            self.occ[s >> 6] |= 1u64 << (s & 63);
+        }
+    }
+
+    /// First occupied wheel slot at or after `base`, as a cycle: a word
+    /// scan over the occupancy bitmap, wrapping exactly one lap.
+    fn wheel_min(&self) -> Option<u64> {
+        let words = self.occ.len();
+        let mask = self.wheel.len() - 1;
+        let s0 = (self.base as usize) & mask;
+        let (w0, b0) = (s0 >> 6, s0 & 63);
+        let slot = 'found: {
+            let hi = self.occ[w0] & (!0u64 << b0);
+            if hi != 0 {
+                break 'found (w0 << 6) | hi.trailing_zeros() as usize;
+            }
+            for k in 1..words {
+                let w = (w0 + k) & (words - 1);
+                if self.occ[w] != 0 {
+                    break 'found (w << 6) | self.occ[w].trailing_zeros() as usize;
+                }
+            }
+            let lo = self.occ[w0] & !(!0u64 << b0);
+            if lo != 0 {
+                break 'found (w0 << 6) | lo.trailing_zeros() as usize;
+            }
+            return None;
+        };
+        Some(self.base + (slot.wrapping_sub(s0) & mask) as u64)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of [`TimeQ::len`] over the queue's lifetime.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Earliest pending cycle found by a *linear scan* over the backing
+    /// storage — every wheel slot checked directly (not through the
+    /// occupancy bitmap) plus every far entry, ignoring the cached
+    /// minimum. The simulator's sanitizer uses this as an independent
+    /// re-derivation of [`TimeQ::next_cycle`]: if the bitmap or the
+    /// cache were ever corrupted, peek and scan would disagree.
+    #[must_use]
+    pub fn min_cycle_by_scan(&self) -> Option<u64> {
+        let n = self.wheel.len();
+        let mask = n - 1;
+        let s0 = (self.base as usize) & mask;
+        let wheel_min = (0..n)
+            .find(|d| !self.wheel[(s0 + d) & mask].is_empty())
+            .map(|d| self.base + d as u64);
+        let far_min = self.far.iter().map(|e| e.cycle).min();
+        [wheel_min, far_min].into_iter().flatten().min()
+    }
+}
+
+impl<T> Default for TimeQ<T> {
+    fn default() -> Self {
+        TimeQ::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut q = TimeQ::new();
+        q.push(30, 'c');
+        q.push(10, 'a');
+        q.push(20, 'b');
+        assert_eq!(q.next_cycle(), Some(10));
+        assert_eq!(q.pop_if_due(10), Some('a'));
+        assert_eq!(q.pop_if_due(20), Some('b'));
+        assert_eq!(q.pop_if_due(30), Some('c'));
+        assert_eq!(q.next_cycle(), None);
+    }
+
+    #[test]
+    fn same_cycle_events_are_fifo() {
+        // The ring drains a slot's Vec front to back; the wheel must
+        // reproduce that order via the slot FIFO.
+        let mut q = TimeQ::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_if_due(7), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_cycles_stay_fifo_within_each_cycle() {
+        let mut q = TimeQ::new();
+        q.push(5, "a5");
+        q.push(3, "a3");
+        q.push(5, "b5");
+        q.push(3, "b3");
+        assert_eq!(q.pop_if_due(3), Some("a3"));
+        assert_eq!(q.pop_if_due(3), Some("b3"));
+        assert_eq!(q.pop_if_due(3), None);
+        assert_eq!(q.pop_if_due(5), Some("a5"));
+        assert_eq!(q.pop_if_due(5), Some("b5"));
+    }
+
+    #[test]
+    fn pop_if_due_ignores_future_events() {
+        let mut q = TimeQ::new();
+        q.push(9, ());
+        assert_eq!(q.pop_if_due(8), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_if_due(9), Some(()));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = TimeQ::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.push(3, ());
+        let _ = q.pop_if_due(1);
+        q.push(4, ());
+        assert_eq!(q.peak(), 3);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn scan_agrees_with_peek() {
+        let mut q = TimeQ::new();
+        assert_eq!(q.min_cycle_by_scan(), None);
+        for c in [44u64, 12, 99, 12, 60] {
+            q.push(c, c);
+        }
+        while let Some(min) = q.next_cycle() {
+            assert_eq!(q.min_cycle_by_scan(), Some(min));
+            let _ = q.pop_if_due(min);
+        }
+    }
+
+    #[test]
+    fn far_events_migrate_into_the_wheel_in_push_order() {
+        // Horizon 64 (the minimum): cycles at 64+ take the far-heap
+        // path and must drain in the same stable order regardless.
+        let mut q = TimeQ::with_horizon(1);
+        q.push(500, "far-a");
+        q.push(3, "near");
+        q.push(500, "far-b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_cycle(), Some(3));
+        assert_eq!(q.pop_if_due(3), Some("near"));
+        assert_eq!(q.next_cycle(), Some(500));
+        // A later near-window push to the same cycle lands *after* the
+        // earlier far events.
+        assert_eq!(q.pop_if_due(500), Some("far-a"));
+        q.push(500, "late");
+        assert_eq!(q.pop_if_due(500), Some("far-b"));
+        assert_eq!(q.pop_if_due(500), Some("late"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_laps() {
+        let mut q = TimeQ::with_horizon(64);
+        let mut expected = Vec::new();
+        let mut cycle = 0u64;
+        for lap in 0u64..10 {
+            cycle += 40 + lap; // co-prime-ish stride across wrap points
+            q.push(cycle, cycle);
+            expected.push(cycle);
+        }
+        for c in expected {
+            assert_eq!(q.next_cycle(), Some(c));
+            assert_eq!(q.min_cycle_by_scan(), Some(c));
+            assert_eq!(q.pop_if_due(c), Some(c));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn take_due_drains_a_whole_cycle_in_push_order() {
+        let mut q = TimeQ::with_horizon(64);
+        q.push(5, 'a');
+        q.push(9, 'x');
+        q.push(5, 'b');
+        assert_eq!(q.take_due(4), Vec::<char>::new(), "nothing due early");
+        let mut buf = q.take_due(5);
+        assert_eq!(buf, vec!['a', 'b']);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_cycle(), Some(9));
+        buf.clear();
+        q.restore(5, buf);
+        // One lap later the same slot's capacity is reused.
+        q.push(5 + 64, 'c');
+        assert_eq!(q.take_due(9), vec!['x']);
+        assert_eq!(q.take_due(5 + 64), vec!['c']);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the clock")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = TimeQ::with_horizon(64);
+        q.push(10, ());
+        assert_eq!(q.pop_if_due(10), Some(()));
+        q.push(9, ());
+    }
+}

@@ -30,9 +30,11 @@ cargo build --release --workspace
 step "cargo test"
 cargo test -q --workspace
 
-step "grid regression gate (full-scale sweep, cycles must match bit for bit)"
+step "grid regression gate (event-queue core, full scale, bit-for-bit)"
 # The sweep writes into --out-dir, so verify never mutates the repo's
-# checked-in results/.
+# checked-in results/. The event-queue core is the default, but the
+# gate names it explicitly: this is the run that proves the
+# discrete-event clock moves no result.
 outdir="$(mktemp -d)"
 serve_pid=""
 cleanup() {
@@ -40,28 +42,32 @@ cleanup() {
     rm -rf "$outdir"
 }
 trap cleanup EXIT
-time cargo run --release -q -p warped-bench --bin sweep -- --out-dir "$outdir/grid"
+time cargo run --release -q -p warped-bench --bin sweep -- \
+    --core event-queue --out-dir "$outdir/grid"
 
-# Compare the label + cycles (first value) of every row.
-extract_cycles() {
+# Compare every per-cell row in full: label, cycles, and ff_cycles.
+extract_cells() {
     python3 - "$1" <<'PY'
 import json, sys
 grid = json.load(open(sys.argv[1]))
 for row in grid["rows"]:
     if row["label"].startswith("TOTAL"):
         continue
-    print(f'{row["label"]} {int(row["values"][0])}')
+    values = " ".join(str(int(v)) for v in row["values"])
+    print(f'{row["label"]} {values}')
 PY
 }
-if ! diff <(extract_cycles results/bench_grid.json) <(extract_cycles "$outdir/grid/bench_grid.json"); then
-    echo "verify: FAIL — sweep cycle counts diverged from results/bench_grid.json" >&2
+if ! diff <(extract_cells results/bench_grid.json) <(extract_cells "$outdir/grid/bench_grid.json"); then
+    echo "verify: FAIL — sweep results diverged from results/bench_grid.json" >&2
     exit 1
 fi
-echo "grid cycles match the checked-in results bit for bit"
+echo "grid rows match the checked-in results bit for bit"
 
-step "sanitized sweep (gating invariant sanitizer armed across the grid)"
+step "sanitized sweep (legacy fast-forward clock, invariant sanitizer armed)"
+# The reference ring clock keeps its own coverage: the sanitizer's
+# assert_quiet cross-check runs against both backends.
 cargo run --release -q -p warped-bench --bin sweep -- \
-    --scale 0.05 --sanitize --out-dir "$outdir/sanitized"
+    --core fast-forward --scale 0.05 --sanitize --out-dir "$outdir/sanitized"
 
 step "chaos smoke (injected panic is isolated; journal resume heals the grid)"
 if cargo run --release -q -p warped-bench --bin sweep -- \
@@ -165,6 +171,15 @@ assert json.loads(second) == first, "cached response diverged"
 metrics = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
 assert "warped_serve_cache_misses_total 1" in metrics, metrics
 assert "warped_serve_cache_hits_total 1" in metrics, metrics
+# The fresh simulation exported its event-core counters.
+events = next(
+    int(line.split()[1])
+    for line in metrics.splitlines()
+    if line.startswith("warped_serve_sim_events_dispatched_total ")
+)
+assert events > 0, metrics
+assert "warped_serve_sim_heap_peak" in metrics, metrics
+assert "warped_serve_sim_idle_cycles_skipped_total" in metrics, metrics
 
 req = urllib.request.Request(base + "/shutdown", data=b"")
 assert urllib.request.urlopen(req, timeout=10).status == 200

@@ -1,8 +1,10 @@
-//! Bit-equality properties of the fast-forward clock: for every
-//! technique and every random kernel, running with cycle skipping
-//! enabled must produce the same [`SmOutcome`] — cycle counts, per-unit
-//! statistics, and the full [`GatingReport`] — as forcing per-cycle
-//! stepping, and attached observers must see identical streams.
+//! Bit-equality properties of the SM's clock backends: for every
+//! technique and every random kernel, all three clock configurations —
+//! per-cycle stepping (the reference), the ring-backed fast-forward
+//! clock, and the heap-backed event-queue core — must produce the same
+//! [`SmOutcome`] — cycle counts, per-unit statistics, and the full
+//! [`GatingReport`] — and attached observers must see identical
+//! streams.
 //!
 //! Cases are drawn from a seeded [`SplitMix64`] stream, so every run
 //! explores the same inputs (no external property-testing dependency).
@@ -39,10 +41,37 @@ impl<A: CycleObserver, B: CycleObserver> CycleObserver for Pair<A, B> {
     }
 }
 
+/// The three clock configurations under test. `Stepped` is the
+/// reference: the ring-backed clock with skipping forced off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ClockMode {
+    Stepped,
+    FastForward,
+    EventQueue,
+}
+
+impl ClockMode {
+    const ALL: [ClockMode; 3] = [
+        ClockMode::Stepped,
+        ClockMode::FastForward,
+        ClockMode::EventQueue,
+    ];
+
+    fn apply(self, cfg: &mut SmConfig) {
+        let (fast_forward, event_queue) = match self {
+            ClockMode::Stepped => (false, false),
+            ClockMode::FastForward => (true, false),
+            ClockMode::EventQueue => (true, true),
+        };
+        cfg.fast_forward = fast_forward;
+        cfg.event_queue = event_queue;
+    }
+}
+
 /// One random instruction: (type selector, destination offset, source
 /// offset). Selector 6 is a barrier — the fast-forward path's most
 /// delicate edge, since barrier release can finish warps and refill
-/// blocks without any event-ring activity.
+/// blocks without any scheduled-event activity.
 type RawInstr = (u8, u16, u16);
 
 fn random_body(rng: &mut SplitMix64, max_len: usize, with_barriers: bool) -> Vec<RawInstr> {
@@ -77,19 +106,19 @@ fn build_kernel(body: &[RawInstr], trips: u32) -> Kernel {
     b.end_loop().store_global(0).build()
 }
 
-/// Runs one configuration with the fast-forward clock either enabled or
-/// forced off. Everything else is identical.
+/// Runs one configuration under the given clock mode. Everything else
+/// is identical.
 fn run(
     launch: LaunchConfig,
     technique: Technique,
     max_cycles: u64,
-    fast_forward: bool,
+    mode: ClockMode,
     observer: Option<Box<dyn CycleObserver>>,
     recorder: Option<Recorder>,
 ) -> SmOutcome {
     let mut cfg = SmConfig::small_for_tests();
     cfg.max_cycles = max_cycles;
-    cfg.fast_forward = fast_forward;
+    mode.apply(&mut cfg);
     cfg.telemetry = recorder;
     let mut sm = Sm::new(
         cfg,
@@ -103,40 +132,61 @@ fn run(
     sm.run()
 }
 
-/// Strips the fast-forward diagnostic counters, which are the one
-/// intentional difference between the two clocks.
+/// Strips the clock-backend diagnostic counters, which are the one
+/// intentional difference between the modes.
 fn comparable(stats: &SimStats) -> SimStats {
     let mut s = stats.clone();
     s.fast_forward_spans = 0;
     s.fast_forwarded_cycles = 0;
+    s.events_dispatched = 0;
+    s.heap_peak = 0;
+    s.idle_cycles_skipped = 0;
     s
 }
 
-/// Returns the number of cycles the enabled run skipped, so callers can
-/// assert the property suite is not vacuously passing on unskippable
-/// workloads.
+/// Runs all three clock modes and asserts pairwise bit-equality of the
+/// outcomes. Returns the number of cycles the event-queue run skipped,
+/// so callers can assert the property suite is not vacuously passing
+/// on unskippable workloads.
 fn assert_bit_equal(launch: LaunchConfig, technique: Technique, max_cycles: u64) -> u64 {
-    let fast = run(launch.clone(), technique, max_cycles, true, None, None);
-    let slow = run(launch, technique, max_cycles, false, None, None);
+    let stepped = run(
+        launch.clone(),
+        technique,
+        max_cycles,
+        ClockMode::Stepped,
+        None,
+        None,
+    );
     assert_eq!(
-        slow.stats.fast_forward_spans, 0,
+        stepped.stats.fast_forward_spans, 0,
         "disabled clock must not skip"
     );
-    assert_eq!(slow.stats.fast_forwarded_cycles, 0);
-    assert_eq!(
-        fast.timed_out, slow.timed_out,
-        "{technique}: timeout flag diverges"
-    );
-    assert_eq!(
-        comparable(&fast.stats),
-        comparable(&slow.stats),
-        "{technique}: SimStats diverge"
-    );
-    assert_eq!(
-        fast.gating, slow.gating,
-        "{technique}: GatingReport diverges"
-    );
-    fast.stats.fast_forwarded_cycles
+    assert_eq!(stepped.stats.fast_forwarded_cycles, 0);
+    let mut queue_skipped = 0;
+    for mode in [ClockMode::FastForward, ClockMode::EventQueue] {
+        let other = run(launch.clone(), technique, max_cycles, mode, None, None);
+        assert_eq!(
+            other.timed_out, stepped.timed_out,
+            "{technique}/{mode:?}: timeout flag diverges"
+        );
+        assert_eq!(
+            comparable(&other.stats),
+            comparable(&stepped.stats),
+            "{technique}/{mode:?}: SimStats diverge"
+        );
+        assert_eq!(
+            other.gating, stepped.gating,
+            "{technique}/{mode:?}: GatingReport diverges"
+        );
+        if mode == ClockMode::EventQueue {
+            assert_eq!(
+                other.stats.fast_forwarded_cycles, other.stats.idle_cycles_skipped,
+                "{technique}: queue skip counter must mirror the span counter"
+            );
+            queue_skipped = other.stats.fast_forwarded_cycles;
+        }
+    }
+    queue_skipped
 }
 
 #[test]
@@ -182,8 +232,8 @@ fn timeouts_hit_the_same_cycle_either_way() {
 fn barrier_wave_and_stagger_launches_are_bit_equal() {
     // Block refills, wave barriers, and staggered launches are exactly
     // the events a skipped span must never jump across: a barrier
-    // release can finish a warp (and trigger a refill) with no event in
-    // the ring.
+    // release can finish a warp (and trigger a refill) with no
+    // scheduled event.
     let mut rng = SplitMix64::new(0xff_0003);
     for _ in 0..5 {
         let body = random_body(&mut rng, 12, true);
@@ -214,7 +264,7 @@ fn barrier_wave_and_stagger_launches_are_bit_equal() {
 fn observers_see_identical_streams_under_skipping() {
     // The energy timeline (span-integrating observer) and the
     // utilization trace (span-expanding observer) must end up in the
-    // same state whether cycles were stepped or skipped.
+    // same state under all three clock modes.
     let mut rng = SplitMix64::new(0xff_0004);
     for _ in 0..4 {
         let body = random_body(&mut rng, 14, true);
@@ -234,43 +284,46 @@ fn observers_see_identical_streams_under_skipping() {
             };
             let mk_trace = || Rc::new(RefCell::new(UtilizationTrace::new(4000)));
 
-            let tl_fast = mk_timeline();
-            let tl_slow = mk_timeline();
-            let tr_fast = mk_trace();
-            let tr_slow = mk_trace();
-            let fast = run(
-                launch.clone(),
-                technique,
-                2_000_000,
-                true,
-                Some(Box::new(Pair(tl_fast.clone(), tr_fast.clone()))),
-                None,
-            );
-            let slow = run(
-                launch.clone(),
-                technique,
-                2_000_000,
-                false,
-                Some(Box::new(Pair(tl_slow.clone(), tr_slow.clone()))),
-                None,
-            );
-            assert_eq!(comparable(&fast.stats), comparable(&slow.stats));
+            let runs: Vec<_> = ClockMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let tl = mk_timeline();
+                    let tr = mk_trace();
+                    let out = run(
+                        launch.clone(),
+                        technique,
+                        2_000_000,
+                        mode,
+                        Some(Box::new(Pair(tl.clone(), tr.clone()))),
+                        None,
+                    );
+                    (mode, out, tl, tr)
+                })
+                .collect();
+            let (_, base_out, base_tl, base_tr) = &runs[0];
+            for (mode, out, tl, tr) in &runs[1..] {
+                assert_eq!(comparable(&out.stats), comparable(&base_out.stats));
 
-            let (tf, ts) = (tl_fast.borrow(), tl_slow.borrow());
-            assert_eq!(
-                tf.epochs(),
-                ts.epochs(),
-                "{technique}: epoch series diverge"
-            );
-            for unit in warped_gates_repro::isa::UnitType::ALL {
+                let (tf, ts) = (tl.borrow(), base_tl.borrow());
                 assert_eq!(
-                    tf.current_epoch(unit),
-                    ts.current_epoch(unit),
-                    "{technique}: open epoch diverges"
+                    tf.epochs(),
+                    ts.epochs(),
+                    "{technique}/{mode:?}: epoch series diverge"
+                );
+                for unit in warped_gates_repro::isa::UnitType::ALL {
+                    assert_eq!(
+                        tf.current_epoch(unit),
+                        ts.current_epoch(unit),
+                        "{technique}/{mode:?}: open epoch diverges"
+                    );
+                }
+                let (wf, ws) = (tr.borrow(), base_tr.borrow());
+                assert_eq!(
+                    wf.samples(),
+                    ws.samples(),
+                    "{technique}/{mode:?}: waveforms diverge"
                 );
             }
-            let (wf, ws) = (tr_fast.borrow(), tr_slow.borrow());
-            assert_eq!(wf.samples(), ws.samples(), "{technique}: waveforms diverge");
         }
     }
 }
@@ -297,8 +350,9 @@ fn event_key(s: &Stamped) -> (u64, u8, usize, u8) {
 #[test]
 fn armed_recorder_sees_identical_event_streams_under_skipping() {
     // The structured event recorder is the telemetry subsystem's ground
-    // truth; a fast-forwarded run must stamp the same events at the
-    // same cycles as a stepped one, fast-forward jump markers aside.
+    // truth; a fast-forwarded or event-queue run must stamp the same
+    // events at the same cycles as a stepped one, fast-forward jump
+    // markers aside.
     let mut rng = SplitMix64::new(0xff_0005);
     for _ in 0..3 {
         let body = random_body(&mut rng, 14, true);
@@ -313,36 +367,8 @@ fn armed_recorder_sees_identical_event_streams_under_skipping() {
                     epoch_len: 500,
                 })
             };
-            let (rec_fast, rec_slow) = (mk(), mk());
-            let fast = run(
-                launch.clone(),
-                technique,
-                2_000_000,
-                true,
-                None,
-                Some(rec_fast.clone()),
-            );
-            let slow = run(
-                launch.clone(),
-                technique,
-                2_000_000,
-                false,
-                None,
-                Some(rec_slow.clone()),
-            );
-            // Arming telemetry must not perturb the simulation either.
-            assert_eq!(comparable(&fast.stats), comparable(&slow.stats));
-            assert_eq!(fast.gating, slow.gating);
-
-            let (lf, ls) = (rec_fast.take(), rec_slow.take());
-            assert_eq!(lf.dropped, 0, "ring sized for the whole run");
-            assert_eq!(ls.dropped, 0);
-            assert_eq!(lf.baseline, ls.baseline);
-            assert_eq!(lf.last_cycle, ls.last_cycle);
-            assert!(!ls.events.is_empty(), "{technique}: recorder saw nothing");
-
             // Fast-forward jump markers (and their epoch counters) are
-            // the one intentional difference between the two clocks.
+            // the one intentional difference between the clock modes.
             let canonical = |log: &TelemetryLog| {
                 let mut events: Vec<Stamped> = log
                     .events
@@ -363,11 +389,48 @@ fn armed_recorder_sees_identical_event_streams_under_skipping() {
                     .collect();
                 (events, epochs)
             };
-            assert_eq!(
-                canonical(&lf),
-                canonical(&ls),
-                "{technique}: event streams diverge"
+
+            let rec_base = mk();
+            let base = run(
+                launch.clone(),
+                technique,
+                2_000_000,
+                ClockMode::Stepped,
+                None,
+                Some(rec_base.clone()),
             );
+            let log_base = rec_base.take();
+            assert_eq!(log_base.dropped, 0, "ring sized for the whole run");
+            assert!(
+                !log_base.events.is_empty(),
+                "{technique}: recorder saw nothing"
+            );
+
+            for mode in [ClockMode::FastForward, ClockMode::EventQueue] {
+                let rec = mk();
+                let out = run(
+                    launch.clone(),
+                    technique,
+                    2_000_000,
+                    mode,
+                    None,
+                    Some(rec.clone()),
+                );
+                // Arming telemetry must not perturb the simulation
+                // either.
+                assert_eq!(comparable(&out.stats), comparable(&base.stats));
+                assert_eq!(out.gating, base.gating);
+
+                let log = rec.take();
+                assert_eq!(log.dropped, 0, "ring sized for the whole run");
+                assert_eq!(log.baseline, log_base.baseline);
+                assert_eq!(log.last_cycle, log_base.last_cycle);
+                assert_eq!(
+                    canonical(&log),
+                    canonical(&log_base),
+                    "{technique}/{mode:?}: event streams diverge"
+                );
+            }
         }
     }
 }
