@@ -55,9 +55,35 @@ pub fn group(title: &str) {
     println!("\n-- {title} --");
 }
 
+/// The `q`-quantile (0.0 ≤ q ≤ 1.0) of a set of latency samples by the
+/// nearest-rank method, so p99 of 100 samples is the 99th-smallest
+/// sample, not an interpolated value that nobody measured. Returns
+/// [`Duration::ZERO`] on an empty set.
+#[must_use]
+pub fn percentile(samples: &mut [Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&mut samples, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&mut samples, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&mut samples, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&mut samples, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+        let mut one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&mut one, 0.99), Duration::from_millis(7));
+    }
 
     #[test]
     fn bench_returns_a_positive_median() {

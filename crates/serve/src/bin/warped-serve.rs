@@ -3,10 +3,14 @@
 //! ```text
 //! warped-serve [--addr <host:port>] [--workers <n>] [--cache-mb <n>]
 //!              [--grid <path>] [--timeout-secs <n>]
+//!              [--cache-dir <path>] [--disk-cache-mb <n>]
+//!              [--keep-alive-secs <n>]
 //! ```
 //!
 //! Endpoints: `GET /healthz`, `GET /metrics`, `POST /run`,
-//! `GET /grid`, `GET /trace?cell=<i>`, `POST /shutdown`.
+//! `POST /sweep`, `GET /grid`, `GET /trace?cell=<i>`,
+//! `POST /shutdown`. With `--cache-dir`, results persist across
+//! restarts (the warm cache).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,7 +20,9 @@ use warped_bench::{exit_usage, ArgError};
 use warped_serve::{spawn, ServerConfig};
 
 const USAGE: &str = "usage: warped-serve [--addr <host:port>] [--workers <n>] \
-                     [--cache-mb <n>] [--grid <path>] [--timeout-secs <n>]";
+                     [--cache-mb <n>] [--grid <path>] [--timeout-secs <n>] \
+                     [--cache-dir <path>] [--disk-cache-mb <n>] \
+                     [--keep-alive-secs <n>]";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
     let mut config = ServerConfig::default();
@@ -57,6 +63,31 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
             }
             "--grid" => {
                 config.service.grid_path = PathBuf::from(value_of("--grid")?);
+            }
+            "--cache-dir" => {
+                config.service.disk_dir = Some(PathBuf::from(value_of("--cache-dir")?));
+            }
+            "--disk-cache-mb" => {
+                let raw = value_of("--disk-cache-mb")?;
+                let mb = raw.parse::<u64>().ok().filter(|m| *m >= 1).ok_or_else(|| {
+                    ArgError::BadValue {
+                        flag: "--disk-cache-mb".to_owned(),
+                        value: raw.clone(),
+                        expected: "a positive integer (MiB)",
+                    }
+                })?;
+                config.service.disk_cache_bytes = mb << 20;
+            }
+            "--keep-alive-secs" => {
+                let raw = value_of("--keep-alive-secs")?;
+                let secs = raw.parse::<u64>().ok().filter(|s| *s >= 1).ok_or_else(|| {
+                    ArgError::BadValue {
+                        flag: "--keep-alive-secs".to_owned(),
+                        value: raw.clone(),
+                        expected: "a positive integer (seconds)",
+                    }
+                })?;
+                config.keep_alive_timeout = Duration::from_secs(secs);
             }
             "--timeout-secs" => {
                 let raw = value_of("--timeout-secs")?;

@@ -1,14 +1,18 @@
-//! A minimal blocking HTTP/1.1 client.
+//! A minimal blocking HTTP/1.1 client with connection reuse.
 //!
-//! Enough to exercise the server in-process (the integration suite,
-//! `verify.sh`'s smoke step) without external tooling: one request per
-//! connection, `Content-Length` and chunked response bodies.
+//! [`Client`] keeps one socket open across sequential requests
+//! (keep-alive aware: it drops the connection when either side said
+//! `Connection: close`), retries exactly once on a stale pooled
+//! connection (the server may have reaped it between requests), and
+//! decodes both fixed-length and chunked response bodies — including
+//! incremental JSONL streaming for `/sweep`. The free functions
+//! ([`get`], [`post_json`]) remain for one-shot exchanges.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use crate::http::{read_chunked_body, HttpError};
+use crate::http::{read_chunked_stream, HttpError};
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -45,40 +49,256 @@ fn to_io(e: HttpError) -> io::Error {
     }
 }
 
-/// Sends one request and reads the full response.
-///
-/// # Errors
-///
-/// Returns transport errors and malformed-response errors.
-pub fn request(
+/// A blocking HTTP/1.1 client bound to one server address, reusing a
+/// single keep-alive connection across sequential requests.
+#[derive(Debug)]
+pub struct Client {
     addr: SocketAddr,
-    method: &str,
-    path: &str,
-    body: Option<&[u8]>,
-) -> io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n"
-    )?;
-    match body {
-        Some(bytes) => {
-            write!(
-                stream,
-                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-                bytes.len()
-            )?;
-            stream.write_all(bytes)?;
-        }
-        None => write!(stream, "\r\n")?,
-    }
-    stream.flush()?;
+    keep_alive: bool,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    conn: Option<BufReader<TcpStream>>,
+    reused: u64,
+    connected: u64,
+}
 
-    let mut reader = BufReader::new(stream);
+impl Client {
+    /// A keep-alive client for `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            keep_alive: true,
+            read_timeout: Some(Duration::from_secs(600)),
+            write_timeout: Some(Duration::from_secs(30)),
+            conn: None,
+            reused: 0,
+            connected: 0,
+        }
+    }
+
+    /// Disables connection reuse: every request opens a fresh socket
+    /// and asks the server to close it (the loadgen's `--no-keepalive`
+    /// A/B mode).
+    #[must_use]
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Self {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Overrides the per-request read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Requests that reused an already-open connection so far.
+    #[must_use]
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Sockets opened so far.
+    #[must_use]
+    pub fn connected(&self) -> u64 {
+        self.connected
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(self.read_timeout)?;
+            stream.set_write_timeout(self.write_timeout)?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+            self.connected += 1;
+        } else {
+            self.reused += 1;
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<()> {
+        let addr = self.addr;
+        let connection = if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let reader = self.connect()?;
+        let stream = reader.get_mut();
+        let mut head =
+            format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\n");
+        match body {
+            Some(bytes) => {
+                head.push_str(&format!(
+                    "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                    bytes.len()
+                ));
+                stream.write_all(head.as_bytes())?;
+                stream.write_all(bytes)?;
+            }
+            None => {
+                head.push_str("\r\n");
+                stream.write_all(head.as_bytes())?;
+            }
+        }
+        stream.flush()
+    }
+
+    /// Sends one request and reads the full response, transparently
+    /// reconnecting once if a pooled connection turned out stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and malformed-response errors.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<Response> {
+        let mut response = None;
+        self.exchange(method, path, body, |status, headers, r| {
+            let body = read_body(headers, r)?;
+            response = Some(Response {
+                status,
+                headers: headers.to_vec(),
+                body,
+            });
+            Ok(())
+        })?;
+        Ok(response.expect("exchange succeeded"))
+    }
+
+    /// Sends one request and hands each chunk of a streaming (chunked)
+    /// response to `sink` as it arrives; fixed-length bodies arrive as
+    /// one piece. Returns the status code.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and malformed-response errors.
+    pub fn request_stream(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        mut sink: impl FnMut(&[u8]),
+    ) -> io::Result<u16> {
+        let mut code = 0;
+        self.exchange(method, path, body, |status, headers, r| {
+            code = status;
+            if is_chunked(headers) {
+                read_chunked_stream(r, &mut sink).map_err(to_io)
+            } else {
+                let bytes = read_body(headers, r)?;
+                sink(&bytes);
+                Ok(())
+            }
+        })?;
+        Ok(code)
+    }
+
+    /// One full exchange with stale-connection retry: sending on (or
+    /// reading the status line of) a *reused* connection that the
+    /// server already closed reconnects and retries once. Once any
+    /// response byte has been consumed the error is real and
+    /// propagates.
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        mut consume: impl FnMut(u16, &[(String, String)], &mut BufReader<TcpStream>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        for attempt in 0..2 {
+            let was_pooled = self.conn.is_some();
+            let head = self.send(method, path, body).and_then(|()| {
+                let reader = self.conn.as_mut().expect("connected in send");
+                read_head(reader)
+            });
+            let (status, headers) = match head {
+                Ok(head) => head,
+                Err(e) => {
+                    self.conn = None;
+                    // Only a pooled connection can be stale; a fresh
+                    // socket failing is a real error.
+                    if was_pooled && attempt == 0 {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            let reader = self.conn.as_mut().expect("connected in send");
+            let result = consume(status, &headers, reader);
+            let server_closes = headers
+                .iter()
+                .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+            if result.is_err() || server_closes || !self.keep_alive {
+                self.conn = None;
+            }
+            return result;
+        }
+        unreachable!("retry loop always returns");
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    /// `POST path` streaming a chunked JSONL response: `on_line` is
+    /// called once per complete line, as soon as it arrives. Returns
+    /// the status code.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post_stream_lines(
+        &mut self,
+        path: &str,
+        body: &str,
+        mut on_line: impl FnMut(&str),
+    ) -> io::Result<u16> {
+        let mut pending = Vec::new();
+        let status = self.request_stream("POST", path, Some(body.as_bytes()), |chunk| {
+            pending.extend_from_slice(chunk);
+            while let Some(nl) = pending.iter().position(|b| *b == b'\n') {
+                let line: Vec<u8> = pending.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line);
+                let text = text.trim_end_matches('\n');
+                if !text.is_empty() {
+                    on_line(text);
+                }
+            }
+        })?;
+        if !pending.is_empty() {
+            on_line(String::from_utf8_lossy(&pending).trim_end_matches('\n'));
+        }
+        Ok(status)
+    }
+}
+
+/// Reads the status line and headers of one response.
+fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<(String, String)>)> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
     let status: u16 = line
         .split(' ')
         .nth(1)
@@ -104,47 +324,58 @@ pub fn request(
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
+    Ok((status, headers))
+}
 
-    let chunked = headers
+fn is_chunked(headers: &[(String, String)]) -> bool {
+    headers
         .iter()
-        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
-    let body = if chunked {
-        read_chunked_body(&mut reader).map_err(to_io)?
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"))
+}
+
+/// Reads a response body delimited per its headers. A body with
+/// neither `Transfer-Encoding: chunked` nor `Content-Length` reads to
+/// EOF — only valid on a closing connection.
+fn read_body(
+    headers: &[(String, String)],
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<Vec<u8>> {
+    if is_chunked(headers) {
+        let mut body = Vec::new();
+        read_chunked_stream(reader, |c| body.extend_from_slice(c)).map_err(to_io)?;
+        Ok(body)
     } else if let Some(len) = headers
         .iter()
         .find(|(n, _)| n == "content-length")
         .and_then(|(_, v)| v.parse::<usize>().ok())
     {
         let mut body = vec![0u8; len];
-        io::Read::read_exact(&mut reader, &mut body)?;
-        body
+        io::Read::read_exact(reader, &mut body)?;
+        Ok(body)
     } else {
         let mut body = Vec::new();
-        io::Read::read_to_end(&mut reader, &mut body)?;
-        body
-    };
-
-    Ok(Response {
-        status,
-        headers,
-        body,
-    })
+        io::Read::read_to_end(reader, &mut body)?;
+        Ok(body)
+    }
 }
 
-/// `GET path`.
+/// One-shot `GET path` over a fresh closing connection.
 ///
 /// # Errors
 ///
-/// See [`request`].
+/// See [`Client::request`].
 pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
-    request(addr, "GET", path, None)
+    Client::new(addr).with_keep_alive(false).get(path)
 }
 
-/// `POST path` with a JSON body.
+/// One-shot `POST path` with a JSON body over a fresh closing
+/// connection.
 ///
 /// # Errors
 ///
-/// See [`request`].
+/// See [`Client::request`].
 pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<Response> {
-    request(addr, "POST", path, Some(body.as_bytes()))
+    Client::new(addr)
+        .with_keep_alive(false)
+        .post_json(path, body)
 }

@@ -2,10 +2,14 @@
 //!
 //! Just enough of RFC 9112 for a localhost tool server: request
 //! parsing with hard size caps, fixed-length responses, and chunked
-//! transfer encoding for the streaming endpoints. Every response
-//! carries `Connection: close` — one exchange per connection keeps the
-//! worker pool accounting trivial and sidesteps keep-alive timeout
-//! states entirely.
+//! transfer encoding for the streaming endpoints. Connections are
+//! persistent by default ([`Request::keep_alive`] follows the HTTP/1.1
+//! rules: persistent unless `Connection: close`, and HTTP/1.0 only
+//! with an explicit `Connection: keep-alive`), and every response
+//! declares its disposition explicitly so clients can pipeline
+//! back-to-back requests over one socket. Responses are always
+//! self-delimiting (`Content-Length` or chunked), which is what makes
+//! reuse safe.
 
 use std::io::{self, BufRead, Write};
 
@@ -29,6 +33,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this
+    /// one: HTTP/1.1 unless the client sent `Connection: close`,
+    /// HTTP/1.0 only with an explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -207,6 +215,16 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
         query,
         headers,
         body: Vec::new(),
+        keep_alive: false,
+    };
+    let connection = request.header("connection").unwrap_or("");
+    let mut request = Request {
+        keep_alive: if version == "HTTP/1.0" {
+            connection.eq_ignore_ascii_case("keep-alive")
+        } else {
+            !connection.eq_ignore_ascii_case("close")
+        },
+        ..request
     };
     if request
         .header("transfer-encoding")
@@ -217,7 +235,6 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
             "chunked request bodies are not supported".to_owned(),
         ));
     }
-    let mut request = request;
     if let Some(len) = request.header("content-length") {
         let len: usize = len.parse().map_err(|_| bad("malformed content-length"))?;
         if len > MAX_BODY {
@@ -246,7 +263,16 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete fixed-length response.
+fn connection_token(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Writes a complete fixed-length response, declaring whether the
+/// connection stays open afterwards.
 ///
 /// # Errors
 ///
@@ -256,13 +282,15 @@ pub fn write_response(
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
     write!(
         w,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        connection_token(keep_alive),
     )?;
     w.write_all(body)?;
     w.flush()
@@ -283,12 +311,13 @@ impl<W: Write> ChunkedWriter<W> {
     /// # Errors
     ///
     /// Propagates any transport error.
-    pub fn begin(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
+    pub fn begin(mut w: W, status: u16, content_type: &str, keep_alive: bool) -> io::Result<Self> {
         write!(
             w,
             "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+             Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
             reason(status),
+            connection_token(keep_alive),
         )?;
         Ok(ChunkedWriter { w })
     }
@@ -308,6 +337,18 @@ impl<W: Write> ChunkedWriter<W> {
         self.w.write_all(b"\r\n")
     }
 
+    /// Pushes everything buffered so far onto the wire — call between
+    /// chunks when the receiver should see results as they complete
+    /// (the `/sweep` streaming contract) rather than when the
+    /// underlying `BufWriter` happens to fill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any transport error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
     /// Terminates the body and flushes.
     ///
     /// # Errors
@@ -319,13 +360,20 @@ impl<W: Write> ChunkedWriter<W> {
     }
 }
 
-/// Decodes a chunked response body (client side).
+/// Decodes a chunked response body incrementally (client side),
+/// handing each chunk to `sink` as soon as it is framed — the consumer
+/// of a streaming endpoint sees the first result before the response
+/// finishes.
 ///
 /// # Errors
 ///
 /// Returns an error on transport trouble or malformed chunk framing.
-pub fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
-    let mut body = Vec::new();
+pub fn read_chunked_stream(
+    r: &mut impl BufRead,
+    mut sink: impl FnMut(&[u8]),
+) -> Result<(), HttpError> {
+    let mut total = 0usize;
+    let mut chunk = Vec::new();
     loop {
         let size_line = read_line(r)?;
         let size = usize::from_str_radix(size_line.trim(), 16)
@@ -334,22 +382,34 @@ pub fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
             // Trailer section: read lines until the blank terminator.
             loop {
                 if read_line(r)?.is_empty() {
-                    return Ok(body);
+                    return Ok(());
                 }
             }
         }
-        if body.len() + size > 64 * 1024 * 1024 {
+        total = total.saturating_add(size);
+        if total > 64 * 1024 * 1024 {
             return Err(bad("chunked body too large"));
         }
-        let start = body.len();
-        body.resize(start + size, 0);
-        r.read_exact(&mut body[start..])?;
+        chunk.resize(size, 0);
+        r.read_exact(&mut chunk)?;
         let mut crlf = [0u8; 2];
         r.read_exact(&mut crlf)?;
         if &crlf != b"\r\n" {
             return Err(bad("missing chunk terminator"));
         }
+        sink(&chunk);
     }
+}
+
+/// Decodes a complete chunked response body (client side).
+///
+/// # Errors
+///
+/// Returns an error on transport trouble or malformed chunk framing.
+pub fn read_chunked_body(r: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    read_chunked_stream(r, |chunk| body.extend_from_slice(chunk))?;
+    Ok(body)
 }
 
 #[cfg(test)]
@@ -389,6 +449,65 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_follows_http_version_rules() {
+        let req = |text: &str| parse(text).unwrap().unwrap();
+        assert!(req("GET / HTTP/1.1\r\n\r\n").keep_alive, "1.1 defaults on");
+        assert!(!req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(!req("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").keep_alive);
+        assert!(
+            !req("GET / HTTP/1.0\r\n\r\n").keep_alive,
+            "1.0 defaults off"
+        );
+        assert!(req("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_from_one_segment() {
+        // Both requests arrive in a single TCP segment; the reader
+        // must frame them back to back without losing a byte.
+        let wire = "POST /run HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc\
+                    GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut r = BufReader::new(wire.as_bytes());
+        let first = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (first.method.as_str(), first.path.as_str()),
+            ("POST", "/run")
+        );
+        assert_eq!(first.body, b"abc");
+        let second = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(read_request(&mut r).unwrap().is_none(), "then clean EOF");
+    }
+
+    /// A reader that yields at most `step` bytes per `read` call, so a
+    /// request arrives split across many reads (as on a real socket).
+    struct Dribble<'a> {
+        bytes: &'a [u8],
+        step: usize,
+    }
+
+    impl io::Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.step.min(self.bytes.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[..n]);
+            self.bytes = &self.bytes[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn request_split_across_reads_parses_whole() {
+        let wire = b"POST /run HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+        for step in [1, 2, 3, 7] {
+            let mut r = BufReader::new(Dribble { bytes: wire, step });
+            let req = read_request(&mut r).unwrap().unwrap();
+            assert_eq!(req.path, "/run");
+            assert_eq!(req.body, b"hello world", "step {step}");
+        }
+    }
+
+    #[test]
     fn rejects_garbage_and_oversize() {
         assert!(matches!(
             parse("NOT HTTP\r\n\r\n"),
@@ -412,17 +531,24 @@ mod tests {
     #[test]
     fn response_writer_emits_content_length() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
     }
 
     #[test]
     fn chunked_round_trip() {
         let mut wire = Vec::new();
-        let mut cw = ChunkedWriter::begin(&mut wire, 200, "application/json").unwrap();
+        let mut cw = ChunkedWriter::begin(&mut wire, 200, "application/json", true).unwrap();
         cw.chunk(b"{\"traceEvents\":[").unwrap();
         cw.chunk(b"").unwrap(); // skipped, must not terminate
         cw.chunk(b"]}").unwrap();
@@ -430,9 +556,16 @@ mod tests {
 
         let text = String::from_utf8(wire.clone()).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("Connection: keep-alive"));
         let body_at = text.find("\r\n\r\n").unwrap() + 4;
         let mut r = BufReader::new(&wire[body_at..]);
         let body = read_chunked_body(&mut r).unwrap();
         assert_eq!(body, b"{\"traceEvents\":[]}");
+
+        // The streaming decoder sees each chunk as framed, in order.
+        let mut r = BufReader::new(&wire[body_at..]);
+        let mut pieces: Vec<Vec<u8>> = Vec::new();
+        read_chunked_stream(&mut r, |c| pieces.push(c.to_vec())).unwrap();
+        assert_eq!(pieces, vec![b"{\"traceEvents\":[".to_vec(), b"]}".to_vec()]);
     }
 }

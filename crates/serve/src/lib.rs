@@ -7,20 +7,28 @@
 //! with a sharded content-addressed result cache and single-flight
 //! deduplication: N identical concurrent `POST /run` requests cost
 //! exactly one simulation, and everyone gets byte-identical JSON.
+//! Connections are persistent (HTTP/1.1 keep-alive with pipelining),
+//! `POST /sweep` streams a whole batch of cells back as JSONL in
+//! completion order, and an optional on-disk cache makes restarts
+//! come up warm.
 //!
 //! Layering, transport-independent at the core:
 //!
 //! * [`json`] — a bounded JSON value parser for request bodies.
-//! * [`http`] — HTTP/1.1 framing (requests, responses, chunked bodies).
+//! * [`http`] — HTTP/1.1 framing (requests, responses, keep-alive
+//!   rules, chunked bodies).
 //! * [`cache`] — the sharded single-flight LRU result cache.
+//! * [`disk`] — the persistent `fingerprint → bytes` warm cache.
 //! * [`metrics`] — wait-free counters and their `/metrics` exposition.
 //! * [`service`] — routing and endpoint logic over `Request` + `Write`
 //!   (no sockets; unit-testable against byte buffers).
-//! * [`server`] — the TCP accept loop on the sim crate's bounded
-//!   worker pool, with cooperative graceful shutdown.
-//! * [`client`] — a small blocking client for tests and scripts.
+//! * [`server`] — the TCP transport: accept loop on the sim crate's
+//!   bounded worker pool, an idle-socket reaper so parked keep-alive
+//!   connections cost no worker, and cooperative graceful shutdown.
+//! * [`client`] — a blocking keep-alive client for tests, scripts,
+//!   and the `loadgen` benchmark binary.
 //!
-//! See `DESIGN.md` §13 for the architecture discussion and
+//! See `DESIGN.md` §13 and §15 for the architecture discussion and
 //! `README.md` for a quickstart.
 
 #![forbid(unsafe_code)]
@@ -28,6 +36,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod disk;
 pub mod http;
 pub mod json;
 pub mod metrics;

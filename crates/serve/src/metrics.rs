@@ -22,6 +22,21 @@ pub struct Metrics {
     pub panicked_cells: AtomicU64,
     /// `/run` cells cut off by the wall-clock watchdog.
     pub timed_out_cells: AtomicU64,
+    /// Simulations actually executed (cache layers bypassed nothing).
+    pub simulations: AtomicU64,
+    /// Connections that served a second request over the same socket
+    /// (counted once per connection, at its first reuse).
+    pub connections_reused: AtomicU64,
+    /// Requests whose bytes were already buffered behind the previous
+    /// request on the same connection (true pipelining).
+    pub pipelined_requests: AtomicU64,
+    /// Idle keep-alive sockets closed by the reaper's timeout.
+    pub reaped_idle_sockets: AtomicU64,
+    /// `/sweep` cells answered without a fresh simulation (memory
+    /// cache hit or coalesced onto an in-flight computation).
+    pub sweep_cells_deduped: AtomicU64,
+    /// Cells submitted across all `/sweep` batches.
+    pub sweep_cells: AtomicU64,
     /// Events dispatched by the simulator clock across all fresh
     /// simulations (cache hits re-serve bytes and add nothing).
     pub events_dispatched: AtomicU64,
@@ -74,9 +89,14 @@ impl Metrics {
         }
     }
 
-    /// Renders the exposition page, merging in the cache's counters.
+    /// Renders the exposition page, merging in the counters of the
+    /// memory cache and (when persistence is on) the disk cache.
     #[must_use]
-    pub fn render(&self, cache: &crate::cache::ResultCache) -> String {
+    pub fn render(
+        &self,
+        cache: &crate::cache::ResultCache,
+        disk: Option<&crate::disk::DiskCache>,
+    ) -> String {
         let mut out = String::new();
         let mut counter = |name: &str, help: &str, value: u64| {
             out.push_str(&format!("# HELP {name} {help}\n{name} {value}\n"));
@@ -132,6 +152,56 @@ impl Metrics {
             self.timed_out_cells.load(Ordering::Relaxed),
         );
         counter(
+            "warped_serve_simulations_total",
+            "Simulations actually executed (not served by any cache layer).",
+            self.simulations.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_connections_reused_total",
+            "Connections that served more than one request.",
+            self.connections_reused.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_pipelined_requests_total",
+            "Requests already buffered behind the previous one on the same socket.",
+            self.pipelined_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_reaped_idle_sockets_total",
+            "Idle keep-alive sockets closed by the reaper timeout.",
+            self.reaped_idle_sockets.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sweep_cells_total",
+            "Cells submitted across all /sweep batches.",
+            self.sweep_cells.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sweep_cells_deduped_total",
+            "/sweep cells served without a fresh simulation.",
+            self.sweep_cells_deduped.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_disk_cache_hits_total",
+            "Results served from the on-disk warm cache.",
+            disk.map_or(0, crate::disk::DiskCache::hits),
+        );
+        counter(
+            "warped_serve_disk_cache_misses_total",
+            "Disk-cache lookups that found no usable entry.",
+            disk.map_or(0, crate::disk::DiskCache::misses),
+        );
+        counter(
+            "warped_serve_disk_cache_evictions_total",
+            "Disk-cache entries deleted under byte pressure.",
+            disk.map_or(0, crate::disk::DiskCache::evictions),
+        );
+        counter(
+            "warped_serve_disk_cache_bytes",
+            "Bytes currently held by on-disk cache entries.",
+            disk.map_or(0, crate::disk::DiskCache::bytes),
+        );
+        counter(
             "warped_serve_sim_events_dispatched_total",
             "Clock events dispatched across all fresh simulations.",
             self.events_dispatched.load(Ordering::Relaxed),
@@ -178,7 +248,7 @@ mod tests {
         stats.heap_peak = 5; // lower peak must not regress the high-water
         m.record_core_counters(&stats);
 
-        let page = m.render(&cache);
+        let page = m.render(&cache, None);
         assert!(page.contains("warped_serve_requests_total 3"));
         assert!(page.contains("warped_serve_sim_events_dispatched_total 80"));
         assert!(page.contains("warped_serve_sim_heap_peak 7"));
@@ -189,6 +259,14 @@ mod tests {
         assert!(page.contains("warped_serve_cache_misses_total 1"));
         assert!(page.contains("warped_serve_cache_bytes 1"));
         assert!(page.contains("warped_serve_jobs_in_flight 0"));
+        // Without persistence the disk counters render as zeros, so
+        // scrapers see a stable set of series either way.
+        assert!(page.contains("warped_serve_disk_cache_hits_total 0"));
+        assert!(page.contains("warped_serve_connections_reused_total 0"));
+        assert!(page.contains("warped_serve_pipelined_requests_total 0"));
+        assert!(page.contains("warped_serve_reaped_idle_sockets_total 0"));
+        assert!(page.contains("warped_serve_sweep_cells_deduped_total 0"));
+        assert!(page.contains("warped_serve_simulations_total 0"));
     }
 
     #[test]

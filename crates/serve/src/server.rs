@@ -1,42 +1,82 @@
-//! The TCP front end: accept loop, bounded worker pool, graceful stop.
+//! The TCP front end: accept loop, bounded worker pool, keep-alive
+//! connection reuse, and graceful stop.
 //!
-//! Connections are handed to a [`warped_sim::parallel::Pool`] — the
-//! same bounded pool the sweep engine uses — so the service inherits
-//! the workspace-wide `WARPED_JOBS` sizing convention and its
+//! Requests are served by a [`warped_sim::parallel::Pool`] — the same
+//! bounded pool the sweep engine uses — so the service inherits the
+//! workspace-wide `WARPED_JOBS` sizing convention and its
 //! backpressure: when every worker is busy and the queue is full,
 //! `accept` blocks instead of piling up unbounded work.
 //!
+//! Persistent connections must not pin workers, so the transport is
+//! three threads plus the pool:
+//!
+//! * the **acceptor** owns the listener and feeds fresh connections to
+//!   the dispatcher over a bounded channel (that bound is the
+//!   backpressure above);
+//! * the **dispatcher** owns the pool and submits every incoming
+//!   connection — fresh or revived — as one pool job;
+//! * the **reaper** holds idle keep-alive sockets in non-blocking
+//!   mode, polling them on a short tick: a socket with bytes waiting
+//!   is promoted back to the dispatcher, one idle past
+//!   [`ServerConfig::keep_alive_timeout`] is closed and counted.
+//!
+//! A worker serves requests back-to-back off one socket: pipelined
+//! requests (bytes already buffered behind the previous request) are
+//! answered immediately, and after a quiet response the worker lingers
+//! a few milliseconds before parking the socket with the reaper — a
+//! hot client keeps its worker at full speed and never pays the poll
+//! tick, while an idle one costs no worker at all.
+//!
 //! Shutdown is cooperative and needs no platform signal plumbing: a
 //! shared flag is raised (by [`ServerHandle::shutdown`] or by a
-//! `POST /shutdown` request), then a throwaway self-connection wakes
-//! the blocking `accept` so the loop observes the flag, stops
-//! accepting, and joins the pool — which drains every in-flight
-//! request before the listener thread exits.
+//! `POST /shutdown` request), a throwaway self-connection wakes the
+//! blocking `accept`, the acceptor and reaper drop their dispatcher
+//! channels, and the dispatcher joins the pool — which drains every
+//! in-flight request before the threads exit.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use warped_sim::parallel::{worker_count, Pool};
 
 use crate::http::{read_request, write_response, HttpError};
 use crate::service::{Handled, Service, ServiceConfig};
 
+/// How long a worker waits for the next request before parking the
+/// socket with the reaper. Long enough that a client turning requests
+/// around back-to-back stays on its worker; short enough that a think
+/// pause frees the worker almost immediately.
+const LINGER: Duration = Duration::from_millis(5);
+
+/// The reaper's poll tick. A parked connection waits at most this long
+/// between sending its next request and being promoted to a worker.
+const REAP_TICK: Duration = Duration::from_millis(2);
+
+/// Requests one worker serves off a single connection before parking
+/// it (buffer permitting), so one fast client cannot monopolise a
+/// worker while others queue.
+const BURST: u64 = 64;
+
 /// Transport configuration for [`spawn`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
     pub addr: String,
-    /// Worker-pool size (connections served concurrently).
+    /// Worker-pool size (requests served concurrently).
     pub workers: usize,
-    /// Per-connection read timeout (a stalled client cannot pin a
-    /// worker forever).
+    /// Per-request read timeout (a stalled client cannot pin a worker
+    /// forever).
     pub read_timeout: Option<Duration>,
     /// Per-connection write timeout.
     pub write_timeout: Option<Duration>,
+    /// How long an idle keep-alive socket may park before the reaper
+    /// closes it.
+    pub keep_alive_timeout: Duration,
     /// The service behind the transport.
     pub service: ServiceConfig,
 }
@@ -48,9 +88,32 @@ impl Default for ServerConfig {
             workers: worker_count(),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            keep_alive_timeout: Duration::from_secs(5),
             service: ServiceConfig::default(),
         }
     }
+}
+
+/// One live connection, carried between the worker pool and the
+/// reaper. `served` survives parking so reuse is counted per
+/// connection, not per visit to a worker.
+struct Conn {
+    stream: TcpStream,
+    /// Requests answered on this socket so far.
+    served: u64,
+}
+
+/// What every worker job needs; shared behind an `Arc` so a job is one
+/// allocation. The `park` sender doubles as the reaper's lifetime: the
+/// reaper exits when the dispatcher and every outstanding job have
+/// dropped theirs.
+struct Ctx {
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    addr: SocketAddr,
+    park: Sender<Conn>,
 }
 
 /// A running server. Dropping the handle does *not* stop it; call
@@ -59,7 +122,7 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
     service: Arc<Service>,
 }
 
@@ -88,13 +151,16 @@ impl ServerHandle {
 
     /// Blocks until the server stops (e.g. via `POST /shutdown`).
     pub fn join(&mut self) {
-        if let Some(handle) = self.accept_thread.take() {
+        // Exit order matters: the acceptor drops its dispatcher sender
+        // first, the reaper follows on its next tick, and only then
+        // can the dispatcher's `recv` disconnect so it joins the pool.
+        for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Binds the listener and spawns the accept loop.
+/// Binds the listener and spawns the accept/dispatch/reap threads.
 ///
 /// # Errors
 ///
@@ -104,86 +170,300 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let service = Arc::new(Service::new(config.service.clone()));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = config.workers.max(1);
 
-    let accept_thread = {
-        let service = Arc::clone(&service);
+    // Acceptor → dispatcher (bounded: this is the accept backpressure)
+    // and reaper → dispatcher share one channel; workers → reaper is
+    // unbounded so parking never blocks a worker.
+    let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Conn>(workers * 4);
+    let (park_tx, park_rx) = mpsc::channel::<Conn>();
+
+    let ctx = Arc::new(Ctx {
+        service: Arc::clone(&service),
+        shutdown: Arc::clone(&shutdown),
+        read_timeout: config.read_timeout,
+        write_timeout: config.write_timeout,
+        addr,
+        park: park_tx,
+    });
+
+    let acceptor = {
         let shutdown = Arc::clone(&shutdown);
-        let workers = config.workers.max(1);
-        let (read_timeout, write_timeout) = (config.read_timeout, config.write_timeout);
+        let dispatch_tx = dispatch_tx.clone();
         std::thread::Builder::new()
             .name("warped-serve-accept".to_owned())
             .spawn(move || {
-                let mut pool = Pool::new(workers, workers * 4);
                 for conn in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let service = Arc::clone(&service);
-                    let shutdown = Arc::clone(&shutdown);
-                    let submitted = pool.submit(move || {
-                        let _ = serve_connection(
-                            &service,
-                            stream,
-                            read_timeout,
-                            write_timeout,
-                            &shutdown,
-                            addr,
-                        );
-                    });
-                    if submitted.is_err() {
+                    if dispatch_tx.send(Conn { stream, served: 0 }).is_err() {
+                        break;
+                    }
+                }
+            })?
+    };
+
+    let dispatcher = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("warped-serve-dispatch".to_owned())
+            .spawn(move || {
+                let mut pool = Pool::new(workers, workers * 4);
+                // Disconnects once the acceptor and the reaper have
+                // both dropped their senders — i.e. on shutdown.
+                while let Ok(conn) = dispatch_rx.recv() {
+                    let ctx = Arc::clone(&ctx);
+                    if pool
+                        .submit(move || {
+                            let _ = serve_connection(&ctx, conn);
+                        })
+                        .is_err()
+                    {
                         break;
                     }
                 }
                 // Joins the workers: every accepted request finishes
-                // before the listener thread exits.
+                // before the dispatcher exits.
                 pool.shutdown();
+            })?
+    };
+
+    let reaper = {
+        let shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&service);
+        let keep_alive_timeout = config.keep_alive_timeout;
+        std::thread::Builder::new()
+            .name("warped-serve-reap".to_owned())
+            .spawn(move || {
+                reap_loop(
+                    &park_rx,
+                    dispatch_tx,
+                    &shutdown,
+                    &service,
+                    keep_alive_timeout,
+                );
             })?
     };
 
     Ok(ServerHandle {
         addr,
         shutdown,
-        accept_thread: Some(accept_thread),
+        threads: vec![acceptor, dispatcher, reaper],
         service,
     })
 }
 
-/// One connection, one exchange (every response closes).
-fn serve_connection(
-    service: &Service,
-    stream: TcpStream,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
+/// The reaper: parks idle keep-alive sockets in non-blocking mode,
+/// promotes the readable ones back to the dispatcher, and closes the
+/// ones idle past the timeout (or everything, once shutdown starts).
+fn reap_loop(
+    park_rx: &Receiver<Conn>,
+    dispatch_tx: SyncSender<Conn>,
     shutdown: &AtomicBool,
-    addr: SocketAddr,
-) -> io::Result<()> {
-    stream.set_read_timeout(read_timeout)?;
-    stream.set_write_timeout(write_timeout)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    match read_request(&mut reader) {
-        // Clean immediate close — e.g. the shutdown wake-up probe.
-        Ok(None) => Ok(()),
-        Ok(Some(request)) => {
-            let handled = service.handle(&request, &mut writer)?;
-            writer.flush()?;
-            if handled == Handled::ShutdownRequested {
-                shutdown.store(true, Ordering::SeqCst);
-                // Wake the accept loop so it observes the flag.
-                let _ = TcpStream::connect(addr);
+    service: &Service,
+    keep_alive_timeout: Duration,
+) {
+    let mut dispatch_tx = Some(dispatch_tx);
+    let mut parked: Vec<(Conn, Instant)> = Vec::new();
+    loop {
+        // Tick fast while watching sockets, slow when idle. The idle
+        // tick still has to be bounded: the shutdown flag is only
+        // observed here, and the dispatcher exit waits on this thread
+        // dropping its sender.
+        match park_rx.recv_timeout(if parked.is_empty() {
+            Duration::from_millis(50)
+        } else {
+            REAP_TICK
+        }) {
+            Ok(conn) => parked.push((conn, Instant::now())),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Dispatcher and all workers are gone; nothing can
+                // park or be promoted anymore.
+                break;
             }
-            Ok(())
         }
-        Err(HttpError::Bad(status, reason)) => {
-            service.metrics.count_status(status);
-            let body = format!(
-                "{{\"error\":{{\"kind\":\"bad_request\",\"message\":\"{}\"}}}}\n",
-                crate::json::escape(&reason)
-            );
-            write_response(&mut writer, status, "application/json", body.as_bytes())
+        // Drain whatever else queued behind the first one.
+        while let Ok(conn) = park_rx.try_recv() {
+            parked.push((conn, Instant::now()));
         }
-        // The peer vanished mid-request; nothing to answer.
-        Err(HttpError::Io(e)) => Err(e),
+
+        if shutdown.load(Ordering::SeqCst) {
+            // Close every parked socket and release the dispatcher
+            // (it exits when all its senders are gone). Keep looping
+            // to drain late parkers until the channel disconnects.
+            parked.clear();
+            dispatch_tx = None;
+            continue;
+        }
+
+        let mut i = 0;
+        while i < parked.len() {
+            let (conn, since) = &parked[i];
+            let mut probe = [0u8; 1];
+            let verdict = match conn.stream.peek(&mut probe) {
+                Ok(0) => Verdict::Close, // peer hung up
+                Ok(_) => Verdict::Promote,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if since.elapsed() >= keep_alive_timeout {
+                        Verdict::Reap
+                    } else {
+                        Verdict::Keep
+                    }
+                }
+                Err(_) => Verdict::Close,
+            };
+            match verdict {
+                Verdict::Keep => i += 1,
+                Verdict::Close => {
+                    parked.swap_remove(i);
+                }
+                Verdict::Reap => {
+                    service
+                        .metrics
+                        .reaped_idle_sockets
+                        .fetch_add(1, Ordering::Relaxed);
+                    parked.swap_remove(i);
+                }
+                Verdict::Promote => {
+                    let (conn, _) = parked.swap_remove(i);
+                    if conn.stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    // A full dispatcher queue blocks here — the same
+                    // backpressure the acceptor feels. A `None` sender
+                    // means we are shutting down: drop the socket.
+                    if let Some(tx) = &dispatch_tx {
+                        let _ = tx.send(conn);
+                    }
+                }
+            }
+        }
     }
+}
+
+enum Verdict {
+    Keep,
+    Close,
+    Reap,
+    Promote,
+}
+
+/// What to do with the connection after a lingering read.
+enum Linger {
+    /// The next request's bytes arrived.
+    Data,
+    /// The peer closed (or errored); drop the connection.
+    Closed,
+    /// Nothing yet: hand the socket to the reaper.
+    Idle,
+}
+
+/// Waits [`LINGER`] for more bytes without consuming anything.
+fn linger(reader: &mut BufReader<TcpStream>) -> Linger {
+    let stream = reader.get_ref();
+    if stream.set_read_timeout(Some(LINGER)).is_err() {
+        return Linger::Closed;
+    }
+    match reader.fill_buf() {
+        Ok([]) => Linger::Closed,
+        Ok(_) => Linger::Data,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Linger::Idle
+        }
+        Err(_) => Linger::Closed,
+    }
+}
+
+/// Serves requests off one connection until it goes quiet (→ parked),
+/// closes, or asks for shutdown.
+fn serve_connection(ctx: &Ctx, mut conn: Conn) -> io::Result<()> {
+    conn.stream.set_read_timeout(ctx.read_timeout)?;
+    conn.stream.set_write_timeout(ctx.write_timeout)?;
+    let mut reader = BufReader::new(conn.stream.try_clone()?);
+    let mut writer = BufWriter::new(conn.stream.try_clone()?);
+    let metrics = &ctx.service.metrics;
+    let mut burst = 0u64;
+    loop {
+        match read_request(&mut reader) {
+            // Clean close between requests — e.g. the shutdown probe.
+            Ok(None) => return Ok(()),
+            Ok(Some(request)) => {
+                conn.served += 1;
+                burst += 1;
+                if conn.served == 2 {
+                    metrics.connections_reused.fetch_add(1, Ordering::Relaxed);
+                }
+                // Promise reuse only if the client wants it and the
+                // server is not stopping.
+                let keep_alive = request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                let handled = ctx.service.handle(&request, &mut writer, keep_alive)?;
+                writer.flush()?;
+                if handled == Handled::ShutdownRequested {
+                    ctx.shutdown.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(ctx.addr);
+                    return Ok(());
+                }
+                if !keep_alive {
+                    return Ok(());
+                }
+                // The next request may already sit in the buffer
+                // (pipelining): serve it without touching the socket.
+                if !reader.buffer().is_empty() {
+                    metrics.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if burst >= BURST {
+                    // Fairness: this client had a full turn; requeue
+                    // through the reaper so waiting connections get a
+                    // worker. (Only possible buffer-empty, which holds
+                    // here — parking forgets BufReader contents.)
+                    return park(ctx, conn);
+                }
+                match linger(&mut reader) {
+                    Linger::Data => {
+                        // Restore the real timeout for the next parse.
+                        conn.stream.set_read_timeout(ctx.read_timeout)?;
+                        continue;
+                    }
+                    Linger::Closed => return Ok(()),
+                    Linger::Idle => return park(ctx, conn),
+                }
+            }
+            Err(HttpError::Bad(status, reason)) => {
+                // Framing is broken; answer and close (no way to know
+                // where the next request starts).
+                ctx.service.metrics.count_status(status);
+                let body = format!(
+                    "{{\"error\":{{\"kind\":\"bad_request\",\"message\":\"{}\"}}}}\n",
+                    crate::json::escape(&reason)
+                );
+                return write_response(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+            }
+            // The peer vanished mid-request; nothing to answer.
+            Err(HttpError::Io(e)) => return Err(e),
+        }
+    }
+}
+
+/// Hands the connection to the reaper (closing it if the reaper is
+/// gone, which only happens during shutdown).
+fn park(ctx: &Ctx, conn: Conn) -> io::Result<()> {
+    conn.stream.set_nonblocking(true)?;
+    let _ = ctx.park.send(conn);
+    Ok(())
 }

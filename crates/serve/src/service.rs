@@ -13,12 +13,23 @@
 //! * `POST /run` — run one benchmark × technique cell; the response is
 //!   the canonical report JSON, content-addressed by
 //!   [`cell_fingerprint`] and served through the single-flight cache.
+//! * `POST /sweep` — a batch of cells (`{"cells":[...]}` or a bare
+//!   array); every cell goes through the same single-flight cache and
+//!   results stream back as chunked JSONL in **completion order**, so
+//!   overlapping batches dedupe work and the client sees the first
+//!   result before the last cell has even started.
 //! * `GET /grid` — the committed `bench_grid.json`
 //!   (`?regenerate=1&scale=<f>` re-sweeps it first).
 //! * `GET /trace?cell=<i>` — replay one grid cell with telemetry and
 //!   stream its Perfetto trace (`&format=rollup` for per-epoch JSONL)
 //!   with chunked transfer encoding.
 //! * `POST /shutdown` — graceful stop; in-flight work drains first.
+//!
+//! Result lookups go memory cache → disk cache → simulate: when
+//! [`ServiceConfig::disk_dir`] is set, every fresh result is persisted
+//! write-behind by [`crate::disk::DiskCache`], so a restart comes up
+//! warm and a completed sweep serves the whole grid with zero
+//! simulations.
 //!
 //! Fault isolation: `/run` simulations execute under `catch_unwind`
 //! with the configured wall-clock watchdog, so a panicking or hung
@@ -27,7 +38,8 @@
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use warped_bench::grid::GridTable;
@@ -40,7 +52,8 @@ use warped_sim::parallel::{panic_message, worker_count};
 use warped_telemetry::{perfetto, rollup, Recorder, RecorderConfig};
 use warped_workloads::Benchmark;
 
-use crate::cache::ResultCache;
+use crate::cache::{Outcome, ResultCache};
+use crate::disk::DiskCache;
 use crate::http::{write_response, ChunkedWriter, Request};
 use crate::json::{self, JsonValue};
 use crate::metrics::Metrics;
@@ -57,6 +70,13 @@ pub struct ServiceConfig {
     /// Workload scale for `/trace` replays (full-scale traces are
     /// hundreds of MB; the default keeps a stream interactive).
     pub trace_scale: f64,
+    /// Root directory for the persistent warm cache; `None` keeps the
+    /// cache memory-only.
+    pub disk_dir: Option<PathBuf>,
+    /// Byte budget for the on-disk cache.
+    pub disk_cache_bytes: u64,
+    /// Hard cap on cells per `/sweep` batch.
+    pub max_sweep_cells: usize,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +86,9 @@ impl Default for ServiceConfig {
             cache_bytes: 64 << 20,
             job_timeout: Some(Duration::from_secs(600)),
             trace_scale: 0.1,
+            disk_dir: None,
+            disk_cache_bytes: 256 << 20,
+            max_sweep_cells: 4096,
         }
     }
 }
@@ -85,6 +108,9 @@ pub struct Service {
     config: ServiceConfig,
     /// The content-addressed result cache.
     pub cache: ResultCache,
+    /// The persistent warm cache, when [`ServiceConfig::disk_dir`] is
+    /// set and the directory opened cleanly.
+    pub disk: Option<DiskCache>,
     /// Service counters.
     pub metrics: Metrics,
     /// Serialises `/grid?regenerate=1` sweeps (they share an out-dir).
@@ -130,6 +156,12 @@ impl RunRequest {
     fn parse(body: &[u8]) -> Result<RunRequest, String> {
         let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
         let doc = json::parse(text).map_err(|e| e.to_string())?;
+        RunRequest::from_value(&doc)
+    }
+
+    /// Validates one already-parsed cell object (`/sweep` reuses this
+    /// per array element).
+    fn from_value(doc: &JsonValue) -> Result<RunRequest, String> {
         for key in doc.keys() {
             if !matches!(
                 key,
@@ -180,6 +212,41 @@ impl RunRequest {
             params,
         })
     }
+}
+
+/// Parses a `/sweep` body into validated cells. Accepts a bare array
+/// or `{"cells":[...]}`; every element must be a valid `/run` body,
+/// and the batch must be non-empty and under the configured cap.
+fn parse_sweep_cells(body: &[u8], max_cells: usize) -> Result<Vec<RunRequest>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let items = match &doc {
+        JsonValue::Arr(items) => items,
+        JsonValue::Obj(_) => {
+            if let Some(key) = doc.keys().iter().find(|k| **k != "cells") {
+                return Err(format!("unknown field \"{key}\""));
+            }
+            match doc.get("cells") {
+                Some(JsonValue::Arr(items)) => items,
+                _ => return Err("missing or non-array field \"cells\"".to_owned()),
+            }
+        }
+        _ => return Err("expected an array of cells or {\"cells\":[...]}".to_owned()),
+    };
+    if items.is_empty() {
+        return Err("sweep needs at least one cell".to_owned());
+    }
+    if items.len() > max_cells {
+        return Err(format!(
+            "too many cells ({} > the {max_cells} cap)",
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| RunRequest::from_value(v).map_err(|e| format!("cells[{i}]: {e}")))
+        .collect()
 }
 
 /// Renders the canonical report JSON for one completed run. Field
@@ -240,8 +307,21 @@ impl Service {
         // Shard count scales with the worker pool: enough that
         // concurrent distinct cells rarely contend on one lock.
         let shards = (worker_count() * 2).next_power_of_two();
+        // A broken cache directory degrades to memory-only service
+        // rather than refusing to start.
+        let disk = config.disk_dir.as_ref().and_then(|root| {
+            DiskCache::open(root, config.disk_cache_bytes)
+                .map_err(|e| {
+                    eprintln!(
+                        "warped-serve: disk cache at {} disabled: {e}",
+                        root.display()
+                    );
+                })
+                .ok()
+        });
         Service {
             cache: ResultCache::new(shards, config.cache_bytes),
+            disk,
             metrics: Metrics::default(),
             regen: Mutex::new(()),
             config,
@@ -256,41 +336,65 @@ impl Service {
 
     /// Routes one request and writes the complete response.
     ///
+    /// `keep_alive` is what the response promises the client in its
+    /// `Connection` header — the transport decides it (client wish ∧
+    /// server policy) and must honor the same verdict after writing.
+    ///
     /// # Errors
     ///
     /// Returns transport errors only; application-level trouble is
     /// answered in-band with a typed error body.
-    pub fn handle(&self, req: &Request, out: &mut dyn Write) -> io::Result<Handled> {
-        self.metrics
-            .requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    pub fn handle(
+        &self,
+        req: &Request,
+        out: &mut dyn Write,
+        keep_alive: bool,
+    ) -> io::Result<Handled> {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let handled = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => {
-                self.respond(out, 200, "text/plain; charset=utf-8", b"ok\n")?;
+                self.respond(out, 200, "text/plain; charset=utf-8", b"ok\n", keep_alive)?;
                 Handled::Normal
             }
             ("GET", "/metrics") => {
-                let page = self.metrics.render(&self.cache);
-                self.respond(out, 200, "text/plain; charset=utf-8", page.as_bytes())?;
+                let page = self.metrics.render(&self.cache, self.disk.as_ref());
+                self.respond(
+                    out,
+                    200,
+                    "text/plain; charset=utf-8",
+                    page.as_bytes(),
+                    keep_alive,
+                )?;
                 Handled::Normal
             }
             ("POST", "/run") => {
-                self.run(req, out)?;
+                self.run(req, out, keep_alive)?;
+                Handled::Normal
+            }
+            ("POST", "/sweep") => {
+                self.sweep(req, out, keep_alive)?;
                 Handled::Normal
             }
             ("GET", "/grid") => {
-                self.grid(req, out)?;
+                self.grid(req, out, keep_alive)?;
                 Handled::Normal
             }
             ("GET", "/trace") => {
-                self.trace(req, out)?;
+                self.trace(req, out, keep_alive)?;
                 Handled::Normal
             }
             ("POST", "/shutdown") => {
-                self.respond(out, 200, "application/json", b"{\"shutting_down\":true}\n")?;
+                // The server is about to stop; never promise reuse.
+                self.respond(
+                    out,
+                    200,
+                    "application/json",
+                    b"{\"shutting_down\":true}\n",
+                    false,
+                )?;
                 Handled::ShutdownRequested
             }
-            (_, "/healthz" | "/metrics" | "/run" | "/grid" | "/trace" | "/shutdown") => {
+            (_, "/healthz" | "/metrics" | "/run" | "/sweep" | "/grid" | "/trace" | "/shutdown") => {
                 self.respond(
                     out,
                     405,
@@ -299,6 +403,7 @@ impl Service {
                         "method_not_allowed",
                         &format!("{} not allowed here", req.method),
                     ),
+                    keep_alive,
                 )?;
                 Handled::Normal
             }
@@ -308,6 +413,7 @@ impl Service {
                     404,
                     "application/json",
                     &error_body("not_found", &format!("no route for {path}")),
+                    keep_alive,
                 )?;
                 Handled::Normal
             }
@@ -321,25 +427,18 @@ impl Service {
         status: u16,
         content_type: &str,
         body: &[u8],
+        keep_alive: bool,
     ) -> io::Result<()> {
         self.metrics.count_status(status);
-        write_response(out, status, content_type, body)
+        write_response(out, status, content_type, body, keep_alive)
     }
 
-    /// `POST /run`: validate, fingerprint, serve through the
-    /// single-flight cache, fault-isolate the simulation.
-    fn run(&self, req: &Request, out: &mut dyn Write) -> io::Result<()> {
-        let run_req = match RunRequest::parse(&req.body) {
-            Ok(r) => r,
-            Err(message) => {
-                return self.respond(
-                    out,
-                    400,
-                    "application/json",
-                    &error_body("bad_request", &message),
-                );
-            }
-        };
+    /// Computes (or fetches) one cell's canonical report bytes,
+    /// looking up memory cache → disk cache → simulate. A fresh result
+    /// is persisted write-behind when persistence is on. Errors carry
+    /// a `kind\u{1f}message` tag; the returned flag is true when this
+    /// call ran a fresh simulation (false: some cache layer answered).
+    fn run_cell(&self, run_req: &RunRequest) -> (Result<Arc<Vec<u8>>, String>, bool) {
         // Constructing the experiment validates the gating parameters,
         // which panics on out-of-range values (e.g. bet = 0) — fault
         // isolation starts here, not at the simulation.
@@ -354,57 +453,168 @@ impl Service {
         let (experiment, fingerprint) = match built {
             Ok(pair) => pair,
             Err(payload) => {
-                self.metrics
-                    .panicked_cells
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return self.respond(
-                    out,
-                    500,
-                    "application/json",
-                    &error_body("panic", &panic_message(payload.as_ref())),
+                self.metrics.panicked_cells.fetch_add(1, Ordering::Relaxed);
+                return (
+                    Err(format!("panic\u{1f}{}", panic_message(payload.as_ref()))),
+                    false,
                 );
             }
         };
 
-        let (result, _outcome) = self.cache.get_or_compute(fingerprint, || {
+        let mut simulated = false;
+        let (result, outcome) = self.cache.get_or_compute(fingerprint, || {
+            if let Some(disk) = &self.disk {
+                if let Some(bytes) = disk.get(fingerprint) {
+                    return Ok(bytes);
+                }
+            }
             let _guard = self.metrics.job_started();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 experiment.run(&spec, run_req.technique)
             }));
             match outcome {
                 Err(payload) => {
-                    self.metrics
-                        .panicked_cells
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.panicked_cells.fetch_add(1, Ordering::Relaxed);
                     Err(format!("panic\u{1f}{}", panic_message(payload.as_ref())))
                 }
                 Ok(run) if run.timed_out => {
-                    self.metrics
-                        .timed_out_cells
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.timed_out_cells.fetch_add(1, Ordering::Relaxed);
                     Err(format!(
                         "timeout\u{1f}cell exceeded the wall-clock budget ({:?})",
                         self.config.job_timeout
                     ))
                 }
                 Ok(run) => {
+                    simulated = true;
+                    self.metrics.simulations.fetch_add(1, Ordering::Relaxed);
                     self.metrics.record_core_counters(&run.stats);
-                    Ok(render_run(&run_req, fingerprint, &run))
+                    Ok(render_run(run_req, fingerprint, &run))
                 }
             }
         });
+        // Persist only what this call materialised: hits already live
+        // on disk (or deliberately don't), and `put` is cheap but not
+        // free. A disk hit re-entering `put` is deduped by the index.
+        if outcome == Outcome::Miss {
+            if let (Some(disk), Ok(bytes)) = (&self.disk, &result) {
+                disk.put(fingerprint, Arc::clone(bytes));
+            }
+        }
+        (result, simulated)
+    }
 
+    /// `POST /run`: validate, fingerprint, serve through the
+    /// single-flight cache, fault-isolate the simulation.
+    fn run(&self, req: &Request, out: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
+        let run_req = match RunRequest::parse(&req.body) {
+            Ok(r) => r,
+            Err(message) => {
+                return self.respond(
+                    out,
+                    400,
+                    "application/json",
+                    &error_body("bad_request", &message),
+                    keep_alive,
+                );
+            }
+        };
+        let (result, _) = self.run_cell(&run_req);
         match result {
-            Ok(bytes) => self.respond(out, 200, "application/json", &bytes),
+            Ok(bytes) => self.respond(out, 200, "application/json", &bytes, keep_alive),
             Err(tagged) => {
                 let (kind, message) = tagged.split_once('\u{1f}').unwrap_or(("panic", &tagged));
-                self.respond(out, 500, "application/json", &error_body(kind, message))
+                self.respond(
+                    out,
+                    500,
+                    "application/json",
+                    &error_body(kind, message),
+                    keep_alive,
+                )
             }
         }
     }
 
+    /// `POST /sweep`: a batch of cells (`[{...},...]` or
+    /// `{"cells":[...]}`), streamed back as chunked JSONL in
+    /// completion order. Each line is `{"index":i,"report":{...}}` or
+    /// `{"index":i,"error":{"kind":...,"message":...}}`, where `index`
+    /// is the cell's position in the request array — the report bytes
+    /// are exactly what `/run` answers for that cell.
+    ///
+    /// Validation is all-or-nothing *before* any work starts: one bad
+    /// cell fails the whole batch with a `400` naming it, so a client
+    /// can't burn a long sweep only to find a typo'd tail.
+    fn sweep(&self, req: &Request, out: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
+        let cells = match parse_sweep_cells(&req.body, self.config.max_sweep_cells) {
+            Ok(cells) => cells,
+            Err(message) => {
+                return self.respond(
+                    out,
+                    400,
+                    "application/json",
+                    &error_body("bad_request", &message),
+                    keep_alive,
+                );
+            }
+        };
+        self.metrics
+            .sweep_cells
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+
+        self.metrics.count_status(200);
+        let mut cw = ChunkedWriter::begin(out, 200, "application/jsonl", keep_alive)?;
+        let next = AtomicUsize::new(0);
+        let threads = cells.len().min(worker_count()).max(1);
+        let (tx, rx) = mpsc::channel::<(usize, Result<Arc<Vec<u8>>, String>, bool)>();
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (next, cells) = (&next, &cells);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let (result, simulated) = self.run_cell(cell);
+                    // A send error means the client hung up and the
+                    // streaming loop bailed: stop pulling cells.
+                    if tx.send((i, result, simulated)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result, simulated) in rx {
+                if !simulated {
+                    self.metrics
+                        .sweep_cells_deduped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let line = match result {
+                    Ok(bytes) => {
+                        let report = String::from_utf8_lossy(&bytes);
+                        format!("{{\"index\":{i},\"report\":{}}}\n", report.trim_end())
+                    }
+                    Err(tagged) => {
+                        let (kind, message) =
+                            tagged.split_once('\u{1f}').unwrap_or(("panic", &tagged));
+                        format!(
+                            "{{\"index\":{i},\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}\n",
+                            json::escape(kind),
+                            json::escape(message)
+                        )
+                    }
+                };
+                // Flush per line so the client sees each result the
+                // moment it lands, not when the OS buffer fills.
+                cw.chunk(line.as_bytes())?;
+                cw.flush()?;
+            }
+            Ok(())
+        })?;
+        cw.finish()
+    }
+
     /// `GET /grid`: the committed sweep table, optionally regenerated.
-    fn grid(&self, req: &Request, out: &mut dyn Write) -> io::Result<()> {
+    fn grid(&self, req: &Request, out: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
         if req.query_param("regenerate") == Some("1") {
             let scale = match req.query_param("scale").map(str::parse::<f64>) {
                 None => 1.0,
@@ -415,6 +625,7 @@ impl Service {
                         400,
                         "application/json",
                         &error_body("bad_request", "\"scale\" must be a number in (0,1]"),
+                        keep_alive,
                     );
                 }
             };
@@ -438,6 +649,7 @@ impl Service {
                             "sweep_failed",
                             &format!("{} grid cells failed", summary.failures.len()),
                         ),
+                        keep_alive,
                     );
                 }
                 Err(e) => {
@@ -446,6 +658,7 @@ impl Service {
                         500,
                         "application/json",
                         &error_body("io", &e.to_string()),
+                        keep_alive,
                     );
                 }
             }
@@ -460,9 +673,10 @@ impl Service {
                         500,
                         "application/json",
                         &error_body("bad_grid", &e.to_string()),
+                        keep_alive,
                     );
                 }
-                self.respond(out, 200, "application/json", &bytes)
+                self.respond(out, 200, "application/json", &bytes, keep_alive)
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => self.respond(
                 out,
@@ -475,12 +689,14 @@ impl Service {
                         self.config.grid_path.display()
                     ),
                 ),
+                keep_alive,
             ),
             Err(e) => self.respond(
                 out,
                 500,
                 "application/json",
                 &error_body("io", &e.to_string()),
+                keep_alive,
             ),
         }
     }
@@ -488,7 +704,7 @@ impl Service {
     /// `GET /trace?cell=<i>[&format=perfetto|rollup][&scale=<f>]`:
     /// replay one grid cell with telemetry and stream the export with
     /// chunked transfer encoding.
-    fn trace(&self, req: &Request, out: &mut dyn Write) -> io::Result<()> {
+    fn trace(&self, req: &Request, out: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
         let jobs = runner::full_grid();
         let cell = match req.query_param("cell").map(str::parse::<usize>) {
             Some(Ok(i)) if i < jobs.len() => i,
@@ -501,6 +717,7 @@ impl Service {
                         "bad_request",
                         &format!("\"cell\" must be a grid index below {}", jobs.len()),
                     ),
+                    keep_alive,
                 );
             }
         };
@@ -513,6 +730,7 @@ impl Service {
                     400,
                     "application/json",
                     &error_body("bad_request", "\"scale\" must be a number in (0,1]"),
+                    keep_alive,
                 );
             }
         };
@@ -523,6 +741,7 @@ impl Service {
                 400,
                 "application/json",
                 &error_body("bad_request", "\"format\" must be perfetto or rollup"),
+                keep_alive,
             );
         }
 
@@ -543,14 +762,13 @@ impl Service {
         let run = match outcome {
             Ok(run) => run,
             Err(payload) => {
-                self.metrics
-                    .panicked_cells
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.panicked_cells.fetch_add(1, Ordering::Relaxed);
                 return self.respond(
                     out,
                     500,
                     "application/json",
                     &error_body("panic", &panic_message(payload.as_ref())),
+                    keep_alive,
                 );
             }
         };
@@ -571,7 +789,7 @@ impl Service {
             "perfetto" => {
                 let title = format!("{label} @ scale {scale}");
                 let trace = perfetto::render(&log, run.stats.layout, &title);
-                let mut cw = ChunkedWriter::begin(out, 200, "application/json")?;
+                let mut cw = ChunkedWriter::begin(out, 200, "application/json", keep_alive)?;
                 for piece in trace.as_bytes().chunks(64 * 1024) {
                     cw.chunk(piece)?;
                 }
@@ -579,7 +797,7 @@ impl Service {
             }
             _ => {
                 let rows = rollup::rows(&log);
-                let mut cw = ChunkedWriter::begin(out, 200, "application/jsonl")?;
+                let mut cw = ChunkedWriter::begin(out, 200, "application/jsonl", keep_alive)?;
                 for row in &rows {
                     cw.chunk(row.to_json().as_bytes())?;
                     cw.chunk(b"\n")?;
@@ -609,6 +827,7 @@ mod tests {
                 .collect(),
             headers: Vec::new(),
             body: Vec::new(),
+            keep_alive: true,
         }
     }
 
@@ -629,7 +848,7 @@ mod tests {
 
     fn dispatch(service: &Service, req: &Request) -> (u16, String, Handled) {
         let mut wire = Vec::new();
-        let handled = service.handle(req, &mut wire).unwrap();
+        let handled = service.handle(req, &mut wire, true).unwrap();
         let text = String::from_utf8_lossy(&wire).into_owned();
         let status: u16 = text
             .split(' ')
@@ -742,6 +961,129 @@ mod tests {
         let (status, _, _) = dispatch(&service, &post("/run", body));
         assert_eq!(status, 500);
         assert_eq!(service.cache.misses(), 0);
+    }
+
+    /// De-chunks a chunked body and splits it into JSONL lines.
+    fn jsonl_lines(body: &str) -> Vec<String> {
+        let mut data = String::new();
+        let mut rest = body;
+        loop {
+            let (size, tail) = rest.split_once("\r\n").expect("chunk size line");
+            let size = usize::from_str_radix(size, 16).expect("hex chunk size");
+            if size == 0 {
+                break;
+            }
+            data.push_str(&tail[..size]);
+            rest = &tail[size + 2..]; // skip payload + CRLF
+        }
+        data.lines().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn sweep_streams_every_cell_and_dedupes_against_run() {
+        let service = quick_service();
+        // Warm one of the two cells through /run first.
+        let (status, single, _) = dispatch(
+            &service,
+            &post(
+                "/run",
+                "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05}",
+            ),
+        );
+        assert_eq!(status, 200);
+
+        let body = "{\"cells\":[\
+             {\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05},\
+             {\"benchmark\":\"nw\",\"technique\":\"warped-gates\",\"scale\":0.05}]}";
+        let (status, raw, _) = dispatch(&service, &post("/sweep", body));
+        assert_eq!(status, 200);
+        let mut lines = jsonl_lines(&raw);
+        assert_eq!(lines.len(), 2, "{raw:.300}");
+        // Completion order is nondeterministic; sort by index.
+        lines.sort_by_key(|l| !l.contains("\"index\":0"));
+        let first = json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("index").unwrap().as_u64(), Some(0));
+        // The streamed report is byte-identical to the /run body.
+        assert_eq!(
+            format!("{{\"index\":0,\"report\":{}}}", single.trim_end()),
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"technique\":\"Warped Gates\""),
+            "{}",
+            lines[1]
+        );
+
+        let deduped = service.metrics.sweep_cells_deduped.load(Ordering::Relaxed);
+        assert_eq!(deduped, 1, "the /run-warmed cell cost no simulation");
+        assert_eq!(service.metrics.sweep_cells.load(Ordering::Relaxed), 2);
+        assert_eq!(service.metrics.simulations.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_batches_before_any_work() {
+        let service = quick_service();
+        for (body, want) in [
+            ("", "expected a JSON value"),
+            ("{\"cells\":[]}", "at least one cell"),
+            ("{\"cells\":7}", "non-array"),
+            ("{\"cellz\":[]}", "unknown field"),
+            ("7", "expected an array"),
+            (
+                "[{\"benchmark\":\"nw\",\"technique\":\"baseline\"},{\"benchmark\":\"nope\",\"technique\":\"baseline\"}]",
+                "cells[1]: unknown benchmark",
+            ),
+        ] {
+            let (status, response, _) = dispatch(&service, &post("/sweep", body));
+            assert_eq!(status, 400, "{body} should be rejected: {response}");
+            assert!(response.contains(want), "{body}: {response}");
+        }
+        assert_eq!(service.cache.misses(), 0, "no simulation ran");
+    }
+
+    #[test]
+    fn sweep_cap_is_enforced() {
+        let service = Service::new(ServiceConfig {
+            max_sweep_cells: 1,
+            ..ServiceConfig::default()
+        });
+        let body = "[{\"benchmark\":\"nw\",\"technique\":\"baseline\"},\
+                     {\"benchmark\":\"nw\",\"technique\":\"blackout\"}]";
+        let (status, response, _) = dispatch(&service, &post("/sweep", body));
+        assert_eq!(status, 400);
+        assert!(response.contains("too many cells"), "{response}");
+    }
+
+    #[test]
+    fn disk_cache_survives_a_service_restart_with_zero_simulations() {
+        let root = std::env::temp_dir().join(format!("warped_service_disk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = ServiceConfig {
+            trace_scale: 0.05,
+            disk_dir: Some(root.clone()),
+            ..ServiceConfig::default()
+        };
+        let body = "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05}";
+        let first = {
+            let service = Service::new(config.clone());
+            let (status, body_text, _) = dispatch(&service, &post("/run", body));
+            assert_eq!(status, 200);
+            assert_eq!(service.metrics.simulations.load(Ordering::Relaxed), 1);
+            service.disk.as_ref().unwrap().flush();
+            body_text
+        };
+        // A fresh Service (fresh memory cache) must answer from disk.
+        let service = Service::new(config);
+        let (status, second, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 200);
+        assert_eq!(first, second, "disk round-trip is byte-identical");
+        assert_eq!(
+            service.metrics.simulations.load(Ordering::Relaxed),
+            0,
+            "restart answers warm"
+        );
+        assert_eq!(service.disk.as_ref().unwrap().hits(), 1);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

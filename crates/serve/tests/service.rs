@@ -1,9 +1,14 @@
 //! End-to-end tests over a real socket: ephemeral port, concurrent
-//! clients, fault isolation, graceful shutdown.
+//! clients, fault isolation, graceful shutdown, keep-alive reuse,
+//! pipelining, `/sweep` streaming, and disk-cache warm restarts.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use warped_serve::client::Client;
 use warped_serve::{client, spawn, ServerConfig, ServerHandle, ServiceConfig};
 
 fn test_server() -> ServerHandle {
@@ -178,4 +183,179 @@ fn graceful_shutdown_drains_in_flight_requests() {
 
     // The listener is gone.
     assert!(client::get(addr, "/healthz").is_err());
+}
+
+#[test]
+fn keep_alive_reuses_one_socket_across_sequential_requests() {
+    let mut server = test_server();
+    let addr = server.addr();
+    let body = r#"{"benchmark":"nw","technique":"baseline","scale":0.05}"#;
+
+    let mut keep_alive = Client::new(addr);
+    let first = keep_alive.post_json("/run", body).expect("request");
+    assert_eq!(first.status, 200, "{}", first.text());
+    for _ in 0..9 {
+        let next = keep_alive.post_json("/run", body).expect("request");
+        assert_eq!(next.body, first.body);
+    }
+    assert_eq!(
+        keep_alive.connected(),
+        1,
+        "ten requests must share one socket"
+    );
+    assert_eq!(keep_alive.reused(), 9);
+
+    // The escape hatch really does dial per request.
+    let mut per_request = Client::new(addr).with_keep_alive(false);
+    for _ in 0..3 {
+        assert_eq!(per_request.get("/healthz").expect("request").status, 200);
+    }
+    assert_eq!(per_request.connected(), 3);
+    assert_eq!(per_request.reused(), 0);
+
+    // The server counted the reuse too.
+    let page = keep_alive.get("/metrics").expect("metrics").text();
+    assert!(
+        page.contains("warped_serve_connections_reused_total 1"),
+        "one persistent connection went multi-request:\n{page}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn two_requests_in_one_tcp_segment_are_both_answered() {
+    let mut server = test_server();
+    let addr = server.addr();
+
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    // Two full requests in a single write; the second closes.
+    raw.write_all(
+        b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+          GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    )
+    .expect("write");
+    let mut wire = String::new();
+    raw.read_to_string(&mut wire).expect("read both responses");
+    assert_eq!(
+        wire.matches("HTTP/1.1 200 OK").count(),
+        2,
+        "both pipelined requests answered in order:\n{wire}"
+    );
+    assert_eq!(wire.matches("\r\n\r\nok\n").count(), 2);
+    drop(raw);
+
+    let page = client::get(addr, "/metrics").expect("metrics").text();
+    assert!(
+        page.contains("warped_serve_pipelined_requests_total 1"),
+        "the second request was served from the read buffer:\n{page}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn sweep_streams_jsonl_over_tcp_in_completion_order() {
+    let mut server = test_server();
+    let addr = server.addr();
+    let sweep = r#"{"cells":[
+        {"benchmark":"nw","technique":"baseline","scale":0.05},
+        {"benchmark":"nw","technique":"warped-gates","scale":0.05},
+        {"benchmark":"nw","technique":"baseline","scale":0.05}
+    ]}"#;
+
+    let mut client = Client::new(addr);
+    let mut lines = Vec::new();
+    let status = client
+        .post_stream_lines("/sweep", sweep, |line| lines.push(line.to_owned()))
+        .expect("sweep");
+    assert_eq!(status, 200);
+    assert_eq!(lines.len(), 3, "one JSONL line per cell: {lines:?}");
+
+    // Completion order is arbitrary; every index must appear once and
+    // identical cells must produce byte-identical reports.
+    let mut by_index = vec![None; 3];
+    for line in &lines {
+        let doc = warped_serve::json::parse(line).expect("valid JSON line");
+        let index = doc.get("index").and_then(|v| v.as_u64()).unwrap() as usize;
+        assert!(line.contains("\"cycles\":"), "{line}");
+        assert!(by_index[index].replace(line.clone()).is_none());
+    }
+    let report_of = |i: usize| {
+        let line = by_index[i].as_ref().unwrap();
+        line.split_once("\"report\":").unwrap().1.to_owned()
+    };
+    assert_eq!(report_of(0), report_of(2), "duplicate cells coalesce");
+    assert!(report_of(1).contains("\"technique\":\"Warped Gates\""));
+
+    // Three cells entered the sweep, one was a duplicate: two
+    // simulations, one dedup.
+    let page = client.get("/metrics").expect("metrics").text();
+    assert!(page.contains("warped_serve_sweep_cells_total 3"), "{page}");
+    assert!(
+        page.contains("warped_serve_sweep_cells_deduped_total 1"),
+        "{page}"
+    );
+    assert!(page.contains("warped_serve_simulations_total 2"), "{page}");
+
+    server.shutdown();
+}
+
+#[test]
+fn restart_over_the_same_cache_dir_serves_from_disk() {
+    let dir = std::env::temp_dir().join(format!("warped_serve_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        service: ServiceConfig {
+            trace_scale: 0.05,
+            disk_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let body = r#"{"benchmark":"nw","technique":"gates","scale":0.05}"#;
+
+    // First life: simulate once, persist write-behind, flush on the
+    // way down.
+    let mut server = spawn(config()).expect("bind");
+    let first = client::post_json(server.addr(), "/run", body).expect("request");
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(
+        server.service().metrics.simulations.load(Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+    server
+        .service()
+        .disk
+        .as_ref()
+        .expect("disk enabled")
+        .flush();
+    drop(server);
+
+    // Second life: same bytes, zero simulations, one disk hit.
+    let mut server = spawn(config()).expect("bind");
+    let warm = client::post_json(server.addr(), "/run", body).expect("request");
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.body, first.body,
+        "disk-cached bytes must be identical across restarts"
+    );
+    assert_eq!(
+        server.service().metrics.simulations.load(Ordering::Relaxed),
+        0
+    );
+    let page = client::get(server.addr(), "/metrics")
+        .expect("metrics")
+        .text();
+    assert!(
+        page.contains("warped_serve_disk_cache_hits_total 1"),
+        "{page}"
+    );
+    assert!(page.contains("warped_serve_simulations_total 0"), "{page}");
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

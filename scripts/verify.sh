@@ -189,5 +189,115 @@ wait "$serve_pid"
 serve_pid=""
 echo "serve smoke passed: healthy, grid-consistent, cached, clean shutdown"
 
+step "serving tier (/sweep vs grid, loadgen keep-alive A/B, warm restart from disk)"
+# A fresh server with the persistent cache enabled. Three identical
+# concurrent full-grid sweeps must stream back cycles byte-identical
+# to the checked-in grid while costing exactly one simulation per
+# cell; loadgen then hammers the warm cache and must show keep-alive
+# beating per-request connections by >= 2x; finally a restart over the
+# same cache dir must answer the whole grid from disk with zero
+# simulations.
+start_serve() {
+    servelog="$outdir/serve_tier.log"
+    : >"$servelog"
+    cargo run --release -q -p warped-serve --bin warped-serve -- \
+        --addr 127.0.0.1:0 --cache-dir "$outdir/warm_cache" >"$servelog" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$servelog" 2>/dev/null && break
+        sleep 0.1
+    done
+    port="$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$servelog")"
+    test -n "$port" || { echo "verify: FAIL — serve never bound a port" >&2; exit 1; }
+}
+sweep_check() { # $1 = port, $2 = concurrent sweeps, $3 = expected simulations
+    python3 - "$1" "$2" "$3" <<'PY'
+import json, sys, threading, urllib.request
+
+port, concurrency, want_sims = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+base = f"http://127.0.0.1:{port}"
+grid = json.load(open("results/bench_grid.json"))
+rows = [r for r in grid["rows"] if not r["label"].startswith("TOTAL")]
+cells = [
+    {"benchmark": r["label"].split("/")[0], "technique": r["label"].split("/")[1]}
+    for r in rows
+]
+body = json.dumps({"cells": cells}).encode()
+
+def sweep(out):
+    req = urllib.request.Request(
+        base + "/sweep", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=3600) as resp:
+        assert resp.status == 200, resp.status
+        out.extend(json.loads(line) for line in resp if line.strip())
+
+streams = [[] for _ in range(concurrency)]
+threads = [threading.Thread(target=sweep, args=(s,)) for s in streams]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+for lines in streams:
+    assert len(lines) == len(cells), f"{len(lines)} lines for {len(cells)} cells"
+    for line in lines:
+        assert "error" not in line, line
+        row = rows[line["index"]]
+        got = line["report"]["cycles"]
+        assert got == int(row["values"][0]), (row["label"], got, row["values"])
+        assert line["report"]["ff_cycles"] == int(row["values"][1]), row["label"]
+
+metrics = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+counters = {
+    line.split()[0]: int(line.split()[1])
+    for line in metrics.splitlines()
+    if line and not line.startswith("#")
+}
+sims = counters["warped_serve_simulations_total"]
+assert sims == want_sims, f"{sims} simulations, wanted {want_sims}"
+swept = counters["warped_serve_sweep_cells_total"]
+assert swept == concurrency * len(cells), (swept, concurrency, len(cells))
+deduped = counters["warped_serve_sweep_cells_deduped_total"]
+assert deduped == swept - want_sims, (deduped, swept, want_sims)
+if want_sims == 0:
+    disk_hits = counters["warped_serve_disk_cache_hits_total"]
+    assert disk_hits == len(cells), f"{disk_hits} disk hits for {len(cells)} cells"
+print(
+    f"{concurrency} sweep(s) x {len(cells)} cells match the grid bit for bit "
+    f"({sims} simulations, {deduped} deduped)"
+)
+PY
+}
+stop_serve() {
+    python3 -c "import sys, urllib.request; urllib.request.urlopen(
+        urllib.request.Request(f'http://127.0.0.1:{sys.argv[1]}/shutdown', data=b''),
+        timeout=10)" "$1"
+    wait "$serve_pid"
+    serve_pid=""
+}
+
+start_serve
+sweep_check "$port" 3 108
+time cargo run --release -q -p warped-serve --bin loadgen -- \
+    --addr "127.0.0.1:$port" --scale 1 --check-grid results/bench_grid.json \
+    --connections 6 --requests 600 --out "$outdir/serve_bench"
+python3 - "$outdir/serve_bench/bench_serve.json" <<'PY'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+rates = {row["label"]: row["values"][0] for row in bench["rows"]}
+ratio = rates["keep-alive"] / rates["per-request"]
+assert ratio >= 2.0, f"keep-alive only {ratio:.2f}x per-request req/s: {rates}"
+print(f"keep-alive {rates['keep-alive']:.0f} req/s = "
+      f"{ratio:.1f}x per-request {rates['per-request']:.0f} req/s")
+PY
+stop_serve "$port"
+
+start_serve
+sweep_check "$port" 1 0
+stop_serve "$port"
+echo "serving tier passed: grid-faithful sweeps, keep-alive win, warm restart from disk"
+
 echo
 echo "verify: all checks passed"
