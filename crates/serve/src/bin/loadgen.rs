@@ -23,6 +23,15 @@
 //! against a committed grid table: every cell's `cycles` must match
 //! the table's row bit-for-bit (only meaningful with `--scale 1`,
 //! the scale the grid was generated at).
+//!
+//! `--cluster <a,b,c>` switches to cluster mode: the mix is swept
+//! through the resilient [`ClusterClient`] (consistent-hash routing,
+//! replica retries, straggler hedging) against the named peers
+//! instead of the closed-loop A/B, and the cluster counters are
+//! printed at the end. `--chaos <seed>` additionally injects one
+//! seeded fault (kill/stall/error on a deterministic victim and
+//! schedule, via `POST /chaos`) while the sweep runs — equal seeds
+//! reproduce the exact same fault.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
@@ -35,12 +44,14 @@ use warped_bench::timing::percentile;
 use warped_bench::{exit_usage, write_json, ArgError};
 use warped_gates::Technique;
 use warped_serve::client::Client;
+use warped_serve::cluster::{cell_for, chaos_plan, Cluster, ClusterClient, ClusterConfig};
 use warped_serve::{json, spawn, ServerConfig};
 use warped_workloads::Benchmark;
 
 const USAGE: &str = "usage: loadgen [--addr <host:port>] [--connections <n>] \
                      [--requests <n>] [--scale <f>] [--cells <n>] \
-                     [--no-keepalive] [--out <dir>] [--check-grid <path>]";
+                     [--no-keepalive] [--out <dir>] [--check-grid <path>] \
+                     [--cluster <addr,addr,...>] [--chaos <seed>]";
 
 struct Args {
     addr: Option<String>,
@@ -51,6 +62,8 @@ struct Args {
     no_keepalive: bool,
     out: PathBuf,
     check_grid: Option<PathBuf>,
+    cluster: Option<Vec<String>>,
+    chaos: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, ArgError> {
@@ -63,6 +76,8 @@ fn parse_args(args: &[String]) -> Result<Args, ArgError> {
         no_keepalive: false,
         out: PathBuf::from("results"),
         check_grid: None,
+        cluster: None,
+        chaos: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -102,6 +117,31 @@ fn parse_args(args: &[String]) -> Result<Args, ArgError> {
             "--no-keepalive" => parsed.no_keepalive = true,
             "--out" => parsed.out = PathBuf::from(value_of("--out")?),
             "--check-grid" => parsed.check_grid = Some(PathBuf::from(value_of("--check-grid")?)),
+            "--cluster" => {
+                let raw = value_of("--cluster")?;
+                let peers: Vec<String> = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if peers.is_empty() {
+                    return Err(ArgError::BadValue {
+                        flag: "--cluster".to_owned(),
+                        value: raw.clone(),
+                        expected: "a comma-separated list of host:port addresses",
+                    });
+                }
+                parsed.cluster = Some(peers);
+            }
+            "--chaos" => {
+                let raw = value_of("--chaos")?;
+                parsed.chaos = Some(raw.parse::<u64>().ok().ok_or_else(|| ArgError::BadValue {
+                    flag: "--chaos".to_owned(),
+                    value: raw.clone(),
+                    expected: "a seed (non-negative integer)",
+                })?);
+            }
             other => return Err(ArgError::Unknown(other.to_owned())),
         }
     }
@@ -282,6 +322,100 @@ fn check_grid(path: &PathBuf, mix: &[Cell], cycles: &[Option<u64>]) -> Result<()
     Ok(())
 }
 
+/// Cluster mode: sweep the mix through the resilient client (with an
+/// optional seeded fault injection racing it), verify against the grid
+/// when asked, and print the resilience counters.
+fn run_cluster(args: &Args, peers: &[String], mix: &[Cell]) -> Result<(), String> {
+    let cluster = Cluster::new(&ClusterConfig {
+        peers: peers.to_vec(),
+        self_addr: None,
+        probe_interval: Some(Duration::from_millis(250)),
+        ..ClusterConfig::default()
+    })?;
+    let node_count = cluster.nodes().len();
+    let victims: Vec<SocketAddr> = (0..node_count).map(|i| cluster.addr(i)).collect();
+    let client = ClusterClient::new(cluster, args.chaos.unwrap_or(0x10AD_BEEF));
+
+    // The same mix, as routable cells (body + routing fingerprint).
+    let cells: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|b| {
+            Technique::ALL
+                .into_iter()
+                .map(move |t| cell_for(*b, t, args.scale))
+        })
+        .take(mix.len())
+        .collect();
+
+    // Race the seeded fault against the sweep. The injector is its own
+    // thread so the fault lands mid-sweep, like a real node death.
+    let injector = args.chaos.map(|seed| {
+        let plan = chaos_plan(seed, node_count);
+        let victim = victims[plan.victim];
+        println!(
+            "chaos: seed {seed} -> {} on node {} after {:?}",
+            plan.mode.name(),
+            plan.victim,
+            plan.after
+        );
+        std::thread::spawn(move || {
+            std::thread::sleep(plan.after);
+            let body = format!("{{\"mode\":\"{}\"}}", plan.mode.name());
+            match warped_serve::client::post_json(victim, "/chaos", &body) {
+                Ok(r) if r.status == 200 => println!("chaos: fault injected"),
+                Ok(r) => eprintln!("chaos: victim answered {}", r.status),
+                Err(e) => eprintln!("chaos: injection failed: {e}"),
+            }
+            victim
+        })
+    });
+
+    let started = Instant::now();
+    let sweep = client.sweep(&cells);
+    // Clear the fault before judging the sweep, so a failure still
+    // leaves the fleet healthy for shutdown.
+    if let Some(handle) = injector {
+        if let Ok(victim) = handle.join() {
+            let _ = warped_serve::client::post_json(victim, "/chaos", "{\"mode\":\"none\"}");
+        }
+    }
+    let results = sweep?;
+    println!(
+        "cluster sweep: {} cells in {:.2?} across {node_count} nodes",
+        results.len(),
+        started.elapsed()
+    );
+
+    if let Some(path) = &args.check_grid {
+        let cycles: Vec<Option<u64>> = results
+            .iter()
+            .map(|bytes| {
+                json::parse(String::from_utf8_lossy(bytes).trim_end())
+                    .ok()
+                    .and_then(|doc| doc.get("cycles").and_then(json::JsonValue::as_u64))
+            })
+            .collect();
+        if let Some(missing) = cycles.iter().position(Option::is_none) {
+            return Err(format!("cell {missing} returned an unparseable report"));
+        }
+        check_grid(path, mix, &cycles)?;
+    }
+
+    let counters = client.cluster().counters();
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "cluster counters: retries={} hedged={} breaker_open={} peer_unhealthy={} \
+         forwarded={} forward_failures={}",
+        load(&counters.retries),
+        load(&counters.hedged_cells),
+        load(&counters.breaker_open),
+        load(&counters.peer_unhealthy),
+        load(&counters.forwarded_requests),
+        load(&counters.forward_failures),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&raw) {
@@ -291,6 +425,26 @@ fn main() -> ExitCode {
     if args.check_grid.is_some() && args.scale != 1.0 {
         eprintln!("loadgen: --check-grid needs --scale 1 (the grid's scale)");
         return ExitCode::FAILURE;
+    }
+    if args.chaos.is_some() && args.cluster.is_none() {
+        eprintln!("loadgen: --chaos needs --cluster (the fleet to inject into)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(peers) = &args.cluster {
+        let mix = cell_mix(args.scale, args.cells);
+        println!(
+            "loadgen: cluster mode, {} cells @ scale {} over {} peers",
+            mix.len(),
+            args.scale,
+            peers.len()
+        );
+        return match run_cluster(&args, peers, &mix) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("loadgen: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // A server to aim at: the given address, or an in-process one.

@@ -4,25 +4,31 @@
 //! warped-serve [--addr <host:port>] [--workers <n>] [--cache-mb <n>]
 //!              [--grid <path>] [--timeout-secs <n>]
 //!              [--cache-dir <path>] [--disk-cache-mb <n>]
-//!              [--keep-alive-secs <n>]
+//!              [--keep-alive-secs <n>] [--peers <a,b,c>]
 //! ```
 //!
 //! Endpoints: `GET /healthz`, `GET /metrics`, `POST /run`,
-//! `POST /sweep`, `GET /grid`, `GET /trace?cell=<i>`,
+//! `POST /sweep`, `POST /chaos`, `GET /grid`, `GET /trace?cell=<i>`,
 //! `POST /shutdown`. With `--cache-dir`, results persist across
-//! restarts (the warm cache).
+//! restarts (the warm cache). With `--peers` (a comma-separated list
+//! that must include this node's own `--addr`), the node joins a
+//! cluster: the content-addressed cache is partitioned over the peers
+//! by consistent hashing, mis-routed cells are forwarded one hop to
+//! their owner, and peer health is tracked by `/healthz` probes
+//! feeding per-peer circuit breakers.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use warped_bench::{exit_usage, ArgError};
+use warped_serve::cluster::ClusterConfig;
 use warped_serve::{spawn, ServerConfig};
 
 const USAGE: &str = "usage: warped-serve [--addr <host:port>] [--workers <n>] \
                      [--cache-mb <n>] [--grid <path>] [--timeout-secs <n>] \
                      [--cache-dir <path>] [--disk-cache-mb <n>] \
-                     [--keep-alive-secs <n>]";
+                     [--keep-alive-secs <n>] [--peers <addr,addr,...>]";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
     let mut config = ServerConfig::default();
@@ -89,6 +95,26 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
                 })?;
                 config.keep_alive_timeout = Duration::from_secs(secs);
             }
+            "--peers" => {
+                let raw = value_of("--peers")?;
+                let peers: Vec<String> = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if peers.is_empty() {
+                    return Err(ArgError::BadValue {
+                        flag: "--peers".to_owned(),
+                        value: raw.clone(),
+                        expected: "a comma-separated list of host:port addresses",
+                    });
+                }
+                config.service.cluster = Some(ClusterConfig {
+                    peers,
+                    ..ClusterConfig::default()
+                });
+            }
             "--timeout-secs" => {
                 let raw = value_of("--timeout-secs")?;
                 let secs = raw.parse::<u64>().ok().ok_or_else(|| ArgError::BadValue {
@@ -104,6 +130,18 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
             }
             other => return Err(ArgError::Unknown(other.to_owned())),
         }
+    }
+    // Cluster membership includes this node: the peer list must name
+    // our own --addr so every member builds the identical ring.
+    if let Some(cluster) = &mut config.service.cluster {
+        if !cluster.peers.contains(&config.addr) {
+            return Err(ArgError::BadValue {
+                flag: "--peers".to_owned(),
+                value: cluster.peers.join(","),
+                expected: "a list that includes this node's own --addr",
+            });
+        }
+        cluster.self_addr = Some(config.addr.clone());
     }
     Ok(config)
 }

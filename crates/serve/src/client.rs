@@ -57,6 +57,10 @@ pub struct Client {
     keep_alive: bool,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
+    connect_timeout: Option<Duration>,
+    /// Extra request headers sent with every request (e.g. the
+    /// cluster's forwarding loop guard).
+    headers: Vec<(String, String)>,
     conn: Option<BufReader<TcpStream>>,
     reused: u64,
     connected: u64,
@@ -71,6 +75,8 @@ impl Client {
             keep_alive: true,
             read_timeout: Some(Duration::from_secs(600)),
             write_timeout: Some(Duration::from_secs(30)),
+            connect_timeout: None,
+            headers: Vec::new(),
             conn: None,
             reused: 0,
             connected: 0,
@@ -93,6 +99,21 @@ impl Client {
         self
     }
 
+    /// Bounds how long opening a fresh socket may take (`None` uses
+    /// the OS default, which can be minutes against a dead host).
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Adds a header sent with every request on this client.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
     /// Requests that reused an already-open connection so far.
     #[must_use]
     pub fn reused(&self) -> u64 {
@@ -107,7 +128,10 @@ impl Client {
 
     fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
+            let stream = match self.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout)?,
+                None => TcpStream::connect(self.addr)?,
+            };
             stream.set_read_timeout(self.read_timeout)?;
             stream.set_write_timeout(self.write_timeout)?;
             stream.set_nodelay(true)?;
@@ -126,10 +150,13 @@ impl Client {
         } else {
             "close"
         };
-        let reader = self.connect()?;
-        let stream = reader.get_mut();
         let mut head =
             format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\n");
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        let reader = self.connect()?;
+        let stream = reader.get_mut();
         match body {
             Some(bytes) => {
                 head.push_str(&format!(

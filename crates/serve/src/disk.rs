@@ -475,6 +475,45 @@ mod tests {
     }
 
     #[test]
+    fn crash_restart_sweeps_torn_tmps_and_rejects_truncated_entries() {
+        let root = scratch("crash");
+        let survivor = Arc::new(b"{\"cycles\":42}\n".to_vec());
+        let victim_path;
+        {
+            let cache = DiskCache::open(&root, 1 << 20).unwrap();
+            cache.put(0xA, Arc::clone(&survivor));
+            cache.put(0xB, Arc::new(b"about to be torn mid-write".to_vec()));
+            cache.flush();
+            victim_path = cache.dir().join(format!("{:016x}.bin", 0xB_u64));
+        }
+        // Emulate a crash mid-write-behind: a writer killed between
+        // tmp-create and rename leaves an orphaned *.tmp, and a torn
+        // write leaves entry B short of its framed length.
+        let dir = victim_path.parent().unwrap().to_path_buf();
+        let tmp = dir.join(format!("{:016x}.bin.tmp", 0xC_u64));
+        fs::write(&tmp, b"WGC1 half a frame").unwrap();
+        let bytes = fs::read(&victim_path).unwrap();
+        fs::write(&victim_path, &bytes[..bytes.len() - 5]).unwrap();
+
+        // The restart must serve neither artifact of the crash — and
+        // still serve the intact entry.
+        let cache = DiskCache::open(&root, 1 << 20).unwrap();
+        assert!(!tmp.exists(), "orphaned tmp is swept on startup");
+        assert!(
+            cache.get(0xC).is_none(),
+            "the torn tmp never became an entry"
+        );
+        assert!(cache.get(0xB).is_none(), "truncated entry is not served");
+        assert!(!victim_path.exists(), "…and is deleted, not left to rot");
+        assert_eq!(
+            cache.get(0xA).as_deref(),
+            Some(survivor.as_slice()),
+            "intact entries survive the crash"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn version_mismatch_is_a_clean_cold_start() {
         let root = scratch("version");
         {

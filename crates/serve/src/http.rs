@@ -284,14 +284,36 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(w, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a load-shed `503`). Each `(name, value)` pair is emitted after
+/// the standard headers.
+///
+/// # Errors
+///
+/// Propagates any transport error.
+pub fn write_response_with(
+    w: &mut (impl Write + ?Sized),
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     write!(
         w,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         connection_token(keep_alive),
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -543,6 +565,25 @@ mod tests {
         assert!(String::from_utf8(out)
             .unwrap()
             .contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn response_writer_emits_extra_headers_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Retry-After: 1"), "{head}");
+        assert_eq!(body, "{}");
     }
 
     #[test]

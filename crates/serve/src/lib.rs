@@ -18,6 +18,9 @@
 //! * [`http`] — HTTP/1.1 framing (requests, responses, keep-alive
 //!   rules, chunked bodies).
 //! * [`cache`] — the sharded single-flight LRU result cache.
+//! * [`cluster`] — consistent-hash sharding across peer nodes with
+//!   health-checked failover, peer forwarding, circuit breakers, and
+//!   a retrying/hedging cluster client plus the chaos harness.
 //! * [`disk`] — the persistent `fingerprint → bytes` warm cache.
 //! * [`metrics`] — wait-free counters and their `/metrics` exposition.
 //! * [`service`] — routing and endpoint logic over `Request` + `Write`
@@ -36,6 +39,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod disk;
 pub mod http;
 pub mod json;

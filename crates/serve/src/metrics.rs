@@ -46,6 +46,9 @@ pub struct Metrics {
     /// Idle cycles the event-queue core jumped over instead of
     /// stepping, across all fresh simulations.
     pub idle_cycles_skipped: AtomicU64,
+    /// Connections refused with a `503` because the dispatch queue
+    /// was full (load shedding instead of blocking the acceptor).
+    pub shed_requests: AtomicU64,
 }
 
 /// RAII guard bumping `in_flight` for the duration of a job.
@@ -90,12 +93,14 @@ impl Metrics {
     }
 
     /// Renders the exposition page, merging in the counters of the
-    /// memory cache and (when persistence is on) the disk cache.
+    /// memory cache, (when persistence is on) the disk cache, and
+    /// (when cluster mode is armed) the cluster layer.
     #[must_use]
     pub fn render(
         &self,
         cache: &crate::cache::ResultCache,
         disk: Option<&crate::disk::DiskCache>,
+        cluster: Option<&crate::cluster::Cluster>,
     ) -> String {
         let mut out = String::new();
         let mut counter = |name: &str, help: &str, value: u64| {
@@ -216,6 +221,52 @@ impl Metrics {
             "Idle cycles jumped by the event-queue core instead of stepped.",
             self.idle_cycles_skipped.load(Ordering::Relaxed),
         );
+        counter(
+            "warped_serve_shed_requests_total",
+            "Connections answered 503 because the dispatch queue was full.",
+            self.shed_requests.load(Ordering::Relaxed),
+        );
+        // Cluster counters render as a stable set of series whether or
+        // not cluster mode is armed, like the disk-cache block above.
+        let cc = cluster.map(crate::cluster::Cluster::counters);
+        let cluster_counter =
+            |name: &'static str, help, f: fn(&crate::cluster::ClusterCounters) -> &AtomicU64| {
+                (name, help, cc.map_or(0, |c| f(c).load(Ordering::Relaxed)))
+            };
+        for (name, help, value) in [
+            cluster_counter(
+                "warped_serve_cluster_forwarded_requests_total",
+                "Mis-routed cells successfully forwarded to their ring owner.",
+                |c| &c.forwarded_requests,
+            ),
+            cluster_counter(
+                "warped_serve_cluster_forward_failures_total",
+                "Peer forwards that failed and fell back to local simulation.",
+                |c| &c.forward_failures,
+            ),
+            cluster_counter(
+                "warped_serve_cluster_retries_total",
+                "Cell dispatches retried on another replica.",
+                |c| &c.retries,
+            ),
+            cluster_counter(
+                "warped_serve_cluster_hedged_cells_total",
+                "Straggler sweep cells hedged to the next ring replica.",
+                |c| &c.hedged_cells,
+            ),
+            cluster_counter(
+                "warped_serve_cluster_breaker_open_total",
+                "Circuit-breaker trips (transitions to the open state).",
+                |c| &c.breaker_open,
+            ),
+            cluster_counter(
+                "warped_serve_cluster_peer_unhealthy_total",
+                "Failed peer health observations (probes and passive).",
+                |c| &c.peer_unhealthy,
+            ),
+        ] {
+            counter(name, help, value);
+        }
         out
     }
 }
@@ -248,7 +299,9 @@ mod tests {
         stats.heap_peak = 5; // lower peak must not regress the high-water
         m.record_core_counters(&stats);
 
-        let page = m.render(&cache, None);
+        m.shed_requests.fetch_add(2, Ordering::Relaxed);
+
+        let page = m.render(&cache, None, None);
         assert!(page.contains("warped_serve_requests_total 3"));
         assert!(page.contains("warped_serve_sim_events_dispatched_total 80"));
         assert!(page.contains("warped_serve_sim_heap_peak 7"));
@@ -267,6 +320,33 @@ mod tests {
         assert!(page.contains("warped_serve_reaped_idle_sockets_total 0"));
         assert!(page.contains("warped_serve_sweep_cells_deduped_total 0"));
         assert!(page.contains("warped_serve_simulations_total 0"));
+        assert!(page.contains("warped_serve_shed_requests_total 2"));
+        // Cluster counters are present (as zeros) even off-cluster.
+        assert!(page.contains("warped_serve_cluster_forwarded_requests_total 0"));
+        assert!(page.contains("warped_serve_cluster_retries_total 0"));
+        assert!(page.contains("warped_serve_cluster_hedged_cells_total 0"));
+        assert!(page.contains("warped_serve_cluster_breaker_open_total 0"));
+        assert!(page.contains("warped_serve_cluster_peer_unhealthy_total 0"));
+        assert!(page.contains("warped_serve_cluster_forward_failures_total 0"));
+    }
+
+    #[test]
+    fn renders_live_cluster_counters_when_armed() {
+        use crate::cluster::{Cluster, ClusterConfig};
+        let m = Metrics::default();
+        let cache = ResultCache::new(2, 1024);
+        let cluster = Cluster::new(&ClusterConfig {
+            peers: vec!["127.0.0.1:19901".to_owned(), "127.0.0.1:19902".to_owned()],
+            probe_interval: None,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        cluster
+            .counters()
+            .hedged_cells
+            .fetch_add(4, Ordering::Relaxed);
+        let page = m.render(&cache, None, Some(&cluster));
+        assert!(page.contains("warped_serve_cluster_hedged_cells_total 4"));
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use warped_sim::parallel::{worker_count, Pool};
 
-use crate::http::{read_request, write_response, HttpError};
+use crate::http::{read_request, write_response, write_response_with, HttpError};
 use crate::service::{Handled, Service, ServiceConfig};
 
 /// How long a worker waits for the next request before parking the
@@ -77,6 +77,11 @@ pub struct ServerConfig {
     /// How long an idle keep-alive socket may park before the reaper
     /// closes it.
     pub keep_alive_timeout: Duration,
+    /// Accepted-connection queue depth before the acceptor sheds with
+    /// a `503`; `None` sizes it `max(workers * 4, 64)` — the floor
+    /// keeps normal connection churn on a small box from reading as
+    /// overload.
+    pub dispatch_queue: Option<usize>,
     /// The service behind the transport.
     pub service: ServiceConfig,
 }
@@ -89,6 +94,7 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             keep_alive_timeout: Duration::from_secs(5),
+            dispatch_queue: None,
             service: ServiceConfig::default(),
         }
     }
@@ -175,7 +181,8 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     // Acceptor → dispatcher (bounded: this is the accept backpressure)
     // and reaper → dispatcher share one channel; workers → reaper is
     // unbounded so parking never blocks a worker.
-    let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Conn>(workers * 4);
+    let queue = config.dispatch_queue.unwrap_or((workers * 4).max(64));
+    let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Conn>(queue);
     let (park_tx, park_rx) = mpsc::channel::<Conn>();
 
     let ctx = Arc::new(Ctx {
@@ -190,6 +197,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
         let dispatch_tx = dispatch_tx.clone();
+        let service = Arc::clone(&service);
         std::thread::Builder::new()
             .name("warped-serve-accept".to_owned())
             .spawn(move || {
@@ -198,8 +206,14 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    if dispatch_tx.send(Conn { stream, served: 0 }).is_err() {
-                        break;
+                    // Load shedding: a full dispatch queue answers a
+                    // typed 503 immediately instead of blocking the
+                    // acceptor (which would stall every later client,
+                    // including /healthz probes).
+                    match dispatch_tx.try_send(Conn { stream, served: 0 }) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(conn)) => shed(&service, conn.stream),
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
                     }
                 }
             })?
@@ -253,6 +267,27 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         threads: vec![acceptor, dispatcher, reaper],
         service,
     })
+}
+
+/// Sheds one connection the dispatch queue has no room for: a typed
+/// `503` with `Retry-After` on a best-effort write, then close. The
+/// client learns to back off instead of hanging in the backlog.
+fn shed(service: &Service, stream: TcpStream) {
+    service
+        .metrics
+        .shed_requests
+        .fetch_add(1, Ordering::Relaxed);
+    service.metrics.count_status(503);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut writer = BufWriter::new(stream);
+    let _ = write_response_with(
+        &mut writer,
+        503,
+        "application/json",
+        &[("Retry-After", "1")],
+        b"{\"error\":{\"kind\":\"overloaded\",\"message\":\"dispatch queue is full; retry shortly\"}}\n",
+        false,
+    );
 }
 
 /// The reaper: parks idle keep-alive sockets in non-blocking mode,

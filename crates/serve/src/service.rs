@@ -38,9 +38,9 @@
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use warped_bench::grid::GridTable;
 use warped_bench::sweep::{self, SweepConfig};
@@ -53,6 +53,7 @@ use warped_telemetry::{perfetto, rollup, Recorder, RecorderConfig};
 use warped_workloads::Benchmark;
 
 use crate::cache::{Outcome, ResultCache};
+use crate::cluster::{ChaosMode, Cluster, ClusterConfig, FORWARDED_HEADER};
 use crate::disk::DiskCache;
 use crate::http::{write_response, ChunkedWriter, Request};
 use crate::json::{self, JsonValue};
@@ -77,6 +78,8 @@ pub struct ServiceConfig {
     pub disk_cache_bytes: u64,
     /// Hard cap on cells per `/sweep` batch.
     pub max_sweep_cells: usize,
+    /// Cluster membership; `None` runs a standalone node.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +92,7 @@ impl Default for ServiceConfig {
             disk_dir: None,
             disk_cache_bytes: 256 << 20,
             max_sweep_cells: 4096,
+            cluster: None,
         }
     }
 }
@@ -115,6 +119,11 @@ pub struct Service {
     pub metrics: Metrics,
     /// Serialises `/grid?regenerate=1` sweeps (they share an out-dir).
     regen: Mutex<()>,
+    /// The cluster view when cluster mode is armed (set once, either
+    /// from the config or via [`Service::arm_cluster`]).
+    cluster: OnceLock<Cluster>,
+    /// The injected fault mode (a [`ChaosMode`] as its wire byte).
+    chaos: AtomicU8,
 }
 
 /// A typed error body: `{"error":{"kind":...,"message":...}}`.
@@ -211,6 +220,22 @@ impl RunRequest {
             scale,
             params,
         })
+    }
+
+    /// The canonical `/run` body for this cell — what a peer forward
+    /// sends, so the owner parses back an identical request (and hence
+    /// computes the identical fingerprint and bytes).
+    fn to_body(&self) -> String {
+        format!(
+            "{{\"benchmark\":\"{}\",\"technique\":\"{}\",\"scale\":{},\
+             \"idle_detect\":{},\"bet\":{},\"wakeup_delay\":{}}}",
+            json::escape(self.benchmark.name()),
+            json::escape(self.technique.name()),
+            self.scale,
+            self.params.idle_detect,
+            self.params.bet,
+            self.params.wakeup_delay,
+        )
     }
 }
 
@@ -319,19 +344,55 @@ impl Service {
                 })
                 .ok()
         });
-        Service {
+        let service = Service {
             cache: ResultCache::new(shards, config.cache_bytes),
             disk,
             metrics: Metrics::default(),
             regen: Mutex::new(()),
+            cluster: OnceLock::new(),
+            chaos: AtomicU8::new(0),
             config,
+        };
+        // Like the disk cache: a broken cluster config degrades to a
+        // standalone node rather than refusing to start.
+        if let Some(cluster_config) = &service.config.cluster {
+            match Cluster::new(cluster_config) {
+                Ok(cluster) => service.arm_cluster(cluster),
+                Err(e) => eprintln!("warped-serve: cluster mode disabled: {e}"),
+            }
         }
+        service
     }
 
     /// The configuration in effect.
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Arms cluster mode after construction (tests bind ephemeral
+    /// ports, so membership is only known post-spawn). A second call
+    /// is ignored — the first cluster view wins.
+    pub fn arm_cluster(&self, cluster: Cluster) {
+        let _ = self.cluster.set(cluster);
+    }
+
+    /// The cluster view, when armed.
+    #[must_use]
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.cluster.get()
+    }
+
+    /// Sets the injected fault mode (`POST /chaos` calls this; tests
+    /// may call it directly).
+    pub fn set_chaos(&self, mode: ChaosMode) {
+        self.chaos.store(mode.as_u8(), Ordering::SeqCst);
+    }
+
+    /// The fault mode currently injected.
+    #[must_use]
+    pub fn chaos_mode(&self) -> ChaosMode {
+        ChaosMode::from_u8(self.chaos.load(Ordering::SeqCst))
     }
 
     /// Routes one request and writes the complete response.
@@ -351,13 +412,49 @@ impl Service {
         keep_alive: bool,
     ) -> io::Result<Handled> {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // The chaos gate: every endpoint except /chaos itself honors
+        // the injected fault, so the harness can always clear it.
+        if req.path != "/chaos" {
+            match self.chaos_mode() {
+                ChaosMode::None => {}
+                ChaosMode::Error => {
+                    self.respond(
+                        out,
+                        500,
+                        "application/json",
+                        &error_body("chaos", "injected fault"),
+                        keep_alive,
+                    )?;
+                    return Ok(Handled::Normal);
+                }
+                ChaosMode::Abort => {
+                    // An in-process `kill -9`: the connection drops
+                    // with no response bytes at all.
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "chaos: aborted",
+                    ));
+                }
+                ChaosMode::Stall => {
+                    // Freeze (bounded) until the harness clears the
+                    // mode, then serve normally — a stalled node that
+                    // recovers answers its backlog.
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    while self.chaos_mode() == ChaosMode::Stall && Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        }
         let handled = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => {
                 self.respond(out, 200, "text/plain; charset=utf-8", b"ok\n", keep_alive)?;
                 Handled::Normal
             }
             ("GET", "/metrics") => {
-                let page = self.metrics.render(&self.cache, self.disk.as_ref());
+                let page = self
+                    .metrics
+                    .render(&self.cache, self.disk.as_ref(), self.cluster.get());
                 self.respond(
                     out,
                     200,
@@ -373,6 +470,10 @@ impl Service {
             }
             ("POST", "/sweep") => {
                 self.sweep(req, out, keep_alive)?;
+                Handled::Normal
+            }
+            ("POST", "/chaos") => {
+                self.chaos(req, out, keep_alive)?;
                 Handled::Normal
             }
             ("GET", "/grid") => {
@@ -394,7 +495,11 @@ impl Service {
                 )?;
                 Handled::ShutdownRequested
             }
-            (_, "/healthz" | "/metrics" | "/run" | "/sweep" | "/grid" | "/trace" | "/shutdown") => {
+            (
+                _,
+                "/healthz" | "/metrics" | "/run" | "/sweep" | "/chaos" | "/grid" | "/trace"
+                | "/shutdown",
+            ) => {
                 self.respond(
                     out,
                     405,
@@ -434,11 +539,19 @@ impl Service {
     }
 
     /// Computes (or fetches) one cell's canonical report bytes,
-    /// looking up memory cache → disk cache → simulate. A fresh result
-    /// is persisted write-behind when persistence is on. Errors carry
-    /// a `kind\u{1f}message` tag; the returned flag is true when this
-    /// call ran a fresh simulation (false: some cache layer answered).
-    fn run_cell(&self, run_req: &RunRequest) -> (Result<Arc<Vec<u8>>, String>, bool) {
+    /// looking up memory cache → disk cache → peer forward → simulate.
+    /// A fresh *local* result is persisted write-behind when
+    /// persistence is on; forwarded bytes stay memory-only (the owner
+    /// holds the disk shard). `local_only` skips the forward hop —
+    /// set for requests that already arrived forwarded, so a cell can
+    /// never bounce between peers. Errors carry a `kind\u{1f}message`
+    /// tag; the returned flag is true when this call ran a fresh
+    /// simulation (false: a cache layer or a peer answered).
+    fn run_cell(
+        &self,
+        run_req: &RunRequest,
+        local_only: bool,
+    ) -> (Result<Arc<Vec<u8>>, String>, bool) {
         // Constructing the experiment validates the gating parameters,
         // which panics on out-of-range values (e.g. bet = 0) — fault
         // isolation starts here, not at the simulation.
@@ -462,10 +575,24 @@ impl Service {
         };
 
         let mut simulated = false;
+        let mut forwarded = false;
         let (result, outcome) = self.cache.get_or_compute(fingerprint, || {
             if let Some(disk) = &self.disk {
                 if let Some(bytes) = disk.get(fingerprint) {
                     return Ok(bytes);
+                }
+            }
+            // Not ours? One forwarding hop to the ring owner; a failed
+            // forward (or an open breaker) degrades to simulating here
+            // — availability beats placement.
+            if !local_only {
+                if let Some(cluster) = self.cluster.get() {
+                    if let Some(owner) = cluster.forward_target(fingerprint) {
+                        if let Ok(bytes) = cluster.forward_run(owner, &run_req.to_body()) {
+                            forwarded = true;
+                            return Ok(bytes);
+                        }
+                    }
                 }
             }
             let _guard = self.metrics.job_started();
@@ -492,10 +619,12 @@ impl Service {
                 }
             }
         });
-        // Persist only what this call materialised: hits already live
-        // on disk (or deliberately don't), and `put` is cheap but not
-        // free. A disk hit re-entering `put` is deduped by the index.
-        if outcome == Outcome::Miss {
+        // Persist only what this call materialised *locally*: hits
+        // already live on disk (or deliberately don't), forwarded
+        // bytes belong to the owner's shard, and `put` is cheap but
+        // not free. A disk hit re-entering `put` is deduped by the
+        // index.
+        if outcome == Outcome::Miss && !forwarded {
             if let (Some(disk), Ok(bytes)) = (&self.disk, &result) {
                 disk.put(fingerprint, Arc::clone(bytes));
             }
@@ -518,7 +647,8 @@ impl Service {
                 );
             }
         };
-        let (result, _) = self.run_cell(&run_req);
+        let local_only = req.header(FORWARDED_HEADER).is_some();
+        let (result, _) = self.run_cell(&run_req, local_only);
         match result {
             Ok(bytes) => self.respond(out, 200, "application/json", &bytes, keep_alive),
             Err(tagged) => {
@@ -562,6 +692,7 @@ impl Service {
             .fetch_add(cells.len() as u64, Ordering::Relaxed);
 
         self.metrics.count_status(200);
+        let local_only = req.header(FORWARDED_HEADER).is_some();
         let mut cw = ChunkedWriter::begin(out, 200, "application/jsonl", keep_alive)?;
         let next = AtomicUsize::new(0);
         let threads = cells.len().min(worker_count()).max(1);
@@ -573,7 +704,7 @@ impl Service {
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let (result, simulated) = self.run_cell(cell);
+                    let (result, simulated) = self.run_cell(cell, local_only);
                     // A send error means the client hung up and the
                     // streaming loop bailed: stop pulling cells.
                     if tx.send((i, result, simulated)).is_err() {
@@ -583,6 +714,15 @@ impl Service {
             }
             drop(tx);
             for (i, result, simulated) in rx {
+                // Abort chaos arriving mid-sweep drops the stream cold
+                // — the in-process equivalent of a node dying with
+                // cells still outstanding.
+                if self.chaos_mode() == ChaosMode::Abort {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "chaos: aborted mid-sweep",
+                    ));
+                }
                 if !simulated {
                     self.metrics
                         .sweep_cells_deduped
@@ -611,6 +751,43 @@ impl Service {
             Ok(())
         })?;
         cw.finish()
+    }
+
+    /// `POST /chaos`: the fault-injection control, `{"mode":"none" |
+    /// "error" | "stall" | "abort"}`. The endpoint itself is exempt
+    /// from the injected fault, so a harness can always clear it.
+    fn chaos(&self, req: &Request, out: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
+        let mode = std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|text| json::parse(text).ok())
+            .and_then(|doc| {
+                if doc.keys().iter().any(|k| *k != "mode") {
+                    return None;
+                }
+                doc.get("mode")
+                    .and_then(JsonValue::as_str)
+                    .and_then(ChaosMode::from_name)
+            });
+        let Some(mode) = mode else {
+            return self.respond(
+                out,
+                400,
+                "application/json",
+                &error_body(
+                    "bad_request",
+                    "body must be {\"mode\":\"none\"|\"error\"|\"stall\"|\"abort\"}",
+                ),
+                keep_alive,
+            );
+        };
+        self.set_chaos(mode);
+        self.respond(
+            out,
+            200,
+            "application/json",
+            format!("{{\"chaos\":\"{}\"}}\n", mode.name()).as_bytes(),
+            keep_alive,
+        )
     }
 
     /// `GET /grid`: the committed sweep table, optionally regenerated.
@@ -1084,6 +1261,121 @@ mod tests {
         );
         assert_eq!(service.disk.as_ref().unwrap().hits(), 1);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn chaos_endpoint_injects_and_clears_faults() {
+        let service = quick_service();
+        // Bad bodies are rejected without touching the mode.
+        for body in ["", "{\"mode\":\"nope\"}", "{\"mood\":\"error\"}", "7"] {
+            let (status, _, _) = dispatch(&service, &post("/chaos", body));
+            assert_eq!(status, 400, "{body:?} must be rejected");
+        }
+        assert_eq!(service.chaos_mode(), crate::cluster::ChaosMode::None);
+
+        let (status, body, _) = dispatch(&service, &post("/chaos", "{\"mode\":\"error\"}"));
+        assert_eq!((status, body.as_str()), (200, "{\"chaos\":\"error\"}\n"));
+        let (status, body, _) = dispatch(&service, &get("/healthz"));
+        assert_eq!(status, 500);
+        assert!(body.contains("\"kind\":\"chaos\""), "{body}");
+
+        // /chaos itself is exempt, so the fault can always be cleared.
+        let (status, _, _) = dispatch(&service, &post("/chaos", "{\"mode\":\"none\"}"));
+        assert_eq!(status, 200);
+        let (status, _, _) = dispatch(&service, &get("/healthz"));
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn abort_chaos_drops_the_connection_with_no_bytes() {
+        let service = quick_service();
+        service.set_chaos(crate::cluster::ChaosMode::Abort);
+        let mut wire = Vec::new();
+        let result = service.handle(&get("/healthz"), &mut wire, true);
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::ConnectionAborted);
+        assert!(wire.is_empty(), "an aborted request answers nothing");
+    }
+
+    #[test]
+    fn forwarded_requests_are_served_locally_not_re_forwarded() {
+        use crate::cluster::{cell_for, Cluster, ClusterConfig};
+        // Self plus one unreachable peer; pick a cell the peer owns.
+        let peers = vec!["127.0.0.1:19931".to_owned(), "127.0.0.1:19932".to_owned()];
+        let service = quick_service();
+        service.arm_cluster(
+            Cluster::new(&ClusterConfig {
+                peers: peers.clone(),
+                self_addr: Some(peers[0].clone()),
+                probe_interval: None,
+                ..ClusterConfig::default()
+            })
+            .unwrap(),
+        );
+        let cluster = service.cluster().unwrap();
+        let not_ours = Benchmark::ALL
+            .into_iter()
+            .find(|b| {
+                let cell = cell_for(*b, Technique::Baseline, 0.05);
+                cluster.ring().owner(cell.fingerprint) != 0
+            })
+            .expect("some benchmark hashes to the peer");
+        let body = format!(
+            "{{\"benchmark\":\"{}\",\"technique\":\"baseline\",\"scale\":0.05}}",
+            not_ours.name()
+        );
+
+        // A forwarded request must not hop again: it simulates locally
+        // without ever dialing the (unreachable) owner.
+        let mut req = post("/run", &body);
+        req.headers
+            .push((FORWARDED_HEADER.to_owned(), "1".to_owned()));
+        let mut wire = Vec::new();
+        let handled = service.handle(&req, &mut wire, true).unwrap();
+        assert_eq!(handled, Handled::Normal);
+        let counters = cluster.counters();
+        assert_eq!(counters.forward_failures.load(Ordering::Relaxed), 0);
+        assert_eq!(service.metrics.simulations.load(Ordering::Relaxed), 1);
+
+        // The same cell un-forwarded tries the owner first, fails
+        // (nothing listens there), and falls back to local — which the
+        // memory cache now answers.
+        let (status, _, _) = dispatch(&service, &post("/run", &body));
+        assert_eq!(status, 200);
+        assert_eq!(
+            counters.forward_failures.load(Ordering::Relaxed),
+            0,
+            "a cache hit never reaches the forward layer"
+        );
+
+        // An uncached peer-owned cell does attempt (and fail) the hop.
+        let body2 = format!(
+            "{{\"benchmark\":\"{}\",\"technique\":\"gates\",\"scale\":0.05}}",
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| {
+                    let cell = cell_for(*b, Technique::Gates, 0.05);
+                    cluster.ring().owner(cell.fingerprint) != 0
+                })
+                .expect("some benchmark hashes to the peer")
+                .name()
+        );
+        let (status, _, _) = dispatch(&service, &post("/run", &body2));
+        assert_eq!(status, 200, "failed forward degrades to local");
+        assert_eq!(counters.forward_failures.load(Ordering::Relaxed), 1);
+        assert!(counters.peer_unhealthy.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn run_request_to_body_round_trips() {
+        let body = "{\"benchmark\":\"bfs\",\"technique\":\"warped-gates\",\
+                     \"scale\":0.25,\"idle_detect\":5,\"bet\":14,\"wakeup_delay\":9}";
+        let parsed = RunRequest::parse(body.as_bytes()).unwrap();
+        let rendered = parsed.to_body();
+        let reparsed = RunRequest::parse(rendered.as_bytes()).unwrap();
+        assert_eq!(parsed.benchmark, reparsed.benchmark);
+        assert_eq!(parsed.technique, reparsed.technique);
+        assert_eq!(parsed.scale, reparsed.scale);
+        assert_eq!(parsed.params, reparsed.params);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use warped_serve::client::Client;
+use warped_serve::cluster::ChaosMode;
 use warped_serve::{client, spawn, ServerConfig, ServerHandle, ServiceConfig};
 
 fn test_server() -> ServerHandle {
@@ -297,6 +298,93 @@ fn sweep_streams_jsonl_over_tcp_in_completion_order() {
         "{page}"
     );
     assert!(page.contains("warped_serve_simulations_total 2"), "{page}");
+
+    server.shutdown();
+}
+
+#[test]
+fn saturated_dispatch_queue_sheds_with_503_retry_after() {
+    // One worker, stalled, and an explicitly tiny dispatch queue:
+    // accepted connections pile up in the pool queue and then the
+    // bounded dispatch channel behind it. Once both are full the
+    // acceptor must shed — a typed 503 with Retry-After — instead of
+    // blocking new connections behind the stall.
+    let mut server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        dispatch_queue: Some(4),
+        service: ServiceConfig {
+            trace_scale: 0.05,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.addr();
+    server.service().set_chaos(ChaosMode::Stall);
+
+    let clients: Vec<_> = (0..24)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr)
+                    .with_keep_alive(false)
+                    .with_read_timeout(Some(Duration::from_secs(60)));
+                client.get("/healthz").expect("a verdict, served or shed")
+            })
+        })
+        .collect();
+
+    // Wait until the acceptor has actually shed, then release the
+    // stalled worker so the queued connections drain normally.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server
+        .service()
+        .metrics
+        .shed_requests
+        .load(Ordering::Relaxed)
+        == 0
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the saturated queue never shed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.service().set_chaos(ChaosMode::None);
+
+    let responses: Vec<_> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    let served = responses.iter().filter(|r| r.status == 200).count();
+    let shed: Vec<_> = responses.iter().filter(|r| r.status == 503).collect();
+    assert!(served >= 1, "the queue drains once the stall clears");
+    assert!(!shed.is_empty(), "over-capacity connections are shed");
+    assert_eq!(served + shed.len(), 24, "every connection gets a verdict");
+    for response in &shed {
+        assert_eq!(
+            response.header("retry-after"),
+            Some("1"),
+            "shed responses carry Retry-After: {}",
+            response.text()
+        );
+        assert!(
+            response.text().contains("\"kind\":\"overloaded\""),
+            "{}",
+            response.text()
+        );
+    }
+    assert_eq!(
+        server
+            .service()
+            .metrics
+            .shed_requests
+            .load(Ordering::Relaxed) as usize,
+        shed.len(),
+        "the counter matches the 503s on the wire"
+    );
+    let page = client::get(addr, "/metrics").expect("metrics").text();
+    assert!(
+        page.contains(&format!("warped_serve_shed_requests_total {}", shed.len())),
+        "{page}"
+    );
 
     server.shutdown();
 }

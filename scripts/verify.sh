@@ -37,8 +37,14 @@ step "grid regression gate (event-queue core, full scale, bit-for-bit)"
 # discrete-event clock moves no result.
 outdir="$(mktemp -d)"
 serve_pid=""
+loadgen_pid=""
+cluster_pids=()
 cleanup() {
     if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi
+    if [ -n "$loadgen_pid" ]; then kill "$loadgen_pid" 2>/dev/null || true; fi
+    for pid in ${cluster_pids[@]+"${cluster_pids[@]}"}; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
     rm -rf "$outdir"
 }
 trap cleanup EXIT
@@ -298,6 +304,80 @@ start_serve
 sweep_check "$port" 1 0
 stop_serve "$port"
 echo "serving tier passed: grid-faithful sweeps, keep-alive win, warm restart from disk"
+
+step "cluster gate (3 sharded nodes, kill -9 one mid-sweep, 108 cells bit-for-bit)"
+# Three warped-serve processes share one consistent-hash ring. A
+# full-grid cluster sweep runs while one node is SIGKILLed mid-flight;
+# the resilient client must retry/hedge the dead node's cells onto the
+# survivors and still return every cell byte-identical to the grid.
+# The nodes run as plain release binaries (not `cargo run`) so the
+# kill hits the server itself, and the survivors must drain cleanly.
+read -r -a cports <<<"$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+PY
+)"
+peers="127.0.0.1:${cports[0]},127.0.0.1:${cports[1]},127.0.0.1:${cports[2]}"
+for p in "${cports[@]}"; do
+    ./target/release/warped-serve --addr "127.0.0.1:$p" --peers "$peers" \
+        >"$outdir/cluster_$p.log" 2>&1 &
+    cluster_pids+=("$!")
+done
+for p in "${cports[@]}"; do
+    python3 - "$p" <<'PY'
+import sys, time, urllib.request
+for _ in range(100):
+    try:
+        if urllib.request.urlopen(
+            f"http://127.0.0.1:{sys.argv[1]}/healthz", timeout=1
+        ).status == 200:
+            break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit(f"node 127.0.0.1:{sys.argv[1]} never became healthy")
+PY
+done
+clusterlog="$outdir/cluster_loadgen.log"
+./target/release/loadgen --cluster "$peers" --scale 1 \
+    --check-grid results/bench_grid.json >"$clusterlog" 2>&1 &
+loadgen_pid=$!
+sleep 4
+kill -9 "${cluster_pids[0]}"
+echo "SIGKILLed node 127.0.0.1:${cports[0]} mid-sweep"
+if ! wait "$loadgen_pid"; then
+    loadgen_pid=""
+    cat "$clusterlog" >&2
+    echo "verify: FAIL — cluster sweep did not survive the node kill" >&2
+    exit 1
+fi
+loadgen_pid=""
+grep -q "check-grid: 108 cells bit-identical" "$clusterlog" || {
+    cat "$clusterlog" >&2
+    echo "verify: FAIL — cluster sweep not grid-faithful" >&2
+    exit 1
+}
+grep "cluster counters:" "$clusterlog"
+retries="$(sed -n 's/.*cluster counters: retries=\([0-9]*\).*/\1/p' "$clusterlog")"
+hedged="$(sed -n 's/.*hedged=\([0-9]*\).*/\1/p' "$clusterlog")"
+test "${retries:-0}" -ge 1 || {
+    cat "$clusterlog" >&2
+    echo "verify: FAIL — the node kill left no retry trace in the counters" >&2
+    exit 1
+}
+for i in 1 2; do
+    python3 -c "import sys, urllib.request; urllib.request.urlopen(
+        urllib.request.Request(f'http://127.0.0.1:{sys.argv[1]}/shutdown', data=b''),
+        timeout=10)" "${cports[$i]}"
+    wait "${cluster_pids[$i]}"
+done
+cluster_pids=()
+echo "cluster gate passed: 108 cells bit-for-bit after a node kill (retries=$retries hedged=$hedged)"
 
 echo
 echo "verify: all checks passed"
