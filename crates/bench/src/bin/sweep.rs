@@ -19,7 +19,8 @@ use warped_gates::CoreClock;
 
 const USAGE: &str = "[--scale <f in (0,1]>] [--jobs <n >= 1>] \
 [--core event-queue|fast-forward|stepped] [--resume] [--sanitize] \
-[--out-dir <dir>] [--timeout-secs <s > 0>] [--chaos <i,j,...>] [--trace-cell <i>]";
+[--mem-hierarchy] [--out-dir <dir>] [--timeout-secs <s > 0>] \
+[--chaos <i,j,...>] [--trace-cell <i>]";
 
 fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
     let mut config = SweepConfig::new("results", workers_or_exit());
@@ -77,6 +78,10 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
             }
             "--sanitize" => {
                 config.sanitize = true;
+                i += 1;
+            }
+            "--mem-hierarchy" => {
+                config.mem_hierarchy = Some(warped_sim::HierarchyConfig::default());
                 i += 1;
             }
             "--out-dir" => {
@@ -155,12 +160,17 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "sweep: full grid at scale {}, {} workers, {} core{}{}",
+        "sweep: full grid at scale {}, {} workers, {} core{}{}{}",
         config.scale,
         config.workers,
         config.core.name(),
         if config.sanitize { ", sanitized" } else { "" },
         if config.resume { ", resuming" } else { "" },
+        if config.mem_hierarchy.is_some() {
+            ", L1/L2 hierarchy"
+        } else {
+            ""
+        },
     );
 
     let summary = match sweep::run(&config) {

@@ -10,7 +10,7 @@
 //!
 //! Usage:
 //! `timeline --bench <name> --technique <t> [--scale <f>] [--out-dir <dir>]
-//!           [--capacity <events>] [--epoch <cycles>]`
+//!           [--capacity <events>] [--epoch <cycles>] [--mem-hierarchy]`
 
 use std::cell::RefCell;
 use std::fs;
@@ -28,7 +28,8 @@ use warped_telemetry::{perfetto, rollup, Recorder, RecorderConfig};
 use warped_workloads::Benchmark;
 
 const USAGE: &str = "--bench <name> --technique <t> [--scale <f in (0,1]>] \
-[--out-dir <dir>] [--capacity <events >= 1>] [--epoch <cycles >= 1>]";
+[--out-dir <dir>] [--capacity <events >= 1>] [--epoch <cycles >= 1>] \
+[--mem-hierarchy]";
 
 struct Config {
     bench: Benchmark,
@@ -37,6 +38,7 @@ struct Config {
     out_dir: PathBuf,
     capacity: usize,
     epoch_len: u64,
+    mem_hierarchy: bool,
 }
 
 /// Case-insensitive technique lookup that also ignores spaces, dashes,
@@ -62,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Config, ArgError> {
     let mut out_dir = PathBuf::from("results/timeline");
     let mut capacity = 1usize << 20;
     let mut epoch_len = 1000u64;
+    let mut mem_hierarchy = false;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, ArgError> {
         args.get(i + 1)
             .cloned()
@@ -132,6 +135,10 @@ fn parse_args(args: &[String]) -> Result<Config, ArgError> {
                         })?;
                 i += 2;
             }
+            "--mem-hierarchy" => {
+                mem_hierarchy = true;
+                i += 1;
+            }
             other => return Err(ArgError::Unknown(other.to_owned())),
         }
     }
@@ -144,6 +151,7 @@ fn parse_args(args: &[String]) -> Result<Config, ArgError> {
         out_dir,
         capacity,
         epoch_len,
+        mem_hierarchy,
     })
 }
 
@@ -168,6 +176,9 @@ fn main() -> ExitCode {
 
     let mut cfg = spec.sm_config();
     cfg.telemetry = Some(recorder.clone());
+    if config.mem_hierarchy {
+        cfg.memory.hierarchy = Some(warped_sim::HierarchyConfig::default());
+    }
     let layout = DomainLayout::new(cfg.sp_clusters);
     let energy = Rc::new(RefCell::new(EnergyTimeline::new(
         PowerParams::default(),
@@ -267,6 +278,25 @@ fn main() -> ExitCode {
         "  event core: {} events dispatched, queue peak {}, {} idle cycles skipped",
         outcome.stats.events_dispatched, outcome.stats.heap_peak, outcome.stats.idle_cycles_skipped
     );
+    let mem = outcome.stats.mem;
+    if mem.hierarchy {
+        println!(
+            "  memory: {} accesses, L1 hit {:.1}%, L2 miss {:.1}%, {} merges, \
+             {} fills, MSHR peak {}/{}",
+            mem.accesses,
+            100.0 * mem.l1_hit_rate(),
+            100.0 * mem.l2_miss_rate(),
+            mem.mshr_merges,
+            mem.fills,
+            mem.mshr_peak,
+            mem.mshr_capacity
+        );
+    } else {
+        println!(
+            "  memory: flat latency model, {} loads, outstanding peak {}/{}",
+            mem.accesses, mem.mshr_peak, mem.mshr_capacity
+        );
+    }
     println!("wrote {}", trace_path.display());
     println!("wrote {}", metrics_path.display());
     println!("open the trace at https://ui.perfetto.dev (or chrome://tracing)");

@@ -52,6 +52,12 @@ pub struct SweepConfig {
     /// Replay this grid cell with telemetry armed after the sweep and
     /// write its Perfetto trace into the output directory.
     pub trace_cell: Option<usize>,
+    /// Run every cell through the cycle-accurate L1/L2 + MSHR memory
+    /// hierarchy instead of the legacy latency model. Hierarchical rows
+    /// are a *different* grid (different fingerprints, different cycle
+    /// counts), so point `out_dir` somewhere other than the committed
+    /// default-model results.
+    pub mem_hierarchy: Option<warped_sim::HierarchyConfig>,
 }
 
 impl SweepConfig {
@@ -71,6 +77,7 @@ impl SweepConfig {
             chaos: Vec::new(),
             quiet: false,
             trace_cell: None,
+            mem_hierarchy: None,
         }
     }
 }
@@ -229,7 +236,8 @@ pub fn run_on(config: &SweepConfig, mut jobs: Vec<GridJob>) -> std::io::Result<S
         .with_scale(config.scale)
         .with_sanitize(config.sanitize)
         .with_job_timeout(config.job_timeout)
-        .with_core(config.core);
+        .with_core(config.core)
+        .with_memory_hierarchy(config.mem_hierarchy.clone());
 
     let sink = Mutex::new(
         std::fs::OpenOptions::new()
@@ -396,6 +404,7 @@ pub fn trace_cell(config: &SweepConfig, index: usize) -> std::io::Result<PathBuf
         .with_sanitize(config.sanitize)
         .with_job_timeout(config.job_timeout)
         .with_core(config.core)
+        .with_memory_hierarchy(config.mem_hierarchy.clone())
         .with_telemetry(Some(recorder.clone()));
     let run = experiment.run(spec, *technique);
 
@@ -528,6 +537,26 @@ mod tests {
             "partial sweeps leave totals alone"
         );
         std::fs::remove_dir_all(&config.out_dir).ok();
+    }
+
+    #[test]
+    fn hierarchical_sweep_completes_and_diverges_from_the_default_grid() {
+        let config = tiny_config("warped_sweep_hier_test");
+        assert!(run_on(&config, tiny_grid()).unwrap().ok());
+        let legacy = std::fs::read_to_string(config.out_dir.join("bench_grid.json")).unwrap();
+
+        let mut hier = tiny_config("warped_sweep_hier_test_armed");
+        hier.sanitize = true; // conservation invariants checked in-run
+        hier.mem_hierarchy = Some(warped_sim::HierarchyConfig::default());
+        assert!(run_on(&hier, tiny_grid()).unwrap().ok());
+        let armed = std::fs::read_to_string(hier.out_dir.join("bench_grid.json")).unwrap();
+
+        assert_ne!(
+            legacy, armed,
+            "real cache state must reshape at least one cell's cycle count"
+        );
+        std::fs::remove_dir_all(&config.out_dir).ok();
+        std::fs::remove_dir_all(&hier.out_dir).ok();
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub struct Experiment {
     scale: f64,
     layout: DomainLayout,
     issue_width: Option<usize>,
+    memory_hierarchy: Option<warped_sim::HierarchyConfig>,
     sanitize: bool,
     job_timeout: Option<std::time::Duration>,
     telemetry: Option<warped_sim::Recorder>,
@@ -119,6 +120,7 @@ impl Experiment {
             scale: 1.0,
             layout: DomainLayout::fermi(),
             issue_width: None,
+            memory_hierarchy: None,
             sanitize: false,
             job_timeout: None,
             telemetry: None,
@@ -152,6 +154,32 @@ impl Experiment {
         self.layout = layout;
         self.issue_width = issue_width;
         self
+    }
+
+    /// Arms the cycle-accurate L1/L2 + MSHR memory hierarchy for every
+    /// run launched from this experiment (see
+    /// [`MemoryConfig::hierarchy`](warped_sim::MemoryConfig)). `None`
+    /// (the default) keeps the legacy latency model and its committed
+    /// grid results bit-identical. Unlike the observe-only switches,
+    /// this *changes cycle counts*, so every field is folded into the
+    /// cell fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy configuration fails validation.
+    #[must_use]
+    pub fn with_memory_hierarchy(mut self, hierarchy: Option<warped_sim::HierarchyConfig>) -> Self {
+        if let Some(h) = &hierarchy {
+            h.validate();
+        }
+        self.memory_hierarchy = hierarchy;
+        self
+    }
+
+    /// The memory-hierarchy configuration in effect, if armed.
+    #[must_use]
+    pub fn memory_hierarchy(&self) -> Option<&warped_sim::HierarchyConfig> {
+        self.memory_hierarchy.as_ref()
     }
 
     /// Overrides the workload scale factor (in `(0, 1]`).
@@ -257,6 +285,7 @@ impl Experiment {
         if let Some(w) = self.issue_width {
             cfg.issue_width = w;
         }
+        cfg.memory.hierarchy = self.memory_hierarchy.clone();
         cfg.sanitize = self.sanitize;
         cfg.wall_clock_budget = self.job_timeout;
         cfg.telemetry = self.telemetry.clone();

@@ -30,7 +30,12 @@ use warped_isa::UnitType;
 use warped_workloads::BenchmarkSpec;
 
 /// Bump on any change to the canonical encoding below.
-pub const FINGERPRINT_VERSION: u64 = 1;
+///
+/// v2: the memory-hierarchy configuration
+/// ([`Experiment::memory_hierarchy`]) joined the stream — a presence
+/// word followed by every [`HierarchyConfig`](warped_sim::SmConfig)
+/// field when armed.
+pub const FINGERPRINT_VERSION: u64 = 2;
 
 const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
@@ -141,6 +146,31 @@ pub fn cell_fingerprint(
         .f64(experiment.scale())
         .word(experiment.layout().sp_clusters() as u64)
         .word(experiment.issue_width().map_or(0, |w| w as u64 + 1));
+    // Memory hierarchy: a presence word, then — when armed — every
+    // field in declaration order. Each field changes realized latencies,
+    // so each must move the hash.
+    match experiment.memory_hierarchy() {
+        None => {
+            h.word(0);
+        }
+        Some(m) => {
+            h.word(1)
+                .word(u64::from(m.line_size))
+                .word(u64::from(m.l1_sets))
+                .word(u64::from(m.l1_ways))
+                .word(u64::from(m.l1_banks))
+                .word(u64::from(m.l1_latency))
+                .word(u64::from(m.l1_mshr_entries))
+                .word(u64::from(m.l2_sets))
+                .word(u64::from(m.l2_ways))
+                .word(u64::from(m.l2_sectors))
+                .word(u64::from(m.l2_latency))
+                .word(u64::from(m.l2_mshr_entries))
+                .word(u64::from(m.dram_latency))
+                .word(u64::from(m.dram_interval))
+                .word(m.fallback_footprint);
+        }
+    }
     // Technique, by stable display name (not enum discriminant, so
     // reordering the enum cannot silently remap cached results).
     h.str(technique.name());
@@ -219,6 +249,37 @@ mod tests {
         let mut spec4 = spec.clone();
         spec4.total_warps += 1;
         variants.push(cell_fingerprint(&exp, &spec4, Technique::WarpedGates));
+        // Arming the hierarchy moves the hash, and so does every one of
+        // its fields.
+        let armed = exp
+            .clone()
+            .with_memory_hierarchy(Some(warped_sim::HierarchyConfig::default()));
+        variants.push(cell_fingerprint(&armed, &spec, Technique::WarpedGates));
+        let field_edits: Vec<fn(&mut warped_sim::HierarchyConfig)> = vec![
+            |m| m.line_size *= 2,
+            |m| m.l1_sets *= 2,
+            |m| m.l1_ways += 1,
+            |m| m.l1_banks *= 2,
+            |m| m.l1_latency += 1,
+            |m| m.l1_mshr_entries += 1,
+            |m| m.l2_sets *= 2,
+            |m| m.l2_ways += 1,
+            |m| m.l2_sectors *= 2,
+            |m| m.l2_latency += 1,
+            |m| m.l2_mshr_entries += 1,
+            |m| m.dram_latency += 1,
+            |m| m.dram_interval += 1,
+            |m| m.fallback_footprint += 1,
+        ];
+        for edit in field_edits {
+            let mut m = warped_sim::HierarchyConfig::default();
+            edit(&mut m);
+            variants.push(cell_fingerprint(
+                &exp.clone().with_memory_hierarchy(Some(m)),
+                &spec,
+                Technique::WarpedGates,
+            ));
+        }
 
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(*v, reference, "variant {i} must move the fingerprint");

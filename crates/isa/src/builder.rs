@@ -1,6 +1,6 @@
 //! Fluent construction of [`Kernel`]s.
 
-use crate::{Instruction, Kernel, MemSpace, Opcode, Reg, Segment};
+use crate::{AddrGen, Instruction, Kernel, MemSpace, Opcode, Reg, Segment};
 
 /// A fluent builder for [`Kernel`]s.
 ///
@@ -182,6 +182,43 @@ impl KernelBuilder {
         ))
     }
 
+    /// Global memory load walking a deterministic strided stream:
+    /// `dst <- mem[base + warp*warp_stride + i*stride]`.
+    #[must_use]
+    pub fn load_global_strided(self, dst: u16, base: u64, stride: u32, warp_stride: u32) -> Self {
+        self.push(
+            Instruction::new(Opcode::Load(MemSpace::Global), Some(Reg::new(dst)), &[])
+                .with_addr_gen(AddrGen::Strided {
+                    base,
+                    stride,
+                    warp_stride,
+                }),
+        )
+    }
+
+    /// Global memory load walking a row-major tiled 2D array.
+    #[must_use]
+    pub fn load_global_tiled(self, dst: u16, base: u64, row_len: u32, tile: u32) -> Self {
+        self.push(
+            Instruction::new(Opcode::Load(MemSpace::Global), Some(Reg::new(dst)), &[])
+                .with_addr_gen(AddrGen::Tiled {
+                    base,
+                    row_len,
+                    tile,
+                }),
+        )
+    }
+
+    /// Global memory load gathering from a seeded random window of
+    /// `footprint` bytes.
+    #[must_use]
+    pub fn load_global_random(self, dst: u16, seed: u64, footprint: u64) -> Self {
+        self.push(
+            Instruction::new(Opcode::Load(MemSpace::Global), Some(Reg::new(dst)), &[])
+                .with_addr_gen(AddrGen::IndirectRandom { seed, footprint }),
+        )
+    }
+
     /// Shared memory load: `dst <- shmem[...]` (short latency).
     #[must_use]
     pub fn load_shared(self, dst: u16) -> Self {
@@ -200,6 +237,20 @@ impl KernelBuilder {
             None,
             &[Reg::new(src)],
         ))
+    }
+
+    /// Global memory store of `src` along a deterministic strided
+    /// stream (write-through in the hierarchy model).
+    #[must_use]
+    pub fn store_global_strided(self, src: u16, base: u64, stride: u32, warp_stride: u32) -> Self {
+        self.push(
+            Instruction::new(Opcode::Store(MemSpace::Global), None, &[Reg::new(src)])
+                .with_addr_gen(AddrGen::Strided {
+                    base,
+                    stride,
+                    warp_stride,
+                }),
+        )
     }
 
     /// Shared memory store of `src`.

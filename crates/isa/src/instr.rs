@@ -1,6 +1,6 @@
 //! Instructions, opcodes, and execution-unit classes.
 
-use crate::Reg;
+use crate::{AddrGen, Reg};
 use std::fmt;
 
 /// The execution-unit class an instruction dispatches to.
@@ -208,6 +208,7 @@ pub struct Instruction {
     op: Opcode,
     dst: Option<Reg>,
     srcs: [Option<Reg>; MAX_SRCS],
+    addr: Option<AddrGen>,
 }
 
 impl Instruction {
@@ -233,7 +234,35 @@ impl Instruction {
         for (slot, reg) in s.iter_mut().zip(srcs) {
             *slot = Some(*reg);
         }
-        Instruction { op, dst, srcs: s }
+        Instruction {
+            op,
+            dst,
+            srcs: s,
+            addr: None,
+        }
+    }
+
+    /// Attaches a deterministic address-stream descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-memory opcodes — an address generator only makes
+    /// sense on loads and stores.
+    #[must_use]
+    pub fn with_addr_gen(mut self, gen: AddrGen) -> Self {
+        assert!(
+            matches!(self.op, Opcode::Load(_) | Opcode::Store(_)),
+            "address generators only attach to memory instructions, not {}",
+            self.op
+        );
+        self.addr = Some(gen);
+        self
+    }
+
+    /// The attached address-stream descriptor, if any.
+    #[must_use]
+    pub fn addr_gen(self) -> Option<AddrGen> {
+        self.addr
     }
 
     /// The opcode.
@@ -283,6 +312,9 @@ impl fmt::Display for Instruction {
         }
         for s in self.srcs.into_iter().flatten() {
             write!(f, ", {s}")?;
+        }
+        if let Some(g) = self.addr {
+            write!(f, " @{g}")?;
         }
         Ok(())
     }

@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod addr;
 mod builder;
 mod instr;
 mod kernel;
 mod mix;
 mod reg;
 
+pub use addr::AddrGen;
 pub use builder::KernelBuilder;
 pub use instr::{Instruction, MemSpace, Opcode, UnitType, MAX_SRCS};
 pub use kernel::{Kernel, KernelCursor, Segment};

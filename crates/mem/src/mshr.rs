@@ -1,0 +1,325 @@
+//! Miss Status Holding Register (MSHR) files.
+//!
+//! The L1 file tracks in-flight missed lines; same-line misses merge
+//! into one entry and the fill wakes every merged warp at the same
+//! cycle. The L2 file tracks in-flight *sectored* lines; each sector
+//! fetch has its own fill cycle, but sectors of one line coalesce into
+//! a single entry (the sectored-cache analogue of secondary-miss
+//! coalescing). Both files free entries lazily: the hierarchy drains
+//! due fills in deterministic `(fill_cycle, line)` order on `advance`.
+
+/// One in-flight L1 miss: the missed line, when its fill arrives, and
+/// how many later same-line misses merged into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Missed line address.
+    pub line: u64,
+    /// Cycle the fill data arrives (and every merged warp wakes).
+    pub fill_cycle: u64,
+    /// Secondary misses merged into this entry.
+    pub merges: u32,
+}
+
+/// The L1 MSHR file: a bounded set of in-flight missed lines.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    peak: u32,
+    allocs: u64,
+    retires: u64,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: u32) -> Self {
+        MshrFile {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            peak: 0,
+            allocs: 0,
+            retires: 0,
+        }
+    }
+
+    /// The in-flight entry for `line`, if any.
+    pub fn find_mut(&mut self, line: u64) -> Option<&mut MshrEntry> {
+        self.entries.iter_mut().find(|e| e.line == line)
+    }
+
+    /// Allocates an entry for a primary miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full — callers must gate issue on
+    /// [`MshrFile::free`] (back-pressure stalls; it never drops).
+    pub fn alloc(&mut self, line: u64, fill_cycle: u64) {
+        assert!(
+            self.entries.len() < self.capacity,
+            "MSHR overflow: back-pressure must stall allocation"
+        );
+        debug_assert!(self.find_mut(line).is_none(), "line already in flight");
+        self.entries.push(MshrEntry {
+            line,
+            fill_cycle,
+            merges: 0,
+        });
+        self.allocs += 1;
+        self.peak = self.peak.max(self.entries.len() as u32);
+    }
+
+    /// Free entries remaining (the back-pressure credit).
+    #[must_use]
+    pub fn free(&self) -> u32 {
+        (self.capacity - self.entries.len()) as u32
+    }
+
+    /// Entries currently in flight.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Removes and returns every entry whose fill is due at `cycle`, in
+    /// deterministic `(fill_cycle, line)` order.
+    pub fn take_due(&mut self, cycle: u64) -> Vec<MshrEntry> {
+        let mut due: Vec<MshrEntry> = Vec::new();
+        self.entries.retain(|e| {
+            if e.fill_cycle <= cycle {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_unstable_by_key(|e| (e.fill_cycle, e.line));
+        self.retires += due.len() as u64;
+        due
+    }
+
+    /// Peak occupancy over the file's lifetime.
+    #[must_use]
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Total primary-miss allocations.
+    #[must_use]
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total retired (filled) entries.
+    #[must_use]
+    pub fn retires(&self) -> u64 {
+        self.retires
+    }
+}
+
+/// One in-flight sectored L2 line: per-sector fill cycles (0 = sector
+/// not in flight).
+#[derive(Debug, Clone)]
+struct L2Entry {
+    l2_line: u64,
+    fills: Vec<u64>,
+}
+
+/// The L2 MSHR file: bounded in-flight sectored lines. Distinct sector
+/// fetches of one line share a single entry.
+#[derive(Debug, Clone)]
+pub struct L2MshrFile {
+    entries: Vec<L2Entry>,
+    capacity: usize,
+    sectors: usize,
+    peak: u32,
+    allocs: u64,
+    sector_fetches: u64,
+    sector_retires: u64,
+}
+
+impl L2MshrFile {
+    /// Creates an empty file with `capacity` line entries of `sectors`
+    /// sectors each.
+    #[must_use]
+    pub fn new(capacity: u32, sectors: u32) -> Self {
+        L2MshrFile {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            sectors: sectors as usize,
+            peak: 0,
+            allocs: 0,
+            sector_fetches: 0,
+            sector_retires: 0,
+        }
+    }
+
+    /// Whether `l2_line` already holds an entry (a new sector fetch to
+    /// it will coalesce instead of allocating).
+    #[must_use]
+    pub fn has_line(&self, l2_line: u64) -> bool {
+        self.entries.iter().any(|e| e.l2_line == l2_line)
+    }
+
+    /// The in-flight fill cycle for `(l2_line, sector)`, if any.
+    #[must_use]
+    pub fn sector_fill(&self, l2_line: u64, sector: u32) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.l2_line == l2_line)
+            .and_then(|e| {
+                let f = e.fills[sector as usize];
+                (f != 0).then_some(f)
+            })
+    }
+
+    /// Records a sector fetch. Coalesces into an existing line entry
+    /// when present; otherwise allocates a new one.
+    ///
+    /// Returns `true` when the fetch coalesced (no new entry consumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fresh entry is needed and the file is full — callers
+    /// must gate issue on [`L2MshrFile::free`].
+    pub fn add_sector(&mut self, l2_line: u64, sector: u32, fill_cycle: u64) -> bool {
+        debug_assert!(fill_cycle > 0);
+        self.sector_fetches += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.l2_line == l2_line) {
+            debug_assert_eq!(e.fills[sector as usize], 0, "sector already in flight");
+            e.fills[sector as usize] = fill_cycle;
+            return true;
+        }
+        assert!(
+            self.entries.len() < self.capacity,
+            "L2 MSHR overflow: back-pressure must stall allocation"
+        );
+        let mut fills = vec![0u64; self.sectors];
+        fills[sector as usize] = fill_cycle;
+        self.entries.push(L2Entry { l2_line, fills });
+        self.allocs += 1;
+        self.peak = self.peak.max(self.entries.len() as u32);
+        false
+    }
+
+    /// Free line entries remaining.
+    #[must_use]
+    pub fn free(&self) -> u32 {
+        (self.capacity - self.entries.len()) as u32
+    }
+
+    /// Line entries currently in flight.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Removes and returns every due sector fill as
+    /// `(fill_cycle, l2_line, sector)`, in deterministic order. A line
+    /// entry is freed once its last in-flight sector fills.
+    pub fn take_due(&mut self, cycle: u64) -> Vec<(u64, u64, u32)> {
+        let mut due: Vec<(u64, u64, u32)> = Vec::new();
+        for e in &mut self.entries {
+            for (s, f) in e.fills.iter_mut().enumerate() {
+                if *f != 0 && *f <= cycle {
+                    due.push((*f, e.l2_line, s as u32));
+                    *f = 0;
+                }
+            }
+        }
+        self.entries.retain(|e| e.fills.iter().any(|&f| f != 0));
+        due.sort_unstable();
+        self.sector_retires += due.len() as u64;
+        due
+    }
+
+    /// Peak line-entry occupancy.
+    #[must_use]
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Total line-entry allocations.
+    #[must_use]
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total sector fetches issued (allocations + coalesced).
+    #[must_use]
+    pub fn sector_fetches(&self) -> u64 {
+        self.sector_fetches
+    }
+
+    /// Total sector fills retired.
+    #[must_use]
+    pub fn sector_retires(&self) -> u64 {
+        self.sector_retires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_shares_one_entry_and_one_fill() {
+        let mut f = MshrFile::new(2);
+        f.alloc(5, 100);
+        let e = f.find_mut(5).expect("in flight");
+        e.merges += 1;
+        assert_eq!(f.live(), 1, "merge consumes no extra entry");
+        let due = f.take_due(100);
+        assert_eq!(due.len(), 1, "one fill per missed line");
+        assert_eq!(due[0].merges, 1);
+        assert_eq!(f.live(), 0);
+    }
+
+    #[test]
+    fn take_due_is_sorted_and_leaves_future_fills() {
+        let mut f = MshrFile::new(4);
+        f.alloc(9, 50);
+        f.alloc(3, 40);
+        f.alloc(7, 40);
+        f.alloc(1, 60);
+        let due = f.take_due(50);
+        let keys: Vec<(u64, u64)> = due.iter().map(|e| (e.fill_cycle, e.line)).collect();
+        assert_eq!(keys, vec![(40, 3), (40, 7), (50, 9)]);
+        assert_eq!(f.live(), 1);
+        assert_eq!(f.free(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "back-pressure must stall")]
+    fn overflow_panics_instead_of_dropping() {
+        let mut f = MshrFile::new(1);
+        f.alloc(1, 10);
+        f.alloc(2, 10);
+    }
+
+    #[test]
+    fn l2_sector_fetches_coalesce_into_one_line_entry() {
+        let mut f = L2MshrFile::new(2, 4);
+        assert!(!f.add_sector(8, 0, 100), "primary allocates");
+        assert!(f.add_sector(8, 2, 120), "second sector coalesces");
+        assert_eq!(f.live(), 1);
+        assert_eq!(f.sector_fill(8, 2), Some(120));
+        assert_eq!(f.sector_fill(8, 1), None);
+        // First sector fills; the entry survives for the second.
+        assert_eq!(f.take_due(100), vec![(100, 8, 0)]);
+        assert_eq!(f.live(), 1);
+        assert_eq!(f.take_due(120), vec![(120, 8, 2)]);
+        assert_eq!(f.live(), 0);
+        assert_eq!(f.allocs(), 1);
+        assert_eq!(f.sector_fetches(), 2);
+        assert_eq!(f.sector_retires(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "back-pressure must stall")]
+    fn l2_overflow_panics_instead_of_dropping() {
+        let mut f = L2MshrFile::new(1, 2);
+        f.add_sector(1, 0, 10);
+        f.add_sector(2, 0, 10);
+    }
+}

@@ -49,6 +49,23 @@ pub struct Metrics {
     /// Connections refused with a `503` because the dispatch queue
     /// was full (load shedding instead of blocking the acceptor).
     pub shed_requests: AtomicU64,
+    /// Memory accesses issued by hierarchy-armed simulations (zero
+    /// while every request uses the flat latency model).
+    pub mem_accesses: AtomicU64,
+    /// L1 hits across hierarchy-armed simulations.
+    pub mem_l1_hits: AtomicU64,
+    /// L1 misses (MSHR allocations + merges) across hierarchy-armed
+    /// simulations.
+    pub mem_l1_misses: AtomicU64,
+    /// Loads coalesced onto an in-flight MSHR line.
+    pub mem_mshr_merges: AtomicU64,
+    /// Cache-line fills delivered by the hierarchy.
+    pub mem_fills: AtomicU64,
+    /// L2 misses that went to the DRAM interval queue.
+    pub mem_l2_misses: AtomicU64,
+    /// High-water mark of live L1 MSHR entries over all
+    /// hierarchy-armed simulations.
+    pub mem_mshr_peak: AtomicU64,
 }
 
 /// RAII guard bumping `in_flight` for the duration of a job.
@@ -77,6 +94,22 @@ impl Metrics {
         self.heap_peak.fetch_max(stats.heap_peak, Ordering::Relaxed);
         self.idle_cycles_skipped
             .fetch_add(stats.idle_cycles_skipped, Ordering::Relaxed);
+        // Memory-hierarchy counters stay zero while every request uses
+        // the flat latency model, so scrapers see a stable series set.
+        let mem = &stats.mem;
+        if mem.hierarchy {
+            self.mem_accesses.fetch_add(mem.accesses, Ordering::Relaxed);
+            self.mem_l1_hits.fetch_add(mem.l1_hits, Ordering::Relaxed);
+            self.mem_l1_misses
+                .fetch_add(mem.l1_misses, Ordering::Relaxed);
+            self.mem_mshr_merges
+                .fetch_add(mem.mshr_merges, Ordering::Relaxed);
+            self.mem_fills.fetch_add(mem.fills, Ordering::Relaxed);
+            self.mem_l2_misses
+                .fetch_add(mem.l2_misses, Ordering::Relaxed);
+            self.mem_mshr_peak
+                .fetch_max(u64::from(mem.mshr_peak), Ordering::Relaxed);
+        }
     }
 
     /// Records the response status of one request.
@@ -226,6 +259,41 @@ impl Metrics {
             "Connections answered 503 because the dispatch queue was full.",
             self.shed_requests.load(Ordering::Relaxed),
         );
+        counter(
+            "warped_serve_sim_mem_accesses_total",
+            "Memory accesses issued by hierarchy-armed simulations.",
+            self.mem_accesses.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_mem_l1_hits_total",
+            "L1 hits across hierarchy-armed simulations.",
+            self.mem_l1_hits.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_mem_l1_misses_total",
+            "L1 misses across hierarchy-armed simulations.",
+            self.mem_l1_misses.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_mem_mshr_merges_total",
+            "Loads coalesced onto an in-flight MSHR line.",
+            self.mem_mshr_merges.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_mem_fills_total",
+            "Cache-line fills delivered by the hierarchy.",
+            self.mem_fills.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_mem_l2_misses_total",
+            "L2 misses that queued on the DRAM interval model.",
+            self.mem_l2_misses.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_sim_mem_mshr_peak",
+            "High-water live L1 MSHR entries over hierarchy-armed simulations.",
+            self.mem_mshr_peak.load(Ordering::Relaxed),
+        );
         // Cluster counters render as a stable set of series whether or
         // not cluster mode is armed, like the disk-cache block above.
         let cc = cluster.map(crate::cluster::Cluster::counters);
@@ -295,8 +363,29 @@ mod tests {
             idle_cycles_skipped: 9,
             ..Default::default()
         };
+        // Flat-model runs leave every mem series untouched even with
+        // nonzero legacy load counters.
+        stats.mem.accesses = 11;
         m.record_core_counters(&stats);
         stats.heap_peak = 5; // lower peak must not regress the high-water
+        m.record_core_counters(&stats);
+        assert_eq!(m.mem_accesses.load(Ordering::Relaxed), 0);
+        stats.mem = warped_sim::MemoryStats {
+            hierarchy: true,
+            accesses: 10,
+            l1_hits: 6,
+            l1_misses: 4,
+            mshr_merges: 1,
+            fills: 3,
+            l2_misses: 2,
+            mshr_peak: 3,
+            ..Default::default()
+        };
+        stats.events_dispatched = 0;
+        stats.idle_cycles_skipped = 0;
+        stats.heap_peak = 0;
+        m.record_core_counters(&stats);
+        stats.mem.mshr_peak = 2; // lower MSHR peak must not regress either
         m.record_core_counters(&stats);
 
         m.shed_requests.fetch_add(2, Ordering::Relaxed);
@@ -321,6 +410,13 @@ mod tests {
         assert!(page.contains("warped_serve_sweep_cells_deduped_total 0"));
         assert!(page.contains("warped_serve_simulations_total 0"));
         assert!(page.contains("warped_serve_shed_requests_total 2"));
+        assert!(page.contains("warped_serve_sim_mem_accesses_total 20"));
+        assert!(page.contains("warped_serve_sim_mem_l1_hits_total 12"));
+        assert!(page.contains("warped_serve_sim_mem_l1_misses_total 8"));
+        assert!(page.contains("warped_serve_sim_mem_mshr_merges_total 2"));
+        assert!(page.contains("warped_serve_sim_mem_fills_total 6"));
+        assert!(page.contains("warped_serve_sim_mem_l2_misses_total 4"));
+        assert!(page.contains("warped_serve_sim_mem_mshr_peak 3"));
         // Cluster counters are present (as zeros) even off-cluster.
         assert!(page.contains("warped_serve_cluster_forwarded_requests_total 0"));
         assert!(page.contains("warped_serve_cluster_retries_total 0"));

@@ -157,6 +157,9 @@ struct RunRequest {
     technique: Technique,
     scale: f64,
     params: GatingParams,
+    /// Arm the cycle-accurate L1/L2 hierarchy (default geometry)
+    /// instead of the flat latency model.
+    hierarchy: bool,
 }
 
 impl RunRequest {
@@ -174,7 +177,13 @@ impl RunRequest {
         for key in doc.keys() {
             if !matches!(
                 key,
-                "benchmark" | "technique" | "scale" | "idle_detect" | "bet" | "wakeup_delay"
+                "benchmark"
+                    | "technique"
+                    | "scale"
+                    | "idle_detect"
+                    | "bet"
+                    | "wakeup_delay"
+                    | "hierarchy"
             ) {
                 return Err(format!("unknown field \"{key}\""));
             }
@@ -210,6 +219,12 @@ impl RunRequest {
                     .ok_or_else(|| format!("\"{name}\" must be a non-negative integer"))?;
             }
         }
+        let hierarchy = match doc.get("hierarchy") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "\"hierarchy\" must be true or false".to_owned())?,
+        };
         // Deliberately NOT validated here: out-of-range gating
         // parameters (e.g. bet = 0) panic inside the experiment and
         // exercise the 500 fault-isolation path, like any other cell
@@ -219,6 +234,7 @@ impl RunRequest {
             technique,
             scale,
             params,
+            hierarchy,
         })
     }
 
@@ -228,13 +244,14 @@ impl RunRequest {
     fn to_body(&self) -> String {
         format!(
             "{{\"benchmark\":\"{}\",\"technique\":\"{}\",\"scale\":{},\
-             \"idle_detect\":{},\"bet\":{},\"wakeup_delay\":{}}}",
+             \"idle_detect\":{},\"bet\":{},\"wakeup_delay\":{},\"hierarchy\":{}}}",
             json::escape(self.benchmark.name()),
             json::escape(self.technique.name()),
             self.scale,
             self.params.idle_detect,
             self.params.bet,
             self.params.wakeup_delay,
+            self.hierarchy,
         )
     }
 }
@@ -321,7 +338,27 @@ fn render_run(req: &RunRequest, fingerprint: u64, run: &TechniqueRun) -> Vec<u8>
             g.demand_blocked_cycles,
         ));
     }
-    out.push_str("}}\n");
+    out.push('}');
+    // The memory block appears only for hierarchy-armed runs, so flat
+    // (default) reports stay byte-identical to what they always were.
+    let mem = &run.stats.mem;
+    if mem.hierarchy {
+        out.push_str(&format!(
+            ",\"memory\":{{\"accesses\":{},\"l1_hits\":{},\"l1_misses\":{},\
+             \"mshr_merges\":{},\"fills\":{},\"l2_accesses\":{},\"l2_misses\":{},\
+             \"mshr_peak\":{},\"stores\":{}}}",
+            mem.accesses,
+            mem.l1_hits,
+            mem.l1_misses,
+            mem.mshr_merges,
+            mem.fills,
+            mem.l2_accesses,
+            mem.l2_misses,
+            mem.mshr_peak,
+            mem.stores,
+        ));
+    }
+    out.push_str("}\n");
     out.into_bytes()
 }
 
@@ -559,7 +596,10 @@ impl Service {
         let built = catch_unwind(AssertUnwindSafe(|| {
             let experiment = Experiment::new(run_req.params)
                 .with_scale(run_req.scale)
-                .with_job_timeout(self.config.job_timeout);
+                .with_job_timeout(self.config.job_timeout)
+                .with_memory_hierarchy(
+                    run_req.hierarchy.then(warped_sim::HierarchyConfig::default),
+                );
             let fingerprint = cell_fingerprint(&experiment, &spec, run_req.technique);
             (experiment, fingerprint)
         }));
@@ -1366,9 +1406,53 @@ mod tests {
     }
 
     #[test]
+    fn hierarchy_requests_run_the_cache_model_and_report_memory_stats() {
+        let service = quick_service();
+        let flat = "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05}";
+        let armed =
+            "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05,\"hierarchy\":true}";
+        let (status, flat_body, _) = dispatch(&service, &post("/run", flat));
+        assert_eq!(status, 200, "{flat_body}");
+        assert!(!flat_body.contains("\"memory\""), "{flat_body}");
+        let (status, armed_body, _) = dispatch(&service, &post("/run", armed));
+        assert_eq!(status, 200, "{armed_body}");
+        assert!(
+            armed_body.contains("\"memory\":{\"accesses\":"),
+            "{armed_body}"
+        );
+        assert_ne!(
+            flat_body, armed_body,
+            "the two memory models are distinct cells"
+        );
+        assert_eq!(
+            service.cache.misses(),
+            2,
+            "hierarchy folds into the fingerprint, so the cells cache separately"
+        );
+        // An explicit false is the default model: same fingerprint,
+        // same bytes, served from cache.
+        let explicit =
+            "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05,\"hierarchy\":false}";
+        let (status, third, _) = dispatch(&service, &post("/run", explicit));
+        assert_eq!(status, 200);
+        assert_eq!(flat_body, third);
+        assert_eq!(service.cache.misses(), 2);
+        // The mem metrics counted only the hierarchy-armed simulation.
+        assert!(service.metrics.mem_accesses.load(Ordering::Relaxed) > 0);
+        let (_, page, _) = dispatch(&service, &get("/metrics"));
+        assert!(page.contains("warped_serve_sim_mem_accesses_total"));
+        // A non-boolean value is rejected before any work.
+        let bad = "{\"benchmark\":\"nw\",\"technique\":\"baseline\",\"hierarchy\":1}";
+        let (status, body, _) = dispatch(&service, &post("/run", bad));
+        assert_eq!(status, 400);
+        assert!(body.contains("true or false"), "{body}");
+    }
+
+    #[test]
     fn run_request_to_body_round_trips() {
         let body = "{\"benchmark\":\"bfs\",\"technique\":\"warped-gates\",\
-                     \"scale\":0.25,\"idle_detect\":5,\"bet\":14,\"wakeup_delay\":9}";
+                     \"scale\":0.25,\"idle_detect\":5,\"bet\":14,\"wakeup_delay\":9,\
+                     \"hierarchy\":true}";
         let parsed = RunRequest::parse(body.as_bytes()).unwrap();
         let rendered = parsed.to_body();
         let reparsed = RunRequest::parse(rendered.as_bytes()).unwrap();
@@ -1376,6 +1460,7 @@ mod tests {
         assert_eq!(parsed.technique, reparsed.technique);
         assert_eq!(parsed.scale, reparsed.scale);
         assert_eq!(parsed.params, reparsed.params);
+        assert_eq!(parsed.hierarchy, reparsed.hierarchy);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+pub use warped_mem::HierarchyConfig;
+
 /// Memory subsystem timing parameters.
 ///
 /// The model is latency-based: each global access is classified as an L1
@@ -27,6 +29,13 @@ pub struct MemoryConfig {
     pub dram_interval: u32,
     /// Seed that decorrelates hit/miss draws between runs and SMs.
     pub seed: u64,
+    /// When set, global accesses go through the cycle-accurate L1/L2 +
+    /// MSHR hierarchy ([`warped_mem::Hierarchy`]) instead of the
+    /// probabilistic latency draw; `l1_hit_rate`, `hit_latency`,
+    /// `miss_latency`, `max_outstanding`, and `dram_interval` above are
+    /// then ignored in favour of the hierarchy's own geometry. `None`
+    /// (the default) keeps the legacy model bit-identical.
+    pub hierarchy: Option<HierarchyConfig>,
 }
 
 impl MemoryConfig {
@@ -50,6 +59,9 @@ impl MemoryConfig {
         assert!(self.shared_latency > 0, "shared_latency must be positive");
         assert!(self.max_outstanding > 0, "max_outstanding must be positive");
         assert!(self.dram_interval > 0, "dram_interval must be positive");
+        if let Some(h) = &self.hierarchy {
+            h.validate();
+        }
     }
 }
 
@@ -63,6 +75,7 @@ impl Default for MemoryConfig {
             max_outstanding: 64,
             dram_interval: 8,
             seed: 0x5eed_cafe,
+            hierarchy: None,
         }
     }
 }

@@ -75,13 +75,13 @@ pub mod timeq;
 pub mod trace;
 mod warp;
 
-pub use config::{MemoryConfig, SmConfig};
+pub use config::{HierarchyConfig, MemoryConfig, SmConfig};
 pub use domain::{DomainId, DomainLayout, MAX_SP_CLUSTERS, NUM_DOMAINS, NUM_SP_CLUSTERS};
 pub use gate_iface::{
     AlwaysOn, CycleObservation, DomainGatingStats, GateTransition, GatingReport, PowerGating,
 };
 pub use gpu::{Gpu, GpuOutcome, LaunchConfig};
-pub use mem::MemorySubsystem;
+pub use mem::{LoadIssue, MemorySubsystem};
 pub use probe::{Event, Recorder, RecorderConfig, Stamped, TelemetryChunk, TelemetryLog};
 pub use sanitize::{GatingInvariants, Sanitizer};
 pub use sched::{
@@ -89,5 +89,5 @@ pub use sched::{
 };
 pub use scoreboard::Scoreboard;
 pub use sm::{Sm, SmOutcome};
-pub use stats::{IdleHistogram, SimStats, UnitStats};
+pub use stats::{IdleHistogram, MemoryStats, SimStats, UnitStats};
 pub use warp::{WarpId, WarpSlot};

@@ -102,6 +102,26 @@ pub enum Event {
         /// Cycles skipped in one jump.
         cycles: u64,
     },
+    /// A primary L1 miss allocated a fresh MSHR entry (hierarchy mode
+    /// only).
+    MshrAlloc {
+        /// The missed cache line address (byte address >> line bits).
+        line: u64,
+    },
+    /// A secondary miss merged into an in-flight MSHR entry: its warp
+    /// will wake on the same fill broadcast as the primary miss
+    /// (hierarchy mode only).
+    MshrMerge {
+        /// The in-flight cache line the access merged into.
+        line: u64,
+    },
+    /// A fill returned and will install its line, waking every merged
+    /// warp at this cycle (hierarchy mode only). Stamped at the fill
+    /// cycle, which is in the future relative to the allocating miss.
+    Fill {
+        /// The line being installed.
+        line: u64,
+    },
 }
 
 /// An [`Event`] with its simulation-cycle stamp.
@@ -163,6 +183,16 @@ pub struct EpochCounters {
     pub ff_cycles: u64,
     /// GATES priority flips.
     pub priority_flips: u64,
+    /// Global memory accesses issued (hierarchy mode only; binned at
+    /// their issue cycle via [`Recorder::note_mem_access`]).
+    pub mem_accesses: u64,
+    /// Primary L1 misses ([`Event::MshrAlloc`]).
+    pub mem_mshr_allocs: u64,
+    /// Secondary misses merged into in-flight entries
+    /// ([`Event::MshrMerge`]).
+    pub mem_mshr_merges: u64,
+    /// Fills returned ([`Event::Fill`]), binned at their fill cycle.
+    pub mem_fills: u64,
 }
 
 /// The initial busy/powered flags, from the first sample the recorder
@@ -269,6 +299,9 @@ impl Inner {
             Event::BlackoutHold { .. } => bin.blackout_holds += 1,
             Event::PriorityFlip { .. } => bin.priority_flips += 1,
             Event::FastForward { .. } => bin.ff_spans += 1,
+            Event::MshrAlloc { .. } => bin.mem_mshr_allocs += 1,
+            Event::MshrMerge { .. } => bin.mem_mshr_merges += 1,
+            Event::Fill { .. } => bin.mem_fills += 1,
             _ => {}
         }
     }
@@ -479,6 +512,14 @@ impl Recorder {
     /// Appends one event, dropping (and counting) the oldest if full.
     pub fn record(&self, cycle: u64, event: Event) {
         self.lock().push(cycle, event);
+    }
+
+    /// Bumps the cycle's epoch access counter without pushing a ring
+    /// event. L1 hits are frequent and individually uninteresting, so
+    /// they only exist in rollup form; misses, merges, and fills get
+    /// real events.
+    pub fn note_mem_access(&self, cycle: u64) {
+        self.lock().epoch_mut(cycle).mem_accesses += 1;
     }
 
     /// Feeds one cycle sample: busy/power edges are diffed against the

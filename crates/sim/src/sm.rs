@@ -6,7 +6,7 @@ use crate::exec::ExecUnits;
 use crate::gate_iface::{CycleObservation, GateTransition, GatingReport, PowerGating};
 use crate::gpu::LaunchConfig;
 use crate::mem::MemorySubsystem;
-use crate::probe::Recorder;
+use crate::probe::{Event as ProbeEvent, Recorder};
 use crate::sanitize::Sanitizer;
 use crate::sched::{Candidate, IssueCtx, WarpScheduler};
 use crate::stats::SimStats;
@@ -489,6 +489,14 @@ impl Sm {
         }
         self.stats.warps_completed = self.warps_done;
         self.stats.heap_peak = self.clock.peak();
+        // Drain trailing fills so the memory counters are complete (and
+        // identical whether or not the sanitizer runs its own draining
+        // conservation check).
+        self.mem.finalize(self.cycle);
+        if self.sanitizer.is_some() {
+            self.mem.assert_conserved(self.cycle);
+        }
+        self.stats.mem = self.mem.stats_snapshot();
         let gating = self.gating.report();
         if let Some(s) = &self.sanitizer {
             s.finish(&self.stats, &gating);
@@ -685,7 +693,7 @@ impl Sm {
         // Phase 3: scheduler picks under the current gating state (one
         // virtual dispatch for the whole layout, not one per domain).
         let domain_on = self.gating.powered_flags(self.layout.all());
-        let ldst_credits = self.config.memory.max_outstanding - self.mem.outstanding();
+        let ldst_credits = self.mem.load_credits(cycle);
         self.ctx.reset_for_cycle(
             cycle,
             domain_on,
@@ -1004,19 +1012,41 @@ impl Sm {
 
         let (pipe_occ, complete_in, frees_mshr) = match instr.opcode() {
             Opcode::Load(MemSpace::Global) => {
-                let lat = self.mem.issue_global_load(
+                let issue = self.mem.issue_global_load_at(
                     self.cycle,
                     w.id.0,
                     w.cursor.pc(),
                     w.cursor.executed(),
+                    instr.addr_gen(),
                 );
-                (LDST_PIPE_OCCUPANCY, lat, true)
+                if let (Some(rec), Some(trace)) = (&self.recorder, issue.trace) {
+                    rec.note_mem_access(self.cycle);
+                    match trace.kind {
+                        warped_mem::AccessKind::L1Hit => {}
+                        warped_mem::AccessKind::MshrMerge { line, .. } => {
+                            rec.record(self.cycle, ProbeEvent::MshrMerge { line });
+                        }
+                        warped_mem::AccessKind::Miss {
+                            line, fill_cycle, ..
+                        } => {
+                            rec.record(self.cycle, ProbeEvent::MshrAlloc { line });
+                            rec.record(fill_cycle, ProbeEvent::Fill { line });
+                        }
+                    }
+                }
+                (LDST_PIPE_OCCUPANCY, issue.latency, true)
             }
             Opcode::Load(MemSpace::Shared) => {
                 (LDST_PIPE_OCCUPANCY, self.mem.shared_latency(), false)
             }
             Opcode::Store(MemSpace::Global) => {
-                self.mem.issue_global_store(self.cycle);
+                self.mem.issue_global_store_at(
+                    self.cycle,
+                    w.id.0,
+                    w.cursor.pc(),
+                    w.cursor.executed(),
+                    instr.addr_gen(),
+                );
                 (LDST_PIPE_OCCUPANCY, LDST_PIPE_OCCUPANCY, false)
             }
             Opcode::Store(MemSpace::Shared) => (LDST_PIPE_OCCUPANCY, LDST_PIPE_OCCUPANCY, false),

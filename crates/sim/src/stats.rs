@@ -169,6 +169,102 @@ impl Default for IdleHistogram {
     }
 }
 
+/// Realized memory-subsystem counters for one run.
+///
+/// All fields are integers so memory behaviour takes part in the same
+/// bit-equality contract as the rest of [`SimStats`]; rates are derived
+/// on demand. The legacy latency model fills the L1 fields (an "access"
+/// is a hit/miss draw) and leaves the hierarchy-only fields zero;
+/// the L1/L2 hierarchy fills everything and sets
+/// [`hierarchy`](MemoryStats::hierarchy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Whether the cycle-accurate L1/L2 hierarchy produced these stats.
+    pub hierarchy: bool,
+    /// Global load accesses.
+    pub accesses: u64,
+    /// Loads serviced by L1.
+    pub l1_hits: u64,
+    /// Loads that missed L1 (primary misses + MSHR merges).
+    pub l1_misses: u64,
+    /// Secondary misses merged into an in-flight MSHR entry.
+    pub mshr_merges: u64,
+    /// L1 fills installed.
+    pub fills: u64,
+    /// Peak outstanding-miss occupancy (L1 MSHR file, or the legacy
+    /// outstanding-load counter).
+    pub mshr_peak: u32,
+    /// Capacity the peak is bounded by (L1 MSHR entries, or the legacy
+    /// `max_outstanding`).
+    pub mshr_capacity: u32,
+    /// L2 lookups (one per primary L1 miss; hierarchy only).
+    pub l2_accesses: u64,
+    /// L2 sector hits (hierarchy only).
+    pub l2_hits: u64,
+    /// L2 sector misses, i.e. DRAM fetches (hierarchy only).
+    pub l2_misses: u64,
+    /// Sector fetches coalesced into an in-flight L2 entry (hierarchy
+    /// only).
+    pub l2_coalesced: u64,
+    /// Peak L2 MSHR line-entry occupancy (hierarchy only).
+    pub l2_mshr_peak: u32,
+    /// Global stores issued.
+    pub stores: u64,
+    /// Stores that hit L1 (write-through update; hierarchy only).
+    pub store_hits: u64,
+}
+
+impl MemoryStats {
+    /// Realized L1 hit rate (0 when no accesses).
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Realized L2 miss rate over L2 accesses (0 when none).
+    #[must_use]
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Realized L1 miss rate (0 when no accesses).
+    #[must_use]
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulates another run's memory counters (multi-SM aggregation).
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.hierarchy |= other.hierarchy;
+        self.accesses += other.accesses;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.mshr_merges += other.mshr_merges;
+        self.fills += other.fills;
+        self.mshr_peak = self.mshr_peak.max(other.mshr_peak);
+        self.mshr_capacity = self.mshr_capacity.max(other.mshr_capacity);
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_coalesced += other.l2_coalesced;
+        self.l2_mshr_peak = self.l2_mshr_peak.max(other.l2_mshr_peak);
+        self.stores += other.stores;
+        self.store_hits += other.store_hits;
+    }
+}
+
 /// Per-domain activity statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UnitStats {
@@ -219,6 +315,9 @@ pub struct SimStats {
     /// (diagnostic; zero under the ring clock, whose jumps are counted
     /// only in [`fast_forwarded_cycles`](SimStats::fast_forwarded_cycles)).
     pub idle_cycles_skipped: u64,
+    /// Realized memory-subsystem counters (part of the bit-equality
+    /// contract: identical across clock backends).
+    pub mem: MemoryStats,
 }
 
 impl SimStats {
@@ -336,6 +435,7 @@ impl SimStats {
         self.events_dispatched += other.events_dispatched;
         self.heap_peak = self.heap_peak.max(other.heap_peak);
         self.idle_cycles_skipped += other.idle_cycles_skipped;
+        self.mem.merge(&other.mem);
     }
 }
 

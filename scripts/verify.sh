@@ -75,6 +75,32 @@ step "sanitized sweep (legacy fast-forward clock, invariant sanitizer armed)"
 cargo run --release -q -p warped-bench --bin sweep -- \
     --core fast-forward --scale 0.05 --sanitize --out-dir "$outdir/sanitized"
 
+step "hierarchical memory gate (L1/L2 armed + sanitized, event-queue vs ring bit-for-bit)"
+# The cycle-accurate cache hierarchy computes every latency at issue
+# time, so the two clock backends must produce identical grids with it
+# armed; the sanitizer adds the cache-conservation invariants to every
+# cell. The armed grid must also differ from the flat-model grid —
+# otherwise the hierarchy silently failed to arm.
+cargo run --release -q -p warped-bench --bin sweep -- \
+    --core event-queue --scale 0.05 --sanitize --mem-hierarchy \
+    --out-dir "$outdir/hier_eq"
+cargo run --release -q -p warped-bench --bin sweep -- \
+    --core fast-forward --scale 0.05 --sanitize --mem-hierarchy \
+    --out-dir "$outdir/hier_ff"
+if ! diff <(extract_cells "$outdir/hier_eq/bench_grid.json") \
+          <(extract_cells "$outdir/hier_ff/bench_grid.json"); then
+    echo "verify: FAIL — clock backends diverge with the memory hierarchy armed" >&2
+    exit 1
+fi
+cargo run --release -q -p warped-bench --bin sweep -- \
+    --core event-queue --scale 0.05 --out-dir "$outdir/hier_flat"
+if diff -q <(extract_cells "$outdir/hier_eq/bench_grid.json") \
+           <(extract_cells "$outdir/hier_flat/bench_grid.json") >/dev/null; then
+    echo "verify: FAIL — armed and flat grids are identical; hierarchy never armed" >&2
+    exit 1
+fi
+echo "hierarchy-armed grids match across clock backends and diverge from the flat model"
+
 step "chaos smoke (injected panic is isolated; journal resume heals the grid)"
 if cargo run --release -q -p warped-bench --bin sweep -- \
     --scale 0.02 --chaos 5 --out-dir "$outdir/chaos"; then
@@ -186,6 +212,9 @@ events = next(
 assert events > 0, metrics
 assert "warped_serve_sim_heap_peak" in metrics, metrics
 assert "warped_serve_sim_idle_cycles_skipped_total" in metrics, metrics
+# Memory-hierarchy series exist but stay zero for flat-model requests.
+assert "warped_serve_sim_mem_accesses_total 0" in metrics, metrics
+assert "warped_serve_sim_mem_fills_total 0" in metrics, metrics
 
 req = urllib.request.Request(base + "/shutdown", data=b"")
 assert urllib.request.urlopen(req, timeout=10).status == 200

@@ -8,6 +8,7 @@
 //! `use warped_gates_repro::prelude::*` and get the whole system:
 //!
 //! * [`isa`] — the timing-oriented micro ISA and kernel builder,
+//! * [`mem`] — the deterministic L1/L2 + MSHR cache hierarchy,
 //! * [`sim`] — the cycle-level GTX480-like SM simulator,
 //! * [`gating`] — the power-gating framework and conventional baseline,
 //! * [`power`] — GPUWattch-style energy/area models,
@@ -26,6 +27,7 @@
 pub use warped_gates as gates;
 pub use warped_gating as gating;
 pub use warped_isa as isa;
+pub use warped_mem as mem;
 pub use warped_power as power;
 pub use warped_sim as sim;
 pub use warped_telemetry as telemetry;

@@ -328,6 +328,74 @@ fn observers_see_identical_streams_under_skipping() {
     }
 }
 
+#[test]
+fn hierarchy_armed_clocks_are_bit_equal_and_sanitized() {
+    // The L1/L2/MSHR hierarchy computes every load latency at issue
+    // time, so all three clock backends must stay bit-equal with it
+    // armed — including the realized memory stats, which are part of
+    // SimStats equality. The sanitizer rides along so its cache
+    // conservation invariants run on every case.
+    use warped_gates_repro::sim::HierarchyConfig;
+    let run_armed = |launch: LaunchConfig, technique: Technique, mode: ClockMode| -> SmOutcome {
+        let mut cfg = SmConfig::small_for_tests();
+        cfg.max_cycles = 2_000_000;
+        cfg.memory.hierarchy = Some(HierarchyConfig::small_for_tests());
+        cfg.sanitize = true;
+        mode.apply(&mut cfg);
+        Sm::new(
+            cfg,
+            launch,
+            technique.make_scheduler(),
+            technique.make_gating(GatingParams::default()),
+        )
+        .run()
+    };
+
+    let mut rng = SplitMix64::new(0xff_0006);
+    let mut skipped = 0u64;
+    let mut misses = 0u64;
+    let mut merges = 0u64;
+    for case in 0..4 {
+        let body = random_body(&mut rng, 16, case % 2 == 0);
+        let trips = 1 + rng.below(10) as u32;
+        let warps = 2 + rng.below(6) as u32;
+        let kernel = build_kernel(&body, trips);
+        let launch = LaunchConfig::new(kernel.clone(), warps).with_block_warps(4);
+        for technique in [
+            Technique::Baseline,
+            Technique::ConvPg,
+            Technique::WarpedGates,
+        ] {
+            let stepped = run_armed(launch.clone(), technique, ClockMode::Stepped);
+            assert!(stepped.stats.mem.hierarchy, "hierarchy must be armed");
+            misses += stepped.stats.mem.l1_misses;
+            merges += stepped.stats.mem.mshr_merges;
+            for mode in [ClockMode::FastForward, ClockMode::EventQueue] {
+                let other = run_armed(launch.clone(), technique, mode);
+                assert_eq!(
+                    other.timed_out, stepped.timed_out,
+                    "{technique}/{mode:?}: timeout flag diverges"
+                );
+                assert_eq!(
+                    comparable(&other.stats),
+                    comparable(&stepped.stats),
+                    "{technique}/{mode:?}: SimStats diverge with the hierarchy armed"
+                );
+                assert_eq!(
+                    other.gating, stepped.gating,
+                    "{technique}/{mode:?}: GatingReport diverges with the hierarchy armed"
+                );
+                if mode == ClockMode::EventQueue {
+                    skipped += other.stats.idle_cycles_skipped;
+                }
+            }
+        }
+    }
+    assert!(skipped > 0, "the suite must exercise the skip path");
+    assert!(misses > 0, "the kernels must actually miss in L1");
+    assert!(merges > 0, "the kernels must coalesce onto in-flight MSHRs");
+}
+
 /// Sorts events stamped on the same cycle into a canonical order, since
 /// the skipped and stepped clocks may interleave same-cycle events
 /// differently (e.g. a busy edge vs. the controller reacting to it).
@@ -343,6 +411,9 @@ fn event_key(s: &Stamped) -> (u64, u8, usize, u8) {
         Event::TunerEpoch { unit, .. } => (7, unit.index(), 0),
         Event::PriorityFlip { .. } => (8, 0, 0),
         Event::FastForward { .. } => (9, 0, 0),
+        Event::MshrAlloc { line } => (10, line as usize, 0),
+        Event::MshrMerge { line } => (11, line as usize, 0),
+        Event::Fill { line } => (12, line as usize, 0),
     };
     (s.cycle, rank, idx, flag)
 }

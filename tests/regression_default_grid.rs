@@ -1,0 +1,67 @@
+//! Default-configuration regression pins: with no memory hierarchy
+//! armed, every cell must keep reproducing exactly the cycle and
+//! instruction counts it produced before the L1/L2 subsystem existed.
+//!
+//! This is the unit-test twin of the CI gate that re-sweeps the full
+//! grid and diffs it against the committed `results/bench_grid.json`:
+//! small enough to run on every `cargo test`, pinned to literal values
+//! so an accidental behavior change in the default (flat latency)
+//! memory model fails loudly rather than silently re-baselining.
+
+use warped_gates_repro::gates::{runner, Experiment, Technique};
+use warped_gates_repro::workloads::Benchmark;
+
+/// (benchmark, technique, cycles, instructions) at scale 0.05 under
+/// `Experiment::paper_defaults()` — values captured from the seed
+/// behavior of the flat latency model.
+const PINS: [(Benchmark, Technique, u64, u64); 18] = [
+    (Benchmark::Bfs, Technique::Baseline, 3187, 1182),
+    (Benchmark::Bfs, Technique::ConvPg, 3195, 1182),
+    (Benchmark::Bfs, Technique::Gates, 3195, 1182),
+    (Benchmark::Bfs, Technique::NaiveBlackout, 3195, 1182),
+    (Benchmark::Bfs, Technique::CoordinatedBlackout, 3195, 1182),
+    (Benchmark::Bfs, Technique::WarpedGates, 3195, 1182),
+    (Benchmark::Hotspot, Technique::Baseline, 1386, 1021),
+    (Benchmark::Hotspot, Technique::ConvPg, 1401, 1021),
+    (Benchmark::Hotspot, Technique::Gates, 1402, 1021),
+    (Benchmark::Hotspot, Technique::NaiveBlackout, 1406, 1021),
+    (
+        Benchmark::Hotspot,
+        Technique::CoordinatedBlackout,
+        1399,
+        1021,
+    ),
+    (Benchmark::Hotspot, Technique::WarpedGates, 1399, 1021),
+    (Benchmark::Nw, Technique::Baseline, 1146, 149),
+    (Benchmark::Nw, Technique::ConvPg, 1199, 149),
+    (Benchmark::Nw, Technique::Gates, 1199, 149),
+    (Benchmark::Nw, Technique::NaiveBlackout, 1205, 149),
+    (Benchmark::Nw, Technique::CoordinatedBlackout, 1203, 149),
+    (Benchmark::Nw, Technique::WarpedGates, 1203, 149),
+];
+
+#[test]
+fn default_config_cells_match_their_pinned_seed_values() {
+    let exp = Experiment::paper_defaults().with_scale(0.05);
+    assert!(
+        exp.memory_hierarchy().is_none(),
+        "paper defaults must keep the flat latency model"
+    );
+    let benches = [Benchmark::Bfs, Benchmark::Hotspot, Benchmark::Nw];
+    let jobs = runner::grid_of(&benches, &Technique::ALL);
+    let runs = runner::run_grid_with(&exp, &jobs, 4);
+    assert_eq!(runs.len(), PINS.len());
+    for (run, (bench, technique, cycles, instructions)) in runs.iter().zip(PINS) {
+        assert_eq!(run.report.benchmark, bench.name());
+        assert_eq!(run.report.technique, technique);
+        assert_eq!(
+            (run.report.cycles, run.report.stats.instructions()),
+            (cycles, instructions),
+            "{bench:?}/{technique}: default-model cell drifted from its seed value"
+        );
+        assert!(
+            !run.report.stats.mem.hierarchy,
+            "flat-model runs must not report hierarchy stats"
+        );
+    }
+}
