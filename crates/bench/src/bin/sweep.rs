@@ -20,7 +20,7 @@ use warped_gates::CoreClock;
 const USAGE: &str = "[--scale <f in (0,1]>] [--jobs <n >= 1>] \
 [--core event-queue|fast-forward|stepped] [--resume] [--sanitize] \
 [--mem-hierarchy] [--out-dir <dir>] [--timeout-secs <s > 0>] \
-[--chaos <i,j,...>] [--trace-cell <i>]";
+[--chaos <i,j,...>] [--trace-cell <i>] [--trace-dir <dir of *.wgt1>]";
 
 fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
     let mut config = SweepConfig::new("results", workers_or_exit());
@@ -115,6 +115,10 @@ fn parse_args(args: &[String]) -> Result<SweepConfig, ArgError> {
                 config.trace_cell = Some(cell);
                 i += 2;
             }
+            "--trace-dir" => {
+                config.trace_dir = Some(value(args, i, "--trace-dir")?.into());
+                i += 2;
+            }
             "--chaos" => {
                 let v = value(args, i, "--chaos")?;
                 config.chaos = v
@@ -195,6 +199,20 @@ fn main() -> ExitCode {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("sweep: cell trace failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = &config.trace_dir {
+        match sweep::run_traces(&config, dir) {
+            Ok(cells) => {
+                println!(
+                    "sweep: {cells} trace cells, wrote {}",
+                    sweep::trace_grid_path(&config.out_dir).display()
+                );
+            }
+            Err(e) => {
+                eprintln!("sweep: trace corpus failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

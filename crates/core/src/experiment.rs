@@ -4,6 +4,7 @@ use crate::report::RunReport;
 use crate::technique::Technique;
 use warped_gating::GatingParams;
 use warped_sim::{DomainLayout, Sm};
+use warped_trace::TraceWorkload;
 use warped_workloads::BenchmarkSpec;
 
 /// Which clock backend (and skip policy) the SM cores run under.
@@ -268,6 +269,55 @@ impl Experiment {
         self.issue_width
     }
 
+    /// Applies every experiment override — architecture, issue width,
+    /// memory hierarchy, observe-only switches, clock backend — to a
+    /// workload-provided base configuration. Both the synthetic and the
+    /// trace-driven run paths funnel through here, so an experiment
+    /// means exactly the same thing for either workload source.
+    fn configure(&self, mut cfg: warped_sim::SmConfig) -> warped_sim::SmConfig {
+        cfg.sp_clusters = self.layout.sp_clusters();
+        if let Some(w) = self.issue_width {
+            cfg.issue_width = w;
+        }
+        cfg.memory.hierarchy = self.memory_hierarchy.clone();
+        cfg.sanitize = self.sanitize;
+        cfg.wall_clock_budget = self.job_timeout;
+        cfg.telemetry = self.telemetry.clone();
+        let (event_queue, fast_forward) = self.core.sm_flags();
+        cfg.event_queue = event_queue;
+        cfg.fast_forward = fast_forward;
+        cfg
+    }
+
+    /// Runs one configured launch under one technique and wraps the
+    /// outcome into a report carrying `benchmark` as the workload name.
+    fn simulate(
+        &self,
+        cfg: warped_sim::SmConfig,
+        launch: warped_sim::LaunchConfig,
+        benchmark: String,
+        technique: Technique,
+    ) -> TechniqueRun {
+        let sm = Sm::new(
+            cfg,
+            launch,
+            technique.make_scheduler(),
+            technique.make_gating_with_layout(self.params, self.layout),
+        );
+        let outcome = sm.run();
+        TechniqueRun {
+            report: RunReport {
+                benchmark,
+                technique,
+                params: self.params,
+                cycles: outcome.stats.cycles,
+                timed_out: outcome.timed_out,
+                stats: outcome.stats,
+                gating: outcome.gating,
+            },
+        }
+    }
+
     /// Runs one benchmark under one technique on a single SM.
     ///
     /// # Panics
@@ -280,36 +330,38 @@ impl Experiment {
         } else {
             spec.clone()
         };
-        let mut cfg = spec.sm_config();
-        cfg.sp_clusters = self.layout.sp_clusters();
-        if let Some(w) = self.issue_width {
-            cfg.issue_width = w;
-        }
-        cfg.memory.hierarchy = self.memory_hierarchy.clone();
-        cfg.sanitize = self.sanitize;
-        cfg.wall_clock_budget = self.job_timeout;
-        cfg.telemetry = self.telemetry.clone();
-        let (event_queue, fast_forward) = self.core.sm_flags();
-        cfg.event_queue = event_queue;
-        cfg.fast_forward = fast_forward;
-        let sm = Sm::new(
-            cfg,
-            spec.launch(),
-            technique.make_scheduler(),
-            technique.make_gating_with_layout(self.params, self.layout),
-        );
-        let outcome = sm.run();
-        TechniqueRun {
-            report: RunReport {
-                benchmark: spec.name.to_owned(),
-                technique,
-                params: self.params,
-                cycles: outcome.stats.cycles,
-                timed_out: outcome.timed_out,
-                stats: outcome.stats,
-                gating: outcome.gating,
-            },
-        }
+        let cfg = self.configure(spec.sm_config());
+        self.simulate(cfg, spec.launch(), spec.name.to_owned(), technique)
+    }
+
+    /// Runs one captured trace under one technique on a single SM.
+    ///
+    /// The trace supplies exactly what a [`BenchmarkSpec`] would — the
+    /// kernel, the launch geometry, and the memory behaviour — so a
+    /// trace captured from a synthetic benchmark replays bit-identically
+    /// to [`run`](Experiment::run) on that benchmark (the
+    /// `trace_roundtrip` suite pins this down across every technique).
+    /// All experiment overrides (scale, architecture, sanitizer, clock
+    /// backend) apply the same way they do to synthetic workloads.
+    #[must_use]
+    pub fn run_trace(&self, trace: &TraceWorkload, technique: Technique) -> TechniqueRun {
+        let trace = if self.scale < 1.0 {
+            trace.scaled(self.scale)
+        } else {
+            trace.clone()
+        };
+        let mut cfg = warped_sim::SmConfig::gtx480();
+        cfg.memory = warped_sim::MemoryConfig {
+            l1_hit_rate: trace.l1_hit_rate,
+            seed: trace.mem_seed,
+            ..warped_sim::MemoryConfig::default()
+        };
+        let cfg = self.configure(cfg);
+        let launch = warped_sim::LaunchConfig::new(trace.kernel.clone(), trace.total_warps)
+            .with_block_warps(trace.block_warps)
+            .with_stagger(trace.stagger)
+            .with_waves(trace.waves);
+        self.simulate(cfg, launch, trace.name.clone(), technique)
     }
 
     /// Runs every technique on one benchmark, in [`Technique::ALL`]

@@ -27,6 +27,7 @@
 use crate::experiment::Experiment;
 use crate::technique::Technique;
 use warped_isa::UnitType;
+use warped_trace::TraceWorkload;
 use warped_workloads::BenchmarkSpec;
 
 /// Bump on any change to the canonical encoding below.
@@ -35,7 +36,13 @@ use warped_workloads::BenchmarkSpec;
 /// ([`Experiment::memory_hierarchy`]) joined the stream — a presence
 /// word followed by every [`HierarchyConfig`](warped_sim::SmConfig)
 /// field when armed.
-pub const FINGERPRINT_VERSION: u64 = 2;
+///
+/// v3: trace-driven cells joined the address space
+/// ([`trace_cell_fingerprint`]) — both fingerprint families carry a
+/// workload-source domain string so a trace cell can never alias a
+/// synthetic cell, and the version bump retires every v2 key rather
+/// than risking silent collisions with the enlarged space.
+pub const FINGERPRINT_VERSION: u64 = 3;
 
 const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
@@ -138,7 +145,75 @@ pub fn cell_fingerprint(
     technique: Technique,
 ) -> u64 {
     let mut h = ConfigHasher::new(FINGERPRINT_VERSION);
-    // Experiment: gating params, scale, architecture.
+    fold_experiment(&mut h, experiment);
+    // Technique, by stable display name (not enum discriminant, so
+    // reordering the enum cannot silently remap cached results).
+    h.str(technique.name());
+    // Workload-source domain: a synthetic spec named like a trace (or
+    // vice versa) must never share a key with it.
+    h.str("spec");
+    // The full benchmark spec, field by field.
+    h.str(spec.name);
+    for unit in [UnitType::Int, UnitType::Fp, UnitType::Sfu, UnitType::Ldst] {
+        h.f64(spec.mix.fraction(unit));
+    }
+    h.f64(spec.l1_hit_rate)
+        .f64(spec.global_frac)
+        .f64(spec.dep_density)
+        .word(spec.body_len as u64)
+        .word(spec.phase_len as u64)
+        .word(u64::from(spec.trips))
+        .word(u64::from(spec.total_warps))
+        .word(u64::from(spec.block_warps))
+        .word(u64::from(spec.barrier_period))
+        .word(u64::from(spec.launches))
+        .word(spec.seed);
+    h.finish()
+}
+
+/// The canonical content hash of one **trace-driven** grid cell: the
+/// experiment and technique folded exactly as in [`cell_fingerprint`],
+/// then the trace identified by its *content digest* (plus its header
+/// name, which lands in reports). Renaming a trace file never moves the
+/// key; editing one byte of its content always does.
+///
+/// # Examples
+///
+/// ```
+/// use warped_gates::fingerprint::trace_cell_fingerprint;
+/// use warped_gates::{Experiment, Technique};
+/// use warped_trace::parse_str;
+///
+/// let trace = parse_str(
+///     "WGT1 k\nlaunch warps=2 block=1 stagger=0 waves=1\n\
+///      mem hit=0.5 seed=1\nseg straight\ni iadd d=1 s=0 lat=4\nend\n",
+/// )
+/// .unwrap();
+/// let exp = Experiment::paper_defaults();
+/// let a = trace_cell_fingerprint(&exp, &trace, Technique::Baseline);
+/// assert_eq!(a, trace_cell_fingerprint(&exp, &trace, Technique::Baseline));
+/// assert_ne!(a, trace_cell_fingerprint(&exp, &trace, Technique::WarpedGates));
+/// ```
+#[must_use]
+pub fn trace_cell_fingerprint(
+    experiment: &Experiment,
+    trace: &TraceWorkload,
+    technique: Technique,
+) -> u64 {
+    let mut h = ConfigHasher::new(FINGERPRINT_VERSION);
+    fold_experiment(&mut h, experiment);
+    h.str(technique.name());
+    // Workload-source domain, mirroring the "spec" tag above.
+    h.str("trace");
+    h.str(&trace.name);
+    h.word(trace.digest);
+    h.finish()
+}
+
+/// Folds the result-determining experiment fields — gating parameters,
+/// scale, architecture, issue width, memory hierarchy — in the
+/// canonical order shared by both fingerprint families.
+fn fold_experiment(h: &mut ConfigHasher, experiment: &Experiment) {
     let p = experiment.params();
     h.word(u64::from(p.idle_detect))
         .word(u64::from(p.bet))
@@ -171,26 +246,6 @@ pub fn cell_fingerprint(
                 .word(m.fallback_footprint);
         }
     }
-    // Technique, by stable display name (not enum discriminant, so
-    // reordering the enum cannot silently remap cached results).
-    h.str(technique.name());
-    // The full benchmark spec, field by field.
-    h.str(spec.name);
-    for unit in [UnitType::Int, UnitType::Fp, UnitType::Sfu, UnitType::Ldst] {
-        h.f64(spec.mix.fraction(unit));
-    }
-    h.f64(spec.l1_hit_rate)
-        .f64(spec.global_frac)
-        .f64(spec.dep_density)
-        .word(spec.body_len as u64)
-        .word(spec.phase_len as u64)
-        .word(u64::from(spec.trips))
-        .word(u64::from(spec.total_warps))
-        .word(u64::from(spec.block_warps))
-        .word(u64::from(spec.barrier_period))
-        .word(u64::from(spec.launches))
-        .word(spec.seed);
-    h.finish()
 }
 
 #[cfg(test)]
@@ -332,6 +387,88 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 108);
+    }
+
+    /// A tiny valid trace with two spots worth mutating: a recorded
+    /// per-lane address and an opcode mnemonic.
+    const TRACE: &str = "WGT1 tf\n\
+                         launch warps=2 block=1 stagger=0 waves=1\n\
+                         mem hit=0.5 seed=9\n\
+                         seg straight\n\
+                         i ldg d=5 lat=1\n\
+                         @ 0 0 0x1000\n\
+                         @ 0 1 0x1004\n\
+                         i iadd d=1 s=5 lat=4\n\
+                         end\n";
+
+    #[test]
+    fn trace_fingerprints_track_content_not_filenames() {
+        let exp = Experiment::paper_defaults();
+        let a = warped_trace::parse_str(TRACE).unwrap();
+        let b = warped_trace::parse_str(TRACE).unwrap();
+        assert_eq!(
+            trace_cell_fingerprint(&exp, &a, Technique::Gates),
+            trace_cell_fingerprint(&exp, &b, Technique::Gates),
+            "identical bytes share a key regardless of provenance"
+        );
+    }
+
+    #[test]
+    fn a_single_address_edit_moves_the_trace_fingerprint() {
+        let exp = Experiment::paper_defaults();
+        let a = warped_trace::parse_str(TRACE).unwrap();
+        let edited = TRACE.replace("@ 0 1 0x1004", "@ 0 1 0x1008");
+        let b = warped_trace::parse_str(&edited).unwrap();
+        assert_ne!(
+            trace_cell_fingerprint(&exp, &a, Technique::WarpedGates),
+            trace_cell_fingerprint(&exp, &b, Technique::WarpedGates),
+            "one recorded address differs — the cells must not share a key"
+        );
+    }
+
+    #[test]
+    fn a_single_opcode_edit_moves_the_trace_fingerprint() {
+        let exp = Experiment::paper_defaults();
+        let a = warped_trace::parse_str(TRACE).unwrap();
+        let edited = TRACE.replace("i iadd d=1 s=5 lat=4", "i imul d=1 s=5 lat=8");
+        let b = warped_trace::parse_str(&edited).unwrap();
+        assert_ne!(
+            trace_cell_fingerprint(&exp, &a, Technique::WarpedGates),
+            trace_cell_fingerprint(&exp, &b, Technique::WarpedGates),
+            "one opcode differs — the cells must not share a key"
+        );
+    }
+
+    #[test]
+    fn trace_cells_never_alias_synthetic_cells() {
+        // A trace named after a real benchmark must not collide with
+        // that benchmark's synthetic cell under any technique.
+        let exp = Experiment::paper_defaults();
+        let spec = Benchmark::Hotspot.spec();
+        let trace = warped_trace::parse_str(&TRACE.replace("WGT1 tf", "WGT1 hotspot")).unwrap();
+        for t in Technique::ALL {
+            assert_ne!(
+                cell_fingerprint(&exp, &spec, t),
+                trace_cell_fingerprint(&exp, &trace, t),
+                "workload-source domain must separate the families ({t})"
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_knobs_move_trace_fingerprints_too() {
+        let exp = Experiment::paper_defaults();
+        let trace = warped_trace::parse_str(TRACE).unwrap();
+        let reference = trace_cell_fingerprint(&exp, &trace, Technique::Gates);
+        let scaled = trace_cell_fingerprint(&exp.clone().with_scale(0.5), &trace, Technique::Gates);
+        assert_ne!(reference, scaled, "scale is a key-bearing knob");
+        let rearch = trace_cell_fingerprint(
+            &exp.clone()
+                .with_architecture(DomainLayout::kepler(), Some(4)),
+            &trace,
+            Technique::Gates,
+        );
+        assert_ne!(reference, rearch, "architecture is a key-bearing knob");
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use gates::GatesScheduler;
 pub use report::RunReport;
 pub use runner::{
     full_grid, grid_of, run_grid, run_grid_fallible, run_grid_fallible_with, run_grid_timed,
-    run_grid_with, GridJob, RunOutcome, TimedRun,
+    run_grid_with, run_trace_grid, run_trace_grid_with, trace_grid_of, GridJob, RunOutcome,
+    TimedRun, TraceGridJob,
 };
 pub use technique::Technique;

@@ -21,12 +21,20 @@
 
 use crate::experiment::{Experiment, TechniqueRun};
 use crate::technique::Technique;
+use std::sync::Arc;
 use std::time::Duration;
 use warped_sim::parallel::{par_map, try_par_map, worker_count};
+use warped_trace::TraceWorkload;
 use warped_workloads::{Benchmark, BenchmarkSpec};
 
 /// One cell of an experiment grid.
 pub type GridJob = (BenchmarkSpec, Technique);
+
+/// One cell of a trace-driven grid. Traces are shared (`Arc`) rather
+/// than cloned per cell: a captured kernel can be orders of magnitude
+/// larger than a [`BenchmarkSpec`], and every technique cell replays
+/// the same workload.
+pub type TraceGridJob = (Arc<TraceWorkload>, Technique);
 
 /// A grid result with the wall-clock time its job took on its worker.
 #[derive(Debug)]
@@ -150,6 +158,43 @@ pub fn run_grid_with(
     par_map(jobs.len(), workers, |i| {
         let (spec, technique) = &jobs[i];
         experiment.run(spec, *technique)
+    })
+}
+
+/// Crosses `traces` × `techniques` into a trace-major job list, the
+/// trace-driven analogue of [`grid_of`].
+#[must_use]
+pub fn trace_grid_of(traces: &[Arc<TraceWorkload>], techniques: &[Technique]) -> Vec<TraceGridJob> {
+    traces
+        .iter()
+        .flat_map(|w| techniques.iter().map(move |t| (Arc::clone(w), *t)))
+        .collect()
+}
+
+/// Runs a trace-driven job list on the default worker pool, returning
+/// reports in job order — [`run_grid`] for captured workloads. The same
+/// determinism guarantee holds: output is bit-identical at any worker
+/// count.
+#[must_use]
+pub fn run_trace_grid(experiment: &Experiment, jobs: &[TraceGridJob]) -> Vec<TechniqueRun> {
+    run_trace_grid_with(experiment, jobs, worker_count())
+}
+
+/// [`run_trace_grid`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn run_trace_grid_with(
+    experiment: &Experiment,
+    jobs: &[TraceGridJob],
+    workers: usize,
+) -> Vec<TechniqueRun> {
+    assert!(workers > 0, "need at least one worker");
+    par_map(jobs.len(), workers, |i| {
+        let (trace, technique) = &jobs[i];
+        experiment.run_trace(trace, *technique)
     })
 }
 
@@ -286,6 +331,44 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.report.cycles, p.report.cycles);
             assert_eq!(s.report.gating, p.report.gating);
+        }
+    }
+
+    #[test]
+    fn trace_grid_mirrors_the_synthetic_grid() {
+        // Capture a pre-scaled spec and run both sides at scale 1.0:
+        // spec scaling divides trips *before* the generator splits them
+        // across barrier rounds, so scaling a full-size capture is not
+        // the same workload as capturing a scaled spec.
+        let exp = Experiment::paper_defaults().with_sanitize(true);
+        let spec = Benchmark::Nw.spec().scaled(0.08);
+        let kernel = spec.kernel();
+        let text = warped_trace::capture(&warped_trace::CaptureSpec {
+            name: spec.name,
+            kernel: &kernel,
+            total_warps: spec.total_warps,
+            block_warps: spec.block_warps,
+            stagger: spec.body_len as u32,
+            waves: spec.launches,
+            l1_hit_rate: spec.l1_hit_rate,
+            mem_seed: spec.seed ^ 0xdead_beef,
+        });
+        let trace = Arc::new(warped_trace::parse_str(&text).unwrap());
+        let jobs = trace_grid_of(&[trace], &Technique::ALL);
+        assert_eq!(jobs.len(), 6);
+        let serial = run_trace_grid_with(&exp, &jobs, 1);
+        let parallel = run_trace_grid_with(&exp, &jobs, 4);
+        let native: Vec<_> = Technique::ALL
+            .into_iter()
+            .map(|t| exp.run(&spec, t))
+            .collect();
+        for ((s, p), n) in serial.iter().zip(&parallel).zip(&native) {
+            assert_eq!(s.report.cycles, p.report.cycles, "worker-count invariance");
+            assert_eq!(s.report.gating, p.report.gating);
+            assert_eq!(
+                s.report.cycles, n.report.cycles,
+                "trace replays the native run"
+            );
         }
     }
 

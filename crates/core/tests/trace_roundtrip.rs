@@ -1,0 +1,243 @@
+//! The WGT1 round-trip property: capture → parse → lower → simulate is
+//! bit-identical to running the native kernel.
+//!
+//! Three layers of evidence, from cheapest to strongest:
+//!
+//! 1. every checked-in corpus trace under `traces/` is *byte-identical*
+//!    to a fresh capture of its benchmark (so the corpus can never
+//!    drift from the generator without a diff showing up);
+//! 2. every corpus trace lowers to a kernel structurally equal to the
+//!    generator's, with the same launch geometry and memory behaviour;
+//! 3. captures of pre-scaled benchmarks and of hand-built
+//!    descriptor-carrying kernels *replay bit-identically* — cycles,
+//!    stats, and gating reports — across all six techniques with the
+//!    sanitizer armed.
+//!
+//! Scaled captures are made from *pre-scaled specs* run at scale 1.0:
+//! spec scaling divides loop trips before the kernel generator splits
+//! them across barrier rounds, so scaling a full-size capture is a
+//! different workload than capturing a scaled spec.
+
+use std::path::PathBuf;
+use warped_gates::{Experiment, Technique};
+use warped_isa::KernelBuilder;
+use warped_trace::{capture, content_digest, parse_bytes, parse_str, CaptureSpec, TraceWorkload};
+use warped_workloads::{Benchmark, BenchmarkSpec};
+
+/// The checked-in corpus directory at the repository root.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../traces")
+}
+
+/// The WGT1 capture of a benchmark spec, exactly as `tracegen` emits it.
+fn capture_spec(spec: &BenchmarkSpec) -> String {
+    let kernel = spec.kernel();
+    capture(&CaptureSpec {
+        name: spec.name,
+        kernel: &kernel,
+        total_warps: spec.total_warps,
+        block_warps: spec.block_warps,
+        stagger: spec.body_len as u32,
+        waves: spec.launches,
+        l1_hit_rate: spec.l1_hit_rate,
+        mem_seed: spec.seed ^ 0xdead_beef,
+    })
+}
+
+fn corpus() -> Vec<(PathBuf, Vec<u8>, TraceWorkload)> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("traces/ corpus must exist at the repo root")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wgt1"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 6,
+        "the corpus holds at least six traces, found {}",
+        entries.len()
+    );
+    entries
+        .into_iter()
+        .map(|path| {
+            let bytes = std::fs::read(&path).unwrap();
+            let parsed = parse_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{}: corpus trace must parse: {e}", path.display()));
+            (path, bytes, parsed)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_traces_are_byte_identical_recaptures() {
+    for (path, bytes, parsed) in corpus() {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        assert_eq!(parsed.name, stem, "file name matches the header name");
+        let bench = Benchmark::from_name(&stem)
+            .unwrap_or_else(|| panic!("{stem}: corpus traces capture catalog benchmarks"));
+        assert_eq!(
+            String::from_utf8(bytes.clone()).unwrap(),
+            capture_spec(&bench.spec()),
+            "{stem}: corpus trace drifted from a fresh full-scale capture — \
+             regenerate with `tracegen --out traces --verify`"
+        );
+        assert_eq!(
+            parsed.digest,
+            content_digest(&bytes),
+            "{stem}: parser must record the content digest of the raw bytes"
+        );
+    }
+}
+
+#[test]
+fn corpus_traces_lower_to_the_native_kernels() {
+    for (_, _, parsed) in corpus() {
+        let spec = Benchmark::from_name(&parsed.name).unwrap().spec();
+        assert_eq!(
+            parsed.kernel,
+            spec.kernel(),
+            "{}: lowered kernel",
+            parsed.name
+        );
+        assert_eq!(parsed.total_warps, spec.total_warps, "{}", parsed.name);
+        assert_eq!(parsed.block_warps, spec.block_warps, "{}", parsed.name);
+        assert_eq!(parsed.stagger, spec.body_len as u32, "{}", parsed.name);
+        assert_eq!(parsed.waves, spec.launches, "{}", parsed.name);
+        assert_eq!(parsed.mem_seed, spec.seed ^ 0xdead_beef, "{}", parsed.name);
+        assert!(
+            (parsed.l1_hit_rate - spec.l1_hit_rate).abs() == 0.0,
+            "{}: hit rate must survive bit-exactly",
+            parsed.name
+        );
+    }
+}
+
+#[test]
+fn scaled_corpus_benchmarks_replay_bit_identically() {
+    let exp = Experiment::paper_defaults().with_sanitize(true);
+    for (_, _, full) in corpus() {
+        let spec = Benchmark::from_name(&full.name)
+            .unwrap()
+            .spec()
+            .scaled(0.08);
+        let trace = parse_str(&capture_spec(&spec)).unwrap();
+        for technique in Technique::ALL {
+            let native = exp.run(&spec, technique);
+            let replay = exp.run_trace(&trace, technique);
+            assert_eq!(
+                native.report.cycles, replay.report.cycles,
+                "{}/{technique}: cycles",
+                spec.name
+            );
+            assert_eq!(
+                native.report.stats, replay.report.stats,
+                "{}/{technique}: stats",
+                spec.name
+            );
+            assert_eq!(
+                native.report.gating, replay.report.gating,
+                "{}/{technique}: gating report",
+                spec.name
+            );
+            assert_eq!(native.report.timed_out, replay.report.timed_out);
+        }
+    }
+}
+
+/// Three hand-built kernels carrying every descriptor family — shapes
+/// the descriptor-free benchmark generator never emits.
+fn descriptor_kernels() -> Vec<TraceWorkload> {
+    let strided = KernelBuilder::new("rt-strided")
+        .iadd(1, 0, 0)
+        .begin_loop(40)
+        .load_global_strided(2, 0x1_0000, 4, 512)
+        .ffma(3, 1, 2, 3)
+        .store_global_strided(3, 0x8_0000, 8, 1024)
+        .end_loop()
+        .build();
+    let tiled = KernelBuilder::new("rt-tiled")
+        .begin_loop(30)
+        .load_global_tiled(2, 0x4000, 64, 8)
+        .fmul(3, 2, 2)
+        .end_loop()
+        .barrier()
+        .store_global(3)
+        .build();
+    let random = KernelBuilder::new("rt-random")
+        .begin_loop(25)
+        .load_global_random(2, 0xabcd, 1 << 16)
+        .iadd(3, 2, 3)
+        .sfu(4, 3)
+        .end_loop()
+        .build();
+    [(strided, 24u32), (tiled, 16), (random, 12)]
+        .into_iter()
+        .map(|(kernel, warps)| TraceWorkload {
+            name: kernel.name().to_owned(),
+            kernel,
+            total_warps: warps,
+            block_warps: 4,
+            stagger: 5,
+            waves: 2,
+            l1_hit_rate: 0.6,
+            mem_seed: 0x7ace,
+            digest: 0, // replaced below by the capture's real digest
+        })
+        .collect()
+}
+
+#[test]
+fn descriptor_kernels_replay_bit_identically_after_capture() {
+    let exp = Experiment::paper_defaults().with_sanitize(true);
+    for native in descriptor_kernels() {
+        let text = capture(&CaptureSpec {
+            name: &native.name,
+            kernel: &native.kernel,
+            total_warps: native.total_warps,
+            block_warps: native.block_warps,
+            stagger: native.stagger,
+            waves: native.waves,
+            l1_hit_rate: native.l1_hit_rate,
+            mem_seed: native.mem_seed,
+        });
+        let parsed = parse_str(&text).unwrap();
+        assert_eq!(
+            parsed,
+            TraceWorkload {
+                digest: content_digest(text.as_bytes()),
+                ..native.clone()
+            },
+            "{}: capture → parse reproduces the workload exactly",
+            native.name
+        );
+        for technique in Technique::ALL {
+            let a = exp.run_trace(&native, technique);
+            let b = exp.run_trace(&parsed, technique);
+            assert_eq!(
+                a.report.cycles, b.report.cycles,
+                "{}/{technique}",
+                native.name
+            );
+            assert_eq!(
+                a.report.stats, b.report.stats,
+                "{}/{technique}",
+                native.name
+            );
+            assert_eq!(
+                a.report.gating, b.report.gating,
+                "{}/{technique}",
+                native.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_names_cover_the_intended_workload_spread() {
+    let names: Vec<String> = corpus().into_iter().map(|(_, _, w)| w.name).collect();
+    for want in ["hotspot", "bfs", "sgemm", "nw", "lbm", "mri"] {
+        assert!(
+            names.iter().any(|n| n == want),
+            "corpus must include {want}, found {names:?}"
+        );
+    }
+}

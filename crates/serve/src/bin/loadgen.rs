@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--addr <host:port>] [--connections <n>] [--requests <n>]
 //!         [--scale <f>] [--cells <n>] [--no-keepalive]
-//!         [--out <dir>] [--check-grid <path>]
+//!         [--out <dir>] [--check-grid <path>] [--trace-dir <dir>]
 //! ```
 //!
 //! Drives N concurrent connections over the benchmark × technique cell
@@ -23,6 +23,16 @@
 //! against a committed grid table: every cell's `cycles` must match
 //! the table's row bit-for-bit (only meaningful with `--scale 1`,
 //! the scale the grid was generated at).
+//!
+//! `--trace-dir <dir>` appends one captured-trace cell to the mix
+//! (the first `*.wgt1` in the directory, referenced via `trace_ref`),
+//! so the serving path for the WGT1 corpus is exercised under load
+//! alongside the synthetic cells. The in-process server loads the
+//! same directory; against `--addr`, the remote server must have been
+//! started with a matching `--trace-dir`. Trace cells are skipped by
+//! `--check-grid` (they live in `bench_trace_grid.json`, not the
+//! synthetic grid) and are not part of cluster mode (trace corpora
+//! are node-local, so trace cells never route between peers).
 //!
 //! `--cluster <a,b,c>` switches to cluster mode: the mix is swept
 //! through the resilient [`ClusterClient`] (consistent-hash routing,
@@ -51,7 +61,8 @@ use warped_workloads::Benchmark;
 const USAGE: &str = "usage: loadgen [--addr <host:port>] [--connections <n>] \
                      [--requests <n>] [--scale <f>] [--cells <n>] \
                      [--no-keepalive] [--out <dir>] [--check-grid <path>] \
-                     [--cluster <addr,addr,...>] [--chaos <seed>]";
+                     [--cluster <addr,addr,...>] [--chaos <seed>] \
+                     [--trace-dir <dir>]";
 
 struct Args {
     addr: Option<String>,
@@ -64,6 +75,7 @@ struct Args {
     check_grid: Option<PathBuf>,
     cluster: Option<Vec<String>>,
     chaos: Option<u64>,
+    trace_dir: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, ArgError> {
@@ -78,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Args, ArgError> {
         check_grid: None,
         cluster: None,
         chaos: None,
+        trace_dir: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -117,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<Args, ArgError> {
             "--no-keepalive" => parsed.no_keepalive = true,
             "--out" => parsed.out = PathBuf::from(value_of("--out")?),
             "--check-grid" => parsed.check_grid = Some(PathBuf::from(value_of("--check-grid")?)),
+            "--trace-dir" => parsed.trace_dir = Some(PathBuf::from(value_of("--trace-dir")?)),
             "--cluster" => {
                 let raw = value_of("--cluster")?;
                 let peers: Vec<String> = raw
@@ -172,6 +186,38 @@ fn cell_mix(scale: f64, cap: Option<usize>) -> Vec<Cell> {
         mix.truncate(cap.max(1));
     }
     mix
+}
+
+/// One captured-trace cell for the mix: the first `*.wgt1` under
+/// `dir` (sorted by path), referenced by its header name. The label
+/// uses the `trace:` prefix so `check_grid` can skip it.
+fn trace_cell(dir: &std::path::Path, scale: f64) -> Option<Cell> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wgt1"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let Ok(workload) = warped_trace::parse_bytes(&bytes) else {
+            eprintln!("loadgen: skipping unparseable trace {}", path.display());
+            continue;
+        };
+        let technique = Technique::WarpedGates;
+        return Some(Cell {
+            label: format!("trace:{}/{}", workload.name, technique.name()),
+            body: format!(
+                "{{\"trace_ref\":\"{}\",\"technique\":\"{}\",\"scale\":{scale}}}",
+                workload.name,
+                technique.name()
+            ),
+        });
+    }
+    None
 }
 
 /// Warm every cell through one streaming `/sweep`, returning each
@@ -294,6 +340,11 @@ fn check_grid(path: &PathBuf, mix: &[Cell], cycles: &[Option<u64>]) -> Result<()
     let table = GridTable::load(path).map_err(|e| e.to_string())?;
     let mut mismatches = 0;
     for (cell, got) in mix.iter().zip(cycles) {
+        // Trace cells live in bench_trace_grid.json, not the
+        // synthetic grid — skip them here.
+        if cell.label.starts_with("trace:") {
+            continue;
+        }
         let want = table.value(&cell.label, "cycles");
         let got = got.expect("warm() guarantees every cell answered");
         match want {
@@ -430,6 +481,10 @@ fn main() -> ExitCode {
         eprintln!("loadgen: --chaos needs --cluster (the fleet to inject into)");
         return ExitCode::FAILURE;
     }
+    if args.trace_dir.is_some() && args.cluster.is_some() {
+        eprintln!("loadgen: --trace-dir is standalone-only (trace corpora are node-local)");
+        return ExitCode::FAILURE;
+    }
     if let Some(peers) = &args.cluster {
         let mix = cell_mix(args.scale, args.cells);
         println!(
@@ -458,10 +513,15 @@ fn main() -> ExitCode {
             }
         },
         None => {
-            let handle = match spawn(ServerConfig {
+            let mut server_config = ServerConfig {
                 addr: "127.0.0.1:0".to_owned(),
                 ..ServerConfig::default()
-            }) {
+            };
+            // The in-process server loads the same corpus the mix
+            // references; against --addr the remote server must have
+            // been started with its own --trace-dir.
+            server_config.service.trace_dir = args.trace_dir.clone();
+            let handle = match spawn(server_config) {
                 Ok(handle) => handle,
                 Err(e) => {
                     eprintln!("loadgen: bind failed: {e}");
@@ -474,7 +534,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let mix = cell_mix(args.scale, args.cells);
+    let mut mix = cell_mix(args.scale, args.cells);
+    if let Some(dir) = &args.trace_dir {
+        match trace_cell(dir, args.scale) {
+            Some(cell) => mix.push(cell),
+            None => {
+                eprintln!("loadgen: no usable *.wgt1 trace under {}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "loadgen: {} cells @ scale {} against {addr} ({} connections, {} requests)",
         mix.len(),

@@ -5,6 +5,7 @@
 //!              [--grid <path>] [--timeout-secs <n>]
 //!              [--cache-dir <path>] [--disk-cache-mb <n>]
 //!              [--keep-alive-secs <n>] [--peers <a,b,c>]
+//!              [--trace-dir <path>]
 //! ```
 //!
 //! Endpoints: `GET /healthz`, `GET /metrics`, `POST /run`,
@@ -15,7 +16,10 @@
 //! cluster: the content-addressed cache is partitioned over the peers
 //! by consistent hashing, mis-routed cells are forwarded one hop to
 //! their owner, and peer health is tracked by `/healthz` probes
-//! feeding per-peer circuit breakers.
+//! feeding per-peer circuit breakers. With `--trace-dir`, the node
+//! loads every `*.wgt1` capture in the directory at startup and
+//! serves them under `trace_ref` cell references on `/run` and
+//! `/sweep` (see `warped-trace` and DESIGN.md §18).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,7 +32,8 @@ use warped_serve::{spawn, ServerConfig};
 const USAGE: &str = "usage: warped-serve [--addr <host:port>] [--workers <n>] \
                      [--cache-mb <n>] [--grid <path>] [--timeout-secs <n>] \
                      [--cache-dir <path>] [--disk-cache-mb <n>] \
-                     [--keep-alive-secs <n>] [--peers <addr,addr,...>]";
+                     [--keep-alive-secs <n>] [--peers <addr,addr,...>] \
+                     [--trace-dir <path>]";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
     let mut config = ServerConfig::default();
@@ -72,6 +77,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
             }
             "--cache-dir" => {
                 config.service.disk_dir = Some(PathBuf::from(value_of("--cache-dir")?));
+            }
+            "--trace-dir" => {
+                config.service.trace_dir = Some(PathBuf::from(value_of("--trace-dir")?));
             }
             "--disk-cache-mb" => {
                 let raw = value_of("--disk-cache-mb")?;

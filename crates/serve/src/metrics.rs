@@ -66,6 +66,14 @@ pub struct Metrics {
     /// High-water mark of live L1 MSHR entries over all
     /// hierarchy-armed simulations.
     pub mem_mshr_peak: AtomicU64,
+    /// WGT1 trace workloads loaded from the corpus directory at
+    /// startup (zero while the server runs without `--trace-dir`).
+    pub traces_loaded: AtomicU64,
+    /// Corpus files skipped at startup because they failed to parse.
+    pub trace_parse_errors: AtomicU64,
+    /// `/run` and `/sweep` cells answered from a captured trace
+    /// workload (through any cache layer or a fresh simulation).
+    pub trace_cells_served: AtomicU64,
 }
 
 /// RAII guard bumping `in_flight` for the duration of a job.
@@ -294,6 +302,24 @@ impl Metrics {
             "High-water live L1 MSHR entries over hierarchy-armed simulations.",
             self.mem_mshr_peak.load(Ordering::Relaxed),
         );
+        // Trace-corpus counters render unconditionally — a stable set
+        // of series whether or not a corpus is loaded, like the disk
+        // and cluster blocks.
+        counter(
+            "warped_serve_trace_workloads_loaded",
+            "WGT1 trace workloads loaded from the corpus directory.",
+            self.traces_loaded.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_trace_parse_errors_total",
+            "Corpus trace files skipped because they failed to parse.",
+            self.trace_parse_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "warped_serve_trace_cells_served_total",
+            "Run/sweep cells answered from a captured trace workload.",
+            self.trace_cells_served.load(Ordering::Relaxed),
+        );
         // Cluster counters render as a stable set of series whether or
         // not cluster mode is armed, like the disk-cache block above.
         let cc = cluster.map(crate::cluster::Cluster::counters);
@@ -417,6 +443,11 @@ mod tests {
         assert!(page.contains("warped_serve_sim_mem_fills_total 6"));
         assert!(page.contains("warped_serve_sim_mem_l2_misses_total 4"));
         assert!(page.contains("warped_serve_sim_mem_mshr_peak 3"));
+        // Trace counters are a stable series set: zeros while no
+        // corpus is loaded.
+        assert!(page.contains("warped_serve_trace_workloads_loaded 0"));
+        assert!(page.contains("warped_serve_trace_parse_errors_total 0"));
+        assert!(page.contains("warped_serve_trace_cells_served_total 0"));
         // Cluster counters are present (as zeros) even off-cluster.
         assert!(page.contains("warped_serve_cluster_forwarded_requests_total 0"));
         assert!(page.contains("warped_serve_cluster_retries_total 0"));

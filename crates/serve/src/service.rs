@@ -35,21 +35,23 @@
 //! with the configured wall-clock watchdog, so a panicking or hung
 //! cell answers `500` with a typed error body and the server lives on.
 
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use warped_bench::grid::GridTable;
 use warped_bench::sweep::{self, SweepConfig};
-use warped_gates::fingerprint::cell_fingerprint;
+use warped_gates::fingerprint::{cell_fingerprint, trace_cell_fingerprint};
 use warped_gates::{runner, Experiment, Technique, TechniqueRun};
 use warped_gating::GatingParams;
 use warped_isa::UnitType;
 use warped_sim::parallel::{panic_message, worker_count};
 use warped_telemetry::{perfetto, rollup, Recorder, RecorderConfig};
+use warped_trace::TraceWorkload;
 use warped_workloads::Benchmark;
 
 use crate::cache::{Outcome, ResultCache};
@@ -80,6 +82,9 @@ pub struct ServiceConfig {
     pub max_sweep_cells: usize,
     /// Cluster membership; `None` runs a standalone node.
     pub cluster: Option<ClusterConfig>,
+    /// Directory of captured `*.wgt1` workload traces served under
+    /// `trace_ref` cell references; `None` disables the corpus.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +98,7 @@ impl Default for ServiceConfig {
             disk_cache_bytes: 256 << 20,
             max_sweep_cells: 4096,
             cluster: None,
+            trace_dir: None,
         }
     }
 }
@@ -124,6 +130,9 @@ pub struct Service {
     cluster: OnceLock<Cluster>,
     /// The injected fault mode (a [`ChaosMode`] as its wire byte).
     chaos: AtomicU8,
+    /// The captured-trace corpus, keyed by each trace's *header* name
+    /// (not its file name) — loaded once at startup.
+    traces: BTreeMap<String, Arc<TraceWorkload>>,
 }
 
 /// A typed error body: `{"error":{"kind":...,"message":...}}`.
@@ -151,9 +160,19 @@ fn technique_from_name(name: &str) -> Option<Technique> {
         .find(|t| slug(t.name()) == wanted || slug(&format!("{t:?}")) == wanted)
 }
 
+/// What a cell simulates: a synthetic benchmark from the catalog, or
+/// a captured WGT1 trace named by its header (resolved against the
+/// corpus loaded at startup *before* any work begins, so an unknown
+/// name is a 400, not a mid-batch fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WorkloadRef {
+    Benchmark(Benchmark),
+    Trace(String),
+}
+
 /// A validated `/run` request.
 struct RunRequest {
-    benchmark: Benchmark,
+    workload: WorkloadRef,
     technique: Technique,
     scale: f64,
     params: GatingParams,
@@ -178,6 +197,7 @@ impl RunRequest {
             if !matches!(
                 key,
                 "benchmark"
+                    | "trace_ref"
                     | "technique"
                     | "scale"
                     | "idle_detect"
@@ -193,9 +213,25 @@ impl RunRequest {
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| format!("missing or non-string field \"{name}\""))
         };
-        let benchmark_name = str_field("benchmark")?;
-        let benchmark = Benchmark::from_name(benchmark_name)
-            .ok_or_else(|| format!("unknown benchmark \"{benchmark_name}\""))?;
+        let workload = match (doc.get("benchmark"), doc.get("trace_ref")) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "\"benchmark\" and \"trace_ref\" are mutually exclusive — name one workload"
+                        .to_owned(),
+                );
+            }
+            (None, None) => {
+                return Err("missing or non-string field \"benchmark\" or \"trace_ref\"".to_owned());
+            }
+            (Some(_), None) => {
+                let benchmark_name = str_field("benchmark")?;
+                WorkloadRef::Benchmark(
+                    Benchmark::from_name(benchmark_name)
+                        .ok_or_else(|| format!("unknown benchmark \"{benchmark_name}\""))?,
+                )
+            }
+            (None, Some(_)) => WorkloadRef::Trace(str_field("trace_ref")?.to_owned()),
+        };
         let technique_name = str_field("technique")?;
         let technique = technique_from_name(technique_name)
             .ok_or_else(|| format!("unknown technique \"{technique_name}\""))?;
@@ -230,7 +266,7 @@ impl RunRequest {
         // exercise the 500 fault-isolation path, like any other cell
         // crash.
         Ok(RunRequest {
-            benchmark,
+            workload,
             technique,
             scale,
             params,
@@ -238,14 +274,23 @@ impl RunRequest {
         })
     }
 
+    /// The workload half of a cell's JSON identity:
+    /// `"benchmark":"nw"` or `"trace_ref":"nw"`.
+    fn workload_json(&self) -> String {
+        match &self.workload {
+            WorkloadRef::Benchmark(b) => format!("\"benchmark\":\"{}\"", json::escape(b.name())),
+            WorkloadRef::Trace(name) => format!("\"trace_ref\":\"{}\"", json::escape(name)),
+        }
+    }
+
     /// The canonical `/run` body for this cell — what a peer forward
     /// sends, so the owner parses back an identical request (and hence
     /// computes the identical fingerprint and bytes).
     fn to_body(&self) -> String {
         format!(
-            "{{\"benchmark\":\"{}\",\"technique\":\"{}\",\"scale\":{},\
+            "{{{},\"technique\":\"{}\",\"scale\":{},\
              \"idle_detect\":{},\"bet\":{},\"wakeup_delay\":{},\"hierarchy\":{}}}",
-            json::escape(self.benchmark.name()),
+            self.workload_json(),
             json::escape(self.technique.name()),
             self.scale,
             self.params.idle_detect,
@@ -298,12 +343,12 @@ fn parse_sweep_cells(body: &[u8], max_cells: usize) -> Result<Vec<RunRequest>, S
 fn render_run(req: &RunRequest, fingerprint: u64, run: &TechniqueRun) -> Vec<u8> {
     let mut out = String::with_capacity(1024);
     out.push_str(&format!(
-        "{{\"benchmark\":\"{}\",\"technique\":\"{}\",\"scale\":{},\
+        "{{{},\"technique\":\"{}\",\"scale\":{},\
          \"params\":{{\"idle_detect\":{},\"bet\":{},\"wakeup_delay\":{}}},\
          \"fingerprint\":\"{fingerprint:016x}\",\
          \"cycles\":{},\"ff_cycles\":{},\"timed_out\":{},\
          \"instructions\":{},\"ipc\":{:.6},\"gating\":{{",
-        json::escape(req.benchmark.name()),
+        req.workload_json(),
         json::escape(req.technique.name()),
         req.scale,
         req.params.idle_detect,
@@ -362,6 +407,46 @@ fn render_run(req: &RunRequest, fingerprint: u64, run: &TechniqueRun) -> Vec<u8>
     out.into_bytes()
 }
 
+/// Loads every `*.wgt1` file under `dir`, keyed by each trace's
+/// header name. A file that fails to read or parse is skipped (and
+/// counted in `trace_parse_errors`) rather than refusing startup —
+/// the same degradation policy as a broken disk-cache directory.
+fn load_traces(dir: &Path, metrics: &Metrics) -> BTreeMap<String, Arc<TraceWorkload>> {
+    let mut traces = BTreeMap::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!(
+                "warped-serve: trace corpus at {} disabled: {e}",
+                dir.display()
+            );
+            return traces;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wgt1"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let parsed = std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| warped_trace::parse_bytes(&bytes).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(workload) => {
+                metrics.traces_loaded.fetch_add(1, Ordering::Relaxed);
+                traces.insert(workload.name.clone(), Arc::new(workload));
+            }
+            Err(e) => {
+                metrics.trace_parse_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warped-serve: skipping trace {}: {e}", path.display());
+            }
+        }
+    }
+    traces
+}
+
 impl Service {
     /// A service over the given configuration.
     #[must_use]
@@ -381,13 +466,19 @@ impl Service {
                 })
                 .ok()
         });
+        let metrics = Metrics::default();
+        let traces = config
+            .trace_dir
+            .as_deref()
+            .map_or_else(BTreeMap::new, |dir| load_traces(dir, &metrics));
         let service = Service {
             cache: ResultCache::new(shards, config.cache_bytes),
             disk,
-            metrics: Metrics::default(),
+            metrics,
             regen: Mutex::new(()),
             cluster: OnceLock::new(),
             chaos: AtomicU8::new(0),
+            traces,
             config,
         };
         // Like the disk cache: a broken cluster config degrades to a
@@ -589,10 +680,27 @@ impl Service {
         run_req: &RunRequest,
         local_only: bool,
     ) -> (Result<Arc<Vec<u8>>, String>, bool) {
+        // Trace refs resolve against the corpus loaded at startup.
+        // `/run` and `/sweep` validate refs before any work, so this
+        // branch only fires on an internal caller bug — it still
+        // degrades to a typed error rather than a panic.
+        let (spec, trace) = match &run_req.workload {
+            WorkloadRef::Benchmark(b) => (Some(b.spec()), None),
+            WorkloadRef::Trace(name) => match self.traces.get(name) {
+                Some(t) => (None, Some(Arc::clone(t))),
+                None => {
+                    return (
+                        Err(format!(
+                            "unknown_trace\u{1f}no trace named \"{name}\" is loaded"
+                        )),
+                        false,
+                    );
+                }
+            },
+        };
         // Constructing the experiment validates the gating parameters,
         // which panics on out-of-range values (e.g. bet = 0) — fault
         // isolation starts here, not at the simulation.
-        let spec = run_req.benchmark.spec();
         let built = catch_unwind(AssertUnwindSafe(|| {
             let experiment = Experiment::new(run_req.params)
                 .with_scale(run_req.scale)
@@ -600,7 +708,14 @@ impl Service {
                 .with_memory_hierarchy(
                     run_req.hierarchy.then(warped_sim::HierarchyConfig::default),
                 );
-            let fingerprint = cell_fingerprint(&experiment, &spec, run_req.technique);
+            // The trace fingerprint folds the capture's content digest,
+            // so two corpora serving the same name with different bytes
+            // can never alias in any cache layer.
+            let fingerprint = match (&spec, &trace) {
+                (Some(spec), _) => cell_fingerprint(&experiment, spec, run_req.technique),
+                (None, Some(t)) => trace_cell_fingerprint(&experiment, t, run_req.technique),
+                (None, None) => unreachable!("workload resolved above"),
+            };
             (experiment, fingerprint)
         }));
         let (experiment, fingerprint) = match built {
@@ -624,8 +739,10 @@ impl Service {
             }
             // Not ours? One forwarding hop to the ring owner; a failed
             // forward (or an open breaker) degrades to simulating here
-            // — availability beats placement.
-            if !local_only {
+            // — availability beats placement. Trace cells never hop:
+            // the corpus is node-local configuration, so a peer may
+            // not hold the referenced trace at all.
+            if !local_only && trace.is_none() {
                 if let Some(cluster) = self.cluster.get() {
                     if let Some(owner) = cluster.forward_target(fingerprint) {
                         if let Ok(bytes) = cluster.forward_run(owner, &run_req.to_body()) {
@@ -636,8 +753,10 @@ impl Service {
                 }
             }
             let _guard = self.metrics.job_started();
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                experiment.run(&spec, run_req.technique)
+            let outcome = catch_unwind(AssertUnwindSafe(|| match (&spec, &trace) {
+                (Some(spec), _) => experiment.run(spec, run_req.technique),
+                (None, Some(t)) => experiment.run_trace(t, run_req.technique),
+                (None, None) => unreachable!("workload resolved above"),
             }));
             match outcome {
                 Err(payload) => {
@@ -669,7 +788,43 @@ impl Service {
                 disk.put(fingerprint, Arc::clone(bytes));
             }
         }
+        if trace.is_some() && result.is_ok() {
+            self.metrics
+                .trace_cells_served
+                .fetch_add(1, Ordering::Relaxed);
+        }
         (result, simulated)
+    }
+
+    /// Rejects any cell naming a trace this server has not loaded.
+    /// Runs during request validation, before any simulation starts,
+    /// so the client gets a 400 naming the cell — never a mid-batch
+    /// fault.
+    fn check_trace_refs(&self, cells: &[RunRequest]) -> Result<(), String> {
+        for (i, cell) in cells.iter().enumerate() {
+            if let WorkloadRef::Trace(name) = &cell.workload {
+                if !self.traces.contains_key(name) {
+                    let hint = if self.traces.is_empty() {
+                        "; no trace corpus is loaded (start with --trace-dir)".to_owned()
+                    } else {
+                        format!(
+                            "; loaded traces: {}",
+                            self.traces
+                                .keys()
+                                .map(String::as_str)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    };
+                    return Err(if cells.len() == 1 {
+                        format!("unknown trace_ref \"{name}\"{hint}")
+                    } else {
+                        format!("cells[{i}]: unknown trace_ref \"{name}\"{hint}")
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// `POST /run`: validate, fingerprint, serve through the
@@ -687,6 +842,15 @@ impl Service {
                 );
             }
         };
+        if let Err(message) = self.check_trace_refs(std::slice::from_ref(&run_req)) {
+            return self.respond(
+                out,
+                400,
+                "application/json",
+                &error_body("bad_request", &message),
+                keep_alive,
+            );
+        }
         let local_only = req.header(FORWARDED_HEADER).is_some();
         let (result, _) = self.run_cell(&run_req, local_only);
         match result {
@@ -715,7 +879,9 @@ impl Service {
     /// cell fails the whole batch with a `400` naming it, so a client
     /// can't burn a long sweep only to find a typo'd tail.
     fn sweep(&self, req: &Request, out: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
-        let cells = match parse_sweep_cells(&req.body, self.config.max_sweep_cells) {
+        let cells = match parse_sweep_cells(&req.body, self.config.max_sweep_cells)
+            .and_then(|cells| self.check_trace_refs(&cells).map(|()| cells))
+        {
             Ok(cells) => cells,
             Err(message) => {
                 return self.respond(
@@ -1456,11 +1622,20 @@ mod tests {
         let parsed = RunRequest::parse(body.as_bytes()).unwrap();
         let rendered = parsed.to_body();
         let reparsed = RunRequest::parse(rendered.as_bytes()).unwrap();
-        assert_eq!(parsed.benchmark, reparsed.benchmark);
+        assert_eq!(parsed.workload, reparsed.workload);
         assert_eq!(parsed.technique, reparsed.technique);
         assert_eq!(parsed.scale, reparsed.scale);
         assert_eq!(parsed.params, reparsed.params);
         assert_eq!(parsed.hierarchy, reparsed.hierarchy);
+
+        // The trace flavour round-trips the same way.
+        let trace = RunRequest::parse(
+            b"{\"trace_ref\":\"hotspot\",\"technique\":\"baseline\",\"scale\":0.5}",
+        )
+        .unwrap();
+        let re = RunRequest::parse(trace.to_body().as_bytes()).unwrap();
+        assert_eq!(trace.workload, re.workload);
+        assert_eq!(re.workload, WorkloadRef::Trace("hotspot".to_owned()));
     }
 
     #[test]
@@ -1513,6 +1688,142 @@ mod tests {
             assert_eq!(status, 200);
             assert!(body.contains("\"title\":\"bench grid\""));
         }
+    }
+
+    /// Writes a small captured corpus (one pre-scaled nw trace plus
+    /// one corrupt file) into a fresh temp dir and returns its path.
+    fn write_test_corpus(tag: &str) -> PathBuf {
+        use warped_trace::{capture, CaptureSpec};
+        let dir =
+            std::env::temp_dir().join(format!("warped_serve_traces_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Pre-scaled capture, replayed at scale 1.0 — spec scaling
+        // happens before barrier-round splitting, so this is the only
+        // geometry the native run can be compared against bit-for-bit.
+        let spec = Benchmark::Nw.spec().scaled(0.05);
+        let kernel = spec.kernel();
+        let text = capture(&CaptureSpec {
+            name: spec.name,
+            kernel: &kernel,
+            total_warps: spec.total_warps,
+            block_warps: spec.block_warps,
+            stagger: spec.body_len as u32,
+            waves: spec.launches,
+            l1_hit_rate: spec.l1_hit_rate,
+            mem_seed: spec.seed ^ 0xdead_beef,
+        });
+        std::fs::write(dir.join("nw.wgt1"), text).unwrap();
+        std::fs::write(dir.join("broken.wgt1"), b"WGT1 broken\nnot a header\n").unwrap();
+        dir
+    }
+
+    #[test]
+    fn trace_cells_serve_from_the_corpus_bit_identically() {
+        let dir = write_test_corpus("run");
+        let service = Service::new(ServiceConfig {
+            trace_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        // One good trace loaded, one corrupt file counted and skipped.
+        assert_eq!(service.metrics.traces_loaded.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            service.metrics.trace_parse_errors.load(Ordering::Relaxed),
+            1
+        );
+
+        let body = "{\"trace_ref\":\"nw\",\"technique\":\"warped-gates\"}";
+        let (status, first, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 200, "{first}");
+        assert!(first.contains("\"trace_ref\":\"nw\""), "{first}");
+        let doc = json::parse(first.trim_end()).unwrap();
+        let direct = Experiment::paper_defaults().run_trace(
+            &warped_trace::parse_bytes(&std::fs::read(dir.join("nw.wgt1")).unwrap()).unwrap(),
+            Technique::WarpedGates,
+        );
+        assert_eq!(
+            doc.get("cycles").unwrap().as_u64(),
+            Some(direct.cycles),
+            "served trace cells are bit-identical to direct replays"
+        );
+
+        // A repeat serves from cache but still counts as a trace cell.
+        let (status, second, _) = dispatch(&service, &post("/run", body));
+        assert_eq!(status, 200);
+        assert_eq!(first, second);
+        assert_eq!(
+            service.metrics.trace_cells_served.load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(service.cache.misses(), 1);
+
+        // Trace and benchmark cells mix in one sweep batch.
+        let sweep_body = "{\"cells\":[\
+             {\"trace_ref\":\"nw\",\"technique\":\"warped-gates\"},\
+             {\"benchmark\":\"nw\",\"technique\":\"baseline\",\"scale\":0.05}]}";
+        let (status, raw, _) = dispatch(&service, &post("/sweep", sweep_body));
+        assert_eq!(status, 200);
+        assert_eq!(jsonl_lines(&raw).len(), 2, "{raw:.300}");
+        assert_eq!(
+            service.metrics.trace_cells_served.load(Ordering::Relaxed),
+            3
+        );
+
+        // The metrics page exposes all three trace series live.
+        let (_, page, _) = dispatch(&service, &get("/metrics"));
+        assert!(
+            page.contains("warped_serve_trace_workloads_loaded 1"),
+            "{page:.500}"
+        );
+        assert!(page.contains("warped_serve_trace_parse_errors_total 1"));
+        assert!(page.contains("warped_serve_trace_cells_served_total 3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_refs_are_validated_before_any_work() {
+        // Without a corpus, every trace_ref is a 400 with a hint.
+        let service = quick_service();
+        let (status, body, _) = dispatch(
+            &service,
+            &post("/run", "{\"trace_ref\":\"nw\",\"technique\":\"baseline\"}"),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown trace_ref"), "{body}");
+        assert!(body.contains("--trace-dir"), "{body}");
+
+        // Naming both workload kinds is rejected, as is naming none.
+        let (status, body, _) = dispatch(
+            &service,
+            &post(
+                "/run",
+                "{\"benchmark\":\"nw\",\"trace_ref\":\"nw\",\"technique\":\"baseline\"}",
+            ),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("mutually exclusive"), "{body}");
+        let (status, body, _) = dispatch(&service, &post("/run", "{\"technique\":\"baseline\"}"));
+        assert_eq!(status, 400);
+        assert!(body.contains("missing or non-string"), "{body}");
+
+        // A sweep with one bad trace ref fails whole, naming the cell,
+        // before any simulation starts.
+        let dir = write_test_corpus("validate");
+        let service = Service::new(ServiceConfig {
+            trace_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        let body = "[{\"trace_ref\":\"nw\",\"technique\":\"baseline\"},\
+                     {\"trace_ref\":\"nope\",\"technique\":\"baseline\"}]";
+        let (status, response, _) = dispatch(&service, &post("/sweep", body));
+        assert_eq!(status, 400);
+        assert!(
+            response.contains("cells[1]: unknown trace_ref \\\"nope\\\""),
+            "{response}"
+        );
+        assert!(response.contains("loaded traces: nw"), "{response}");
+        assert_eq!(service.cache.misses(), 0, "no simulation ran");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

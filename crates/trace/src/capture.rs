@@ -1,0 +1,250 @@
+//! Deterministic WGT1 serialization: capture a kernel back out as text.
+//!
+//! The capture path is the inverse of [`parse_str`](crate::parse_str):
+//! `capture(&spec)` emits exactly the grammar the parser accepts, so
+//! capture → parse → lower reproduces the original kernel structurally
+//! (`Kernel: PartialEq`) and bit-identically under simulation. The
+//! output is fully deterministic — same spec, same bytes — which is
+//! what lets the corpus under `traces/` be diffed in CI.
+
+use std::fmt::Write as _;
+use warped_isa::{AddrGen, Kernel, Segment};
+
+/// How many warps' address samples a capture records per
+/// descriptor-carrying memory instruction.
+pub const SAMPLE_WARPS: u32 = 2;
+
+/// How many per-warp access indices a capture records per
+/// descriptor-carrying memory instruction.
+pub const SAMPLE_INDICES: u64 = 4;
+
+/// Everything a WGT1 capture records about one workload: the kernel and
+/// the launch/memory configuration it ran under.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureSpec<'a> {
+    /// Kernel name for the magic line (ASCII alphanumerics, `_`, `-`,
+    /// `.`; at most 64 bytes).
+    pub name: &'a str,
+    /// The kernel whose issue stream is being recorded.
+    pub kernel: &'a Kernel,
+    /// Warps launched per SM.
+    pub total_warps: u32,
+    /// Warps per thread block.
+    pub block_warps: u32,
+    /// Launch stagger in dynamic instructions.
+    pub stagger: u32,
+    /// Back-to-back launches the grid is split into.
+    pub waves: u32,
+    /// L1 hit rate of the seeded latency model.
+    pub l1_hit_rate: f64,
+    /// Memory-system seed.
+    pub mem_seed: u64,
+}
+
+/// Serializes a workload as WGT1 text.
+///
+/// The producer side is allowed to be strict where the parser must be
+/// forgiving: a capture of an invalid spec is a caller bug, not an
+/// input-handling concern.
+///
+/// # Panics
+///
+/// Panics if the name violates the WGT1 charset/length rules, the hit
+/// rate is outside `[0, 1]`, or any launch field is zero where the
+/// format requires at least 1 — all conditions the parser would reject
+/// on read-back.
+#[must_use]
+pub fn capture(spec: &CaptureSpec<'_>) -> String {
+    assert!(
+        !spec.name.is_empty()
+            && spec.name.len() <= crate::limits::MAX_NAME_BYTES
+            && spec
+                .name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'),
+        "kernel name '{}' violates the WGT1 name rules",
+        spec.name
+    );
+    assert!(
+        spec.l1_hit_rate.is_finite() && (0.0..=1.0).contains(&spec.l1_hit_rate),
+        "hit rate {} outside [0,1]",
+        spec.l1_hit_rate
+    );
+    assert!(
+        spec.total_warps >= 1 && spec.block_warps >= 1 && spec.waves >= 1,
+        "launch fields must be at least 1"
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(out, "WGT1 {}", spec.name);
+    let _ = writeln!(
+        out,
+        "launch warps={} block={} stagger={} waves={}",
+        spec.total_warps, spec.block_warps, spec.stagger, spec.waves
+    );
+    // f64 Display is the shortest round-tripping representation, so
+    // `hit` survives capture → parse bit-exactly.
+    let _ = writeln!(
+        out,
+        "mem hit={} seed={:#x}",
+        spec.l1_hit_rate, spec.mem_seed
+    );
+    for segment in spec.kernel.segments() {
+        let body = match segment {
+            Segment::Straight(body) => {
+                let _ = writeln!(out, "seg straight");
+                body
+            }
+            Segment::Loop { body, trips } => {
+                let _ = writeln!(out, "seg loop trips={trips}");
+                body
+            }
+        };
+        for instr in body {
+            out.push_str("i ");
+            out.push_str(instr.opcode().mnemonic());
+            if let Some(dst) = instr.destination() {
+                let _ = write!(out, " d={}", dst.index());
+            }
+            let mut sources = instr.sources();
+            if let Some(first) = sources.next() {
+                let _ = write!(out, " s={}", first.index());
+                for src in sources {
+                    let _ = write!(out, ",{}", src.index());
+                }
+            }
+            let _ = write!(out, " lat={}", instr.opcode().latency());
+            if let Some(gen) = instr.addr_gen() {
+                let _ = write!(out, " gen={}", gen_field(gen));
+            }
+            out.push('\n');
+            if let Some(gen) = instr.addr_gen() {
+                for warp in 0..SAMPLE_WARPS.min(spec.total_warps) {
+                    for index in 0..SAMPLE_INDICES {
+                        let _ = writeln!(out, "@ {warp} {index} {:#x}", gen.address(warp, index));
+                    }
+                }
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// The `gen=` field syntax for a descriptor, matching what
+/// `parse_gen` accepts.
+fn gen_field(gen: AddrGen) -> String {
+    match gen {
+        AddrGen::Strided {
+            base,
+            stride,
+            warp_stride,
+        } => format!("strided:{base:#x},{stride},{warp_stride}"),
+        AddrGen::Tiled {
+            base,
+            row_len,
+            tile,
+        } => format!("tiled:{base:#x},{row_len},{tile}"),
+        AddrGen::IndirectRandom { seed, footprint } => {
+            format!("random:{seed:#x},{footprint}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_str;
+    use warped_isa::KernelBuilder;
+
+    fn spec_of(kernel: &Kernel) -> CaptureSpec<'_> {
+        CaptureSpec {
+            name: "roundtrip",
+            kernel,
+            total_warps: 48,
+            block_warps: 4,
+            stagger: 7,
+            waves: 2,
+            l1_hit_rate: 0.73,
+            mem_seed: 0xdead_c0de,
+        }
+    }
+
+    fn rich_kernel() -> Kernel {
+        KernelBuilder::new("roundtrip")
+            .iadd(1, 0, 0)
+            .load_global_strided(2, 0x1000, 4, 256)
+            .begin_loop(17)
+            .ffma(3, 1, 2, 3)
+            .load_global_random(4, 99, 4096)
+            .sfu(5, 4)
+            .end_loop()
+            .load_global_tiled(6, 0x8000, 64, 8)
+            .store_global_strided(5, 0x2000, 8, 512)
+            .barrier()
+            .build()
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let kernel = rich_kernel();
+        let spec = spec_of(&kernel);
+        assert_eq!(capture(&spec), capture(&spec));
+    }
+
+    #[test]
+    fn capture_parses_back_to_the_same_workload() {
+        let kernel = rich_kernel();
+        let spec = spec_of(&kernel);
+        let text = capture(&spec);
+        let parsed = parse_str(&text).unwrap();
+        assert_eq!(parsed.kernel, kernel, "structural kernel equality");
+        assert_eq!(parsed.name, spec.name);
+        assert_eq!(parsed.total_warps, spec.total_warps);
+        assert_eq!(parsed.block_warps, spec.block_warps);
+        assert_eq!(parsed.stagger, spec.stagger);
+        assert_eq!(parsed.waves, spec.waves);
+        assert_eq!(parsed.mem_seed, spec.mem_seed);
+        assert!(
+            (parsed.l1_hit_rate - spec.l1_hit_rate).abs() == 0.0,
+            "hit rate survives bit-exactly"
+        );
+    }
+
+    #[test]
+    fn recapture_of_a_parse_is_byte_identical() {
+        let kernel = rich_kernel();
+        let text = capture(&spec_of(&kernel));
+        let parsed = parse_str(&text).unwrap();
+        let again = capture(&CaptureSpec {
+            name: &parsed.name,
+            kernel: &parsed.kernel,
+            total_warps: parsed.total_warps,
+            block_warps: parsed.block_warps,
+            stagger: parsed.stagger,
+            waves: parsed.waves,
+            l1_hit_rate: parsed.l1_hit_rate,
+            mem_seed: parsed.mem_seed,
+        });
+        assert_eq!(text, again, "capture ∘ parse is idempotent");
+    }
+
+    #[test]
+    fn samples_cover_at_most_the_launched_warps() {
+        let kernel = rich_kernel();
+        let mut spec = spec_of(&kernel);
+        spec.total_warps = 1;
+        let text = capture(&spec);
+        assert!(!text.contains("@ 1 "), "no samples beyond warp 0");
+        assert!(parse_str(&text).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "name")]
+    fn bad_names_are_rejected_at_capture_time() {
+        let kernel = rich_kernel();
+        let mut spec = spec_of(&kernel);
+        spec.name = "no spaces allowed";
+        let _ = capture(&spec);
+    }
+}

@@ -1,0 +1,83 @@
+//! Content digest of raw trace bytes.
+//!
+//! Downstream cache keys (the serve tier's `cell_fingerprint`) must be
+//! a function of the trace's *content*, never its filename: two
+//! directories holding the same bytes under different names must share
+//! cache lines, and editing one byte of a trace must move every key.
+//! This module provides that digest — a SplitMix64-style word fold over
+//! the raw bytes, the same non-cryptographic mixer the rest of the
+//! workspace uses for seeded hashing, so the crate stays
+//! dependency-free.
+
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64's avalanche finalizer (Steele et al., OOPSLA 2014).
+fn avalanche(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The content digest of a byte string: length first, then the bytes in
+/// 8-byte little-endian words (zero-padded tail), folded through the
+/// SplitMix64 avalanche under a fixed domain tag.
+///
+/// Not cryptographic — collision resistance only needs to beat
+/// accidental aliasing between distinct checked-in traces, the same bar
+/// the workspace's config fingerprints clear.
+///
+/// # Examples
+///
+/// ```
+/// use warped_trace::content_digest;
+///
+/// let a = content_digest(b"WGT1 k\n");
+/// assert_eq!(a, content_digest(b"WGT1 k\n"), "pure function");
+/// assert_ne!(a, content_digest(b"WGT1 j\n"), "one byte moves the digest");
+/// ```
+#[must_use]
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    // Domain tag: b"wgtrace1" as a little-endian word.
+    let mut state = avalanche(u64::from_le_bytes(*b"wgtrace1").wrapping_add(GAMMA));
+    let fold = |w: u64, state: u64| avalanche(state.wrapping_add(GAMMA) ^ w);
+    state = fold(bytes.len() as u64, state);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        state = fold(u64::from_le_bytes(w), state);
+    }
+    avalanche(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic() {
+        let text = b"WGT1 hotspot\nlaunch warps=1 block=1 stagger=0 waves=1\n";
+        assert_eq!(content_digest(text), content_digest(text));
+    }
+
+    #[test]
+    fn single_byte_edits_move_the_digest() {
+        let base = b"i ldg d=120 s=16 lat=1".to_vec();
+        let reference = content_digest(&base);
+        for i in 0..base.len() {
+            let mut edited = base.clone();
+            edited[i] ^= 1;
+            assert_ne!(
+                content_digest(&edited),
+                reference,
+                "flipping byte {i} must move the digest"
+            );
+        }
+    }
+
+    #[test]
+    fn length_extension_does_not_alias() {
+        // Zero-padded tails must not collide with explicit zero bytes.
+        assert_ne!(content_digest(b"abc"), content_digest(b"abc\0"));
+        assert_ne!(content_digest(b""), content_digest(b"\0"));
+    }
+}

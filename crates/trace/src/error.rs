@@ -1,0 +1,229 @@
+//! Typed parse errors with line and byte-offset diagnostics.
+
+use std::fmt;
+
+/// A WGT1 parse failure: what went wrong and where.
+///
+/// `line` is 1-based; `offset` is the byte offset of the start of the
+/// offending line (or of the offending byte, for encoding errors).
+/// Errors that concern the whole input (size cap, I/O) use line 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line (0 = whole input).
+    pub line: usize,
+    /// Byte offset of the offending position in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: TraceErrorKind,
+}
+
+impl TraceError {
+    pub(crate) fn at(line: usize, offset: usize, kind: TraceErrorKind) -> Self {
+        TraceError { line, offset, kind }
+    }
+
+    pub(crate) fn whole(kind: TraceErrorKind) -> Self {
+        TraceError {
+            line: 0,
+            offset: 0,
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace: {}", self.kind)
+        } else {
+            write!(
+                f,
+                "line {} (byte {}): {}",
+                self.line, self.offset, self.kind
+            )
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Every way a WGT1 trace can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceErrorKind {
+    /// Reading the input failed.
+    Io(String),
+    /// The input exceeds [`limits::MAX_TRACE_BYTES`](crate::limits).
+    TooLarge {
+        /// The cap in bytes.
+        limit: usize,
+    },
+    /// The input is not valid UTF-8.
+    InvalidUtf8,
+    /// A line exceeds [`limits::MAX_LINE_BYTES`](crate::limits).
+    LineTooLong {
+        /// The cap in bytes.
+        limit: usize,
+    },
+    /// The first line is not `WGT1 <name>`.
+    BadMagic,
+    /// The kernel name is empty, too long, or uses a forbidden
+    /// character (allowed: ASCII alphanumerics, `_`, `-`, `.`).
+    BadName(String),
+    /// A header directive appeared twice.
+    DuplicateHeader(&'static str),
+    /// A required header directive never appeared.
+    MissingHeader(&'static str),
+    /// The line starts with no known directive.
+    UnknownDirective(String),
+    /// A directive is missing a required field.
+    MissingField(&'static str),
+    /// A directive carries a field it does not define.
+    UnknownField(String),
+    /// A field appeared twice on one line.
+    DuplicateField(&'static str),
+    /// A field's value failed to parse or fell outside its range.
+    BadValue {
+        /// The field at fault.
+        field: &'static str,
+        /// The offending value as given.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
+    /// A structural cap was exceeded (instructions, segments, samples).
+    LimitExceeded {
+        /// What overflowed.
+        what: &'static str,
+        /// The cap.
+        limit: u64,
+    },
+    /// A directive appeared where the grammar forbids it (e.g. `i`
+    /// outside a segment, `@` after a non-memory instruction, nested
+    /// `seg`).
+    MisplacedLine(&'static str),
+    /// An instruction record names no known opcode mnemonic.
+    UnknownMnemonic(String),
+    /// Destination/source operands are inconsistent with the opcode
+    /// (missing or forbidden destination, too many sources, or a
+    /// register index out of range).
+    OperandMismatch(String),
+    /// The recorded `lat` disagrees with the opcode class's pipeline
+    /// latency — the capture and this simulator disagree about timing.
+    LatencyMismatch {
+        /// The opcode's mnemonic.
+        mnemonic: &'static str,
+        /// The latency the opcode class defines.
+        expected: u32,
+        /// The latency the record claims.
+        got: u32,
+    },
+    /// A `gen=` descriptor or `@` sample on a non-memory instruction.
+    AddrOnNonMemory(&'static str),
+    /// A recorded address sample disagrees with the instruction's
+    /// `gen=` descriptor.
+    SampleMismatch {
+        /// Warp of the offending sample.
+        warp: u32,
+        /// Dynamic access index of the offending sample.
+        index: u64,
+        /// The address the trace records.
+        recorded: u64,
+        /// The address the descriptor derives.
+        derived: u64,
+    },
+    /// The recorded samples fit no exact `strided` descriptor.
+    UnfittableSamples(String),
+    /// The input ended inside a segment (no `end`).
+    UnterminatedSegment,
+    /// A segment closed with no instructions.
+    EmptySegment,
+    /// The trace contains no instructions at all.
+    EmptyKernel,
+}
+
+impl fmt::Display for TraceErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceErrorKind::Io(e) => write!(f, "read failed: {e}"),
+            TraceErrorKind::TooLarge { limit } => {
+                write!(f, "trace exceeds the {limit}-byte cap")
+            }
+            TraceErrorKind::InvalidUtf8 => f.write_str("input is not valid UTF-8"),
+            TraceErrorKind::LineTooLong { limit } => {
+                write!(f, "line exceeds the {limit}-byte cap")
+            }
+            TraceErrorKind::BadMagic => f.write_str("first line must be 'WGT1 <name>'"),
+            TraceErrorKind::BadName(name) => write!(
+                f,
+                "bad kernel name '{name}' (ASCII alphanumerics, '_', '-', '.' only, \
+                 at most 64 bytes)"
+            ),
+            TraceErrorKind::DuplicateHeader(h) => write!(f, "duplicate '{h}' header"),
+            TraceErrorKind::MissingHeader(h) => write!(f, "missing '{h}' header"),
+            TraceErrorKind::UnknownDirective(d) => write!(f, "unknown directive '{d}'"),
+            TraceErrorKind::MissingField(field) => write!(f, "missing field '{field}'"),
+            TraceErrorKind::UnknownField(field) => write!(f, "unknown field '{field}'"),
+            TraceErrorKind::DuplicateField(field) => write!(f, "duplicate field '{field}'"),
+            TraceErrorKind::BadValue {
+                field,
+                value,
+                expected,
+            } => write!(
+                f,
+                "field '{field}' value '{value}' is invalid (expected {expected})"
+            ),
+            TraceErrorKind::LimitExceeded { what, limit } => {
+                write!(f, "too many {what} (cap {limit})")
+            }
+            TraceErrorKind::MisplacedLine(what) => write!(f, "'{what}' is not allowed here"),
+            TraceErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic '{m}'"),
+            TraceErrorKind::OperandMismatch(why) => write!(f, "bad operands: {why}"),
+            TraceErrorKind::LatencyMismatch {
+                mnemonic,
+                expected,
+                got,
+            } => write!(
+                f,
+                "latency {got} disagrees with the '{mnemonic}' pipeline ({expected} cycles)"
+            ),
+            TraceErrorKind::AddrOnNonMemory(m) => {
+                write!(f, "address data on non-memory instruction '{m}'")
+            }
+            TraceErrorKind::SampleMismatch {
+                warp,
+                index,
+                recorded,
+                derived,
+            } => write!(
+                f,
+                "sample (warp {warp}, index {index}) records {recorded:#x} but the \
+                 descriptor derives {derived:#x}"
+            ),
+            TraceErrorKind::UnfittableSamples(why) => {
+                write!(f, "samples fit no strided descriptor: {why}")
+            }
+            TraceErrorKind::UnterminatedSegment => f.write_str("input ended inside a segment"),
+            TraceErrorKind::EmptySegment => f.write_str("segment has no instructions"),
+            TraceErrorKind::EmptyKernel => f.write_str("trace contains no instructions"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line_and_offset() {
+        let e = TraceError::at(7, 123, TraceErrorKind::BadMagic);
+        let msg = e.to_string();
+        assert!(msg.contains("line 7") && msg.contains("byte 123"), "{msg}");
+    }
+
+    #[test]
+    fn whole_input_errors_omit_the_line() {
+        let e = TraceError::whole(TraceErrorKind::TooLarge { limit: 42 });
+        assert!(e.to_string().starts_with("trace:"));
+    }
+}

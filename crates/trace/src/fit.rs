@@ -1,0 +1,202 @@
+//! Address-descriptor synthesis from recorded samples.
+//!
+//! A WGT1 memory record may carry only `@ warp index address` sample
+//! lines, with no explicit `gen=` descriptor. Lowering then *fits* an
+//! exact [`AddrGen::Strided`] descriptor to the samples — base address,
+//! per-access stride, and per-warp stride — and verifies every sample
+//! against the candidate before accepting it. Strided streams are the
+//! only shape fitting attempts: they are the only descriptor family
+//! whose parameters are uniquely determined by a handful of samples
+//! (tiled and indirect streams must be recorded with an explicit
+//! `gen=`, which the same validation pass checks sample-by-sample).
+
+use warped_isa::AddrGen;
+
+/// One recorded address sample: `(warp, dynamic access index, address)`.
+pub(crate) type Sample = (u32, u64, u64);
+
+/// Checks every sample against an explicit descriptor. Returns the
+/// first disagreeing sample together with the derived address.
+pub(crate) fn validate_samples(gen: AddrGen, samples: &[Sample]) -> Result<(), (Sample, u64)> {
+    for &(warp, index, addr) in samples {
+        let derived = gen.address(warp, index);
+        if derived != addr {
+            return Err(((warp, index, addr), derived));
+        }
+    }
+    Ok(())
+}
+
+/// Fits an exact `Strided` descriptor to the samples, or explains why
+/// none exists. Never panics; all arithmetic is checked.
+pub(crate) fn fit_strided(samples: &[Sample]) -> Result<AddrGen, String> {
+    let Some(&(w0, i0, a0)) = samples.first() else {
+        return Err("no samples recorded".to_owned());
+    };
+
+    // Per-access stride, from the first warp that recorded two
+    // distinct indices. The validation pass below catches any warp
+    // that disagrees with this candidate.
+    let mut stride: u64 = 0;
+    'stride: for (n, &(warp, index, addr)) in samples.iter().enumerate() {
+        for &(warp2, index2, addr2) in &samples[n + 1..] {
+            if warp2 != warp || index2 == index {
+                continue;
+            }
+            let (lo, hi) = if index < index2 {
+                ((index, addr), (index2, addr2))
+            } else {
+                ((index2, addr2), (index, addr))
+            };
+            let di = hi.0 - lo.0;
+            let Some(da) = hi.1.checked_sub(lo.1) else {
+                return Err(format!(
+                    "warp {warp}: address decreases from index {} to {}",
+                    lo.0, hi.0
+                ));
+            };
+            if da % di != 0 {
+                return Err(format!(
+                    "warp {warp}: address delta {da} is not a multiple of index delta {di}"
+                ));
+            }
+            stride = da / di;
+            break 'stride;
+        }
+    }
+    if stride > u64::from(u32::MAX) {
+        return Err(format!("stride {stride} exceeds u32"));
+    }
+
+    // Per-warp stride, from the first two distinct warps' bases.
+    let base_of = |warp: u32, index: u64, addr: u64| -> Result<u64, String> {
+        index
+            .checked_mul(stride)
+            .and_then(|span| addr.checked_sub(span))
+            .ok_or_else(|| format!("warp {warp}: index {index} extrapolates below address zero"))
+    };
+    let b0 = base_of(w0, i0, a0)?;
+    let mut warp_stride: u64 = 0;
+    for &(warp, index, addr) in &samples[1..] {
+        if warp == w0 {
+            continue;
+        }
+        let b = base_of(warp, index, addr)?;
+        let (lo, hi) = if warp < w0 {
+            ((warp, b), (w0, b0))
+        } else {
+            ((w0, b0), (warp, b))
+        };
+        let dw = u64::from(hi.0 - lo.0);
+        let Some(db) = hi.1.checked_sub(lo.1) else {
+            return Err(format!(
+                "base address decreases from warp {} to warp {}",
+                lo.0, hi.0
+            ));
+        };
+        if db % dw != 0 {
+            return Err(format!(
+                "base delta {db} between warps {} and {} is not a multiple of {dw}",
+                lo.0, hi.0
+            ));
+        }
+        warp_stride = db / dw;
+        break;
+    }
+    if warp_stride > u64::from(u32::MAX) {
+        return Err(format!("warp stride {warp_stride} exceeds u32"));
+    }
+
+    let Some(base) = u64::from(w0)
+        .checked_mul(warp_stride)
+        .and_then(|span| b0.checked_sub(span))
+    else {
+        return Err(format!("warp {w0} extrapolates below address zero"));
+    };
+
+    #[allow(clippy::cast_possible_truncation)] // both bounded above
+    let candidate = AddrGen::Strided {
+        base,
+        stride: stride as u32,
+        warp_stride: warp_stride as u32,
+    };
+    match validate_samples(candidate, samples) {
+        Ok(()) => Ok(candidate),
+        Err(((warp, index, addr), derived)) => Err(format!(
+            "sample (warp {warp}, index {index}) records {addr:#x} but the fitted \
+             {candidate} derives {derived:#x}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples_of(gen: AddrGen, warps: u32, indices: u64) -> Vec<Sample> {
+        (0..warps)
+            .flat_map(|w| (0..indices).map(move |i| (w, i, gen.address(w, i))))
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_a_strided_stream_exactly() {
+        let gen = AddrGen::Strided {
+            base: 0x1000,
+            stride: 4,
+            warp_stride: 256,
+        };
+        assert_eq!(fit_strided(&samples_of(gen, 3, 4)), Ok(gen));
+    }
+
+    #[test]
+    fn fit_handles_single_warp_and_single_index() {
+        let gen = AddrGen::Strided {
+            base: 0x40,
+            stride: 8,
+            warp_stride: 0,
+        };
+        assert_eq!(fit_strided(&samples_of(gen, 1, 4)), Ok(gen));
+        // One sample: a constant stream at that address.
+        let fitted = fit_strided(&[(2, 0, 0x80)]).unwrap();
+        assert_eq!(fitted.address(2, 0), 0x80);
+    }
+
+    #[test]
+    fn inconsistent_samples_are_rejected_with_a_reason() {
+        let mut s = samples_of(
+            AddrGen::Strided {
+                base: 0,
+                stride: 4,
+                warp_stride: 64,
+            },
+            2,
+            4,
+        );
+        s[5].2 ^= 0x10;
+        let err = fit_strided(&s).unwrap_err();
+        assert!(err.contains("records"), "{err}");
+    }
+
+    #[test]
+    fn decreasing_addresses_are_rejected_not_wrapped() {
+        let err = fit_strided(&[(0, 0, 0x100), (0, 1, 0x80)]).unwrap_err();
+        assert!(err.contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_the_first_disagreeing_sample() {
+        let gen = AddrGen::IndirectRandom {
+            seed: 7,
+            footprint: 4096,
+        };
+        let good = samples_of(gen, 2, 3);
+        assert_eq!(validate_samples(gen, &good), Ok(()));
+        let mut bad = good;
+        bad[4].2 ^= 4;
+        let ((w, i, a), derived) = validate_samples(gen, &bad).unwrap_err();
+        assert_eq!((w, i), (bad[4].0, bad[4].1));
+        assert_eq!(a, bad[4].2);
+        assert_ne!(a, derived);
+    }
+}

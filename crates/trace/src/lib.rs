@@ -1,0 +1,77 @@
+//! # warped-trace
+//!
+//! A trace-driven workload frontend for the Warped Gates reproduction:
+//! the **WGT1** versioned, line-oriented text trace format, a strict
+//! size-capped parser, and a lowering pass that compiles a parsed trace
+//! into a [`warped_isa::Kernel`] ready for the simulator.
+//!
+//! ## The WGT1 format
+//!
+//! A trace is UTF-8 text. The first line is the magic plus the kernel
+//! name; then two header directives; then one or more segment blocks.
+//! Blank lines and `#` comments are allowed anywhere after the magic.
+//!
+//! ```text
+//! WGT1 hotspot
+//! launch warps=120 block=6 stagger=46 waves=6
+//! mem hit=0.82 seed=0xdeadc0de
+//! seg straight
+//! i ldg d=120 s=16 lat=1
+//! i iadd d=17 s=0,1 lat=4
+//! end
+//! seg loop trips=30
+//! i ffma d=32 s=17,120,32 lat=8
+//! i stg s=32 lat=1 gen=strided:0x1000,4,256
+//! @ 0 0 0x1000
+//! @ 0 1 0x1004
+//! end
+//! ```
+//!
+//! * `launch` records the grid/block/launch dimensions: warps per SM,
+//!   warps per thread block, the launch stagger, and the number of
+//!   back-to-back kernel waves.
+//! * `mem` records the workload's memory behaviour: the L1 hit rate of
+//!   the seeded latency model and the memory-system seed.
+//! * Each `i` record is one static instruction: an opcode-class
+//!   mnemonic, destination/source registers, and its operand latency
+//!   (`lat`, which must equal the opcode class's pipeline latency — a
+//!   consistency check on the capture).
+//! * A memory instruction may carry a `gen=` address-stream descriptor
+//!   ([`warped_isa::AddrGen`]) and/or `@ warp index address` sample
+//!   lines recording its per-lane global addresses (the warp's
+//!   coalesced access stream). Lowering validates samples against the
+//!   descriptor, or — when only samples are present — fits an exact
+//!   `strided` descriptor from them, so the memory hierarchy sees the
+//!   trace's real locality.
+//!
+//! ## Guarantees
+//!
+//! * The parser **never panics**: every malformed input maps to a typed
+//!   [`TraceError`] carrying the line number and byte offset.
+//! * All inputs are size-capped (see [`limits`]): oversized traces,
+//!   overlong lines, and runaway instruction/sample counts are rejected
+//!   with typed errors before any allocation proportional to the claim.
+//! * Parsing is a pure function of the bytes: the same bytes always
+//!   yield the same [`TraceWorkload`], including its content
+//!   [`digest`](TraceWorkload::digest) (which downstream cache keys
+//!   fold in, so renaming a trace file can never alias results).
+//! * [`capture`] is the exact inverse of parsing for every kernel the
+//!   workspace can express: `parse(capture(k))` lowers to a kernel
+//!   bit-identical to `k`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod digest;
+mod error;
+mod fit;
+pub mod limits;
+mod parse;
+mod workload;
+
+pub use capture::{capture, CaptureSpec, SAMPLE_INDICES, SAMPLE_WARPS};
+pub use digest::content_digest;
+pub use error::{TraceError, TraceErrorKind};
+pub use parse::{parse_bytes, parse_reader, parse_str};
+pub use workload::TraceWorkload;

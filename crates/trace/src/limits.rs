@@ -1,0 +1,41 @@
+//! Hard size caps the WGT1 parser enforces.
+//!
+//! Every cap exists so that a hostile or corrupted trace is rejected
+//! with a typed error before the parser allocates or loops
+//! proportionally to an attacker-controlled claim. The caps are
+//! generous relative to every trace the capture path produces (a
+//! full-scale captured benchmark is a few kilobytes and well under a
+//! hundred instructions).
+
+/// Maximum size of a whole trace in bytes (1 MiB).
+pub const MAX_TRACE_BYTES: usize = 1 << 20;
+
+/// Maximum length of a single line in bytes.
+pub const MAX_LINE_BYTES: usize = 1 << 12;
+
+/// Maximum length of the kernel name in bytes.
+pub const MAX_NAME_BYTES: usize = 64;
+
+/// Maximum number of static instructions in a trace.
+pub const MAX_INSTRUCTIONS: usize = 1 << 12;
+
+/// Maximum number of segments (straight blocks and loops).
+pub const MAX_SEGMENTS: usize = 256;
+
+/// Maximum number of `@` address samples attached to one instruction.
+pub const MAX_SAMPLES_PER_INSTRUCTION: usize = 64;
+
+/// Maximum warps per SM a trace may launch.
+pub const MAX_WARPS: u32 = 1 << 20;
+
+/// Maximum warps per thread block.
+pub const MAX_BLOCK_WARPS: u32 = 1 << 10;
+
+/// Maximum back-to-back kernel waves.
+pub const MAX_WAVES: u32 = 1 << 16;
+
+/// Maximum loop trip count.
+pub const MAX_TRIPS: u32 = 1 << 24;
+
+/// Maximum launch stagger in dynamic instructions.
+pub const MAX_STAGGER: u32 = 1 << 24;

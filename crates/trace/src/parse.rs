@@ -1,0 +1,911 @@
+//! The strict, size-capped, never-panicking WGT1 parser.
+
+use crate::digest::content_digest;
+use crate::error::{TraceError, TraceErrorKind as K};
+use crate::fit;
+use crate::limits;
+use crate::workload::TraceWorkload;
+use std::io::Read;
+use warped_isa::{AddrGen, Instruction, Kernel, MemSpace, Opcode, Reg, Segment, MAX_SRCS};
+
+/// Parses a WGT1 trace from a reader, capping the total bytes consumed.
+///
+/// Reads are buffered internally, so byte-at-a-time readers parse
+/// identically to a whole-slice parse (the fuzz suite pins this down).
+///
+/// # Errors
+///
+/// Returns a typed [`TraceError`] for I/O failures, an input exceeding
+/// [`limits::MAX_TRACE_BYTES`], or any malformation `parse_bytes`
+/// rejects.
+pub fn parse_reader<R: Read>(mut reader: R) -> Result<TraceWorkload, TraceError> {
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if bytes.len() + n > limits::MAX_TRACE_BYTES {
+                    return Err(TraceError::whole(K::TooLarge {
+                        limit: limits::MAX_TRACE_BYTES,
+                    }));
+                }
+                bytes.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TraceError::whole(K::Io(e.to_string()))),
+        }
+    }
+    parse_bytes(&bytes)
+}
+
+/// Parses a WGT1 trace from a byte slice.
+///
+/// # Errors
+///
+/// Returns a typed [`TraceError`] carrying the line number and byte
+/// offset of the first malformation. Never panics on any input.
+pub fn parse_bytes(bytes: &[u8]) -> Result<TraceWorkload, TraceError> {
+    if bytes.len() > limits::MAX_TRACE_BYTES {
+        return Err(TraceError::whole(K::TooLarge {
+            limit: limits::MAX_TRACE_BYTES,
+        }));
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| TraceError::at(0, e.valid_up_to(), K::InvalidUtf8))?;
+    let mut parser = Parser::new(content_digest(bytes));
+    let mut offset = 0usize;
+    for (n, raw) in text.split('\n').enumerate() {
+        let line_no = n + 1;
+        let line_offset = offset;
+        offset += raw.len() + 1;
+        if raw.len() > limits::MAX_LINE_BYTES {
+            return Err(TraceError::at(
+                line_no,
+                line_offset,
+                K::LineTooLong {
+                    limit: limits::MAX_LINE_BYTES,
+                },
+            ));
+        }
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        parser.line(line, line_no, line_offset)?;
+    }
+    parser.finish(text.len())
+}
+
+/// Parses a WGT1 trace from a string.
+///
+/// # Errors
+///
+/// Identical to [`parse_bytes`] on the string's UTF-8 bytes.
+pub fn parse_str(text: &str) -> Result<TraceWorkload, TraceError> {
+    parse_bytes(text.as_bytes())
+}
+
+/// An instruction awaiting descriptor resolution at segment close.
+struct PendingInstr {
+    instr: Instruction,
+    gen: Option<AddrGen>,
+    samples: Vec<fit::Sample>,
+    line: usize,
+    offset: usize,
+}
+
+enum SegKind {
+    Straight,
+    Loop { trips: u32 },
+}
+
+struct Parser {
+    digest: u64,
+    name: Option<String>,
+    launch: Option<(u32, u32, u32, u32)>,
+    mem: Option<(f64, u64)>,
+    segments: Vec<Segment>,
+    current: Option<(SegKind, Vec<PendingInstr>)>,
+    instructions: usize,
+}
+
+impl Parser {
+    fn new(digest: u64) -> Self {
+        Parser {
+            digest,
+            name: None,
+            launch: None,
+            mem: None,
+            segments: Vec::new(),
+            current: None,
+            instructions: 0,
+        }
+    }
+
+    fn line(&mut self, line: &str, line_no: usize, offset: usize) -> Result<(), TraceError> {
+        let err = |kind| Err(TraceError::at(line_no, offset, kind));
+        if line_no == 1 {
+            let Some(rest) = line.strip_prefix("WGT1 ") else {
+                return err(K::BadMagic);
+            };
+            let name = rest.trim();
+            if name.is_empty()
+                || name.len() > limits::MAX_NAME_BYTES
+                || !name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+            {
+                return err(K::BadName(name.to_owned()));
+            }
+            self.name = Some(name.to_owned());
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(());
+        }
+        if self.name.is_none() {
+            // Unreachable through the public entry points (line 1 either
+            // set the name or errored), kept as a defensive guard.
+            return err(K::BadMagic);
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let directive = tokens.next().unwrap_or_default();
+        match directive {
+            "launch" => self.launch_header(tokens, line_no, offset),
+            "mem" => self.mem_header(tokens, line_no, offset),
+            "seg" => self.open_segment(tokens, line_no, offset),
+            "i" => self.instruction(tokens, line_no, offset),
+            "@" => self.sample(tokens, line_no, offset),
+            "end" => self.close_segment(line_no, offset),
+            other => err(K::UnknownDirective(other.to_owned())),
+        }
+    }
+
+    fn launch_header<'a>(
+        &mut self,
+        tokens: impl Iterator<Item = &'a str>,
+        line_no: usize,
+        offset: usize,
+    ) -> Result<(), TraceError> {
+        let err = |kind| Err(TraceError::at(line_no, offset, kind));
+        if self.launch.is_some() {
+            return err(K::DuplicateHeader("launch"));
+        }
+        if self.current.is_some() || !self.segments.is_empty() {
+            return err(K::MisplacedLine("launch"));
+        }
+        let mut warps = None;
+        let mut block = None;
+        let mut stagger = None;
+        let mut waves = None;
+        for token in tokens {
+            let (key, value) = split_field(token, line_no, offset)?;
+            let slot = match key {
+                "warps" => &mut warps,
+                "block" => &mut block,
+                "stagger" => &mut stagger,
+                "waves" => &mut waves,
+                other => return err(K::UnknownField(other.to_owned())),
+            };
+            if slot.is_some() {
+                return err(K::DuplicateField(field_name(key)));
+            }
+            *slot = Some(parse_u32(field_name(key), value, line_no, offset)?);
+        }
+        let require = |v: Option<u32>, field: &'static str| {
+            v.ok_or_else(|| TraceError::at(line_no, offset, K::MissingField(field)))
+        };
+        let warps = require(warps, "warps")?;
+        let block = require(block, "block")?;
+        let stagger = require(stagger, "stagger")?;
+        let waves = require(waves, "waves")?;
+        check_range("warps", warps, 1, limits::MAX_WARPS, line_no, offset)?;
+        check_range("block", block, 1, limits::MAX_BLOCK_WARPS, line_no, offset)?;
+        check_range("stagger", stagger, 0, limits::MAX_STAGGER, line_no, offset)?;
+        check_range("waves", waves, 1, limits::MAX_WAVES, line_no, offset)?;
+        self.launch = Some((warps, block, stagger, waves));
+        Ok(())
+    }
+
+    fn mem_header<'a>(
+        &mut self,
+        tokens: impl Iterator<Item = &'a str>,
+        line_no: usize,
+        offset: usize,
+    ) -> Result<(), TraceError> {
+        let err = |kind| Err(TraceError::at(line_no, offset, kind));
+        if self.mem.is_some() {
+            return err(K::DuplicateHeader("mem"));
+        }
+        if self.current.is_some() || !self.segments.is_empty() {
+            return err(K::MisplacedLine("mem"));
+        }
+        let mut hit = None;
+        let mut seed = None;
+        for token in tokens {
+            let (key, value) = split_field(token, line_no, offset)?;
+            match key {
+                "hit" => {
+                    if hit.is_some() {
+                        return err(K::DuplicateField("hit"));
+                    }
+                    let v: f64 = value.parse().map_err(|_| {
+                        TraceError::at(
+                            line_no,
+                            offset,
+                            K::BadValue {
+                                field: "hit",
+                                value: value.to_owned(),
+                                expected: "a number in [0,1]",
+                            },
+                        )
+                    })?;
+                    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                        return err(K::BadValue {
+                            field: "hit",
+                            value: value.to_owned(),
+                            expected: "a number in [0,1]",
+                        });
+                    }
+                    hit = Some(v);
+                }
+                "seed" => {
+                    if seed.is_some() {
+                        return err(K::DuplicateField("seed"));
+                    }
+                    seed = Some(parse_u64("seed", value, line_no, offset)?);
+                }
+                other => return err(K::UnknownField(other.to_owned())),
+            }
+        }
+        let hit = hit.ok_or_else(|| TraceError::at(line_no, offset, K::MissingField("hit")))?;
+        let seed = seed.ok_or_else(|| TraceError::at(line_no, offset, K::MissingField("seed")))?;
+        self.mem = Some((hit, seed));
+        Ok(())
+    }
+
+    fn open_segment<'a>(
+        &mut self,
+        mut tokens: impl Iterator<Item = &'a str>,
+        line_no: usize,
+        offset: usize,
+    ) -> Result<(), TraceError> {
+        let err = |kind| Err(TraceError::at(line_no, offset, kind));
+        if self.current.is_some() {
+            return err(K::MisplacedLine("seg"));
+        }
+        if self.segments.len() >= limits::MAX_SEGMENTS {
+            return err(K::LimitExceeded {
+                what: "segments",
+                limit: limits::MAX_SEGMENTS as u64,
+            });
+        }
+        let kind = match tokens.next() {
+            Some("straight") => SegKind::Straight,
+            Some("loop") => {
+                let token = tokens
+                    .next()
+                    .ok_or_else(|| TraceError::at(line_no, offset, K::MissingField("trips")))?;
+                let (key, value) = split_field(token, line_no, offset)?;
+                if key != "trips" {
+                    return err(K::UnknownField(key.to_owned()));
+                }
+                let trips = parse_u32("trips", value, line_no, offset)?;
+                check_range("trips", trips, 1, limits::MAX_TRIPS, line_no, offset)?;
+                SegKind::Loop { trips }
+            }
+            Some(other) => {
+                return err(K::BadValue {
+                    field: "seg",
+                    value: other.to_owned(),
+                    expected: "'straight' or 'loop trips=<n>'",
+                })
+            }
+            None => return err(K::MissingField("seg kind")),
+        };
+        if let Some(extra) = tokens.next() {
+            return err(K::UnknownField(extra.to_owned()));
+        }
+        self.current = Some((kind, Vec::new()));
+        Ok(())
+    }
+
+    fn instruction<'a>(
+        &mut self,
+        mut tokens: impl Iterator<Item = &'a str>,
+        line_no: usize,
+        offset: usize,
+    ) -> Result<(), TraceError> {
+        let err = |kind| Err(TraceError::at(line_no, offset, kind));
+        if self.current.is_none() {
+            return err(K::MisplacedLine("i"));
+        }
+        if self.instructions >= limits::MAX_INSTRUCTIONS {
+            return err(K::LimitExceeded {
+                what: "instructions",
+                limit: limits::MAX_INSTRUCTIONS as u64,
+            });
+        }
+        let mnemonic = tokens
+            .next()
+            .ok_or_else(|| TraceError::at(line_no, offset, K::MissingField("mnemonic")))?;
+        let Some(op) = opcode_of(mnemonic) else {
+            return err(K::UnknownMnemonic(mnemonic.to_owned()));
+        };
+        let mut dst: Option<Reg> = None;
+        let mut srcs: Vec<Reg> = Vec::new();
+        let mut seen_srcs = false;
+        let mut lat: Option<u32> = None;
+        let mut gen: Option<AddrGen> = None;
+        for token in tokens {
+            let (key, value) = split_field(token, line_no, offset)?;
+            match key {
+                "d" => {
+                    if dst.is_some() {
+                        return err(K::DuplicateField("d"));
+                    }
+                    dst = Some(parse_reg(value, line_no, offset)?);
+                }
+                "s" => {
+                    if seen_srcs {
+                        return err(K::DuplicateField("s"));
+                    }
+                    seen_srcs = true;
+                    for part in value.split(',') {
+                        if srcs.len() >= MAX_SRCS {
+                            return err(K::OperandMismatch(format!(
+                                "more than {MAX_SRCS} sources"
+                            )));
+                        }
+                        srcs.push(parse_reg(part, line_no, offset)?);
+                    }
+                }
+                "lat" => {
+                    if lat.is_some() {
+                        return err(K::DuplicateField("lat"));
+                    }
+                    lat = Some(parse_u32("lat", value, line_no, offset)?);
+                }
+                "gen" => {
+                    if gen.is_some() {
+                        return err(K::DuplicateField("gen"));
+                    }
+                    gen = Some(parse_gen(value, line_no, offset)?);
+                }
+                other => return err(K::UnknownField(other.to_owned())),
+            }
+        }
+        let lat = lat.ok_or_else(|| TraceError::at(line_no, offset, K::MissingField("lat")))?;
+        if lat != op.latency() {
+            return err(K::LatencyMismatch {
+                mnemonic: op.mnemonic(),
+                expected: op.latency(),
+                got: lat,
+            });
+        }
+        if op.writes_register() != dst.is_some() {
+            return err(K::OperandMismatch(format!(
+                "'{}' {} a destination",
+                op.mnemonic(),
+                if op.writes_register() {
+                    "requires"
+                } else {
+                    "forbids"
+                }
+            )));
+        }
+        let is_memory = matches!(op, Opcode::Load(_) | Opcode::Store(_));
+        if gen.is_some() && !is_memory {
+            return err(K::AddrOnNonMemory(op.mnemonic()));
+        }
+        // All `Instruction::new` preconditions hold: sources are capped
+        // at MAX_SRCS and destination presence matches the opcode.
+        let instr = Instruction::new(op, dst, &srcs);
+        self.instructions += 1;
+        let (_, pending) = self.current.as_mut().expect("checked above");
+        pending.push(PendingInstr {
+            instr,
+            gen,
+            samples: Vec::new(),
+            line: line_no,
+            offset,
+        });
+        Ok(())
+    }
+
+    fn sample<'a>(
+        &mut self,
+        mut tokens: impl Iterator<Item = &'a str>,
+        line_no: usize,
+        offset: usize,
+    ) -> Result<(), TraceError> {
+        let err = |kind| Err(TraceError::at(line_no, offset, kind));
+        let Some((_, pending)) = self.current.as_mut() else {
+            return err(K::MisplacedLine("@"));
+        };
+        let Some(last) = pending.last_mut() else {
+            return err(K::MisplacedLine("@"));
+        };
+        if !matches!(last.instr.opcode(), Opcode::Load(_) | Opcode::Store(_)) {
+            return err(K::AddrOnNonMemory(last.instr.opcode().mnemonic()));
+        }
+        if last.samples.len() >= limits::MAX_SAMPLES_PER_INSTRUCTION {
+            return err(K::LimitExceeded {
+                what: "samples",
+                limit: limits::MAX_SAMPLES_PER_INSTRUCTION as u64,
+            });
+        }
+        let mut next = |field: &'static str| {
+            tokens
+                .next()
+                .ok_or_else(|| TraceError::at(line_no, offset, K::MissingField(field)))
+        };
+        let warp = parse_u32("warp", next("warp")?, line_no, offset)?;
+        let index = parse_u64("index", next("index")?, line_no, offset)?;
+        let addr = parse_u64("address", next("address")?, line_no, offset)?;
+        if let Some(extra) = tokens.next() {
+            return err(K::UnknownField(extra.to_owned()));
+        }
+        last.samples.push((warp, index, addr));
+        Ok(())
+    }
+
+    fn close_segment(&mut self, line_no: usize, offset: usize) -> Result<(), TraceError> {
+        let Some((kind, pending)) = self.current.take() else {
+            return Err(TraceError::at(line_no, offset, K::MisplacedLine("end")));
+        };
+        if pending.is_empty() {
+            return Err(TraceError::at(line_no, offset, K::EmptySegment));
+        }
+        let mut body = Vec::with_capacity(pending.len());
+        for p in pending {
+            body.push(resolve(p)?);
+        }
+        self.segments.push(match kind {
+            SegKind::Straight => Segment::Straight(body),
+            SegKind::Loop { trips } => Segment::Loop { body, trips },
+        });
+        Ok(())
+    }
+
+    fn finish(mut self, end_offset: usize) -> Result<TraceWorkload, TraceError> {
+        if self.current.is_some() {
+            return Err(TraceError::at(0, end_offset, K::UnterminatedSegment));
+        }
+        let name = self
+            .name
+            .take()
+            .ok_or_else(|| TraceError::whole(K::BadMagic))?;
+        let (warps, block, stagger, waves) = self
+            .launch
+            .ok_or_else(|| TraceError::whole(K::MissingHeader("launch")))?;
+        let (hit, seed) = self
+            .mem
+            .ok_or_else(|| TraceError::whole(K::MissingHeader("mem")))?;
+        if self.segments.is_empty() {
+            return Err(TraceError::whole(K::EmptyKernel));
+        }
+        // `Kernel::new` preconditions all hold: every loop has trips >= 1
+        // and a non-empty body (close_segment), and at least one segment
+        // with at least one instruction exists.
+        let kernel = Kernel::new(name.clone(), self.segments);
+        Ok(TraceWorkload {
+            name,
+            kernel,
+            total_warps: warps,
+            block_warps: block,
+            stagger,
+            waves,
+            l1_hit_rate: hit,
+            mem_seed: seed,
+            digest: self.digest,
+        })
+    }
+}
+
+/// Resolves a pending instruction's address descriptor: validates
+/// samples against an explicit `gen=`, or fits a strided descriptor
+/// when only samples were recorded.
+fn resolve(p: PendingInstr) -> Result<Instruction, TraceError> {
+    let gen = match (p.gen, p.samples.is_empty()) {
+        (Some(g), _) => {
+            if let Err(((warp, index, recorded), derived)) = fit::validate_samples(g, &p.samples) {
+                return Err(TraceError::at(
+                    p.line,
+                    p.offset,
+                    K::SampleMismatch {
+                        warp,
+                        index,
+                        recorded,
+                        derived,
+                    },
+                ));
+            }
+            Some(g)
+        }
+        (None, false) => Some(
+            fit::fit_strided(&p.samples)
+                .map_err(|why| TraceError::at(p.line, p.offset, K::UnfittableSamples(why)))?,
+        ),
+        (None, true) => None,
+    };
+    // `with_addr_gen` cannot panic: samples and `gen=` are only accepted
+    // on memory instructions.
+    Ok(match gen {
+        Some(g) => p.instr.with_addr_gen(g),
+        None => p.instr,
+    })
+}
+
+fn opcode_of(mnemonic: &str) -> Option<Opcode> {
+    Some(match mnemonic {
+        "iadd" => Opcode::IAlu,
+        "imul" => Opcode::IMul,
+        "fadd" => Opcode::FAlu,
+        "fmul" => Opcode::FMul,
+        "ffma" => Opcode::FFma,
+        "sfu" => Opcode::Sfu,
+        "ldg" => Opcode::Load(MemSpace::Global),
+        "lds" => Opcode::Load(MemSpace::Shared),
+        "stg" => Opcode::Store(MemSpace::Global),
+        "sts" => Opcode::Store(MemSpace::Shared),
+        "bar" => Opcode::Bar,
+        _ => return None,
+    })
+}
+
+fn split_field(token: &str, line_no: usize, offset: usize) -> Result<(&str, &str), TraceError> {
+    token.split_once('=').ok_or_else(|| {
+        TraceError::at(
+            line_no,
+            offset,
+            K::BadValue {
+                field: "record",
+                value: token.to_owned(),
+                expected: "key=value",
+            },
+        )
+    })
+}
+
+/// Interns the handful of field names so `DuplicateField` can carry a
+/// `&'static str` without leaking.
+fn field_name(key: &str) -> &'static str {
+    match key {
+        "warps" => "warps",
+        "block" => "block",
+        "stagger" => "stagger",
+        "waves" => "waves",
+        _ => "field",
+    }
+}
+
+fn parse_u64(
+    field: &'static str,
+    value: &str,
+    line_no: usize,
+    offset: usize,
+) -> Result<u64, TraceError> {
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| {
+        TraceError::at(
+            line_no,
+            offset,
+            K::BadValue {
+                field,
+                value: value.to_owned(),
+                expected: "an unsigned integer (decimal or 0x hex)",
+            },
+        )
+    })
+}
+
+fn parse_u32(
+    field: &'static str,
+    value: &str,
+    line_no: usize,
+    offset: usize,
+) -> Result<u32, TraceError> {
+    let wide = parse_u64(field, value, line_no, offset)?;
+    u32::try_from(wide).map_err(|_| {
+        TraceError::at(
+            line_no,
+            offset,
+            K::BadValue {
+                field,
+                value: value.to_owned(),
+                expected: "an unsigned 32-bit integer",
+            },
+        )
+    })
+}
+
+fn check_range(
+    field: &'static str,
+    value: u32,
+    min: u32,
+    max: u32,
+    line_no: usize,
+    offset: usize,
+) -> Result<(), TraceError> {
+    if value < min || value > max {
+        return Err(TraceError::at(
+            line_no,
+            offset,
+            K::BadValue {
+                field,
+                value: value.to_string(),
+                expected: "a value inside the documented cap (see warped_trace::limits)",
+            },
+        ));
+    }
+    Ok(())
+}
+
+fn parse_reg(value: &str, line_no: usize, offset: usize) -> Result<Reg, TraceError> {
+    value
+        .parse::<u16>()
+        .ok()
+        .and_then(Reg::try_new)
+        .ok_or_else(|| {
+            TraceError::at(
+                line_no,
+                offset,
+                K::OperandMismatch(format!("register '{value}' out of range")),
+            )
+        })
+}
+
+fn parse_gen(value: &str, line_no: usize, offset: usize) -> Result<AddrGen, TraceError> {
+    let bad = |expected: &'static str| {
+        TraceError::at(
+            line_no,
+            offset,
+            K::BadValue {
+                field: "gen",
+                value: value.to_owned(),
+                expected,
+            },
+        )
+    };
+    let Some((kind, args)) = value.split_once(':') else {
+        return Err(bad("kind:args"));
+    };
+    let parts: Vec<&str> = args.split(',').collect();
+    match kind {
+        "strided" => {
+            if parts.len() != 3 {
+                return Err(bad("strided:base,stride,warp_stride"));
+            }
+            Ok(AddrGen::Strided {
+                base: parse_u64("gen", parts[0], line_no, offset)?,
+                stride: parse_u32("gen", parts[1], line_no, offset)?,
+                warp_stride: parse_u32("gen", parts[2], line_no, offset)?,
+            })
+        }
+        "tiled" => {
+            if parts.len() != 3 {
+                return Err(bad("tiled:base,row_len,tile"));
+            }
+            let row_len = parse_u32("gen", parts[1], line_no, offset)?;
+            let tile = parse_u32("gen", parts[2], line_no, offset)?;
+            if tile == 0 || row_len == 0 {
+                return Err(bad("tiled dimensions must be at least 1"));
+            }
+            Ok(AddrGen::Tiled {
+                base: parse_u64("gen", parts[0], line_no, offset)?,
+                row_len,
+                tile,
+            })
+        }
+        "random" => {
+            if parts.len() != 2 {
+                return Err(bad("random:seed,footprint"));
+            }
+            let footprint = parse_u64("gen", parts[1], line_no, offset)?;
+            if footprint == 0 {
+                return Err(bad("footprint must be at least 1"));
+            }
+            Ok(AddrGen::IndirectRandom {
+                seed: parse_u64("gen", parts[0], line_no, offset)?,
+                footprint,
+            })
+        }
+        _ => Err(bad("strided:…, tiled:…, or random:…")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "WGT1 demo\n\
+                           launch warps=4 block=2 stagger=0 waves=1\n\
+                           mem hit=0.5 seed=0x5eed\n\
+                           seg straight\n\
+                           i iadd d=1 s=0 lat=4\n\
+                           end\n";
+
+    #[test]
+    fn minimal_trace_parses() {
+        let w = parse_str(MINIMAL).unwrap();
+        assert_eq!(w.name, "demo");
+        assert_eq!(w.total_warps, 4);
+        assert_eq!(w.block_warps, 2);
+        assert_eq!(w.waves, 1);
+        assert_eq!(w.kernel.len(), 1);
+        assert_eq!(w.mem_seed, 0x5eed);
+        assert!((w.l1_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(w.digest, crate::content_digest(MINIMAL.as_bytes()));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = MINIMAL.replace("seg straight\n", "# a comment\n\n   \nseg straight\n");
+        assert!(parse_str(&text).is_ok());
+    }
+
+    #[test]
+    fn loops_and_descriptors_lower_faithfully() {
+        let text = "WGT1 k\n\
+                    launch warps=2 block=1 stagger=3 waves=2\n\
+                    mem hit=0.75 seed=11\n\
+                    seg loop trips=10\n\
+                    i ldg d=5 s=1 lat=1 gen=strided:0x100,4,64\n\
+                    i ffma d=6 s=5,5,6 lat=8\n\
+                    end\n";
+        let w = parse_str(text).unwrap();
+        assert_eq!(w.kernel.dynamic_len(), 20);
+        let load = w.kernel.instruction(0).unwrap();
+        assert_eq!(
+            load.addr_gen(),
+            Some(AddrGen::Strided {
+                base: 0x100,
+                stride: 4,
+                warp_stride: 64
+            })
+        );
+    }
+
+    #[test]
+    fn samples_without_a_descriptor_fit_a_strided_stream() {
+        let text = "WGT1 k\n\
+                    launch warps=2 block=1 stagger=0 waves=1\n\
+                    mem hit=0.5 seed=1\n\
+                    seg straight\n\
+                    i ldg d=5 lat=1\n\
+                    @ 0 0 0x1000\n\
+                    @ 0 1 0x1004\n\
+                    @ 1 0 0x1100\n\
+                    end\n";
+        let w = parse_str(text).unwrap();
+        assert_eq!(
+            w.kernel.instruction(0).unwrap().addr_gen(),
+            Some(AddrGen::Strided {
+                base: 0x1000,
+                stride: 4,
+                warp_stride: 0x100
+            })
+        );
+    }
+
+    #[test]
+    fn sample_descriptor_disagreement_is_a_typed_error() {
+        let text = "WGT1 k\n\
+                    launch warps=2 block=1 stagger=0 waves=1\n\
+                    mem hit=0.5 seed=1\n\
+                    seg straight\n\
+                    i ldg d=5 lat=1 gen=strided:0x1000,4,0\n\
+                    @ 0 1 0x9999\n\
+                    end\n";
+        let e = parse_str(text).unwrap_err();
+        assert!(
+            matches!(
+                e.kind,
+                K::SampleMismatch {
+                    recorded: 0x9999,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        assert_eq!(e.line, 5, "error anchors to the instruction line");
+    }
+
+    #[test]
+    fn latency_disagreement_is_a_typed_error() {
+        let text = MINIMAL.replace("lat=4", "lat=5");
+        let e = parse_str(&text).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            K::LatencyMismatch {
+                expected: 4,
+                got: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn structural_errors_are_typed() {
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("WGT1", "WGTX"))
+                .unwrap_err()
+                .kind,
+            K::BadMagic
+        ));
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("warps=4", "warps=0"))
+                .unwrap_err()
+                .kind,
+            K::BadValue { field: "warps", .. }
+        ));
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("i iadd d=1 s=0 lat=4\n", ""))
+                .unwrap_err()
+                .kind,
+            K::EmptySegment
+        ));
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("end\n", "")).unwrap_err().kind,
+            K::UnterminatedSegment
+        ));
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("mem hit=0.5 seed=0x5eed\n", ""))
+                .unwrap_err()
+                .kind,
+            K::MissingHeader("mem")
+        ));
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("d=1", "d=999"))
+                .unwrap_err()
+                .kind,
+            K::OperandMismatch(_)
+        ));
+        assert!(matches!(
+            parse_str(&MINIMAL.replace("i iadd", "i yolo"))
+                .unwrap_err()
+                .kind,
+            K::UnknownMnemonic(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_inputs_are_rejected_before_parsing() {
+        let huge = vec![b'a'; limits::MAX_TRACE_BYTES + 1];
+        assert!(matches!(
+            parse_bytes(&huge).unwrap_err().kind,
+            K::TooLarge { .. }
+        ));
+        let long_line = format!("WGT1 k\n{}\n", "x".repeat(limits::MAX_LINE_BYTES + 1));
+        let e = parse_str(&long_line).unwrap_err();
+        assert!(matches!(e.kind, K::LineTooLong { .. }));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn invalid_utf8_reports_the_byte_offset() {
+        let mut bytes = MINIMAL.as_bytes().to_vec();
+        bytes[10] = 0xff;
+        let e = parse_bytes(&bytes).unwrap_err();
+        assert!(matches!(e.kind, K::InvalidUtf8));
+        assert_eq!(e.offset, 10);
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line_offset() {
+        let e = parse_str(&format!("{MINIMAL}bogus\n")).unwrap_err();
+        assert!(matches!(e.kind, K::UnknownDirective(_)));
+        assert_eq!(e.line, 7);
+        assert_eq!(e.offset, MINIMAL.len());
+    }
+
+    #[test]
+    fn reader_parse_equals_slice_parse() {
+        let whole = parse_str(MINIMAL).unwrap();
+        let dribbled = parse_reader(MINIMAL.as_bytes()).unwrap();
+        assert_eq!(whole, dribbled);
+    }
+}

@@ -1,0 +1,123 @@
+//! The lowered form of a parsed trace: a simulator-ready workload.
+
+use warped_isa::{Kernel, Segment};
+
+/// A parsed, lowered WGT1 trace: everything the experiment engine needs
+/// to launch the recorded workload on one SM.
+///
+/// Produced only by the parser ([`parse_bytes`](crate::parse_bytes) and
+/// friends), so every invariant the simulator's constructors assert —
+/// non-empty kernel, positive warp/trip/wave counts, an in-range hit
+/// rate — is already guaranteed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWorkload {
+    /// The kernel name recorded on the magic line.
+    pub name: String,
+    /// The lowered kernel, with address-stream descriptors attached to
+    /// the memory instructions that recorded them.
+    pub kernel: Kernel,
+    /// Warps launched per SM (grid size).
+    pub total_warps: u32,
+    /// Warps per thread block (slot-refill granularity).
+    pub block_warps: u32,
+    /// Launch stagger in dynamic instructions.
+    pub stagger: u32,
+    /// Back-to-back kernel launches the grid is split into.
+    pub waves: u32,
+    /// L1 hit rate of the seeded latency model for global loads.
+    pub l1_hit_rate: f64,
+    /// Memory-system seed.
+    pub mem_seed: u64,
+    /// Content digest of the raw trace bytes (see
+    /// [`content_digest`](crate::content_digest)). Cache keys fold this
+    /// in, so results address the trace's *content*, not its filename.
+    pub digest: u64,
+}
+
+impl TraceWorkload {
+    /// A proportionally smaller copy — fewer warps, waves, and loop
+    /// trips — for fast tests and smoke runs, mirroring
+    /// `BenchmarkSpec::scaled`. The digest is unchanged: the scale
+    /// factor is a separate experiment knob that cache keys already
+    /// fold, exactly as they do for synthetic benchmarks.
+    ///
+    /// Note that scaling a trace scales its *recorded* loop trip counts
+    /// directly, whereas scaling a synthetic spec scales the trip count
+    /// the generator divides among barrier rounds — so a trace captured
+    /// at full scale and then scaled is not necessarily the same
+    /// workload as a capture of the scaled spec. Round-trip equality
+    /// holds when both sides run at the same effective scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `(0, 1]`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> TraceWorkload {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0,1]");
+        let scale_u32 = |v: u32| ((f64::from(v) * factor).round() as u32).max(1);
+        let segments = self
+            .kernel
+            .segments()
+            .iter()
+            .map(|s| match s {
+                Segment::Straight(v) => Segment::Straight(v.clone()),
+                Segment::Loop { body, trips } => Segment::Loop {
+                    body: body.clone(),
+                    trips: scale_u32(*trips),
+                },
+            })
+            .collect();
+        TraceWorkload {
+            kernel: Kernel::new(self.kernel.name().to_owned(), segments),
+            total_warps: scale_u32(self.total_warps),
+            waves: scale_u32(self.waves),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::KernelBuilder;
+
+    fn sample() -> TraceWorkload {
+        TraceWorkload {
+            name: "k".to_owned(),
+            kernel: KernelBuilder::new("k")
+                .iadd(1, 0, 0)
+                .begin_loop(100)
+                .fadd(2, 1, 2)
+                .end_loop()
+                .build(),
+            total_warps: 96,
+            block_warps: 6,
+            stagger: 10,
+            waves: 6,
+            l1_hit_rate: 0.7,
+            mem_seed: 42,
+            digest: 7,
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_warps_waves_and_trips() {
+        let w = sample().scaled(0.1);
+        assert_eq!(w.total_warps, 10);
+        assert_eq!(w.waves, 1);
+        assert_eq!(w.kernel.dynamic_len(), 1 + 10);
+        assert_eq!(w.digest, 7, "digest addresses the original bytes");
+    }
+
+    #[test]
+    fn full_scale_is_the_identity() {
+        let w = sample();
+        assert_eq!(w.scaled(1.0), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_scale_is_rejected() {
+        let _ = sample().scaled(0.0);
+    }
+}

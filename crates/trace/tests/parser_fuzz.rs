@@ -1,0 +1,188 @@
+//! Seeded property tests hardening the WGT1 parser.
+//!
+//! The trace frontend parses files straight off disk and (through the
+//! serve tier) content a deployment operator drops into `--trace-dir`,
+//! so the invariant under test is blunt: *no input may panic the
+//! parser*, and anything malformed must come back as a typed
+//! [`TraceError`] with a line/offset diagnostic. Every case is driven
+//! by `SplitMix64`, so a failure reproduces from its printed seed —
+//! the same harness discipline as `warped-serve`'s parser fuzz suite.
+
+use std::io::{BufReader, Read};
+
+use warped_trace::{capture, limits, parse_bytes, parse_reader, parse_str, CaptureSpec};
+use warped_workloads::rng::SplitMix64;
+use warped_workloads::Benchmark;
+
+/// A small but fully featured valid trace to mutate: loop and straight
+/// segments, an explicit descriptor with samples, and a fitted one.
+const VALID: &str = "WGT1 fuzz-seed\n\
+                     launch warps=8 block=4 stagger=3 waves=2\n\
+                     mem hit=0.75 seed=0xfeed\n\
+                     seg loop trips=12\n\
+                     i ldg d=5 s=1 lat=1 gen=strided:0x1000,4,256\n\
+                     @ 0 0 0x1000\n\
+                     @ 0 1 0x1004\n\
+                     @ 1 0 0x1100\n\
+                     i ffma d=6 s=5,5,6 lat=8\n\
+                     end\n\
+                     seg straight\n\
+                     i stg s=6 lat=1\n\
+                     @ 0 0 0x2000\n\
+                     @ 0 1 0x2008\n\
+                     i bar lat=1\n\
+                     end\n";
+
+#[test]
+fn the_mutation_seed_itself_parses() {
+    let w = parse_str(VALID).expect("the seed trace must be valid");
+    assert_eq!(w.name, "fuzz-seed");
+    assert_eq!(w.kernel.dynamic_len(), 12 * 2 + 2);
+}
+
+#[test]
+fn random_bytes_never_panic_the_parser() {
+    for seed in 0..2000u64 {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let len = rng.below(600) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        // Any outcome but a panic is acceptable; random bytes never
+        // start with the magic, so in practice every case errors.
+        let _ = parse_bytes(&bytes);
+    }
+}
+
+#[test]
+fn random_ascii_lines_never_panic_the_parser() {
+    // Directive-shaped soup: tokens drawn from the grammar's own
+    // alphabet, far likelier to reach deep parser states than raw bytes.
+    const ALPHA: &[u8] = b"WGT1 launchmemsegiend@=0x123456789abcdef.,-_\n\r #";
+    for seed in 0..2000u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x7747_5431);
+        let mut text = String::from("WGT1 k\n");
+        let len = rng.below(400) as usize;
+        text.extend((0..len).map(|_| char::from(ALPHA[rng.index(ALPHA.len())])));
+        let _ = parse_str(&text);
+    }
+}
+
+#[test]
+fn mutated_valid_traces_answer_typed_errors() {
+    for seed in 0..2000u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x6d75_7461_7465);
+        let mut bytes = VALID.as_bytes().to_vec();
+        // One to four point mutations: flip, overwrite, or truncate.
+        for _ in 0..=rng.below(3) {
+            let at = rng.index(bytes.len());
+            match rng.below(3) {
+                0 => bytes[at] ^= 1 << rng.below(8),
+                1 => bytes[at] = (rng.next_u64() & 0xff) as u8,
+                _ => bytes.truncate(at),
+            }
+            if bytes.is_empty() {
+                break;
+            }
+        }
+        // The contract: parse, or a typed TraceError whose Display
+        // renders — never a panic. (Some mutations stay valid.)
+        if let Err(e) = parse_bytes(&bytes) {
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "seed {seed}: empty diagnostic");
+        }
+    }
+}
+
+#[test]
+fn truncations_at_every_byte_never_panic() {
+    for cut in 0..VALID.len() {
+        let _ = parse_str(&VALID[..cut]);
+    }
+}
+
+#[test]
+fn oversized_inputs_and_lines_are_rejected() {
+    let huge = vec![b'#'; limits::MAX_TRACE_BYTES + 1];
+    let e = parse_bytes(&huge).unwrap_err();
+    assert!(e.to_string().contains("cap"), "{e}");
+
+    let long = format!("WGT1 k\n# {}\n", "x".repeat(limits::MAX_LINE_BYTES));
+    let e = parse_str(&long).unwrap_err();
+    assert_eq!(e.line, 2, "{e}");
+
+    // Instruction flood past the structural cap.
+    let mut flood = String::from(
+        "WGT1 k\nlaunch warps=1 block=1 stagger=0 waves=1\nmem hit=0.5 seed=1\nseg straight\n",
+    );
+    for _ in 0..=limits::MAX_INSTRUCTIONS {
+        flood.push_str("i iadd d=1 s=0 lat=4\n");
+    }
+    flood.push_str("end\n");
+    let e = parse_str(&flood).unwrap_err();
+    assert!(e.to_string().contains("too many instructions"), "{e}");
+}
+
+/// A reader that hands out at most `step` bytes per `read`, modelling
+/// a trickling pipe that splits every token across reads.
+struct Dribble<'a> {
+    bytes: &'a [u8],
+    step: usize,
+}
+
+impl Read for Dribble<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.step.min(self.bytes.len()).min(buf.len());
+        buf[..n].copy_from_slice(&self.bytes[..n]);
+        self.bytes = &self.bytes[n..];
+        Ok(n)
+    }
+}
+
+#[test]
+fn split_reads_parse_identically_to_whole_reads() {
+    let want = parse_str(VALID).unwrap();
+    for step in [1usize, 2, 3, 7, 13] {
+        let reader = BufReader::with_capacity(
+            16,
+            Dribble {
+                bytes: VALID.as_bytes(),
+                step,
+            },
+        );
+        let got = parse_reader(reader).unwrap_or_else(|e| panic!("step {step}: {e}"));
+        assert_eq!(got, want, "step {step}");
+    }
+}
+
+#[test]
+fn captured_benchmarks_survive_mutation_fuzzing() {
+    // A real corpus-sized capture as the mutation seed: exercises the
+    // full grammar surface the checked-in traces use.
+    let spec = Benchmark::Hotspot.spec();
+    let kernel = spec.kernel();
+    let text = capture(&CaptureSpec {
+        name: spec.name,
+        kernel: &kernel,
+        total_warps: spec.total_warps,
+        block_warps: spec.block_warps,
+        stagger: spec.body_len as u32,
+        waves: spec.launches,
+        l1_hit_rate: spec.l1_hit_rate,
+        mem_seed: spec.seed ^ 0xdead_beef,
+    });
+    parse_str(&text).expect("the capture itself must parse");
+    for seed in 0..1000u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x6361_7074);
+        let mut bytes = text.as_bytes().to_vec();
+        for _ in 0..=rng.below(4) {
+            let at = rng.index(bytes.len());
+            match rng.below(3) {
+                0 => bytes[at] ^= 1 << rng.below(8),
+                1 => bytes[at] = (rng.next_u64() & 0xff) as u8,
+                _ => bytes.truncate(at.max(1)),
+            }
+        }
+        if let Err(e) = parse_bytes(&bytes) {
+            assert!(!e.to_string().is_empty(), "seed {seed}");
+        }
+    }
+}

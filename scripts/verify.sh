@@ -49,7 +49,7 @@ cleanup() {
 }
 trap cleanup EXIT
 time cargo run --release -q -p warped-bench --bin sweep -- \
-    --core event-queue --out-dir "$outdir/grid"
+    --core event-queue --trace-dir traces --out-dir "$outdir/grid"
 
 # Compare every per-cell row in full: label, cycles, and ff_cycles.
 extract_cells() {
@@ -68,6 +68,31 @@ if ! diff <(extract_cells results/bench_grid.json) <(extract_cells "$outdir/grid
     exit 1
 fi
 echo "grid rows match the checked-in results bit for bit"
+
+# The same sweep also replayed the checked-in WGT1 corpus (the
+# --trace-dir above); those 36 trace cells must match their committed
+# grid bit for bit too.
+if ! diff <(extract_cells results/bench_trace_grid.json) \
+          <(extract_cells "$outdir/grid/bench_trace_grid.json"); then
+    echo "verify: FAIL — trace replays diverged from results/bench_trace_grid.json" >&2
+    exit 1
+fi
+echo "trace grid rows match the checked-in results bit for bit"
+
+step "trace round-trip gate (capture -> parse -> replay, full scale, bit-for-bit)"
+# tracegen --verify re-captures every corpus benchmark, parses the
+# capture back, and replays it under all six techniques with the
+# sanitizer armed — cycles, stats, and gating must match the native
+# synthetic runs exactly. The fresh captures must also be
+# byte-identical to the committed traces/ corpus, so the corpus can
+# never drift from the generator.
+time cargo run --release -q -p warped-bench --bin tracegen -- \
+    --out "$outdir/traces" --verify
+if ! diff -r traces "$outdir/traces"; then
+    echo "verify: FAIL — regenerated captures differ from the traces/ corpus" >&2
+    exit 1
+fi
+echo "six captures verified across all techniques and byte-identical to traces/"
 
 step "sanitized sweep (legacy fast-forward clock, invariant sanitizer armed)"
 # The reference ring clock keeps its own coverage: the sanitizer's
@@ -160,7 +185,7 @@ echo "timeline capture valid, deterministic, and gates all four unit types"
 step "serve smoke (HTTP service: healthy, grid-consistent run, cache hit, clean shutdown)"
 servelog="$outdir/serve.log"
 cargo run --release -q -p warped-serve --bin warped-serve -- \
-    --addr 127.0.0.1:0 >"$servelog" &
+    --addr 127.0.0.1:0 --trace-dir traces >"$servelog" &
 serve_pid=$!
 for _ in $(seq 1 100); do
     grep -q 'listening on' "$servelog" 2>/dev/null && break
@@ -216,9 +241,25 @@ assert "warped_serve_sim_idle_cycles_skipped_total" in metrics, metrics
 assert "warped_serve_sim_mem_accesses_total 0" in metrics, metrics
 assert "warped_serve_sim_mem_fills_total 0" in metrics, metrics
 
+# A trace_ref cell served from the --trace-dir corpus must match the
+# committed trace grid bit for bit.
+tbody = json.dumps({"trace_ref": "nw", "technique": "baseline"}).encode()
+treq = urllib.request.Request(
+    base + "/run", data=tbody, headers={"Content-Type": "application/json"}
+)
+trace_report = json.loads(urllib.request.urlopen(treq, timeout=600).read())
+tgrid = json.load(open("results/bench_trace_grid.json"))
+trow = next(r for r in tgrid["rows"] if r["label"] == "trace:nw/Baseline")
+assert trace_report["cycles"] == int(trow["values"][0]), (trace_report, trow)
+metrics = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+assert "warped_serve_trace_workloads_loaded 6" in metrics, metrics
+assert "warped_serve_trace_parse_errors_total 0" in metrics, metrics
+assert "warped_serve_trace_cells_served_total 1" in metrics, metrics
+
 req = urllib.request.Request(base + "/shutdown", data=b"")
 assert urllib.request.urlopen(req, timeout=10).status == 200
-print(f"serve OK: nw/Baseline cycles {first['cycles']} match the grid; 2nd request hit the cache")
+print(f"serve OK: nw/Baseline cycles {first['cycles']} match the grid; "
+      f"2nd request hit the cache; trace:nw cycles {trace_report['cycles']} match")
 PY
 wait "$serve_pid"
 serve_pid=""
